@@ -1,0 +1,37 @@
+//! # moara-aggregation
+//!
+//! Partially-aggregatable aggregation functions — the SDIMS-style substrate
+//! Moara computes over (paper Section 3.1).
+//!
+//! A Moara query names an *aggregation function* that must be **partially
+//! aggregatable**: given aggregates for disjoint node sets, the function
+//! can produce the aggregate of their union. That property is what lets an
+//! aggregation tree combine child replies pairwise on the way up. This
+//! crate provides the functions the paper lists — enumeration, max, min,
+//! sum, count, top-k (avg as sum + count) — as a [`AggKind`] descriptor, a
+//! mergeable partial state [`AggState`], and a final [`AggResult`].
+//!
+//! Merging is associative and commutative with [`AggState::Null`] as the
+//! identity; the property tests in this crate check merge-order
+//! independence on random inputs, which is exactly the invariant the tree
+//! protocol relies on.
+//!
+//! # Example
+//!
+//! ```
+//! use moara_aggregation::{AggKind, AggState, NodeRef, Value};
+//!
+//! let kind = AggKind::Avg;
+//! // Three nodes contribute; merge in an arbitrary tree shape.
+//! let a = kind.seed(NodeRef(1), &Value::Int(10)).unwrap();
+//! let b = kind.seed(NodeRef(2), &Value::Int(20)).unwrap();
+//! let c = kind.seed(NodeRef(3), &Value::Int(60)).unwrap();
+//! let left = kind.merge(a, AggState::Null);
+//! let merged = kind.merge(kind.merge(left, b), c);
+//! assert_eq!(merged.finish().as_f64(), Some(30.0));
+//! ```
+
+mod func;
+
+pub use func::{AggError, AggKind, AggResult, AggState, NodeRef};
+pub use moara_attributes::Value;

@@ -1,0 +1,133 @@
+//! Synthetic monitoring agents.
+//!
+//! The paper's Moara agent samples the machine it runs on (CPU, memory,
+//! installed services). For the simulator, these generators stand in for a
+//! live machine and produce the attribute *dynamics* the experiments need:
+//! slowly drifting utilizations (dynamic groups such as `CPU-Util < 60`)
+//! and sticky boolean flags (static groups such as `ServiceX = true`).
+
+use rand::Rng;
+
+use crate::store::AttrStore;
+use crate::value::Value;
+
+/// Something that refreshes attributes on each monitoring tick.
+pub trait AttrSource {
+    /// Applies one monitoring sample to `store` using `rng` for any
+    /// randomness.
+    fn tick(&mut self, store: &mut AttrStore, rng: &mut impl Rng);
+}
+
+/// A bounded random walk, e.g. CPU utilization in `[0, 100]`.
+#[derive(Clone, Debug)]
+pub struct RandomWalk {
+    /// Attribute to maintain.
+    pub attr: String,
+    /// Current value.
+    pub value: f64,
+    /// Maximum step per tick (uniform in `[-step, step]`).
+    pub step: f64,
+    /// Inclusive lower bound.
+    pub min: f64,
+    /// Inclusive upper bound.
+    pub max: f64,
+}
+
+impl RandomWalk {
+    /// A CPU-utilization walk starting at `start`%, stepping ±`step`.
+    pub fn cpu_util(attr: impl Into<String>, start: f64, step: f64) -> RandomWalk {
+        RandomWalk {
+            attr: attr.into(),
+            value: start,
+            step,
+            min: 0.0,
+            max: 100.0,
+        }
+    }
+}
+
+impl AttrSource for RandomWalk {
+    fn tick(&mut self, store: &mut AttrStore, rng: &mut impl Rng) {
+        let delta = rng.gen_range(-self.step..=self.step);
+        self.value = (self.value + delta).clamp(self.min, self.max);
+        store.set(self.attr.as_str(), Value::Float(self.value));
+    }
+}
+
+/// A boolean flag that flips with a given probability per tick (service
+/// install/uninstall, process crash/restart).
+#[derive(Clone, Debug)]
+pub struct FlagFlipper {
+    /// Attribute to maintain.
+    pub attr: String,
+    /// Current flag state.
+    pub state: bool,
+    /// Probability of flipping on each tick.
+    pub flip_probability: f64,
+}
+
+impl FlagFlipper {
+    /// A flag starting at `state` flipping with probability `p` per tick.
+    pub fn new(attr: impl Into<String>, state: bool, p: f64) -> FlagFlipper {
+        FlagFlipper {
+            attr: attr.into(),
+            state,
+            flip_probability: p,
+        }
+    }
+}
+
+impl AttrSource for FlagFlipper {
+    fn tick(&mut self, store: &mut AttrStore, rng: &mut impl Rng) {
+        if rng.gen_bool(self.flip_probability.clamp(0.0, 1.0)) {
+            self.state = !self.state;
+        }
+        store.set(self.attr.as_str(), Value::Bool(self.state));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_walk_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = AttrStore::new();
+        let mut w = RandomWalk::cpu_util("CPU-Util", 50.0, 20.0);
+        for _ in 0..500 {
+            w.tick(&mut store, &mut rng);
+            let v = store.get("CPU-Util").unwrap().as_f64().unwrap();
+            assert!((0.0..=100.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn flag_flipper_eventually_flips() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = AttrStore::new();
+        let mut f = FlagFlipper::new("ServiceX", false, 0.5);
+        let mut saw_true = false;
+        for _ in 0..100 {
+            f.tick(&mut store, &mut rng);
+            if store.get("ServiceX") == Some(&Value::Bool(true)) {
+                saw_true = true;
+            }
+        }
+        assert!(saw_true);
+    }
+
+    #[test]
+    fn zero_probability_flag_is_static() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = AttrStore::new();
+        let mut f = FlagFlipper::new("OS-Linux", true, 0.0);
+        for _ in 0..50 {
+            f.tick(&mut store, &mut rng);
+        }
+        assert_eq!(store.get("OS-Linux"), Some(&Value::Bool(true)));
+        assert_eq!(store.version(), 1); // only the first set changed anything
+    }
+}

@@ -1,0 +1,38 @@
+//! # moara-attributes
+//!
+//! The per-node data model of Moara (paper Section 3.1): information at
+//! each node is a set of `(attribute, value)` tuples, populated by a
+//! monitoring agent. Any attribute can serve as a *query attribute* (the
+//! thing being aggregated) or a *group attribute* (the thing a predicate
+//! tests).
+//!
+//! * [`Value`] — the typed attribute values (bool / integer / float /
+//!   string) with the cross-numeric ordering the paper's predicate
+//!   operators need.
+//! * [`AttrName`] — cheaply clonable interned attribute names.
+//! * [`AttrStore`] — a node's tuple store, with a version counter so upper
+//!   layers can detect churn.
+//! * [`agent`] — synthetic monitoring agents producing realistic attribute
+//!   dynamics (CPU random walks, service flags) for examples and
+//!   experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use moara_attributes::{AttrStore, Value};
+//!
+//! let mut store = AttrStore::new();
+//! store.set("CPU-Util", Value::Float(42.5));
+//! store.set("ServiceX", Value::Bool(true));
+//! assert_eq!(store.get("ServiceX"), Some(&Value::Bool(true)));
+//! assert!(store.get("CPU-Util").unwrap().cmp_num(&Value::Int(50)).unwrap().is_lt());
+//! ```
+
+pub mod agent;
+mod name;
+mod store;
+mod value;
+
+pub use name::AttrName;
+pub use store::AttrStore;
+pub use value::Value;

@@ -1,0 +1,113 @@
+//! # moara-baselines
+//!
+//! The comparator systems from the paper's evaluation:
+//!
+//! * **Global** (Figure 9, and the "SDIMS" line of Figure 12(a)): no group
+//!   trees — every query walks the entire global DHT tree. Provided as a
+//!   mode of the core engine; [`global_cluster`] builds one.
+//! * **Moara (Always-Update)** (Figure 9): group trees maintained
+//!   aggressively — every attribute-churn event propagates a status
+//!   update. Also a core-engine mode; [`always_update_cluster`] builds
+//!   one, and [`register_on`] pre-builds the tree as the baseline assumes.
+//! * **Centralized aggregator** (Figure 15): a front-end that directly
+//!   messages every node in parallel, regardless of the predicate, and
+//!   completes when all nodes answered. Implemented from scratch in
+//!   [`central`] since it bypasses the overlay entirely.
+
+pub mod central;
+
+use moara_core::{Cluster, MoaraConfig};
+use moara_query::SimplePredicate;
+use moara_simnet::LatencyModel;
+
+pub use central::{CentralCluster, CentralOutcome};
+
+/// Builds a cluster running the *Global* baseline (no group trees).
+pub fn global_cluster(n: usize, seed: u64, latency: impl LatencyModel + 'static) -> Cluster {
+    Cluster::builder()
+        .nodes(n)
+        .seed(seed)
+        .latency(latency)
+        .config(MoaraConfig::global())
+        .build()
+}
+
+/// Builds a cluster running the *Always-Update* baseline.
+pub fn always_update_cluster(
+    n: usize,
+    seed: u64,
+    latency: impl LatencyModel + 'static,
+) -> Cluster {
+    Cluster::builder()
+        .nodes(n)
+        .seed(seed)
+        .latency(latency)
+        .config(MoaraConfig::always_update())
+        .build()
+}
+
+/// Pre-builds the group tree for `pred` on an Always-Update cluster (the
+/// baseline maintains trees regardless of queries), resetting message
+/// statistics afterwards so the measurement starts clean.
+pub fn register_on(cluster: &mut Cluster, pred: &SimplePredicate) {
+    cluster.register_predicate(pred);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moara_aggregation::AggResult;
+    use moara_attributes::Value;
+    use moara_core::Mode;
+    use moara_simnet::latency::Constant;
+    use moara_simnet::NodeId;
+
+    #[test]
+    fn global_cluster_answers_and_contacts_everyone() {
+        let mut c = global_cluster(20, 3, Constant::from_millis(1));
+        for i in 0..20u32 {
+            c.set_attr(NodeId(i), "A", i < 5);
+        }
+        c.run_to_quiescence();
+        c.stats_mut().reset();
+        let out = c.query(NodeId(0), "SELECT count(*) WHERE A = true").unwrap();
+        assert_eq!(out.result, AggResult::Value(Value::Int(5)));
+        // Global mode: roughly two messages per node per query.
+        assert!(
+            out.messages as usize >= 2 * (20 - 1),
+            "global broadcast should touch everyone: {} msgs",
+            out.messages
+        );
+        assert_eq!(c.config().mode, Mode::Global);
+    }
+
+    #[test]
+    fn always_update_answers_correctly() {
+        let mut c = always_update_cluster(20, 4, Constant::from_millis(1));
+        for i in 0..20u32 {
+            c.set_attr(NodeId(i), "A", i % 2 == 0);
+        }
+        let pred = SimplePredicate::new("A", moara_query::CmpOp::Eq, true);
+        register_on(&mut c, &pred);
+        let out = c.query(NodeId(1), "SELECT count(*) WHERE A = true").unwrap();
+        assert_eq!(out.result, AggResult::Value(Value::Int(10)));
+    }
+
+    #[test]
+    fn always_update_pays_for_churn_not_queries() {
+        let mut c = always_update_cluster(32, 5, Constant::from_millis(1));
+        for i in 0..32u32 {
+            c.set_attr(NodeId(i), "A", false);
+        }
+        let pred = SimplePredicate::new("A", moara_query::CmpOp::Eq, true);
+        register_on(&mut c, &pred);
+        let before = c.stats().total_messages();
+        // Churn: flipping attributes generates maintenance traffic even
+        // with no queries at all.
+        for i in 0..8u32 {
+            c.set_attr(NodeId(i), "A", true);
+        }
+        c.run_to_quiescence();
+        assert!(c.stats().total_messages() > before);
+    }
+}

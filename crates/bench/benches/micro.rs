@@ -1,0 +1,110 @@
+//! Criterion micro-benchmarks for the building blocks: DHT routing, MD5
+//! hashing, query parsing/planning, aggregate merging, the adaptation
+//! state machine, and end-to-end query resolution on a small cluster.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use moara_aggregation::{AggKind, AggState, NodeRef};
+use moara_attributes::Value;
+use moara_bench::harness::{build_group_cluster, COUNT_QUERY};
+use moara_core::MoaraConfig;
+use moara_dht::{md5, Id, Ring, TreeTopology};
+use moara_query::{choose_cover, parse_query, CmpOp, SimplePredicate};
+use moara_simnet::latency::Constant;
+use moara_simnet::NodeId;
+
+fn bench_md5(c: &mut Criterion) {
+    let data = vec![0xabu8; 512];
+    c.bench_function("md5/512B", |b| b.iter(|| md5::digest(black_box(&data))));
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let ring = Ring::with_random_ids(4096, 4, 1);
+    let from = ring.ids()[17];
+    let key = Id::of_attribute("CPU-Util");
+    c.bench_function("dht/next_hop_4096", |b| {
+        b.iter(|| ring.next_hop(black_box(from), black_box(key)))
+    });
+    c.bench_function("dht/route_path_4096", |b| {
+        b.iter(|| ring.route_path(black_box(from), black_box(key)))
+    });
+}
+
+fn bench_tree_build(c: &mut Criterion) {
+    let ring = Ring::with_random_ids(1024, 4, 2);
+    let key = Id::of_attribute("ServiceX");
+    c.bench_function("dht/tree_build_1024", |b| {
+        b.iter(|| TreeTopology::build(black_box(&ring), black_box(key)))
+    });
+}
+
+fn bench_parse_and_plan(c: &mut Criterion) {
+    let text = "SELECT avg(Mem-Free) WHERE (a = true OR b = true) AND (c = true OR d = true) AND x < 50";
+    c.bench_function("query/parse", |b| b.iter(|| parse_query(black_box(text))));
+    let q = parse_query(text).unwrap();
+    c.bench_function("query/cnf+cover", |b| {
+        b.iter(|| {
+            let cnf = q.predicate.to_cnf().unwrap();
+            choose_cover(black_box(&cnf), |_| 10)
+        })
+    });
+}
+
+fn bench_agg_merge(c: &mut Criterion) {
+    let kind = AggKind::TopK(5);
+    let states: Vec<AggState> = (0..64u64)
+        .map(|i| kind.seed(NodeRef(i), &Value::Int((i * 37 % 100) as i64)).unwrap())
+        .collect();
+    c.bench_function("agg/topk_merge_64", |b| {
+        b.iter(|| {
+            states
+                .iter()
+                .cloned()
+                .fold(AggState::Null, |acc, s| kind.merge(acc, s))
+        })
+    });
+}
+
+fn bench_state_machine(c: &mut Criterion) {
+    c.bench_function("state/query_churn_cycle", |b| {
+        b.iter(|| {
+            let mut st = moara_core::state::PredState::new(
+                SimplePredicate::new("A", CmpOp::Eq, true),
+                1,
+                3,
+                2,
+                false,
+            );
+            let me = NodeId(0);
+            for i in 0..50u64 {
+                st.refresh(me, i % 3 == 0, &[]);
+                st.on_query(me, i + 1);
+                let _ = st.status_to_send(me);
+            }
+            st
+        })
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let (mut cluster, _) = build_group_cluster(
+        256,
+        32,
+        MoaraConfig::default(),
+        Constant::from_millis(1),
+        3,
+    );
+    let q = parse_query(COUNT_QUERY).unwrap();
+    let _ = cluster.query_parsed(NodeId(0), q.clone()); // warm trees
+    c.bench_function("e2e/count_query_256n_32g", |b| {
+        b.iter(|| cluster.query_parsed(NodeId(0), q.clone()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_md5, bench_routing, bench_tree_build, bench_parse_and_plan,
+              bench_agg_merge, bench_state_machine, bench_end_to_end
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Figure 9: bandwidth usage (messages per node) under varying
+//! query-to-churn ratios, comparing Moara's dynamic maintenance against
+//! the two static extremes.
+//!
+//! Paper setup: 10 000 nodes, 500 total events, churn bursts of m = 2000
+//! node-toggles, ratios 0:500 … 500:0. Systems: Global (no group trees),
+//! Moara (Always-Update), and Moara with dynamic adaptation.
+//!
+//! Default here is a reduced 2 000-node run (shape-preserving);
+//! `MOARA_SCALE=full` uses the paper's 10 000.
+
+use moara_bench::harness::{build_group_cluster, churn_burst, count_pred, COUNT_QUERY};
+use moara_bench::scaled;
+use moara_core::{Mode, MoaraConfig};
+use moara_simnet::latency::Constant;
+use moara_simnet::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn run_mix(mode: Mode, n: usize, queries: usize, churns: usize, m: usize, seed: u64) -> f64 {
+    let cfg = match mode {
+        Mode::Moara => MoaraConfig::default(),
+        Mode::Global => MoaraConfig::global(),
+        Mode::AlwaysUpdate => MoaraConfig::always_update(),
+    };
+    // Initial group: half the system, as attribute A is binary and churn
+    // toggles keep it near half.
+    let (mut cluster, _) = build_group_cluster(n, n / 2, cfg, Constant::from_millis(1), seed);
+    if mode == Mode::AlwaysUpdate {
+        cluster.register_predicate(&count_pred());
+    }
+    // Random interleaving of query and churn events.
+    let mut events: Vec<bool> = (0..queries)
+        .map(|_| true)
+        .chain((0..churns).map(|_| false))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x99);
+    for i in (1..events.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        events.swap(i, j);
+    }
+    let origin = NodeId(0);
+    for is_query in events {
+        if is_query {
+            let _ = cluster.query(origin, COUNT_QUERY).expect("valid query");
+        } else {
+            churn_burst(&mut cluster, &mut rng, m);
+        }
+    }
+    cluster.stats().total_messages() as f64 / n as f64
+}
+
+fn main() {
+    let n = scaled(2_000, 10_000);
+    let total = scaled(100, 500);
+    let m = n / 5; // paper: 2000 of 10 000
+    println!(
+        "=== Figure 9: msgs/node vs query:churn ratio (n={n}, {total} events, burst m={m}) ==="
+    );
+    println!(
+        "{:>12} {:>10} {:>16} {:>10}",
+        "query:churn", "Global", "Always-Update", "Moara"
+    );
+    let steps = 5usize;
+    for i in 0..=steps {
+        let queries = total * i / steps;
+        let churns = total - queries;
+        let g = run_mix(Mode::Global, n, queries, churns, m, 7);
+        let a = run_mix(Mode::AlwaysUpdate, n, queries, churns, m, 7);
+        let d = run_mix(Mode::Moara, n, queries, churns, m, 7);
+        println!(
+            "{:>5}:{:<6} {g:>10.1} {a:>16.1} {d:>10.1}",
+            queries, churns
+        );
+    }
+    println!(
+        "\nexpected shape (paper): Global cheap at low query rates, Always-Update cheap at\n\
+         high query rates, Moara at or below the better of the two across all ratios."
+    );
+}

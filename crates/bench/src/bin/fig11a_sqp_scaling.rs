@@ -1,0 +1,67 @@
+//! Figure 11(a): query cost vs total system size with and without the
+//! separate query plane.
+//!
+//! Paper setup: group sizes {8, 32, 128}, thresholds {1, 2, 4}, system
+//! sizes up to 16 384 nodes, 1 000 queries, no group churn. threshold = 1
+//! disables the separate query plane (cost grows as O(m log N)); higher
+//! thresholds flatten the cost to O(m), independent of N.
+
+use moara_bench::harness::{build_group_cluster, COUNT_QUERY};
+use moara_bench::{full_scale, scaled};
+use moara_core::MoaraConfig;
+use moara_simnet::latency::Constant;
+use moara_simnet::NodeId;
+
+/// Steady-state per-query message cost (excluding status updates, which
+/// the paper counts separately as update cost). The first queries build
+/// and prune the tree; they amortize to nothing over the paper's 1 000
+/// queries, so we exclude them explicitly here.
+fn query_cost(n: usize, group: usize, threshold: usize, queries: usize) -> f64 {
+    let cfg = MoaraConfig::default().with_threshold(threshold);
+    let (mut cluster, _) = build_group_cluster(n, group, cfg, Constant::from_millis(1), 21);
+    for _ in 0..5 {
+        let _ = cluster.query(NodeId(0), COUNT_QUERY).expect("valid");
+    }
+    cluster.stats_mut().reset();
+    for _ in 0..queries {
+        let _ = cluster.query(NodeId(0), COUNT_QUERY).expect("valid");
+    }
+    let total = cluster.stats().total_messages();
+    let updates = cluster.stats().counter("status_updates");
+    (total - updates) as f64 / queries as f64
+}
+
+fn main() {
+    let max_pow = if full_scale() { 14 } else { 12 };
+    let queries = scaled(30, 100);
+    let groups = [8usize, 32, 128];
+    let thresholds = [1usize, 2, 4];
+    println!("=== Figure 11(a): avg query cost vs system size (queries={queries}) ===");
+    print!("{:>7}", "N");
+    for g in groups {
+        for t in thresholds {
+            print!(" {:>10}", format!("({g},t{t})"));
+        }
+    }
+    println!();
+    let mut pow = 4u32; // N = 16 upward
+    while pow <= max_pow {
+        let n = 1usize << pow;
+        print!("{n:>7}");
+        for g in groups {
+            for t in thresholds {
+                if g >= n {
+                    print!(" {:>10}", "-");
+                    continue;
+                }
+                print!(" {:>10.1}", query_cost(n, g, t, queries));
+            }
+        }
+        println!();
+        pow += 2;
+    }
+    println!(
+        "\nexpected shape (paper): threshold=1 grows ~logarithmically with N;\n\
+         threshold>1 flattens to a constant independent of N (O(group size))."
+    );
+}

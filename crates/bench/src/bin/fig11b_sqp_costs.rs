@@ -1,0 +1,81 @@
+//! Figure 11(b): separate-query-plane query costs and update costs as a
+//! function of group ("subset") size, relative to threshold = 1.
+//!
+//! Paper setup: 8 192 nodes, thresholds {2, 4, 16}, subset sizes 1…8192.
+//! Query cost is shown as a percentage of the threshold-1 query cost;
+//! update cost as a percentage increase over threshold-1.
+
+use moara_bench::harness::{build_group_cluster, COUNT_QUERY};
+use moara_bench::{full_scale, scaled};
+use moara_core::MoaraConfig;
+use moara_simnet::latency::Constant;
+use moara_simnet::NodeId;
+
+struct Costs {
+    query: f64,
+    update: f64,
+}
+
+fn run(n: usize, group: usize, threshold: usize, queries: usize) -> Costs {
+    let cfg = MoaraConfig::default().with_threshold(threshold);
+    let (mut cluster, _) = build_group_cluster(n, group, cfg, Constant::from_millis(1), 33);
+    // Formation phase: the first queries push nodes into UPDATE state and
+    // wire up the query plane; the statuses they trigger are the paper's
+    // "update cost".
+    for _ in 0..5 {
+        let _ = cluster.query(NodeId(0), COUNT_QUERY).expect("valid");
+    }
+    let update = cluster.stats().counter("status_updates") as f64;
+    cluster.stats_mut().reset();
+    // Measurement phase: steady-state query cost.
+    for _ in 0..queries {
+        let _ = cluster.query(NodeId(0), COUNT_QUERY).expect("valid");
+    }
+    let total = cluster.stats().total_messages() as f64;
+    let residual = cluster.stats().counter("status_updates") as f64;
+    Costs {
+        query: (total - residual) / queries as f64,
+        update: update + residual,
+    }
+}
+
+fn main() {
+    let n = if full_scale() { 8_192 } else { 1_024 };
+    let queries = scaled(30, 100);
+    let thresholds = [2usize, 4, 16];
+    let mut subsets = vec![1usize, 8, 32, 128, 512];
+    if full_scale() {
+        subsets.extend([2048, 8192]);
+    } else {
+        subsets.push(1024);
+    }
+    println!("=== Figure 11(b): SQP costs relative to threshold=1 (n={n}, queries={queries}) ===");
+    println!(
+        "{:>8} {:>12} | {:>8} {:>8} {:>8} | {:>9} {:>9} {:>9}",
+        "subset", "qc(t=1)", "qc%t2", "qc%t4", "qc%t16", "uc+%t2", "uc+%t4", "uc+%t16"
+    );
+    for &g in &subsets {
+        let base = run(n, g, 1, queries);
+        print!("{g:>8} {:>12.1} |", base.query);
+        let mut qcs = Vec::new();
+        let mut ucs = Vec::new();
+        for &t in &thresholds {
+            let c = run(n, g, t, queries);
+            qcs.push(100.0 * c.query / base.query.max(1.0));
+            ucs.push(100.0 * (c.update - base.update) / base.update.max(1.0));
+        }
+        for q in qcs {
+            print!(" {q:>8.1}");
+        }
+        print!(" |");
+        for u in ucs {
+            print!(" {u:>9.1}");
+        }
+        println!();
+    }
+    println!(
+        "\nexpected shape (paper): for small groups in a large system the query plane\n\
+         saves >50% of query cost; gains beyond threshold=2 are marginal, while update\n\
+         costs grow with threshold at large group sizes."
+    );
+}

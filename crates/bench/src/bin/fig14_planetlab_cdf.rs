@@ -1,0 +1,42 @@
+//! Figure 14: wide-area (PlanetLab) query-response latency CDF for
+//! different group sizes.
+//!
+//! Paper setup: 200 PlanetLab nodes, groups of {50, 100, 150, 200}, 500
+//! queries injected 5 s apart, no query timeouts. Expected: median answer
+//! within ~1–2 s, 90% within ~5 s, and a long tail caused by straggler
+//! hosts inside the group.
+
+use moara_bench::harness::{build_group_cluster, print_cdf, COUNT_QUERY};
+use moara_bench::scaled;
+use moara_core::MoaraConfig;
+use moara_query::parse_query;
+use moara_simnet::latency::Wan;
+use moara_simnet::NodeId;
+
+fn main() {
+    let n = 200;
+    let queries = scaled(100, 500);
+    // PlanetLab: no child timeouts — wait for complete answers.
+    let mut cfg = MoaraConfig::default();
+    cfg.child_timeout = None;
+    cfg.front_timeout = None;
+    println!("=== Figure 14: PlanetLab response-latency CDF (n={n}, {queries} queries) ===");
+    let query = parse_query(COUNT_QUERY).expect("valid");
+    for group in [50usize, 100, 150, 200] {
+        let (mut cluster, _) =
+            build_group_cluster(n, group, cfg.clone(), Wan::planetlab(n, 123).without_extremes(), 123);
+        // Warm the tree once so the CDF reflects steady-state behaviour.
+        let _ = cluster.query_parsed(NodeId(0), query.clone());
+        let mut lat = Vec::new();
+        for _ in 0..queries {
+            let out = cluster.query_parsed(NodeId(0), query.clone());
+            assert!(out.complete, "no timeouts configured");
+            lat.push(out.latency().as_secs_f64());
+        }
+        print_cdf(&format!("group {group}"), &lat, "s");
+    }
+    println!(
+        "\nexpected shape (paper): medians of 1-2 s, 90th percentile within ~5 s,\n\
+         larger groups slower (more chance of containing a straggler host)."
+    );
+}

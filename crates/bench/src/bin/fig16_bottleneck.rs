@@ -1,0 +1,57 @@
+//! Figure 16: what limits Moara's wide-area latency — the single slowest
+//! ("bottleneck") member of the queried group.
+//!
+//! Paper setup: 200-node PlanetLab group; for each query, plot the total
+//! completion latency alongside the round-trip latency of the slowest
+//! parent-child link in the tree (obtained by offline analysis). The two
+//! track each other: one bottleneck host dominates each query.
+
+use moara_bench::harness::{build_group_cluster, mean, COUNT_QUERY};
+use moara_bench::scaled;
+use moara_core::MoaraConfig;
+use moara_query::parse_query;
+use moara_simnet::latency::Wan;
+use moara_simnet::NodeId;
+
+fn main() {
+    let n = 200;
+    let group = 200; // the paper uses a group spanning all nodes
+    let queries = scaled(60, 220);
+    let wan = Wan::planetlab(n, 555).without_extremes();
+    let mut cfg = MoaraConfig::default();
+    cfg.child_timeout = None;
+    cfg.front_timeout = None;
+    let (mut cluster, members) = build_group_cluster(n, group, cfg, wan.clone(), 555);
+    let query = parse_query(COUNT_QUERY).expect("valid");
+    let _ = cluster.query_parsed(NodeId(0), query.clone()); // warm
+
+    // Offline bottleneck analysis: the slowest member any query must
+    // reach and hear back from (nominal per-node delay + median RTT).
+    let bottleneck = members
+        .iter()
+        .map(|&m| 2.0 * wan.nominal_delay(m).as_secs_f64())
+        .fold(0.0f64, f64::max);
+
+    println!("=== Figure 16: per-query latency vs bottleneck link (n={n}, group={group}) ===");
+    println!("{:>6} {:>14} {:>18}", "query", "latency (s)", "bottleneck rtt (s)");
+    let mut lats = Vec::new();
+    for qid in 0..queries {
+        let out = cluster.query_parsed(NodeId(0), query.clone());
+        let lat = out.latency().as_secs_f64();
+        lats.push(lat);
+        if qid % (queries / 20).max(1) == 0 {
+            println!("{qid:>6} {lat:>14.3} {bottleneck:>18.3}");
+        }
+    }
+    let above = lats.iter().filter(|&&l| l >= bottleneck).count();
+    println!(
+        "\nmean latency {:.3}s; offline bottleneck {:.3}s; {}/{} queries at or above\n\
+         the bottleneck bound — the single slowest group member dominates latency,\n\
+         which is why Moara beats a centralized aggregator that must always wait for\n\
+         the slowest node in the *whole system* (Figure 15).",
+        mean(&lats),
+        bottleneck,
+        above,
+        lats.len()
+    );
+}

@@ -1,0 +1,151 @@
+//! Synthetic workload generators reproducing the paper's trace studies
+//! (Figure 2).
+//!
+//! The originals — a CoTop snapshot of PlanetLab slice assignments and a
+//! six-month HP utility-computing trace — are unavailable, so these
+//! generators reproduce the published *distributions*: a heavy-tailed
+//! slice-size spread where half of ~400 slices have fewer than 10 nodes
+//! (Fig. 2(a)), and bursty batch jobs that acquire and release tens of
+//! machines at a time over a 20-hour window (Fig. 2(b)).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One PlanetLab-style slice: assigned vs actively used node counts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SliceSizes {
+    /// Nodes assigned to the slice.
+    pub assigned: usize,
+    /// Nodes actually running ≥ 1 process of the slice.
+    pub in_use: usize,
+}
+
+/// Generates `count` slice sizes with the Figure 2(a) shape: a Zipf-like
+/// body with a cap at `max_nodes`, sorted descending.
+pub fn slice_distribution(count: usize, max_nodes: usize, seed: u64) -> Vec<SliceSizes> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    for rank in 1..=count {
+        // Zipf-ish: size ∝ max / rank^0.9, floored at 1, with noise.
+        let base = (max_nodes as f64 / (rank as f64).powf(0.67)).max(1.0);
+        let noise = rng.gen_range(0.7..1.3);
+        let assigned = ((base * noise).round() as usize).clamp(1, max_nodes);
+        let in_use = rng.gen_range(0..=assigned);
+        out.push(SliceSizes { assigned, in_use });
+    }
+    out.sort_by(|a, b| b.assigned.cmp(&a.assigned));
+    out
+}
+
+/// Fraction of slices with fewer than `threshold` assigned nodes.
+pub fn fraction_below(slices: &[SliceSizes], threshold: usize) -> f64 {
+    if slices.is_empty() {
+        return 0.0;
+    }
+    slices.iter().filter(|s| s.assigned < threshold).count() as f64 / slices.len() as f64
+}
+
+/// A batch job's machine usage over time (Figure 2(b)): bursty ramp-ups,
+/// plateaus, and cliff releases.
+#[derive(Clone, Debug)]
+pub struct JobTrace {
+    /// Machines in use at each time step (minutes).
+    pub usage: Vec<usize>,
+}
+
+impl JobTrace {
+    /// Peak machine count.
+    pub fn peak(&self) -> usize {
+        self.usage.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Number of steps where usage changed — the group-churn event count
+    /// this job would impose on a monitoring system.
+    pub fn churn_events(&self) -> usize {
+        self.usage.windows(2).filter(|w| w[0] != w[1]).count()
+    }
+}
+
+/// Generates a bursty rendering-job trace over `minutes` steps with the
+/// given machine `cap`.
+pub fn job_trace(minutes: usize, cap: usize, seed: u64) -> JobTrace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut usage = Vec::with_capacity(minutes);
+    let mut current = 0usize;
+    let mut t = 0usize;
+    while t < minutes {
+        let phase = rng.gen_range(0..3);
+        let phase_len = rng.gen_range(20..120).min(minutes - t);
+        match phase {
+            0 => {
+                // ramp up in bursts
+                let target = rng.gen_range(current..=cap.max(current));
+                for i in 0..phase_len {
+                    let step = (target.saturating_sub(current)) / (phase_len - i).max(1);
+                    current = (current + step).min(cap);
+                    usage.push(current);
+                }
+            }
+            1 => {
+                // plateau with jitter
+                for _ in 0..phase_len {
+                    if rng.gen_bool(0.1) && current > 0 {
+                        current -= 1;
+                    } else if rng.gen_bool(0.1) && current < cap {
+                        current += 1;
+                    }
+                    usage.push(current);
+                }
+            }
+            _ => {
+                // cliff release
+                current = if rng.gen_bool(0.5) { 0 } else { current / 2 };
+                for _ in 0..phase_len {
+                    usage.push(current);
+                }
+            }
+        }
+        t += phase_len;
+    }
+    usage.truncate(minutes);
+    JobTrace { usage }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_distribution_matches_paper_shape() {
+        let slices = slice_distribution(400, 350, 1);
+        assert_eq!(slices.len(), 400);
+        // Paper: ~50% of 400 slices have fewer than 10 assigned nodes.
+        let frac = fraction_below(&slices, 10);
+        assert!(
+            (0.3..=0.7).contains(&frac),
+            "fraction below 10 was {frac}, expected around one half"
+        );
+        // Heavy head: the largest slice has hundreds of nodes.
+        assert!(slices[0].assigned >= 100);
+        // In-use never exceeds assigned.
+        assert!(slices.iter().all(|s| s.in_use <= s.assigned));
+        // Sorted descending.
+        assert!(slices.windows(2).all(|w| w[0].assigned >= w[1].assigned));
+    }
+
+    #[test]
+    fn job_trace_is_bursty_and_bounded() {
+        let trace = job_trace(1200, 170, 2);
+        assert_eq!(trace.usage.len(), 1200);
+        assert!(trace.peak() <= 170);
+        assert!(trace.peak() > 0);
+        // Dynamism: plenty of change events over 20 hours.
+        assert!(trace.churn_events() > 50);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(slice_distribution(50, 100, 9), slice_distribution(50, 100, 9));
+        assert_eq!(job_trace(100, 50, 9).usage, job_trace(100, 50, 9).usage);
+    }
+}

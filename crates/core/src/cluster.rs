@@ -1,0 +1,499 @@
+//! The deployment harness: wires Moara nodes, the DHT overlay, and the
+//! simulator together, and gives experiments a synchronous driving API.
+//!
+//! [`Directory`] is the shared overlay view — the stand-in for each node's
+//! FreePastry routing state plus the implicit DHT-tree structure derived
+//! from it (see `moara-dht`). [`Cluster`] owns the simulator and exposes
+//! the operations the paper's experiments perform: set attributes (group
+//! churn), issue queries, fail/add nodes, and read message/latency
+//! statistics.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use moara_dht::{Id, Ring, TreeTopology};
+use moara_query::{parse_query, ParseError, Query, SimplePredicate};
+use moara_simnet::{latency, LatencyModel, NodeId, SimDuration, SimTime, Simulator, Stats};
+
+use crate::config::MoaraConfig;
+use crate::node::{MoaraNode, QueryOutcome};
+
+struct CachedTree {
+    topo: TreeTopology,
+    sizes: HashMap<Id, u64>,
+}
+
+struct DirInner {
+    ring: Ring,
+    id_of: Vec<Id>,
+    node_of: HashMap<Id, NodeId>,
+    trees: HashMap<Id, CachedTree>,
+}
+
+impl DirInner {
+    fn ensure_tree(&mut self, key: Id) -> &CachedTree {
+        self.trees.entry(key).or_insert_with(|| {
+            let topo = TreeTopology::build(&self.ring, key);
+            // Subtree sizes: accumulate bottom-up in depth order.
+            let mut order: Vec<Id> = topo.nodes().collect();
+            order.sort_by_key(|&n| std::cmp::Reverse(topo.depth_of(n).unwrap_or(0)));
+            let mut sizes: HashMap<Id, u64> = HashMap::with_capacity(order.len());
+            for n in order {
+                let children_sum: u64 = topo.children(n).iter().map(|c| sizes[c]).sum();
+                sizes.insert(n, 1 + children_sum);
+            }
+            CachedTree { topo, sizes }
+        })
+    }
+}
+
+/// Shared overlay directory: id mapping, routing decisions, and implicit
+/// aggregation-tree structure, recomputed on membership changes.
+#[derive(Clone)]
+pub struct Directory {
+    inner: Rc<RefCell<DirInner>>,
+}
+
+impl Directory {
+    fn new(ring: Ring, id_of: Vec<Id>) -> Directory {
+        let node_of = id_of
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, NodeId(i as u32)))
+            .collect();
+        Directory {
+            inner: Rc::new(RefCell::new(DirInner {
+                ring,
+                id_of,
+                node_of,
+                trees: HashMap::new(),
+            })),
+        }
+    }
+
+    /// The ring id of a simulated node.
+    pub fn id_of(&self, node: NodeId) -> Id {
+        self.inner.borrow().id_of[node.index()]
+    }
+
+    /// Current overlay membership size (alive nodes).
+    pub fn ring_size(&self) -> usize {
+        self.inner.borrow().ring.len()
+    }
+
+    /// The node owning `key` (the root of `key`'s tree).
+    pub fn owner_node(&self, key: Id) -> NodeId {
+        let inner = self.inner.borrow();
+        inner.node_of[&inner.ring.owner(key)]
+    }
+
+    /// The next overlay hop from `me` toward `key` (`None` = `me` is the
+    /// root).
+    pub fn next_hop_node(&self, me: NodeId, key: Id) -> Option<NodeId> {
+        let inner = self.inner.borrow();
+        let my_id = inner.id_of[me.index()];
+        inner
+            .ring
+            .next_hop(my_id, key)
+            .map(|id| inner.node_of[&id])
+    }
+
+    /// `me`'s children in the tree for `key`.
+    pub fn children_of(&self, key: Id, me: NodeId) -> Vec<NodeId> {
+        let mut inner = self.inner.borrow_mut();
+        let my_id = inner.id_of[me.index()];
+        let tree = inner.ensure_tree(key);
+        let kids: Vec<Id> = tree.topo.children(my_id).to_vec();
+        kids.iter().map(|c| inner.node_of[c]).collect()
+    }
+
+    /// `me`'s parent in the tree for `key` (`None` for the root).
+    pub fn parent_of(&self, key: Id, me: NodeId) -> Option<NodeId> {
+        let mut inner = self.inner.borrow_mut();
+        let my_id = inner.id_of[me.index()];
+        let parent = inner.ensure_tree(key).topo.parent(my_id);
+        parent.map(|p| inner.node_of[&p])
+    }
+
+    /// Size of `node`'s subtree in the tree for `key` (including itself).
+    pub fn subtree_size(&self, key: Id, node: NodeId) -> u64 {
+        let mut inner = self.inner.borrow_mut();
+        let id = inner.id_of[node.index()];
+        inner.ensure_tree(key).sizes.get(&id).copied().unwrap_or(0)
+    }
+
+    fn add_member(&self, id: Id, node: NodeId) {
+        let mut inner = self.inner.borrow_mut();
+        inner.ring.add(id);
+        debug_assert_eq!(inner.id_of.len(), node.index());
+        inner.id_of.push(id);
+        inner.node_of.insert(id, node);
+        inner.trees.clear();
+    }
+
+    fn remove_member(&self, node: NodeId) {
+        let mut inner = self.inner.borrow_mut();
+        let id = inner.id_of[node.index()];
+        inner.ring.remove(id);
+        inner.node_of.remove(&id);
+        inner.trees.clear();
+    }
+}
+
+/// Builder for a simulated Moara deployment.
+pub struct ClusterBuilder {
+    n: usize,
+    cfg: MoaraConfig,
+    seed: u64,
+    latency: Box<dyn LatencyModel>,
+}
+
+impl ClusterBuilder {
+    /// Number of nodes to start with.
+    pub fn nodes(mut self, n: usize) -> ClusterBuilder {
+        self.n = n;
+        self
+    }
+
+    /// Engine configuration.
+    pub fn config(mut self, cfg: MoaraConfig) -> ClusterBuilder {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Deterministic seed for ids, latencies, and workload randomness.
+    pub fn seed(mut self, seed: u64) -> ClusterBuilder {
+        self.seed = seed;
+        self
+    }
+
+    /// Link-latency model (defaults to the Emulab-like LAN).
+    pub fn latency(mut self, model: impl LatencyModel + 'static) -> ClusterBuilder {
+        self.latency = Box::new(model);
+        self
+    }
+
+    /// Builds the cluster, creating all nodes and the overlay.
+    pub fn build(self) -> Cluster {
+        assert!(self.n > 0, "cluster needs at least one node");
+        let ring = Ring::with_random_ids(self.n, self.cfg.bits_per_digit, self.seed);
+        let id_of: Vec<Id> = ring.ids().to_vec();
+        // Shuffle id assignment so NodeId order is independent of ring
+        // order (deterministic in the seed).
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xc0ffee);
+        let mut id_of = id_of;
+        for i in (1..id_of.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            id_of.swap(i, j);
+        }
+        let dir = Directory::new(ring, id_of);
+        let mut sim = Simulator::new(self.latency, self.seed.wrapping_add(1));
+        for _ in 0..self.n {
+            sim.add_node(MoaraNode::new(dir.clone(), self.cfg.clone()));
+        }
+        Cluster {
+            sim,
+            dir,
+            cfg: self.cfg,
+            rng,
+        }
+    }
+}
+
+/// A running Moara deployment under simulation.
+pub struct Cluster {
+    sim: Simulator<MoaraNode>,
+    dir: Directory,
+    cfg: MoaraConfig,
+    rng: StdRng,
+}
+
+impl Cluster {
+    /// Starts building a cluster.
+    pub fn builder() -> ClusterBuilder {
+        ClusterBuilder {
+            n: 1,
+            cfg: MoaraConfig::default(),
+            seed: 42,
+            latency: Box::new(latency::Constant::from_millis(1)),
+        }
+    }
+
+    /// Number of nodes ever created (including failed).
+    pub fn len(&self) -> usize {
+        self.sim.len()
+    }
+
+    /// True if the cluster has no nodes (never: the builder requires one).
+    pub fn is_empty(&self) -> bool {
+        self.sim.is_empty()
+    }
+
+    /// All node ids ever created.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        (0..self.sim.len() as u32).map(NodeId).collect()
+    }
+
+    /// Whether a node is currently alive.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.sim.is_alive(node)
+    }
+
+    /// The shared overlay directory.
+    pub fn directory(&self) -> &Directory {
+        &self.dir
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &MoaraConfig {
+        &self.cfg
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Message statistics.
+    pub fn stats(&self) -> &Stats {
+        self.sim.stats()
+    }
+
+    /// Mutable statistics (reset between experiment phases).
+    pub fn stats_mut(&mut self) -> &mut Stats {
+        self.sim.stats_mut()
+    }
+
+    /// Direct read access to a node (assertions/inspection).
+    pub fn node(&self, node: NodeId) -> &MoaraNode {
+        self.sim.node(node)
+    }
+
+    /// Sets an attribute at a node and lets the protocol react (a "group
+    /// churn" event when the change flips predicate satisfaction).
+    pub fn set_attr(
+        &mut self,
+        node: NodeId,
+        attr: &str,
+        value: impl Into<moara_attributes::Value>,
+    ) {
+        if !self.sim.is_alive(node) {
+            return;
+        }
+        let value = value.into();
+        self.sim.with_node(node, |n, ctx| {
+            n.store.set(attr, value);
+            n.on_local_change(ctx, attr);
+        });
+    }
+
+    /// Removes an attribute at a node.
+    pub fn remove_attr(&mut self, node: NodeId, attr: &str) {
+        if !self.sim.is_alive(node) {
+            return;
+        }
+        self.sim.with_node(node, |n, ctx| {
+            n.store.remove(attr);
+            n.on_local_change(ctx, attr);
+        });
+    }
+
+    /// Submits a query asynchronously from `origin`'s front-end. Drive the
+    /// simulation ([`Cluster::run_for`]) and collect the result with
+    /// [`Cluster::take_outcome`].
+    pub fn submit(&mut self, origin: NodeId, query: Query) -> u64 {
+        self.sim.with_node(origin, |n, ctx| n.submit(ctx, query))
+    }
+
+    /// Takes the outcome of an asynchronous query if it has completed.
+    pub fn take_outcome(&mut self, origin: NodeId, front_id: u64) -> Option<QueryOutcome> {
+        self.sim.node_mut(origin).take_outcome(front_id)
+    }
+
+    /// Runs a parsed query synchronously: submits it, drives the
+    /// simulation to quiescence, and returns the outcome with the
+    /// system-wide message count it caused.
+    pub fn query_parsed(&mut self, origin: NodeId, query: Query) -> QueryOutcome {
+        let before = self.sim.stats().message_snapshot();
+        let fid = self.submit(origin, query);
+        self.sim.run_to_quiescence();
+        let mut outcome = self
+            .take_outcome(origin, fid)
+            .expect("query completes under quiescence (front timeout bounds it)");
+        outcome.messages = self.sim.stats().message_snapshot() - before;
+        outcome
+    }
+
+    /// Parses and runs a query synchronously (either syntax of
+    /// [`parse_query`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error for malformed query text.
+    pub fn query(&mut self, origin: NodeId, text: &str) -> Result<QueryOutcome, ParseError> {
+        Ok(self.query_parsed(origin, parse_query(text)?))
+    }
+
+    /// Advances virtual time by `d`, processing due events.
+    pub fn run_for(&mut self, d: SimDuration) {
+        self.sim.run_for(d);
+    }
+
+    /// Processes all outstanding events.
+    pub fn run_to_quiescence(&mut self) {
+        self.sim.run_to_quiescence();
+    }
+
+    /// Fails a node: the overlay repairs itself and ongoing aggregations
+    /// treat it as a NULL reply (Section 7's reconfiguration handling).
+    pub fn fail_node(&mut self, node: NodeId) {
+        if !self.sim.is_alive(node) {
+            return;
+        }
+        self.sim.fail_node(node);
+        self.dir.remove_member(node);
+        let ids = self.node_ids();
+        for n in ids {
+            if !self.sim.is_alive(n) {
+                continue;
+            }
+            self.sim.with_node(n, |nn, ctx| {
+                nn.on_peer_failed(ctx, node);
+                nn.reconcile(ctx);
+            });
+        }
+    }
+
+    /// Adds a fresh node with the given initial attributes; the overlay
+    /// integrates it and existing state re-homes to new parents.
+    pub fn add_node(
+        &mut self,
+        attrs: impl IntoIterator<Item = (String, moara_attributes::Value)>,
+    ) -> NodeId {
+        let mut id = Id(self.rng.gen());
+        while self.dir.inner.borrow().node_of.contains_key(&id) {
+            id = Id(self.rng.gen());
+        }
+        let node = NodeId(self.sim.len() as u32);
+        self.dir.add_member(id, node);
+        let mut moara = MoaraNode::new(self.dir.clone(), self.cfg.clone());
+        for (a, v) in attrs {
+            moara.store.set(a.as_str(), v);
+        }
+        let created = self.sim.add_node(moara);
+        debug_assert_eq!(created, node);
+        for n in self.node_ids() {
+            if !self.sim.is_alive(n) {
+                continue;
+            }
+            self.sim.with_node(n, |nn, ctx| nn.reconcile(ctx));
+        }
+        node
+    }
+
+    /// Pre-installs tree state for `pred` at every node and flushes the
+    /// resulting status cascade (used by the Always-Update baseline so the
+    /// measurement phase starts from a fully built tree). Resets message
+    /// statistics afterwards.
+    pub fn register_predicate(&mut self, pred: &SimplePredicate) {
+        for n in self.node_ids() {
+            if !self.sim.is_alive(n) {
+                continue;
+            }
+            self.sim
+                .node_mut(n)
+                .install_state(n, pred);
+        }
+        for n in self.node_ids() {
+            if !self.sim.is_alive(n) {
+                continue;
+            }
+            self.sim.with_node(n, |nn, ctx| nn.reconcile(ctx));
+        }
+        self.sim.run_to_quiescence();
+        self.sim.stats_mut().reset();
+    }
+
+    /// Ground truth: the alive nodes currently satisfying `pred`
+    /// (evaluated directly against the stores, bypassing the protocol).
+    pub fn group_members(&self, pred: &SimplePredicate) -> Vec<NodeId> {
+        self.node_ids()
+            .into_iter()
+            .filter(|&n| self.sim.is_alive(n) && pred.eval(&self.sim.node(n).store))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moara_aggregation::AggResult;
+    use moara_attributes::Value;
+
+    fn small_cluster(n: usize) -> Cluster {
+        Cluster::builder().nodes(n).seed(7).build()
+    }
+
+    #[test]
+    fn count_over_flagged_group() {
+        let mut c = small_cluster(16);
+        for i in 0..16u32 {
+            c.set_attr(NodeId(i), "ServiceX", i % 4 == 0);
+        }
+        c.run_to_quiescence();
+        c.stats_mut().reset();
+        let out = c
+            .query(NodeId(3), "SELECT count(*) WHERE ServiceX = true")
+            .unwrap();
+        assert!(out.complete);
+        assert_eq!(out.result, AggResult::Value(Value::Int(4)));
+        assert!(out.messages > 0);
+    }
+
+    #[test]
+    fn repeated_queries_prune_the_tree() {
+        let mut c = small_cluster(32);
+        for i in 0..32u32 {
+            c.set_attr(NodeId(i), "A", i < 4);
+        }
+        let q = "SELECT count(*) WHERE A = true";
+        let first = c.query(NodeId(0), q).unwrap();
+        // Run a few queries to let pruning converge.
+        for _ in 0..3 {
+            c.query(NodeId(0), q).unwrap();
+        }
+        let later = c.query(NodeId(0), q).unwrap();
+        assert_eq!(later.result, AggResult::Value(Value::Int(4)));
+        assert!(
+            later.messages < first.messages,
+            "pruning should shrink query cost: first={} later={}",
+            first.messages,
+            later.messages
+        );
+    }
+
+    #[test]
+    fn group_membership_ground_truth_matches_query() {
+        let mut c = small_cluster(24);
+        for i in 0..24u32 {
+            c.set_attr(NodeId(i), "CPU-Util", (i * 5) as i64);
+        }
+        let out = c
+            .query(NodeId(1), "SELECT count(*) WHERE CPU-Util < 50")
+            .unwrap();
+        let pred = SimplePredicate::new("CPU-Util", moara_query::CmpOp::Lt, 50i64);
+        let truth = c.group_members(&pred).len() as i64;
+        assert_eq!(out.result, AggResult::Value(Value::Int(truth)));
+    }
+
+    #[test]
+    fn global_query_counts_everyone() {
+        let mut c = small_cluster(10);
+        let out = c.query(NodeId(0), "SELECT count(*)").unwrap();
+        assert_eq!(out.result, AggResult::Value(Value::Int(10)));
+    }
+}

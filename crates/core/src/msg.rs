@@ -1,0 +1,167 @@
+//! Moara's wire messages.
+
+use moara_aggregation::AggState;
+use moara_dht::Id;
+use moara_query::Query;
+use moara_simnet::{Message, NodeId};
+
+/// Identifies one end-to-end query issued by a front-end: (origin node,
+/// per-origin counter). Used for duplicate answer suppression when a node
+/// sits in several trees of the same cover (paper Section 6.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId {
+    /// The front-end node that issued the query.
+    pub origin: NodeId,
+    /// Its per-origin sequence number.
+    pub n: u64,
+}
+
+/// Canonical key of a simple predicate ("CPU-Util<50"), or `*` for the
+/// global (whole-system) tree, which keeps no pruning state.
+pub type PredKey = String;
+
+/// The predicate key designating the global tree.
+pub const GLOBAL_PRED: &str = "*";
+
+/// A wire message of the Moara protocol.
+#[derive(Clone, Debug)]
+pub enum MoaraMsg {
+    /// Overlay routing envelope: forwarded hop-by-hop toward the owner of
+    /// `key`, which then handles `inner`. This is how sub-queries and size
+    /// probes reach tree roots.
+    Route {
+        /// Routing destination key (hashed group attribute).
+        key: Id,
+        /// The payload delivered at the root.
+        inner: Box<MoaraMsg>,
+    },
+    /// A query traveling down an aggregation tree (or across the separate
+    /// query plane).
+    QueryDown {
+        /// End-to-end query id (for duplicate suppression).
+        qid: QueryId,
+        /// Root-assigned per-tree sequence number (0 until root assigns).
+        seq: u64,
+        /// Which tree this sub-query runs on.
+        pred_key: PredKey,
+        /// The tree's routing key.
+        tree: Id,
+        /// The full query (nodes evaluate the *entire* composite
+        /// predicate, per Section 7.2).
+        query: Query,
+        /// Where the receiver should send its aggregated reply.
+        reply_to: NodeId,
+    },
+    /// A (partial) aggregate flowing back up.
+    QueryReply {
+        /// Matching query id.
+        qid: QueryId,
+        /// Matching tree.
+        pred_key: PredKey,
+        /// Merged partial aggregate of the replier's region.
+        state: AggState,
+        /// The replier's current NO-PRUNE subtree count (lazy cost info,
+        /// piggybacked per Section 6.3).
+        np: u64,
+        /// False if some branch timed out or failed below the replier.
+        complete: bool,
+    },
+    /// PRUNE / NO-PRUNE status update to a tree parent (Sections 4 and 5).
+    Status {
+        /// Which predicate tree this concerns.
+        pred_key: PredKey,
+        /// The predicate definition (a new parent may not know it yet).
+        pred: moara_query::SimplePredicate,
+        /// True = PRUNE (empty `update_set`), false = NO-PRUNE.
+        prune: bool,
+        /// The sender's updateSet (separate query plane, Section 5).
+        update_set: Vec<NodeId>,
+        /// The sender's NO-PRUNE subtree count (lazy cost aggregation).
+        np: u64,
+        /// The sender's last-seen query sequence number (lets bypassed
+        /// ancestors account missed queries, Section 5).
+        last_seq: u64,
+    },
+    /// Front-end request for a tree's current query-cost estimate.
+    SizeProbe {
+        /// Predicate tree being probed.
+        pred_key: PredKey,
+        /// Who to answer.
+        reply_to: NodeId,
+    },
+    /// Root's answer to a [`MoaraMsg::SizeProbe`].
+    SizeReply {
+        /// Probed predicate tree.
+        pred_key: PredKey,
+        /// Estimated messages to query this tree once (`2 × np`).
+        cost: u64,
+    },
+}
+
+impl Message for MoaraMsg {
+    fn size_bytes(&self) -> usize {
+        const HDR: usize = 28; // ids, type tag, transport framing
+        match self {
+            MoaraMsg::Route { inner, .. } => 12 + inner.size_bytes(),
+            MoaraMsg::QueryDown { pred_key, query, .. } => {
+                HDR + pred_key.len() + 24 + query.to_string().len()
+            }
+            MoaraMsg::QueryReply { pred_key, state, .. } => {
+                HDR + pred_key.len() + state.wire_size() + 9
+            }
+            MoaraMsg::Status {
+                pred_key,
+                update_set,
+                ..
+            } => HDR + 2 * pred_key.len() + update_set.len() * 6 + 17,
+            MoaraMsg::SizeProbe { pred_key, .. } => HDR + pred_key.len(),
+            MoaraMsg::SizeReply { pred_key, .. } => HDR + pred_key.len() + 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moara_aggregation::AggKind;
+    use moara_query::Predicate;
+
+    #[test]
+    fn sizes_scale_with_payload() {
+        let q = Query::new(None, AggKind::Count, Predicate::All);
+        let down = MoaraMsg::QueryDown {
+            qid: QueryId {
+                origin: NodeId(0),
+                n: 1,
+            },
+            seq: 0,
+            pred_key: "A=true".into(),
+            tree: Id(0),
+            query: q,
+            reply_to: NodeId(0),
+        };
+        let routed = MoaraMsg::Route {
+            key: Id(1),
+            inner: Box::new(down.clone()),
+        };
+        assert!(routed.size_bytes() > down.size_bytes());
+
+        let small = MoaraMsg::Status {
+            pred_key: "A=true".into(),
+            pred: moara_query::SimplePredicate::new("A", moara_query::CmpOp::Eq, true),
+            prune: true,
+            update_set: vec![],
+            np: 0,
+            last_seq: 0,
+        };
+        let big = MoaraMsg::Status {
+            pred_key: "A=true".into(),
+            pred: moara_query::SimplePredicate::new("A", moara_query::CmpOp::Eq, true),
+            prune: false,
+            update_set: (0..10).map(NodeId).collect(),
+            np: 10,
+            last_seq: 0,
+        };
+        assert!(big.size_bytes() > small.size_bytes());
+    }
+}

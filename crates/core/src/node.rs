@@ -1,0 +1,930 @@
+//! The Moara node: protocol message handling, aggregation sessions, and
+//! the client front-end (query planner/driver).
+//!
+//! One `MoaraNode` plays every role the paper describes, depending on
+//! where a message finds it: *agent* (holds the attribute store), *tree
+//! node* (forwards queries, aggregates replies, maintains per-predicate
+//! prune state), *tree root* (assigns query sequence numbers, answers size
+//! probes), and *front-end* (parses nothing itself — it receives a parsed
+//! [`Query`] — but plans covers, fires size probes, fans out sub-queries,
+//! and merges the final answer).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use moara_aggregation::{AggKind, AggResult, AggState, NodeRef};
+use moara_attributes::{AttrStore, Value};
+use moara_dht::Id;
+use moara_query::{choose_cover, Cover, Query, SimplePredicate};
+use moara_simnet::{Context, NodeId, Protocol, SimTime, TimerId, TimerTag};
+
+use crate::cluster::Directory;
+use crate::config::{GcPolicy, Mode, MoaraConfig};
+use crate::msg::{MoaraMsg, PredKey, QueryId, GLOBAL_PRED};
+use crate::state::{ChildInfo, PredState};
+
+/// The final result of a front-end query.
+#[derive(Clone, Debug)]
+pub struct QueryOutcome {
+    /// The merged aggregate.
+    pub result: AggResult,
+    /// False if any branch timed out, failed, or a probe went unanswered.
+    pub complete: bool,
+    /// When the front-end accepted the query.
+    pub issued_at: SimTime,
+    /// When the last sub-query reply arrived.
+    pub completed_at: SimTime,
+    /// Messages the whole system sent between issue and completion
+    /// (filled in by the cluster harness; 0 when queries overlap).
+    pub messages: u64,
+}
+
+impl QueryOutcome {
+    /// End-to-end latency of the query.
+    pub fn latency(&self) -> moara_simnet::SimDuration {
+        self.completed_at.duration_since(self.issued_at)
+    }
+}
+
+/// An in-flight aggregation at one tree node.
+struct Session {
+    reply_to: NodeId,
+    pending: HashSet<NodeId>,
+    acc: AggState,
+    kind: AggKind,
+    complete: bool,
+    timer: Option<TimerId>,
+    tree: Id,
+    done: bool,
+}
+
+enum FrontPhase {
+    /// Waiting for size-probe replies.
+    Probing,
+    /// Waiting for sub-query replies.
+    Waiting,
+}
+
+/// An in-flight query at the front-end (originating node).
+struct FrontQuery {
+    qid: QueryId,
+    query: Arc<Query>,
+    cnf: Option<moara_query::Cnf>,
+    phase: FrontPhase,
+    probes_pending: HashSet<PredKey>,
+    costs: HashMap<PredKey, u64>,
+    sub_pending: HashSet<PredKey>,
+    acc: AggState,
+    complete: bool,
+    issued_at: SimTime,
+    timer: Option<TimerId>,
+}
+
+enum TimerEvent {
+    SessionTimeout(QueryId, PredKey),
+    ProbeTimeout(u64),
+    FrontTimeout(u64),
+}
+
+/// A Moara agent/protocol instance hosted on one simulated machine.
+pub struct MoaraNode {
+    dir: Directory,
+    cfg: MoaraConfig,
+    /// The node's local `(attribute, value)` store.
+    pub store: AttrStore,
+    states: HashMap<PredKey, PredState>,
+    /// Last time each predicate's state was touched (for GC policies).
+    activity: HashMap<PredKey, SimTime>,
+    sessions: HashMap<(QueryId, PredKey), Session>,
+    contributed: HashMap<QueryId, SimTime>,
+    fronts: HashMap<u64, FrontQuery>,
+    completed: HashMap<u64, QueryOutcome>,
+    timers: HashMap<TimerTag, TimerEvent>,
+    next_front: u64,
+    next_q: u64,
+    next_tag: u64,
+}
+
+impl MoaraNode {
+    /// Creates a node bound to the shared overlay directory.
+    pub fn new(dir: Directory, cfg: MoaraConfig) -> MoaraNode {
+        MoaraNode {
+            dir,
+            cfg,
+            store: AttrStore::new(),
+            states: HashMap::new(),
+            activity: HashMap::new(),
+            sessions: HashMap::new(),
+            contributed: HashMap::new(),
+            fronts: HashMap::new(),
+            completed: HashMap::new(),
+            timers: HashMap::new(),
+            next_front: 0,
+            next_q: 0,
+            next_tag: 0,
+        }
+    }
+
+    /// Read access to the per-predicate protocol state (tests/inspection).
+    pub fn pred_state(&self, pred_key: &str) -> Option<&PredState> {
+        self.states.get(pred_key)
+    }
+
+    /// Number of predicate trees this node currently tracks.
+    pub fn tracked_predicates(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Takes a finished query outcome, if ready.
+    pub fn take_outcome(&mut self, front_id: u64) -> Option<QueryOutcome> {
+        self.completed.remove(&front_id)
+    }
+
+    /// Peeks at a finished query outcome.
+    pub fn outcome(&self, front_id: u64) -> Option<&QueryOutcome> {
+        self.completed.get(&front_id)
+    }
+
+    /// Applies the configured garbage-collection policy: NO-UPDATE states
+    /// are safe to discard (the parent's default already forwards queries
+    /// to this node), so eviction never affects completeness.
+    fn maybe_gc(&mut self, now: SimTime) {
+        let evictable = |states: &HashMap<PredKey, PredState>, key: &str| {
+            states.get(key).is_some_and(|st| !st.update)
+        };
+        match self.cfg.gc {
+            GcPolicy::Never => {}
+            GcPolicy::IdleTimeout(ttl) => {
+                let stale: Vec<PredKey> = self
+                    .activity
+                    .iter()
+                    .filter(|(k, t)| {
+                        now.duration_since(**t) >= ttl && evictable(&self.states, k)
+                    })
+                    .map(|(k, _)| k.clone())
+                    .collect();
+                for k in stale {
+                    self.states.remove(&k);
+                    self.activity.remove(&k);
+                }
+            }
+            GcPolicy::KeepMostRecent(cap) => {
+                if self.states.len() <= cap {
+                    return;
+                }
+                let mut by_age: Vec<(SimTime, PredKey)> = self
+                    .activity
+                    .iter()
+                    .filter(|(k, _)| evictable(&self.states, k))
+                    .map(|(k, t)| (*t, k.clone()))
+                    .collect();
+                by_age.sort();
+                let excess = self.states.len().saturating_sub(cap);
+                for (_, k) in by_age.into_iter().take(excess) {
+                    self.states.remove(&k);
+                    self.activity.remove(&k);
+                }
+            }
+        }
+    }
+
+    fn touch(&mut self, pred_key: &str, now: SimTime) {
+        self.activity.insert(pred_key.to_owned(), now);
+    }
+
+    fn tree_key_for(pred: &SimplePredicate) -> Id {
+        Id::of_attribute(pred.attr.as_str())
+    }
+
+    fn alloc_timer(&mut self, ev: TimerEvent) -> TimerTag {
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        self.timers.insert(tag, ev);
+        tag
+    }
+
+    // ----- front-end ---------------------------------------------------
+
+    /// Accepts a query at this node's front-end; returns a handle for
+    /// [`MoaraNode::take_outcome`]. Planning follows Section 6: CNF →
+    /// structural covers → (optional) size probes → min-cost cover →
+    /// parallel sub-queries with duplicate suppression.
+    pub fn submit(&mut self, ctx: &mut Context<'_, MoaraMsg>, query: Query) -> u64 {
+        let front_id = self.next_front;
+        self.next_front += 1;
+        let qid = QueryId {
+            origin: ctx.me(),
+            n: self.next_q,
+        };
+        self.next_q += 1;
+        let query = Arc::new(query);
+
+        let cnf = if self.cfg.mode == Mode::Global {
+            None
+        } else {
+            query.predicate.to_cnf().ok()
+        };
+        let kind = query.agg;
+        let mut front = FrontQuery {
+            qid,
+            query: query.clone(),
+            cnf,
+            phase: FrontPhase::Waiting,
+            probes_pending: HashSet::new(),
+            costs: HashMap::new(),
+            sub_pending: HashSet::new(),
+            acc: kind.identity(),
+            complete: true,
+            issued_at: ctx.now(),
+            timer: None,
+        };
+
+        // Unsatisfiable predicates are detected structurally (Figure 7's
+        // disjointness rules) and answered locally — before any probes.
+        if let Some(cnf) = &front.cnf {
+            if choose_cover(cnf, |_| 1) == Cover::Empty {
+                self.fronts.insert(front_id, front);
+                self.finish_front(ctx, front_id);
+                return front_id;
+            }
+        }
+
+        let needs_probes = match &front.cnf {
+            None => false, // Global mode or CNF blow-up: go global
+            Some(cnf) => {
+                !cnf.is_all()
+                    && self.cfg.use_size_probes
+                    && !(cnf.clauses.len() == 1 && cnf.clauses[0].atoms.len() == 1)
+            }
+        };
+
+        if needs_probes {
+            front.phase = FrontPhase::Probing;
+            let cnf = front.cnf.clone().expect("probing implies CNF");
+            let mut seen = HashSet::new();
+            for clause in &cnf.clauses {
+                for atom in &clause.atoms {
+                    let key = atom.key();
+                    if seen.insert(key.clone()) {
+                        front.probes_pending.insert(key.clone());
+                        self.route(
+                            ctx,
+                            Self::tree_key_for(atom),
+                            MoaraMsg::SizeProbe {
+                                pred_key: key,
+                                reply_to: ctx.me(),
+                            },
+                        );
+                        ctx.count("size_probes");
+                    }
+                }
+            }
+            let tag = self.alloc_timer(TimerEvent::ProbeTimeout(front_id));
+            front.timer = Some(ctx.set_timer(self.cfg.probe_timeout, tag));
+            self.fronts.insert(front_id, front);
+        } else {
+            self.fronts.insert(front_id, front);
+            self.dispatch_front(ctx, front_id);
+        }
+        front_id
+    }
+
+    /// Chooses the cover and fans sub-queries out to tree roots.
+    fn dispatch_front(&mut self, ctx: &mut Context<'_, MoaraMsg>, front_id: u64) {
+        let front = self.fronts.get_mut(&front_id).expect("front exists");
+        front.phase = FrontPhase::Waiting;
+        if let Some(t) = front.timer.take() {
+            ctx.cancel_timer(t);
+        }
+        let n2 = (self.dir.ring_size() as u64).saturating_mul(2);
+        let cover = match &front.cnf {
+            None => Cover::All,
+            Some(cnf) => {
+                if self.cfg.use_size_probes {
+                    let costs = &front.costs;
+                    choose_cover(cnf, |atom| {
+                        costs.get(&atom.key()).copied().unwrap_or(n2)
+                    })
+                } else {
+                    choose_cover(cnf, |_| 1)
+                }
+            }
+        };
+        let qid = front.qid;
+        let query = front.query.clone();
+        let me = ctx.me();
+
+        let subs: Vec<(PredKey, Id)> = match cover {
+            Cover::Empty => Vec::new(),
+            Cover::All => {
+                let attr = query
+                    .attr
+                    .as_ref()
+                    .map(|a| a.as_str().to_owned())
+                    .unwrap_or_else(|| GLOBAL_PRED.to_owned());
+                vec![(GLOBAL_PRED.to_owned(), Id::of_attribute(&attr))]
+            }
+            Cover::Groups(groups) => groups
+                .iter()
+                .map(|g| (g.key(), Self::tree_key_for(g)))
+                .collect(),
+        };
+
+        if subs.is_empty() {
+            self.finish_front(ctx, front_id);
+            return;
+        }
+        let front = self.fronts.get_mut(&front_id).expect("front exists");
+        for (pred_key, _) in &subs {
+            front.sub_pending.insert(pred_key.clone());
+        }
+        if let Some(d) = self.cfg.front_timeout {
+            let tag = self.alloc_timer(TimerEvent::FrontTimeout(front_id));
+            let t = ctx.set_timer(d, tag);
+            self.fronts.get_mut(&front_id).expect("front").timer = Some(t);
+        }
+        for (pred_key, tree) in subs {
+            self.route(
+                ctx,
+                tree,
+                MoaraMsg::QueryDown {
+                    qid,
+                    seq: 0,
+                    pred_key,
+                    tree,
+                    query: (*query).clone(),
+                    reply_to: me,
+                },
+            );
+        }
+    }
+
+    fn finish_front(&mut self, ctx: &mut Context<'_, MoaraMsg>, front_id: u64) {
+        let Some(front) = self.fronts.remove(&front_id) else {
+            return;
+        };
+        if let Some(t) = front.timer {
+            ctx.cancel_timer(t);
+        }
+        let outcome = QueryOutcome {
+            result: front.query.agg.finalize(front.acc),
+            complete: front.complete && front.sub_pending.is_empty(),
+            issued_at: front.issued_at,
+            completed_at: ctx.now(),
+            messages: 0,
+        };
+        self.completed.insert(front_id, outcome);
+    }
+
+    // ----- routing ------------------------------------------------------
+
+    fn route(&mut self, ctx: &mut Context<'_, MoaraMsg>, key: Id, inner: MoaraMsg) {
+        match self.dir.next_hop_node(ctx.me(), key) {
+            Some(next) => ctx.send(
+                next,
+                MoaraMsg::Route {
+                    key,
+                    inner: Box::new(inner),
+                },
+            ),
+            None => self.handle_at_root(ctx, key, inner),
+        }
+    }
+
+    fn handle_at_root(&mut self, ctx: &mut Context<'_, MoaraMsg>, _key: Id, inner: MoaraMsg) {
+        match inner {
+            MoaraMsg::QueryDown {
+                qid,
+                pred_key,
+                tree,
+                query,
+                reply_to,
+                ..
+            } => {
+                // The root stamps the per-tree sequence number (Section 4).
+                let seq = if pred_key == GLOBAL_PRED {
+                    0
+                } else {
+                    if let Some(atom) = find_atom(&query, &pred_key) {
+                        self.ensure_state(ctx.me(), &atom);
+                    }
+                    match self.states.get_mut(&pred_key) {
+                        Some(st) => {
+                            st.seq_counter += 1;
+                            st.seq_counter
+                        }
+                        None => 0,
+                    }
+                };
+                self.handle_query_down(ctx, qid, seq, pred_key, tree, query, reply_to);
+            }
+            MoaraMsg::SizeProbe { pred_key, reply_to } => {
+                let cost = self.estimated_query_cost(ctx.me(), &pred_key);
+                ctx.send(
+                    reply_to,
+                    MoaraMsg::SizeReply { pred_key, cost },
+                );
+            }
+            other => {
+                debug_assert!(false, "unexpected routed payload {other:?}");
+            }
+        }
+    }
+
+    /// The root's query-cost estimate: `2 × np`, or twice the system size
+    /// when the tree has no state yet (a cold tree broadcasts).
+    fn estimated_query_cost(&self, me: NodeId, pred_key: &str) -> u64 {
+        match self.states.get(pred_key) {
+            Some(st) => {
+                let tree = Self::tree_key_for(&st.pred);
+                let children = self.dir.children_of(tree, me);
+                let dir = &self.dir;
+                2 * st.np(me, &children, |c| dir.subtree_size(tree, c))
+            }
+            None => (self.dir.ring_size() as u64).saturating_mul(2),
+        }
+    }
+
+    // ----- predicate state ----------------------------------------------
+
+    fn ensure_state(&mut self, me: NodeId, pred: &SimplePredicate) -> &mut PredState {
+        let key = pred.key();
+        let cfg = &self.cfg;
+        let dir = &self.dir;
+        let store = &self.store;
+        let _ = store;
+        self.states.entry(key).or_insert_with(|| {
+            // Fresh state starts with an empty updateSet and NO-UPDATE —
+            // the first query therefore counts as `qn` (the paper: nodes
+            // "move into UPDATE state with the first query message") and
+            // the caller refreshes the sets right after.
+            let mut st = PredState::new(
+                pred.clone(),
+                cfg.k_update,
+                cfg.k_no_update,
+                cfg.threshold,
+                cfg.mode == Mode::AlwaysUpdate,
+            );
+            let tree = Self::tree_key_for(pred);
+            st.parent = dir.parent_of(tree, me);
+            st
+        })
+    }
+
+    /// Installs predicate state without sending anything (cluster-level
+    /// pre-registration for the Always-Update baseline).
+    pub fn install_state(&mut self, me: NodeId, pred: &SimplePredicate) {
+        self.ensure_state(me, pred);
+    }
+
+    /// Sends a status update to the tree parent if the state demands one,
+    /// cascading lazily via the parent's own handler.
+    fn sync_status(&mut self, ctx: &mut Context<'_, MoaraMsg>, pred_key: &str) {
+        let me = ctx.me();
+        let Some(st) = self.states.get_mut(pred_key) else {
+            return;
+        };
+        let Some(out) = st.status_to_send(me) else {
+            return;
+        };
+        let tree = Self::tree_key_for(&st.pred);
+        let Some(parent) = self.dir.parent_of(tree, me) else {
+            return; // root has nobody to update
+        };
+        let children = self.dir.children_of(tree, me);
+        let dir = &self.dir;
+        let np = st.np(me, &children, |c| dir.subtree_size(tree, c));
+        let msg = MoaraMsg::Status {
+            pred_key: pred_key.to_owned(),
+            pred: st.pred.clone(),
+            prune: out.prune,
+            update_set: out.update_set,
+            np,
+            last_seq: st.last_seen_seq,
+        };
+        ctx.send(parent, msg);
+        ctx.count("status_updates");
+    }
+
+    /// Re-evaluates local satisfaction for every predicate over `attr`
+    /// after a local attribute change ("group churn" at this node).
+    pub fn on_local_change(&mut self, ctx: &mut Context<'_, MoaraMsg>, attr: &str) {
+        let me = ctx.me();
+        let keys: Vec<PredKey> = self
+            .states
+            .iter()
+            .filter(|(_, st)| st.pred.attr.as_str() == attr)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for key in keys {
+            let st = self.states.get_mut(&key).expect("state exists");
+            let tree = Self::tree_key_for(&st.pred);
+            let children = self.dir.children_of(tree, me);
+            let sat = st.pred.eval(&self.store);
+            st.refresh(me, sat, &children);
+            self.sync_status(ctx, &key);
+        }
+    }
+
+    /// Reconciles all predicate states with the current overlay topology
+    /// (after joins/failures): drops ex-children, re-introduces state to
+    /// new parents (Section 7's reconfiguration handling).
+    pub fn reconcile(&mut self, ctx: &mut Context<'_, MoaraMsg>) {
+        let me = ctx.me();
+        let keys: Vec<PredKey> = self.states.keys().cloned().collect();
+        for key in keys {
+            let st = self.states.get_mut(&key).expect("state exists");
+            let tree = Self::tree_key_for(&st.pred);
+            let children = self.dir.children_of(tree, me);
+            st.retain_children(|c| children.contains(&c));
+            let new_parent = self.dir.parent_of(tree, me);
+            if st.parent != new_parent {
+                st.parent = new_parent;
+                // The new parent assumes the default about us; resend our
+                // state if it differs.
+                st.sent = None;
+            }
+            let sat = st.pred.eval(&self.store);
+            st.refresh(me, sat, &children);
+            self.sync_status(ctx, &key);
+        }
+    }
+
+    /// Treats `failed` as having answered NULL in any pending session —
+    /// the engine's analogue of FreePastry's failure notification.
+    pub fn on_peer_failed(&mut self, ctx: &mut Context<'_, MoaraMsg>, failed: NodeId) {
+        let keys: Vec<(QueryId, PredKey)> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| s.pending.contains(&failed))
+            .map(|(k, _)| k.clone())
+            .collect();
+        for key in keys {
+            let sess = self.sessions.get_mut(&key).expect("session exists");
+            sess.pending.remove(&failed);
+            sess.complete = false;
+            if sess.pending.is_empty() {
+                self.finalize_session(ctx, &key);
+            }
+        }
+    }
+
+    // ----- query execution ----------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_query_down(
+        &mut self,
+        ctx: &mut Context<'_, MoaraMsg>,
+        qid: QueryId,
+        seq: u64,
+        pred_key: PredKey,
+        tree: Id,
+        query: Query,
+        reply_to: NodeId,
+    ) {
+        let me = ctx.me();
+        let skey = (qid, pred_key.clone());
+        if self.sessions.contains_key(&skey) {
+            // Already handling this sub-query (stale duplicate): reply
+            // immediately with no contribution.
+            ctx.send(
+                reply_to,
+                MoaraMsg::QueryReply {
+                    qid,
+                    pred_key,
+                    state: AggState::Null,
+                    np: 0,
+                    complete: true,
+                },
+            );
+            return;
+        }
+
+        // Adaptation accounting + possible state transition (Section 4).
+        let targets: Vec<NodeId> = if pred_key == GLOBAL_PRED {
+            self.dir.children_of(tree, me)
+        } else {
+            if let Some(atom) = find_atom(&query, &pred_key) {
+                self.ensure_state(me, &atom);
+            }
+            match self.states.get_mut(&pred_key) {
+                Some(st) => {
+                    // Account the query against the *current* updateSet
+                    // first (a brand-new state counts it as qn), then
+                    // refresh sets and satisfaction.
+                    st.on_query(me, seq);
+                    let children = self.dir.children_of(tree, me);
+                    let sat = st.pred.eval(&self.store);
+                    st.refresh(me, sat, &children);
+                    st.query_targets(me, &children)
+                }
+                None => self.dir.children_of(tree, me),
+            }
+        };
+        if pred_key != GLOBAL_PRED {
+            self.sync_status(ctx, &pred_key);
+            self.touch(&pred_key, ctx.now());
+            self.maybe_gc(ctx.now());
+        }
+
+        // Local contribution, at most once per query id (Section 6.2's
+        // duplicate suppression when a node sits in several cover trees).
+        let mut acc = query.agg.identity();
+        if !self.contributed.contains_key(&qid) && query.predicate.eval(&self.store) {
+            self.contributed.insert(qid, ctx.now());
+            self.gc_contributed(ctx.now());
+            acc = self.local_contribution(me, &query);
+        }
+
+        let mut session = Session {
+            reply_to,
+            pending: targets.iter().copied().collect(),
+            acc,
+            kind: query.agg,
+            complete: true,
+            timer: None,
+            tree,
+            done: false,
+        };
+        if !targets.is_empty() {
+            if let Some(d) = self.cfg.child_timeout {
+                let tag = self.alloc_timer(TimerEvent::SessionTimeout(qid, pred_key.clone()));
+                session.timer = Some(ctx.set_timer(d, tag));
+            }
+        }
+        let empty = targets.is_empty();
+        self.sessions.insert(skey.clone(), session);
+        for t in targets {
+            ctx.send(
+                t,
+                MoaraMsg::QueryDown {
+                    qid,
+                    seq,
+                    pred_key: pred_key.clone(),
+                    tree,
+                    query: query.clone(),
+                    reply_to: me,
+                },
+            );
+        }
+        if empty {
+            self.finalize_session(ctx, &skey);
+        }
+    }
+
+    /// The node's own value for the query, as a partial aggregate.
+    fn local_contribution(&self, me: NodeId, query: &Query) -> AggState {
+        let node = NodeRef(me.0 as u64);
+        match query.agg {
+            AggKind::Count | AggKind::Enumerate => query
+                .agg
+                .seed(node, &Value::Bool(true))
+                .unwrap_or(AggState::Null),
+            _ => {
+                let Some(attr) = &query.attr else {
+                    return AggState::Null;
+                };
+                match self.store.get(attr.as_str()) {
+                    Some(v) => query.agg.seed(node, v).unwrap_or(AggState::Null),
+                    None => AggState::Null,
+                }
+            }
+        }
+    }
+
+    fn gc_contributed(&mut self, now: SimTime) {
+        if self.contributed.len() % 512 != 0 {
+            return;
+        }
+        let ttl = self.cfg.dedup_ttl;
+        self.contributed.retain(|_, t| now.duration_since(*t) < ttl);
+    }
+
+    fn finalize_session(&mut self, ctx: &mut Context<'_, MoaraMsg>, skey: &(QueryId, PredKey)) {
+        let me = ctx.me();
+        let Some(sess) = self.sessions.get_mut(skey) else {
+            return;
+        };
+        if sess.done {
+            return;
+        }
+        sess.done = true;
+        if let Some(t) = sess.timer.take() {
+            ctx.cancel_timer(t);
+        }
+        let complete = sess.complete && sess.pending.is_empty();
+        let acc = std::mem::replace(&mut sess.acc, AggState::Null);
+        let reply_to = sess.reply_to;
+        let tree = sess.tree;
+        let np = match self.states.get(&skey.1) {
+            Some(st) => {
+                let children = self.dir.children_of(tree, me);
+                let dir = &self.dir;
+                st.np(me, &children, |c| dir.subtree_size(tree, c))
+            }
+            None => 0,
+        };
+        ctx.send(
+            reply_to,
+            MoaraMsg::QueryReply {
+                qid: skey.0,
+                pred_key: skey.1.clone(),
+                state: acc,
+                np,
+                complete,
+            },
+        );
+        self.sessions.remove(skey);
+    }
+
+    fn handle_query_reply(
+        &mut self,
+        ctx: &mut Context<'_, MoaraMsg>,
+        from: NodeId,
+        qid: QueryId,
+        pred_key: PredKey,
+        state: AggState,
+        np: u64,
+        complete: bool,
+    ) {
+        let skey = (qid, pred_key.clone());
+        // A reply to our session (we forwarded the query to `from`)?
+        let is_session_reply = self
+            .sessions
+            .get(&skey)
+            .is_some_and(|s| s.pending.contains(&from));
+        if is_session_reply {
+            let sess = self.sessions.get_mut(&skey).expect("session exists");
+            sess.pending.remove(&from);
+            sess.complete &= complete;
+            let kind = sess.kind;
+            let prev = std::mem::replace(&mut sess.acc, AggState::Null);
+            sess.acc = kind.merge(prev, state);
+            // Lazy np refresh for direct children (Section 6.3).
+            if let Some(st) = self.states.get_mut(&pred_key) {
+                if let Some(info) = st.children.get_mut(&from) {
+                    info.np = np;
+                }
+            }
+            if self.sessions[&skey].pending.is_empty() {
+                self.finalize_session(ctx, &skey);
+            }
+            return;
+        }
+        // Otherwise: a root's final answer to one of our front-end
+        // sub-queries.
+        let front_id = self
+            .fronts
+            .iter()
+            .find(|(_, f)| f.qid == qid && f.sub_pending.contains(&pred_key))
+            .map(|(id, _)| *id);
+        if let Some(front_id) = front_id {
+            let front = self.fronts.get_mut(&front_id).expect("front exists");
+            front.sub_pending.remove(&pred_key);
+            front.complete &= complete;
+            let kind = front.query.agg;
+            let prev = std::mem::replace(&mut front.acc, AggState::Null);
+            front.acc = kind.merge(prev, state);
+            if front.sub_pending.is_empty() {
+                self.finish_front(ctx, front_id);
+            }
+        }
+    }
+
+    fn handle_status(
+        &mut self,
+        ctx: &mut Context<'_, MoaraMsg>,
+        from: NodeId,
+        pred_key: PredKey,
+        pred: SimplePredicate,
+        prune: bool,
+        update_set: Vec<NodeId>,
+        np: u64,
+        last_seq: u64,
+    ) {
+        let me = ctx.me();
+        self.ensure_state(me, &pred);
+        let st = self.states.get_mut(&pred_key).expect("just ensured");
+        st.note_child_status(
+            from,
+            ChildInfo {
+                prune,
+                update_set,
+                np,
+            },
+        );
+        st.account_seq(last_seq);
+        let tree = Self::tree_key_for(&st.pred);
+        let children = self.dir.children_of(tree, me);
+        let sat = st.pred.eval(&self.store);
+        st.refresh(me, sat, &children);
+        self.sync_status(ctx, &pred_key);
+        self.touch(&pred_key, ctx.now());
+        self.maybe_gc(ctx.now());
+    }
+
+    fn handle_size_reply(&mut self, ctx: &mut Context<'_, MoaraMsg>, pred_key: PredKey, cost: u64) {
+        let front_id = self
+            .fronts
+            .iter()
+            .find(|(_, f)| {
+                matches!(f.phase, FrontPhase::Probing) && f.probes_pending.contains(&pred_key)
+            })
+            .map(|(id, _)| *id);
+        let Some(front_id) = front_id else {
+            return; // late reply after probe timeout
+        };
+        let front = self.fronts.get_mut(&front_id).expect("front exists");
+        front.probes_pending.remove(&pred_key);
+        front.costs.insert(pred_key, cost);
+        if front.probes_pending.is_empty() {
+            self.dispatch_front(ctx, front_id);
+        }
+    }
+}
+
+/// Finds the simple predicate with key `pred_key` inside the query's
+/// composite predicate (sub-queries name their group by key).
+fn find_atom(query: &Query, pred_key: &str) -> Option<SimplePredicate> {
+    query
+        .predicate
+        .atoms()
+        .into_iter()
+        .find(|a| a.key() == pred_key)
+        .cloned()
+}
+
+impl Protocol for MoaraNode {
+    type Msg = MoaraMsg;
+
+    fn on_message(&mut self, ctx: &mut Context<'_, MoaraMsg>, from: NodeId, msg: MoaraMsg) {
+        match msg {
+            MoaraMsg::Route { key, inner } => self.route(ctx, key, *inner),
+            MoaraMsg::QueryDown {
+                qid,
+                seq,
+                pred_key,
+                tree,
+                query,
+                reply_to,
+            } => self.handle_query_down(ctx, qid, seq, pred_key, tree, query, reply_to),
+            MoaraMsg::QueryReply {
+                qid,
+                pred_key,
+                state,
+                np,
+                complete,
+            } => self.handle_query_reply(ctx, from, qid, pred_key, state, np, complete),
+            MoaraMsg::Status {
+                pred_key,
+                pred,
+                prune,
+                update_set,
+                np,
+                last_seq,
+            } => self.handle_status(ctx, from, pred_key, pred, prune, update_set, np, last_seq),
+            MoaraMsg::SizeProbe { pred_key, reply_to } => {
+                // Only roots receive probes (via Route), but handle a
+                // stray direct probe gracefully.
+                let cost = self.estimated_query_cost(ctx.me(), &pred_key);
+                ctx.send(reply_to, MoaraMsg::SizeReply { pred_key, cost });
+            }
+            MoaraMsg::SizeReply { pred_key, cost } => {
+                self.handle_size_reply(ctx, pred_key, cost)
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, MoaraMsg>, tag: TimerTag) {
+        match self.timers.remove(&tag) {
+            Some(TimerEvent::SessionTimeout(qid, pred_key)) => {
+                let skey = (qid, pred_key);
+                if let Some(sess) = self.sessions.get_mut(&skey) {
+                    if !sess.pending.is_empty() {
+                        sess.complete = false;
+                    }
+                    sess.timer = None;
+                    self.finalize_session(ctx, &skey);
+                }
+            }
+            Some(TimerEvent::ProbeTimeout(front_id)) => {
+                let probing = self
+                    .fronts
+                    .get(&front_id)
+                    .is_some_and(|f| matches!(f.phase, FrontPhase::Probing));
+                if probing {
+                    // Missing costs fall back to worst case in dispatch.
+                    self.dispatch_front(ctx, front_id);
+                }
+            }
+            Some(TimerEvent::FrontTimeout(front_id)) => {
+                if let Some(front) = self.fronts.get_mut(&front_id) {
+                    front.complete = false;
+                    front.sub_pending.clear();
+                    self.finish_front(ctx, front_id);
+                }
+            }
+            None => {}
+        }
+    }
+}

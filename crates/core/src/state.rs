@@ -1,0 +1,703 @@
+//! Per-(node, predicate) protocol state: the paper's dynamic-maintenance
+//! state machine (Section 4) extended with the separate query plane
+//! (Section 5).
+//!
+//! Each node keeps, for every predicate it has seen, three conceptual
+//! variables:
+//!
+//! * `sat` — should this subtree keep receiving queries? (Procedure 1:
+//!   true if the node satisfies the predicate locally or any child is in
+//!   NO-PRUNE state; children that have never reported count as NO-PRUNE.)
+//! * `update` — is the node propagating status changes to its parent?
+//!   (Procedure 2: driven by the `2·qn` vs `c` bandwidth comparison over a
+//!   sliding window of recent events.)
+//! * `prune` — may the parent skip this branch? (Procedure 3:
+//!   `update ∧ sat ⇒ ¬prune`, `update ∧ ¬sat ⇒ prune`, `¬update ⇒ ¬prune`.)
+//!
+//! The separate query plane replaces the boolean `sat` with set-valued
+//! state: `qSet` (whom do I forward queries to) and `updateSet` (whom
+//! should my parent forward to instead of me, when small enough). With
+//! `threshold = 1` the machinery degenerates to the plain pruned tree.
+//!
+//! This module is pure state-machine logic — no message I/O — so the
+//! transition rules can be unit- and property-tested in isolation; the
+//! node layer (`node.rs`) turns [`StatusOut`] values into wire messages.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use moara_query::SimplePredicate;
+use moara_simnet::NodeId;
+
+/// What a child last reported (via a `Status` message).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChildInfo {
+    /// True = PRUNE: the branch need not receive queries.
+    pub prune: bool,
+    /// The child's updateSet: whom to forward queries to in its stead.
+    pub update_set: Vec<NodeId>,
+    /// The child's NO-PRUNE subtree count (lazy query-cost info).
+    pub np: u64,
+}
+
+/// An adaptation event in the sliding window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum AdaptEvent {
+    /// A query the system ran while our updateSet did not contain us
+    /// (counts toward `qn`).
+    QueryQn,
+    /// A query we received while our updateSet contained us (`qs`).
+    QueryQs,
+    /// A change to our updateSet (`c`).
+    Change,
+}
+
+/// A status update that must be sent to the (new) parent.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StatusOut {
+    /// PRUNE (true) or NO-PRUNE (false).
+    pub prune: bool,
+    /// The updateSet to communicate (empty iff `prune`).
+    pub update_set: Vec<NodeId>,
+}
+
+/// Per-predicate protocol state at one node.
+#[derive(Clone, Debug)]
+pub struct PredState {
+    /// The predicate this tree serves.
+    pub pred: SimplePredicate,
+    /// Procedure-2 state: true = UPDATE, false = NO-UPDATE.
+    pub update: bool,
+    /// Does the local node satisfy the predicate right now?
+    pub local_sat: bool,
+    /// Status received from children (absent children are defaults:
+    /// NO-PRUNE, forwarded to directly).
+    pub children: BTreeMap<NodeId, ChildInfo>,
+    /// Currently computed updateSet.
+    pub cur_update_set: Vec<NodeId>,
+    /// Derived `sat` variable (Procedure 1).
+    pub sat: bool,
+    /// Last (prune, updateSet) actually communicated to the parent;
+    /// `None` = nothing ever sent (parent assumes the default).
+    pub sent: Option<(bool, Vec<NodeId>)>,
+    /// Cached tree parent (for detecting reconfiguration).
+    pub parent: Option<NodeId>,
+    /// Root-only: sequence numbers handed to queries on this tree.
+    pub seq_counter: u64,
+    /// Highest query sequence number this node has accounted.
+    pub last_seen_seq: u64,
+    events: VecDeque<AdaptEvent>,
+    k_update: usize,
+    k_no_update: usize,
+    threshold: usize,
+    forced_update: bool,
+}
+
+impl PredState {
+    /// Fresh state for `pred`. Nodes start in NO-UPDATE (the paper's
+    /// default: no state ⇒ receive every query). `forced_update` pins the
+    /// machine in UPDATE state (the Always-Update baseline).
+    pub fn new(
+        pred: SimplePredicate,
+        k_update: usize,
+        k_no_update: usize,
+        threshold: usize,
+        forced_update: bool,
+    ) -> PredState {
+        PredState {
+            pred,
+            update: forced_update,
+            local_sat: false,
+            children: BTreeMap::new(),
+            cur_update_set: Vec::new(),
+            sat: false,
+            sent: None,
+            parent: None,
+            seq_counter: 0,
+            last_seen_seq: 0,
+            events: VecDeque::new(),
+            k_update: k_update.max(1),
+            k_no_update: k_no_update.max(1),
+            threshold: threshold.max(1),
+            forced_update,
+        }
+    }
+
+    /// The `prune` variable (Procedure 3), derived so the paper's
+    /// invariants hold by construction.
+    pub fn prune(&self) -> bool {
+        self.update && !self.sat
+    }
+
+    /// Asserts the Section 4 invariants; called from debug paths and tests.
+    pub fn check_invariants(&self) {
+        if !self.update {
+            assert!(!self.prune(), "update=0 must imply prune=0");
+        }
+        if self.update && self.sat {
+            assert!(!self.prune());
+        }
+        if self.update && !self.sat {
+            assert!(self.prune());
+        }
+        // NO-PRUNE ⟺ non-empty updateSet at the wire level.
+        if let Some((prune, set)) = &self.sent {
+            assert_eq!(*prune, set.is_empty(), "sent PRUNE iff empty updateSet");
+        }
+    }
+
+    /// Records what a child reported. Call [`PredState::refresh`] after.
+    pub fn note_child_status(&mut self, child: NodeId, info: ChildInfo) {
+        self.children.insert(child, info);
+    }
+
+    /// Forgets state about nodes that are no longer children (topology
+    /// reconfiguration).
+    pub fn retain_children(&mut self, is_child: impl Fn(NodeId) -> bool) {
+        self.children.retain(|&c, _| is_child(c));
+    }
+
+    /// Accounts query sequence numbers observed indirectly (piggybacked on
+    /// a child's status update): every query between our last-seen number
+    /// and `seq` is one we missed while pruned or bypassed, so each counts
+    /// toward `qn` (Section 5's correction for bypassed nodes).
+    pub fn account_seq(&mut self, seq: u64) {
+        if seq <= self.last_seen_seq {
+            return;
+        }
+        let missed = seq - self.last_seen_seq;
+        let cap = self.k_update.max(self.k_no_update) as u64;
+        for _ in 0..missed.min(cap) {
+            self.push_event(AdaptEvent::QueryQn);
+        }
+        self.last_seen_seq = seq;
+        self.transition();
+    }
+
+    /// Records the receipt of a query with sequence number `seq` (and any
+    /// missed queries the gap reveals), then runs the Procedure-2
+    /// transition.
+    pub fn on_query(&mut self, me: NodeId, seq: u64) {
+        // Gap since the last seen sequence number → missed queries (qn).
+        if seq > self.last_seen_seq + 1 {
+            let missed = seq - self.last_seen_seq - 1;
+            let cap = self.k_update.max(self.k_no_update) as u64;
+            for _ in 0..missed.min(cap) {
+                self.push_event(AdaptEvent::QueryQn);
+            }
+        }
+        if seq > self.last_seen_seq {
+            self.last_seen_seq = seq;
+        }
+        // SQP classification (Section 5): a query counts as `qs` when this
+        // node's updateSet contains its own id (it is supposed to receive
+        // queries), otherwise as `qn`. This is maintained in NO-UPDATE
+        // state too — the sets are computed, just not communicated.
+        let counts_qs = self.cur_update_set.contains(&me);
+        self.push_event(if counts_qs {
+            AdaptEvent::QueryQs
+        } else {
+            AdaptEvent::QueryQn
+        });
+        self.transition();
+    }
+
+    /// Whether this node currently receives queries from its parent: true
+    /// in NO-UPDATE (the parent forwards by default) or when its
+    /// communicated updateSet contains itself.
+    fn receives_queries(&self, me: NodeId) -> bool {
+        if !self.update {
+            return true;
+        }
+        self.cur_update_set.contains(&me)
+    }
+
+    /// Recomputes `qSet` / `updateSet` / `sat` from local satisfaction and
+    /// child reports (Procedures 1 and the Section 5 set rules), records a
+    /// `Change` event if the updateSet changed, and runs the transition.
+    ///
+    /// `all_children` is the node's child list in this tree (from the DHT
+    /// routing state); children without an entry in `self.children` are
+    /// defaults and must keep receiving queries through us.
+    pub fn refresh(&mut self, me: NodeId, local_sat: bool, all_children: &[NodeId]) {
+        self.local_sat = local_sat;
+        let has_default_child = all_children
+            .iter()
+            .any(|c| !self.children.contains_key(c));
+        let mut qset: BTreeSet<NodeId> = BTreeSet::new();
+        if local_sat {
+            qset.insert(me);
+        }
+        for c in all_children {
+            if let Some(info) = self.children.get(c) {
+                if !info.prune {
+                    qset.extend(info.update_set.iter().copied());
+                }
+            }
+        }
+        self.sat = !qset.is_empty() || has_default_child;
+        let new_set: Vec<NodeId> = if has_default_child {
+            // We must receive queries ourselves to serve default children.
+            vec![me]
+        } else if qset.len() < self.threshold {
+            qset.into_iter().collect()
+        } else {
+            vec![me]
+        };
+        if new_set != self.cur_update_set {
+            self.cur_update_set = new_set;
+            self.push_event(AdaptEvent::Change);
+            self.transition();
+        }
+    }
+
+    /// The nodes a query on this tree should be forwarded to from here:
+    /// default children directly, reporting NO-PRUNE children via their
+    /// updateSets, PRUNE children not at all.
+    pub fn query_targets(&self, me: NodeId, all_children: &[NodeId]) -> Vec<NodeId> {
+        let mut targets: BTreeSet<NodeId> = BTreeSet::new();
+        for c in all_children {
+            match self.children.get(c) {
+                None => {
+                    targets.insert(*c);
+                }
+                Some(info) if !info.prune => {
+                    targets.extend(info.update_set.iter().copied());
+                }
+                Some(_) => {}
+            }
+        }
+        targets.remove(&me);
+        targets.into_iter().collect()
+    }
+
+    /// NO-PRUNE subtree count: how many nodes a query through this branch
+    /// will reach. Children that never reported contribute their whole
+    /// (oracle-sized) subtrees — by default every node in them receives
+    /// queries.
+    pub fn np(
+        &self,
+        me: NodeId,
+        all_children: &[NodeId],
+        subtree_size: impl Fn(NodeId) -> u64,
+    ) -> u64 {
+        let mut np = u64::from(self.receives_queries(me));
+        for c in all_children {
+            np += match self.children.get(c) {
+                None => subtree_size(*c),
+                Some(info) if !info.prune => info.np,
+                Some(_) => 0,
+            };
+        }
+        np
+    }
+
+    /// What (if anything) must be communicated to the parent right now.
+    ///
+    /// In UPDATE state, the wire status is `(prune, updateSet)` and is
+    /// (re)sent whenever it differs from what was last sent — including a
+    /// first announcement that happens to match the parent's default,
+    /// because the parent needs the explicit updateSet to participate in
+    /// the separate query plane (Section 5: "whenever the updateSet
+    /// changes at a node and is non-empty, it sends a NO-PRUNE message …
+    /// with the new updateSet").
+    ///
+    /// In NO-UPDATE the wire status is pinned to `(NO-PRUNE, [me])` — a
+    /// node may cease updating only after guaranteeing it keeps receiving
+    /// queries — and is sent only if the parent believes something
+    /// different (`sent == None` means the parent's default, which already
+    /// behaves like `(NO-PRUNE, [me])`).
+    pub fn status_to_send(&mut self, me: NodeId) -> Option<StatusOut> {
+        let target: (bool, Vec<NodeId>) = if self.update {
+            let prune = self.prune();
+            (
+                prune,
+                if prune {
+                    Vec::new()
+                } else {
+                    self.cur_update_set.clone()
+                },
+            )
+        } else {
+            (false, vec![me])
+        };
+        let send = if self.update {
+            self.sent.as_ref() != Some(&target)
+        } else {
+            let believed = self.sent.clone().unwrap_or((false, vec![me]));
+            believed != target
+        };
+        if !send {
+            return None;
+        }
+        self.sent = Some(target.clone());
+        Some(StatusOut {
+            prune: target.0,
+            update_set: target.1,
+        })
+    }
+
+    fn push_event(&mut self, ev: AdaptEvent) {
+        let cap = self.k_update.max(self.k_no_update);
+        if self.events.len() == cap {
+            self.events.pop_front();
+        }
+        self.events.push_back(ev);
+    }
+
+    /// Procedure 2: compare `2·qn` with `c` over the current window.
+    fn transition(&mut self) {
+        if self.forced_update {
+            self.update = true;
+            return;
+        }
+        let k = if self.update {
+            self.k_update
+        } else {
+            self.k_no_update
+        };
+        let window = self.events.iter().rev().take(k);
+        let mut qn = 0u64;
+        let mut c = 0u64;
+        for ev in window {
+            match ev {
+                AdaptEvent::QueryQn => qn += 1,
+                AdaptEvent::QueryQs => {}
+                AdaptEvent::Change => c += 1,
+            }
+        }
+        if 2 * qn < c {
+            self.update = false;
+        } else if 2 * qn > c {
+            self.update = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moara_query::CmpOp;
+
+    fn me() -> NodeId {
+        NodeId(0)
+    }
+
+    fn fresh(threshold: usize) -> PredState {
+        PredState::new(
+            SimplePredicate::new("A", CmpOp::Eq, true),
+            1,
+            3,
+            threshold,
+            false,
+        )
+    }
+
+    #[test]
+    fn starts_in_no_update_no_prune() {
+        let s = fresh(1);
+        assert!(!s.update);
+        assert!(!s.prune());
+        s.check_invariants();
+    }
+
+    #[test]
+    fn first_query_moves_to_update() {
+        // Paper Figure 4(b): (NO-UPDATE, NO-SAT) + query → UPDATE.
+        let mut s = fresh(1);
+        s.refresh(me(), false, &[]);
+        s.on_query(me(), 1);
+        assert!(s.update);
+        assert!(s.prune(), "unsatisfied leaf in UPDATE prunes itself");
+        assert_eq!(
+            s.status_to_send(me()),
+            Some(StatusOut {
+                prune: true,
+                update_set: vec![]
+            })
+        );
+        s.check_invariants();
+    }
+
+    #[test]
+    fn satisfied_leaf_stays_no_update_and_silent() {
+        // A satisfied node receiving queries (qs) has nothing to gain from
+        // UPDATE state — it must receive queries regardless. The paper
+        // notes (UPDATE, SAT) is unreachable with k_UPDATE = 1.
+        let mut s = fresh(1);
+        s.refresh(me(), true, &[]); // change: updateSet [] → [me]
+        s.on_query(me(), 1); // qs query
+        assert!(!s.update);
+        assert!(!s.prune());
+        assert_eq!(s.cur_update_set, vec![me()]);
+        assert_eq!(
+            s.status_to_send(me()),
+            None,
+            "parent already assumes (NO-PRUNE,[me]) by default"
+        );
+        s.check_invariants();
+    }
+
+    #[test]
+    fn update_sat_reachable_with_larger_window_then_change_keeps_update() {
+        // With k_UPDATE = 2 the (UPDATE, SAT) state is reachable: a qn
+        // query plus one change leaves 2·qn > c, and the node sends its
+        // NO-PRUNE transition to the parent.
+        let mut s = PredState::new(
+            SimplePredicate::new("A", CmpOp::Eq, true),
+            2,
+            3,
+            1,
+            false,
+        );
+        s.refresh(me(), false, &[]);
+        s.on_query(me(), 1); // qn → UPDATE, PRUNE
+        assert!(s.update && s.prune());
+        let _ = s.status_to_send(me());
+        s.refresh(me(), true, &[]); // change; window [qn, change]: 2 > 1
+        assert!(s.update && s.sat && !s.prune());
+        assert_eq!(
+            s.status_to_send(me()).unwrap(),
+            StatusOut {
+                prune: false,
+                update_set: vec![me()]
+            }
+        );
+        s.check_invariants();
+    }
+
+    #[test]
+    fn account_seq_records_missed_queries() {
+        let mut s = fresh(1);
+        s.refresh(me(), false, &[]);
+        // A child's status says the system has run 3 queries we never saw.
+        s.account_seq(3);
+        assert_eq!(s.last_seen_seq, 3);
+        // qn-dominated window → UPDATE (so we can prune ourselves).
+        assert!(s.update);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn pruned_node_moving_to_no_update_reintroduces_itself() {
+        let mut s = fresh(1);
+        s.refresh(me(), false, &[]);
+        s.on_query(me(), 1); // UPDATE + PRUNE
+        assert_eq!(
+            s.status_to_send(me()).unwrap(),
+            StatusOut {
+                prune: true,
+                update_set: vec![]
+            }
+        );
+        // Churn burst: three changes with no queries → NO-UPDATE.
+        s.refresh(me(), true, &[]);
+        s.refresh(me(), false, &[]);
+        s.refresh(me(), true, &[]);
+        assert!(!s.update);
+        // Parent believes PRUNE; we must re-introduce (NO-PRUNE, [me]).
+        assert_eq!(
+            s.status_to_send(me()).unwrap(),
+            StatusOut {
+                prune: false,
+                update_set: vec![me()]
+            }
+        );
+        s.check_invariants();
+    }
+
+    #[test]
+    fn missed_queries_counted_from_sequence_gap() {
+        let mut s = fresh(1);
+        s.refresh(me(), false, &[]);
+        s.on_query(me(), 1); // UPDATE+PRUNE
+        let _ = s.status_to_send(me());
+        // Churn → NO-UPDATE (changes dominate).
+        s.refresh(me(), true, &[]);
+        s.refresh(me(), false, &[]);
+        s.refresh(me(), true, &[]);
+        assert!(!s.update);
+        // Next query arrives with seq 7: 5 missed + this one → qn floods
+        // the window → back to UPDATE.
+        s.on_query(me(), 7);
+        assert!(s.update);
+        assert_eq!(s.last_seen_seq, 7);
+    }
+
+    #[test]
+    fn child_pruning_and_targets() {
+        let (c1, c2, c3) = (NodeId(1), NodeId(2), NodeId(3));
+        let mut s = fresh(1);
+        // No child state: all children are default targets.
+        assert_eq!(s.query_targets(me(), &[c1, c2, c3]), vec![c1, c2, c3]);
+        s.note_child_status(
+            c1,
+            ChildInfo {
+                prune: true,
+                update_set: vec![],
+                np: 0,
+            },
+        );
+        s.note_child_status(
+            c2,
+            ChildInfo {
+                prune: false,
+                update_set: vec![NodeId(9)], // bypassed descendant
+                np: 1,
+            },
+        );
+        s.refresh(me(), false, &[c1, c2, c3]);
+        assert_eq!(s.query_targets(me(), &[c1, c2, c3]), vec![c3, NodeId(9)]);
+        // sat: c3 is default → true even though local unsat and c1 pruned.
+        assert!(s.sat);
+        // updateSet forced to [me] because of default child c3.
+        assert_eq!(s.cur_update_set, vec![me()]);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn sqp_updateset_below_threshold_bypasses_node() {
+        let c1 = NodeId(1);
+        let mut s = PredState::new(
+            SimplePredicate::new("A", CmpOp::Eq, true),
+            1,
+            3,
+            2, // threshold
+            false,
+        );
+        s.note_child_status(
+            c1,
+            ChildInfo {
+                prune: false,
+                update_set: vec![NodeId(7)],
+                np: 1,
+            },
+        );
+        s.refresh(me(), false, &[c1]);
+        // qset = {7}, |qset| = 1 < 2 → updateSet = {7}: we are bypassed.
+        assert_eq!(s.cur_update_set, vec![NodeId(7)]);
+        assert!(s.sat);
+        assert!(!s.prune());
+        // With one more element it reverts to {me}.
+        s.note_child_status(
+            c1,
+            ChildInfo {
+                prune: false,
+                update_set: vec![NodeId(7), NodeId(8)],
+                np: 2,
+            },
+        );
+        s.refresh(me(), false, &[c1]);
+        assert_eq!(s.cur_update_set, vec![me()]);
+    }
+
+    #[test]
+    fn np_accounts_defaults_via_subtree_sizes() {
+        let (c1, c2) = (NodeId(1), NodeId(2));
+        let mut s = fresh(1);
+        s.note_child_status(
+            c1,
+            ChildInfo {
+                prune: false,
+                update_set: vec![c1],
+                np: 3,
+            },
+        );
+        s.refresh(me(), true, &[c1, c2]);
+        s.on_query(me(), 1);
+        // self(1, receives queries) + c1 subtree np(3) + default c2 (size 10)
+        let np = s.np(me(), &[c1, c2], |c| if c == c2 { 10 } else { 99 });
+        assert_eq!(np, 14);
+        // Pruned child contributes 0.
+        s.note_child_status(
+            c1,
+            ChildInfo {
+                prune: true,
+                update_set: vec![],
+                np: 0,
+            },
+        );
+        assert_eq!(s.np(me(), &[c1, c2], |_| 10), 11);
+    }
+
+    #[test]
+    fn forced_update_never_leaves_update() {
+        let mut s = PredState::new(
+            SimplePredicate::new("A", CmpOp::Eq, true),
+            1,
+            3,
+            1,
+            true,
+        );
+        assert!(s.update);
+        for i in 0..10 {
+            s.refresh(me(), i % 2 == 0, &[]);
+            assert!(s.update, "always-update must stay in UPDATE");
+        }
+        s.check_invariants();
+    }
+
+    #[test]
+    fn status_resend_only_on_difference() {
+        let mut s = fresh(1);
+        s.refresh(me(), false, &[]);
+        s.on_query(me(), 1);
+        assert!(s.status_to_send(me()).is_some());
+        assert_eq!(s.status_to_send(me()), None, "second call is a no-op");
+        // Becoming satisfied flips prune → must resend.
+        s.refresh(me(), true, &[]);
+        if s.update {
+            let out = s.status_to_send(me()).unwrap();
+            assert!(!out.prune);
+            assert_eq!(out.update_set, vec![me()]);
+        }
+    }
+
+    #[test]
+    fn retain_children_drops_ex_children() {
+        let mut s = fresh(1);
+        s.note_child_status(
+            NodeId(5),
+            ChildInfo {
+                prune: true,
+                update_set: vec![],
+                np: 0,
+            },
+        );
+        s.retain_children(|c| c != NodeId(5));
+        assert!(s.children.is_empty());
+    }
+
+    #[test]
+    fn invariants_hold_across_random_walk() {
+        // Drive the machine with a pseudo-random mix of inputs and check
+        // the Section 4 invariants after every step.
+        let mut s = fresh(2);
+        let mut x: u64 = 0x12345678;
+        let mut seq = 0u64;
+        for _ in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            match x % 4 {
+                0 => {
+                    seq += 1;
+                    s.on_query(me(), seq);
+                }
+                1 => s.refresh(me(), x & 16 != 0, &[NodeId(1)]),
+                2 => {
+                    s.note_child_status(
+                        NodeId(1),
+                        ChildInfo {
+                            prune: x & 32 != 0,
+                            update_set: if x & 32 != 0 { vec![] } else { vec![NodeId(1)] },
+                            np: 1,
+                        },
+                    );
+                    s.refresh(me(), x & 16 != 0, &[NodeId(1)]);
+                }
+                _ => {
+                    let _ = s.status_to_send(me());
+                }
+            }
+            s.check_invariants();
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # moara-dht
+//!
+//! A from-scratch Pastry-style structured overlay, providing exactly the
+//! mechanisms Moara builds on (paper Section 3.2):
+//!
+//! * 64-bit ring identifiers with configurable bits-per-digit prefix
+//!   routing ([`Id`], [`RouterState`]) — the substrate FreePastry provided
+//!   for the prototype;
+//! * MD-5 hashing of group-attribute names to ring IDs ([`md5`], as in
+//!   "Moara uses MD-5 to hash the group-attribute field");
+//! * membership management with incremental join/leave maintenance
+//!   ([`Ring`]) — the stand-in for FreePastry's join and repair protocols;
+//! * implicit **DHT trees**: for any key, the union of every node's route
+//!   toward that key forms a tree rooted at the key's owner
+//!   ([`TreeTopology`]), which is how Moara obtains an aggregation tree per
+//!   group at zero maintenance cost.
+//!
+//! # Example
+//!
+//! ```
+//! use moara_dht::{Id, Ring, TreeTopology};
+//!
+//! // A 32-node overlay with deterministic ids.
+//! let ring = Ring::with_random_ids(32, 4, 7);
+//! let key = Id::of_attribute("ServiceX");
+//! let tree = TreeTopology::build(&ring, key);
+//! // Every node reaches the root; the structure is a tree.
+//! assert_eq!(tree.root(), ring.owner(key));
+//! assert_eq!(tree.len(), 32);
+//! ```
+
+mod id;
+pub mod md5;
+mod ring;
+mod routing;
+mod tree;
+
+pub use id::Id;
+pub use ring::Ring;
+pub use routing::{LeafSet, RouterState, RoutingTable};
+pub use tree::TreeTopology;

@@ -1,0 +1,479 @@
+//! Pastry routing state: the per-node routing table and leaf set.
+//!
+//! A node's next hop for a key is chosen exactly as in Pastry (Rowstron &
+//! Druschel, Middleware 2001):
+//!
+//! 1. If the key falls within the span of the leaf set, deliver to the
+//!    numerically closest leaf (or to self, in which case the node is the
+//!    key's root).
+//! 2. Otherwise forward to the routing-table entry sharing one more digit
+//!    with the key than the present node.
+//! 3. Rare case: forward to any known node whose shared prefix with the key
+//!    is at least as long and which is numerically strictly closer.
+//!
+//! [`RouterState`] encodes this decision procedure over explicitly
+//! maintained tables. The companion [`crate::Ring`] computes the same
+//! decision from global membership (the "oracle bootstrap" used for large
+//! simulations); agreement between the two is property-tested.
+
+use crate::id::{Id, ID_BITS};
+
+/// The anchor point of routing-table slot (row, col) for node `own`: the
+/// slot's id range with the owner's low bits mapped in. Both the explicit
+/// [`RoutingTable`] and the oracle `Ring` pick, as the slot representative,
+/// the member of the range closest to this anchor (ties toward the smaller
+/// id) — deterministic, order-independent, and different per owner.
+pub(crate) fn slot_anchor(own: u64, row: u32, col: u32, bits: u32) -> u64 {
+    let shift = ID_BITS - bits * (row + 1);
+    let low_mask = if shift == 0 { 0 } else { (1u64 << shift) - 1 };
+    let keep_mask = if row == 0 {
+        0
+    } else {
+        !(((1u128 << (ID_BITS - bits * row)) - 1) as u64)
+    };
+    (own & keep_mask) | ((col as u64) << shift) | (own & low_mask)
+}
+
+/// True if `a` is at least as close to `anchor` as `b` (tie: smaller id).
+pub(crate) fn closer_anchor(a: Id, b: Id, anchor: u64) -> bool {
+    let da = a.0.abs_diff(anchor);
+    let db = b.0.abs_diff(anchor);
+    da < db || (da == db && a.0 <= b.0)
+}
+
+/// A Pastry routing table: `64/bits` rows of `2^bits` columns.
+///
+/// `rows[r][c]` holds a node that shares exactly `r` leading digits with
+/// the owner and whose digit `r` is `c`.
+#[derive(Clone, Debug)]
+pub struct RoutingTable {
+    own: Id,
+    bits: u32,
+    rows: Vec<Vec<Option<Id>>>,
+}
+
+impl RoutingTable {
+    /// An empty table for node `own` with `bits` bits per digit.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bits` divides 64.
+    pub fn new(own: Id, bits: u32) -> RoutingTable {
+        assert!(bits > 0 && ID_BITS % bits == 0, "bits must divide 64");
+        let digits = (ID_BITS / bits) as usize;
+        let cols = 1usize << bits;
+        RoutingTable {
+            own,
+            bits,
+            rows: vec![vec![None; cols]; digits],
+        }
+    }
+
+    /// Bits per digit.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The table entry at (row, column), if populated.
+    pub fn entry(&self, row: u32, col: u32) -> Option<Id> {
+        self.rows[row as usize][col as usize]
+    }
+
+    /// Offers a candidate node for inclusion. The candidate lands in the
+    /// slot determined by its shared prefix with the owner; an occupied
+    /// slot keeps the candidate closest to the slot's *anchor point* (the
+    /// owner's low bits mapped into the slot's id range). Real Pastry
+    /// prefers the proximally closest node, which differs per owner — the
+    /// anchor rule reproduces that per-owner diversity deterministically,
+    /// so different nodes pick different representatives and interior tree
+    /// load spreads instead of collapsing onto one hub. Construction is
+    /// order-independent.
+    pub fn consider(&mut self, candidate: Id) {
+        if candidate == self.own {
+            return;
+        }
+        let row = self.own.prefix_len(candidate, self.bits);
+        let col = candidate.digit(row, self.bits);
+        let anchor = slot_anchor(self.own.0, row, col, self.bits);
+        let slot = &mut self.rows[row as usize][col as usize];
+        match *slot {
+            Some(existing) if closer_anchor(existing, candidate, anchor) => {}
+            _ => *slot = Some(candidate),
+        }
+    }
+
+    /// Removes a departed node from any slot holding it.
+    pub fn remove(&mut self, node: Id) {
+        for row in &mut self.rows {
+            for slot in row.iter_mut() {
+                if *slot == Some(node) {
+                    *slot = None;
+                }
+            }
+        }
+    }
+
+    /// All populated entries.
+    pub fn entries(&self) -> impl Iterator<Item = Id> + '_ {
+        self.rows.iter().flatten().filter_map(|s| *s)
+    }
+}
+
+/// The `2*half` nodes numerically closest to the owner: `half` on each side
+/// of the ring.
+#[derive(Clone, Debug)]
+pub struct LeafSet {
+    own: Id,
+    half: usize,
+    /// Counter-clockwise neighbors, nearest first.
+    left: Vec<Id>,
+    /// Clockwise neighbors, nearest first.
+    right: Vec<Id>,
+}
+
+impl LeafSet {
+    /// An empty leaf set holding up to `half` nodes on each side.
+    pub fn new(own: Id, half: usize) -> LeafSet {
+        assert!(half > 0, "leaf set must hold at least one node per side");
+        LeafSet {
+            own,
+            half,
+            left: Vec::new(),
+            right: Vec::new(),
+        }
+    }
+
+    /// Capacity per side.
+    pub fn half(&self) -> usize {
+        self.half
+    }
+
+    fn insert_sorted(list: &mut Vec<Id>, id: Id, dist: impl Fn(Id) -> u64, cap: usize) {
+        if list.contains(&id) {
+            return;
+        }
+        let pos = list
+            .iter()
+            .position(|&x| dist(x) > dist(id))
+            .unwrap_or(list.len());
+        list.insert(pos, id);
+        list.truncate(cap);
+    }
+
+    /// Offers a candidate node for inclusion on whichever sides it is among
+    /// the `half` closest.
+    pub fn consider(&mut self, candidate: Id) {
+        if candidate == self.own {
+            return;
+        }
+        let own = self.own;
+        Self::insert_sorted(
+            &mut self.right,
+            candidate,
+            |x| own.clockwise_distance(x),
+            self.half,
+        );
+        Self::insert_sorted(
+            &mut self.left,
+            candidate,
+            |x| x.clockwise_distance(own),
+            self.half,
+        );
+    }
+
+    /// Removes a departed node.
+    pub fn remove(&mut self, node: Id) {
+        self.left.retain(|&x| x != node);
+        self.right.retain(|&x| x != node);
+    }
+
+    /// All distinct members (a node can be on both sides in small rings).
+    pub fn members(&self) -> Vec<Id> {
+        let mut v = self.left.clone();
+        for &r in &self.right {
+            if !v.contains(&r) {
+                v.push(r);
+            }
+        }
+        v
+    }
+
+    /// True if `key` falls within the ring span covered by the leaf set.
+    ///
+    /// A side that is not at capacity means there are no further nodes in
+    /// that direction; overlapping sides mean the membership is smaller
+    /// than the combined capacity. In both cases the set spans the whole
+    /// ring.
+    pub fn covers(&self, key: Id) -> bool {
+        if self.left.len() < self.half || self.right.len() < self.half {
+            return true;
+        }
+        if self.right.iter().any(|r| self.left.contains(r)) {
+            return true;
+        }
+        let lo = *self.left.last().expect("left non-empty");
+        let hi = *self.right.last().expect("right non-empty");
+        // Clockwise from lo, through own, to hi.
+        lo.clockwise_distance(key) <= lo.clockwise_distance(hi)
+    }
+
+    /// The member (or the owner itself) numerically closest to `key`.
+    pub fn closest(&self, key: Id) -> Id {
+        let mut best = self.own;
+        for m in self.members() {
+            if m.closer_to(key, best) {
+                best = m;
+            }
+        }
+        best
+    }
+}
+
+/// Complete per-node routing state and the Pastry next-hop decision.
+#[derive(Clone, Debug)]
+pub struct RouterState {
+    own: Id,
+    table: RoutingTable,
+    leaf: LeafSet,
+}
+
+impl RouterState {
+    /// Empty state for node `own` with `bits` bits per digit and a leaf set
+    /// of `half` nodes per side.
+    pub fn new(own: Id, bits: u32, half: usize) -> RouterState {
+        RouterState {
+            own,
+            table: RoutingTable::new(own, bits),
+            leaf: LeafSet::new(own, half),
+        }
+    }
+
+    /// This node's ring id.
+    pub fn own(&self) -> Id {
+        self.own
+    }
+
+    /// Read access to the routing table.
+    pub fn table(&self) -> &RoutingTable {
+        &self.table
+    }
+
+    /// Read access to the leaf set.
+    pub fn leaf(&self) -> &LeafSet {
+        &self.leaf
+    }
+
+    /// Incorporates knowledge of another live node.
+    pub fn consider(&mut self, candidate: Id) {
+        self.table.consider(candidate);
+        self.leaf.consider(candidate);
+    }
+
+    /// Drops a departed node from all state.
+    pub fn remove(&mut self, node: Id) {
+        self.table.remove(node);
+        self.leaf.remove(node);
+    }
+
+    /// Every node this router knows about.
+    pub fn known(&self) -> Vec<Id> {
+        let mut v = self.leaf.members();
+        for e in self.table.entries() {
+            if !v.contains(&e) {
+                v.push(e);
+            }
+        }
+        v
+    }
+
+    /// The Pastry next-hop decision. `None` means this node is the key's
+    /// root (the rendezvous node for that key).
+    pub fn next_hop(&self, key: Id) -> Option<Id> {
+        if key == self.own {
+            return None;
+        }
+        if self.leaf.covers(key) {
+            let closest = self.leaf.closest(key);
+            return if closest == self.own {
+                None
+            } else {
+                Some(closest)
+            };
+        }
+        let bits = self.table.bits();
+        let row = self.own.prefix_len(key, bits);
+        if let Some(e) = self.table.entry(row, key.digit(row, bits)) {
+            return Some(e);
+        }
+        // Rare case: any known node with at least as long a shared prefix
+        // with the key that is numerically strictly closer.
+        let known = self.known();
+        let mut best: Option<Id> = None;
+        for &cand in &known {
+            if cand.prefix_len(key, bits) >= row && cand.closer_to(key, self.own) {
+                best = match best {
+                    Some(b) if b.closer_to(key, cand) => Some(b),
+                    _ => Some(cand),
+                };
+            }
+        }
+        if best.is_some() {
+            return best;
+        }
+        // Last resort (as in FreePastry): drop the prefix requirement and
+        // take any known node numerically strictly closer to the key. The
+        // leaf set always contains one unless this node is the key's root.
+        for &cand in &known {
+            if cand.closer_to(key, self.own) {
+                best = match best {
+                    Some(b) if b.closer_to(key, cand) => Some(b),
+                    _ => Some(cand),
+                };
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_table_slots_by_prefix() {
+        let own = Id(0xAB00_0000_0000_0000);
+        let mut rt = RoutingTable::new(own, 4);
+        let other = Id(0xAC00_0000_0000_0000); // shares 1 digit, digit1 = C
+        rt.consider(other);
+        assert_eq!(rt.entry(1, 0xC), Some(other));
+        assert_eq!(rt.entry(0, 0xA), None); // digit0 equal, not row 0
+        // own is never inserted.
+        rt.consider(own);
+        assert_eq!(rt.entries().count(), 1);
+    }
+
+    #[test]
+    fn routing_table_slot_choice_is_order_independent() {
+        let own = Id(0x0000_0000_0000_1234);
+        let a = Id(0x8000_0000_0000_0001);
+        let b = Id(0x8000_0000_0000_2000);
+        let mut rt1 = RoutingTable::new(own, 4);
+        rt1.consider(a);
+        rt1.consider(b);
+        let mut rt2 = RoutingTable::new(own, 4);
+        rt2.consider(b);
+        rt2.consider(a);
+        assert_eq!(rt1.entry(0, 8), rt2.entry(0, 8));
+        // Anchor for (row 0, col 8) = 0x8000…1234: b (0x…2000) is closer
+        // than a (0x…0001).
+        assert_eq!(rt1.entry(0, 8), Some(b));
+    }
+
+    #[test]
+    fn slot_anchor_maps_own_low_bits_into_slot_range() {
+        let own = 0xAB00_0000_0000_0042u64;
+        // row 1, col 0xC for own 0xAB…: keep digit 'A', set digit 'C'.
+        let anchor = slot_anchor(own, 1, 0xC, 4);
+        assert_eq!(anchor, 0xAC00_0000_0000_0042);
+        // row 0: nothing kept.
+        assert_eq!(slot_anchor(own, 0, 0x3, 4), 0x3B00_0000_0000_0042);
+    }
+
+    #[test]
+    fn closer_anchor_ties_to_smaller_id() {
+        let anchor = 100u64;
+        assert!(closer_anchor(Id(99), Id(102), anchor));
+        assert!(!closer_anchor(Id(103), Id(98), anchor));
+        // Equidistant: smaller id wins.
+        assert!(closer_anchor(Id(98), Id(102), anchor));
+        assert!(!closer_anchor(Id(102), Id(98), anchor));
+    }
+
+    #[test]
+    fn routing_table_remove_clears_slot() {
+        let own = Id(0);
+        let a = Id(0x8000_0000_0000_0001);
+        let mut rt = RoutingTable::new(own, 4);
+        rt.consider(a);
+        rt.remove(a);
+        assert_eq!(rt.entry(0, 8), None);
+    }
+
+    #[test]
+    fn leafset_orders_by_ring_proximity() {
+        let own = Id(100);
+        let mut ls = LeafSet::new(own, 2);
+        for id in [Id(90), Id(95), Id(99), Id(101), Id(105), Id(110)] {
+            ls.consider(id);
+        }
+        // right: nearest clockwise first.
+        assert_eq!(ls.right, vec![Id(101), Id(105)]);
+        // left: nearest counter-clockwise first.
+        assert_eq!(ls.left, vec![Id(99), Id(95)]);
+    }
+
+    #[test]
+    fn leafset_covers_whole_ring_when_not_full() {
+        let own = Id(100);
+        let mut ls = LeafSet::new(own, 4);
+        ls.consider(Id(200));
+        assert!(ls.covers(Id(0)));
+        assert!(ls.covers(Id(u64::MAX)));
+    }
+
+    #[test]
+    fn leafset_range_check_when_full() {
+        let own = Id(100);
+        let mut ls = LeafSet::new(own, 1);
+        ls.consider(Id(90));
+        ls.consider(Id(110));
+        ls.consider(Id(50)); // farther, evicted
+        ls.consider(Id(150));
+        assert!(ls.covers(Id(100)));
+        assert!(ls.covers(Id(95)));
+        assert!(!ls.covers(Id(200)));
+        assert!(!ls.covers(Id(40)));
+    }
+
+    #[test]
+    fn leafset_closest_prefers_numerically_nearest() {
+        let own = Id(100);
+        let mut ls = LeafSet::new(own, 2);
+        ls.consider(Id(90));
+        ls.consider(Id(104));
+        assert_eq!(ls.closest(Id(103)), Id(104));
+        assert_eq!(ls.closest(Id(92)), Id(90));
+        assert_eq!(ls.closest(Id(100)), own);
+    }
+
+    #[test]
+    fn next_hop_none_for_own_key_and_for_root() {
+        let own = Id(100);
+        let mut rs = RouterState::new(own, 4, 2);
+        rs.consider(Id(5000));
+        assert_eq!(rs.next_hop(own), None);
+        // key nearest to own: leaf covers (not full), closest is own.
+        assert_eq!(rs.next_hop(Id(101)), None);
+    }
+
+    #[test]
+    fn next_hop_uses_leafset_for_nearby_keys() {
+        let own = Id(100);
+        let mut rs = RouterState::new(own, 4, 2);
+        rs.consider(Id(200));
+        assert_eq!(rs.next_hop(Id(199)), Some(Id(200)));
+    }
+
+    #[test]
+    fn next_hop_prefix_route_for_far_keys() {
+        let own = Id(0x0000_0000_0000_0064);
+        let far = Id(0x8000_0000_0000_0000);
+        let mut rs = RouterState::new(own, 4, 1);
+        // Fill leafset so that coverage is bounded.
+        rs.consider(Id(0x0000_0000_0000_0060));
+        rs.consider(Id(0x0000_0000_0000_0070));
+        rs.consider(far);
+        let key = Id(0x8000_0000_0000_1234);
+        assert_eq!(rs.next_hop(key), Some(far));
+    }
+}

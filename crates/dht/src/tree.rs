@@ -1,0 +1,250 @@
+//! Implicit DHT aggregation trees (paper Section 3.2, Figure 3).
+//!
+//! For a key `k`, the union of every node's overlay route toward `k` forms
+//! a tree spanning all nodes, rooted at `k`'s owner. Because each node's
+//! parent is simply its Pastry next hop toward `k`, the tree requires no
+//! maintenance messages — it is *implicit* in the DHT routing state, which
+//! is why the paper charges no maintenance cost to global trees.
+//!
+//! [`TreeTopology`] materializes this tree for the simulator: parents are
+//! computed per node via [`Ring::next_hop`] and inverted into child lists.
+//! On a real deployment the child lists are discovered lazily (a node
+//! learns a child exists when the child's first status update or reply
+//! arrives); materializing them up front is equivalent because the parent
+//! relation itself is fully determined by the routing state.
+
+use std::collections::HashMap;
+
+use crate::id::Id;
+use crate::ring::Ring;
+
+/// The aggregation tree induced by DHT routing toward one key.
+#[derive(Clone, Debug)]
+pub struct TreeTopology {
+    key: Id,
+    root: Id,
+    parent: HashMap<Id, Id>,
+    children: HashMap<Id, Vec<Id>>,
+    depth: HashMap<Id, u32>,
+}
+
+impl TreeTopology {
+    /// Builds the tree for `key` over the given membership.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring is empty, or (debug builds) if the induced parent
+    /// relation is not a tree — which would indicate a routing bug.
+    pub fn build(ring: &Ring, key: Id) -> TreeTopology {
+        assert!(!ring.is_empty(), "cannot build a tree over an empty ring");
+        let root = ring.owner(key);
+        let mut parent: HashMap<Id, Id> = HashMap::with_capacity(ring.len());
+        for &n in ring.ids() {
+            if let Some(p) = ring.next_hop(n, key) {
+                parent.insert(n, p);
+            } else {
+                debug_assert_eq!(n, root, "non-root node {n} has no next hop for {key}");
+            }
+        }
+        // Compute depths. Routing is loop-free in all but pathological
+        // id configurations (the prefix rule and the numeric fallback can
+        // disagree about direction); if a cycle is found, re-parent the
+        // cycle member numerically closest to the key directly to the root
+        // — the moral equivalent of Pastry's final leaf-set delivery hop.
+        let mut depth = HashMap::with_capacity(ring.len());
+        depth.insert(root, 0u32);
+        for &n in ring.ids() {
+            loop {
+                let mut chain = Vec::new();
+                let mut cur = n;
+                let mut cycled = false;
+                while !depth.contains_key(&cur) {
+                    if chain.contains(&cur) {
+                        // Cycle: repair and restart this walk.
+                        let fix = *chain
+                            .iter()
+                            .min_by(|a, b| {
+                                if a.closer_to(key, **b) {
+                                    std::cmp::Ordering::Less
+                                } else {
+                                    std::cmp::Ordering::Greater
+                                }
+                            })
+                            .expect("non-empty cycle");
+                        parent.insert(fix, root);
+                        cycled = true;
+                        break;
+                    }
+                    chain.push(cur);
+                    cur = *parent
+                        .get(&cur)
+                        .unwrap_or_else(|| panic!("orphan node {cur} in tree for {key}"));
+                }
+                if cycled {
+                    continue;
+                }
+                let mut d = depth[&cur];
+                for &link in chain.iter().rev() {
+                    d += 1;
+                    depth.insert(link, d);
+                }
+                break;
+            }
+        }
+        // Invert to child lists only after any cycle repairs.
+        let mut children: HashMap<Id, Vec<Id>> = HashMap::with_capacity(ring.len());
+        for (&c, &p) in &parent {
+            children.entry(p).or_default().push(c);
+        }
+        for c in children.values_mut() {
+            c.sort_unstable();
+        }
+        TreeTopology {
+            key,
+            root,
+            parent,
+            children,
+            depth,
+        }
+    }
+
+    /// The key this tree aggregates toward.
+    pub fn key(&self) -> Id {
+        self.key
+    }
+
+    /// The tree root (the key's owner).
+    pub fn root(&self) -> Id {
+        self.root
+    }
+
+    /// Number of nodes in the tree (== ring size at build time).
+    pub fn len(&self) -> usize {
+        self.depth.len()
+    }
+
+    /// True if the tree is empty (never: `build` panics on an empty ring).
+    pub fn is_empty(&self) -> bool {
+        self.depth.is_empty()
+    }
+
+    /// The parent of `node`, or `None` for the root.
+    pub fn parent(&self, node: Id) -> Option<Id> {
+        self.parent.get(&node).copied()
+    }
+
+    /// The children of `node` (empty for leaves).
+    pub fn children(&self, node: Id) -> &[Id] {
+        self.children.get(&node).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Depth of `node` (root = 0), or `None` if not a member.
+    pub fn depth_of(&self, node: Id) -> Option<u32> {
+        self.depth.get(&node).copied()
+    }
+
+    /// The height of the tree.
+    pub fn max_depth(&self) -> u32 {
+        self.depth.values().copied().max().unwrap_or(0)
+    }
+
+    /// Iterates over all member ids.
+    pub fn nodes(&self) -> impl Iterator<Item = Id> + '_ {
+        self.depth.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn tree_spans_all_nodes_and_roots_at_owner() {
+        let ring = Ring::with_random_ids(128, 4, 21);
+        let key = Id::of_attribute("ServiceX");
+        let tree = TreeTopology::build(&ring, key);
+        assert_eq!(tree.len(), 128);
+        assert_eq!(tree.root(), ring.owner(key));
+        assert_eq!(tree.parent(tree.root()), None);
+        assert_eq!(tree.depth_of(tree.root()), Some(0));
+    }
+
+    #[test]
+    fn children_invert_parents() {
+        let ring = Ring::with_random_ids(64, 4, 5);
+        let tree = TreeTopology::build(&ring, Id(12345));
+        let mut via_children = 0;
+        for n in ring.ids() {
+            for &c in tree.children(*n) {
+                assert_eq!(tree.parent(c), Some(*n));
+                via_children += 1;
+            }
+        }
+        assert_eq!(via_children, 63); // every non-root appears exactly once
+    }
+
+    #[test]
+    fn depth_increases_along_parent_edges() {
+        let ring = Ring::with_random_ids(100, 4, 77);
+        let tree = TreeTopology::build(&ring, Id(999));
+        for &n in ring.ids() {
+            if let Some(p) = tree.parent(n) {
+                assert_eq!(tree.depth_of(n).unwrap(), tree.depth_of(p).unwrap() + 1);
+            }
+        }
+        assert!(tree.max_depth() >= 1);
+    }
+
+    #[test]
+    fn one_bit_prefix_tree_matches_paper_figure3_shape() {
+        // Paper Figure 3: 8 nodes with 3-bit ids 000..111, one-bit digits,
+        // key prefix 000. With ids spread across the top octants of the
+        // space, the root is the 000-prefixed node.
+        let ids: Vec<Id> = (0u64..8).map(|i| Id(i << 61)).collect();
+        let ring = Ring::from_ids(ids.clone(), 1).with_leaf_half(1);
+        let key = Id(0); // prefix 000...
+        let tree = TreeTopology::build(&ring, key);
+        assert_eq!(tree.root(), Id(0));
+        // All 8 nodes present, and the tree respects prefix routing: a
+        // node's parent always shares at least as long a prefix with the
+        // key (strictly longer unless reached via a leaf-set hop).
+        assert_eq!(tree.len(), 8);
+        for id in ids {
+            if let Some(p) = tree.parent(id) {
+                assert!(
+                    p.prefix_len(key, 1) >= id.prefix_len(key, 1)
+                        || p.ring_distance(key) < id.ring_distance(key)
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn tree_property_holds_for_random_rings(seed in 0u64..200, n in 1usize..120, key in any::<u64>()) {
+            let ring = Ring::with_random_ids(n, 4, seed);
+            let tree = TreeTopology::build(&ring, Id(key));
+            prop_assert_eq!(tree.len(), n);
+            // Exactly one root, everyone else has a parent, no cycles
+            // (build() would have panicked), depths bounded.
+            let roots = ring.ids().iter().filter(|&&id| tree.parent(id).is_none()).count();
+            prop_assert_eq!(roots, 1);
+            prop_assert!(tree.max_depth() as usize <= n);
+        }
+
+        #[test]
+        fn rebuild_after_failure_excludes_failed_node(seed in 0u64..50, n in 3usize..80) {
+            let mut ring = Ring::with_random_ids(n, 4, seed);
+            let key = Id::of_attribute("Mem-Free");
+            let victim = ring.ids()[1];
+            ring.remove(victim);
+            let tree = TreeTopology::build(&ring, key);
+            prop_assert_eq!(tree.len(), n - 1);
+            prop_assert!(tree.depth_of(victim).is_none());
+            for &id in ring.ids() {
+                prop_assert!(tree.parent(id) != Some(victim));
+            }
+        }
+    }
+}

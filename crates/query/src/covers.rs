@@ -1,0 +1,338 @@
+//! Low-cost cover selection (paper Section 6.3).
+//!
+//! Given the CNF of a composite predicate, every clause is a structural
+//! cover. This module reduces clauses with semantic information (Figure 7
+//! rules), derives additional candidate covers by resolution over
+//! complementary atoms (the paper's `not`-elimination identities), detects
+//! unsatisfiable predicates, and finally picks the candidate with the
+//! lowest total query cost.
+
+use crate::ast::SimplePredicate;
+use crate::cnf::{Clause, Cnf};
+use crate::semantic::{relate, Relation};
+
+/// The planner's decision for a composite query.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Cover {
+    /// Query the global tree (predicate matches everything, or no usable
+    /// group exists).
+    All,
+    /// The predicate is unsatisfiable; the answer is empty with no
+    /// communication at all.
+    Empty,
+    /// Send the query to the trees of exactly these groups.
+    Groups(Vec<SimplePredicate>),
+}
+
+impl Cover {
+    /// Number of groups to contact (0 for `All`/`Empty`).
+    pub fn group_count(&self) -> usize {
+        match self {
+            Cover::Groups(g) => g.len(),
+            _ => 0,
+        }
+    }
+}
+
+/// Reduces a clause (a union of groups) using pairwise semantic relations:
+/// an atom included in (or equal to) another atom of the same clause is
+/// redundant — its nodes are already covered.
+pub fn reduce_clause(clause: &Clause) -> Vec<SimplePredicate> {
+    let atoms = &clause.atoms;
+    let mut keep = vec![true; atoms.len()];
+    for i in 0..atoms.len() {
+        if !keep[i] {
+            continue;
+        }
+        for j in 0..atoms.len() {
+            if i == j || !keep[j] {
+                continue;
+            }
+            match relate(&atoms[i], &atoms[j]) {
+                // i ⊆ j: drop i, j covers it.
+                Relation::SubsetOfB => {
+                    keep[i] = false;
+                    break;
+                }
+                // identical sets: keep the lower index.
+                Relation::Equal if j < i => {
+                    keep[i] = false;
+                    break;
+                }
+                _ => {}
+            }
+        }
+    }
+    atoms
+        .iter()
+        .zip(keep)
+        .filter_map(|(a, k)| k.then(|| a.clone()))
+        .collect()
+}
+
+/// Selects the minimum-cost cover for a CNF predicate.
+///
+/// `cost` estimates the messages needed to query one group's tree (the
+/// engine feeds this from size probes; unknown groups should return a
+/// large value such as twice the system size).
+pub fn choose_cover(cnf: &Cnf, cost: impl Fn(&SimplePredicate) -> u64) -> Cover {
+    if cnf.is_all() {
+        return Cover::All;
+    }
+
+    // Unsatisfiability: two conjoined singleton clauses with disjoint
+    // groups can never both hold (Figure 7, row 1 for `and`).
+    let singles: Vec<&SimplePredicate> = cnf
+        .clauses
+        .iter()
+        .filter(|c| c.atoms.len() == 1)
+        .map(|c| &c.atoms[0])
+        .collect();
+    for i in 0..singles.len() {
+        for j in (i + 1)..singles.len() {
+            if matches!(
+                relate(singles[i], singles[j]),
+                Relation::Disjoint | Relation::Complementary
+            ) {
+                return Cover::Empty;
+            }
+        }
+    }
+
+    // Candidate covers: each reduced clause…
+    let mut candidates: Vec<Vec<SimplePredicate>> = cnf.clauses.iter().map(reduce_clause).collect();
+
+    // …plus resolvents over complementary atom pairs across clauses:
+    // (X or B) and (X' or C) with C = not(B) admits the cover X ∪ X'
+    // (any node outside both X and X' would have to satisfy both B and
+    // not(B)). This captures the paper's `not` identities, e.g.
+    // (A or B) and (A or C) = A when C = not(B).
+    let n = cnf.clauses.len();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            for (bi, b) in cnf.clauses[i].atoms.iter().enumerate() {
+                for (cj, c) in cnf.clauses[j].atoms.iter().enumerate() {
+                    if relate(b, c) != Relation::Complementary {
+                        continue;
+                    }
+                    let mut resolvent: Vec<SimplePredicate> = Vec::new();
+                    for (k, a) in cnf.clauses[i].atoms.iter().enumerate() {
+                        if k != bi {
+                            resolvent.push(a.clone());
+                        }
+                    }
+                    for (k, a) in cnf.clauses[j].atoms.iter().enumerate() {
+                        if k != cj && !resolvent.iter().any(|x| x.key() == a.key()) {
+                            resolvent.push(a.clone());
+                        }
+                    }
+                    if resolvent.is_empty() {
+                        // (B) and (not B): unsatisfiable.
+                        return Cover::Empty;
+                    }
+                    candidates.push(reduce_clause(&Clause {
+                        atoms: resolvent,
+                    }));
+                }
+            }
+        }
+    }
+
+    let best = candidates
+        .into_iter()
+        .enumerate()
+        .min_by_key(|(idx, groups)| {
+            let total: u64 = groups
+                .iter()
+                .fold(0u64, |acc, g| acc.saturating_add(cost(g)));
+            (total, *idx)
+        })
+        .map(|(_, groups)| groups);
+
+    match best {
+        Some(groups) if !groups.is_empty() => Cover::Groups(groups),
+        _ => Cover::All,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{CmpOp, Predicate};
+
+    fn flag(name: &str) -> Predicate {
+        Predicate::atom(name, CmpOp::Eq, true)
+    }
+
+    fn uniform_cost(_: &SimplePredicate) -> u64 {
+        100
+    }
+
+    #[test]
+    fn intersection_queries_one_group_the_cheapest() {
+        // (floor=F1 and cluster=C12): query only the cheaper group.
+        let p = Predicate::And(vec![
+            Predicate::atom("floor", CmpOp::Eq, "F1"),
+            Predicate::atom("cluster", CmpOp::Eq, "C12"),
+        ]);
+        let cnf = p.to_cnf().unwrap();
+        let cover = choose_cover(&cnf, |a| {
+            if a.attr.as_str() == "cluster" {
+                40
+            } else {
+                400
+            }
+        });
+        match cover {
+            Cover::Groups(g) => {
+                assert_eq!(g.len(), 1);
+                assert_eq!(g[0].attr.as_str(), "cluster");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn union_queries_all_groups() {
+        let p = Predicate::Or(vec![flag("A"), flag("B"), flag("C")]);
+        let cnf = p.to_cnf().unwrap();
+        match choose_cover(&cnf, uniform_cost) {
+            Cover::Groups(g) => assert_eq!(g.len(), 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn figure6_picks_cheaper_structural_cover() {
+        // ((A or B) and (A or C)) or D → covers {A,B,D} and {A,C,D};
+        // min(|A|+|B|+|D|, |A|+|C|+|D|).
+        let p = Predicate::Or(vec![
+            Predicate::And(vec![
+                Predicate::Or(vec![flag("A"), flag("B")]),
+                Predicate::Or(vec![flag("A"), flag("C")]),
+            ]),
+            flag("D"),
+        ]);
+        let cnf = p.to_cnf().unwrap();
+        let cover = choose_cover(&cnf, |a| match a.attr.as_str() {
+            "B" => 500,
+            _ => 10,
+        });
+        match cover {
+            Cover::Groups(g) => {
+                let names: Vec<&str> = g.iter().map(|a| a.attr.as_str()).collect();
+                assert_eq!(names, vec!["A", "C", "D"]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_predicate_gives_all_cover() {
+        assert_eq!(
+            choose_cover(&Predicate::All.to_cnf().unwrap(), uniform_cost),
+            Cover::All
+        );
+        assert_eq!(Cover::All.group_count(), 0);
+    }
+
+    #[test]
+    fn disjoint_intersection_is_empty() {
+        // (CPU < 20) and (CPU > 80): unsatisfiable.
+        let p = Predicate::And(vec![
+            Predicate::atom("CPU", CmpOp::Lt, 20i64),
+            Predicate::atom("CPU", CmpOp::Gt, 80i64),
+        ]);
+        let cnf = p.to_cnf().unwrap();
+        assert_eq!(choose_cover(&cnf, uniform_cost), Cover::Empty);
+    }
+
+    #[test]
+    fn complementary_singletons_are_empty() {
+        let p = Predicate::And(vec![
+            Predicate::atom("s", CmpOp::Eq, true),
+            Predicate::atom("s", CmpOp::Eq, false),
+        ]);
+        assert_eq!(
+            choose_cover(&p.to_cnf().unwrap(), uniform_cost),
+            Cover::Empty
+        );
+    }
+
+    #[test]
+    fn inclusion_reduces_union_clause() {
+        // (Mem<1G or Mem<2G): the first group is contained in the second.
+        let p = Predicate::Or(vec![
+            Predicate::atom("Mem", CmpOp::Lt, 1i64),
+            Predicate::atom("Mem", CmpOp::Lt, 2i64),
+        ]);
+        let cnf = p.to_cnf().unwrap();
+        match choose_cover(&cnf, uniform_cost) {
+            Cover::Groups(g) => {
+                assert_eq!(g.len(), 1);
+                assert_eq!(g[0].value, moara_attributes::Value::Int(2));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_not_rule_a_or_b_and_a_or_c() {
+        // (A or B) and (A or C) = A when C = not(B). Use B: x<5, C: x>=5.
+        let p = Predicate::And(vec![
+            Predicate::Or(vec![flag("A"), Predicate::atom("x", CmpOp::Lt, 5i64)]),
+            Predicate::Or(vec![flag("A"), Predicate::atom("x", CmpOp::Ge, 5i64)]),
+        ]);
+        let cnf = p.to_cnf().unwrap();
+        // Cheap atoms everywhere: the resolvent {A} (1 group) should win
+        // over either 2-group clause under uniform costs.
+        match choose_cover(&cnf, uniform_cost) {
+            Cover::Groups(g) => {
+                assert_eq!(g.len(), 1);
+                assert_eq!(g[0].attr.as_str(), "A");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_not_rule_a_or_c_and_b() {
+        // (A or C) and B = A and B when C = not(B): the resolvent is {A},
+        // but clause {B} is also a cover; cost decides.
+        let b = Predicate::atom("x", CmpOp::Ge, 5i64);
+        let c = Predicate::atom("x", CmpOp::Lt, 5i64);
+        let p = Predicate::And(vec![Predicate::Or(vec![flag("A"), c]), b]);
+        let cnf = p.to_cnf().unwrap();
+        let cover = choose_cover(&cnf, |a| if a.attr.as_str() == "A" { 5 } else { 50 });
+        match cover {
+            Cover::Groups(g) => {
+                assert_eq!(g.len(), 1);
+                assert_eq!(g[0].attr.as_str(), "A");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reduce_clause_keeps_unrelated_atoms() {
+        let clause = Clause {
+            atoms: vec![
+                SimplePredicate::new("A", CmpOp::Eq, true),
+                SimplePredicate::new("B", CmpOp::Eq, true),
+            ],
+        };
+        assert_eq!(reduce_clause(&clause).len(), 2);
+    }
+
+    #[test]
+    fn equal_atoms_deduplicate_semantically() {
+        // x<5 and x<5.0 have different keys but identical sets.
+        let clause = Clause {
+            atoms: vec![
+                SimplePredicate::new("x", CmpOp::Lt, 5i64),
+                SimplePredicate::new("x", CmpOp::Lt, 5.0),
+            ],
+        };
+        assert_eq!(reduce_clause(&clause).len(), 1);
+    }
+}

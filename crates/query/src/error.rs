@@ -1,0 +1,40 @@
+//! Query parsing errors.
+
+use std::fmt;
+
+/// A parse failure with byte position and description.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input where the problem was noticed.
+    pub pos: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(pos: usize, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            pos,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_position() {
+        let e = ParseError::new(7, "unexpected ')'");
+        assert_eq!(e.to_string(), "parse error at byte 7: unexpected ')'");
+    }
+}

@@ -1,0 +1,301 @@
+//! Tokenizer for the Moara query language.
+//!
+//! Attribute names may contain `-` and `.` (the paper writes `CPU-Util`,
+//! `service X.version Y`), so `-` is an identifier character when it
+//! follows a letter; a leading `-` before a digit starts a negative number
+//! instead.
+
+use crate::error::ParseError;
+
+/// A lexical token with its byte position.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct Token {
+    pub pos: usize,
+    pub kind: TokenKind,
+}
+
+/// The kinds of token the query grammar uses.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum TokenKind {
+    /// Identifier / bare word (attribute names, keywords, `true`/`false`).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `*`
+    Star,
+    /// A comparison operator: `< <= > >= = == != <>`.
+    Op(&'static str),
+}
+
+impl TokenKind {
+    /// The keyword this identifier represents, if any (case-insensitive).
+    pub fn keyword(&self) -> Option<&'static str> {
+        let TokenKind::Ident(s) = self else {
+            return None;
+        };
+        match s.to_ascii_lowercase().as_str() {
+            "select" => Some("select"),
+            "where" => Some("where"),
+            "and" => Some("and"),
+            "or" => Some("or"),
+            "not" => Some("not"),
+            "true" => Some("true"),
+            "false" => Some("false"),
+            _ => None,
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.')
+}
+
+/// Tokenizes `input`.
+pub(crate) fn lex(input: &str) -> Result<Vec<Token>, ParseError> {
+    let bytes: Vec<char> = input.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let pos = i;
+        match c {
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '(' => {
+                out.push(Token { pos, kind: TokenKind::LParen });
+                i += 1;
+            }
+            ')' => {
+                out.push(Token { pos, kind: TokenKind::RParen });
+                i += 1;
+            }
+            ',' => {
+                out.push(Token { pos, kind: TokenKind::Comma });
+                i += 1;
+            }
+            '*' => {
+                out.push(Token { pos, kind: TokenKind::Star });
+                i += 1;
+            }
+            '<' => {
+                let op = if bytes.get(i + 1) == Some(&'=') {
+                    i += 2;
+                    "<="
+                } else if bytes.get(i + 1) == Some(&'>') {
+                    i += 2;
+                    "!="
+                } else {
+                    i += 1;
+                    "<"
+                };
+                out.push(Token { pos, kind: TokenKind::Op(op) });
+            }
+            '>' => {
+                let op = if bytes.get(i + 1) == Some(&'=') {
+                    i += 2;
+                    ">="
+                } else {
+                    i += 1;
+                    ">"
+                };
+                out.push(Token { pos, kind: TokenKind::Op(op) });
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                out.push(Token { pos, kind: TokenKind::Op("=") });
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    i += 2;
+                    out.push(Token { pos, kind: TokenKind::Op("!=") });
+                } else {
+                    return Err(ParseError::new(pos, "expected '=' after '!'"));
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                        None => return Err(ParseError::new(pos, "unterminated string literal")),
+                    }
+                }
+                out.push(Token { pos, kind: TokenKind::Str(s) });
+            }
+            '-' if bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit()) => {
+                let (tok, next) = lex_number(&bytes, i, pos)?;
+                out.push(tok);
+                i = next;
+            }
+            c if c.is_ascii_digit() => {
+                let (tok, next) = lex_number(&bytes, i, pos)?;
+                out.push(tok);
+                i = next;
+            }
+            c if is_ident_start(c) => {
+                let mut s = String::new();
+                while i < bytes.len() && is_ident_char(bytes[i]) {
+                    s.push(bytes[i]);
+                    i += 1;
+                }
+                out.push(Token { pos, kind: TokenKind::Ident(s) });
+            }
+            other => {
+                return Err(ParseError::new(pos, format!("unexpected character {other:?}")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn lex_number(bytes: &[char], mut i: usize, pos: usize) -> Result<(Token, usize), ParseError> {
+    let start = i;
+    if bytes[i] == '-' {
+        i += 1;
+    }
+    let mut saw_dot = false;
+    while i < bytes.len() && (bytes[i].is_ascii_digit() || (bytes[i] == '.' && !saw_dot)) {
+        // A dot must be followed by a digit to belong to the number
+        // (so `3.` is not a float and `x.y` stays an identifier path).
+        if bytes[i] == '.' {
+            if !bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit()) {
+                break;
+            }
+            saw_dot = true;
+        }
+        i += 1;
+    }
+    let text: String = bytes[start..i].iter().collect();
+    let kind = if saw_dot {
+        TokenKind::Float(
+            text.parse::<f64>()
+                .map_err(|e| ParseError::new(pos, format!("bad float {text:?}: {e}")))?,
+        )
+    } else {
+        TokenKind::Int(
+            text.parse::<i64>()
+                .map_err(|e| ParseError::new(pos, format!("bad integer {text:?}: {e}")))?,
+        )
+    };
+    Ok((Token { pos, kind }, i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        lex(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_the_paper_triple_form() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("(CPU-Usage, MAX, ServiceX = true)"),
+            vec![
+                LParen,
+                Ident("CPU-Usage".into()),
+                Comma,
+                Ident("MAX".into()),
+                Comma,
+                Ident("ServiceX".into()),
+                Op("="),
+                Ident("true".into()),
+                RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn dashed_identifiers_vs_negative_numbers() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("CPU-Util < -5"),
+            vec![Ident("CPU-Util".into()), Op("<"), Int(-5)]
+        );
+        assert_eq!(kinds("x -5"), vec![Ident("x".into()), Int(-5)]);
+        // Inside an identifier, a dash followed by a letter continues it.
+        assert_eq!(kinds("top-3"), vec![Ident("top-3".into())]);
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("42 42.5 -1.25 'Linux 2.6'"),
+            vec![Int(42), Float(42.5), Float(-1.25), Str("Linux 2.6".into())]
+        );
+    }
+
+    #[test]
+    fn operators_and_aliases() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("< <= > >= = == != <>"),
+            vec![
+                Op("<"),
+                Op("<="),
+                Op(">"),
+                Op(">="),
+                Op("="),
+                Op("="),
+                Op("!="),
+                Op("!=")
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_detected_case_insensitively() {
+        let toks = lex("SELECT where AnD oR").unwrap();
+        let kws: Vec<_> = toks.iter().filter_map(|t| t.kind.keyword()).collect();
+        assert_eq!(kws, vec!["select", "where", "and", "or"]);
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let e = lex("a ! b").unwrap_err();
+        assert_eq!(e.pos, 2);
+        let e = lex("'oops").unwrap_err();
+        assert!(e.msg.contains("unterminated"));
+        let e = lex("a # b").unwrap_err();
+        assert!(e.msg.contains("unexpected character"));
+    }
+
+    #[test]
+    fn version_like_identifiers_keep_dots() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("service-X.version"),
+            vec![Ident("service-X.version".into())]
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! # moara-query
+//!
+//! The Moara query language and front-end optimizer (paper Sections 3.1
+//! and 6).
+//!
+//! A query is a triple *(query-attribute, aggregation function,
+//! group-predicate)*. Predicates are arbitrary `and`/`or` nestings of
+//! simple `(attribute op value)` comparisons with
+//! `op ∈ {<, >, ≤, ≥, =, ≠}`. This crate provides:
+//!
+//! * the predicate/query AST ([`Predicate`], [`SimplePredicate`],
+//!   [`Query`]) and its evaluation against a node's attribute store;
+//! * a parser for both the paper's triple form
+//!   (`(CPU-Usage, MAX, ServiceX = true)`) and an SQL-like form
+//!   (`SELECT max(CPU-Usage) WHERE ServiceX = true`) — see [`parse_query`];
+//! * CNF rewriting with structural-cover extraction ([`Cnf`]), the core of
+//!   the paper's Section 6.3 optimization (each CNF disjunction is a cover;
+//!   the cheapest is provably minimum-cost);
+//! * semantic optimization ([`relate`], [`Relation`]) implementing the
+//!   Figure 7/8 rules: equivalence, inclusion, disjointness, and
+//!   complement (`not`) inference from the predicate structure;
+//! * low-cost cover selection ([`choose_cover`], [`Cover`]).
+//!
+//! # Example
+//!
+//! ```
+//! use moara_query::{parse_query, choose_cover, Cover};
+//!
+//! let q = parse_query(
+//!     "SELECT avg(Mem-Free) WHERE (ServiceX = true AND Apache = true)",
+//! ).unwrap();
+//! let cnf = q.predicate.to_cnf().unwrap();
+//! // Intersection query: either group alone is a cover; pick the cheaper.
+//! let cover = choose_cover(&cnf, |atom| {
+//!     if atom.attr.as_str() == "ServiceX" { 10 } else { 500 }
+//! });
+//! match cover {
+//!     Cover::Groups(groups) => {
+//!         assert_eq!(groups.len(), 1);
+//!         assert_eq!(groups[0].attr.as_str(), "ServiceX");
+//!     }
+//!     other => panic!("unexpected cover {other:?}"),
+//! }
+//! ```
+
+mod ast;
+mod cnf;
+mod covers;
+mod error;
+mod lexer;
+mod parser;
+pub mod semantic;
+
+pub use ast::{CmpOp, Predicate, Query, SimplePredicate};
+pub use cnf::{Clause, Cnf, CnfError};
+pub use covers::{choose_cover, reduce_clause, Cover};
+pub use error::ParseError;
+pub use parser::{parse_predicate, parse_query};
+pub use semantic::{relate, Relation};

@@ -1,0 +1,577 @@
+//! Recursive-descent parser for both query syntaxes.
+//!
+//! Triple form (the paper's Section 3.1 notation):
+//!
+//! ```text
+//! (CPU-Usage, MAX, ServiceX = true)
+//! (Mem-Util, AVG, (ServiceX = true and Apache = true))
+//! (Load, TOP(3), *)
+//! ```
+//!
+//! SQL-like form (the paper's front-end shell):
+//!
+//! ```text
+//! SELECT max(CPU-Usage) WHERE ServiceX = true
+//! SELECT count(*) WHERE (floor = 'F1' AND cluster = 'C12')
+//! SELECT top(Load, 3)
+//! ```
+
+use moara_aggregation::AggKind;
+use moara_attributes::Value;
+
+use crate::ast::{CmpOp, Predicate, Query, SimplePredicate};
+use crate::error::ParseError;
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Parses a complete query in either syntax.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with a byte position on malformed input.
+pub fn parse_query(input: &str) -> Result<Query, ParseError> {
+    let tokens = lex(input)?;
+    let mut p = Parser::new(&tokens, input.len());
+    let q = if p.peek_keyword("select") {
+        p.sql_query()?
+    } else {
+        p.triple_query()?
+    };
+    p.expect_end()?;
+    Ok(q)
+}
+
+/// Parses a standalone group predicate, e.g.
+/// `(ServiceX = true and CPU-Util < 50) or Apache = true`.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with a byte position on malformed input.
+pub fn parse_predicate(input: &str) -> Result<Predicate, ParseError> {
+    let tokens = lex(input)?;
+    let mut p = Parser::new(&tokens, input.len());
+    let pred = p.predicate()?;
+    p.expect_end()?;
+    Ok(pred)
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    i: usize,
+    end_pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(tokens: &'a [Token], end_pos: usize) -> Parser<'a> {
+        Parser {
+            tokens,
+            i: 0,
+            end_pos,
+        }
+    }
+
+    fn peek(&self) -> Option<&'a TokenKind> {
+        self.tokens.get(self.i).map(|t| &t.kind)
+    }
+
+    fn pos(&self) -> usize {
+        self.tokens.get(self.i).map_or(self.end_pos, |t| t.pos)
+    }
+
+    fn next(&mut self) -> Option<&'a TokenKind> {
+        let t = self.tokens.get(self.i).map(|t| &t.kind);
+        self.i += 1;
+        t
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        self.peek().and_then(|k| k.keyword()) == Some(kw)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_keyword(kw) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, want: &TokenKind, what: &str) -> Result<(), ParseError> {
+        let pos = self.pos();
+        match self.next() {
+            Some(k) if k == want => Ok(()),
+            other => Err(ParseError::new(
+                pos,
+                format!("expected {what}, found {other:?}"),
+            )),
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<(), ParseError> {
+        if self.i < self.tokens.len() {
+            return Err(ParseError::new(
+                self.pos(),
+                format!("unexpected trailing input {:?}", self.peek().unwrap()),
+            ));
+        }
+        Ok(())
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        let pos = self.pos();
+        match self.next() {
+            Some(TokenKind::Ident(s)) => Ok(s.clone()),
+            other => Err(ParseError::new(
+                pos,
+                format!("expected {what}, found {other:?}"),
+            )),
+        }
+    }
+
+    // ---- query forms -------------------------------------------------
+
+    /// `SELECT agg(target[, k]) [WHERE predicate]`
+    fn sql_query(&mut self) -> Result<Query, ParseError> {
+        assert!(self.eat_keyword("select"));
+        let name_pos = self.pos();
+        let name = self.ident("aggregation function")?;
+        self.expect(&TokenKind::LParen, "'(' after aggregation function")?;
+        let target = self.agg_target()?;
+        let mut explicit_k = None;
+        if self.peek() == Some(&TokenKind::Comma) {
+            self.next();
+            let pos = self.pos();
+            match self.next() {
+                Some(TokenKind::Int(k)) if *k > 0 => explicit_k = Some(*k as usize),
+                other => {
+                    return Err(ParseError::new(
+                        pos,
+                        format!("expected positive integer k, found {other:?}"),
+                    ))
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen, "')' closing aggregation call")?;
+        let agg = resolve_agg(&name, explicit_k, name_pos)?;
+        let predicate = if self.eat_keyword("where") {
+            self.predicate()?
+        } else {
+            Predicate::All
+        };
+        build_query(target, agg, predicate, name_pos)
+    }
+
+    /// `(target, AGG, predicate-or-*)`
+    fn triple_query(&mut self) -> Result<Query, ParseError> {
+        self.expect(&TokenKind::LParen, "'(' opening query triple")?;
+        let target = self.agg_target()?;
+        self.expect(&TokenKind::Comma, "',' after query attribute")?;
+        let name_pos = self.pos();
+        let name = self.ident("aggregation function")?;
+        // Optional parenthesized k: TOP(3).
+        let mut explicit_k = None;
+        if self.peek() == Some(&TokenKind::LParen) {
+            self.next();
+            let pos = self.pos();
+            match self.next() {
+                Some(TokenKind::Int(k)) if *k > 0 => explicit_k = Some(*k as usize),
+                other => {
+                    return Err(ParseError::new(
+                        pos,
+                        format!("expected positive integer k, found {other:?}"),
+                    ))
+                }
+            }
+            self.expect(&TokenKind::RParen, "')' closing k")?;
+        }
+        self.expect(&TokenKind::Comma, "',' after aggregation function")?;
+        let predicate = if self.peek() == Some(&TokenKind::Star) {
+            self.next();
+            Predicate::All
+        } else {
+            self.predicate()?
+        };
+        self.expect(&TokenKind::RParen, "')' closing query triple")?;
+        let agg = resolve_agg(&name, explicit_k, name_pos)?;
+        build_query(target, agg, predicate, name_pos)
+    }
+
+    /// `*` or an attribute name.
+    fn agg_target(&mut self) -> Result<Option<String>, ParseError> {
+        if self.peek() == Some(&TokenKind::Star) {
+            self.next();
+            return Ok(None);
+        }
+        Ok(Some(self.ident("attribute name or '*'")?))
+    }
+
+    // ---- predicates ---------------------------------------------------
+
+    fn predicate(&mut self) -> Result<Predicate, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Predicate, ParseError> {
+        let mut terms = vec![self.and_expr()?];
+        while self.eat_keyword("or") {
+            terms.push(self.and_expr()?);
+        }
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("one term")
+        } else {
+            Predicate::Or(terms)
+        })
+    }
+
+    fn and_expr(&mut self) -> Result<Predicate, ParseError> {
+        let mut terms = vec![self.primary()?];
+        while self.eat_keyword("and") {
+            terms.push(self.primary()?);
+        }
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("one term")
+        } else {
+            Predicate::And(terms)
+        })
+    }
+
+    fn primary(&mut self) -> Result<Predicate, ParseError> {
+        if self.eat_keyword("not") {
+            // Explicit NOT is sugar: it rewrites into the paper's implicit
+            // form by negating operators and applying De Morgan's laws, so
+            // the planner only ever sees positive literals. Note the
+            // domain caveat: NOT (x < 5) becomes x >= 5, which (like every
+            // predicate) is only satisfied by nodes that *have* a
+            // comparable `x`.
+            let pos = self.pos();
+            let inner = self.primary()?;
+            return negate(inner)
+                .ok_or_else(|| ParseError::new(pos, "cannot negate a match-all predicate"));
+        }
+        if self.peek() == Some(&TokenKind::LParen) {
+            self.next();
+            let p = self.or_expr()?;
+            self.expect(&TokenKind::RParen, "')' closing group")?;
+            return Ok(p);
+        }
+        self.atom().map(Predicate::Atom)
+    }
+
+    fn atom(&mut self) -> Result<SimplePredicate, ParseError> {
+        let pos = self.pos();
+        if let Some(kw) = self.peek().and_then(|k| k.keyword()) {
+            return Err(ParseError::new(
+                pos,
+                format!("keyword {kw:?} cannot be an attribute name"),
+            ));
+        }
+        let attr = self.ident("attribute name")?;
+        let pos = self.pos();
+        let op = match self.next() {
+            Some(TokenKind::Op(op)) => match *op {
+                "<" => CmpOp::Lt,
+                "<=" => CmpOp::Le,
+                ">" => CmpOp::Gt,
+                ">=" => CmpOp::Ge,
+                "=" => CmpOp::Eq,
+                "!=" => CmpOp::Ne,
+                _ => unreachable!("lexer produces only known operators"),
+            },
+            other => {
+                return Err(ParseError::new(
+                    pos,
+                    format!("expected comparison operator, found {other:?}"),
+                ))
+            }
+        };
+        let value = self.literal()?;
+        Ok(SimplePredicate::new(attr.as_str(), op, value))
+    }
+
+    fn literal(&mut self) -> Result<Value, ParseError> {
+        let pos = self.pos();
+        match self.next() {
+            Some(TokenKind::Int(i)) => Ok(Value::Int(*i)),
+            Some(TokenKind::Float(f)) => {
+                if f.is_nan() {
+                    Err(ParseError::new(pos, "NaN literal is not allowed"))
+                } else {
+                    Ok(Value::Float(*f))
+                }
+            }
+            Some(TokenKind::Str(s)) => Ok(Value::str(s.clone())),
+            Some(k @ TokenKind::Ident(s)) => match k.keyword() {
+                Some("true") => Ok(Value::Bool(true)),
+                Some("false") => Ok(Value::Bool(false)),
+                Some(kw) => Err(ParseError::new(
+                    pos,
+                    format!("keyword {kw:?} is not a literal"),
+                )),
+                None => Ok(Value::str(s.clone())), // bare-word string: OS = Linux
+            },
+            other => Err(ParseError::new(
+                pos,
+                format!("expected literal, found {other:?}"),
+            )),
+        }
+    }
+}
+
+/// Logical negation of a predicate, pushed down to the atoms: operators
+/// negate (`<` ↔ `>=`, `=` ↔ `!=`) and De Morgan's laws swap `and`/`or`.
+/// `None` for [`Predicate::All`], which has no expressible complement.
+fn negate(p: Predicate) -> Option<Predicate> {
+    match p {
+        Predicate::All => None,
+        Predicate::Atom(mut a) => {
+            a.op = a.op.negate();
+            Some(Predicate::Atom(a))
+        }
+        Predicate::And(ps) => ps
+            .into_iter()
+            .map(negate)
+            .collect::<Option<Vec<_>>>()
+            .map(Predicate::Or),
+        Predicate::Or(ps) => ps
+            .into_iter()
+            .map(negate)
+            .collect::<Option<Vec<_>>>()
+            .map(Predicate::And),
+    }
+}
+
+/// Resolves an aggregation-function name, handling the `top`/`bottom`
+/// family: `top(attr, 3)`, `TOP(3)` in triple form, and the compact
+/// `top3` / `top-3` spellings.
+fn resolve_agg(name: &str, explicit_k: Option<usize>, pos: usize) -> Result<AggKind, ParseError> {
+    let lower = name.to_ascii_lowercase();
+    for (prefix, make) in [
+        ("top", AggKind::TopK as fn(usize) -> AggKind),
+        ("bottom", AggKind::BottomK as fn(usize) -> AggKind),
+    ] {
+        if let Some(rest) = lower.strip_prefix(prefix) {
+            let rest = rest.strip_prefix('-').unwrap_or(rest);
+            if rest.is_empty() {
+                let k = explicit_k.ok_or_else(|| {
+                    ParseError::new(pos, format!("{prefix} requires a k, e.g. {prefix}(attr, 3)"))
+                })?;
+                return Ok(make(k));
+            }
+            if let Ok(k) = rest.parse::<usize>() {
+                if k == 0 {
+                    return Err(ParseError::new(pos, "k must be positive"));
+                }
+                if explicit_k.is_some() {
+                    return Err(ParseError::new(pos, "k given twice"));
+                }
+                return Ok(make(k));
+            }
+        }
+    }
+    if explicit_k.is_some() {
+        return Err(ParseError::new(
+            pos,
+            format!("aggregation {name:?} does not take a k argument"),
+        ));
+    }
+    AggKind::from_name(&lower)
+        .ok_or_else(|| ParseError::new(pos, format!("unknown aggregation function {name:?}")))
+}
+
+fn build_query(
+    target: Option<String>,
+    agg: AggKind,
+    predicate: Predicate,
+    pos: usize,
+) -> Result<Query, ParseError> {
+    let needs_value = !matches!(agg, AggKind::Count | AggKind::Enumerate);
+    if needs_value && target.is_none() {
+        return Err(ParseError::new(
+            pos,
+            format!("aggregation {agg:?} requires an attribute, not '*'"),
+        ));
+    }
+    Ok(Query::new(target.map(|s| s.as_str().into()), agg, predicate))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_triple_form() {
+        let q = parse_query("(CPU-Usage, MAX, ServiceX = true)").unwrap();
+        assert_eq!(q.attr.as_ref().unwrap().as_str(), "CPU-Usage");
+        assert_eq!(q.agg, AggKind::Max);
+        assert_eq!(
+            q.predicate,
+            Predicate::atom("ServiceX", CmpOp::Eq, true)
+        );
+    }
+
+    #[test]
+    fn parses_sql_form_with_where() {
+        let q = parse_query("SELECT avg(Mem-Util) WHERE Apache = true").unwrap();
+        assert_eq!(q.agg, AggKind::Avg);
+        assert_eq!(q.attr.as_ref().unwrap().as_str(), "Mem-Util");
+        assert_eq!(q.predicate, Predicate::atom("Apache", CmpOp::Eq, true));
+    }
+
+    #[test]
+    fn count_star_defaults_to_all_nodes() {
+        let q = parse_query("SELECT count(*)").unwrap();
+        assert_eq!(q.agg, AggKind::Count);
+        assert_eq!(q.attr, None);
+        assert_eq!(q.predicate, Predicate::All);
+    }
+
+    #[test]
+    fn parses_intro_example_top3() {
+        // "find top-3 loaded hosts where (ServiceX = true) and (Apache = true)"
+        let q = parse_query(
+            "SELECT top(Load, 3) WHERE (ServiceX = true) AND (Apache = true)",
+        )
+        .unwrap();
+        assert_eq!(q.agg, AggKind::TopK(3));
+        match &q.predicate {
+            Predicate::And(ps) => assert_eq!(ps.len(), 2),
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn top_k_spellings() {
+        assert_eq!(parse_query("SELECT top3(Load)").unwrap().agg, AggKind::TopK(3));
+        assert_eq!(
+            parse_query("SELECT top-3(Load)").unwrap().agg,
+            AggKind::TopK(3)
+        );
+        assert_eq!(
+            parse_query("(Load, TOP(3), *)").unwrap().agg,
+            AggKind::TopK(3)
+        );
+        assert_eq!(
+            parse_query("SELECT bottom(Load, 2)").unwrap().agg,
+            AggKind::BottomK(2)
+        );
+        assert!(parse_query("SELECT top(Load)").is_err()); // missing k
+        assert!(parse_query("SELECT top0(Load)").is_err());
+        assert!(parse_query("SELECT top3(Load, 4)").is_err()); // k twice
+        assert!(parse_query("SELECT avg(Load, 3)").is_err()); // spurious k
+    }
+
+    #[test]
+    fn nested_predicate_structure() {
+        let p = parse_predicate("((A or B) and (A or C)) or D").unwrap();
+        let atoms: Vec<String> = Vec::new();
+        let _ = atoms;
+        match p {
+            Predicate::Or(top) => {
+                assert_eq!(top.len(), 2);
+                match &top[0] {
+                    Predicate::And(inner) => assert_eq!(inner.len(), 2),
+                    other => panic!("expected And, got {other:?}"),
+                }
+            }
+            other => panic!("expected Or, got {other:?}"),
+        }
+    }
+
+    // `A` alone is not a predicate in our grammar (atoms need operators);
+    // the paper's abstract group letters map to `attr = value` atoms.
+    fn parse_predicate(s: &str) -> Result<Predicate, ParseError> {
+        // rewrite bare capitals into boolean atoms for test brevity
+        let rewritten: String = s
+            .chars()
+            .map(|c| {
+                if c.is_ascii_uppercase() && c.is_ascii_alphabetic() {
+                    format!("{c} = true")
+                } else {
+                    c.to_string()
+                }
+            })
+            .collect();
+        super::parse_predicate(&rewritten)
+    }
+
+    #[test]
+    fn literal_kinds() {
+        let p = super::parse_predicate(
+            "a < 5 and b >= 2.5 and c = 'hi there' and d != Linux and e = false",
+        )
+        .unwrap();
+        let atoms = p.atoms();
+        assert_eq!(atoms[0].value, Value::Int(5));
+        assert_eq!(atoms[1].value, Value::Float(2.5));
+        assert_eq!(atoms[2].value, Value::str("hi there"));
+        assert_eq!(atoms[3].value, Value::str("Linux"));
+        assert_eq!(atoms[4].value, Value::Bool(false));
+    }
+
+    #[test]
+    fn operator_aliases_in_predicates() {
+        let p = super::parse_predicate("a == 1 and b <> 2").unwrap();
+        assert_eq!(p.atoms()[0].op, CmpOp::Eq);
+        assert_eq!(p.atoms()[1].op, CmpOp::Ne);
+    }
+
+    #[test]
+    fn error_reporting() {
+        assert!(parse_query("SELECT noSuchAgg(x)").is_err());
+        assert!(parse_query("SELECT avg(*)").is_err()); // avg needs attribute
+        assert!(parse_query("SELECT avg(x) WHERE").is_err());
+        assert!(super::parse_predicate("a <").is_err());
+        assert!(super::parse_predicate("a = 1 b = 2").is_err()); // trailing junk
+        assert!(super::parse_predicate("(a = 1").is_err()); // unbalanced
+        let e = super::parse_predicate("and = 1").unwrap_err();
+        assert!(e.msg.contains("keyword") || e.msg.contains("expected"));
+    }
+
+    #[test]
+    fn where_keyword_case_insensitive() {
+        assert!(parse_query("select COUNT(*) where X = true").is_ok());
+    }
+
+    #[test]
+    fn not_rewrites_atoms() {
+        let p = super::parse_predicate("NOT x < 5").unwrap();
+        assert_eq!(p, Predicate::atom("x", CmpOp::Ge, 5i64));
+        let p = super::parse_predicate("NOT s = true").unwrap();
+        assert_eq!(p, Predicate::atom("s", CmpOp::Ne, true));
+        // Double negation cancels.
+        let p = super::parse_predicate("NOT NOT x <= 3").unwrap();
+        assert_eq!(p, Predicate::atom("x", CmpOp::Le, 3i64));
+    }
+
+    #[test]
+    fn not_applies_de_morgan() {
+        let p = super::parse_predicate("NOT (a = true AND b = true)").unwrap();
+        assert_eq!(
+            p,
+            Predicate::Or(vec![
+                Predicate::atom("a", CmpOp::Ne, true),
+                Predicate::atom("b", CmpOp::Ne, true),
+            ])
+        );
+        let p = super::parse_predicate("NOT (a = true OR x > 2)").unwrap();
+        assert_eq!(
+            p,
+            Predicate::And(vec![
+                Predicate::atom("a", CmpOp::Ne, true),
+                Predicate::atom("x", CmpOp::Le, 2i64),
+            ])
+        );
+    }
+
+    #[test]
+    fn not_composes_with_positive_terms() {
+        let q =
+            parse_query("SELECT count(*) WHERE ServiceX = true AND NOT (CPU-Util > 90)").unwrap();
+        match &q.predicate {
+            Predicate::And(ps) => {
+                assert_eq!(ps[1], Predicate::atom("CPU-Util", CmpOp::Le, 90i64));
+            }
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+}

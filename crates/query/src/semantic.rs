@@ -1,0 +1,543 @@
+//! Semantic relations between simple predicates (paper Figures 7 and 8).
+//!
+//! Moara infers relations between two groups *from the predicates that
+//! define them*: `(Mem < 1G)` is included in `(Mem < 2G)`, `(CPU < 50)`
+//! and `(CPU >= 50)` are complementary, and so on. The planner uses these
+//! to shrink covers and to apply the paper's `not`-elimination rules.
+//!
+//! Soundness note: attribute stores are dynamically typed, so the inferred
+//! relation is over the *typed domain* of the literals (nodes holding a
+//! value of another type — or lacking the attribute — satisfy neither
+//! predicate, so they sit outside both groups and cannot break the
+//! relation). Atoms over different attributes, or with differently-typed
+//! literals, report [`Relation::Unrelated`] / [`Relation::Unknown`].
+
+use moara_attributes::Value;
+
+use crate::ast::{CmpOp, SimplePredicate};
+
+/// The relation between the node sets of two simple predicates `A`, `B`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Relation {
+    /// Same node set (paper: *Equivalence*).
+    Equal,
+    /// `A ⊂ B` strictly (paper: *Inclusion*).
+    SubsetOfB,
+    /// `A ⊃ B` strictly (paper: *Inclusion*).
+    SupersetOfB,
+    /// No common nodes, and together they span the typed domain — `B` is
+    /// `not A` (paper Section 6.3's implicit-`not` rules).
+    Complementary,
+    /// No common nodes (paper: *Disjointedness*).
+    Disjoint,
+    /// Proper overlap, connected intersection (paper: *Intersection*).
+    Intersecting,
+    /// Proper overlap with a disconnected intersection (paper:
+    /// *Discontinuous Intersection*, e.g. `x != 20` vs `x < 50`).
+    DiscontinuousIntersection,
+    /// Atoms over different attributes: no relation derivable.
+    Unrelated,
+    /// Same attribute but the analysis cannot decide (mixed literal types).
+    Unknown,
+}
+
+/// Infers the relation between two simple predicates.
+pub fn relate(a: &SimplePredicate, b: &SimplePredicate) -> Relation {
+    if a.attr != b.attr {
+        return Relation::Unrelated;
+    }
+    match (AtomSet::build(a), AtomSet::build(b)) {
+        (Some(AtomSet::Bool(x)), Some(AtomSet::Bool(y))) => relate_masks(x, y, 0b11),
+        (Some(AtomSet::Num(x)), Some(AtomSet::Num(y))) => relate_intervals(&x, &y, true),
+        (Some(AtomSet::Str(x)), Some(AtomSet::Str(y))) => relate_strings(a, b, &x, &y),
+        _ => Relation::Unknown,
+    }
+}
+
+// ---- typed set construction ----------------------------------------------
+
+enum AtomSet {
+    /// Subset of `{false, true}` as a 2-bit mask (bit 0 = false, bit 1 = true).
+    Bool(u8),
+    Num(IntervalSet<f64>),
+    Str(IntervalSet<String>),
+}
+
+impl AtomSet {
+    fn build(p: &SimplePredicate) -> Option<AtomSet> {
+        match &p.value {
+            Value::Bool(_) => {
+                let mut mask = 0u8;
+                for (bit, v) in [(1u8, false), (2u8, true)] {
+                    if p.op.eval(&Value::Bool(v), &p.value) {
+                        mask |= bit;
+                    }
+                }
+                Some(AtomSet::Bool(mask))
+            }
+            Value::Int(_) | Value::Float(_) => {
+                let k = p.value.as_f64()?;
+                if k.is_nan() {
+                    return None;
+                }
+                Some(AtomSet::Num(IntervalSet::from_op(p.op, k)))
+            }
+            Value::Str(s) => Some(AtomSet::Str(IntervalSet::from_op(p.op, s.clone()))),
+        }
+    }
+}
+
+fn relate_masks(a: u8, b: u8, universe: u8) -> Relation {
+    let i = a & b;
+    let u = a | b;
+    if a == b {
+        return Relation::Equal;
+    }
+    if i == 0 {
+        return if u == universe {
+            Relation::Complementary
+        } else {
+            Relation::Disjoint
+        };
+    }
+    if i == a {
+        return Relation::SubsetOfB;
+    }
+    if i == b {
+        return Relation::SupersetOfB;
+    }
+    Relation::Intersecting
+}
+
+fn relate_intervals<K: IntervalKey>(a: &IntervalSet<K>, b: &IntervalSet<K>, dense: bool) -> Relation {
+    if a == b {
+        return Relation::Equal;
+    }
+    let i = a.intersect(b);
+    if i.is_empty() {
+        // Complementary iff the union spans the whole line. Only claim this
+        // for dense domains (reals); string order has successor gaps.
+        return if dense && a.union(b).is_universe() {
+            Relation::Complementary
+        } else {
+            Relation::Disjoint
+        };
+    }
+    if &i == a {
+        return Relation::SubsetOfB;
+    }
+    if &i == b {
+        return Relation::SupersetOfB;
+    }
+    if i.intervals().len() > 1 {
+        return Relation::DiscontinuousIntersection;
+    }
+    Relation::Intersecting
+}
+
+fn relate_strings(
+    a: &SimplePredicate,
+    b: &SimplePredicate,
+    x: &IntervalSet<String>,
+    y: &IntervalSet<String>,
+) -> Relation {
+    // Exact complement for the =/!= pair on the same literal.
+    if a.value == b.value {
+        match (a.op, b.op) {
+            (CmpOp::Eq, CmpOp::Ne) | (CmpOp::Ne, CmpOp::Eq) => return Relation::Complementary,
+            _ => {}
+        }
+    }
+    relate_intervals(x, y, false)
+}
+
+// ---- generic interval sets ------------------------------------------------
+
+/// Key types the interval algebra works over.
+pub(crate) trait IntervalKey: Clone + PartialOrd + PartialEq {}
+impl IntervalKey for f64 {}
+impl IntervalKey for String {}
+
+/// A lower bound: `-∞`, inclusive, or exclusive.
+#[derive(Clone, Debug, PartialEq)]
+enum Lo<K> {
+    NegInf,
+    Incl(K),
+    Excl(K),
+}
+
+/// An upper bound: inclusive, exclusive, or `+∞`.
+#[derive(Clone, Debug, PartialEq)]
+enum Hi<K> {
+    Incl(K),
+    Excl(K),
+    PosInf,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+struct Interval<K> {
+    lo: Lo<K>,
+    hi: Hi<K>,
+}
+
+impl<K: IntervalKey> Interval<K> {
+    fn universe() -> Interval<K> {
+        Interval {
+            lo: Lo::NegInf,
+            hi: Hi::PosInf,
+        }
+    }
+
+    /// True if the interval contains no points (lo past hi).
+    fn is_void(&self) -> bool {
+        match (&self.lo, &self.hi) {
+            (Lo::NegInf, _) | (_, Hi::PosInf) => false,
+            (Lo::Incl(a), Hi::Incl(b)) => a > b,
+            (Lo::Incl(a), Hi::Excl(b)) | (Lo::Excl(a), Hi::Incl(b)) | (Lo::Excl(a), Hi::Excl(b)) => {
+                a >= b
+            }
+        }
+    }
+}
+
+/// `max` of two lower bounds (tighter wins).
+fn lo_max<K: IntervalKey>(a: &Lo<K>, b: &Lo<K>) -> Lo<K> {
+    match (a, b) {
+        (Lo::NegInf, x) | (x, Lo::NegInf) => x.clone(),
+        (Lo::Incl(x), Lo::Incl(y)) => Lo::Incl(if x >= y { x.clone() } else { y.clone() }),
+        (Lo::Excl(x), Lo::Excl(y)) => Lo::Excl(if x >= y { x.clone() } else { y.clone() }),
+        (Lo::Incl(x), Lo::Excl(y)) | (Lo::Excl(y), Lo::Incl(x)) => {
+            if y >= x {
+                Lo::Excl(y.clone())
+            } else {
+                Lo::Incl(x.clone())
+            }
+        }
+    }
+}
+
+/// `min` of two upper bounds (tighter wins).
+fn hi_min<K: IntervalKey>(a: &Hi<K>, b: &Hi<K>) -> Hi<K> {
+    match (a, b) {
+        (Hi::PosInf, x) | (x, Hi::PosInf) => x.clone(),
+        (Hi::Incl(x), Hi::Incl(y)) => Hi::Incl(if x <= y { x.clone() } else { y.clone() }),
+        (Hi::Excl(x), Hi::Excl(y)) => Hi::Excl(if x <= y { x.clone() } else { y.clone() }),
+        (Hi::Incl(x), Hi::Excl(y)) | (Hi::Excl(y), Hi::Incl(x)) => {
+            if y <= x {
+                Hi::Excl(y.clone())
+            } else {
+                Hi::Incl(x.clone())
+            }
+        }
+    }
+}
+
+/// Total order on lower bounds for normalization.
+fn lo_le<K: IntervalKey>(a: &Lo<K>, b: &Lo<K>) -> bool {
+    match (a, b) {
+        (Lo::NegInf, _) => true,
+        (_, Lo::NegInf) => false,
+        (Lo::Incl(x), Lo::Incl(y)) | (Lo::Excl(x), Lo::Excl(y)) => x <= y,
+        (Lo::Incl(x), Lo::Excl(y)) => x <= y,
+        (Lo::Excl(x), Lo::Incl(y)) => x < y,
+    }
+}
+
+/// True if interval `a` (by upper bound) connects to or overlaps interval
+/// `b` (by lower bound): their union is a single interval.
+fn touches<K: IntervalKey>(hi: &Hi<K>, lo: &Lo<K>) -> bool {
+    match (hi, lo) {
+        (Hi::PosInf, _) | (_, Lo::NegInf) => true,
+        (Hi::Incl(x), Lo::Incl(y)) => y <= x,
+        (Hi::Incl(x), Lo::Excl(y)) => y <= x,
+        (Hi::Excl(x), Lo::Incl(y)) => y <= x,
+        // (…, x) followed by (x, …) leaves the point x uncovered.
+        (Hi::Excl(x), Lo::Excl(y)) => y < x,
+    }
+}
+
+/// A normalized union of disjoint, non-touching intervals.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct IntervalSet<K> {
+    ivs: Vec<Interval<K>>,
+}
+
+impl<K: IntervalKey> IntervalSet<K> {
+    fn normalize(mut ivs: Vec<Interval<K>>) -> IntervalSet<K> {
+        ivs.retain(|iv| !iv.is_void());
+        // insertion sort by lower bound (tiny vectors)
+        for i in 1..ivs.len() {
+            let mut j = i;
+            while j > 0 && !lo_le(&ivs[j - 1].lo, &ivs[j].lo) {
+                ivs.swap(j - 1, j);
+                j -= 1;
+            }
+        }
+        let mut out: Vec<Interval<K>> = Vec::with_capacity(ivs.len());
+        for iv in ivs {
+            if let Some(last) = out.last_mut() {
+                if touches(&last.hi, &iv.lo) {
+                    // merge: keep the looser upper bound
+                    let keep_new = match (&last.hi, &iv.hi) {
+                        (Hi::PosInf, _) => false,
+                        (_, Hi::PosInf) => true,
+                        (Hi::Incl(x), Hi::Incl(y)) | (Hi::Excl(x), Hi::Excl(y)) => y > x,
+                        (Hi::Incl(x), Hi::Excl(y)) => y > x,
+                        (Hi::Excl(x), Hi::Incl(y)) => y >= x,
+                    };
+                    if keep_new {
+                        last.hi = iv.hi;
+                    }
+                    continue;
+                }
+            }
+            out.push(iv);
+        }
+        IntervalSet { ivs: out }
+    }
+
+    /// The set selected by `attr op k` over the key domain.
+    pub(crate) fn from_op(op: CmpOp, k: K) -> IntervalSet<K> {
+        let ivs = match op {
+            CmpOp::Lt => vec![Interval {
+                lo: Lo::NegInf,
+                hi: Hi::Excl(k),
+            }],
+            CmpOp::Le => vec![Interval {
+                lo: Lo::NegInf,
+                hi: Hi::Incl(k),
+            }],
+            CmpOp::Gt => vec![Interval {
+                lo: Lo::Excl(k),
+                hi: Hi::PosInf,
+            }],
+            CmpOp::Ge => vec![Interval {
+                lo: Lo::Incl(k),
+                hi: Hi::PosInf,
+            }],
+            CmpOp::Eq => vec![Interval {
+                lo: Lo::Incl(k.clone()),
+                hi: Hi::Incl(k),
+            }],
+            CmpOp::Ne => vec![
+                Interval {
+                    lo: Lo::NegInf,
+                    hi: Hi::Excl(k.clone()),
+                },
+                Interval {
+                    lo: Lo::Excl(k),
+                    hi: Hi::PosInf,
+                },
+            ],
+        };
+        IntervalSet::normalize(ivs)
+    }
+
+    fn intersect(&self, other: &IntervalSet<K>) -> IntervalSet<K> {
+        let mut out = Vec::new();
+        for a in &self.ivs {
+            for b in &other.ivs {
+                out.push(Interval {
+                    lo: lo_max(&a.lo, &b.lo),
+                    hi: hi_min(&a.hi, &b.hi),
+                });
+            }
+        }
+        IntervalSet::normalize(out)
+    }
+
+    fn union(&self, other: &IntervalSet<K>) -> IntervalSet<K> {
+        let mut out = self.ivs.clone();
+        out.extend(other.ivs.iter().cloned());
+        IntervalSet::normalize(out)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.ivs.is_empty()
+    }
+
+    fn is_universe(&self) -> bool {
+        self.ivs.len() == 1 && self.ivs[0] == Interval::universe()
+    }
+
+    fn intervals(&self) -> &[Interval<K>] {
+        &self.ivs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(attr: &str, op: CmpOp, v: impl Into<Value>) -> SimplePredicate {
+        SimplePredicate::new(attr, op, v)
+    }
+
+    #[test]
+    fn paper_figure8_rows() {
+        // Intersection (without inclusion): (CPU < 50), (CPU > 20)
+        assert_eq!(
+            relate(&p("CPU", CmpOp::Lt, 50i64), &p("CPU", CmpOp::Gt, 20i64)),
+            Relation::Intersecting
+        );
+        // Discontinuous intersection: (CPU < 50), (CPU != 20)
+        assert_eq!(
+            relate(&p("CPU", CmpOp::Lt, 50i64), &p("CPU", CmpOp::Ne, 20i64)),
+            Relation::DiscontinuousIntersection
+        );
+        // Equivalence: (CPU < 50), (CPU < 50)
+        assert_eq!(
+            relate(&p("CPU", CmpOp::Lt, 50i64), &p("CPU", CmpOp::Lt, 50.0)),
+            Relation::Equal
+        );
+        // Inclusion: (CPU < 50) ⊃ (CPU < 20)
+        assert_eq!(
+            relate(&p("CPU", CmpOp::Lt, 50i64), &p("CPU", CmpOp::Lt, 20i64)),
+            Relation::SupersetOfB
+        );
+        assert_eq!(
+            relate(&p("CPU", CmpOp::Lt, 20i64), &p("CPU", CmpOp::Lt, 50i64)),
+            Relation::SubsetOfB
+        );
+        // Disjointedness: (CPU < 50), (CPU > 80)
+        assert_eq!(
+            relate(&p("CPU", CmpOp::Lt, 50i64), &p("CPU", CmpOp::Gt, 80i64)),
+            Relation::Disjoint
+        );
+    }
+
+    #[test]
+    fn complement_detection_numeric() {
+        assert_eq!(
+            relate(&p("x", CmpOp::Lt, 5i64), &p("x", CmpOp::Ge, 5i64)),
+            Relation::Complementary
+        );
+        assert_eq!(
+            relate(&p("x", CmpOp::Le, 5i64), &p("x", CmpOp::Gt, 5i64)),
+            Relation::Complementary
+        );
+        assert_eq!(
+            relate(&p("x", CmpOp::Eq, 5i64), &p("x", CmpOp::Ne, 5i64)),
+            Relation::Complementary
+        );
+        // Not complementary: gap at exactly 5.
+        assert_eq!(
+            relate(&p("x", CmpOp::Lt, 5i64), &p("x", CmpOp::Gt, 5i64)),
+            Relation::Disjoint
+        );
+    }
+
+    #[test]
+    fn complement_detection_bool() {
+        assert_eq!(
+            relate(&p("s", CmpOp::Eq, true), &p("s", CmpOp::Eq, false)),
+            Relation::Complementary
+        );
+        assert_eq!(
+            relate(&p("s", CmpOp::Eq, true), &p("s", CmpOp::Ne, true)),
+            Relation::Complementary
+        );
+        assert_eq!(
+            relate(&p("s", CmpOp::Eq, true), &p("s", CmpOp::Ne, false)),
+            Relation::Equal
+        );
+    }
+
+    #[test]
+    fn string_relations() {
+        assert_eq!(
+            relate(&p("os", CmpOp::Eq, "linux"), &p("os", CmpOp::Eq, "linux")),
+            Relation::Equal
+        );
+        assert_eq!(
+            relate(&p("os", CmpOp::Eq, "linux"), &p("os", CmpOp::Eq, "bsd")),
+            Relation::Disjoint
+        );
+        assert_eq!(
+            relate(&p("os", CmpOp::Eq, "linux"), &p("os", CmpOp::Ne, "linux")),
+            Relation::Complementary
+        );
+        assert_eq!(
+            relate(&p("os", CmpOp::Eq, "linux"), &p("os", CmpOp::Ne, "bsd")),
+            Relation::SubsetOfB
+        );
+        // Lexicographic rays work for inclusion/disjointness.
+        assert_eq!(
+            relate(&p("v", CmpOp::Lt, "b"), &p("v", CmpOp::Lt, "d")),
+            Relation::SubsetOfB
+        );
+        assert_eq!(
+            relate(&p("v", CmpOp::Lt, "b"), &p("v", CmpOp::Gt, "d")),
+            Relation::Disjoint
+        );
+        // But never complementary via rays (successor gaps).
+        assert_eq!(
+            relate(&p("v", CmpOp::Lt, "b"), &p("v", CmpOp::Ge, "b")),
+            Relation::Disjoint
+        );
+    }
+
+    #[test]
+    fn unrelated_and_unknown() {
+        assert_eq!(
+            relate(&p("a", CmpOp::Lt, 5i64), &p("b", CmpOp::Lt, 5i64)),
+            Relation::Unrelated
+        );
+        // Mixed literal types on the same attribute.
+        assert_eq!(
+            relate(&p("a", CmpOp::Lt, 5i64), &p("a", CmpOp::Eq, "five")),
+            Relation::Unknown
+        );
+        assert_eq!(
+            relate(&p("a", CmpOp::Eq, true), &p("a", CmpOp::Lt, 5i64)),
+            Relation::Unknown
+        );
+    }
+
+    #[test]
+    fn equality_point_inside_range() {
+        assert_eq!(
+            relate(&p("x", CmpOp::Eq, 20i64), &p("x", CmpOp::Lt, 50i64)),
+            Relation::SubsetOfB
+        );
+        assert_eq!(
+            relate(&p("x", CmpOp::Eq, 50i64), &p("x", CmpOp::Lt, 50i64)),
+            Relation::Disjoint
+        );
+        assert_eq!(
+            relate(&p("x", CmpOp::Eq, 50i64), &p("x", CmpOp::Le, 50i64)),
+            Relation::SubsetOfB
+        );
+    }
+
+    #[test]
+    fn interval_set_mechanics() {
+        // (!= 5) has two pieces; intersect with (< 7) gives two pieces.
+        let ne = IntervalSet::from_op(CmpOp::Ne, 5.0);
+        assert_eq!(ne.intervals().len(), 2);
+        let lt = IntervalSet::from_op(CmpOp::Lt, 7.0);
+        let i = ne.intersect(&lt);
+        assert_eq!(i.intervals().len(), 2);
+        // union of complementary rays is the universe
+        let a = IntervalSet::from_op(CmpOp::Lt, 5.0);
+        let b = IntervalSet::from_op(CmpOp::Ge, 5.0);
+        assert!(a.union(&b).is_universe());
+        assert!(a.intersect(&b).is_empty());
+        // void intervals vanish
+        let eq = IntervalSet::from_op(CmpOp::Eq, 5.0);
+        let gt = IntervalSet::from_op(CmpOp::Gt, 5.0);
+        assert!(eq.intersect(&gt).is_empty());
+    }
+
+    #[test]
+    fn ne_vs_ne_numeric() {
+        assert_eq!(
+            relate(&p("x", CmpOp::Ne, 5i64), &p("x", CmpOp::Ne, 5i64)),
+            Relation::Equal
+        );
+        // x!=5 vs x!=6 overlap discontinuously... their intersection is
+        // three pieces; still a proper overlap.
+        let r = relate(&p("x", CmpOp::Ne, 5i64), &p("x", CmpOp::Ne, 6i64));
+        assert_eq!(r, Relation::DiscontinuousIntersection);
+    }
+}

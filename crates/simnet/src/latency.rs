@@ -1,0 +1,354 @@
+//! Link-latency models emulating the paper's evaluation platforms.
+//!
+//! The model returns the **one-way delay** for a message from one node to
+//! another. Three models are provided, matching the three environments in
+//! the paper's Section 7:
+//!
+//! * [`Constant`] — fixed delay; used by unit tests and the pure
+//!   message-counting simulations (Figures 9–11), where only message counts
+//!   matter and virtual time is irrelevant.
+//! * [`Lan`] — Emulab-style datacenter LAN: a small base propagation delay
+//!   with uniform jitter plus a per-message processing cost (Figures 12–13).
+//! * [`Wan`] — PlanetLab-style wide area network: log-normal link RTTs plus
+//!   a per-node "slowness" factor with a heavy tail (a small fraction of
+//!   nodes are stragglers that take seconds to respond). This reproduces
+//!   the shape of the paper's Figures 14–16, where the median response is
+//!   1–2 s but the tail stretches to tens of seconds because of a few
+//!   bottleneck hosts.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::sim::NodeId;
+use crate::time::SimDuration;
+
+use crate::time::SimTime;
+
+/// Samples the one-way delay of a message between two simulated nodes.
+///
+/// `now` is the send instant; stateful models use it to serialize
+/// processing at a busy receiver (software queueing), which is what makes
+/// large fan-ins slow on real deployments.
+pub trait LatencyModel {
+    /// One-way delay for a message sent from `from` to `to` at `now`.
+    fn sample(&mut self, rng: &mut StdRng, from: NodeId, to: NodeId, now: SimTime) -> SimDuration;
+}
+
+impl LatencyModel for Box<dyn LatencyModel> {
+    fn sample(&mut self, rng: &mut StdRng, from: NodeId, to: NodeId, now: SimTime) -> SimDuration {
+        (**self).sample(rng, from, to, now)
+    }
+}
+
+/// A fixed one-way delay, independent of endpoints.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Constant(pub SimDuration);
+
+impl Constant {
+    /// A constant delay of `ms` milliseconds.
+    pub fn from_millis(ms: u64) -> Constant {
+        Constant(SimDuration::from_millis(ms))
+    }
+
+    /// A constant delay of `us` microseconds.
+    pub fn from_micros(us: u64) -> Constant {
+        Constant(SimDuration::from_micros(us))
+    }
+}
+
+impl LatencyModel for Constant {
+    fn sample(&mut self, _rng: &mut StdRng, _from: NodeId, _to: NodeId, _now: SimTime) -> SimDuration {
+        self.0
+    }
+}
+
+/// Emulab-style LAN: base propagation + uniform jitter + a per-message
+/// processing cost that **serializes at the receiver**.
+///
+/// The defaults model the paper's Emulab setup (50 physical machines on a
+/// 100 Mbps LAN running 10 Moara instances each): ~0.2 ms wire latency and
+/// ~0.8 ms of software processing per message (Java serialization,
+/// FreePastry dispatch). Processing is queued per receiver — a node fed
+/// `k` concurrent messages takes `k × processing` to absorb them — which
+/// reproduces the fan-in-bound latencies of the paper's Figure 12: a
+/// global broadcast over 500 nodes is limited by busy interior nodes,
+/// while a 32-node group query barely queues at all.
+#[derive(Clone, Debug)]
+pub struct Lan {
+    /// Fixed wire propagation delay.
+    pub base: SimDuration,
+    /// Uniform jitter added on top of `base` (0..=jitter).
+    pub jitter: SimDuration,
+    /// Per-message processing cost at the receiver (serialized).
+    pub processing: SimDuration,
+    /// Per-receiver earliest-free time (queueing state).
+    busy_until: Vec<SimTime>,
+}
+
+impl Lan {
+    /// The default Emulab-like LAN model used by the figure harnesses.
+    pub fn emulab() -> Lan {
+        Lan {
+            base: SimDuration::from_micros(200),
+            jitter: SimDuration::from_micros(300),
+            processing: SimDuration::from_micros(800),
+            busy_until: Vec::new(),
+        }
+    }
+}
+
+impl Default for Lan {
+    fn default() -> Lan {
+        Lan::emulab()
+    }
+}
+
+impl LatencyModel for Lan {
+    fn sample(&mut self, rng: &mut StdRng, _from: NodeId, to: NodeId, now: SimTime) -> SimDuration {
+        let jitter = if self.jitter.as_micros() == 0 {
+            0
+        } else {
+            rng.gen_range(0..=self.jitter.as_micros())
+        };
+        let wire = self.base + SimDuration::from_micros(jitter);
+        let arrival = now + wire;
+        if self.busy_until.len() <= to.index() {
+            self.busy_until.resize(to.index() + 1, SimTime::ZERO);
+        }
+        let start = self.busy_until[to.index()].max(arrival);
+        let done = start + self.processing;
+        self.busy_until[to.index()] = done;
+        done.duration_since(now)
+    }
+}
+
+/// How slow a WAN node is, drawn once per node at model construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum NodeClass {
+    /// Responsive PlanetLab host.
+    Fast,
+    /// Loaded host: hundreds of milliseconds of scheduling delay.
+    Slow,
+    /// Overloaded/straggler host: around a second of delay (the paper's
+    /// "bottleneck" nodes in Figure 16).
+    Straggler,
+    /// Effectively thrashing host: tens of seconds — the nodes that gate a
+    /// centralized aggregator which must wait for *everyone* (Figure 15).
+    Extreme,
+}
+
+/// PlanetLab-style WAN latency model.
+///
+/// One-way delay = half a log-normal link RTT plus the receiver's
+/// processing delay. Processing is the product of a per-node
+/// *characteristic base* (drawn once, from a fast / slow / straggler
+/// mixture — repeated messages to a loaded host stay slow, producing the
+/// bottleneck-link behaviour of the paper's Figure 16) and a heavy-tailed
+/// per-message multiplier (Pareto-like — PlanetLab scheduling noise, which
+/// produces the long CDF tails of Figures 14–15).
+#[derive(Clone, Debug)]
+pub struct Wan {
+    /// Median link RTT.
+    pub median_rtt: SimDuration,
+    /// Sigma of the underlying normal for the log-normal RTT.
+    pub rtt_sigma: f64,
+    /// Pareto tail exponent of the per-message multiplier.
+    pub tail_alpha: f64,
+    /// Cap on the per-message multiplier.
+    pub tail_cap: f64,
+    /// Per-node characteristic processing delay, indexed by `NodeId`.
+    node_delay: Vec<SimDuration>,
+    classes: Vec<NodeClass>,
+}
+
+impl Wan {
+    /// Builds a PlanetLab-like model for `n` nodes.
+    ///
+    /// Class mix: 85% fast (10–60 ms), 11% slow (100–400 ms), 3% straggler
+    /// (0.4–1.2 s characteristic, with per-message spikes an order of
+    /// magnitude above), 1% extreme/thrashing (5–15 s).
+    pub fn planetlab(n: usize, seed: u64) -> Wan {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut node_delay = Vec::with_capacity(n);
+        let mut classes = Vec::with_capacity(n);
+        for _ in 0..n {
+            let roll: f64 = rng.gen();
+            let (class, delay_ms) = if roll < 0.85 {
+                (NodeClass::Fast, rng.gen_range(10.0..60.0))
+            } else if roll < 0.96 {
+                (NodeClass::Slow, rng.gen_range(100.0..400.0))
+            } else if roll < 0.99 {
+                (NodeClass::Straggler, rng.gen_range(400.0..1_200.0))
+            } else {
+                (NodeClass::Extreme, rng.gen_range(5_000.0..15_000.0))
+            };
+            node_delay.push(SimDuration::from_secs_f64(delay_ms / 1_000.0));
+            classes.push(class);
+        }
+        Wan {
+            median_rtt: SimDuration::from_millis(80),
+            rtt_sigma: 0.5,
+            tail_alpha: 1.6,
+            tail_cap: 15.0,
+            node_delay,
+            classes,
+        }
+    }
+
+    /// True for hosts a user would actually schedule work on (fast/slow
+    /// classes) — PlanetLab slices avoid thrashing machines, while a
+    /// centralized monitor still polls them.
+    pub fn is_responsive(&self, id: NodeId) -> bool {
+        self.classes
+            .get(id.0 as usize)
+            .is_some_and(|c| matches!(c, NodeClass::Fast | NodeClass::Slow))
+    }
+
+    /// A copy of the model with thrashing (extreme-class) hosts demoted to
+    /// ordinary stragglers — a deployment whose worst nodes are merely
+    /// overloaded, not dead.
+    pub fn without_extremes(mut self) -> Wan {
+        for (c, d) in self.classes.iter_mut().zip(self.node_delay.iter_mut()) {
+            if *c == NodeClass::Extreme {
+                *c = NodeClass::Straggler;
+                *d = SimDuration::from_millis(1_200);
+            }
+        }
+        self
+    }
+
+    /// The characteristic processing delay of node `id` (excluding link
+    /// RTT and the per-message tail multiplier).
+    pub fn node_delay(&self, id: NodeId) -> SimDuration {
+        self.node_delay
+            .get(id.0 as usize)
+            .copied()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// True if node `id` was drawn in one of the slowest classes
+    /// (straggler or extreme).
+    pub fn is_straggler(&self, id: NodeId) -> bool {
+        self.classes
+            .get(id.0 as usize)
+            .is_some_and(|c| matches!(c, NodeClass::Straggler | NodeClass::Extreme))
+    }
+
+    /// The worst-case one-way delay toward `to` (used by the offline
+    /// bottleneck analysis of Figure 16): node processing + median RTT.
+    pub fn nominal_delay(&self, to: NodeId) -> SimDuration {
+        self.node_delay(to) + SimDuration::from_micros(self.median_rtt.as_micros() / 2)
+    }
+
+    fn sample_rtt(&self, rng: &mut StdRng) -> SimDuration {
+        // Log-normal around `median_rtt`: exp(N(ln(median), sigma)).
+        let u1: f64 = rng.gen_range(1e-12..1.0);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let ln_med = (self.median_rtt.as_micros() as f64).ln();
+        let sampled = (ln_med + self.rtt_sigma * z).exp();
+        SimDuration::from_micros(sampled.min(60_000_000.0) as u64)
+    }
+}
+
+impl LatencyModel for Wan {
+    fn sample(&mut self, rng: &mut StdRng, _from: NodeId, to: NodeId, _now: SimTime) -> SimDuration {
+        let rtt = self.sample_rtt(rng);
+        let one_way = SimDuration::from_micros(rtt.as_micros() / 2);
+        // Heavy-tailed per-message processing: base × Pareto(alpha), capped.
+        let u: f64 = rng.gen_range(1e-9..1.0);
+        let mult = u.powf(-1.0 / self.tail_alpha).min(self.tail_cap);
+        let proc = SimDuration::from_secs_f64(self.node_delay(to).as_secs_f64() * mult);
+        one_way + proc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let mut m = Constant::from_millis(3);
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(
+                m.sample(&mut r, NodeId(0), NodeId(1), SimTime::ZERO),
+                SimDuration::from_millis(3)
+            );
+        }
+    }
+
+    #[test]
+    fn lan_first_message_within_bounds() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let mut m = Lan::emulab();
+            let d = m.sample(&mut r, NodeId(0), NodeId(1), SimTime::ZERO);
+            assert!(d >= m.base + m.processing);
+            assert!(d <= m.base + m.jitter + m.processing);
+        }
+    }
+
+    #[test]
+    fn lan_concurrent_messages_queue_at_receiver() {
+        let mut m = Lan::emulab();
+        let mut r = rng();
+        // A burst of messages to the same receiver at the same instant
+        // serializes: each takes at least `processing` longer than the one
+        // before.
+        let mut prev = SimDuration::ZERO;
+        for i in 0..10 {
+            let d = m.sample(&mut r, NodeId(0), NodeId(1), SimTime::ZERO);
+            if i > 0 {
+                assert!(d >= prev + m.processing, "message {i} did not queue");
+            }
+            prev = d;
+        }
+        // A different receiver is unaffected.
+        let other = m.sample(&mut r, NodeId(0), NodeId(2), SimTime::ZERO);
+        assert!(other <= m.base + m.jitter + m.processing);
+    }
+
+    #[test]
+    fn wan_has_heavy_tail_and_is_per_node_correlated() {
+        let n = 400;
+        let m = Wan::planetlab(n, 11);
+        let stragglers: Vec<_> = (0..n)
+            .filter(|&i| m.is_straggler(NodeId(i as u32)))
+            .collect();
+        // ~5% stragglers expected; allow slack but require some exist.
+        assert!(!stragglers.is_empty());
+        assert!(stragglers.len() < n / 5);
+        // Straggler delays dominate fast-node delays.
+        let fast = (0..n)
+            .map(|i| NodeId(i as u32))
+            .find(|&id| !m.is_straggler(id) && m.node_delay(id) < SimDuration::from_millis(100))
+            .expect("some fast node");
+        let strag = NodeId(stragglers[0] as u32);
+        assert!(m.node_delay(strag) > m.node_delay(fast));
+        assert!(m.node_delay(strag) >= SimDuration::from_millis(400));
+    }
+
+    #[test]
+    fn wan_sample_includes_receiver_delay() {
+        let mut m = Wan::planetlab(10, 5);
+        let mut r = rng();
+        let to = NodeId(3);
+        let d = m.sample(&mut r, NodeId(0), to, SimTime::ZERO);
+        assert!(d >= m.node_delay(to));
+    }
+
+    #[test]
+    fn wan_deterministic_per_seed() {
+        let a = Wan::planetlab(50, 99);
+        let b = Wan::planetlab(50, 99);
+        for i in 0..50 {
+            assert_eq!(a.node_delay(NodeId(i)), b.node_delay(NodeId(i)));
+        }
+    }
+}

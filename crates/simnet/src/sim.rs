@@ -1,0 +1,542 @@
+//! The discrete-event simulator core: nodes, messages, timers, and the
+//! event loop.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::latency::LatencyModel;
+use crate::stats::Stats;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a simulated node (its index in the simulator).
+///
+/// This is the *transport-level* address — the Moara/DHT layers map their
+/// 64-bit ring identifiers onto these.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node's index as a `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A simulated wire message.
+///
+/// `size_bytes` feeds the per-node bandwidth accounting; the default of 64
+/// bytes approximates a small UDP control message and is fine for tests.
+pub trait Message: Clone + fmt::Debug {
+    /// Estimated serialized size, in bytes.
+    fn size_bytes(&self) -> usize {
+        64
+    }
+}
+
+impl Message for () {}
+impl Message for u32 {}
+impl Message for u64 {}
+impl Message for String {
+    fn size_bytes(&self) -> usize {
+        self.len() + 16
+    }
+}
+
+/// Opaque tag carried by a timer back to the protocol that armed it.
+pub type TimerTag = u64;
+
+/// Handle to a pending timer, usable with [`Context::cancel_timer`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId(u64);
+
+/// A message-passing state machine hosted by the simulator.
+///
+/// This is the seam that would be replaced by a socket-facing runtime in a
+/// real deployment: protocol logic written against this trait is oblivious
+/// to whether it runs over the simulator or a network.
+pub trait Protocol {
+    /// The protocol's wire message type.
+    type Msg: Message;
+
+    /// Called once when the node is added to the simulator.
+    fn on_start(&mut self, _ctx: &mut Context<'_, Self::Msg>) {}
+
+    /// Called when a message addressed to this node is delivered.
+    fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, from: NodeId, msg: Self::Msg);
+
+    /// Called when a timer armed via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut Context<'_, Self::Msg>, tag: TimerTag);
+}
+
+enum EventKind<M> {
+    Deliver { from: NodeId, msg: M },
+    Timer { id: TimerId, tag: TimerTag },
+}
+
+struct Event<M> {
+    time: SimTime,
+    seq: u64,
+    node: NodeId,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Everything the event loop owns besides the nodes themselves; split out so
+/// a node and the [`Context`] can be borrowed simultaneously.
+struct Core<M> {
+    now: SimTime,
+    queue: BinaryHeap<Reverse<Event<M>>>,
+    seq: u64,
+    next_timer: u64,
+    cancelled: HashSet<u64>,
+    rng: StdRng,
+    latency: Box<dyn LatencyModel>,
+    alive: Vec<bool>,
+    stats: Stats,
+    undeliverable: Vec<(NodeId, NodeId)>,
+}
+
+impl<M: Message> Core<M> {
+    fn push(&mut self, time: SimTime, node: NodeId, kind: EventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Event {
+            time,
+            seq,
+            node,
+            kind,
+        }));
+    }
+}
+
+/// Handle passed to protocol callbacks for interacting with the simulated
+/// world: sending messages, arming timers, reading the clock, randomness.
+pub struct Context<'a, M> {
+    core: &'a mut Core<M>,
+    me: NodeId,
+}
+
+impl<M: Message> Context<'_, M> {
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// The id of the node this callback runs on.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// The simulation's deterministic random-number generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.core.rng
+    }
+
+    /// Sends `msg` to `to`; it will be delivered after a sampled one-way
+    /// network delay. Messages to failed nodes are dropped (and recorded in
+    /// the undeliverable log).
+    ///
+    /// Sending to oneself is allowed and delivered with the same sampled
+    /// latency (loopback messages in the prototype still crossed the
+    /// FreePastry dispatch path).
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        let bytes = msg.size_bytes();
+        self.core.stats.record_send(self.me, bytes);
+        if !self.core.alive.get(to.index()).copied().unwrap_or(false) {
+            self.core.stats.record_drop();
+            self.core.undeliverable.push((self.me, to));
+            return;
+        }
+        let now = self.core.now;
+        let delay = self.core.latency.sample(&mut self.core.rng, self.me, to, now);
+        let at = self.core.now + delay;
+        let from = self.me;
+        self.core.stats.record_recv(to, bytes);
+        self.core.push(at, to, EventKind::Deliver { from, msg });
+    }
+
+    /// Arms a one-shot timer that fires on this node after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, tag: TimerTag) -> TimerId {
+        let id = TimerId(self.core.next_timer);
+        self.core.next_timer += 1;
+        let at = self.core.now + delay;
+        let me = self.me;
+        self.core.push(at, me, EventKind::Timer { id, tag });
+        id
+    }
+
+    /// Cancels a pending timer. Cancelling an already-fired timer is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.core.cancelled.insert(id.0);
+    }
+
+    /// Increments a named experiment counter (see [`Stats::counter`]).
+    pub fn count(&mut self, name: &'static str) {
+        self.core.stats.bump(name, 1);
+    }
+}
+
+/// The deterministic discrete-event simulator.
+///
+/// Generic over the hosted [`Protocol`]; all nodes in one simulator run the
+/// same protocol type (heterogeneous roles are expressed as states of that
+/// type, exactly as a single deployed binary would).
+pub struct Simulator<P: Protocol> {
+    nodes: Vec<Option<P>>,
+    core: Core<P::Msg>,
+}
+
+impl<P: Protocol> Simulator<P> {
+    /// Creates an empty simulator with the given latency model and RNG seed.
+    pub fn new(latency: impl LatencyModel + 'static, seed: u64) -> Simulator<P> {
+        Simulator {
+            nodes: Vec::new(),
+            core: Core {
+                now: SimTime::ZERO,
+                queue: BinaryHeap::new(),
+                seq: 0,
+                next_timer: 0,
+                cancelled: HashSet::new(),
+                rng: StdRng::seed_from_u64(seed),
+                latency: Box::new(latency),
+                alive: Vec::new(),
+                stats: Stats::default(),
+                undeliverable: Vec::new(),
+            },
+        }
+    }
+
+    /// Adds a node and invokes its [`Protocol::on_start`]. Returns its id.
+    pub fn add_node(&mut self, node: P) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Some(node));
+        self.core.alive.push(true);
+        self.core.stats.ensure_node(id);
+        self.with_node(id, |n, ctx| n.on_start(ctx));
+        id
+    }
+
+    /// Number of nodes ever added (including failed ones).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if no nodes have been added.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Immutable access to a node's state (for assertions/inspection).
+    pub fn node(&self, id: NodeId) -> &P {
+        self.nodes[id.index()].as_ref().expect("node is mid-dispatch")
+    }
+
+    /// Mutable access to a node's state *without* a context. Prefer
+    /// [`Simulator::with_node`] when the mutation needs to send messages.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut P {
+        self.nodes[id.index()].as_mut().expect("node is mid-dispatch")
+    }
+
+    /// Runs `f` against node `id` with a live [`Context`], so the closure
+    /// can send messages and arm timers. This is how experiment drivers
+    /// inject external stimuli (queries, attribute changes).
+    pub fn with_node<R>(&mut self, id: NodeId, f: impl FnOnce(&mut P, &mut Context<'_, P::Msg>) -> R) -> R {
+        let mut node = self.nodes[id.index()].take().expect("re-entrant with_node");
+        let mut ctx = Context {
+            core: &mut self.core,
+            me: id,
+        };
+        let r = f(&mut node, &mut ctx);
+        self.nodes[id.index()] = Some(node);
+        r
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Message/byte accounting.
+    pub fn stats(&self) -> &Stats {
+        &self.core.stats
+    }
+
+    /// Mutable accounting access (e.g. to reset between experiment phases).
+    pub fn stats_mut(&mut self) -> &mut Stats {
+        &mut self.core.stats
+    }
+
+    /// Marks a node failed: pending deliveries and timers for it are
+    /// discarded, and future sends to it are dropped.
+    pub fn fail_node(&mut self, id: NodeId) {
+        self.core.alive[id.index()] = false;
+    }
+
+    /// Brings a failed node back (its in-memory state is retained, modeling
+    /// a transient partition; for a cold restart, replace the state via
+    /// [`Simulator::node_mut`] first).
+    pub fn recover_node(&mut self, id: NodeId) {
+        self.core.alive[id.index()] = true;
+    }
+
+    /// Whether the node is currently alive.
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.core.alive[id.index()]
+    }
+
+    /// Drains the log of (sender, dead-destination) pairs accumulated since
+    /// the last call — a stand-in for FreePastry's failure notifications.
+    pub fn take_undeliverable(&mut self) -> Vec<(NodeId, NodeId)> {
+        std::mem::take(&mut self.core.undeliverable)
+    }
+
+    fn dispatch(&mut self, ev: Event<P::Msg>) {
+        let id = ev.node;
+        if !self.core.alive[id.index()] {
+            if let EventKind::Deliver { .. } = ev.kind {
+                self.core.stats.record_drop();
+            }
+            return;
+        }
+        match ev.kind {
+            EventKind::Deliver { from, msg } => {
+                self.with_node(id, |n, ctx| n.on_message(ctx, from, msg));
+            }
+            EventKind::Timer { id: tid, tag } => {
+                if self.core.cancelled.remove(&tid.0) {
+                    return;
+                }
+                self.with_node(id, |n, ctx| n.on_timer(ctx, tag));
+            }
+        }
+    }
+
+    /// Processes events until the queue is empty. Returns the final time.
+    ///
+    /// # Panics
+    ///
+    /// Panics after 200 million events, which in practice indicates a
+    /// protocol livelock (e.g. a self-rearming timer).
+    pub fn run_to_quiescence(&mut self) -> SimTime {
+        assert!(
+            self.run_events(200_000_000),
+            "simulation did not quiesce within the event budget"
+        );
+        self.core.now
+    }
+
+    /// Processes at most `budget` events; returns true if the queue drained.
+    pub fn run_events(&mut self, budget: u64) -> bool {
+        for _ in 0..budget {
+            match self.core.queue.pop() {
+                Some(Reverse(ev)) => {
+                    debug_assert!(ev.time >= self.core.now, "time went backwards");
+                    self.core.now = ev.time;
+                    self.dispatch(ev);
+                }
+                None => return true,
+            }
+        }
+        self.core.queue.is_empty()
+    }
+
+    /// Processes all events with `time <= until`, then advances the clock to
+    /// `until` (even if idle). Later events stay queued.
+    pub fn run_until(&mut self, until: SimTime) {
+        loop {
+            let due = match self.core.queue.peek() {
+                Some(Reverse(ev)) if ev.time <= until => true,
+                _ => false,
+            };
+            if !due {
+                break;
+            }
+            let Reverse(ev) = self.core.queue.pop().expect("peeked");
+            self.core.now = ev.time;
+            self.dispatch(ev);
+        }
+        if self.core.now < until {
+            self.core.now = until;
+        }
+    }
+
+    /// Runs the clock forward by `d` (see [`Simulator::run_until`]).
+    pub fn run_for(&mut self, d: SimDuration) {
+        let until = self.core.now + d;
+        self.run_until(until);
+    }
+
+    /// Number of events currently queued (pending deliveries + timers).
+    pub fn pending_events(&self) -> usize {
+        self.core.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::Constant;
+
+    #[derive(Debug, Default)]
+    struct Echo {
+        got: Vec<(NodeId, u32)>,
+        timer_fired: u32,
+    }
+
+    impl Protocol for Echo {
+        type Msg = u32;
+        fn on_message(&mut self, ctx: &mut Context<'_, u32>, from: NodeId, msg: u32) {
+            self.got.push((from, msg));
+            if msg > 0 {
+                ctx.send(from, msg - 1);
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut Context<'_, u32>, _tag: TimerTag) {
+            self.timer_fired += 1;
+        }
+    }
+
+    fn sim() -> Simulator<Echo> {
+        Simulator::new(Constant::from_millis(10), 1)
+    }
+
+    #[test]
+    fn ping_pong_terminates_with_correct_time_and_counts() {
+        let mut s = sim();
+        let a = s.add_node(Echo::default());
+        let b = s.add_node(Echo::default());
+        s.with_node(a, |_n, ctx| ctx.send(b, 3));
+        let end = s.run_to_quiescence();
+        // messages: 3 -> 2 -> 1 -> 0, i.e. 4 messages, 40 ms.
+        assert_eq!(s.stats().total_messages(), 4);
+        assert_eq!(end, SimDuration::from_millis(40).as_time());
+        assert_eq!(s.node(b).got, vec![(a, 3), (a, 1)]);
+        assert_eq!(s.node(a).got, vec![(b, 2), (b, 0)]);
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_cancel_works() {
+        let mut s = sim();
+        let a = s.add_node(Echo::default());
+        let cancelled = s.with_node(a, |_n, ctx| {
+            ctx.set_timer(SimDuration::from_millis(5), 1);
+            let t = ctx.set_timer(SimDuration::from_millis(6), 2);
+            ctx.set_timer(SimDuration::from_millis(7), 3);
+            t
+        });
+        s.with_node(a, |_n, ctx| ctx.cancel_timer(cancelled));
+        s.run_to_quiescence();
+        assert_eq!(s.node(a).timer_fired, 2);
+    }
+
+    #[test]
+    fn failed_node_drops_messages_and_timers() {
+        let mut s = sim();
+        let a = s.add_node(Echo::default());
+        let b = s.add_node(Echo::default());
+        s.fail_node(b);
+        s.with_node(a, |_n, ctx| ctx.send(b, 5));
+        s.run_to_quiescence();
+        assert!(s.node(b).got.is_empty());
+        assert_eq!(s.stats().dropped(), 1);
+        assert_eq!(s.take_undeliverable(), vec![(a, b)]);
+        assert!(s.take_undeliverable().is_empty());
+    }
+
+    #[test]
+    fn in_flight_message_to_node_that_fails_is_dropped_at_delivery() {
+        let mut s = sim();
+        let a = s.add_node(Echo::default());
+        let b = s.add_node(Echo::default());
+        s.with_node(a, |_n, ctx| ctx.send(b, 0));
+        s.fail_node(b); // fails after send but before delivery
+        s.run_to_quiescence();
+        assert!(s.node(b).got.is_empty());
+    }
+
+    #[test]
+    fn recovered_node_receives_again() {
+        let mut s = sim();
+        let a = s.add_node(Echo::default());
+        let b = s.add_node(Echo::default());
+        s.fail_node(b);
+        s.recover_node(b);
+        s.with_node(a, |_n, ctx| ctx.send(b, 0));
+        s.run_to_quiescence();
+        assert_eq!(s.node(b).got.len(), 1);
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut s = sim();
+        let a = s.add_node(Echo::default());
+        let b = s.add_node(Echo::default());
+        s.with_node(a, |_n, ctx| ctx.send(b, 10)); // would run 110 ms
+        s.run_until(SimTime(35_000));
+        assert_eq!(s.now(), SimTime(35_000));
+        assert_eq!(s.stats().total_messages(), 4); // 3 delivered+1 queued? sent: at 0,10,20,30
+        assert!(s.pending_events() > 0);
+        s.run_to_quiescence();
+        assert_eq!(s.stats().total_messages(), 11);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = || {
+            let mut s: Simulator<Echo> = Simulator::new(crate::latency::Lan::emulab(), 99);
+            let a = s.add_node(Echo::default());
+            let b = s.add_node(Echo::default());
+            s.with_node(a, |_n, ctx| ctx.send(b, 20));
+            s.run_to_quiescence();
+            (s.now(), s.stats().total_messages())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn self_send_is_delivered() {
+        let mut s = sim();
+        let a = s.add_node(Echo::default());
+        s.with_node(a, |_n, ctx| ctx.send(a, 0));
+        s.run_to_quiescence();
+        assert_eq!(s.node(a).got, vec![(a, 0)]);
+    }
+
+    #[test]
+    fn custom_counters_accumulate() {
+        let mut s = sim();
+        let a = s.add_node(Echo::default());
+        s.with_node(a, |_n, ctx| {
+            ctx.count("probes");
+            ctx.count("probes");
+        });
+        assert_eq!(s.stats().counter("probes"), 2);
+        assert_eq!(s.stats().counter("absent"), 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Per-node message and byte accounting.
+//!
+//! The paper's bandwidth figures (Figures 9–11) report "number of messages
+//! per node"; [`Stats`] keeps exactly that, plus byte counts and free-form
+//! named counters for experiment-specific events (e.g. size probes).
+
+use std::collections::HashMap;
+
+use crate::sim::NodeId;
+
+/// Message/byte accounting for a simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    sent_msgs: Vec<u64>,
+    recv_msgs: Vec<u64>,
+    sent_bytes: Vec<u64>,
+    recv_bytes: Vec<u64>,
+    dropped: u64,
+    counters: HashMap<&'static str, u64>,
+}
+
+impl Stats {
+    pub(crate) fn ensure_node(&mut self, id: NodeId) {
+        let need = id.index() + 1;
+        if self.sent_msgs.len() < need {
+            self.sent_msgs.resize(need, 0);
+            self.recv_msgs.resize(need, 0);
+            self.sent_bytes.resize(need, 0);
+            self.recv_bytes.resize(need, 0);
+        }
+    }
+
+    pub(crate) fn record_send(&mut self, from: NodeId, bytes: usize) {
+        self.ensure_node(from);
+        self.sent_msgs[from.index()] += 1;
+        self.sent_bytes[from.index()] += bytes as u64;
+    }
+
+    pub(crate) fn record_recv(&mut self, to: NodeId, bytes: usize) {
+        self.ensure_node(to);
+        self.recv_msgs[to.index()] += 1;
+        self.recv_bytes[to.index()] += bytes as u64;
+    }
+
+    pub(crate) fn record_drop(&mut self) {
+        self.dropped += 1;
+    }
+
+    pub(crate) fn bump(&mut self, name: &'static str, by: u64) {
+        *self.counters.entry(name).or_insert(0) += by;
+    }
+
+    /// Total messages sent across all nodes.
+    pub fn total_messages(&self) -> u64 {
+        self.sent_msgs.iter().sum()
+    }
+
+    /// Total bytes sent across all nodes.
+    pub fn total_bytes(&self) -> u64 {
+        self.sent_bytes.iter().sum()
+    }
+
+    /// Messages sent by a single node.
+    pub fn sent_by(&self, id: NodeId) -> u64 {
+        self.sent_msgs.get(id.index()).copied().unwrap_or(0)
+    }
+
+    /// Messages received by a single node.
+    pub fn received_by(&self, id: NodeId) -> u64 {
+        self.recv_msgs.get(id.index()).copied().unwrap_or(0)
+    }
+
+    /// Bytes sent by a single node.
+    pub fn bytes_sent_by(&self, id: NodeId) -> u64 {
+        self.sent_bytes.get(id.index()).copied().unwrap_or(0)
+    }
+
+    /// Average messages sent per node — the y-axis of the paper's Figure 9.
+    pub fn messages_per_node(&self) -> f64 {
+        if self.sent_msgs.is_empty() {
+            return 0.0;
+        }
+        self.total_messages() as f64 / self.sent_msgs.len() as f64
+    }
+
+    /// The node that sent the most messages (hot spot analysis).
+    pub fn max_sent(&self) -> u64 {
+        self.sent_msgs.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Messages dropped because the destination had failed.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Value of a named experiment counter (0 if never bumped).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Zeroes all counts but keeps the node roster — used between the warmup
+    /// and measurement phases of an experiment.
+    pub fn reset(&mut self) {
+        for v in self
+            .sent_msgs
+            .iter_mut()
+            .chain(self.recv_msgs.iter_mut())
+            .chain(self.sent_bytes.iter_mut())
+            .chain(self.recv_bytes.iter_mut())
+        {
+            *v = 0;
+        }
+        self.dropped = 0;
+        self.counters.clear();
+    }
+
+    /// Snapshot of total messages, for measuring deltas around an operation.
+    pub fn message_snapshot(&self) -> u64 {
+        self.total_messages()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_node_accounting() {
+        let mut s = Stats::default();
+        s.ensure_node(NodeId(2));
+        s.record_send(NodeId(0), 100);
+        s.record_send(NodeId(0), 50);
+        s.record_recv(NodeId(2), 150);
+        assert_eq!(s.sent_by(NodeId(0)), 2);
+        assert_eq!(s.bytes_sent_by(NodeId(0)), 150);
+        assert_eq!(s.received_by(NodeId(2)), 1);
+        assert_eq!(s.total_messages(), 2);
+        assert_eq!(s.total_bytes(), 150);
+        assert!((s.messages_per_node() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.max_sent(), 2);
+    }
+
+    #[test]
+    fn reset_keeps_roster() {
+        let mut s = Stats::default();
+        s.record_send(NodeId(5), 10);
+        s.bump("x", 3);
+        s.reset();
+        assert_eq!(s.total_messages(), 0);
+        assert_eq!(s.counter("x"), 0);
+        assert_eq!(s.sent_by(NodeId(5)), 0);
+        assert!((s.messages_per_node() - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_node_reads_as_zero() {
+        let s = Stats::default();
+        assert_eq!(s.sent_by(NodeId(99)), 0);
+        assert_eq!(s.received_by(NodeId(99)), 0);
+    }
+}

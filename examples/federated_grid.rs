@@ -1,0 +1,99 @@
+//! Utility-computing / grid scenario with node failures (paper Sections 2
+//! and 7): batch jobs churn machines in and out of groups, and machines
+//! fail outright while queries run.
+//!
+//! Mirrors the HP rendering-farm trace of Figure 2(b): jobs acquire and
+//! release machines in bursts; operators ask one-shot questions
+//! throughout, and the overlay repairs itself around failures.
+//!
+//! ```sh
+//! cargo run --release --example federated_grid
+//! ```
+
+use moara::simnet::SimDuration;
+use moara::{Cluster, NodeId, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let n = 300usize;
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut grid = Cluster::builder()
+        .nodes(n)
+        .seed(77)
+        .latency(moara::simnet::latency::Lan::emulab())
+        .build();
+
+    for i in 0..n as u32 {
+        let node = NodeId(i);
+        grid.set_attr(node, "job", Value::str("idle"));
+        grid.set_attr(node, "frames-done", Value::Int(0));
+        grid.set_attr(node, "mem-free-gb", Value::Float(rng.gen_range(2.0..64.0)));
+    }
+    let front = NodeId(2);
+
+    // Job 0 ramps up: grabs 120 machines in bursts of 30.
+    println!("== job-0 ramp-up ==");
+    for burst in 0..4 {
+        for i in 0..30u32 {
+            let node = NodeId(burst * 30 + i);
+            grid.set_attr(node, "job", Value::str("render-0"));
+        }
+        grid.run_for(SimDuration::from_secs(1));
+        let out = grid
+            .query(front, "SELECT count(*) WHERE job = 'render-0'")
+            .expect("valid query");
+        println!("after burst {burst}: {} machines on job-0", out.result);
+    }
+
+    // Job 1 arrives and steals some machines; progress accumulates.
+    for i in 90..150u32 {
+        grid.set_attr(NodeId(i), "job", Value::str("render-1"));
+    }
+    for i in 0..150u32 {
+        grid.set_attr(NodeId(i), "frames-done", Value::Int(i64::from(i % 40)));
+    }
+    let out = grid
+        .query(
+            front,
+            "SELECT sum(frames-done) WHERE job = 'render-0' OR job = 'render-1'",
+        )
+        .expect("valid query");
+    println!("frames done across both jobs: {}", out.result);
+
+    // Machines fail mid-run: the DHT repairs, trees re-form, and queries
+    // keep answering with the surviving members.
+    println!("\n== failing 10 job-0 machines ==");
+    for i in 0..10u32 {
+        grid.fail_node(NodeId(i * 3));
+    }
+    let out = grid
+        .query(front, "SELECT count(*) WHERE job = 'render-0'")
+        .expect("valid query");
+    println!(
+        "job-0 members visible after failures: {} (complete: {})",
+        out.result, out.complete
+    );
+
+    // Capacity planning: find memory for a new job among idle machines.
+    let out = grid
+        .query(
+            front,
+            "SELECT top(mem-free-gb, 3) WHERE job = 'idle' AND mem-free-gb >= 32",
+        )
+        .expect("valid query");
+    println!("best idle machines for the next job: {}", out.result);
+
+    // Job 0 finishes: all members released at once (the Figure 2(b)
+    // cliff); the one-shot query sees the empty group immediately.
+    for i in 0..150u32 {
+        let node = NodeId(i);
+        if grid.is_alive(node) {
+            grid.set_attr(node, "job", Value::str("idle"));
+        }
+    }
+    let out = grid
+        .query(front, "SELECT count(*) WHERE job = 'render-0'")
+        .expect("valid query");
+    println!("job-0 members after release: {}", out.result);
+}

@@ -1,0 +1,110 @@
+//! Federated-infrastructure scenario: PlanetLab slices (paper Section 2).
+//!
+//! Builds a 200-node wide-area deployment (heavy-tailed latencies, a few
+//! straggler hosts) with a realistic slice-size distribution — half of the
+//! slices have fewer than 10 nodes, as the paper measured from CoMon data
+//! — and runs the paper's example slice queries: a basic query, an
+//! intersection query, and a union query.
+//!
+//! ```sh
+//! cargo run --release --example planetlab_slices
+//! ```
+
+use moara::{Cluster, NodeId, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let n = 200usize;
+    let seed = 31;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pl = Cluster::builder()
+        .nodes(n)
+        .seed(seed)
+        .latency(moara::simnet::latency::Wan::planetlab(n, seed))
+        .build();
+
+    // Assign slices with a heavy-tailed size distribution: slice k gets
+    // roughly n / (k+2) of the nodes, so early slices are big and the tail
+    // is tiny (the shape of the paper's Figure 2(a)).
+    let slices = ["cmu-iris", "mit-ping", "uiuc-moara", "hp-render", "ucb-pier"];
+    for i in 0..n as u32 {
+        let node = NodeId(i);
+        for (k, name) in slices.iter().enumerate() {
+            let p = 1.0 / (k as f64 + 2.0);
+            pl.set_attr(node, &format!("slice-{name}"), rng.gen_bool(p));
+        }
+        pl.set_attr(node, "CPU-Util", Value::Float(rng.gen_range(0.0..100.0)));
+        pl.set_attr(node, "Disk-Free-GB", Value::Float(rng.gen_range(1.0..500.0)));
+        pl.set_attr(
+            node,
+            "org",
+            Value::str(if i % 3 == 0 { "edu" } else { "lab" }),
+        );
+    }
+
+    let front = NodeId(1);
+
+    // Basic query: per-slice monitoring without contacting all nodes.
+    for name in &slices {
+        let out = pl
+            .query(front, &format!("SELECT count(*) WHERE slice-{name} = true"))
+            .expect("valid query");
+        println!(
+            "slice {name:12} size {:6}   ({} msgs, {})",
+            out.result.to_string(),
+            out.messages,
+            out.latency()
+        );
+    }
+
+    // The paper's example: CPU utilization of nodes common to two slices
+    // (intersection query).
+    let out = pl
+        .query(
+            front,
+            "SELECT avg(CPU-Util) WHERE slice-uiuc-moara = true AND slice-mit-ping = true",
+        )
+        .expect("valid query");
+    println!("\navg CPU on uiuc-moara ∩ mit-ping: {} ({})", out.result, out.latency());
+
+    // Free disk across all slices of an organization (union query).
+    let out = pl
+        .query(
+            front,
+            "SELECT sum(Disk-Free-GB) WHERE slice-hp-render = true OR slice-ucb-pier = true",
+        )
+        .expect("valid query");
+    println!("free disk on hp-render ∪ ucb-pier: {} ({})", out.result, out.latency());
+
+    // Hot-spot hunting: overloaded nodes inside one slice.
+    let out = pl
+        .query(
+            front,
+            "SELECT top(CPU-Util, 5) WHERE slice-cmu-iris = true AND CPU-Util > 90",
+        )
+        .expect("valid query");
+    println!("overloaded cmu-iris nodes: {}", out.result);
+
+    // Group churn: an experiment winds down, nodes leave the slice, and
+    // the next query sees the shrunken group without any reconfiguration.
+    let members: Vec<NodeId> = (0..n as u32)
+        .map(NodeId)
+        .filter(|&nd| {
+            pl.node(nd)
+                .store
+                .get("slice-ucb-pier")
+                .is_some_and(|v| *v == Value::Bool(true))
+        })
+        .collect();
+    for nd in members.iter().take(members.len() / 2) {
+        pl.set_attr(*nd, "slice-ucb-pier", false);
+    }
+    let out = pl
+        .query(front, "SELECT count(*) WHERE slice-ucb-pier = true")
+        .expect("valid query");
+    println!(
+        "ucb-pier after half the experiment exited: {} nodes",
+        out.result
+    );
+}

@@ -1,0 +1,62 @@
+//! Quickstart: stand up a simulated Moara deployment, populate attributes,
+//! and run the kinds of queries the paper opens with.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use moara::{Cluster, NodeId, Value};
+
+fn main() {
+    // A 64-node deployment on an Emulab-like LAN.
+    let mut cluster = Cluster::builder()
+        .nodes(64)
+        .seed(2008)
+        .latency(moara::simnet::latency::Lan::emulab())
+        .build();
+
+    // Each machine's Moara agent populates (attribute, value) tuples.
+    for i in 0..64u32 {
+        let node = NodeId(i);
+        cluster.set_attr(node, "CPU-Util", Value::Float(f64::from(i % 100)));
+        cluster.set_attr(node, "Load", Value::Float(f64::from((i * 7) % 50)));
+        cluster.set_attr(node, "ServiceX", i % 4 == 0);
+        cluster.set_attr(node, "Apache", i % 2 == 0);
+    }
+
+    // --- Simple group query -------------------------------------------
+    let out = cluster
+        .query(NodeId(0), "SELECT count(*) WHERE ServiceX = true")
+        .expect("valid query");
+    println!(
+        "machines running ServiceX: {}  ({} messages, {} latency)",
+        out.result,
+        out.messages,
+        out.latency()
+    );
+
+    // --- The paper's running example -----------------------------------
+    // "find top-3 loaded hosts where (ServiceX = true) and (Apache = true)"
+    let out = cluster
+        .query(
+            NodeId(0),
+            "SELECT top(Load, 3) WHERE ServiceX = true AND Apache = true",
+        )
+        .expect("valid query");
+    println!("top-3 loaded ServiceX+Apache hosts: {}", out.result);
+
+    // --- Triple-form syntax, aggregate over a dynamic group -------------
+    let out = cluster
+        .query(NodeId(5), "(CPU-Util, AVG, CPU-Util < 50)")
+        .expect("valid query");
+    println!("avg CPU-Util among nodes under 50%: {}", out.result);
+
+    // --- Repeat a query: the group tree prunes and cost drops -----------
+    let again = cluster
+        .query(NodeId(0), "SELECT count(*) WHERE ServiceX = true")
+        .expect("valid query");
+    println!(
+        "same group query after tree pruning: {} messages (was {})",
+        again.messages, out.messages
+    );
+}

@@ -1,0 +1,79 @@
+//! The Moara front-end's interactive shell (paper Section 7:
+//! "Through the interactive shell, a user can submit SQL-like aggregation
+//! queries to Moara").
+//!
+//! Spins up a simulated 200-node deployment with a mix of attributes and
+//! reads queries from stdin. Type `help` for the cheat sheet, `quit` to
+//! exit.
+//!
+//! ```sh
+//! cargo run --release --example shell
+//! ```
+
+use std::io::{self, BufRead, Write};
+
+use moara::{Cluster, NodeId, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let n = 200usize;
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut cluster = Cluster::builder()
+        .nodes(n)
+        .seed(1)
+        .latency(moara::simnet::latency::Lan::emulab())
+        .build();
+    for i in 0..n as u32 {
+        let node = NodeId(i);
+        cluster.set_attr(node, "CPU-Util", Value::Float(rng.gen_range(0.0..100.0)));
+        cluster.set_attr(node, "Mem-Free", Value::Float(rng.gen_range(0.5..64.0)));
+        cluster.set_attr(node, "ServiceX", rng.gen_bool(0.3));
+        cluster.set_attr(node, "Apache", rng.gen_bool(0.5));
+        cluster.set_attr(
+            node,
+            "OS",
+            Value::str(if rng.gen_bool(0.8) { "linux" } else { "bsd" }),
+        );
+    }
+    println!("moara shell — {n} simulated nodes. `help` for examples, `quit` to exit.");
+    let stdin = io::stdin();
+    loop {
+        print!("moara> ");
+        io::stdout().flush().expect("flush stdout");
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        match line {
+            "" => continue,
+            "quit" | "exit" | "q" => break,
+            "help" => {
+                println!("attributes: CPU-Util, Mem-Free, ServiceX, Apache, OS");
+                println!("examples:");
+                println!("  SELECT count(*) WHERE ServiceX = true");
+                println!("  SELECT avg(CPU-Util) WHERE Apache = true AND OS = 'linux'");
+                println!("  SELECT top(Mem-Free, 3) WHERE CPU-Util < 50");
+                println!("  (CPU-Util, MAX, ServiceX = true)");
+                continue;
+            }
+            _ => {}
+        }
+        match cluster.query(NodeId(0), line) {
+            Ok(out) => println!(
+                "{}   [{} msgs, {}, complete: {}]",
+                out.result,
+                out.messages,
+                out.latency(),
+                out.complete
+            ),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # moara
+//!
+//! Umbrella crate for the Moara reproduction (Ko et al., *Moara: Flexible
+//! and Scalable Group-Based Querying System*, Middleware 2008).
+//!
+//! Re-exports the full stack so applications can depend on one crate:
+//!
+//! * [`core`](moara_core) — the Moara protocol engine and [`Cluster`]
+//!   harness;
+//! * [`query`](moara_query) — the query language and planner;
+//! * [`aggregation`](moara_aggregation) — aggregation functions;
+//! * [`attributes`](moara_attributes) — the per-node data model;
+//! * [`dht`](moara_dht) — the Pastry-style overlay substrate;
+//! * [`simnet`](moara_simnet) — the discrete-event simulator;
+//! * [`baselines`](moara_baselines) — the paper's comparison systems.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour, and the
+//! `moara-bench` crate for the harnesses that regenerate every figure of
+//! the paper's evaluation.
+
+pub use moara_aggregation as aggregation;
+pub use moara_attributes as attributes;
+pub use moara_baselines as baselines;
+pub use moara_core as core;
+pub use moara_dht as dht;
+pub use moara_query as query;
+pub use moara_simnet as simnet;
+
+pub use moara_aggregation::{AggKind, AggResult};
+pub use moara_attributes::{AttrStore, Value};
+pub use moara_core::{Cluster, Mode, MoaraConfig, QueryOutcome};
+pub use moara_query::{parse_predicate, parse_query, Predicate, Query, SimplePredicate};
+pub use moara_simnet::NodeId;

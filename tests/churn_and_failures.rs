@@ -1,0 +1,141 @@
+//! Robustness: node failures mid-query, overlay repair, joins, and heavy
+//! attribute churn (paper Section 7's reconfiguration handling).
+
+use moara::{AggResult, Cluster, NodeId, Value};
+use moara_query::{CmpOp, SimplePredicate};
+
+fn count_of(out: &moara::QueryOutcome) -> i64 {
+    match &out.result {
+        AggResult::Value(Value::Int(x)) => *x,
+        AggResult::Empty => 0,
+        other => panic!("unexpected result {other:?}"),
+    }
+}
+
+fn flagged_cluster(n: usize, group: usize, seed: u64) -> Cluster {
+    let mut c = Cluster::builder().nodes(n).seed(seed).build();
+    for i in 0..n as u32 {
+        c.set_attr(NodeId(i), "A", i64::from((i as usize) < group));
+    }
+    c.run_to_quiescence();
+    c
+}
+
+#[test]
+fn failed_members_disappear_from_answers() {
+    let mut c = flagged_cluster(40, 12, 1);
+    let q = "SELECT count(*) WHERE A = 1";
+    assert_eq!(count_of(&c.query(NodeId(20), q).unwrap()), 12);
+    // Kill three group members.
+    for i in 0..3u32 {
+        c.fail_node(NodeId(i));
+    }
+    let out = c.query(NodeId(20), q).unwrap();
+    assert_eq!(count_of(&out), 9);
+}
+
+#[test]
+fn failed_interior_nodes_do_not_lose_members() {
+    let mut c = flagged_cluster(60, 10, 2);
+    let q = "SELECT count(*) WHERE A = 1";
+    // Warm the tree so interior state exists, then kill non-members (which
+    // may be interior tree nodes holding prune state for the group).
+    for _ in 0..3 {
+        c.query(NodeId(30), q).unwrap();
+    }
+    for i in 40..48u32 {
+        c.fail_node(NodeId(i));
+    }
+    let out = c.query(NodeId(30), q).unwrap();
+    assert_eq!(count_of(&out), 10, "all members still reachable after repair");
+}
+
+#[test]
+fn root_failure_rehomes_the_tree() {
+    let mut c = flagged_cluster(50, 8, 3);
+    let q = "SELECT count(*) WHERE A = 1";
+    c.query(NodeId(9), q).unwrap();
+    // Find and kill the tree root for attribute A.
+    let key = moara_dht::Id::of_attribute("A");
+    let root = c.directory().owner_node(key);
+    c.fail_node(root);
+    let expected = c
+        .group_members(&SimplePredicate::new("A", CmpOp::Eq, 1i64))
+        .len() as i64;
+    let origin = if root == NodeId(9) { NodeId(10) } else { NodeId(9) };
+    let out = c.query(origin, q).unwrap();
+    assert_eq!(count_of(&out), expected);
+    // A new root owns the key now.
+    assert_ne!(c.directory().owner_node(key), root);
+}
+
+#[test]
+fn querying_node_can_be_any_survivor() {
+    let mut c = flagged_cluster(30, 6, 4);
+    for i in 10..20u32 {
+        c.fail_node(NodeId(i));
+    }
+    let q = "SELECT count(*) WHERE A = 1";
+    for origin in [0u32, 5, 25, 29] {
+        let out = c.query(NodeId(origin), q).unwrap();
+        assert_eq!(count_of(&out), 6, "origin {origin}");
+    }
+}
+
+#[test]
+fn join_extends_the_group() {
+    let mut c = flagged_cluster(20, 5, 5);
+    let q = "SELECT count(*) WHERE A = 1";
+    assert_eq!(count_of(&c.query(NodeId(7), q).unwrap()), 5);
+    let newbie = c.add_node([("A".to_string(), Value::Int(1))]);
+    c.run_to_quiescence();
+    assert_eq!(count_of(&c.query(NodeId(7), q).unwrap()), 6);
+    assert!(c.is_alive(newbie));
+}
+
+#[test]
+fn sequential_failures_during_query_stream() {
+    let mut c = flagged_cluster(48, 16, 6);
+    let q = "SELECT count(*) WHERE A = 1";
+    let mut expected = 16i64;
+    for round in 0..6u32 {
+        let victim = NodeId(round * 7 % 48);
+        if c.is_alive(victim) {
+            let was_member = c.node(victim).store.get("A") == Some(&Value::Int(1));
+            c.fail_node(victim);
+            if was_member {
+                expected -= 1;
+            }
+        }
+        let out = c.query(NodeId(47), q).unwrap();
+        assert_eq!(count_of(&out), expected, "round {round}");
+    }
+}
+
+#[test]
+fn massive_churn_then_stability() {
+    let mut c = flagged_cluster(64, 0, 7);
+    let q = "SELECT count(*) WHERE A = 1";
+    // Rapidly oscillate the whole system's membership.
+    for round in 0..10u32 {
+        for i in 0..64u32 {
+            c.set_attr(NodeId(i), "A", i64::from((i + round) % 2 == 0));
+        }
+    }
+    c.run_to_quiescence();
+    let truth = c
+        .group_members(&SimplePredicate::new("A", CmpOp::Eq, 1i64))
+        .len() as i64;
+    assert_eq!(count_of(&c.query(NodeId(0), q).unwrap()), truth);
+    assert_eq!(truth, 32);
+}
+
+#[test]
+fn attribute_removal_is_group_departure() {
+    let mut c = flagged_cluster(20, 8, 8);
+    let q = "SELECT count(*) WHERE A = 1";
+    assert_eq!(count_of(&c.query(NodeId(0), q).unwrap()), 8);
+    c.remove_attr(NodeId(0), "A");
+    c.remove_attr(NodeId(1), "A");
+    assert_eq!(count_of(&c.query(NodeId(5), q).unwrap()), 6);
+}

@@ -1,0 +1,193 @@
+//! Composite-query behaviour across crates: planning, cover selection,
+//! duplicate suppression, and correctness of nested union/intersection
+//! predicates (paper Section 6).
+
+use moara::{AggResult, Cluster, MoaraConfig, NodeId, Value};
+
+fn count_of(out: &moara::QueryOutcome) -> i64 {
+    match &out.result {
+        AggResult::Value(Value::Int(x)) => *x,
+        AggResult::Empty => 0,
+        other => panic!("unexpected result {other:?}"),
+    }
+}
+
+/// 60 nodes with three overlapping boolean groups and a numeric attribute.
+fn testbed(seed: u64) -> Cluster {
+    let mut c = Cluster::builder().nodes(60).seed(seed).build();
+    for i in 0..60u32 {
+        let node = NodeId(i);
+        c.set_attr(node, "a", i % 2 == 0); // 30 nodes
+        c.set_attr(node, "b", i % 3 == 0); // 20 nodes
+        c.set_attr(node, "c", i % 5 == 0); // 12 nodes
+        c.set_attr(node, "x", i64::from(i)); // 0..59
+    }
+    c.run_to_quiescence();
+    c.stats_mut().reset();
+    c
+}
+
+#[test]
+fn intersection_counts_exactly() {
+    let mut c = testbed(1);
+    // a ∧ b: multiples of 6 → 10 nodes.
+    let out = c
+        .query(NodeId(0), "SELECT count(*) WHERE a = true AND b = true")
+        .unwrap();
+    assert_eq!(count_of(&out), 10);
+}
+
+#[test]
+fn union_counts_exactly_with_dedup() {
+    let mut c = testbed(2);
+    // a ∨ b: |a| + |b| - |a∧b| = 30 + 20 - 10 = 40. Nodes in both groups
+    // must contribute once (Section 6.2 duplicate suppression).
+    let out = c
+        .query(NodeId(3), "SELECT count(*) WHERE a = true OR b = true")
+        .unwrap();
+    assert_eq!(count_of(&out), 40);
+}
+
+#[test]
+fn paper_figure6_nested_expression() {
+    let mut c = testbed(3);
+    // ((a or b) and (a or c)) or x < 5  ≡  (a ∨ (b ∧ c)) ∨ x<5.
+    let truth = (0..60u32)
+        .filter(|i| {
+            let (a, b, cc) = (i % 2 == 0, i % 3 == 0, i % 5 == 0);
+            ((a || b) && (a || cc)) || *i < 5
+        })
+        .count() as i64;
+    let out = c
+        .query(
+            NodeId(0),
+            "SELECT count(*) WHERE ((a = true OR b = true) AND (a = true OR c = true)) OR x < 5",
+        )
+        .unwrap();
+    assert_eq!(count_of(&out), truth);
+}
+
+#[test]
+fn intersection_contacts_single_group() {
+    let mut c = testbed(4);
+    // Warm both trees so size probes see real costs.
+    c.query(NodeId(0), "SELECT count(*) WHERE a = true").unwrap();
+    c.query(NodeId(0), "SELECT count(*) WHERE c = true").unwrap();
+    c.query(NodeId(0), "SELECT count(*) WHERE a = true AND c = true")
+        .unwrap();
+    let out = c
+        .query(NodeId(0), "SELECT count(*) WHERE a = true AND c = true")
+        .unwrap();
+    assert_eq!(count_of(&out), 6); // multiples of 10
+    // The intersection should cost roughly one (small) group's tree, not
+    // both: well under the a-tree cost of ~2×30.
+    let union = c
+        .query(NodeId(0), "SELECT count(*) WHERE a = true OR c = true")
+        .unwrap();
+    assert!(
+        out.messages < union.messages,
+        "intersection ({}) should be cheaper than union ({})",
+        out.messages,
+        union.messages
+    );
+}
+
+#[test]
+fn semantic_inclusion_collapses_union() {
+    let mut c = testbed(5);
+    // x<10 ∪ x<30 ≡ x<30: planner queries one group; result exact.
+    let out = c
+        .query(NodeId(2), "SELECT count(*) WHERE x < 10 OR x < 30")
+        .unwrap();
+    assert_eq!(count_of(&out), 30);
+}
+
+#[test]
+fn semantic_disjoint_intersection_is_free() {
+    let mut c = testbed(6);
+    let out = c
+        .query(NodeId(2), "SELECT count(*) WHERE x < 10 AND x > 50")
+        .unwrap();
+    assert_eq!(count_of(&out), 0);
+    assert_eq!(out.messages, 0, "unsatisfiable: answered locally");
+}
+
+#[test]
+fn complement_not_rule() {
+    let mut c = testbed(7);
+    // (a or x<30) and (x>=30) — x<30 is not(x>=30), so this is a ∧ x≥30.
+    let truth = (0..60).filter(|i| i % 2 == 0 && *i >= 30).count() as i64;
+    let out = c
+        .query(
+            NodeId(1),
+            "SELECT count(*) WHERE (a = true OR x < 30) AND x >= 30",
+        )
+        .unwrap();
+    assert_eq!(count_of(&out), truth);
+}
+
+#[test]
+fn aggregates_over_composite_groups() {
+    let mut c = testbed(8);
+    // avg(x) over a ∧ b = multiples of 6: (0+6+...+54)/10 = 27.
+    let out = c
+        .query(NodeId(0), "SELECT avg(x) WHERE a = true AND b = true")
+        .unwrap();
+    assert_eq!(out.result.as_f64(), Some(27.0));
+    // max(x) over b ∨ c.
+    let out = c
+        .query(NodeId(0), "SELECT max(x) WHERE b = true OR c = true")
+        .unwrap();
+    assert_eq!(out.result.as_f64(), Some(57.0)); // 57 = largest mult of 3
+}
+
+#[test]
+fn probes_vs_structural_planning_agree_on_results() {
+    let mut with_probes = testbed(9);
+    let mut cfg = MoaraConfig::default();
+    cfg.use_size_probes = false;
+    let mut structural = Cluster::builder().nodes(60).seed(9).config(cfg).build();
+    for i in 0..60u32 {
+        let node = NodeId(i);
+        structural.set_attr(node, "a", i % 2 == 0);
+        structural.set_attr(node, "b", i % 3 == 0);
+        structural.set_attr(node, "c", i % 5 == 0);
+        structural.set_attr(node, "x", i64::from(i));
+    }
+    structural.run_to_quiescence();
+    for q in [
+        "SELECT count(*) WHERE a = true AND b = true",
+        "SELECT count(*) WHERE a = true OR (b = true AND c = true)",
+        "SELECT count(*) WHERE (a = true OR b = true) AND x < 40",
+    ] {
+        let p = with_probes.query(NodeId(0), q).unwrap();
+        let s = structural.query(NodeId(0), q).unwrap();
+        assert_eq!(p.result, s.result, "query {q}");
+    }
+}
+
+#[test]
+fn repeated_composite_queries_remain_consistent_under_churn() {
+    let mut c = testbed(10);
+    for round in 0..8u32 {
+        // churn group b
+        for i in 0..60u32 {
+            if (i + round) % 9 == 0 {
+                let cur = c.node(NodeId(i)).store.get("b") == Some(&Value::Bool(true));
+                c.set_attr(NodeId(i), "b", !cur);
+            }
+        }
+        c.run_to_quiescence();
+        let truth = (0..60u32)
+            .filter(|&i| {
+                let b = c.node(NodeId(i)).store.get("b") == Some(&Value::Bool(true));
+                let a = i % 2 == 0;
+                a || b
+            })
+            .count() as i64;
+        let out = c
+            .query(NodeId(0), "SELECT count(*) WHERE a = true OR b = true")
+            .unwrap();
+        assert_eq!(count_of(&out), truth, "round {round}");
+    }
+}

@@ -1,0 +1,142 @@
+//! The paper's correctness guarantee (Section 4): **eventual
+//! completeness** — once the set of predicate-satisfying nodes and the
+//! overlay stop changing, a query returns answers from exactly the
+//! satisfying nodes.
+//!
+//! Property-tested over random churn histories, thresholds, adaptation
+//! windows, and query interleavings.
+
+use moara::{AggResult, Cluster, MoaraConfig, NodeId, Value};
+use moara_query::{CmpOp, SimplePredicate};
+use proptest::prelude::*;
+
+fn count_of(out: &moara::QueryOutcome) -> i64 {
+    match &out.result {
+        AggResult::Value(Value::Int(x)) => *x,
+        AggResult::Empty => 0,
+        other => panic!("unexpected result {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary interleavings of attribute churn and queries, then
+    /// quiescence: the final query must count exactly the satisfying set.
+    #[test]
+    fn query_after_quiescence_is_exact(
+        seed in 0u64..1000,
+        n in 8usize..48,
+        threshold in 1usize..4,
+        events in proptest::collection::vec((0u8..2, any::<u16>()), 1..40),
+    ) {
+        let cfg = MoaraConfig::default().with_threshold(threshold);
+        let mut c = Cluster::builder().nodes(n).seed(seed).config(cfg).build();
+        for i in 0..n as u32 {
+            c.set_attr(NodeId(i), "A", i64::from(i % 3 == 0));
+        }
+        let origin = NodeId((seed % n as u64) as u32);
+        for (kind, x) in events {
+            match kind {
+                0 => {
+                    // toggle a random node's membership
+                    let node = NodeId((x as usize % n) as u32);
+                    let cur = c.node(node).store.get("A") == Some(&Value::Int(1));
+                    c.set_attr(node, "A", i64::from(!cur));
+                }
+                _ => {
+                    let _ = c.query(origin, "SELECT count(*) WHERE A = 1").unwrap();
+                }
+            }
+        }
+        c.run_to_quiescence();
+        let truth = c
+            .group_members(&SimplePredicate::new("A", CmpOp::Eq, 1i64))
+            .len() as i64;
+        // Two queries: the first may trigger re-adaptation messages, the
+        // second must also be exact (completeness is stable, not one-off).
+        let out1 = c.query(origin, "SELECT count(*) WHERE A = 1").unwrap();
+        prop_assert_eq!(count_of(&out1), truth);
+        let out2 = c.query(origin, "SELECT count(*) WHERE A = 1").unwrap();
+        prop_assert_eq!(count_of(&out2), truth);
+        prop_assert!(out2.complete);
+    }
+
+    /// Same guarantee under adversarial adaptation windows.
+    #[test]
+    fn completeness_for_any_adaptation_windows(
+        k_up in 1usize..5,
+        k_no in 1usize..5,
+        seed in 0u64..200,
+    ) {
+        let cfg = MoaraConfig::default().with_adaptation_windows(k_up, k_no);
+        let n = 24usize;
+        let mut c = Cluster::builder().nodes(n).seed(seed).config(cfg).build();
+        for i in 0..n as u32 {
+            c.set_attr(NodeId(i), "A", i64::from(i < 6));
+        }
+        // Churn-heavy phase to push nodes into NO-UPDATE.
+        for round in 0..6u32 {
+            for i in 0..n as u32 {
+                if (i + round) % 5 == 0 {
+                    let cur = c.node(NodeId(i)).store.get("A") == Some(&Value::Int(1));
+                    c.set_attr(NodeId(i), "A", i64::from(!cur));
+                }
+            }
+            let _ = c.query(NodeId(0), "SELECT count(*) WHERE A = 1").unwrap();
+        }
+        c.run_to_quiescence();
+        let truth = c
+            .group_members(&SimplePredicate::new("A", CmpOp::Eq, 1i64))
+            .len() as i64;
+        let out = c.query(NodeId(1), "SELECT count(*) WHERE A = 1").unwrap();
+        prop_assert_eq!(count_of(&out), truth);
+    }
+}
+
+#[test]
+fn completeness_after_group_empties_and_refills() {
+    let n = 30;
+    let mut c = Cluster::builder().nodes(n).seed(3).build();
+    for i in 0..n as u32 {
+        c.set_attr(NodeId(i), "A", i64::from(i < 10));
+    }
+    let q = "SELECT count(*) WHERE A = 1";
+    assert_eq!(count_of(&c.query(NodeId(0), q).unwrap()), 10);
+    // Empty the group entirely; trees prune to nothing.
+    for i in 0..10u32 {
+        c.set_attr(NodeId(i), "A", 0i64);
+    }
+    for _ in 0..3 {
+        assert_eq!(count_of(&c.query(NodeId(0), q).unwrap()), 0);
+    }
+    // Refill with a different membership; pruned branches must re-open.
+    for i in 15..25u32 {
+        c.set_attr(NodeId(i), "A", 1i64);
+    }
+    assert_eq!(count_of(&c.query(NodeId(0), q).unwrap()), 10);
+}
+
+#[test]
+fn state_machine_invariants_hold_cluster_wide() {
+    let n = 40;
+    let mut c = Cluster::builder().nodes(n).seed(5).build();
+    for i in 0..n as u32 {
+        c.set_attr(NodeId(i), "A", i64::from(i % 4 == 0));
+    }
+    for round in 0..5u32 {
+        let _ = c.query(NodeId(round), "SELECT count(*) WHERE A = 1").unwrap();
+        for i in 0..n as u32 {
+            if (i + round) % 7 == 0 {
+                let cur = c.node(NodeId(i)).store.get("A") == Some(&Value::Int(1));
+                c.set_attr(NodeId(i), "A", i64::from(!cur));
+            }
+        }
+        c.run_to_quiescence();
+        for node in c.node_ids() {
+            if let Some(st) = c.node(node).pred_state("A=1") {
+                st.check_invariants();
+            }
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! End-to-end behaviour of the separate query plane (paper Section 5):
+//! with threshold > 1, steady-state query cost is O(group size) and
+//! independent of system size; with threshold = 1 interior nodes on the
+//! path to members keep relaying queries.
+
+use moara::{AggResult, Cluster, MoaraConfig, NodeId, Value};
+
+fn converged_cost(n: usize, group: usize, threshold: usize, seed: u64) -> (u64, i64) {
+    let cfg = MoaraConfig::default().with_threshold(threshold);
+    let mut c = Cluster::builder().nodes(n).seed(seed).config(cfg).build();
+    for i in 0..n as u32 {
+        c.set_attr(NodeId(i), "A", i64::from((i as usize) < group));
+    }
+    c.run_to_quiescence();
+    let q = "SELECT count(*) WHERE A = 1";
+    // Converge pruning + query plane.
+    for _ in 0..6 {
+        c.query(NodeId((n - 1) as u32), q).unwrap();
+    }
+    let out = c.query(NodeId((n - 1) as u32), q).unwrap();
+    let count = match out.result {
+        AggResult::Value(Value::Int(x)) => x,
+        ref other => panic!("unexpected {other:?}"),
+    };
+    (out.messages, count)
+}
+
+#[test]
+fn sqp_beats_plain_pruned_tree_for_small_groups() {
+    let (t1, c1) = converged_cost(512, 8, 1, 9);
+    let (t2, c2) = converged_cost(512, 8, 2, 9);
+    assert_eq!(c1, 8);
+    assert_eq!(c2, 8);
+    assert!(
+        t2 < t1,
+        "threshold 2 ({t2} msgs) must beat threshold 1 ({t1} msgs)"
+    );
+}
+
+#[test]
+fn sqp_cost_is_independent_of_system_size() {
+    // Same group size in systems 4x apart: with the query plane the
+    // steady-state cost should stay within a small factor.
+    let (small, _) = converged_cost(256, 8, 2, 10);
+    let (large, _) = converged_cost(1024, 8, 2, 10);
+    assert!(
+        (large as f64) < (small as f64) * 1.8,
+        "query plane cost should not scale with N: {small} -> {large}"
+    );
+}
+
+#[test]
+fn plain_tree_cost_grows_with_system_size() {
+    let (small, _) = converged_cost(256, 8, 1, 11);
+    let (large, _) = converged_cost(4096, 8, 1, 11);
+    assert!(
+        large > small,
+        "without the query plane interior relays grow with N: {small} -> {large}"
+    );
+}
+
+#[test]
+fn sqp_cost_tracks_group_size() {
+    let (g8, _) = converged_cost(512, 8, 2, 12);
+    let (g64, _) = converged_cost(512, 64, 2, 12);
+    assert!(g64 > g8 * 3, "cost should grow ~linearly with group size");
+    assert!(g64 < g8 * 20, "…but not explode: {g8} -> {g64}");
+}
+
+#[test]
+fn high_threshold_matches_group_lower_bound() {
+    // threshold 8 with group 8: everyone satisfying is reachable in one
+    // hop from the root region; cost approaches 2m + routing.
+    let (msgs, count) = converged_cost(512, 8, 8, 13);
+    assert_eq!(count, 8);
+    assert!(
+        msgs <= 2 * 8 + 12,
+        "near-optimal query plane cost expected, got {msgs}"
+    );
+}

@@ -1,0 +1,104 @@
+//! Garbage collection of per-predicate tree state (paper Section 4's
+//! sketched policies): eviction must reduce tracked state without ever
+//! affecting answer correctness.
+
+use moara::core::GcPolicy;
+use moara::simnet::SimDuration;
+use moara::{AggResult, Cluster, MoaraConfig, NodeId, Value};
+
+fn populated(cfg: MoaraConfig, seed: u64) -> Cluster {
+    let n = 30;
+    let mut c = Cluster::builder().nodes(n).seed(seed).config(cfg).build();
+    for i in 0..n as u32 {
+        c.set_attr(NodeId(i), "a", i % 2 == 0);
+        c.set_attr(NodeId(i), "b", i % 3 == 0);
+        c.set_attr(NodeId(i), "c", i % 5 == 0);
+        c.set_attr(NodeId(i), "d", i % 7 == 0);
+    }
+    c.run_to_quiescence();
+    c
+}
+
+fn total_tracked(c: &Cluster) -> usize {
+    c.node_ids()
+        .iter()
+        .map(|&n| c.node(n).tracked_predicates())
+        .sum()
+}
+
+#[test]
+fn keep_most_recent_bounds_state() {
+    let cfg = MoaraConfig::default().with_gc(GcPolicy::KeepMostRecent(2));
+    let mut c = populated(cfg, 1);
+    // Query four different predicates repeatedly.
+    for _ in 0..3 {
+        for attr in ["a", "b", "c", "d"] {
+            let out = c
+                .query(NodeId(0), &format!("SELECT count(*) WHERE {attr} = true"))
+                .unwrap();
+            assert!(matches!(out.result, AggResult::Value(Value::Int(_))));
+        }
+    }
+    // Let adaptation settle, then confirm state is bounded: without GC the
+    // hot path would track 4 predicates per node.
+    let never = {
+        let cfg = MoaraConfig::default();
+        let mut c2 = populated(cfg, 1);
+        for _ in 0..3 {
+            for attr in ["a", "b", "c", "d"] {
+                c2.query(NodeId(0), &format!("SELECT count(*) WHERE {attr} = true"))
+                    .unwrap();
+            }
+        }
+        total_tracked(&c2)
+    };
+    let bounded = total_tracked(&c);
+    assert!(
+        bounded < never,
+        "GC should keep fewer states ({bounded}) than Never ({never})"
+    );
+}
+
+#[test]
+fn idle_timeout_clears_cold_predicates_and_answers_stay_exact() {
+    let cfg = MoaraConfig::default().with_gc(GcPolicy::IdleTimeout(SimDuration::from_secs(30)));
+    let mut c = populated(cfg, 2);
+    let q_a = "SELECT count(*) WHERE a = true";
+    let q_b = "SELECT count(*) WHERE b = true";
+    assert_eq!(c.query(NodeId(0), q_a).unwrap().result.to_string(), "15");
+    assert_eq!(c.query(NodeId(0), q_b).unwrap().result.to_string(), "10");
+    // Keep predicate `a` hot while `b` goes cold past the idle timeout.
+    for _ in 0..12 {
+        c.run_for(SimDuration::from_secs(10));
+        c.query(NodeId(0), q_a).unwrap();
+    }
+    // Correctness after GC: the cold tree re-forms transparently.
+    assert_eq!(c.query(NodeId(0), q_b).unwrap().result.to_string(), "10");
+    assert_eq!(c.query(NodeId(0), q_a).unwrap().result.to_string(), "15");
+}
+
+#[test]
+fn gc_under_churn_preserves_completeness() {
+    let cfg = MoaraConfig::default().with_gc(GcPolicy::KeepMostRecent(1));
+    let mut c = populated(cfg, 3);
+    for round in 0..6u32 {
+        // Alternate predicates so GC keeps evicting, while churning `a`.
+        for i in 0..30u32 {
+            if (i + round) % 6 == 0 {
+                let cur = c.node(NodeId(i)).store.get("a") == Some(&Value::Bool(true));
+                c.set_attr(NodeId(i), "a", !cur);
+            }
+        }
+        let truth_a = c
+            .group_members(&moara::SimplePredicate::new(
+                "a",
+                moara_query::CmpOp::Eq,
+                true,
+            ))
+            .len() as i64;
+        let out = c.query(NodeId(1), "SELECT count(*) WHERE a = true").unwrap();
+        assert_eq!(out.result, AggResult::Value(Value::Int(truth_a)), "round {round}");
+        let out = c.query(NodeId(1), "SELECT count(*) WHERE b = true").unwrap();
+        assert_eq!(out.result, AggResult::Value(Value::Int(10)), "round {round}");
+    }
+}
