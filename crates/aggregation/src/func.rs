@@ -106,7 +106,9 @@ impl AggKind {
                 _ => Err(AggError::NonNumeric(value.clone())),
             },
             AggKind::Avg => {
-                let f = value.as_f64().ok_or_else(|| AggError::NonNumeric(value.clone()))?;
+                let f = value
+                    .as_f64()
+                    .ok_or_else(|| AggError::NonNumeric(value.clone()))?;
                 if f.is_nan() {
                     return Err(AggError::NonNumeric(value.clone()));
                 }
@@ -178,10 +180,7 @@ impl AggKind {
             (SumInt(x), SumInt(y)) => SumInt(x.wrapping_add(y)),
             (SumInt(x), SumFloat(y)) | (SumFloat(y), SumInt(x)) => SumFloat(x as f64 + y),
             (SumFloat(x), SumFloat(y)) => SumFloat(x + y),
-            (
-                Avg { sum: s1, count: c1 },
-                Avg { sum: s2, count: c2 },
-            ) => Avg {
+            (Avg { sum: s1, count: c1 }, Avg { sum: s2, count: c2 }) => Avg {
                 sum: s1 + s2,
                 count: c1 + c2,
             },
@@ -193,9 +192,7 @@ impl AggKind {
                     descending,
                     items: mut xs,
                 },
-                Ranked {
-                    items: ys, ..
-                },
+                Ranked { items: ys, .. },
             ) => {
                 xs.extend(ys);
                 sort_ranked(&mut xs, descending);
@@ -218,11 +215,7 @@ impl AggKind {
                 for (a, b) in xs.iter_mut().zip(ys) {
                     *a += b;
                 }
-                Hist {
-                    lo,
-                    hi,
-                    counts: xs,
-                }
+                Hist { lo, hi, counts: xs }
             }
             (Nodes(mut xs), Nodes(ys)) => {
                 xs.extend(ys);
@@ -334,19 +327,10 @@ impl AggState {
         }
     }
 
-    /// Approximate wire size of this state, for bandwidth accounting.
+    /// Exact wire size of this state (delegates to the `moara-wire`
+    /// codec, so there is a single size accounting in the tree).
     pub fn wire_size(&self) -> usize {
-        match self {
-            AggState::Null => 1,
-            AggState::Count(_) | AggState::SumInt(_) | AggState::SumFloat(_) => 8,
-            AggState::Avg { .. } => 16,
-            AggState::Min((v, _)) | AggState::Max((v, _)) => v.wire_size() + 8,
-            AggState::Ranked { items, .. } => {
-                items.iter().map(|(v, _)| v.wire_size() + 8).sum::<usize>() + 8
-            }
-            AggState::Nodes(ns) => ns.len() * 8 + 4,
-            AggState::Hist { counts, .. } => counts.len() * 8 + 20,
-        }
+        moara_wire::Wire::encoded_len(self)
     }
 }
 
@@ -444,6 +428,172 @@ impl fmt::Display for AggError {
 
 impl std::error::Error for AggError {}
 
+mod wire {
+    //! Wire-format impls, so aggregates can cross real sockets.
+
+    use moara_wire::{Wire, WireError};
+
+    use super::{AggKind, AggState, NodeRef};
+
+    impl Wire for NodeRef {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.0.encode(out);
+        }
+        fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+            u64::decode(buf).map(NodeRef)
+        }
+        fn encoded_len(&self) -> usize {
+            8
+        }
+    }
+
+    impl Wire for AggKind {
+        fn encode(&self, out: &mut Vec<u8>) {
+            match self {
+                AggKind::Count => out.push(0),
+                AggKind::Sum => out.push(1),
+                AggKind::Min => out.push(2),
+                AggKind::Max => out.push(3),
+                AggKind::Avg => out.push(4),
+                AggKind::TopK(k) => {
+                    out.push(5);
+                    k.encode(out);
+                }
+                AggKind::BottomK(k) => {
+                    out.push(6);
+                    k.encode(out);
+                }
+                AggKind::Enumerate => out.push(7),
+                AggKind::Histogram { lo, hi, buckets } => {
+                    out.push(8);
+                    lo.encode(out);
+                    hi.encode(out);
+                    buckets.encode(out);
+                }
+            }
+        }
+
+        fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+            Ok(match u8::decode(buf)? {
+                0 => AggKind::Count,
+                1 => AggKind::Sum,
+                2 => AggKind::Min,
+                3 => AggKind::Max,
+                4 => AggKind::Avg,
+                5 => AggKind::TopK(usize::decode(buf)?),
+                6 => AggKind::BottomK(usize::decode(buf)?),
+                7 => AggKind::Enumerate,
+                8 => AggKind::Histogram {
+                    lo: i64::decode(buf)?,
+                    hi: i64::decode(buf)?,
+                    buckets: u32::decode(buf)?,
+                },
+                _ => return Err(WireError::Invalid("AggKind tag")),
+            })
+        }
+
+        fn encoded_len(&self) -> usize {
+            1 + match self {
+                AggKind::TopK(_) | AggKind::BottomK(_) => 8,
+                AggKind::Histogram { .. } => 20,
+                _ => 0,
+            }
+        }
+    }
+
+    impl Wire for AggState {
+        fn encode(&self, out: &mut Vec<u8>) {
+            match self {
+                AggState::Null => out.push(0),
+                AggState::Count(c) => {
+                    out.push(1);
+                    c.encode(out);
+                }
+                AggState::SumInt(s) => {
+                    out.push(2);
+                    s.encode(out);
+                }
+                AggState::SumFloat(s) => {
+                    out.push(3);
+                    s.encode(out);
+                }
+                AggState::Avg { sum, count } => {
+                    out.push(4);
+                    sum.encode(out);
+                    count.encode(out);
+                }
+                AggState::Min(item) => {
+                    out.push(5);
+                    item.encode(out);
+                }
+                AggState::Max(item) => {
+                    out.push(6);
+                    item.encode(out);
+                }
+                AggState::Ranked {
+                    k,
+                    descending,
+                    items,
+                } => {
+                    out.push(7);
+                    k.encode(out);
+                    descending.encode(out);
+                    items.encode(out);
+                }
+                AggState::Nodes(ns) => {
+                    out.push(8);
+                    ns.encode(out);
+                }
+                AggState::Hist { lo, hi, counts } => {
+                    out.push(9);
+                    lo.encode(out);
+                    hi.encode(out);
+                    counts.encode(out);
+                }
+            }
+        }
+
+        fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+            Ok(match u8::decode(buf)? {
+                0 => AggState::Null,
+                1 => AggState::Count(u64::decode(buf)?),
+                2 => AggState::SumInt(i64::decode(buf)?),
+                3 => AggState::SumFloat(f64::decode(buf)?),
+                4 => AggState::Avg {
+                    sum: f64::decode(buf)?,
+                    count: u64::decode(buf)?,
+                },
+                5 => AggState::Min(Wire::decode(buf)?),
+                6 => AggState::Max(Wire::decode(buf)?),
+                7 => AggState::Ranked {
+                    k: usize::decode(buf)?,
+                    descending: bool::decode(buf)?,
+                    items: Wire::decode(buf)?,
+                },
+                8 => AggState::Nodes(Wire::decode(buf)?),
+                9 => AggState::Hist {
+                    lo: i64::decode(buf)?,
+                    hi: i64::decode(buf)?,
+                    counts: Wire::decode(buf)?,
+                },
+                _ => return Err(WireError::Invalid("AggState tag")),
+            })
+        }
+
+        fn encoded_len(&self) -> usize {
+            1 + match self {
+                AggState::Null => 0,
+                AggState::Count(_) | AggState::SumInt(_) | AggState::SumFloat(_) => 8,
+                AggState::Avg { .. } => 16,
+                AggState::Min(item) | AggState::Max(item) => item.encoded_len(),
+                AggState::Ranked { items, .. } => 9 + items.encoded_len(),
+                AggState::Nodes(ns) => ns.encoded_len(),
+                AggState::Hist { counts, .. } => 16 + counts.encoded_len(),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -474,7 +624,10 @@ mod tests {
     #[test]
     fn sum_preserves_integers_and_promotes_floats() {
         let kind = AggKind::Sum;
-        let ints = merge_left(kind, seed_all(kind, &[(1, Value::Int(2)), (2, Value::Int(3))]));
+        let ints = merge_left(
+            kind,
+            seed_all(kind, &[(1, Value::Int(2)), (2, Value::Int(3))]),
+        );
         assert_eq!(ints.finish(), AggResult::Value(Value::Int(5)));
         let mixed = merge_left(
             kind,
@@ -488,7 +641,10 @@ mod tests {
         let kind = AggKind::Avg;
         let s = merge_left(
             kind,
-            seed_all(kind, &[(1, Value::Int(1)), (2, Value::Int(2)), (3, Value::Int(6))]),
+            seed_all(
+                kind,
+                &[(1, Value::Int(1)), (2, Value::Int(2)), (3, Value::Int(6))],
+            ),
         );
         assert_eq!(s.finish().as_f64(), Some(3.0));
     }
@@ -497,19 +653,31 @@ mod tests {
     fn min_max_attribute_the_node() {
         let vals = [(7, Value::Int(5)), (3, Value::Int(1)), (9, Value::Int(9))];
         let min = merge_left(AggKind::Min, seed_all(AggKind::Min, &vals));
-        assert_eq!(min.finish(), AggResult::Attributed(Value::Int(1), NodeRef(3)));
+        assert_eq!(
+            min.finish(),
+            AggResult::Attributed(Value::Int(1), NodeRef(3))
+        );
         let max = merge_left(AggKind::Max, seed_all(AggKind::Max, &vals));
-        assert_eq!(max.finish(), AggResult::Attributed(Value::Int(9), NodeRef(9)));
+        assert_eq!(
+            max.finish(),
+            AggResult::Attributed(Value::Int(9), NodeRef(9))
+        );
     }
 
     #[test]
     fn min_tie_breaks_to_smaller_node() {
         let vals = [(9, Value::Int(1)), (2, Value::Int(1))];
         let min = merge_left(AggKind::Min, seed_all(AggKind::Min, &vals));
-        assert_eq!(min.finish(), AggResult::Attributed(Value::Int(1), NodeRef(2)));
+        assert_eq!(
+            min.finish(),
+            AggResult::Attributed(Value::Int(1), NodeRef(2))
+        );
         let max = merge_left(AggKind::Max, seed_all(AggKind::Max, &vals));
         // max tie also breaks toward smaller node id.
-        assert_eq!(max.finish(), AggResult::Attributed(Value::Int(1), NodeRef(2)));
+        assert_eq!(
+            max.finish(),
+            AggResult::Attributed(Value::Int(1), NodeRef(2))
+        );
     }
 
     #[test]
@@ -571,9 +739,15 @@ mod tests {
     fn seed_errors_on_bad_input() {
         assert!(AggKind::Sum.seed(NodeRef(1), &Value::Bool(true)).is_err());
         assert!(AggKind::Avg.seed(NodeRef(1), &Value::str("x")).is_err());
-        assert!(AggKind::Sum.seed(NodeRef(1), &Value::Float(f64::NAN)).is_err());
-        assert!(AggKind::Max.seed(NodeRef(1), &Value::Float(f64::NAN)).is_err());
-        let e = AggKind::Sum.seed(NodeRef(1), &Value::Bool(true)).unwrap_err();
+        assert!(AggKind::Sum
+            .seed(NodeRef(1), &Value::Float(f64::NAN))
+            .is_err());
+        assert!(AggKind::Max
+            .seed(NodeRef(1), &Value::Float(f64::NAN))
+            .is_err());
+        let e = AggKind::Sum
+            .seed(NodeRef(1), &Value::Bool(true))
+            .unwrap_err();
         assert!(e.to_string().contains("non-numeric"));
     }
 

@@ -87,14 +87,10 @@ impl Value {
         }
     }
 
-    /// Approximate serialized size in bytes (for bandwidth accounting).
+    /// Exact serialized size in bytes (delegates to the `moara-wire`
+    /// codec, so there is a single size accounting in the tree).
     pub fn wire_size(&self) -> usize {
-        match self {
-            Value::Bool(_) => 1,
-            Value::Int(_) => 8,
-            Value::Float(_) => 8,
-            Value::Str(s) => s.len() + 4,
-        }
+        moara_wire::Wire::encoded_len(self)
     }
 }
 
@@ -124,6 +120,48 @@ impl From<String> for Value {
     }
 }
 
+impl moara_wire::Wire for Value {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Bool(b) => {
+                out.push(0);
+                b.encode(out);
+            }
+            Value::Int(i) => {
+                out.push(1);
+                i.encode(out);
+            }
+            Value::Float(f) => {
+                out.push(2);
+                f.encode(out);
+            }
+            Value::Str(s) => {
+                out.push(3);
+                s.encode(out);
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, moara_wire::WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(Value::Bool(bool::decode(buf)?)),
+            1 => Ok(Value::Int(i64::decode(buf)?)),
+            2 => Ok(Value::Float(f64::decode(buf)?)),
+            3 => Ok(Value::Str(String::decode(buf)?)),
+            _ => Err(moara_wire::WireError::Invalid("Value tag")),
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            Value::Bool(b) => b.encoded_len(),
+            Value::Int(i) => i.encoded_len(),
+            Value::Float(f) => f.encoded_len(),
+            Value::Str(s) => s.encoded_len(),
+        }
+    }
+}
+
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -141,10 +179,19 @@ mod tests {
 
     #[test]
     fn cross_numeric_comparison() {
-        assert_eq!(Value::Int(3).cmp_num(&Value::Float(3.0)), Some(Ordering::Equal));
+        assert_eq!(
+            Value::Int(3).cmp_num(&Value::Float(3.0)),
+            Some(Ordering::Equal)
+        );
         assert!(Value::Int(3).eq_num(&Value::Float(3.0)));
-        assert_eq!(Value::Float(2.5).cmp_num(&Value::Int(3)), Some(Ordering::Less));
-        assert_eq!(Value::Int(4).cmp_num(&Value::Float(3.5)), Some(Ordering::Greater));
+        assert_eq!(
+            Value::Float(2.5).cmp_num(&Value::Int(3)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Int(4).cmp_num(&Value::Float(3.5)),
+            Some(Ordering::Greater)
+        );
     }
 
     #[test]
@@ -156,8 +203,14 @@ mod tests {
 
     #[test]
     fn bool_and_string_ordering() {
-        assert_eq!(Value::Bool(false).cmp_num(&Value::Bool(true)), Some(Ordering::Less));
-        assert_eq!(Value::str("a").cmp_num(&Value::str("b")), Some(Ordering::Less));
+        assert_eq!(
+            Value::Bool(false).cmp_num(&Value::Bool(true)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::str("a").cmp_num(&Value::str("b")),
+            Some(Ordering::Less)
+        );
         assert!(Value::str("apache").eq_num(&Value::str("apache")));
     }
 
@@ -193,9 +246,13 @@ mod tests {
     }
 
     #[test]
-    fn wire_sizes() {
-        assert_eq!(Value::Bool(true).wire_size(), 1);
-        assert_eq!(Value::Int(1).wire_size(), 8);
-        assert_eq!(Value::str("abc").wire_size(), 7);
+    fn wire_sizes_match_the_codec() {
+        // One byte of variant tag plus the payload encoding.
+        assert_eq!(Value::Bool(true).wire_size(), 1 + 1);
+        assert_eq!(Value::Int(1).wire_size(), 1 + 8);
+        assert_eq!(Value::str("abc").wire_size(), 1 + 4 + 3);
+        for v in [Value::Bool(false), Value::Float(1.5), Value::str("x")] {
+            assert_eq!(v.wire_size(), moara_wire::Wire::encoded_len(&v));
+        }
     }
 }

@@ -210,7 +210,13 @@ impl CentralCluster {
                 },
             );
             for &t in &roster {
-                ctx.send(t, CentralMsg::Ask { qn, query: query.clone() });
+                ctx.send(
+                    t,
+                    CentralMsg::Ask {
+                        qn,
+                        query: query.clone(),
+                    },
+                );
             }
         });
         self.sim.run_to_quiescence();

@@ -33,11 +33,7 @@ pub fn global_cluster(n: usize, seed: u64, latency: impl LatencyModel + 'static)
 }
 
 /// Builds a cluster running the *Always-Update* baseline.
-pub fn always_update_cluster(
-    n: usize,
-    seed: u64,
-    latency: impl LatencyModel + 'static,
-) -> Cluster {
+pub fn always_update_cluster(n: usize, seed: u64, latency: impl LatencyModel + 'static) -> Cluster {
     Cluster::builder()
         .nodes(n)
         .seed(seed)
@@ -70,7 +66,9 @@ mod tests {
         }
         c.run_to_quiescence();
         c.stats_mut().reset();
-        let out = c.query(NodeId(0), "SELECT count(*) WHERE A = true").unwrap();
+        let out = c
+            .query(NodeId(0), "SELECT count(*) WHERE A = true")
+            .unwrap();
         assert_eq!(out.result, AggResult::Value(Value::Int(5)));
         // Global mode: roughly two messages per node per query.
         assert!(
@@ -89,7 +87,9 @@ mod tests {
         }
         let pred = SimplePredicate::new("A", moara_query::CmpOp::Eq, true);
         register_on(&mut c, &pred);
-        let out = c.query(NodeId(1), "SELECT count(*) WHERE A = true").unwrap();
+        let out = c
+            .query(NodeId(1), "SELECT count(*) WHERE A = true")
+            .unwrap();
         assert_eq!(out.result, AggResult::Value(Value::Int(10)));
     }
 

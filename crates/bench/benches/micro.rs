@@ -39,7 +39,8 @@ fn bench_tree_build(c: &mut Criterion) {
 }
 
 fn bench_parse_and_plan(c: &mut Criterion) {
-    let text = "SELECT avg(Mem-Free) WHERE (a = true OR b = true) AND (c = true OR d = true) AND x < 50";
+    let text =
+        "SELECT avg(Mem-Free) WHERE (a = true OR b = true) AND (c = true OR d = true) AND x < 50";
     c.bench_function("query/parse", |b| b.iter(|| parse_query(black_box(text))));
     let q = parse_query(text).unwrap();
     c.bench_function("query/cnf+cover", |b| {
@@ -53,7 +54,10 @@ fn bench_parse_and_plan(c: &mut Criterion) {
 fn bench_agg_merge(c: &mut Criterion) {
     let kind = AggKind::TopK(5);
     let states: Vec<AggState> = (0..64u64)
-        .map(|i| kind.seed(NodeRef(i), &Value::Int((i * 37 % 100) as i64)).unwrap())
+        .map(|i| {
+            kind.seed(NodeRef(i), &Value::Int((i * 37 % 100) as i64))
+                .unwrap()
+        })
         .collect();
     c.bench_function("agg/topk_merge_64", |b| {
         b.iter(|| {
@@ -87,13 +91,8 @@ fn bench_state_machine(c: &mut Criterion) {
 }
 
 fn bench_end_to_end(c: &mut Criterion) {
-    let (mut cluster, _) = build_group_cluster(
-        256,
-        32,
-        MoaraConfig::default(),
-        Constant::from_millis(1),
-        3,
-    );
+    let (mut cluster, _) =
+        build_group_cluster(256, 32, MoaraConfig::default(), Constant::from_millis(1), 3);
     let q = parse_query(COUNT_QUERY).unwrap();
     let _ = cluster.query_parsed(NodeId(0), q.clone()); // warm trees
     c.bench_function("e2e/count_query_256n_32g", |b| {

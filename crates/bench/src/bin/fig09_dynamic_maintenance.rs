@@ -11,7 +11,7 @@
 
 use moara_bench::harness::{build_group_cluster, churn_burst, count_pred, COUNT_QUERY};
 use moara_bench::scaled;
-use moara_core::{Mode, MoaraConfig};
+use moara_core::{MoaraConfig, Mode};
 use moara_simnet::latency::Constant;
 use moara_simnet::NodeId;
 use rand::rngs::StdRng;
@@ -68,10 +68,7 @@ fn main() {
         let g = run_mix(Mode::Global, n, queries, churns, m, 7);
         let a = run_mix(Mode::AlwaysUpdate, n, queries, churns, m, 7);
         let d = run_mix(Mode::Moara, n, queries, churns, m, 7);
-        println!(
-            "{:>5}:{:<6} {g:>10.1} {a:>16.1} {d:>10.1}",
-            queries, churns
-        );
+        println!("{:>5}:{:<6} {g:>10.1} {a:>16.1} {d:>10.1}", queries, churns);
     }
     println!(
         "\nexpected shape (paper): Global cheap at low query rates, Always-Update cheap at\n\

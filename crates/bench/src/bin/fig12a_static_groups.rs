@@ -33,7 +33,10 @@ fn main() {
     let n = 500;
     let queries = scaled(30, 100);
     println!("=== Figure 12(a): static groups on a {n}-node LAN ({queries} queries each) ===");
-    println!("{:>10} {:>14} {:>14}", "system", "latency (ms)", "msgs/query");
+    println!(
+        "{:>10} {:>14} {:>14}",
+        "system", "latency (ms)", "msgs/query"
+    );
     for group in [32usize, 64, 128, 256, 500] {
         let (lat, msgs) = run(MoaraConfig::default(), n, group, queries);
         println!("{:>10} {lat:>14.1} {msgs:>14.1}", format!("group{group}"));

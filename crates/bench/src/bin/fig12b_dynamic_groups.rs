@@ -15,8 +15,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn run(n: usize, group: usize, churn: usize, interval_s: u64, seconds: usize) -> f64 {
-    let (mut cluster, _) =
-        build_group_cluster(n, group, MoaraConfig::default(), Lan::emulab(), 66);
+    let (mut cluster, _) = build_group_cluster(n, group, MoaraConfig::default(), Lan::emulab(), 66);
     let mut rng = StdRng::seed_from_u64(9);
     let origin = NodeId(0);
     let query = parse_query(COUNT_QUERY).expect("valid");
@@ -56,7 +55,10 @@ fn main() {
     );
     let static_lat = run(n, group, 0, 1_000_000, seconds);
     println!("static group baseline: {static_lat:.1} ms");
-    println!("{:>8} {:>12} {:>12}", "churn", "interval=5s", "interval=45s");
+    println!(
+        "{:>8} {:>12} {:>12}",
+        "churn", "interval=5s", "interval=45s"
+    );
     for churn in [40usize, 80, 120, 160, 200] {
         let fast = run(n, group, churn, 5, seconds);
         let slow = run(n, group, churn, 45, seconds);

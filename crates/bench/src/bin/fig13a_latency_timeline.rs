@@ -24,13 +24,15 @@ fn main() {
     println!(
         "=== Figure 13(a): latency timeline (n={n}, group={group}, churn={churn} every {interval}s) ==="
     );
-    let (mut cluster, _) =
-        build_group_cluster(n, group, MoaraConfig::default(), Lan::emulab(), 77);
+    let (mut cluster, _) = build_group_cluster(n, group, MoaraConfig::default(), Lan::emulab(), 77);
     let mut rng = StdRng::seed_from_u64(10);
     let origin = NodeId(0);
     let query = parse_query(COUNT_QUERY).expect("valid");
     let warm = cluster.query_parsed(origin, query.clone());
-    println!("steady-state latency: {:.1} ms", warm.latency().as_secs_f64() * 1e3);
+    println!(
+        "steady-state latency: {:.1} ms",
+        warm.latency().as_secs_f64() * 1e3
+    );
     println!("{:>8} {:>12}", "t (s)", "latency (ms)");
     let mut inflight: Vec<(u64, u64)> = Vec::new(); // (fid, issued second)
     let mut results: Vec<(u64, f64)> = Vec::new();
@@ -56,7 +58,11 @@ fn main() {
     }
     results.sort_by_key(|&(t, _)| t);
     for (t, ms) in &results {
-        let marker = if t % interval == 0 { "  <- churn burst" } else { "" };
+        let marker = if t % interval == 0 {
+            "  <- churn burst"
+        } else {
+            ""
+        };
         println!("{t:>8} {ms:>12.1}{marker}");
     }
     let peak = results.iter().map(|&(_, ms)| ms).fold(0.0f64, f64::max);

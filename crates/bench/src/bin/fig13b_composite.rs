@@ -19,8 +19,10 @@ use rand::{seq::SliceRandom, SeedableRng};
 const NGROUPS: usize = 30;
 
 fn build(n: usize, probes: bool, seed: u64) -> Cluster {
-    let mut cfg = MoaraConfig::default();
-    cfg.use_size_probes = probes;
+    let cfg = MoaraConfig {
+        use_size_probes: probes,
+        ..MoaraConfig::default()
+    };
     let mut cluster = Cluster::builder()
         .nodes(n)
         .seed(seed)
@@ -93,9 +95,7 @@ fn main() {
         let i0 = measure(&mut without, &intersection(k), reps);
         let u0 = measure(&mut without, &union(k), reps);
         let c0 = measure(&mut without, &complex(k), reps);
-        println!(
-            "{k:>4} {i1:>11.1} {u1:>11.1} {c1:>11.1} {i0:>11.1} {u0:>11.1} {c0:>11.1}"
-        );
+        println!("{k:>4} {i1:>11.1} {u1:>11.1} {c1:>11.1} {i0:>11.1} {u0:>11.1} {c0:>11.1}");
     }
     println!(
         "\nexpected shape (paper): intersection latency flat in k (one group queried);\n\

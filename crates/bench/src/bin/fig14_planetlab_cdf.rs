@@ -17,14 +17,21 @@ fn main() {
     let n = 200;
     let queries = scaled(100, 500);
     // PlanetLab: no child timeouts — wait for complete answers.
-    let mut cfg = MoaraConfig::default();
-    cfg.child_timeout = None;
-    cfg.front_timeout = None;
+    let cfg = MoaraConfig {
+        child_timeout: None,
+        front_timeout: None,
+        ..MoaraConfig::default()
+    };
     println!("=== Figure 14: PlanetLab response-latency CDF (n={n}, {queries} queries) ===");
     let query = parse_query(COUNT_QUERY).expect("valid");
     for group in [50usize, 100, 150, 200] {
-        let (mut cluster, _) =
-            build_group_cluster(n, group, cfg.clone(), Wan::planetlab(n, 123).without_extremes(), 123);
+        let (mut cluster, _) = build_group_cluster(
+            n,
+            group,
+            cfg.clone(),
+            Wan::planetlab(n, 123).without_extremes(),
+            123,
+        );
         // Warm the tree once so the CDF reflects steady-state behaviour.
         let _ = cluster.query_parsed(NodeId(0), query.clone());
         let mut lat = Vec::new();

@@ -20,9 +20,11 @@ fn main() {
     let n = 200;
     let queries = scaled(50, 200);
     let query = parse_query(COUNT_QUERY).expect("valid");
-    let mut cfg = MoaraConfig::default();
-    cfg.child_timeout = None;
-    cfg.front_timeout = None;
+    let cfg = MoaraConfig {
+        child_timeout: None,
+        front_timeout: None,
+        ..MoaraConfig::default()
+    };
     println!("=== Figure 15: Moara vs centralized aggregator (n={n}, {queries} queries) ===");
 
     for group in [100usize, 150] {
@@ -32,14 +34,10 @@ fn main() {
         // still has to poll every host including the thrashing ones.
         let wan = Wan::planetlab(n, 321);
         let wan_members = wan.clone();
-        let (mut moara, members) = build_group_cluster_filtered(
-            n,
-            group,
-            cfg.clone(),
-            wan,
-            321,
-            |node| wan_members.is_responsive(node),
-        );
+        let (mut moara, members) =
+            build_group_cluster_filtered(n, group, cfg.clone(), wan, 321, |node| {
+                wan_members.is_responsive(node)
+            });
         let _ = moara.query_parsed(NodeId(0), query.clone()); // warm
         let mut mlat = Vec::new();
         for _ in 0..queries {

@@ -18,9 +18,11 @@ fn main() {
     let group = 200; // the paper uses a group spanning all nodes
     let queries = scaled(60, 220);
     let wan = Wan::planetlab(n, 555).without_extremes();
-    let mut cfg = MoaraConfig::default();
-    cfg.child_timeout = None;
-    cfg.front_timeout = None;
+    let cfg = MoaraConfig {
+        child_timeout: None,
+        front_timeout: None,
+        ..MoaraConfig::default()
+    };
     let (mut cluster, members) = build_group_cluster(n, group, cfg, wan.clone(), 555);
     let query = parse_query(COUNT_QUERY).expect("valid");
     let _ = cluster.query_parsed(NodeId(0), query.clone()); // warm
@@ -33,7 +35,10 @@ fn main() {
         .fold(0.0f64, f64::max);
 
     println!("=== Figure 16: per-query latency vs bottleneck link (n={n}, group={group}) ===");
-    println!("{:>6} {:>14} {:>18}", "query", "latency (s)", "bottleneck rtt (s)");
+    println!(
+        "{:>6} {:>14} {:>18}",
+        "query", "latency (s)", "bottleneck rtt (s)"
+    );
     let mut lats = Vec::new();
     for qid in 0..queries {
         let out = cluster.query_parsed(NodeId(0), query.clone());

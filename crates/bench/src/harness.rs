@@ -139,13 +139,8 @@ mod tests {
 
     #[test]
     fn group_cluster_has_exact_group() {
-        let (cluster, members) = build_group_cluster(
-            40,
-            10,
-            MoaraConfig::default(),
-            Constant::from_millis(1),
-            5,
-        );
+        let (cluster, members) =
+            build_group_cluster(40, 10, MoaraConfig::default(), Constant::from_millis(1), 5);
         assert_eq!(members.len(), 10);
         assert_eq!(cluster.group_members(&count_pred()).len(), 10);
         assert_eq!(cluster.stats().total_messages(), 0, "stats reset");
@@ -153,13 +148,8 @@ mod tests {
 
     #[test]
     fn churn_burst_toggles() {
-        let (mut cluster, _) = build_group_cluster(
-            30,
-            10,
-            MoaraConfig::default(),
-            Constant::from_millis(1),
-            6,
-        );
+        let (mut cluster, _) =
+            build_group_cluster(30, 10, MoaraConfig::default(), Constant::from_millis(1), 6);
         let mut rng = StdRng::seed_from_u64(1);
         churn_burst(&mut cluster, &mut rng, 15);
         let size = cluster.group_members(&count_pred()).len();
@@ -168,13 +158,8 @@ mod tests {
 
     #[test]
     fn swap_churn_keeps_group_size() {
-        let (mut cluster, _) = build_group_cluster(
-            50,
-            20,
-            MoaraConfig::default(),
-            Constant::from_millis(1),
-            7,
-        );
+        let (mut cluster, _) =
+            build_group_cluster(50, 20, MoaraConfig::default(), Constant::from_millis(1), 7);
         let mut rng = StdRng::seed_from_u64(2);
         swap_churn(&mut cluster, &mut rng, 5);
         cluster.run_to_quiescence();
@@ -187,6 +172,9 @@ mod tests {
         assert!((mean(&xs) - 2.5).abs() < 1e-12);
         assert!((percentile(&xs, 0.0) - 1.0).abs() < 1e-12);
         assert!((percentile(&xs, 100.0) - 4.0).abs() < 1e-12);
-        assert!((percentile(&xs, 50.0) - 3.0).abs() < 1e-9 || (percentile(&xs, 50.0) - 2.0).abs() < 1e-9);
+        assert!(
+            (percentile(&xs, 50.0) - 3.0).abs() < 1e-9
+                || (percentile(&xs, 50.0) - 2.0).abs() < 1e-9
+        );
     }
 }

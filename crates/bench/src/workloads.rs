@@ -28,12 +28,12 @@ pub fn slice_distribution(count: usize, max_nodes: usize, seed: u64) -> Vec<Slic
     for rank in 1..=count {
         // Zipf-ish: size ∝ max / rank^0.9, floored at 1, with noise.
         let base = (max_nodes as f64 / (rank as f64).powf(0.67)).max(1.0);
-        let noise = rng.gen_range(0.7..1.3);
+        let noise = rng.gen_range(0.7f64..1.3);
         let assigned = ((base * noise).round() as usize).clamp(1, max_nodes);
         let in_use = rng.gen_range(0..=assigned);
         out.push(SliceSizes { assigned, in_use });
     }
-    out.sort_by(|a, b| b.assigned.cmp(&a.assigned));
+    out.sort_by_key(|s| std::cmp::Reverse(s.assigned));
     out
 }
 
@@ -75,7 +75,7 @@ pub fn job_trace(minutes: usize, cap: usize, seed: u64) -> JobTrace {
     let mut t = 0usize;
     while t < minutes {
         let phase = rng.gen_range(0..3);
-        let phase_len = rng.gen_range(20..120).min(minutes - t);
+        let phase_len = rng.gen_range(20usize..120).min(minutes - t);
         match phase {
             0 => {
                 // ramp up in bursts
@@ -145,7 +145,10 @@ mod tests {
 
     #[test]
     fn generators_are_deterministic() {
-        assert_eq!(slice_distribution(50, 100, 9), slice_distribution(50, 100, 9));
+        assert_eq!(
+            slice_distribution(50, 100, 9),
+            slice_distribution(50, 100, 9)
+        );
         assert_eq!(job_trace(100, 50, 9).usage, job_trace(100, 50, 9).usage);
     }
 }

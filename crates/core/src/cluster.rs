@@ -1,12 +1,22 @@
-//! The deployment harness: wires Moara nodes, the DHT overlay, and the
-//! simulator together, and gives experiments a synchronous driving API.
+//! The deployment harness: wires Moara nodes, the DHT overlay, and a
+//! pluggable transport together, and gives experiments a synchronous
+//! driving API.
 //!
 //! [`Directory`] is the shared overlay view — the stand-in for each node's
 //! FreePastry routing state plus the implicit DHT-tree structure derived
-//! from it (see `moara-dht`). [`Cluster`] owns the simulator and exposes
-//! the operations the paper's experiments perform: set attributes (group
-//! churn), issue queries, fail/add nodes, and read message/latency
-//! statistics.
+//! from it (see `moara-dht`). [`Cluster`] owns a [`Transport`] hosting the
+//! nodes and exposes the operations the paper's experiments perform: set
+//! attributes (group churn), issue queries, fail/add nodes, and read
+//! message/latency statistics.
+//!
+//! `Cluster` is generic over the transport backend. The default,
+//! [`SimTransport`], runs on the deterministic discrete-event simulator —
+//! all of the paper's experiments use it. [`ClusterBuilder::build_tcp`]
+//! instead hosts every node over real loopback TCP sockets
+//! ([`TcpTransport`]), which is how `examples/tcp_cluster.rs` and the
+//! `tcp_cluster` integration test exercise the full protocol over a real
+//! network path. Multi-process deployment (one node per `moarad` daemon)
+//! lives in the `moara-daemon` crate.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -17,7 +27,8 @@ use rand::{Rng, SeedableRng};
 
 use moara_dht::{Id, Ring, TreeTopology};
 use moara_query::{parse_query, ParseError, Query, SimplePredicate};
-use moara_simnet::{latency, LatencyModel, NodeId, SimDuration, SimTime, Simulator, Stats};
+use moara_simnet::{latency, LatencyModel, NodeId, SimDuration, SimTime, Stats};
+use moara_transport::{SimTransport, TcpConfig, TcpTransport, Transport};
 
 use crate::config::MoaraConfig;
 use crate::node::{MoaraNode, QueryOutcome};
@@ -75,7 +86,32 @@ impl Directory {
         }
     }
 
-    /// The ring id of a simulated node.
+    /// Builds a directory from explicit `(ring id, node)` members — how
+    /// daemon processes reconstruct an identical overlay view from a
+    /// membership list. Nodes must be `NodeId(0..n)` in order.
+    pub fn from_members(members: &[(NodeId, Id)], bits_per_digit: u32) -> Directory {
+        let mut ring = Ring::new(bits_per_digit);
+        let mut id_of = Vec::with_capacity(members.len());
+        for (i, &(node, id)) in members.iter().enumerate() {
+            assert_eq!(node.index(), i, "members must be dense and ordered");
+            ring.add(id);
+            id_of.push(id);
+        }
+        Directory::new(ring, id_of)
+    }
+
+    /// Replaces the membership in place (all handles see the update) and
+    /// invalidates cached trees — how daemons apply membership broadcasts.
+    pub fn reset_members(&self, members: &[(NodeId, Id)], bits_per_digit: u32) {
+        let fresh = Directory::from_members(members, bits_per_digit);
+        let mut inner = self.inner.borrow_mut();
+        *inner = Rc::try_unwrap(fresh.inner)
+            .ok()
+            .expect("fresh directory has one handle")
+            .into_inner();
+    }
+
+    /// The ring id of a node.
     pub fn id_of(&self, node: NodeId) -> Id {
         self.inner.borrow().id_of[node.index()]
     }
@@ -96,10 +132,7 @@ impl Directory {
     pub fn next_hop_node(&self, me: NodeId, key: Id) -> Option<NodeId> {
         let inner = self.inner.borrow();
         let my_id = inner.id_of[me.index()];
-        inner
-            .ring
-            .next_hop(my_id, key)
-            .map(|id| inner.node_of[&id])
+        inner.ring.next_hop(my_id, key).map(|id| inner.node_of[&id])
     }
 
     /// `me`'s children in the tree for `key`.
@@ -142,9 +175,13 @@ impl Directory {
         inner.node_of.remove(&id);
         inner.trees.clear();
     }
+
+    fn contains_ring_id(&self, id: Id) -> bool {
+        self.inner.borrow().node_of.contains_key(&id)
+    }
 }
 
-/// Builder for a simulated Moara deployment.
+/// Builder for a Moara deployment.
 pub struct ClusterBuilder {
     n: usize,
     cfg: MoaraConfig,
@@ -171,14 +208,16 @@ impl ClusterBuilder {
         self
     }
 
-    /// Link-latency model (defaults to the Emulab-like LAN).
+    /// Link-latency model for the simulator backend (defaults to constant
+    /// 1 ms; ignored by [`ClusterBuilder::build_tcp`], where the kernel
+    /// provides the latency).
     pub fn latency(mut self, model: impl LatencyModel + 'static) -> ClusterBuilder {
         self.latency = Box::new(model);
         self
     }
 
-    /// Builds the cluster, creating all nodes and the overlay.
-    pub fn build(self) -> Cluster {
+    /// Common setup: overlay ring, id shuffle, directory, node states.
+    fn prepare(&mut self) -> (Directory, StdRng) {
         assert!(self.n > 0, "cluster needs at least one node");
         let ring = Ring::with_random_ids(self.n, self.cfg.bits_per_digit, self.seed);
         let id_of: Vec<Id> = ring.ids().to_vec();
@@ -190,30 +229,61 @@ impl ClusterBuilder {
             let j = rng.gen_range(0..=i);
             id_of.swap(i, j);
         }
-        let dir = Directory::new(ring, id_of);
-        let mut sim = Simulator::new(self.latency, self.seed.wrapping_add(1));
+        (Directory::new(ring, id_of), rng)
+    }
+
+    /// Builds the cluster on the deterministic simulator (the default
+    /// backend; all paper experiments run here).
+    pub fn build(mut self) -> Cluster {
+        let (dir, rng) = self.prepare();
+        let mut transport: SimTransport<MoaraNode> =
+            SimTransport::new(self.latency, self.seed.wrapping_add(1));
         for _ in 0..self.n {
-            sim.add_node(MoaraNode::new(dir.clone(), self.cfg.clone()));
+            transport.add_node(MoaraNode::new(dir.clone(), self.cfg.clone()));
         }
         Cluster {
-            sim,
+            transport,
             dir,
             cfg: self.cfg,
             rng,
         }
     }
+
+    /// Builds the cluster over real TCP sockets on loopback: every node
+    /// gets its own listener, and all protocol traffic crosses the kernel
+    /// as length-prefixed frames. Timeouts in [`MoaraConfig`] become real
+    /// time.
+    pub fn build_tcp(self, tcp: TcpConfig) -> Cluster<TcpTransport<MoaraNode>> {
+        let mut this = self;
+        let (dir, rng) = this.prepare();
+        let mut transport: TcpTransport<MoaraNode> = TcpTransport::new(tcp);
+        for _ in 0..this.n {
+            transport.add_node(MoaraNode::new(dir.clone(), this.cfg.clone()));
+        }
+        Cluster {
+            transport,
+            dir,
+            cfg: this.cfg,
+            rng,
+        }
+    }
 }
 
-/// A running Moara deployment under simulation.
-pub struct Cluster {
-    sim: Simulator<MoaraNode>,
+/// A running Moara deployment over some [`Transport`] backend.
+///
+/// With the default [`SimTransport`] this is the paper's simulated
+/// deployment; with [`TcpTransport`] the same protocol state machines run
+/// over real sockets.
+pub struct Cluster<T: Transport<MoaraNode> = SimTransport<MoaraNode>> {
+    transport: T,
     dir: Directory,
     cfg: MoaraConfig,
     rng: StdRng,
 }
 
 impl Cluster {
-    /// Starts building a cluster.
+    /// Starts building a cluster (simulator-backed unless finished with
+    /// [`ClusterBuilder::build_tcp`]).
     pub fn builder() -> ClusterBuilder {
         ClusterBuilder {
             n: 1,
@@ -222,25 +292,27 @@ impl Cluster {
             latency: Box::new(latency::Constant::from_millis(1)),
         }
     }
+}
 
+impl<T: Transport<MoaraNode>> Cluster<T> {
     /// Number of nodes ever created (including failed).
     pub fn len(&self) -> usize {
-        self.sim.len()
+        self.transport.len()
     }
 
     /// True if the cluster has no nodes (never: the builder requires one).
     pub fn is_empty(&self) -> bool {
-        self.sim.is_empty()
+        self.transport.is_empty()
     }
 
     /// All node ids ever created.
     pub fn node_ids(&self) -> Vec<NodeId> {
-        (0..self.sim.len() as u32).map(NodeId).collect()
+        (0..self.transport.len() as u32).map(NodeId).collect()
     }
 
     /// Whether a node is currently alive.
     pub fn is_alive(&self, node: NodeId) -> bool {
-        self.sim.is_alive(node)
+        self.transport.is_alive(node)
     }
 
     /// The shared overlay directory.
@@ -253,24 +325,30 @@ impl Cluster {
         &self.cfg
     }
 
-    /// Current virtual time.
+    /// The transport backend (e.g. to reach TCP-specific accessors).
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// Current time on the transport's clock (virtual under simulation,
+    /// real elapsed time over TCP).
     pub fn now(&self) -> SimTime {
-        self.sim.now()
+        self.transport.now()
     }
 
     /// Message statistics.
     pub fn stats(&self) -> &Stats {
-        self.sim.stats()
+        self.transport.stats()
     }
 
     /// Mutable statistics (reset between experiment phases).
     pub fn stats_mut(&mut self) -> &mut Stats {
-        self.sim.stats_mut()
+        self.transport.stats_mut()
     }
 
     /// Direct read access to a node (assertions/inspection).
     pub fn node(&self, node: NodeId) -> &MoaraNode {
-        self.sim.node(node)
+        self.transport.node(node)
     }
 
     /// Sets an attribute at a node and lets the protocol react (a "group
@@ -281,11 +359,11 @@ impl Cluster {
         attr: &str,
         value: impl Into<moara_attributes::Value>,
     ) {
-        if !self.sim.is_alive(node) {
+        if !self.transport.is_alive(node) {
             return;
         }
         let value = value.into();
-        self.sim.with_node(node, |n, ctx| {
+        self.transport.with_node(node, |n, ctx| {
             n.store.set(attr, value);
             n.on_local_change(ctx, attr);
         });
@@ -293,38 +371,39 @@ impl Cluster {
 
     /// Removes an attribute at a node.
     pub fn remove_attr(&mut self, node: NodeId, attr: &str) {
-        if !self.sim.is_alive(node) {
+        if !self.transport.is_alive(node) {
             return;
         }
-        self.sim.with_node(node, |n, ctx| {
+        self.transport.with_node(node, |n, ctx| {
             n.store.remove(attr);
             n.on_local_change(ctx, attr);
         });
     }
 
     /// Submits a query asynchronously from `origin`'s front-end. Drive the
-    /// simulation ([`Cluster::run_for`]) and collect the result with
+    /// transport ([`Cluster::run_for`]) and collect the result with
     /// [`Cluster::take_outcome`].
     pub fn submit(&mut self, origin: NodeId, query: Query) -> u64 {
-        self.sim.with_node(origin, |n, ctx| n.submit(ctx, query))
+        self.transport
+            .with_node(origin, |n, ctx| n.submit(ctx, query))
     }
 
     /// Takes the outcome of an asynchronous query if it has completed.
     pub fn take_outcome(&mut self, origin: NodeId, front_id: u64) -> Option<QueryOutcome> {
-        self.sim.node_mut(origin).take_outcome(front_id)
+        self.transport.node_mut(origin).take_outcome(front_id)
     }
 
-    /// Runs a parsed query synchronously: submits it, drives the
-    /// simulation to quiescence, and returns the outcome with the
-    /// system-wide message count it caused.
+    /// Runs a parsed query synchronously: submits it, drives the transport
+    /// to quiescence, and returns the outcome with the system-wide message
+    /// count it caused.
     pub fn query_parsed(&mut self, origin: NodeId, query: Query) -> QueryOutcome {
-        let before = self.sim.stats().message_snapshot();
+        let before = self.transport.stats().message_snapshot();
         let fid = self.submit(origin, query);
-        self.sim.run_to_quiescence();
+        self.transport.run_to_quiescence();
         let mut outcome = self
             .take_outcome(origin, fid)
             .expect("query completes under quiescence (front timeout bounds it)");
-        outcome.messages = self.sim.stats().message_snapshot() - before;
+        outcome.messages = self.transport.stats().message_snapshot() - before;
         outcome
     }
 
@@ -338,30 +417,31 @@ impl Cluster {
         Ok(self.query_parsed(origin, parse_query(text)?))
     }
 
-    /// Advances virtual time by `d`, processing due events.
+    /// Advances the transport by `d` (virtual time under simulation, real
+    /// waiting over TCP), processing due events.
     pub fn run_for(&mut self, d: SimDuration) {
-        self.sim.run_for(d);
+        self.transport.run_for(d);
     }
 
     /// Processes all outstanding events.
     pub fn run_to_quiescence(&mut self) {
-        self.sim.run_to_quiescence();
+        self.transport.run_to_quiescence();
     }
 
     /// Fails a node: the overlay repairs itself and ongoing aggregations
     /// treat it as a NULL reply (Section 7's reconfiguration handling).
     pub fn fail_node(&mut self, node: NodeId) {
-        if !self.sim.is_alive(node) {
+        if !self.transport.is_alive(node) {
             return;
         }
-        self.sim.fail_node(node);
+        self.transport.fail_node(node);
         self.dir.remove_member(node);
         let ids = self.node_ids();
         for n in ids {
-            if !self.sim.is_alive(n) {
+            if !self.transport.is_alive(n) {
                 continue;
             }
-            self.sim.with_node(n, |nn, ctx| {
+            self.transport.with_node(n, |nn, ctx| {
                 nn.on_peer_failed(ctx, node);
                 nn.reconcile(ctx);
             });
@@ -375,22 +455,22 @@ impl Cluster {
         attrs: impl IntoIterator<Item = (String, moara_attributes::Value)>,
     ) -> NodeId {
         let mut id = Id(self.rng.gen());
-        while self.dir.inner.borrow().node_of.contains_key(&id) {
+        while self.dir.contains_ring_id(id) {
             id = Id(self.rng.gen());
         }
-        let node = NodeId(self.sim.len() as u32);
+        let node = NodeId(self.transport.len() as u32);
         self.dir.add_member(id, node);
         let mut moara = MoaraNode::new(self.dir.clone(), self.cfg.clone());
         for (a, v) in attrs {
             moara.store.set(a.as_str(), v);
         }
-        let created = self.sim.add_node(moara);
+        let created = self.transport.add_node(moara);
         debug_assert_eq!(created, node);
         for n in self.node_ids() {
-            if !self.sim.is_alive(n) {
+            if !self.transport.is_alive(n) {
                 continue;
             }
-            self.sim.with_node(n, |nn, ctx| nn.reconcile(ctx));
+            self.transport.with_node(n, |nn, ctx| nn.reconcile(ctx));
         }
         node
     }
@@ -401,21 +481,19 @@ impl Cluster {
     /// statistics afterwards.
     pub fn register_predicate(&mut self, pred: &SimplePredicate) {
         for n in self.node_ids() {
-            if !self.sim.is_alive(n) {
+            if !self.transport.is_alive(n) {
                 continue;
             }
-            self.sim
-                .node_mut(n)
-                .install_state(n, pred);
+            self.transport.node_mut(n).install_state(n, pred);
         }
         for n in self.node_ids() {
-            if !self.sim.is_alive(n) {
+            if !self.transport.is_alive(n) {
                 continue;
             }
-            self.sim.with_node(n, |nn, ctx| nn.reconcile(ctx));
+            self.transport.with_node(n, |nn, ctx| nn.reconcile(ctx));
         }
-        self.sim.run_to_quiescence();
-        self.sim.stats_mut().reset();
+        self.transport.run_to_quiescence();
+        self.transport.stats_mut().reset();
     }
 
     /// Ground truth: the alive nodes currently satisfying `pred`
@@ -423,7 +501,7 @@ impl Cluster {
     pub fn group_members(&self, pred: &SimplePredicate) -> Vec<NodeId> {
         self.node_ids()
             .into_iter()
-            .filter(|&n| self.sim.is_alive(n) && pred.eval(&self.sim.node(n).store))
+            .filter(|&n| self.transport.is_alive(n) && pred.eval(&self.transport.node(n).store))
             .collect()
     }
 }
@@ -495,5 +573,25 @@ mod tests {
         let mut c = small_cluster(10);
         let out = c.query(NodeId(0), "SELECT count(*)").unwrap();
         assert_eq!(out.result, AggResult::Value(Value::Int(10)));
+    }
+
+    #[test]
+    fn tcp_loopback_cluster_answers_queries() {
+        // Deterministic TCP-path (loopback mode): same protocol, same
+        // codec, no sockets. The socket path proper is covered by the
+        // `tcp_cluster` integration test and example.
+        let mut c = Cluster::builder()
+            .nodes(8)
+            .seed(11)
+            .build_tcp(TcpConfig::loopback(11));
+        for i in 0..8u32 {
+            c.set_attr(NodeId(i), "ServiceX", i % 2 == 0);
+        }
+        c.run_to_quiescence();
+        let out = c
+            .query(NodeId(1), "SELECT count(*) WHERE ServiceX = true")
+            .unwrap();
+        assert!(out.complete);
+        assert_eq!(out.result, AggResult::Value(Value::Int(4)));
     }
 }

@@ -122,7 +122,10 @@ impl MoaraConfig {
 
     /// Sets the adaptation windows `(k_UPDATE, k_NO-UPDATE)`.
     pub fn with_adaptation_windows(mut self, k_update: usize, k_no_update: usize) -> MoaraConfig {
-        assert!(k_update >= 1 && k_no_update >= 1, "windows must be positive");
+        assert!(
+            k_update >= 1 && k_no_update >= 1,
+            "windows must be positive"
+        );
         self.k_update = k_update;
         self.k_no_update = k_no_update;
         self

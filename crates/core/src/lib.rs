@@ -49,7 +49,7 @@ mod node;
 pub mod state;
 
 pub use cluster::{Cluster, ClusterBuilder, Directory};
-pub use config::{GcPolicy, Mode, MoaraConfig};
+pub use config::{GcPolicy, MoaraConfig, Mode};
 pub use msg::{MoaraMsg, PredKey, QueryId, GLOBAL_PRED};
 pub use node::{MoaraNode, QueryOutcome};
 

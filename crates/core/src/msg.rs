@@ -4,6 +4,7 @@ use moara_aggregation::AggState;
 use moara_dht::Id;
 use moara_query::Query;
 use moara_simnet::{Message, NodeId};
+use moara_wire::{Wire, WireError};
 
 /// Identifies one end-to-end query issued by a front-end: (origin node,
 /// per-origin counter). Used for duplicate answer suppression when a node
@@ -24,7 +25,7 @@ pub type PredKey = String;
 pub const GLOBAL_PRED: &str = "*";
 
 /// A wire message of the Moara protocol.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum MoaraMsg {
     /// Overlay routing envelope: forwarded hop-by-hop toward the owner of
     /// `key`, which then handles `inner`. This is how sub-queries and size
@@ -98,25 +99,211 @@ pub enum MoaraMsg {
     },
 }
 
-impl Message for MoaraMsg {
-    fn size_bytes(&self) -> usize {
-        const HDR: usize = 28; // ids, type tag, transport framing
-        match self {
-            MoaraMsg::Route { inner, .. } => 12 + inner.size_bytes(),
-            MoaraMsg::QueryDown { pred_key, query, .. } => {
-                HDR + pred_key.len() + 24 + query.to_string().len()
+impl Wire for QueryId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.origin.encode(out);
+        self.n.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(QueryId {
+            origin: Wire::decode(buf)?,
+            n: Wire::decode(buf)?,
+        })
+    }
+    fn encoded_len(&self) -> usize {
+        12
+    }
+}
+
+/// Deepest `Route`-in-`Route` nesting accepted by the decoder. Overlay
+/// routes are at most O(log n) hops, so legitimate nesting is single
+/// digits; the cap turns a crafted deeply-nested frame (which would
+/// otherwise recurse the decoder into a stack overflow) into a normal
+/// [`WireError`].
+pub const MAX_ROUTE_DEPTH: usize = 64;
+
+/// Depth-tracking decode: frames arrive from untrusted peer sockets, so
+/// recursion through `Route` must be bounded.
+fn decode_at(buf: &mut &[u8], depth: usize) -> Result<MoaraMsg, WireError> {
+    Ok(match u8::decode(buf)? {
+        0 => {
+            if depth >= MAX_ROUTE_DEPTH {
+                return Err(WireError::Invalid("Route nesting too deep"));
             }
-            MoaraMsg::QueryReply { pred_key, state, .. } => {
-                HDR + pred_key.len() + state.wire_size() + 9
+            MoaraMsg::Route {
+                key: Wire::decode(buf)?,
+                inner: Box::new(decode_at(buf, depth + 1)?),
+            }
+        }
+        1 => MoaraMsg::QueryDown {
+            qid: Wire::decode(buf)?,
+            seq: Wire::decode(buf)?,
+            pred_key: Wire::decode(buf)?,
+            tree: Wire::decode(buf)?,
+            query: Wire::decode(buf)?,
+            reply_to: Wire::decode(buf)?,
+        },
+        2 => MoaraMsg::QueryReply {
+            qid: Wire::decode(buf)?,
+            pred_key: Wire::decode(buf)?,
+            state: Wire::decode(buf)?,
+            np: Wire::decode(buf)?,
+            complete: Wire::decode(buf)?,
+        },
+        3 => MoaraMsg::Status {
+            pred_key: Wire::decode(buf)?,
+            pred: Wire::decode(buf)?,
+            prune: Wire::decode(buf)?,
+            update_set: Wire::decode(buf)?,
+            np: Wire::decode(buf)?,
+            last_seq: Wire::decode(buf)?,
+        },
+        4 => MoaraMsg::SizeProbe {
+            pred_key: Wire::decode(buf)?,
+            reply_to: Wire::decode(buf)?,
+        },
+        5 => MoaraMsg::SizeReply {
+            pred_key: Wire::decode(buf)?,
+            cost: Wire::decode(buf)?,
+        },
+        _ => return Err(WireError::Invalid("MoaraMsg tag")),
+    })
+}
+
+impl Wire for MoaraMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            MoaraMsg::Route { key, inner } => {
+                out.push(0);
+                key.encode(out);
+                inner.encode(out);
+            }
+            MoaraMsg::QueryDown {
+                qid,
+                seq,
+                pred_key,
+                tree,
+                query,
+                reply_to,
+            } => {
+                out.push(1);
+                qid.encode(out);
+                seq.encode(out);
+                pred_key.encode(out);
+                tree.encode(out);
+                query.encode(out);
+                reply_to.encode(out);
+            }
+            MoaraMsg::QueryReply {
+                qid,
+                pred_key,
+                state,
+                np,
+                complete,
+            } => {
+                out.push(2);
+                qid.encode(out);
+                pred_key.encode(out);
+                state.encode(out);
+                np.encode(out);
+                complete.encode(out);
             }
             MoaraMsg::Status {
                 pred_key,
+                pred,
+                prune,
                 update_set,
-                ..
-            } => HDR + 2 * pred_key.len() + update_set.len() * 6 + 17,
-            MoaraMsg::SizeProbe { pred_key, .. } => HDR + pred_key.len(),
-            MoaraMsg::SizeReply { pred_key, .. } => HDR + pred_key.len() + 8,
+                np,
+                last_seq,
+            } => {
+                out.push(3);
+                pred_key.encode(out);
+                pred.encode(out);
+                prune.encode(out);
+                update_set.encode(out);
+                np.encode(out);
+                last_seq.encode(out);
+            }
+            MoaraMsg::SizeProbe { pred_key, reply_to } => {
+                out.push(4);
+                pred_key.encode(out);
+                reply_to.encode(out);
+            }
+            MoaraMsg::SizeReply { pred_key, cost } => {
+                out.push(5);
+                pred_key.encode(out);
+                cost.encode(out);
+            }
         }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        decode_at(buf, 0)
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            MoaraMsg::Route { key, inner } => key.encoded_len() + inner.encoded_len(),
+            MoaraMsg::QueryDown {
+                qid,
+                seq,
+                pred_key,
+                tree,
+                query,
+                reply_to,
+            } => {
+                qid.encoded_len()
+                    + seq.encoded_len()
+                    + pred_key.encoded_len()
+                    + tree.encoded_len()
+                    + query.encoded_len()
+                    + reply_to.encoded_len()
+            }
+            MoaraMsg::QueryReply {
+                qid,
+                pred_key,
+                state,
+                np,
+                complete,
+            } => {
+                qid.encoded_len()
+                    + pred_key.encoded_len()
+                    + state.encoded_len()
+                    + np.encoded_len()
+                    + complete.encoded_len()
+            }
+            MoaraMsg::Status {
+                pred_key,
+                pred,
+                prune,
+                update_set,
+                np,
+                last_seq,
+            } => {
+                pred_key.encoded_len()
+                    + pred.encoded_len()
+                    + prune.encoded_len()
+                    + update_set.encoded_len()
+                    + np.encoded_len()
+                    + last_seq.encoded_len()
+            }
+            MoaraMsg::SizeProbe { pred_key, reply_to } => {
+                pred_key.encoded_len() + reply_to.encoded_len()
+            }
+            MoaraMsg::SizeReply { pred_key, cost } => pred_key.encoded_len() + cost.encoded_len(),
+        }
+    }
+}
+
+impl Message for MoaraMsg {
+    /// Exact framed size on the TCP transport: length prefix, sender id,
+    /// encoded payload. Earlier revisions estimated sizes per variant
+    /// (and under-counted `Route`, which added 12 bytes and skipped the
+    /// header entirely); tying the figure to the codec keeps the
+    /// simulator's bandwidth numbers equal to what `TcpTransport`
+    /// actually puts on the socket, byte for byte.
+    fn size_bytes(&self) -> usize {
+        moara_wire::peer_framed_len(self)
     }
 }
 
@@ -163,5 +350,56 @@ mod tests {
             last_seq: 0,
         };
         assert!(big.size_bytes() > small.size_bytes());
+    }
+
+    #[test]
+    fn size_bytes_is_the_exact_framed_wire_size() {
+        let msg = MoaraMsg::Route {
+            key: Id(7),
+            inner: Box::new(MoaraMsg::SizeProbe {
+                pred_key: "CPU-Util<50".into(),
+                reply_to: NodeId(3),
+            }),
+        };
+        let payload = msg.to_bytes();
+        assert_eq!(
+            msg.size_bytes(),
+            payload.len() + moara_wire::FRAME_HDR + moara_wire::SENDER_HDR
+        );
+        // Route framing overhead over its payload: tag (1) + key (8), plus
+        // the frame header the inner message no longer pays twice.
+        let inner = MoaraMsg::SizeProbe {
+            pred_key: "CPU-Util<50".into(),
+            reply_to: NodeId(3),
+        };
+        assert_eq!(msg.encoded_len(), 1 + 8 + inner.encoded_len());
+    }
+
+    #[test]
+    fn deeply_nested_route_is_rejected_not_a_stack_overflow() {
+        // Legitimate nesting decodes fine.
+        let mut ok = MoaraMsg::SizeReply {
+            pred_key: "A=1".into(),
+            cost: 1,
+        };
+        for i in 0..10 {
+            ok = MoaraMsg::Route {
+                key: Id(i),
+                inner: Box::new(ok),
+            };
+        }
+        assert_eq!(MoaraMsg::from_bytes(&ok.to_bytes()).unwrap(), ok);
+
+        // A crafted frame of endless Route tags must error, not recurse
+        // the decoder off the stack (frames come from untrusted sockets).
+        let mut evil = Vec::new();
+        for i in 0..(MAX_ROUTE_DEPTH as u64 + 10) {
+            evil.push(0u8); // Route tag
+            evil.extend_from_slice(&i.to_le_bytes()); // key
+        }
+        assert_eq!(
+            MoaraMsg::from_bytes(&evil),
+            Err(WireError::Invalid("Route nesting too deep"))
+        );
     }
 }

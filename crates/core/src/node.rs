@@ -16,10 +16,11 @@ use moara_aggregation::{AggKind, AggResult, AggState, NodeRef};
 use moara_attributes::{AttrStore, Value};
 use moara_dht::Id;
 use moara_query::{choose_cover, Cover, Query, SimplePredicate};
-use moara_simnet::{Context, NodeId, Protocol, SimTime, TimerId, TimerTag};
+use moara_simnet::{NodeId, SimTime, TimerId, TimerTag};
+use moara_transport::{NetCtx, NetProtocol};
 
 use crate::cluster::Directory;
-use crate::config::{GcPolicy, Mode, MoaraConfig};
+use crate::config::{GcPolicy, MoaraConfig, Mode};
 use crate::msg::{MoaraMsg, PredKey, QueryId, GLOBAL_PRED};
 use crate::state::{ChildInfo, PredState};
 
@@ -53,7 +54,7 @@ struct Session {
     acc: AggState,
     kind: AggKind,
     complete: bool,
-    timer: Option<TimerId>,
+    timer: Option<(TimerId, TimerTag)>,
     tree: Id,
     done: bool,
 }
@@ -77,13 +78,13 @@ struct FrontQuery {
     acc: AggState,
     complete: bool,
     issued_at: SimTime,
-    timer: Option<TimerId>,
+    timer: Option<(TimerId, TimerTag)>,
 }
 
 enum TimerEvent {
-    SessionTimeout(QueryId, PredKey),
-    ProbeTimeout(u64),
-    FrontTimeout(u64),
+    Session(QueryId, PredKey),
+    Probe(u64),
+    Front(u64),
 }
 
 /// A Moara agent/protocol instance hosted on one simulated machine.
@@ -158,9 +159,7 @@ impl MoaraNode {
                 let stale: Vec<PredKey> = self
                     .activity
                     .iter()
-                    .filter(|(k, t)| {
-                        now.duration_since(**t) >= ttl && evictable(&self.states, k)
-                    })
+                    .filter(|(k, t)| now.duration_since(**t) >= ttl && evictable(&self.states, k))
                     .map(|(k, _)| k.clone())
                     .collect();
                 for k in stale {
@@ -203,13 +202,21 @@ impl MoaraNode {
         tag
     }
 
+    /// Cancels a pending timer *and* forgets its event entry — cancelled
+    /// timers never fire, so without the purge the tag map would grow for
+    /// every completed query (a real leak in a run-forever daemon).
+    fn drop_timer(&mut self, ctx: &mut dyn NetCtx<MoaraMsg>, handle: (TimerId, TimerTag)) {
+        ctx.cancel_timer(handle.0);
+        self.timers.remove(&handle.1);
+    }
+
     // ----- front-end ---------------------------------------------------
 
     /// Accepts a query at this node's front-end; returns a handle for
     /// [`MoaraNode::take_outcome`]. Planning follows Section 6: CNF →
     /// structural covers → (optional) size probes → min-cost cover →
     /// parallel sub-queries with duplicate suppression.
-    pub fn submit(&mut self, ctx: &mut Context<'_, MoaraMsg>, query: Query) -> u64 {
+    pub fn submit(&mut self, ctx: &mut dyn NetCtx<MoaraMsg>, query: Query) -> u64 {
         let front_id = self.next_front;
         self.next_front += 1;
         let qid = QueryId {
@@ -261,6 +268,7 @@ impl MoaraNode {
         if needs_probes {
             front.phase = FrontPhase::Probing;
             let cnf = front.cnf.clone().expect("probing implies CNF");
+            let me = ctx.me();
             let mut seen = HashSet::new();
             for clause in &cnf.clauses {
                 for atom in &clause.atoms {
@@ -272,15 +280,15 @@ impl MoaraNode {
                             Self::tree_key_for(atom),
                             MoaraMsg::SizeProbe {
                                 pred_key: key,
-                                reply_to: ctx.me(),
+                                reply_to: me,
                             },
                         );
                         ctx.count("size_probes");
                     }
                 }
             }
-            let tag = self.alloc_timer(TimerEvent::ProbeTimeout(front_id));
-            front.timer = Some(ctx.set_timer(self.cfg.probe_timeout, tag));
+            let tag = self.alloc_timer(TimerEvent::Probe(front_id));
+            front.timer = Some((ctx.set_timer(self.cfg.probe_timeout, tag), tag));
             self.fronts.insert(front_id, front);
         } else {
             self.fronts.insert(front_id, front);
@@ -290,21 +298,23 @@ impl MoaraNode {
     }
 
     /// Chooses the cover and fans sub-queries out to tree roots.
-    fn dispatch_front(&mut self, ctx: &mut Context<'_, MoaraMsg>, front_id: u64) {
-        let front = self.fronts.get_mut(&front_id).expect("front exists");
-        front.phase = FrontPhase::Waiting;
-        if let Some(t) = front.timer.take() {
-            ctx.cancel_timer(t);
+    fn dispatch_front(&mut self, ctx: &mut dyn NetCtx<MoaraMsg>, front_id: u64) {
+        let stale = {
+            let front = self.fronts.get_mut(&front_id).expect("front exists");
+            front.phase = FrontPhase::Waiting;
+            front.timer.take()
+        };
+        if let Some(t) = stale {
+            self.drop_timer(ctx, t);
         }
+        let front = self.fronts.get_mut(&front_id).expect("front exists");
         let n2 = (self.dir.ring_size() as u64).saturating_mul(2);
         let cover = match &front.cnf {
             None => Cover::All,
             Some(cnf) => {
                 if self.cfg.use_size_probes {
                     let costs = &front.costs;
-                    choose_cover(cnf, |atom| {
-                        costs.get(&atom.key()).copied().unwrap_or(n2)
-                    })
+                    choose_cover(cnf, |atom| costs.get(&atom.key()).copied().unwrap_or(n2))
                 } else {
                     choose_cover(cnf, |_| 1)
                 }
@@ -339,9 +349,9 @@ impl MoaraNode {
             front.sub_pending.insert(pred_key.clone());
         }
         if let Some(d) = self.cfg.front_timeout {
-            let tag = self.alloc_timer(TimerEvent::FrontTimeout(front_id));
+            let tag = self.alloc_timer(TimerEvent::Front(front_id));
             let t = ctx.set_timer(d, tag);
-            self.fronts.get_mut(&front_id).expect("front").timer = Some(t);
+            self.fronts.get_mut(&front_id).expect("front").timer = Some((t, tag));
         }
         for (pred_key, tree) in subs {
             self.route(
@@ -359,12 +369,12 @@ impl MoaraNode {
         }
     }
 
-    fn finish_front(&mut self, ctx: &mut Context<'_, MoaraMsg>, front_id: u64) {
+    fn finish_front(&mut self, ctx: &mut dyn NetCtx<MoaraMsg>, front_id: u64) {
         let Some(front) = self.fronts.remove(&front_id) else {
             return;
         };
         if let Some(t) = front.timer {
-            ctx.cancel_timer(t);
+            self.drop_timer(ctx, t);
         }
         let outcome = QueryOutcome {
             result: front.query.agg.finalize(front.acc),
@@ -378,7 +388,7 @@ impl MoaraNode {
 
     // ----- routing ------------------------------------------------------
 
-    fn route(&mut self, ctx: &mut Context<'_, MoaraMsg>, key: Id, inner: MoaraMsg) {
+    fn route(&mut self, ctx: &mut dyn NetCtx<MoaraMsg>, key: Id, inner: MoaraMsg) {
         match self.dir.next_hop_node(ctx.me(), key) {
             Some(next) => ctx.send(
                 next,
@@ -391,7 +401,7 @@ impl MoaraNode {
         }
     }
 
-    fn handle_at_root(&mut self, ctx: &mut Context<'_, MoaraMsg>, _key: Id, inner: MoaraMsg) {
+    fn handle_at_root(&mut self, ctx: &mut dyn NetCtx<MoaraMsg>, _key: Id, inner: MoaraMsg) {
         match inner {
             MoaraMsg::QueryDown {
                 qid,
@@ -420,10 +430,7 @@ impl MoaraNode {
             }
             MoaraMsg::SizeProbe { pred_key, reply_to } => {
                 let cost = self.estimated_query_cost(ctx.me(), &pred_key);
-                ctx.send(
-                    reply_to,
-                    MoaraMsg::SizeReply { pred_key, cost },
-                );
+                ctx.send(reply_to, MoaraMsg::SizeReply { pred_key, cost });
             }
             other => {
                 debug_assert!(false, "unexpected routed payload {other:?}");
@@ -479,7 +486,7 @@ impl MoaraNode {
 
     /// Sends a status update to the tree parent if the state demands one,
     /// cascading lazily via the parent's own handler.
-    fn sync_status(&mut self, ctx: &mut Context<'_, MoaraMsg>, pred_key: &str) {
+    fn sync_status(&mut self, ctx: &mut dyn NetCtx<MoaraMsg>, pred_key: &str) {
         let me = ctx.me();
         let Some(st) = self.states.get_mut(pred_key) else {
             return;
@@ -508,7 +515,7 @@ impl MoaraNode {
 
     /// Re-evaluates local satisfaction for every predicate over `attr`
     /// after a local attribute change ("group churn" at this node).
-    pub fn on_local_change(&mut self, ctx: &mut Context<'_, MoaraMsg>, attr: &str) {
+    pub fn on_local_change(&mut self, ctx: &mut dyn NetCtx<MoaraMsg>, attr: &str) {
         let me = ctx.me();
         let keys: Vec<PredKey> = self
             .states
@@ -529,7 +536,7 @@ impl MoaraNode {
     /// Reconciles all predicate states with the current overlay topology
     /// (after joins/failures): drops ex-children, re-introduces state to
     /// new parents (Section 7's reconfiguration handling).
-    pub fn reconcile(&mut self, ctx: &mut Context<'_, MoaraMsg>) {
+    pub fn reconcile(&mut self, ctx: &mut dyn NetCtx<MoaraMsg>) {
         let me = ctx.me();
         let keys: Vec<PredKey> = self.states.keys().cloned().collect();
         for key in keys {
@@ -552,7 +559,7 @@ impl MoaraNode {
 
     /// Treats `failed` as having answered NULL in any pending session —
     /// the engine's analogue of FreePastry's failure notification.
-    pub fn on_peer_failed(&mut self, ctx: &mut Context<'_, MoaraMsg>, failed: NodeId) {
+    pub fn on_peer_failed(&mut self, ctx: &mut dyn NetCtx<MoaraMsg>, failed: NodeId) {
         let keys: Vec<(QueryId, PredKey)> = self
             .sessions
             .iter()
@@ -574,7 +581,7 @@ impl MoaraNode {
     #[allow(clippy::too_many_arguments)]
     fn handle_query_down(
         &mut self,
-        ctx: &mut Context<'_, MoaraMsg>,
+        ctx: &mut dyn NetCtx<MoaraMsg>,
         qid: QueryId,
         seq: u64,
         pred_key: PredKey,
@@ -648,8 +655,8 @@ impl MoaraNode {
         };
         if !targets.is_empty() {
             if let Some(d) = self.cfg.child_timeout {
-                let tag = self.alloc_timer(TimerEvent::SessionTimeout(qid, pred_key.clone()));
-                session.timer = Some(ctx.set_timer(d, tag));
+                let tag = self.alloc_timer(TimerEvent::Session(qid, pred_key.clone()));
+                session.timer = Some((ctx.set_timer(d, tag), tag));
             }
         }
         let empty = targets.is_empty();
@@ -693,14 +700,14 @@ impl MoaraNode {
     }
 
     fn gc_contributed(&mut self, now: SimTime) {
-        if self.contributed.len() % 512 != 0 {
+        if !self.contributed.len().is_multiple_of(512) {
             return;
         }
         let ttl = self.cfg.dedup_ttl;
         self.contributed.retain(|_, t| now.duration_since(*t) < ttl);
     }
 
-    fn finalize_session(&mut self, ctx: &mut Context<'_, MoaraMsg>, skey: &(QueryId, PredKey)) {
+    fn finalize_session(&mut self, ctx: &mut dyn NetCtx<MoaraMsg>, skey: &(QueryId, PredKey)) {
         let me = ctx.me();
         let Some(sess) = self.sessions.get_mut(skey) else {
             return;
@@ -709,13 +716,14 @@ impl MoaraNode {
             return;
         }
         sess.done = true;
-        if let Some(t) = sess.timer.take() {
-            ctx.cancel_timer(t);
-        }
+        let stale = sess.timer.take();
         let complete = sess.complete && sess.pending.is_empty();
         let acc = std::mem::replace(&mut sess.acc, AggState::Null);
         let reply_to = sess.reply_to;
         let tree = sess.tree;
+        if let Some(t) = stale {
+            self.drop_timer(ctx, t);
+        }
         let np = match self.states.get(&skey.1) {
             Some(st) => {
                 let children = self.dir.children_of(tree, me);
@@ -737,9 +745,10 @@ impl MoaraNode {
         self.sessions.remove(skey);
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn handle_query_reply(
         &mut self,
-        ctx: &mut Context<'_, MoaraMsg>,
+        ctx: &mut dyn NetCtx<MoaraMsg>,
         from: NodeId,
         qid: QueryId,
         pred_key: PredKey,
@@ -791,9 +800,10 @@ impl MoaraNode {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn handle_status(
         &mut self,
-        ctx: &mut Context<'_, MoaraMsg>,
+        ctx: &mut dyn NetCtx<MoaraMsg>,
         from: NodeId,
         pred_key: PredKey,
         pred: SimplePredicate,
@@ -823,7 +833,7 @@ impl MoaraNode {
         self.maybe_gc(ctx.now());
     }
 
-    fn handle_size_reply(&mut self, ctx: &mut Context<'_, MoaraMsg>, pred_key: PredKey, cost: u64) {
+    fn handle_size_reply(&mut self, ctx: &mut dyn NetCtx<MoaraMsg>, pred_key: PredKey, cost: u64) {
         let front_id = self
             .fronts
             .iter()
@@ -854,10 +864,10 @@ fn find_atom(query: &Query, pred_key: &str) -> Option<SimplePredicate> {
         .cloned()
 }
 
-impl Protocol for MoaraNode {
+impl NetProtocol for MoaraNode {
     type Msg = MoaraMsg;
 
-    fn on_message(&mut self, ctx: &mut Context<'_, MoaraMsg>, from: NodeId, msg: MoaraMsg) {
+    fn on_message(&mut self, ctx: &mut dyn NetCtx<MoaraMsg>, from: NodeId, msg: MoaraMsg) {
         match msg {
             MoaraMsg::Route { key, inner } => self.route(ctx, key, *inner),
             MoaraMsg::QueryDown {
@@ -889,15 +899,13 @@ impl Protocol for MoaraNode {
                 let cost = self.estimated_query_cost(ctx.me(), &pred_key);
                 ctx.send(reply_to, MoaraMsg::SizeReply { pred_key, cost });
             }
-            MoaraMsg::SizeReply { pred_key, cost } => {
-                self.handle_size_reply(ctx, pred_key, cost)
-            }
+            MoaraMsg::SizeReply { pred_key, cost } => self.handle_size_reply(ctx, pred_key, cost),
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_, MoaraMsg>, tag: TimerTag) {
+    fn on_timer(&mut self, ctx: &mut dyn NetCtx<MoaraMsg>, tag: TimerTag) {
         match self.timers.remove(&tag) {
-            Some(TimerEvent::SessionTimeout(qid, pred_key)) => {
+            Some(TimerEvent::Session(qid, pred_key)) => {
                 let skey = (qid, pred_key);
                 if let Some(sess) = self.sessions.get_mut(&skey) {
                     if !sess.pending.is_empty() {
@@ -907,20 +915,25 @@ impl Protocol for MoaraNode {
                     self.finalize_session(ctx, &skey);
                 }
             }
-            Some(TimerEvent::ProbeTimeout(front_id)) => {
+            Some(TimerEvent::Probe(front_id)) => {
                 let probing = self
                     .fronts
                     .get(&front_id)
                     .is_some_and(|f| matches!(f.phase, FrontPhase::Probing));
                 if probing {
+                    // This timer just fired; forget the handle so the
+                    // dispatch path doesn't "cancel" it (the simulator's
+                    // cancelled set would keep the id forever).
+                    self.fronts.get_mut(&front_id).expect("probing").timer = None;
                     // Missing costs fall back to worst case in dispatch.
                     self.dispatch_front(ctx, front_id);
                 }
             }
-            Some(TimerEvent::FrontTimeout(front_id)) => {
+            Some(TimerEvent::Front(front_id)) => {
                 if let Some(front) = self.fronts.get_mut(&front_id) {
                     front.complete = false;
                     front.sub_pending.clear();
+                    front.timer = None; // just fired; nothing to cancel
                     self.finish_front(ctx, front_id);
                 }
             }

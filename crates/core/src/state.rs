@@ -220,9 +220,7 @@ impl PredState {
     /// defaults and must keep receiving queries through us.
     pub fn refresh(&mut self, me: NodeId, local_sat: bool, all_children: &[NodeId]) {
         self.local_sat = local_sat;
-        let has_default_child = all_children
-            .iter()
-            .any(|c| !self.children.contains_key(c));
+        let has_default_child = all_children.iter().any(|c| !self.children.contains_key(c));
         let mut qset: BTreeSet<NodeId> = BTreeSet::new();
         if local_sat {
             qset.insert(me);
@@ -442,13 +440,7 @@ mod tests {
         // With k_UPDATE = 2 the (UPDATE, SAT) state is reachable: a qn
         // query plus one change leaves 2·qn > c, and the node sends its
         // NO-PRUNE transition to the parent.
-        let mut s = PredState::new(
-            SimplePredicate::new("A", CmpOp::Eq, true),
-            2,
-            3,
-            1,
-            false,
-        );
+        let mut s = PredState::new(SimplePredicate::new("A", CmpOp::Eq, true), 2, 3, 1, false);
         s.refresh(me(), false, &[]);
         s.on_query(me(), 1); // qn → UPDATE, PRUNE
         assert!(s.update && s.prune());
@@ -621,13 +613,7 @@ mod tests {
 
     #[test]
     fn forced_update_never_leaves_update() {
-        let mut s = PredState::new(
-            SimplePredicate::new("A", CmpOp::Eq, true),
-            1,
-            3,
-            1,
-            true,
-        );
+        let mut s = PredState::new(SimplePredicate::new("A", CmpOp::Eq, true), 1, 3, 1, true);
         assert!(s.update);
         for i in 0..10 {
             s.refresh(me(), i % 2 == 0, &[]);
@@ -675,7 +661,9 @@ mod tests {
         let mut x: u64 = 0x12345678;
         let mut seq = 0u64;
         for _ in 0..500 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             match x % 4 {
                 0 => {
                     seq += 1;

@@ -1,0 +1,92 @@
+//! `moara-cli` — thin client for a `moarad` daemon's control plane.
+//!
+//! ```text
+//! moara-cli --connect 127.0.0.1:7102 query "SELECT count(*) WHERE ServiceX = true"
+//! moara-cli --connect 127.0.0.1:7102 set ServiceX=true
+//! moara-cli --connect 127.0.0.1:7102 status
+//! ```
+//!
+//! Prints the aggregate (or status) on stdout; exits non-zero on errors
+//! and on incomplete query answers.
+
+use std::time::Duration;
+
+use moara_daemon::{ctrl_roundtrip, parse_value, CtrlReply, CtrlRequest};
+
+const USAGE: &str = "usage: moara-cli --connect IP:PORT (query TEXT | set k=v | status) \
+                     [--timeout SECS]";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("moara-cli: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut connect = None;
+    let mut timeout = Duration::from_secs(120);
+    let mut command: Option<CtrlRequest> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--connect" => connect = Some(val("--connect")),
+            "--timeout" => {
+                timeout = Duration::from_secs(
+                    val("--timeout")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--timeout needs whole seconds")),
+                );
+            }
+            "query" => command = Some(CtrlRequest::Query { text: val("query") }),
+            "set" => {
+                let kv = val("set");
+                let Some((k, v)) = kv.split_once('=') else {
+                    fail(&format!("`{kv}` is not k=v"));
+                };
+                command = Some(CtrlRequest::SetAttr {
+                    attr: k.to_owned(),
+                    value: parse_value(v),
+                });
+            }
+            "status" => command = Some(CtrlRequest::Status),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => fail(&format!("unknown argument {other}")),
+        }
+    }
+    let connect = connect.unwrap_or_else(|| fail("--connect is required"));
+    let command = command.unwrap_or_else(|| fail("a command is required"));
+
+    match ctrl_roundtrip(&connect, &command, timeout) {
+        Ok(CtrlReply::Answer { result, complete }) => {
+            println!("{result}");
+            if !complete {
+                eprintln!("moara-cli: warning: answer incomplete (branch timeout or failure)");
+                std::process::exit(3);
+            }
+        }
+        Ok(CtrlReply::Ok) => println!("ok"),
+        Ok(CtrlReply::Status { node, members }) => {
+            println!("node=n{node} members={members}");
+        }
+        Ok(CtrlReply::Joined { .. }) => {
+            // Only daemons send Join; a human shouldn't end up here.
+            println!("joined");
+        }
+        Ok(CtrlReply::Error(e)) => {
+            eprintln!("moara-cli: daemon error: {e}");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("moara-cli: {e}");
+            std::process::exit(1);
+        }
+    }
+}

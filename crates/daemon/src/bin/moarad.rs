@@ -1,0 +1,109 @@
+//! `moarad` — the Moara daemon: one protocol node per process, clustered
+//! over TCP.
+//!
+//! ```text
+//! # seed a cluster
+//! moarad --listen 127.0.0.1:7101 --attrs ServiceX=true
+//! # join two more daemons
+//! moarad --listen 127.0.0.1:7102 --join 127.0.0.1:7101 --attrs ServiceX=false
+//! moarad --listen 127.0.0.1:7103 --join 127.0.0.1:7101 --attrs ServiceX=true
+//! # ask any daemon
+//! moara-cli --connect 127.0.0.1:7102 query "SELECT count(*) WHERE ServiceX = true"
+//! ```
+//!
+//! `--listen` is the control-plane address (clients and joiners dial it);
+//! the peer plane auto-binds and is exchanged through membership.
+
+use std::net::ToSocketAddrs;
+use std::time::Duration;
+
+use moara_core::MoaraConfig;
+use moara_daemon::{parse_attrs, Daemon, DaemonOpts};
+
+const USAGE: &str = "usage: moarad --listen IP:PORT [--join IP:PORT] \
+                     [--attrs k=v,...] [--seed N]";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("moarad: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut listen = None;
+    let mut join = None;
+    let mut attrs = Vec::new();
+    let mut seed = 42u64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut val = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--listen" => {
+                let v = val("--listen");
+                listen = Some(
+                    v.to_socket_addrs()
+                        .ok()
+                        .and_then(|mut a| a.next())
+                        .unwrap_or_else(|| fail(&format!("bad --listen address {v}"))),
+                );
+            }
+            "--join" => join = Some(val("--join")),
+            "--attrs" => match parse_attrs(&val("--attrs")) {
+                Ok(a) => attrs = a,
+                Err(e) => fail(&e),
+            },
+            "--seed" => {
+                seed = val("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--seed needs an integer"));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => fail(&format!("unknown flag {other}")),
+        }
+    }
+    let listen = listen.unwrap_or_else(|| fail("--listen is required"));
+
+    let mut daemon = match Daemon::start(DaemonOpts {
+        listen,
+        join,
+        attrs,
+        seed,
+        cfg: MoaraConfig::default(),
+    }) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("moarad: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    // One parseable line for scripts/tests, then serve forever. The
+    // member count printed here is the view at boot; poll `status` via
+    // moara-cli for the live view.
+    println!(
+        "MOARAD ctrl={} node=n{} peer={} members={}",
+        daemon.ctrl_addr(),
+        daemon.id().0,
+        daemon
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|| "-".into()),
+        daemon.member_count(),
+    );
+    let mut last_members = daemon.member_count();
+    loop {
+        daemon.step(Duration::from_millis(5));
+        let members = daemon.member_count();
+        if members != last_members {
+            println!("MOARAD members={members}");
+            last_members = members;
+        }
+    }
+}

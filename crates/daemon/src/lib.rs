@@ -1,0 +1,999 @@
+//! # moara-daemon
+//!
+//! `moarad` hosts **one `MoaraNode` per process** on the TCP transport and
+//! stitches processes into a cluster, the daemon/client split used by
+//! production node software:
+//!
+//! * **peer plane** — protocol traffic ([`DaemonMsg::Moara`]) and
+//!   membership broadcasts ([`DaemonMsg::Membership`]) travel between
+//!   daemons over `moara-transport` TCP frames, on an auto-bound listener
+//!   whose address is exchanged through membership;
+//! * **control plane** — a user-facing listener (the `--listen` address)
+//!   accepts framed [`CtrlRequest`]s from `moara-cli` (queries, attribute
+//!   updates, status) and from joining daemons (`Join`).
+//!
+//! Cluster formation: the first daemon (no `--join`) is the *seed* and
+//! owns membership — it assigns dense `NodeId`s and random ring ids, and
+//! broadcasts the full member list on every change. Every daemon rebuilds
+//! its overlay [`Directory`] from the same list, so all processes derive
+//! identical tree topologies, exactly like the in-process cluster.
+//!
+//! The seed is a bootstrap convenience, not a data-plane coordinator:
+//! queries, aggregation, and pruning run peer-to-peer over the DHT trees.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::mpsc::{Receiver, Sender};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use moara_attributes::Value;
+use moara_core::{Directory, MoaraConfig, MoaraMsg, MoaraNode};
+use moara_dht::Id;
+use moara_query::parse_query;
+use moara_simnet::{Message, NodeId, SimDuration, SimTime, TimerId, TimerTag};
+use moara_transport::{NetCtx, NetProtocol, TcpConfig, TcpTransport, Transport};
+use moara_wire::{read_frame, write_msg, Wire, WireError};
+
+/// One cluster member, as carried in membership lists.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Member {
+    /// Dense transport-level id (assigned by the seed, in join order).
+    pub node: u32,
+    /// Ring id on the DHT (assigned by the seed, random).
+    pub ring_id: u64,
+    /// Peer-plane listen address.
+    pub addr: String,
+}
+
+impl Wire for Member {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.node.encode(out);
+        self.ring_id.encode(out);
+        self.addr.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(Member {
+            node: Wire::decode(buf)?,
+            ring_id: Wire::decode(buf)?,
+            addr: Wire::decode(buf)?,
+        })
+    }
+    fn encoded_len(&self) -> usize {
+        4 + 8 + self.addr.encoded_len()
+    }
+}
+
+/// What daemons exchange on the peer plane.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DaemonMsg {
+    /// An embedded Moara protocol message.
+    Moara(MoaraMsg),
+    /// Authoritative full member list (seed-broadcast on every change).
+    Membership(Vec<Member>),
+}
+
+impl Wire for DaemonMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            DaemonMsg::Moara(m) => {
+                out.push(0);
+                m.encode(out);
+            }
+            DaemonMsg::Membership(ms) => {
+                out.push(1);
+                ms.encode(out);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(match u8::decode(buf)? {
+            0 => DaemonMsg::Moara(Wire::decode(buf)?),
+            1 => DaemonMsg::Membership(Wire::decode(buf)?),
+            _ => return Err(WireError::Invalid("DaemonMsg tag")),
+        })
+    }
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            DaemonMsg::Moara(m) => m.encoded_len(),
+            DaemonMsg::Membership(ms) => ms.encoded_len(),
+        }
+    }
+}
+
+impl Message for DaemonMsg {
+    fn size_bytes(&self) -> usize {
+        moara_wire::peer_framed_len(self)
+    }
+}
+
+/// A control-plane request (from `moara-cli` or a joining daemon).
+#[derive(Clone, Debug, PartialEq)]
+pub enum CtrlRequest {
+    /// A new daemon asks the seed for an id and the member list.
+    Join {
+        /// The joiner's peer-plane listen address.
+        addr: String,
+    },
+    /// Run a query from this daemon's front-end and return the aggregate.
+    Query {
+        /// Query text, either syntax of `moara_query::parse_query`.
+        text: String,
+    },
+    /// Set one local attribute (group churn from the outside).
+    SetAttr {
+        /// Attribute name.
+        attr: String,
+        /// New value.
+        value: Value,
+    },
+    /// Report node id and membership view.
+    Status,
+}
+
+/// A control-plane reply.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CtrlReply {
+    /// Join granted: your id, and the full member list (including you).
+    Joined {
+        /// The assigned transport-level id.
+        node: u32,
+        /// All members, joiner included.
+        members: Vec<Member>,
+    },
+    /// Query finished.
+    Answer {
+        /// The aggregate, rendered (`AggResult` display form).
+        result: String,
+        /// False if some branch timed out or failed.
+        complete: bool,
+    },
+    /// Generic success.
+    Ok,
+    /// Status report.
+    Status {
+        /// This daemon's node id.
+        node: u32,
+        /// Members this daemon currently knows.
+        members: u32,
+    },
+    /// Request failed.
+    Error(String),
+}
+
+impl Wire for CtrlRequest {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            CtrlRequest::Join { addr } => {
+                out.push(0);
+                addr.encode(out);
+            }
+            CtrlRequest::Query { text } => {
+                out.push(1);
+                text.encode(out);
+            }
+            CtrlRequest::SetAttr { attr, value } => {
+                out.push(2);
+                attr.encode(out);
+                value.encode(out);
+            }
+            CtrlRequest::Status => out.push(3),
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(match u8::decode(buf)? {
+            0 => CtrlRequest::Join {
+                addr: Wire::decode(buf)?,
+            },
+            1 => CtrlRequest::Query {
+                text: Wire::decode(buf)?,
+            },
+            2 => CtrlRequest::SetAttr {
+                attr: Wire::decode(buf)?,
+                value: Wire::decode(buf)?,
+            },
+            3 => CtrlRequest::Status,
+            _ => return Err(WireError::Invalid("CtrlRequest tag")),
+        })
+    }
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            CtrlRequest::Join { addr } => addr.encoded_len(),
+            CtrlRequest::Query { text } => text.encoded_len(),
+            CtrlRequest::SetAttr { attr, value } => attr.encoded_len() + value.encoded_len(),
+            CtrlRequest::Status => 0,
+        }
+    }
+}
+
+impl Wire for CtrlReply {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            CtrlReply::Joined { node, members } => {
+                out.push(0);
+                node.encode(out);
+                members.encode(out);
+            }
+            CtrlReply::Answer { result, complete } => {
+                out.push(1);
+                result.encode(out);
+                complete.encode(out);
+            }
+            CtrlReply::Ok => out.push(2),
+            CtrlReply::Status { node, members } => {
+                out.push(3);
+                node.encode(out);
+                members.encode(out);
+            }
+            CtrlReply::Error(e) => {
+                out.push(4);
+                e.encode(out);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(match u8::decode(buf)? {
+            0 => CtrlReply::Joined {
+                node: Wire::decode(buf)?,
+                members: Wire::decode(buf)?,
+            },
+            1 => CtrlReply::Answer {
+                result: Wire::decode(buf)?,
+                complete: Wire::decode(buf)?,
+            },
+            2 => CtrlReply::Ok,
+            3 => CtrlReply::Status {
+                node: Wire::decode(buf)?,
+                members: Wire::decode(buf)?,
+            },
+            4 => CtrlReply::Error(Wire::decode(buf)?),
+            _ => return Err(WireError::Invalid("CtrlReply tag")),
+        })
+    }
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            CtrlReply::Joined { members, .. } => 4 + members.encoded_len(),
+            CtrlReply::Answer { result, .. } => result.encoded_len() + 1,
+            CtrlReply::Ok => 0,
+            CtrlReply::Status { .. } => 8,
+            CtrlReply::Error(e) => e.encoded_len(),
+        }
+    }
+}
+
+/// Adapter: a `NetCtx<DaemonMsg>` seen by the wrapped `MoaraNode` as a
+/// `NetCtx<MoaraMsg>` (outgoing messages gain the `DaemonMsg::Moara`
+/// envelope; timers and the clock pass straight through).
+struct MoaraCtx<'a> {
+    inner: &'a mut dyn NetCtx<DaemonMsg>,
+}
+
+impl NetCtx<MoaraMsg> for MoaraCtx<'_> {
+    fn now(&self) -> SimTime {
+        self.inner.now()
+    }
+    fn me(&self) -> NodeId {
+        self.inner.me()
+    }
+    fn send(&mut self, to: NodeId, msg: MoaraMsg) {
+        self.inner.send(to, DaemonMsg::Moara(msg));
+    }
+    fn set_timer(&mut self, delay: SimDuration, tag: TimerTag) -> TimerId {
+        self.inner.set_timer(delay, tag)
+    }
+    fn cancel_timer(&mut self, id: TimerId) {
+        self.inner.cancel_timer(id);
+    }
+    fn count(&mut self, name: &'static str) {
+        self.inner.count(name);
+    }
+}
+
+fn moara_ctx(inner: &mut dyn NetCtx<DaemonMsg>) -> MoaraCtx<'_> {
+    MoaraCtx { inner }
+}
+
+/// The per-process protocol node: a `MoaraNode` plus membership intake.
+pub struct DaemonNode {
+    /// The wrapped protocol engine.
+    pub moara: MoaraNode,
+    /// Last membership broadcast received, not yet applied (the daemon
+    /// loop applies it — rebuilding the directory needs daemon state).
+    pub pending_membership: Option<Vec<Member>>,
+}
+
+impl NetProtocol for DaemonNode {
+    type Msg = DaemonMsg;
+
+    fn on_message(&mut self, ctx: &mut dyn NetCtx<DaemonMsg>, from: NodeId, msg: DaemonMsg) {
+        match msg {
+            DaemonMsg::Moara(m) => {
+                let mut mctx = moara_ctx(ctx);
+                self.moara.on_message(&mut mctx, from, m);
+            }
+            // Membership is seed-owned; broadcasts claiming another
+            // sender are ignored. This is hygiene against confused
+            // peers, not security: the sender id is self-declared (see
+            // the trust-model note in moara-transport), so a hostile
+            // process that can reach the listener can spoof it.
+            DaemonMsg::Membership(ms) => {
+                if from == NodeId(0) {
+                    self.pending_membership = Some(ms);
+                } else {
+                    ctx.count("membership_from_non_seed");
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn NetCtx<DaemonMsg>, tag: TimerTag) {
+        let mut mctx = moara_ctx(ctx);
+        self.moara.on_timer(&mut mctx, tag);
+    }
+}
+
+/// Startup options for a daemon (mirrors `moarad`'s flags).
+#[derive(Clone, Debug)]
+pub struct DaemonOpts {
+    /// Control-plane listen address (`--listen`).
+    pub listen: SocketAddr,
+    /// Seed daemon's control address to join (`--join`); `None` makes
+    /// this daemon the seed.
+    pub join: Option<String>,
+    /// Initial local attributes (`--attrs k=v,...`).
+    pub attrs: Vec<(String, Value)>,
+    /// Ring-id randomness (`--seed`, seed daemon only).
+    pub seed: u64,
+    /// Engine configuration.
+    pub cfg: MoaraConfig,
+}
+
+/// Parses `k=v,...` attribute lists (`true`/`false` → Bool, integers →
+/// Int, floats → Float, anything else → Str).
+///
+/// # Errors
+///
+/// Returns a description of the malformed entry.
+pub fn parse_attrs(spec: &str) -> Result<Vec<(String, Value)>, String> {
+    let mut out = Vec::new();
+    for part in spec.split(',').filter(|p| !p.is_empty()) {
+        let (k, v) = part
+            .split_once('=')
+            .ok_or_else(|| format!("attribute `{part}` is not k=v"))?;
+        if k.is_empty() {
+            return Err(format!("attribute `{part}` has an empty name"));
+        }
+        out.push((k.to_owned(), parse_value(v)));
+    }
+    Ok(out)
+}
+
+/// Value literal parsing shared by `--attrs` and `moara-cli set`.
+pub fn parse_value(v: &str) -> Value {
+    match v {
+        "true" => Value::Bool(true),
+        "false" => Value::Bool(false),
+        _ => {
+            if let Ok(i) = v.parse::<i64>() {
+                Value::Int(i)
+            } else if let Ok(f) = v.parse::<f64>() {
+                Value::Float(f)
+            } else {
+                Value::Str(v.to_owned())
+            }
+        }
+    }
+}
+
+/// One in-flight control request: the parsed request plus the channel the
+/// control thread blocks on for the reply.
+struct CtrlJob {
+    req: CtrlRequest,
+    reply: Sender<CtrlReply>,
+}
+
+/// A running daemon: one Moara node, its transport, and both planes.
+pub struct Daemon {
+    transport: TcpTransport<DaemonNode>,
+    dir: Directory,
+    me: NodeId,
+    members: Vec<Member>,
+    cfg: MoaraConfig,
+    rng: StdRng,
+    is_seed: bool,
+    ctrl_addr: SocketAddr,
+    ctrl_rx: Receiver<CtrlJob>,
+    /// Queries whose outcome we are waiting on: front id → reply channel.
+    pending_queries: HashMap<u64, Sender<CtrlReply>>,
+    /// Sends that could not be delivered since the last drain (kept
+    /// bounded by draining every step; the count feeds future failure
+    /// detection).
+    undeliverable_total: u64,
+    /// Seed only: when membership was last re-broadcast. A periodic
+    /// re-broadcast heals members that missed a join announcement (the
+    /// peer plane is fire-and-forget).
+    last_announce: Instant,
+}
+
+/// How often the seed re-broadcasts the member list.
+const ANNOUNCE_EVERY: Duration = Duration::from_secs(2);
+
+impl Daemon {
+    /// Boots a daemon: binds both planes, and either seeds a fresh
+    /// cluster or joins an existing one through `opts.join`.
+    ///
+    /// # Errors
+    ///
+    /// Socket and join-protocol failures.
+    pub fn start(opts: DaemonOpts) -> Result<Daemon, String> {
+        let mut transport: TcpTransport<DaemonNode> =
+            TcpTransport::new(TcpConfig::seeded(opts.seed));
+        let reserved = transport
+            .reserve_listener()
+            .map_err(|e| format!("bind peer listener: {e}"))?;
+        let peer_addr = reserved.addr();
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+
+        let (me, members) = match &opts.join {
+            None => {
+                // We are the seed: member 0 of a one-node cluster.
+                let members = vec![Member {
+                    node: 0,
+                    ring_id: rng.gen(),
+                    addr: peer_addr.to_string(),
+                }];
+                (NodeId(0), members)
+            }
+            Some(seed_ctrl) => {
+                let reply = ctrl_roundtrip(
+                    seed_ctrl,
+                    &CtrlRequest::Join {
+                        addr: peer_addr.to_string(),
+                    },
+                    Duration::from_secs(10),
+                )
+                .map_err(|e| format!("join via {seed_ctrl}: {e}"))?;
+                match reply {
+                    CtrlReply::Joined { node, members } => (NodeId(node), members),
+                    CtrlReply::Error(e) => return Err(format!("seed refused join: {e}")),
+                    other => return Err(format!("unexpected join reply {other:?}")),
+                }
+            }
+        };
+
+        let dir = Directory::from_members(
+            &members
+                .iter()
+                .map(|m| (NodeId(m.node), Id(m.ring_id)))
+                .collect::<Vec<_>>(),
+            opts.cfg.bits_per_digit,
+        );
+        let mut moara = MoaraNode::new(dir.clone(), opts.cfg.clone());
+        for (k, v) in &opts.attrs {
+            moara.store.set(k.as_str(), v.clone());
+        }
+        let node = DaemonNode {
+            moara,
+            pending_membership: None,
+        };
+        transport.add_node_with_listener(me, node, reserved);
+        for m in &members {
+            if m.node != me.0 {
+                let addr = resolve(&m.addr).map_err(|e| format!("peer {}: {e}", m.addr))?;
+                transport.register_peer(NodeId(m.node), addr);
+            }
+        }
+
+        // Control plane: accept loop on its own thread, requests funnel
+        // into the daemon loop through a channel.
+        let ctrl_listener = TcpListener::bind(opts.listen)
+            .map_err(|e| format!("bind control listener {}: {e}", opts.listen))?;
+        let ctrl_addr = ctrl_listener
+            .local_addr()
+            .map_err(|e| format!("control addr: {e}"))?;
+        let (ctrl_tx, ctrl_rx) = std::sync::mpsc::channel();
+        spawn_ctrl_accept_loop(ctrl_listener, ctrl_tx);
+
+        let mut daemon = Daemon {
+            transport,
+            dir,
+            me,
+            members: members.clone(),
+            cfg: opts.cfg,
+            rng,
+            is_seed: opts.join.is_none(),
+            ctrl_addr,
+            ctrl_rx,
+            pending_queries: HashMap::new(),
+            undeliverable_total: 0,
+            last_announce: Instant::now(),
+        };
+        // A joiner's presence is already in `members`; make the overlay
+        // aware locally (the seed broadcasts to everyone else on join).
+        daemon.reconcile_local();
+        Ok(daemon)
+    }
+
+    /// The control-plane address (useful when `--listen` used port 0).
+    pub fn ctrl_addr(&self) -> SocketAddr {
+        self.ctrl_addr
+    }
+
+    /// This daemon's node id.
+    pub fn id(&self) -> NodeId {
+        self.me
+    }
+
+    /// Members currently known.
+    pub fn member_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The peer-plane listen address.
+    pub fn peer_addr(&self) -> Option<SocketAddr> {
+        self.transport.local_addr(self.me)
+    }
+
+    /// Runs one event-loop iteration: pumps the transport, applies
+    /// membership updates, serves control requests, finishes queries.
+    /// Returns true if anything happened.
+    pub fn step(&mut self, max_wait: Duration) -> bool {
+        let mut did = self.transport.pump(max_wait);
+        did |= self.apply_pending_membership();
+        did |= self.serve_ctrl();
+        did |= self.finish_queries();
+        // Keep the transport's undeliverable log bounded (it grows on
+        // every send to a dead peer, and this loop runs forever).
+        self.undeliverable_total += self.transport.take_undeliverable().len() as u64;
+        if self.is_seed && self.members.len() > 1 && self.last_announce.elapsed() >= ANNOUNCE_EVERY
+        {
+            self.broadcast_membership();
+        }
+        did
+    }
+
+    /// Total sends dropped because their peer was unreachable or dead.
+    pub fn undeliverable_total(&self) -> u64 {
+        self.undeliverable_total
+    }
+
+    /// Seed only: push the current member list to every other member.
+    fn broadcast_membership(&mut self) {
+        let me = self.me;
+        let members = self.members.clone();
+        let broadcast = DaemonMsg::Membership(members.clone());
+        self.transport.with_node(me, |_n, ctx| {
+            for m in &members {
+                if m.node != me.0 {
+                    ctx.send(NodeId(m.node), broadcast.clone());
+                }
+            }
+        });
+        self.last_announce = Instant::now();
+    }
+
+    /// Runs the daemon loop forever (the `moarad` main).
+    pub fn run_forever(&mut self) -> ! {
+        loop {
+            self.step(Duration::from_millis(5));
+        }
+    }
+
+    fn reconcile_local(&mut self) {
+        self.transport.with_node(self.me, |n, ctx| {
+            let mut mctx = moara_ctx(ctx);
+            n.moara.reconcile(&mut mctx);
+        });
+    }
+
+    fn apply_pending_membership(&mut self) -> bool {
+        let Some(members) = self.transport.node_mut(self.me).pending_membership.take() else {
+            return false;
+        };
+        self.install_members(members);
+        true
+    }
+
+    /// A membership list is applicable only if it is dense and ordered
+    /// (`Directory::from_members` asserts exactly that — an assert that
+    /// must never be reachable from a network frame) and still contains
+    /// this daemon.
+    fn membership_is_sane(&self, members: &[Member]) -> bool {
+        !members.is_empty()
+            && members
+                .iter()
+                .enumerate()
+                .all(|(i, m)| m.node as usize == i)
+            && members.iter().any(|m| m.node == self.me.0)
+    }
+
+    fn install_members(&mut self, members: Vec<Member>) {
+        if !self.membership_is_sane(&members) {
+            // Malformed or stale broadcast: drop it rather than panic or
+            // corrupt the overlay view.
+            return;
+        }
+        let pairs: Vec<(NodeId, Id)> = members
+            .iter()
+            .map(|m| (NodeId(m.node), Id(m.ring_id)))
+            .collect();
+        self.dir.reset_members(&pairs, self.cfg.bits_per_digit);
+        for m in &members {
+            if m.node != self.me.0 {
+                if let Ok(addr) = resolve(&m.addr) {
+                    self.transport.register_peer(NodeId(m.node), addr);
+                }
+            }
+        }
+        self.members = members;
+        self.reconcile_local();
+    }
+
+    /// Seed-only: admit a joiner, reply with the member list, broadcast.
+    fn handle_join(&mut self, addr: String) -> CtrlReply {
+        if !self.is_seed {
+            return CtrlReply::Error("only the seed daemon admits joins".into());
+        }
+        if resolve(&addr).is_err() {
+            return CtrlReply::Error(format!("unresolvable peer address {addr}"));
+        }
+        let node = self.members.iter().map(|m| m.node + 1).max().unwrap_or(0);
+        let mut ring_id = self.rng.gen();
+        while self.members.iter().any(|m| m.ring_id == ring_id) {
+            ring_id = self.rng.gen();
+        }
+        let mut members = self.members.clone();
+        members.push(Member {
+            node,
+            ring_id,
+            addr,
+        });
+        self.install_members(members.clone());
+        // Everyone learns through the peer plane (the joiner additionally
+        // gets the list in its Joined reply, and the periodic re-announce
+        // heals anyone who misses this broadcast).
+        self.broadcast_membership();
+        CtrlReply::Joined { node, members }
+    }
+
+    fn serve_ctrl(&mut self) -> bool {
+        let mut did = false;
+        while let Ok(job) = self.ctrl_rx.try_recv() {
+            did = true;
+            match job.req {
+                CtrlRequest::Join { addr } => {
+                    let reply = self.handle_join(addr);
+                    let _ = job.reply.send(reply);
+                }
+                CtrlRequest::Query { text } => match parse_query(&text) {
+                    Ok(query) => {
+                        let me = self.me;
+                        let fid = self.transport.with_node(me, |n, ctx| {
+                            let mut mctx = moara_ctx(ctx);
+                            n.moara.submit(&mut mctx, query)
+                        });
+                        self.pending_queries.insert(fid, job.reply);
+                    }
+                    Err(e) => {
+                        let _ = job
+                            .reply
+                            .send(CtrlReply::Error(format!("parse error: {e}")));
+                    }
+                },
+                CtrlRequest::SetAttr { attr, value } => {
+                    self.transport.with_node(self.me, |n, ctx| {
+                        let mut mctx = moara_ctx(ctx);
+                        n.moara.store.set(attr.as_str(), value);
+                        n.moara.on_local_change(&mut mctx, &attr);
+                    });
+                    let _ = job.reply.send(CtrlReply::Ok);
+                }
+                CtrlRequest::Status => {
+                    let _ = job.reply.send(CtrlReply::Status {
+                        node: self.me.0,
+                        members: self.members.len() as u32,
+                    });
+                }
+            }
+        }
+        did
+    }
+
+    fn finish_queries(&mut self) -> bool {
+        if self.pending_queries.is_empty() {
+            return false;
+        }
+        let me = self.me;
+        let done: Vec<u64> = self
+            .pending_queries
+            .keys()
+            .copied()
+            .filter(|fid| self.transport.node(me).moara.outcome(*fid).is_some())
+            .collect();
+        for fid in &done {
+            let outcome = self
+                .transport
+                .node_mut(me)
+                .moara
+                .take_outcome(*fid)
+                .expect("checked above");
+            if let Some(reply) = self.pending_queries.remove(fid) {
+                let _ = reply.send(CtrlReply::Answer {
+                    result: outcome.result.to_string(),
+                    complete: outcome.complete,
+                });
+            }
+        }
+        !done.is_empty()
+    }
+}
+
+fn resolve(addr: &str) -> Result<SocketAddr, String> {
+    addr.to_socket_addrs()
+        .map_err(|e| e.to_string())?
+        .next()
+        .ok_or_else(|| "no address".to_owned())
+}
+
+fn spawn_ctrl_accept_loop(listener: TcpListener, tx: Sender<CtrlJob>) {
+    std::thread::Builder::new()
+        .name("moarad-ctrl-accept".into())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(stream) = conn else { continue };
+                let tx = tx.clone();
+                let _ = std::thread::Builder::new()
+                    .name("moarad-ctrl-conn".into())
+                    .spawn(move || ctrl_conn_loop(stream, tx));
+            }
+        })
+        .expect("spawn ctrl accept thread");
+}
+
+/// Serves one control connection: framed request in, framed reply out,
+/// repeated until the client hangs up.
+fn ctrl_conn_loop(mut stream: TcpStream, tx: Sender<CtrlJob>) {
+    let _ = stream.set_nodelay(true);
+    loop {
+        let Ok(Some(payload)) = read_frame(&mut stream) else {
+            return;
+        };
+        let Ok(req) = CtrlRequest::from_bytes(&payload) else {
+            let _ = write_msg(&mut stream, &CtrlReply::Error("bad request frame".into()));
+            return;
+        };
+        let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+        if tx
+            .send(CtrlJob {
+                req,
+                reply: reply_tx,
+            })
+            .is_err()
+        {
+            return; // daemon shut down
+        }
+        // Queries can legitimately take a while (front timeout bounds
+        // them); everything else answers within one loop iteration.
+        let reply = reply_rx
+            .recv_timeout(Duration::from_secs(120))
+            .unwrap_or_else(|_| CtrlReply::Error("daemon did not answer in time".into()));
+        if write_msg(&mut stream, &reply).is_err() || stream.flush().is_err() {
+            return;
+        }
+    }
+}
+
+/// Client side: one framed request/reply round trip over a fresh
+/// connection (what `moara-cli` and joining daemons use).
+///
+/// # Errors
+///
+/// Connection, framing, and timeout failures, as strings.
+pub fn ctrl_roundtrip(
+    addr: &str,
+    req: &CtrlRequest,
+    timeout: Duration,
+) -> Result<CtrlReply, String> {
+    let sock_addr = resolve(addr)?;
+    let deadline = Instant::now() + timeout;
+    // The target daemon may still be booting (the smoke test starts
+    // processes concurrently): retry connects until the deadline.
+    let mut stream = loop {
+        match TcpStream::connect_timeout(&sock_addr, Duration::from_millis(500)) {
+            Ok(s) => break s,
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(format!("connect {addr}: {e}"));
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    };
+    let _ = stream.set_nodelay(true);
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| e.to_string())?;
+    write_msg(&mut stream, req).map_err(|e| format!("send: {e}"))?;
+    let payload = read_frame(&mut stream)
+        .map_err(|e| format!("recv: {e}"))?
+        .ok_or("connection closed before reply")?;
+    CtrlReply::from_bytes(&payload).map_err(|e| format!("decode reply: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attrs_parse_into_typed_values() {
+        let attrs = parse_attrs("ServiceX=true,CPU-Util=42,Load=0.5,OS=Linux").unwrap();
+        assert_eq!(
+            attrs,
+            vec![
+                ("ServiceX".into(), Value::Bool(true)),
+                ("CPU-Util".into(), Value::Int(42)),
+                ("Load".into(), Value::Float(0.5)),
+                ("OS".into(), Value::str("Linux")),
+            ]
+        );
+        assert!(parse_attrs("nope").is_err());
+        assert!(parse_attrs("=v").is_err());
+        assert_eq!(parse_attrs("").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn daemon_and_ctrl_messages_roundtrip() {
+        let member = Member {
+            node: 3,
+            ring_id: 0xdead_beef,
+            addr: "127.0.0.1:7777".into(),
+        };
+        let msgs = vec![
+            DaemonMsg::Membership(vec![member.clone(), member.clone()]),
+            DaemonMsg::Moara(MoaraMsg::SizeReply {
+                pred_key: "A=1".into(),
+                cost: 12,
+            }),
+        ];
+        for m in msgs {
+            assert_eq!(DaemonMsg::from_bytes(&m.to_bytes()).unwrap(), m);
+            assert_eq!(
+                m.size_bytes(),
+                m.encoded_len() + moara_wire::FRAME_HDR + moara_wire::SENDER_HDR
+            );
+        }
+        let reqs = vec![
+            CtrlRequest::Join {
+                addr: "127.0.0.1:1".into(),
+            },
+            CtrlRequest::Query {
+                text: "SELECT count(*)".into(),
+            },
+            CtrlRequest::SetAttr {
+                attr: "A".into(),
+                value: Value::Int(1),
+            },
+            CtrlRequest::Status,
+        ];
+        for r in reqs {
+            assert_eq!(CtrlRequest::from_bytes(&r.to_bytes()).unwrap(), r);
+        }
+        let replies = vec![
+            CtrlReply::Joined {
+                node: 1,
+                members: vec![member],
+            },
+            CtrlReply::Answer {
+                result: "4".into(),
+                complete: true,
+            },
+            CtrlReply::Ok,
+            CtrlReply::Status {
+                node: 0,
+                members: 3,
+            },
+            CtrlReply::Error("nope".into()),
+        ];
+        for r in replies {
+            assert_eq!(CtrlReply::from_bytes(&r.to_bytes()).unwrap(), r);
+        }
+    }
+
+    /// A full 3-daemon cluster in one test process (each daemon on its own
+    /// thread, like three `moarad` processes on one host) answering the
+    /// quickstart query through the control plane.
+    #[test]
+    fn three_daemons_answer_the_quickstart_query() {
+        let free_port = || {
+            TcpListener::bind("127.0.0.1:0")
+                .unwrap()
+                .local_addr()
+                .unwrap()
+        };
+        let seed_ctrl = free_port();
+
+        let spawn_daemon = |listen: SocketAddr, join: Option<String>, attrs: &str| {
+            let attrs = parse_attrs(attrs).unwrap();
+            std::thread::spawn(move || {
+                let mut d = Daemon::start(DaemonOpts {
+                    listen,
+                    join,
+                    attrs,
+                    seed: 42,
+                    cfg: MoaraConfig::default(),
+                })
+                .expect("daemon boots");
+                loop {
+                    d.step(Duration::from_millis(2));
+                }
+            })
+        };
+
+        let _a = spawn_daemon(seed_ctrl, None, "ServiceX=true");
+        let b_ctrl = free_port();
+        let c_ctrl = free_port();
+        let seed_str = seed_ctrl.to_string();
+        let _b = spawn_daemon(b_ctrl, Some(seed_str.clone()), "ServiceX=false");
+        let _c = spawn_daemon(c_ctrl, Some(seed_str), "ServiceX=true");
+
+        // Wait until every daemon sees all three members.
+        let deadline = Instant::now() + Duration::from_secs(20);
+        for ctrl in [seed_ctrl, b_ctrl, c_ctrl] {
+            loop {
+                assert!(Instant::now() < deadline, "cluster never converged");
+                match ctrl_roundtrip(
+                    &ctrl.to_string(),
+                    &CtrlRequest::Status,
+                    Duration::from_secs(5),
+                ) {
+                    Ok(CtrlReply::Status { members: 3, .. }) => break,
+                    _ => std::thread::sleep(Duration::from_millis(30)),
+                }
+            }
+        }
+
+        // The acceptance query, fronted by the non-member daemon B.
+        let reply = ctrl_roundtrip(
+            &b_ctrl.to_string(),
+            &CtrlRequest::Query {
+                text: "SELECT count(*) WHERE ServiceX = true".into(),
+            },
+            Duration::from_secs(30),
+        )
+        .unwrap();
+        match reply {
+            CtrlReply::Answer { result, complete } => {
+                assert!(complete, "query must complete");
+                assert_eq!(result, "2");
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+
+        // Group churn through the control plane: B joins the group.
+        let reply = ctrl_roundtrip(
+            &b_ctrl.to_string(),
+            &CtrlRequest::SetAttr {
+                attr: "ServiceX".into(),
+                value: Value::Bool(true),
+            },
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(reply, CtrlReply::Ok);
+        let reply = ctrl_roundtrip(
+            &c_ctrl.to_string(),
+            &CtrlRequest::Query {
+                text: "SELECT count(*) WHERE ServiceX = true".into(),
+            },
+            Duration::from_secs(30),
+        )
+        .unwrap();
+        match reply {
+            CtrlReply::Answer { result, .. } => assert_eq!(result, "3"),
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+}

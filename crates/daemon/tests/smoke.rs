@@ -1,0 +1,133 @@
+//! End-to-end multi-process smoke test: three real `moarad` processes on
+//! localhost form a cluster over TCP, and `moara-cli` answers
+//! `SELECT count(*) WHERE ServiceX = true` through one of them — the
+//! issue's daemon acceptance scenario, with every hop crossing process
+//! boundaries.
+
+use std::io::{BufRead, BufReader};
+use std::net::TcpListener;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Kills the child on drop so failed asserts don't leak daemons.
+struct Guard(Child);
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn free_port() -> String {
+    // Bind-then-drop: the kernel hands out a free ephemeral port. A small
+    // race window exists but is fine for CI-scale tests.
+    TcpListener::bind("127.0.0.1:0")
+        .unwrap()
+        .local_addr()
+        .unwrap()
+        .to_string()
+}
+
+fn spawn_moarad(listen: &str, join: Option<&str>, attrs: &str) -> Guard {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_moarad"));
+    cmd.args(["--listen", listen, "--attrs", attrs])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit());
+    if let Some(seed) = join {
+        cmd.args(["--join", seed]);
+    }
+    let mut child = cmd.spawn().expect("spawn moarad");
+
+    // Wait for the boot banner so the control plane is definitely up.
+    let stdout = child.stdout.take().expect("piped stdout");
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let mut lines = BufReader::new(stdout).lines();
+        if let Some(Ok(line)) = lines.next() {
+            let _ = tx.send(line);
+        }
+        // Keep draining so the daemon never blocks on a full pipe.
+        for _ in lines {}
+    });
+    let banner = rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("moarad prints its banner");
+    assert!(banner.starts_with("MOARAD"), "unexpected banner: {banner}");
+    Guard(child)
+}
+
+fn cli(args: &[&str]) -> (String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_moara-cli"))
+        .args(args)
+        .output()
+        .expect("run moara-cli");
+    (
+        String::from_utf8_lossy(&out.stdout).trim().to_owned(),
+        out.status.success(),
+    )
+}
+
+fn wait_for_members(ctrl: &str, want: u32) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (out, ok) = cli(&["--connect", ctrl, "status"]);
+        if ok && out.ends_with(&format!("members={want}")) {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "daemon {ctrl} never saw {want} members (last: {out:?})"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn three_moarad_processes_answer_a_query_via_moara_cli() {
+    let a_ctrl = free_port();
+    let b_ctrl = free_port();
+    let c_ctrl = free_port();
+
+    let _a = spawn_moarad(&a_ctrl, None, "ServiceX=true,CPU-Util=10");
+    let _b = spawn_moarad(&b_ctrl, Some(&a_ctrl), "ServiceX=false,CPU-Util=90");
+    let _c = spawn_moarad(&c_ctrl, Some(&a_ctrl), "ServiceX=true,CPU-Util=30");
+
+    for ctrl in [&a_ctrl, &b_ctrl, &c_ctrl] {
+        wait_for_members(ctrl, 3);
+    }
+
+    // The quickstart query, fronted by the daemon whose node is NOT in
+    // the group — the answer must come over the wire from the others.
+    let (answer, ok) = cli(&[
+        "--connect",
+        &b_ctrl,
+        "query",
+        "SELECT count(*) WHERE ServiceX = true",
+    ]);
+    assert!(ok, "query must complete");
+    assert_eq!(answer, "2");
+
+    // A numeric aggregate across processes.
+    let (answer, ok) = cli(&[
+        "--connect",
+        &c_ctrl,
+        "query",
+        "SELECT avg(CPU-Util) WHERE ServiceX = true",
+    ]);
+    assert!(ok);
+    assert_eq!(answer, "20");
+
+    // Group churn via the control plane, observed from another daemon.
+    let (out, ok) = cli(&["--connect", &b_ctrl, "set", "ServiceX=true"]);
+    assert!(ok);
+    assert_eq!(out, "ok");
+    let (answer, ok) = cli(&[
+        "--connect",
+        &a_ctrl,
+        "query",
+        "SELECT count(*) WHERE ServiceX = true",
+    ]);
+    assert!(ok);
+    assert_eq!(answer, "3");
+}

@@ -34,7 +34,10 @@ impl Id {
     ///
     /// Panics if `bits` is 0, does not divide 64, or `i` is out of range.
     pub fn digit(self, i: u32, bits: u32) -> u32 {
-        assert!(bits > 0 && ID_BITS % bits == 0, "bits must divide 64");
+        assert!(
+            bits > 0 && ID_BITS.is_multiple_of(bits),
+            "bits must divide 64"
+        );
         let digits = ID_BITS / bits;
         assert!(i < digits, "digit index out of range");
         let shift = ID_BITS - bits * (i + 1);
@@ -78,6 +81,18 @@ impl fmt::Display for Id {
     /// in hex).
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{:016x}", self.0)
+    }
+}
+
+impl moara_wire::Wire for Id {
+    fn encode(&self, out: &mut Vec<u8>) {
+        moara_wire::Wire::encode(&self.0, out);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, moara_wire::WireError> {
+        <u64 as moara_wire::Wire>::decode(buf).map(Id)
+    }
+    fn encoded_len(&self) -> usize {
+        8
     }
 }
 

@@ -36,7 +36,10 @@ pub const DEFAULT_LEAF_HALF: usize = 8;
 impl Ring {
     /// An empty ring with `bits` bits per routing digit.
     pub fn new(bits: u32) -> Ring {
-        assert!(bits > 0 && ID_BITS % bits == 0, "bits must divide 64");
+        assert!(
+            bits > 0 && ID_BITS.is_multiple_of(bits),
+            "bits must divide 64"
+        );
         Ring {
             bits,
             half: DEFAULT_LEAF_HALF,

@@ -59,7 +59,10 @@ impl RoutingTable {
     ///
     /// Panics unless `bits` divides 64.
     pub fn new(own: Id, bits: u32) -> RoutingTable {
-        assert!(bits > 0 && ID_BITS % bits == 0, "bits must divide 64");
+        assert!(
+            bits > 0 && ID_BITS.is_multiple_of(bits),
+            "bits must divide 64"
+        );
         let digits = (ID_BITS / bits) as usize;
         let cols = 1usize << bits;
         RoutingTable {
@@ -347,7 +350,7 @@ mod tests {
         rt.consider(other);
         assert_eq!(rt.entry(1, 0xC), Some(other));
         assert_eq!(rt.entry(0, 0xA), None); // digit0 equal, not row 0
-        // own is never inserted.
+                                            // own is never inserted.
         rt.consider(own);
         assert_eq!(rt.entries().count(), 1);
     }

@@ -183,11 +183,7 @@ impl Predicate {
 
 impl fmt::Display for Predicate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        fn join(
-            f: &mut fmt::Formatter<'_>,
-            ps: &[Predicate],
-            sep: &str,
-        ) -> fmt::Result {
+        fn join(f: &mut fmt::Formatter<'_>, ps: &[Predicate], sep: &str) -> fmt::Result {
             write!(f, "(")?;
             for (i, p) in ps.iter().enumerate() {
                 if i > 0 {
@@ -239,6 +235,136 @@ impl fmt::Display for Query {
     }
 }
 
+mod wire {
+    //! Wire-format impls: queries travel whole inside `QueryDown` messages
+    //! (every node evaluates the full composite predicate, Section 7.2).
+
+    use moara_wire::{Wire, WireError};
+
+    use super::{CmpOp, Predicate, Query, SimplePredicate};
+
+    impl Wire for CmpOp {
+        fn encode(&self, out: &mut Vec<u8>) {
+            out.push(match self {
+                CmpOp::Lt => 0,
+                CmpOp::Le => 1,
+                CmpOp::Gt => 2,
+                CmpOp::Ge => 3,
+                CmpOp::Eq => 4,
+                CmpOp::Ne => 5,
+            });
+        }
+        fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+            Ok(match u8::decode(buf)? {
+                0 => CmpOp::Lt,
+                1 => CmpOp::Le,
+                2 => CmpOp::Gt,
+                3 => CmpOp::Ge,
+                4 => CmpOp::Eq,
+                5 => CmpOp::Ne,
+                _ => return Err(WireError::Invalid("CmpOp tag")),
+            })
+        }
+        fn encoded_len(&self) -> usize {
+            1
+        }
+    }
+
+    impl Wire for SimplePredicate {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.attr.encode(out);
+            self.op.encode(out);
+            self.value.encode(out);
+        }
+        fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+            Ok(SimplePredicate {
+                attr: Wire::decode(buf)?,
+                op: Wire::decode(buf)?,
+                value: Wire::decode(buf)?,
+            })
+        }
+        fn encoded_len(&self) -> usize {
+            self.attr.encoded_len() + self.op.encoded_len() + self.value.encoded_len()
+        }
+    }
+
+    /// Deepest and/or nesting the decoder accepts — ample for real
+    /// queries (the CNF rewriter refuses far smaller ones), and it bounds
+    /// decode recursion on frames from untrusted sockets.
+    const MAX_PRED_DEPTH: usize = 128;
+
+    fn decode_pred_at(buf: &mut &[u8], depth: usize) -> Result<Predicate, WireError> {
+        if depth >= MAX_PRED_DEPTH {
+            return Err(WireError::Invalid("Predicate nesting too deep"));
+        }
+        Ok(match u8::decode(buf)? {
+            0 => Predicate::All,
+            1 => Predicate::Atom(Wire::decode(buf)?),
+            tag @ (2 | 3) => {
+                let n = u32::decode(buf)? as usize;
+                let mut ps = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    ps.push(decode_pred_at(buf, depth + 1)?);
+                }
+                if tag == 2 {
+                    Predicate::And(ps)
+                } else {
+                    Predicate::Or(ps)
+                }
+            }
+            _ => return Err(WireError::Invalid("Predicate tag")),
+        })
+    }
+
+    impl Wire for Predicate {
+        fn encode(&self, out: &mut Vec<u8>) {
+            match self {
+                Predicate::All => out.push(0),
+                Predicate::Atom(a) => {
+                    out.push(1);
+                    a.encode(out);
+                }
+                Predicate::And(ps) => {
+                    out.push(2);
+                    ps.encode(out);
+                }
+                Predicate::Or(ps) => {
+                    out.push(3);
+                    ps.encode(out);
+                }
+            }
+        }
+        fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+            decode_pred_at(buf, 0)
+        }
+        fn encoded_len(&self) -> usize {
+            1 + match self {
+                Predicate::All => 0,
+                Predicate::Atom(a) => a.encoded_len(),
+                Predicate::And(ps) | Predicate::Or(ps) => ps.encoded_len(),
+            }
+        }
+    }
+
+    impl Wire for Query {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.attr.encode(out);
+            self.agg.encode(out);
+            self.predicate.encode(out);
+        }
+        fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+            Ok(Query {
+                attr: Wire::decode(buf)?,
+                agg: Wire::decode(buf)?,
+                predicate: Wire::decode(buf)?,
+            })
+        }
+        fn encoded_len(&self) -> usize {
+            self.attr.encoded_len() + self.agg.encoded_len() + self.predicate.encoded_len()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,7 +394,14 @@ mod tests {
     #[test]
     fn missing_attribute_satisfies_nothing() {
         let s = store();
-        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne] {
+        for op in [
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+            CmpOp::Eq,
+            CmpOp::Ne,
+        ] {
             assert!(!SimplePredicate::new("Absent", op, 1i64).eval(&s), "{op}");
         }
     }
@@ -306,7 +439,14 @@ mod tests {
         assert_eq!(CmpOp::Eq.flip(), CmpOp::Eq);
         assert_eq!(CmpOp::Lt.negate(), CmpOp::Ge);
         assert_eq!(CmpOp::Ne.negate(), CmpOp::Eq);
-        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne] {
+        for op in [
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+            CmpOp::Eq,
+            CmpOp::Ne,
+        ] {
             assert_eq!(op.negate().negate(), op);
             assert_eq!(op.flip().flip(), op);
         }

@@ -22,7 +22,7 @@ pub struct Clause {
 
 impl Clause {
     fn normalize(mut atoms: Vec<SimplePredicate>) -> Clause {
-        atoms.sort_by(|a, b| a.key().cmp(&b.key()));
+        atoms.sort_by_key(|a| a.key());
         atoms.dedup_by(|a, b| a.key() == b.key());
         Clause { atoms }
     }
@@ -132,7 +132,10 @@ impl fmt::Display for CnfError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CnfError::TooLarge { reached } => {
-                write!(f, "CNF conversion exceeded {MAX_CLAUSES} clauses (reached {reached})")
+                write!(
+                    f,
+                    "CNF conversion exceeded {MAX_CLAUSES} clauses (reached {reached})"
+                )
             }
         }
     }
@@ -188,7 +191,9 @@ fn cnf_rec(p: &Predicate) -> Result<Vec<Clause>, CnfError> {
                         atoms.extend(right.atoms.iter().cloned());
                         next.push(Clause::normalize(atoms));
                         if next.len() > MAX_CLAUSES {
-                            return Err(CnfError::TooLarge { reached: next.len() });
+                            return Err(CnfError::TooLarge {
+                                reached: next.len(),
+                            });
                         }
                     }
                 }
@@ -278,12 +283,7 @@ mod tests {
     fn blowup_is_detected() {
         // (a1 and b1) or (a2 and b2) or ... distributes to 2^n clauses.
         let terms: Vec<Predicate> = (0..16)
-            .map(|i| {
-                Predicate::And(vec![
-                    atom(&format!("a{i}")),
-                    atom(&format!("b{i}")),
-                ])
-            })
+            .map(|i| Predicate::And(vec![atom(&format!("a{i}")), atom(&format!("b{i}"))]))
             .collect();
         let p = Predicate::Or(terms);
         assert!(matches!(p.to_cnf(), Err(CnfError::TooLarge { .. })));
@@ -302,13 +302,8 @@ mod tests {
 
     /// Strategy for small random predicates over 4 boolean attributes.
     fn arb_pred(depth: u32) -> BoxedStrategy<Predicate> {
-        let leaf = (0..4u8).prop_map(|i| {
-            Predicate::atom(
-                ["A", "B", "C", "D"][i as usize],
-                CmpOp::Eq,
-                true,
-            )
-        });
+        let leaf = (0..4u8)
+            .prop_map(|i| Predicate::atom(["A", "B", "C", "D"][i as usize], CmpOp::Eq, true));
         leaf.prop_recursive(depth, 24, 3, |inner| {
             prop_oneof![
                 proptest::collection::vec(inner.clone(), 1..4).prop_map(Predicate::And),

@@ -66,7 +66,8 @@ pub fn reduce_clause(clause: &Clause) -> Vec<SimplePredicate> {
     atoms
         .iter()
         .zip(keep)
-        .filter_map(|(a, k)| k.then(|| a.clone()))
+        .filter(|&(_a, k)| k)
+        .map(|(a, _k)| a.clone())
         .collect()
 }
 
@@ -130,9 +131,7 @@ pub fn choose_cover(cnf: &Cnf, cost: impl Fn(&SimplePredicate) -> u64) -> Cover 
                         // (B) and (not B): unsatisfiable.
                         return Cover::Empty;
                     }
-                    candidates.push(reduce_clause(&Clause {
-                        atoms: resolvent,
-                    }));
+                    candidates.push(reduce_clause(&Clause { atoms: resolvent }));
                 }
             }
         }

@@ -77,19 +77,31 @@ pub(crate) fn lex(input: &str) -> Result<Vec<Token>, ParseError> {
                 i += 1;
             }
             '(' => {
-                out.push(Token { pos, kind: TokenKind::LParen });
+                out.push(Token {
+                    pos,
+                    kind: TokenKind::LParen,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Token { pos, kind: TokenKind::RParen });
+                out.push(Token {
+                    pos,
+                    kind: TokenKind::RParen,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Token { pos, kind: TokenKind::Comma });
+                out.push(Token {
+                    pos,
+                    kind: TokenKind::Comma,
+                });
                 i += 1;
             }
             '*' => {
-                out.push(Token { pos, kind: TokenKind::Star });
+                out.push(Token {
+                    pos,
+                    kind: TokenKind::Star,
+                });
                 i += 1;
             }
             '<' => {
@@ -103,7 +115,10 @@ pub(crate) fn lex(input: &str) -> Result<Vec<Token>, ParseError> {
                     i += 1;
                     "<"
                 };
-                out.push(Token { pos, kind: TokenKind::Op(op) });
+                out.push(Token {
+                    pos,
+                    kind: TokenKind::Op(op),
+                });
             }
             '>' => {
                 let op = if bytes.get(i + 1) == Some(&'=') {
@@ -113,7 +128,10 @@ pub(crate) fn lex(input: &str) -> Result<Vec<Token>, ParseError> {
                     i += 1;
                     ">"
                 };
-                out.push(Token { pos, kind: TokenKind::Op(op) });
+                out.push(Token {
+                    pos,
+                    kind: TokenKind::Op(op),
+                });
             }
             '=' => {
                 if bytes.get(i + 1) == Some(&'=') {
@@ -121,12 +139,18 @@ pub(crate) fn lex(input: &str) -> Result<Vec<Token>, ParseError> {
                 } else {
                     i += 1;
                 }
-                out.push(Token { pos, kind: TokenKind::Op("=") });
+                out.push(Token {
+                    pos,
+                    kind: TokenKind::Op("="),
+                });
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&'=') {
                     i += 2;
-                    out.push(Token { pos, kind: TokenKind::Op("!=") });
+                    out.push(Token {
+                        pos,
+                        kind: TokenKind::Op("!="),
+                    });
                 } else {
                     return Err(ParseError::new(pos, "expected '=' after '!'"));
                 }
@@ -147,7 +171,10 @@ pub(crate) fn lex(input: &str) -> Result<Vec<Token>, ParseError> {
                         None => return Err(ParseError::new(pos, "unterminated string literal")),
                     }
                 }
-                out.push(Token { pos, kind: TokenKind::Str(s) });
+                out.push(Token {
+                    pos,
+                    kind: TokenKind::Str(s),
+                });
             }
             '-' if bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit()) => {
                 let (tok, next) = lex_number(&bytes, i, pos)?;
@@ -165,10 +192,16 @@ pub(crate) fn lex(input: &str) -> Result<Vec<Token>, ParseError> {
                     s.push(bytes[i]);
                     i += 1;
                 }
-                out.push(Token { pos, kind: TokenKind::Ident(s) });
+                out.push(Token {
+                    pos,
+                    kind: TokenKind::Ident(s),
+                });
             }
             other => {
-                return Err(ParseError::new(pos, format!("unexpected character {other:?}")));
+                return Err(ParseError::new(
+                    pos,
+                    format!("unexpected character {other:?}"),
+                ));
             }
         }
     }

@@ -353,7 +353,10 @@ fn resolve_agg(name: &str, explicit_k: Option<usize>, pos: usize) -> Result<AggK
             let rest = rest.strip_prefix('-').unwrap_or(rest);
             if rest.is_empty() {
                 let k = explicit_k.ok_or_else(|| {
-                    ParseError::new(pos, format!("{prefix} requires a k, e.g. {prefix}(attr, 3)"))
+                    ParseError::new(
+                        pos,
+                        format!("{prefix} requires a k, e.g. {prefix}(attr, 3)"),
+                    )
                 })?;
                 return Ok(make(k));
             }
@@ -391,7 +394,11 @@ fn build_query(
             format!("aggregation {agg:?} requires an attribute, not '*'"),
         ));
     }
-    Ok(Query::new(target.map(|s| s.as_str().into()), agg, predicate))
+    Ok(Query::new(
+        target.map(|s| s.as_str().into()),
+        agg,
+        predicate,
+    ))
 }
 
 #[cfg(test)]
@@ -403,10 +410,7 @@ mod tests {
         let q = parse_query("(CPU-Usage, MAX, ServiceX = true)").unwrap();
         assert_eq!(q.attr.as_ref().unwrap().as_str(), "CPU-Usage");
         assert_eq!(q.agg, AggKind::Max);
-        assert_eq!(
-            q.predicate,
-            Predicate::atom("ServiceX", CmpOp::Eq, true)
-        );
+        assert_eq!(q.predicate, Predicate::atom("ServiceX", CmpOp::Eq, true));
     }
 
     #[test]
@@ -428,10 +432,8 @@ mod tests {
     #[test]
     fn parses_intro_example_top3() {
         // "find top-3 loaded hosts where (ServiceX = true) and (Apache = true)"
-        let q = parse_query(
-            "SELECT top(Load, 3) WHERE (ServiceX = true) AND (Apache = true)",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT top(Load, 3) WHERE (ServiceX = true) AND (Apache = true)").unwrap();
         assert_eq!(q.agg, AggKind::TopK(3));
         match &q.predicate {
             Predicate::And(ps) => assert_eq!(ps.len(), 2),
@@ -441,7 +443,10 @@ mod tests {
 
     #[test]
     fn top_k_spellings() {
-        assert_eq!(parse_query("SELECT top3(Load)").unwrap().agg, AggKind::TopK(3));
+        assert_eq!(
+            parse_query("SELECT top3(Load)").unwrap().agg,
+            AggKind::TopK(3)
+        );
         assert_eq!(
             parse_query("SELECT top-3(Load)").unwrap().agg,
             AggKind::TopK(3)

@@ -109,7 +109,11 @@ fn relate_masks(a: u8, b: u8, universe: u8) -> Relation {
     Relation::Intersecting
 }
 
-fn relate_intervals<K: IntervalKey>(a: &IntervalSet<K>, b: &IntervalSet<K>, dense: bool) -> Relation {
+fn relate_intervals<K: IntervalKey>(
+    a: &IntervalSet<K>,
+    b: &IntervalSet<K>,
+    dense: bool,
+) -> Relation {
     if a == b {
         return Relation::Equal;
     }
@@ -193,9 +197,9 @@ impl<K: IntervalKey> Interval<K> {
         match (&self.lo, &self.hi) {
             (Lo::NegInf, _) | (_, Hi::PosInf) => false,
             (Lo::Incl(a), Hi::Incl(b)) => a > b,
-            (Lo::Incl(a), Hi::Excl(b)) | (Lo::Excl(a), Hi::Incl(b)) | (Lo::Excl(a), Hi::Excl(b)) => {
-                a >= b
-            }
+            (Lo::Incl(a), Hi::Excl(b))
+            | (Lo::Excl(a), Hi::Incl(b))
+            | (Lo::Excl(a), Hi::Excl(b)) => a >= b,
         }
     }
 }

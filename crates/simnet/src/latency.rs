@@ -57,7 +57,13 @@ impl Constant {
 }
 
 impl LatencyModel for Constant {
-    fn sample(&mut self, _rng: &mut StdRng, _from: NodeId, _to: NodeId, _now: SimTime) -> SimDuration {
+    fn sample(
+        &mut self,
+        _rng: &mut StdRng,
+        _from: NodeId,
+        _to: NodeId,
+        _now: SimTime,
+    ) -> SimDuration {
         self.0
     }
 }
@@ -252,7 +258,13 @@ impl Wan {
 }
 
 impl LatencyModel for Wan {
-    fn sample(&mut self, rng: &mut StdRng, _from: NodeId, to: NodeId, _now: SimTime) -> SimDuration {
+    fn sample(
+        &mut self,
+        rng: &mut StdRng,
+        _from: NodeId,
+        to: NodeId,
+        _now: SimTime,
+    ) -> SimDuration {
         let rtt = self.sample_rtt(rng);
         let one_way = SimDuration::from_micros(rtt.as_micros() / 2);
         // Heavy-tailed per-message processing: base × Pareto(alpha), capped.

@@ -32,6 +32,18 @@ impl fmt::Display for NodeId {
     }
 }
 
+impl moara_wire::Wire for NodeId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        moara_wire::Wire::encode(&self.0, out);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, moara_wire::WireError> {
+        <u32 as moara_wire::Wire>::decode(buf).map(NodeId)
+    }
+    fn encoded_len(&self) -> usize {
+        4
+    }
+}
+
 /// A simulated wire message.
 ///
 /// `size_bytes` feeds the per-node bandwidth accounting; the default of 64
@@ -58,6 +70,20 @@ pub type TimerTag = u64;
 /// Handle to a pending timer, usable with [`Context::cancel_timer`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TimerId(u64);
+
+impl TimerId {
+    /// Builds a timer id from a raw sequence number. Exposed so alternate
+    /// transports (see `moara-transport`) can mint ids from their own
+    /// timer wheels; within one transport ids are unique.
+    pub fn from_raw(raw: u64) -> TimerId {
+        TimerId(raw)
+    }
+
+    /// The raw sequence number behind this id.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
 
 /// A message-passing state machine hosted by the simulator.
 ///
@@ -174,7 +200,10 @@ impl<M: Message> Context<'_, M> {
             return;
         }
         let now = self.core.now;
-        let delay = self.core.latency.sample(&mut self.core.rng, self.me, to, now);
+        let delay = self
+            .core
+            .latency
+            .sample(&mut self.core.rng, self.me, to, now);
         let at = self.core.now + delay;
         let from = self.me;
         self.core.stats.record_recv(to, bytes);
@@ -254,19 +283,27 @@ impl<P: Protocol> Simulator<P> {
 
     /// Immutable access to a node's state (for assertions/inspection).
     pub fn node(&self, id: NodeId) -> &P {
-        self.nodes[id.index()].as_ref().expect("node is mid-dispatch")
+        self.nodes[id.index()]
+            .as_ref()
+            .expect("node is mid-dispatch")
     }
 
     /// Mutable access to a node's state *without* a context. Prefer
     /// [`Simulator::with_node`] when the mutation needs to send messages.
     pub fn node_mut(&mut self, id: NodeId) -> &mut P {
-        self.nodes[id.index()].as_mut().expect("node is mid-dispatch")
+        self.nodes[id.index()]
+            .as_mut()
+            .expect("node is mid-dispatch")
     }
 
     /// Runs `f` against node `id` with a live [`Context`], so the closure
     /// can send messages and arm timers. This is how experiment drivers
     /// inject external stimuli (queries, attribute changes).
-    pub fn with_node<R>(&mut self, id: NodeId, f: impl FnOnce(&mut P, &mut Context<'_, P::Msg>) -> R) -> R {
+    pub fn with_node<R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut P, &mut Context<'_, P::Msg>) -> R,
+    ) -> R {
         let mut node = self.nodes[id.index()].take().expect("re-entrant with_node");
         let mut ctx = Context {
             core: &mut self.core,
@@ -370,10 +407,8 @@ impl<P: Protocol> Simulator<P> {
     /// `until` (even if idle). Later events stay queued.
     pub fn run_until(&mut self, until: SimTime) {
         loop {
-            let due = match self.core.queue.peek() {
-                Some(Reverse(ev)) if ev.time <= until => true,
-                _ => false,
-            };
+            let due = matches!(self.core.queue.peek(),
+                Some(Reverse(ev)) if ev.time <= until);
             if !due {
                 break;
             }

@@ -20,7 +20,9 @@ pub struct Stats {
 }
 
 impl Stats {
-    pub(crate) fn ensure_node(&mut self, id: NodeId) {
+    /// Makes sure per-node vectors cover `id` (transports call this when
+    /// hosting a node).
+    pub fn ensure_node(&mut self, id: NodeId) {
         let need = id.index() + 1;
         if self.sent_msgs.len() < need {
             self.sent_msgs.resize(need, 0);
@@ -30,23 +32,27 @@ impl Stats {
         }
     }
 
-    pub(crate) fn record_send(&mut self, from: NodeId, bytes: usize) {
+    /// Accounts one sent message of `bytes` bytes.
+    pub fn record_send(&mut self, from: NodeId, bytes: usize) {
         self.ensure_node(from);
         self.sent_msgs[from.index()] += 1;
         self.sent_bytes[from.index()] += bytes as u64;
     }
 
-    pub(crate) fn record_recv(&mut self, to: NodeId, bytes: usize) {
+    /// Accounts one received message of `bytes` bytes.
+    pub fn record_recv(&mut self, to: NodeId, bytes: usize) {
         self.ensure_node(to);
         self.recv_msgs[to.index()] += 1;
         self.recv_bytes[to.index()] += bytes as u64;
     }
 
-    pub(crate) fn record_drop(&mut self) {
+    /// Accounts a message dropped at (or en route to) a failed node.
+    pub fn record_drop(&mut self) {
         self.dropped += 1;
     }
 
-    pub(crate) fn bump(&mut self, name: &'static str, by: u64) {
+    /// Adds `by` to the named experiment counter.
+    pub fn bump(&mut self, name: &'static str, by: u64) {
         *self.counters.entry(name).or_insert(0) += by;
     }
 

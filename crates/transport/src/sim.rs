@@ -1,0 +1,166 @@
+//! The simulator backend: adapts `moara_simnet::Simulator` to the
+//! [`Transport`] host trait, so everything written against the trait runs
+//! under deterministic discrete-event simulation unchanged.
+
+use moara_simnet::{LatencyModel, NodeId, SimDuration, SimTime, Simulator, Stats};
+
+use crate::{NetCtx, NetProtocol, SimHosted, Transport};
+
+/// Hosts [`NetProtocol`] nodes on the discrete-event simulator.
+///
+/// A thin adapter: nodes are wrapped in [`SimHosted`] (which carries the
+/// `moara_simnet::Protocol` impl) and every host operation delegates to
+/// the [`Simulator`]. Virtual time, latency models, and seeded randomness
+/// behave exactly as when driving the simulator directly.
+pub struct SimTransport<P: NetProtocol> {
+    sim: Simulator<SimHosted<P>>,
+}
+
+impl<P: NetProtocol> SimTransport<P> {
+    /// Creates an empty simulated transport with the given latency model
+    /// and RNG seed.
+    pub fn new(latency: impl LatencyModel + 'static, seed: u64) -> SimTransport<P> {
+        SimTransport {
+            sim: Simulator::new(latency, seed),
+        }
+    }
+
+    /// The wrapped simulator, for sim-only operations (e.g. event budgets).
+    pub fn simulator(&mut self) -> &mut Simulator<SimHosted<P>> {
+        &mut self.sim
+    }
+
+    /// Processes all events with `time <= until`, then advances the clock
+    /// to `until` even if idle (sim-specific: real transports cannot jump).
+    pub fn run_until(&mut self, until: SimTime) {
+        self.sim.run_until(until);
+    }
+
+    /// Number of queued events (pending deliveries + timers).
+    pub fn pending_events(&self) -> usize {
+        self.sim.pending_events()
+    }
+}
+
+impl<P: NetProtocol> Transport<P> for SimTransport<P> {
+    fn add_node(&mut self, node: P) -> NodeId {
+        self.sim.add_node(SimHosted(node))
+    }
+
+    fn len(&self) -> usize {
+        self.sim.len()
+    }
+
+    fn node(&self, id: NodeId) -> &P {
+        &self.sim.node(id).0
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut P {
+        &mut self.sim.node_mut(id).0
+    }
+
+    fn with_node<R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut P, &mut dyn NetCtx<P::Msg>) -> R,
+    ) -> R {
+        self.sim.with_node(id, |hosted, ctx| f(&mut hosted.0, ctx))
+    }
+
+    fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    fn run_for(&mut self, d: SimDuration) {
+        self.sim.run_for(d);
+    }
+
+    fn run_to_quiescence(&mut self) -> SimTime {
+        self.sim.run_to_quiescence()
+    }
+
+    fn stats(&self) -> &Stats {
+        self.sim.stats()
+    }
+
+    fn stats_mut(&mut self) -> &mut Stats {
+        self.sim.stats_mut()
+    }
+
+    fn fail_node(&mut self, id: NodeId) {
+        self.sim.fail_node(id);
+    }
+
+    fn recover_node(&mut self, id: NodeId) {
+        self.sim.recover_node(id);
+    }
+
+    fn is_alive(&self, id: NodeId) -> bool {
+        self.sim.is_alive(id)
+    }
+
+    fn take_undeliverable(&mut self) -> Vec<(NodeId, NodeId)> {
+        self.sim.take_undeliverable()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moara_simnet::latency::Constant;
+    use moara_simnet::TimerTag;
+
+    /// Ping-pong protocol written purely against the NetCtx seam.
+    #[derive(Debug, Default)]
+    struct Echo {
+        got: Vec<(NodeId, u32)>,
+        timer_fired: u32,
+    }
+
+    impl NetProtocol for Echo {
+        type Msg = u32;
+        fn on_message(&mut self, ctx: &mut dyn NetCtx<u32>, from: NodeId, msg: u32) {
+            self.got.push((from, msg));
+            if msg > 0 {
+                ctx.send(from, msg - 1);
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut dyn NetCtx<u32>, _tag: TimerTag) {
+            self.timer_fired += 1;
+        }
+    }
+
+    #[test]
+    fn hosts_netprotocol_on_the_simulator() {
+        let mut t: SimTransport<Echo> = SimTransport::new(Constant::from_millis(10), 1);
+        let a = t.add_node(Echo::default());
+        let b = t.add_node(Echo::default());
+        t.with_node(a, |_n, ctx| ctx.send(b, 3));
+        let end = t.run_to_quiescence();
+        assert_eq!(t.stats().total_messages(), 4);
+        assert_eq!(end, SimDuration::from_millis(40).as_time());
+        assert_eq!(t.node(b).got, vec![(a, 3), (a, 1)]);
+        assert_eq!(t.node(a).got, vec![(b, 2), (b, 0)]);
+    }
+
+    #[test]
+    fn timers_and_failures_flow_through_the_trait() {
+        let mut t: SimTransport<Echo> = SimTransport::new(Constant::from_millis(1), 2);
+        let a = t.add_node(Echo::default());
+        let b = t.add_node(Echo::default());
+        let cancelled = t.with_node(a, |_n, ctx| {
+            ctx.set_timer(SimDuration::from_millis(5), 1);
+            ctx.set_timer(SimDuration::from_millis(6), 2)
+        });
+        t.with_node(a, |_n, ctx| ctx.cancel_timer(cancelled));
+        t.fail_node(b);
+        t.with_node(a, |_n, ctx| ctx.send(b, 9));
+        t.run_to_quiescence();
+        assert_eq!(t.node(a).timer_fired, 1);
+        assert!(t.node(b).got.is_empty());
+        assert!(!t.is_alive(b));
+        assert_eq!(t.take_undeliverable(), vec![(a, b)]);
+        t.recover_node(b);
+        assert!(t.is_alive(b));
+    }
+}

@@ -39,7 +39,11 @@ fn main() {
         dc.set_attr(node, "esx", rng.gen_bool(0.3));
         dc.set_attr(node, "sygate", rng.gen_bool(0.5));
         dc.set_attr(node, "service-X", rng.gen_bool(0.25));
-        dc.set_attr(node, "service-X-resptime", Value::Float(rng.gen_range(1.0..250.0)));
+        dc.set_attr(
+            node,
+            "service-X-resptime",
+            Value::Float(rng.gen_range(1.0..250.0)),
+        );
         dc.set_attr(node, "up", true);
     }
 
@@ -107,7 +111,10 @@ fn main() {
     // machines, cluster C2 ∩ floor F1 is smaller; Moara queries only the
     // cheaper group either way.
     let out = dc
-        .query(front, "SELECT count(*) WHERE floor = 'F1' AND cluster = 'C2'")
+        .query(
+            front,
+            "SELECT count(*) WHERE floor = 'F1' AND cluster = 'C2'",
+        )
         .expect("valid query");
     println!(
         "\nintersection (floor=F1 and cluster=C2): {} via {} messages — \

@@ -27,7 +27,13 @@ fn main() {
     // Assign slices with a heavy-tailed size distribution: slice k gets
     // roughly n / (k+2) of the nodes, so early slices are big and the tail
     // is tiny (the shape of the paper's Figure 2(a)).
-    let slices = ["cmu-iris", "mit-ping", "uiuc-moara", "hp-render", "ucb-pier"];
+    let slices = [
+        "cmu-iris",
+        "mit-ping",
+        "uiuc-moara",
+        "hp-render",
+        "ucb-pier",
+    ];
     for i in 0..n as u32 {
         let node = NodeId(i);
         for (k, name) in slices.iter().enumerate() {
@@ -35,7 +41,11 @@ fn main() {
             pl.set_attr(node, &format!("slice-{name}"), rng.gen_bool(p));
         }
         pl.set_attr(node, "CPU-Util", Value::Float(rng.gen_range(0.0..100.0)));
-        pl.set_attr(node, "Disk-Free-GB", Value::Float(rng.gen_range(1.0..500.0)));
+        pl.set_attr(
+            node,
+            "Disk-Free-GB",
+            Value::Float(rng.gen_range(1.0..500.0)),
+        );
         pl.set_attr(
             node,
             "org",
@@ -66,7 +76,11 @@ fn main() {
             "SELECT avg(CPU-Util) WHERE slice-uiuc-moara = true AND slice-mit-ping = true",
         )
         .expect("valid query");
-    println!("\navg CPU on uiuc-moara ∩ mit-ping: {} ({})", out.result, out.latency());
+    println!(
+        "\navg CPU on uiuc-moara ∩ mit-ping: {} ({})",
+        out.result,
+        out.latency()
+    );
 
     // Free disk across all slices of an organization (union query).
     let out = pl
@@ -75,7 +89,11 @@ fn main() {
             "SELECT sum(Disk-Free-GB) WHERE slice-hp-render = true OR slice-ucb-pier = true",
         )
         .expect("valid query");
-    println!("free disk on hp-render ∪ ucb-pier: {} ({})", out.result, out.latency());
+    println!(
+        "free disk on hp-render ∪ ucb-pier: {} ({})",
+        out.result,
+        out.latency()
+    );
 
     // Hot-spot hunting: overloaded nodes inside one slice.
     let out = pl

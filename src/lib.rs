@@ -11,12 +11,35 @@
 //! * [`aggregation`](moara_aggregation) — aggregation functions;
 //! * [`attributes`](moara_attributes) — the per-node data model;
 //! * [`dht`](moara_dht) — the Pastry-style overlay substrate;
+//! * [`transport`](moara_transport) — the pluggable transport subsystem;
 //! * [`simnet`](moara_simnet) — the discrete-event simulator;
+//! * [`wire`](moara_wire) — the binary wire codec;
 //! * [`baselines`](moara_baselines) — the paper's comparison systems.
 //!
-//! See `examples/quickstart.rs` for a five-minute tour, and the
-//! `moara-bench` crate for the harnesses that regenerate every figure of
-//! the paper's evaluation.
+//! # Transports
+//!
+//! The protocol engine is written against `moara_transport`'s I/O seam —
+//! [`NetCtx`](moara_transport::NetCtx) (send / timers / clock) and
+//! [`NetProtocol`](moara_transport::NetProtocol) (the node state machine)
+//! — and deployments drive it through the
+//! [`Transport`](moara_transport::Transport) host trait. Two backends
+//! ship:
+//!
+//! * [`SimTransport`](moara_transport::SimTransport) wraps the
+//!   deterministic `moara-simnet` simulator; `Cluster::builder().build()`
+//!   uses it, and every experiment/figure harness runs on it.
+//! * [`TcpTransport`](moara_transport::TcpTransport) moves the same
+//!   messages over real sockets as length-prefixed `moara-wire` frames
+//!   with per-peer pooled connections and reconnect;
+//!   `Cluster::builder().build_tcp(...)` hosts an in-process cluster on
+//!   loopback sockets, and the `moarad` daemon (`moara-daemon` crate)
+//!   hosts one node per process. See `docs/transport.md` for the
+//!   architecture and the 3-process quickstart.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour,
+//! `examples/tcp_cluster.rs` for the TCP path, and the `moara-bench`
+//! crate for the harnesses that regenerate every figure of the paper's
+//! evaluation.
 
 pub use moara_aggregation as aggregation;
 pub use moara_attributes as attributes;
@@ -25,9 +48,12 @@ pub use moara_core as core;
 pub use moara_dht as dht;
 pub use moara_query as query;
 pub use moara_simnet as simnet;
+pub use moara_transport as transport;
+pub use moara_wire as wire;
 
 pub use moara_aggregation::{AggKind, AggResult};
 pub use moara_attributes::{AttrStore, Value};
-pub use moara_core::{Cluster, Mode, MoaraConfig, QueryOutcome};
+pub use moara_core::{Cluster, MoaraConfig, Mode, QueryOutcome};
 pub use moara_query::{parse_predicate, parse_query, Predicate, Query, SimplePredicate};
 pub use moara_simnet::NodeId;
+pub use moara_transport::{NetCtx, NetProtocol, SimTransport, TcpTransport, Transport};

@@ -58,7 +58,11 @@ fn all_systems_agree_on_all_aggregates() {
             other => panic!("unexpected {other:?}"),
         };
         assert_eq!(val(&m.result), val(&g.result), "moara vs global on {q}");
-        assert_eq!(val(&m.result), val(&a.result), "moara vs always-update on {q}");
+        assert_eq!(
+            val(&m.result),
+            val(&a.result),
+            "moara vs always-update on {q}"
+        );
         assert_eq!(val(&m.result), val(&c.result), "moara vs central on {q}");
     }
 }
@@ -97,7 +101,9 @@ fn always_update_tracks_churn_without_queries() {
         always.set_attr(NodeId(i * 3), "A", 0i64);
     }
     always.run_to_quiescence();
-    let out = always.query(NodeId(1), "SELECT count(*) WHERE A = 1").unwrap();
+    let out = always
+        .query(NodeId(1), "SELECT count(*) WHERE A = 1")
+        .unwrap();
     let truth = always.group_members(&pred).len() as i64;
     assert_eq!(out.result, AggResult::Value(Value::Int(truth)));
 }

@@ -47,7 +47,11 @@ fn failed_interior_nodes_do_not_lose_members() {
         c.fail_node(NodeId(i));
     }
     let out = c.query(NodeId(30), q).unwrap();
-    assert_eq!(count_of(&out), 10, "all members still reachable after repair");
+    assert_eq!(
+        count_of(&out),
+        10,
+        "all members still reachable after repair"
+    );
 }
 
 #[test]
@@ -62,7 +66,11 @@ fn root_failure_rehomes_the_tree() {
     let expected = c
         .group_members(&SimplePredicate::new("A", CmpOp::Eq, 1i64))
         .len() as i64;
-    let origin = if root == NodeId(9) { NodeId(10) } else { NodeId(9) };
+    let origin = if root == NodeId(9) {
+        NodeId(10)
+    } else {
+        NodeId(9)
+    };
     let out = c.query(origin, q).unwrap();
     assert_eq!(count_of(&out), expected);
     // A new root owns the key now.

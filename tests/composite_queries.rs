@@ -52,6 +52,7 @@ fn union_counts_exactly_with_dedup() {
 fn paper_figure6_nested_expression() {
     let mut c = testbed(3);
     // ((a or b) and (a or c)) or x < 5  ≡  (a ∨ (b ∧ c)) ∨ x<5.
+    #[allow(clippy::nonminimal_bool)] // mirrors the query predicate's shape
     let truth = (0..60u32)
         .filter(|i| {
             let (a, b, cc) = (i % 2 == 0, i % 3 == 0, i % 5 == 0);
@@ -71,16 +72,18 @@ fn paper_figure6_nested_expression() {
 fn intersection_contacts_single_group() {
     let mut c = testbed(4);
     // Warm both trees so size probes see real costs.
-    c.query(NodeId(0), "SELECT count(*) WHERE a = true").unwrap();
-    c.query(NodeId(0), "SELECT count(*) WHERE c = true").unwrap();
+    c.query(NodeId(0), "SELECT count(*) WHERE a = true")
+        .unwrap();
+    c.query(NodeId(0), "SELECT count(*) WHERE c = true")
+        .unwrap();
     c.query(NodeId(0), "SELECT count(*) WHERE a = true AND c = true")
         .unwrap();
     let out = c
         .query(NodeId(0), "SELECT count(*) WHERE a = true AND c = true")
         .unwrap();
     assert_eq!(count_of(&out), 6); // multiples of 10
-    // The intersection should cost roughly one (small) group's tree, not
-    // both: well under the a-tree cost of ~2×30.
+                                   // The intersection should cost roughly one (small) group's tree, not
+                                   // both: well under the a-tree cost of ~2×30.
     let union = c
         .query(NodeId(0), "SELECT count(*) WHERE a = true OR c = true")
         .unwrap();
@@ -144,8 +147,10 @@ fn aggregates_over_composite_groups() {
 #[test]
 fn probes_vs_structural_planning_agree_on_results() {
     let mut with_probes = testbed(9);
-    let mut cfg = MoaraConfig::default();
-    cfg.use_size_probes = false;
+    let cfg = MoaraConfig {
+        use_size_probes: false,
+        ..MoaraConfig::default()
+    };
     let mut structural = Cluster::builder().nodes(60).seed(9).config(cfg).build();
     for i in 0..60u32 {
         let node = NodeId(i);

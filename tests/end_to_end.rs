@@ -20,23 +20,33 @@ fn cluster_with_metrics(n: u32) -> Cluster {
 #[test]
 fn count_sum_avg_min_max() {
     let mut c = cluster_with_metrics(40);
-    let count = c.query(NodeId(0), "SELECT count(*) WHERE svc = true").unwrap();
+    let count = c
+        .query(NodeId(0), "SELECT count(*) WHERE svc = true")
+        .unwrap();
     assert_eq!(count.result, AggResult::Value(Value::Int(8)));
 
-    let sum = c.query(NodeId(1), "SELECT sum(cpu) WHERE svc = true").unwrap();
+    let sum = c
+        .query(NodeId(1), "SELECT sum(cpu) WHERE svc = true")
+        .unwrap();
     // svc nodes: 0,5,...,35 → cpu = i → 0+5+...+35 = 140.
     assert_eq!(sum.result, AggResult::Value(Value::Int(140)));
 
-    let avg = c.query(NodeId(2), "SELECT avg(cpu) WHERE svc = true").unwrap();
+    let avg = c
+        .query(NodeId(2), "SELECT avg(cpu) WHERE svc = true")
+        .unwrap();
     assert_eq!(avg.result.as_f64(), Some(17.5));
 
-    let min = c.query(NodeId(3), "SELECT min(cpu) WHERE svc = true").unwrap();
+    let min = c
+        .query(NodeId(3), "SELECT min(cpu) WHERE svc = true")
+        .unwrap();
     match min.result {
         AggResult::Attributed(Value::Int(0), _) => {}
         other => panic!("unexpected min {other:?}"),
     }
 
-    let max = c.query(NodeId(4), "SELECT max(cpu) WHERE svc = true").unwrap();
+    let max = c
+        .query(NodeId(4), "SELECT max(cpu) WHERE svc = true")
+        .unwrap();
     match max.result {
         AggResult::Attributed(Value::Int(35), _) => {}
         other => panic!("unexpected max {other:?}"),
@@ -46,7 +56,9 @@ fn count_sum_avg_min_max() {
 #[test]
 fn top_k_and_enumeration() {
     let mut c = cluster_with_metrics(30);
-    let top = c.query(NodeId(0), "SELECT top(cpu, 3) WHERE svc = true").unwrap();
+    let top = c
+        .query(NodeId(0), "SELECT top(cpu, 3) WHERE svc = true")
+        .unwrap();
     match &top.result {
         AggResult::Ranked(items) => {
             assert_eq!(items.len(), 3);
@@ -62,7 +74,9 @@ fn top_k_and_enumeration() {
         other => panic!("unexpected top-k {other:?}"),
     }
 
-    let all = c.query(NodeId(5), "SELECT enumerate(*) WHERE svc = true").unwrap();
+    let all = c
+        .query(NodeId(5), "SELECT enumerate(*) WHERE svc = true")
+        .unwrap();
     match &all.result {
         AggResult::Nodes(nodes) => assert_eq!(nodes.len(), 6),
         other => panic!("unexpected enumeration {other:?}"),
@@ -72,7 +86,9 @@ fn top_k_and_enumeration() {
 #[test]
 fn triple_syntax_equals_sql_syntax() {
     let mut c = cluster_with_metrics(25);
-    let sql = c.query(NodeId(0), "SELECT avg(mem) WHERE os = 'linux'").unwrap();
+    let sql = c
+        .query(NodeId(0), "SELECT avg(mem) WHERE os = 'linux'")
+        .unwrap();
     let triple = c.query(NodeId(0), "(mem, AVG, os = linux)").unwrap();
     assert_eq!(sql.result, triple.result);
 }
@@ -89,14 +105,19 @@ fn no_predicate_covers_whole_system() {
 #[test]
 fn empty_group_returns_empty() {
     let mut c = cluster_with_metrics(20);
-    let out = c.query(NodeId(0), "SELECT count(*) WHERE cpu > 5000").unwrap();
+    let out = c
+        .query(NodeId(0), "SELECT count(*) WHERE cpu > 5000")
+        .unwrap();
     assert!(out.complete);
     assert_eq!(out.result, AggResult::Value(Value::Int(0)));
     // Repeating prunes the whole tree away.
     for _ in 0..3 {
-        c.query(NodeId(0), "SELECT count(*) WHERE cpu > 5000").unwrap();
+        c.query(NodeId(0), "SELECT count(*) WHERE cpu > 5000")
+            .unwrap();
     }
-    let quiet = c.query(NodeId(0), "SELECT count(*) WHERE cpu > 5000").unwrap();
+    let quiet = c
+        .query(NodeId(0), "SELECT count(*) WHERE cpu > 5000")
+        .unwrap();
     assert!(
         quiet.messages < out.messages,
         "empty group should cost almost nothing after pruning: {} vs {}",
@@ -113,26 +134,37 @@ fn unsatisfiable_predicate_answers_locally() {
         .unwrap();
     assert!(out.complete);
     assert!(out.result.is_empty() || out.result == AggResult::Value(Value::Int(0)));
-    assert_eq!(out.messages, 0, "planner should answer Empty with no traffic");
+    assert_eq!(
+        out.messages, 0,
+        "planner should answer Empty with no traffic"
+    );
 }
 
 #[test]
 fn query_cost_independent_of_origin() {
     let mut c = cluster_with_metrics(40);
-    let a = c.query(NodeId(0), "SELECT count(*) WHERE svc = true").unwrap();
-    let b = c.query(NodeId(17), "SELECT count(*) WHERE svc = true").unwrap();
+    let a = c
+        .query(NodeId(0), "SELECT count(*) WHERE svc = true")
+        .unwrap();
+    let b = c
+        .query(NodeId(17), "SELECT count(*) WHERE svc = true")
+        .unwrap();
     assert_eq!(a.result, b.result);
 }
 
 #[test]
 fn dynamic_group_reflects_changes_immediately() {
     let mut c = cluster_with_metrics(20);
-    let before = c.query(NodeId(0), "SELECT count(*) WHERE cpu < 10").unwrap();
+    let before = c
+        .query(NodeId(0), "SELECT count(*) WHERE cpu < 10")
+        .unwrap();
     // Push five nodes under the threshold.
     for i in 10..15u32 {
         c.set_attr(NodeId(i), "cpu", 1i64);
     }
-    let after = c.query(NodeId(0), "SELECT count(*) WHERE cpu < 10").unwrap();
+    let after = c
+        .query(NodeId(0), "SELECT count(*) WHERE cpu < 10")
+        .unwrap();
     let b = match before.result {
         AggResult::Value(Value::Int(x)) => x,
         ref other => panic!("unexpected {other:?}"),

@@ -125,7 +125,9 @@ fn state_machine_invariants_hold_cluster_wide() {
         c.set_attr(NodeId(i), "A", i64::from(i % 4 == 0));
     }
     for round in 0..5u32 {
-        let _ = c.query(NodeId(round), "SELECT count(*) WHERE A = 1").unwrap();
+        let _ = c
+            .query(NodeId(round), "SELECT count(*) WHERE A = 1")
+            .unwrap();
         for i in 0..n as u32 {
             if (i + round) % 7 == 0 {
                 let cur = c.node(NodeId(i)).store.get("A") == Some(&Value::Int(1));

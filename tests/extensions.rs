@@ -27,7 +27,10 @@ fn not_queries_resolve_end_to_end() {
     // De Morgan through the planner: NOT (svc = true OR x >= 10)
     // ≡ svc != true AND x < 10 → nodes 1..9 except node 5 → 8.
     let out = c
-        .query(NodeId(3), "SELECT count(*) WHERE NOT (svc = true OR x >= 10)")
+        .query(
+            NodeId(3),
+            "SELECT count(*) WHERE NOT (svc = true OR x >= 10)",
+        )
         .unwrap();
     assert_eq!(out.result, AggResult::Value(Value::Int(8)));
 }
@@ -36,7 +39,10 @@ fn not_queries_resolve_end_to_end() {
 fn not_agrees_with_manual_rewrite() {
     let mut c = testbed(2);
     let sugar = c
-        .query(NodeId(0), "SELECT count(*) WHERE NOT (x < 20 AND svc = false)")
+        .query(
+            NodeId(0),
+            "SELECT count(*) WHERE NOT (x < 20 AND svc = false)",
+        )
         .unwrap();
     let manual = c
         .query(NodeId(0), "SELECT count(*) WHERE x >= 20 OR svc != false")

@@ -96,9 +96,21 @@ fn gc_under_churn_preserves_completeness() {
                 true,
             ))
             .len() as i64;
-        let out = c.query(NodeId(1), "SELECT count(*) WHERE a = true").unwrap();
-        assert_eq!(out.result, AggResult::Value(Value::Int(truth_a)), "round {round}");
-        let out = c.query(NodeId(1), "SELECT count(*) WHERE b = true").unwrap();
-        assert_eq!(out.result, AggResult::Value(Value::Int(10)), "round {round}");
+        let out = c
+            .query(NodeId(1), "SELECT count(*) WHERE a = true")
+            .unwrap();
+        assert_eq!(
+            out.result,
+            AggResult::Value(Value::Int(truth_a)),
+            "round {round}"
+        );
+        let out = c
+            .query(NodeId(1), "SELECT count(*) WHERE b = true")
+            .unwrap();
+        assert_eq!(
+            out.result,
+            AggResult::Value(Value::Int(10)),
+            "round {round}"
+        );
     }
 }

@@ -1,0 +1,135 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides [`Criterion::bench_function`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Instead of criterion's
+//! full statistical machinery it times a small, fixed number of batches and
+//! prints `name ... mean/min per iter` — enough to eyeball regressions and
+//! to keep `cargo test`/CI fast. Set `MOARA_BENCH_SAMPLES` to raise the
+//! sample count for more stable numbers.
+
+use std::time::Instant;
+
+/// Opaque value laundering to defeat constant folding.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Handle passed to each benchmark closure.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `f`, recording nanoseconds per iteration over several batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let samples = self.samples.capacity();
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.samples.push(elapsed / self.iters_per_sample as f64);
+        }
+    }
+}
+
+/// Mirror of `criterion::Criterion` (the configuration we use).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed batches per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark and prints its timing summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let samples = std::env::var("MOARA_BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| self.sample_size.min(5));
+        let mut b = Bencher {
+            iters_per_sample: 1,
+            samples: Vec::with_capacity(samples),
+        };
+        // Calibrate: aim for ~2ms per batch so short ops aren't pure noise.
+        let start = Instant::now();
+        f(&mut Bencher {
+            iters_per_sample: 1,
+            samples: Vec::with_capacity(1),
+        });
+        let once = start.elapsed().as_nanos().max(1) as u64;
+        b.iters_per_sample = (2_000_000 / once).clamp(1, 10_000);
+        b.samples.clear();
+        f(&mut b);
+        if b.samples.is_empty() {
+            println!("bench {name:<40} (no samples)");
+            return;
+        }
+        let mean = b.samples.iter().sum::<f64>() / b.samples.len() as f64;
+        let min = b.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        println!(
+            "bench {name:<40} mean {:>12.1} ns/iter   min {min:>12.1} ns/iter",
+            mean
+        );
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cheap(c: &mut Criterion) {
+        c.bench_function("noop_add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = cheap
+    }
+
+    #[test]
+    fn group_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,434 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Provides the subset this workspace's property tests use: the
+//! [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`, strategies for
+//! integer ranges, tuples, [`collection::vec`], [`strategy::Just`],
+//! [`arbitrary::any`], `prop_oneof!`, `prop_map`, `prop_recursive`, and
+//! [`test_runner::ProptestConfig`].
+//!
+//! Differences from upstream: inputs are generated from a fixed seed (so
+//! runs are reproducible byte-for-byte), and failing cases are reported
+//! with their case number but **not shrunk**. That trade keeps the
+//! vendored crate small while preserving the tests' power to explore
+//! random inputs.
+
+// Re-export for `proptest!`'s expansion, so consuming crates don't need
+// their own `rand` dependency.
+#[doc(hidden)]
+pub use rand as __rand;
+
+pub mod test_runner {
+    //! Runner configuration.
+
+    /// Mirror of `proptest::test_runner::Config` (the fields we use).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            // Upstream defaults to 256; 64 keeps `cargo test` quick while
+            // still exploring a meaningful slice of the input space.
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A recipe for generating random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: Clone + std::fmt::Debug;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: Clone + std::fmt::Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy (cheaply clonable).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                gen: Rc::new(move |rng| self.generate(rng)),
+            }
+        }
+
+        /// Builds a recursive strategy: `self` generates leaves, and
+        /// `branch` wraps an inner strategy into a composite, applied up
+        /// to `depth` times. `_desired_size` and `_expected_branch_size`
+        /// are accepted for upstream signature compatibility.
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            branch: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        {
+            let leaf = self.boxed();
+            let mut cur = leaf.clone();
+            for _ in 0..depth {
+                let branched = branch(cur).boxed();
+                let leaf = leaf.clone();
+                cur = from_fn(move |rng| {
+                    // Half the draws recurse, half stop at a leaf, so depth
+                    // is geometrically distributed up to the cap.
+                    if rng.gen_bool(0.5) {
+                        branched.generate(rng)
+                    } else {
+                        leaf.generate(rng)
+                    }
+                });
+            }
+            cur
+        }
+    }
+
+    /// A type-erased, reference-counted strategy.
+    pub struct BoxedStrategy<V> {
+        gen: Rc<dyn Fn(&mut StdRng) -> V>,
+    }
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                gen: Rc::clone(&self.gen),
+            }
+        }
+    }
+
+    impl<V: Clone + std::fmt::Debug + 'static> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut StdRng) -> V {
+            (self.gen)(rng)
+        }
+        fn boxed(self) -> BoxedStrategy<V> {
+            self
+        }
+    }
+
+    /// Builds a strategy from a generation closure.
+    pub fn from_fn<V, F: Fn(&mut StdRng) -> V + 'static>(f: F) -> BoxedStrategy<V> {
+        BoxedStrategy { gen: Rc::new(f) }
+    }
+
+    /// Uniform choice among type-erased alternatives (see `prop_oneof!`).
+    pub fn one_of<V: Clone + std::fmt::Debug + 'static>(
+        arms: Vec<BoxedStrategy<V>>,
+    ) -> BoxedStrategy<V> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        from_fn(move |rng| {
+            let i = rng.gen_range(0..arms.len());
+            arms[i].generate(rng)
+        })
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<V>(pub V);
+
+    impl<V: Clone + std::fmt::Debug> Strategy for Just<V> {
+        type Value = V;
+        fn generate(&self, _rng: &mut StdRng) -> V {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: Clone + std::fmt::Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_strategy_for_int_ranges {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_strategy_for_int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_strategy_for_tuples {
+        ($(($($s:ident / $i:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$i.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_strategy_for_tuples! {
+        (S0/0)
+        (S0/0, S1/1)
+        (S0/0, S1/1, S2/2)
+        (S0/0, S1/1, S2/2, S3/3)
+        (S0/0, S1/1, S2/2, S3/3, S4/4)
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support.
+
+    use rand::rngs::StdRng;
+
+    use crate::strategy::Strategy;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Clone + std::fmt::Debug + Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    rand::Standard::sample(rng)
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+    /// The canonical strategy for `T` (mirror of `proptest::arbitrary::any`).
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Uniform sample over `T`'s whole domain.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use std::ops::Range;
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    use crate::strategy::Strategy;
+
+    /// Generates `Vec`s whose length is drawn from `size` and whose
+    /// elements come from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Mirror of `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface, mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts inside a property (plain `assert!` here: no shrink phase).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice among strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {{
+        $crate::strategy::one_of(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    }};
+}
+
+/// Declares property tests: each `fn` runs `cases` times with inputs
+/// drawn from the strategies after `in`. Deterministic across runs (the
+/// per-test RNG is seeded from the test name), no shrinking.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                use $crate::strategy::Strategy as _;
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                // Seed from the test name: deterministic, but distinct
+                // streams per property.
+                let mut __seed: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in stringify!($name).bytes() {
+                    __seed = (__seed ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+                }
+                let mut __rng = <$crate::__rand::rngs::StdRng
+                    as $crate::__rand::SeedableRng>::seed_from_u64(__seed);
+                for __case in 0..cfg.cases {
+                    $(let $arg = ($strat).generate(&mut __rng);)*
+                    let __inputs = format!(
+                        concat!("case {}" $(, ", ", stringify!($arg), " = {:?}")*),
+                        __case $(, &$arg)*
+                    );
+                    let __result = std::panic::catch_unwind(
+                        std::panic::AssertUnwindSafe(|| $body)
+                    );
+                    if let Err(e) = __result {
+                        eprintln!("proptest failure in {} [{}]", stringify!($name), __inputs);
+                        std::panic::resume_unwind(e);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples(x in 0u64..10, pair in (0u8..2, any::<u16>())) {
+            prop_assert!(x < 10);
+            prop_assert!(pair.0 < 2);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Doc comments and config headers parse.
+        #[test]
+        fn vec_strategy_respects_bounds(
+            v in crate::collection::vec((0u64..50, -10i64..10), 1..20),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            for (a, b) in v {
+                prop_assert!(a < 50);
+                prop_assert!((-10..10).contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn oneof_map_recursive_compose() {
+        #[derive(Clone, Debug)]
+        #[allow(dead_code)] // fields exist to exercise generation, not reads
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        let leaf = (0u8..4).prop_map(Tree::Leaf);
+        let strat = leaf.prop_recursive(3, 24, 3, |inner| {
+            prop_oneof![
+                crate::collection::vec(inner.clone(), 1..4).prop_map(Tree::Node),
+                Just(Tree::Leaf(9)),
+            ]
+        });
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
+        let mut saw_node = false;
+        for _ in 0..200 {
+            if matches!(strat.generate(&mut rng), Tree::Node(_)) {
+                saw_node = true;
+            }
+        }
+        assert!(saw_node, "recursion never branched");
+    }
+}
