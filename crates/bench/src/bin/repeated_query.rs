@@ -1,0 +1,224 @@
+//! Repeated-query workload: what the query-plane scheduler's probe cache
+//! buys under heavy repeated composite-query traffic.
+//!
+//! The same deterministic workload — rotating 4-way intersection queries
+//! over small overlapping groups, issued from several front-ends, with
+//! periodic group churn — runs twice: once with the probe cache off (the
+//! paper's probe-per-query behaviour) and once with it on. Both runs must
+//! produce byte-identical answers; the comparison reports total messages,
+//! probes sent, cache hit counts, batched frames, and latency.
+//!
+//! `--smoke` shrinks the workload for CI, where this binary doubles as an
+//! executable regression gate: it exits nonzero unless the cache saves at
+//! least 30% of total messages with no latency regression.
+
+use moara_bench::harness::mean;
+use moara_bench::scaled;
+use moara_core::{Cluster, MoaraConfig, ProbeCachePolicy};
+use moara_simnet::latency::Constant;
+use moara_simnet::NodeId;
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+const SEED: u64 = 77;
+
+struct Workload {
+    nodes: usize,
+    groups: usize,
+    group_size: usize,
+    rounds: usize,
+    churn_every: usize,
+    /// Distinct front-end nodes the repeated traffic arrives through
+    /// (the probe cache is per front-end, as in a real deployment where
+    /// clients stick to a handful of entry points).
+    fronts: usize,
+}
+
+struct RunResult {
+    total_messages: u64,
+    probes: u64,
+    cache_hits: u64,
+    coalesced: u64,
+    batched: u64,
+    mean_latency_ms: f64,
+    mean_query_messages: f64,
+    answers: Vec<String>,
+}
+
+fn build(w: &Workload, policy: ProbeCachePolicy) -> Cluster {
+    let cfg = MoaraConfig::default().with_probe_cache(policy);
+    let mut cluster = Cluster::builder()
+        .nodes(w.nodes)
+        .seed(SEED)
+        .latency(Constant::from_millis(1))
+        .config(cfg)
+        .build();
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x51ed);
+    let all: Vec<NodeId> = (0..w.nodes as u32).map(NodeId).collect();
+    for g in 0..w.groups {
+        let mut ids = all.clone();
+        ids.shuffle(&mut rng);
+        for (i, node) in ids.into_iter().enumerate() {
+            cluster.set_attr(node, &format!("g{g}"), i < w.group_size);
+        }
+    }
+    cluster.run_to_quiescence();
+    cluster.stats_mut().reset();
+    cluster
+}
+
+/// Rotating 4-way intersections: the planner must choose among four
+/// candidate group trees per query, so probe costs genuinely steer it.
+fn query_text(w: &Workload, i: usize) -> String {
+    let a = i % w.groups;
+    let b = (i + 1) % w.groups;
+    let c = (i + 2) % w.groups;
+    let d = (i + 3) % w.groups;
+    format!(
+        "SELECT count(*) WHERE g{a} = true AND g{b} = true \
+         AND g{c} = true AND g{d} = true"
+    )
+}
+
+fn run(w: &Workload, policy: ProbeCachePolicy) -> RunResult {
+    let mut cluster = build(w, policy);
+    // Warm-up: one round builds and prunes the group trees, so the
+    // measurement below sees the steady state the workload is about —
+    // heavy *repeated* traffic (cold-start costs are identical in both
+    // configurations and measured by the figure binaries instead).
+    for q in 0..w.groups {
+        let origin = NodeId((q % w.fronts) as u32);
+        cluster
+            .query(origin, &query_text(w, q))
+            .expect("workload queries parse");
+    }
+    cluster.stats_mut().reset();
+    // The churn stream is identical across runs (same seed) so answers
+    // must match between cache-off and cache-on.
+    let mut churn_rng = StdRng::seed_from_u64(SEED ^ 0xc8a0);
+    let mut lat = Vec::new();
+    let mut per_query = Vec::new();
+    let mut answers = Vec::new();
+    for round in 0..w.rounds {
+        if round > 0 && round % w.churn_every == 0 {
+            for _ in 0..3 {
+                let node = NodeId(churn_rng.gen_range(0..w.nodes) as u32);
+                let g = churn_rng.gen_range(0..w.groups);
+                let attr = format!("g{g}");
+                let cur = cluster.node(node).store.get(&attr)
+                    == Some(&moara_core::attributes::Value::Bool(true));
+                cluster.set_attr(node, &attr, !cur);
+            }
+            cluster.run_to_quiescence();
+        }
+        for q in 0..w.groups {
+            let origin = NodeId(((round + q) % w.fronts) as u32);
+            let out = cluster
+                .query(origin, &query_text(w, q))
+                .expect("workload queries parse");
+            assert!(out.complete, "round {round} query {q} incomplete");
+            lat.push(out.latency().as_secs_f64() * 1e3);
+            per_query.push(out.messages as f64);
+            answers.push(out.result.to_string());
+        }
+    }
+    let stats = cluster.stats();
+    RunResult {
+        total_messages: stats.total_messages(),
+        probes: stats.counter("size_probes"),
+        cache_hits: stats.counter("probe_cache_hits"),
+        coalesced: stats.counter("probes_coalesced"),
+        batched: stats.counter("batched_fanout"),
+        mean_latency_ms: mean(&lat),
+        mean_query_messages: mean(&per_query),
+        answers,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let w = if smoke {
+        Workload {
+            nodes: 48,
+            groups: 4,
+            group_size: 6,
+            rounds: 6,
+            churn_every: 3,
+            fronts: 2,
+        }
+    } else {
+        Workload {
+            nodes: scaled(256, 1024),
+            groups: 6,
+            group_size: 8,
+            rounds: scaled(25, 100),
+            churn_every: 8,
+            fronts: 4,
+        }
+    };
+    let queries = w.rounds * w.groups;
+    println!(
+        "=== repeated-query workload: {} nodes, {} groups of {}, {queries} composite queries ===",
+        w.nodes, w.groups, w.group_size
+    );
+
+    let off = run(&w, ProbeCachePolicy::Off);
+    let on = run(&w, ProbeCachePolicy::default_cache());
+    assert_eq!(
+        off.answers, on.answers,
+        "probe caching must never change query answers"
+    );
+
+    println!(
+        "{:>14} {:>12} {:>10} {:>10} {:>10} {:>10} {:>14} {:>14}",
+        "probe cache",
+        "total msgs",
+        "probes",
+        "hits",
+        "coalesced",
+        "batched",
+        "msgs/query",
+        "latency (ms)"
+    );
+    for (label, r) in [("off", &off), ("on", &on)] {
+        println!(
+            "{:>14} {:>12} {:>10} {:>10} {:>10} {:>10} {:>14.1} {:>14.2}",
+            label,
+            r.total_messages,
+            r.probes,
+            r.cache_hits,
+            r.coalesced,
+            r.batched,
+            r.mean_query_messages,
+            r.mean_latency_ms
+        );
+    }
+
+    let saved = off.total_messages.saturating_sub(on.total_messages);
+    let saved_pct = 100.0 * saved as f64 / off.total_messages.max(1) as f64;
+    let lat_delta_pct =
+        100.0 * (on.mean_latency_ms - off.mean_latency_ms) / off.mean_latency_ms.max(1e-9);
+    println!(
+        "\nprobe cache saved {saved} messages ({saved_pct:.1}%); \
+         latency {lat_delta_pct:+.1}% vs cache-off"
+    );
+
+    // Executable acceptance gate (run by CI in --smoke mode): ≥30% fewer
+    // total messages and no latency regression.
+    let mut failed = false;
+    if saved_pct < 30.0 {
+        eprintln!("FAIL: expected >=30% message savings, got {saved_pct:.1}%");
+        failed = true;
+    }
+    if on.mean_latency_ms > off.mean_latency_ms * 1.05 {
+        eprintln!(
+            "FAIL: latency regression: {:.2} ms (on) vs {:.2} ms (off)",
+            on.mean_latency_ms, off.mean_latency_ms
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("PASS: >=30% message savings with no latency regression");
+}

@@ -17,6 +17,7 @@
 //! | `fig14_planetlab_cdf` | Fig. 14 | wide-area response CDF per group size |
 //! | `fig15_vs_central` | Fig. 15 | Moara vs centralized aggregator CDF |
 //! | `fig16_bottleneck` | Fig. 16 | per-query latency vs bottleneck link |
+//! | `repeated_query` | — | query-plane scheduler: probe cache on/off under repeated composite traffic (CI runs `--smoke`) |
 //!
 //! Scale: every binary runs a reduced-but-shape-preserving configuration
 //! by default so the whole suite finishes in minutes; set

@@ -388,23 +388,25 @@ impl<T: Transport<MoaraNode>> Cluster<T> {
             .with_node(origin, |n, ctx| n.submit(ctx, query))
     }
 
-    /// Takes the outcome of an asynchronous query if it has completed.
+    /// Takes the outcome of an asynchronous query if it has completed,
+    /// with `messages` filled in from the transport's per-query counters
+    /// — messages are tagged with their [`crate::QueryId`] on the wire,
+    /// so the figure is exact even when queries overlap (a global
+    /// before/after snapshot could not tell them apart).
     pub fn take_outcome(&mut self, origin: NodeId, front_id: u64) -> Option<QueryOutcome> {
-        self.transport.node_mut(origin).take_outcome(front_id)
+        let mut outcome = self.transport.node_mut(origin).take_outcome(front_id)?;
+        outcome.messages = self.transport.stats().messages_for_query(outcome.qid.tag());
+        Some(outcome)
     }
 
     /// Runs a parsed query synchronously: submits it, drives the transport
-    /// to quiescence, and returns the outcome with the system-wide message
-    /// count it caused.
+    /// to quiescence, and returns the outcome with the message count this
+    /// query caused (per-query accounting; maintenance traffic excluded).
     pub fn query_parsed(&mut self, origin: NodeId, query: Query) -> QueryOutcome {
-        let before = self.transport.stats().message_snapshot();
         let fid = self.submit(origin, query);
         self.transport.run_to_quiescence();
-        let mut outcome = self
-            .take_outcome(origin, fid)
-            .expect("query completes under quiescence (front timeout bounds it)");
-        outcome.messages = self.transport.stats().message_snapshot() - before;
-        outcome
+        self.take_outcome(origin, fid)
+            .expect("query completes under quiescence (front timeout bounds it)")
     }
 
     /// Parses and runs a query synchronously (either syntax of

@@ -36,6 +36,49 @@ pub enum GcPolicy {
     KeepMostRecent(usize),
 }
 
+/// Whether (and how) a front-end caches size-probe results across
+/// queries.
+///
+/// The paper's front-end probes every candidate group on every composite
+/// query; under heavy repeated traffic the same groups are probed over
+/// and over. The query-plane scheduler amortizes that round-trip: probe
+/// replies land in a per-front-end cache keyed by predicate, and repeated
+/// composite queries whose candidate costs are all cached skip the probe
+/// phase entirely. Staleness is bounded two ways: a TTL, and a churn
+/// epoch the front-end bumps whenever it observes group change (a local
+/// attribute change, an incoming `Status`, or an overlay reconfiguration)
+/// — bumping the epoch invalidates every cached entry at once. A stale
+/// cost can only make the planner pick a more expensive *valid* cover;
+/// answers stay exact either way.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProbeCachePolicy {
+    /// Probe on every composite query (the paper's evaluated behaviour).
+    Off,
+    /// Cache probe results.
+    Cache {
+        /// How long one cached cost may be served.
+        ttl: SimDuration,
+        /// Maximum cached predicates; the oldest insertion is evicted
+        /// beyond that.
+        capacity: usize,
+    },
+}
+
+impl ProbeCachePolicy {
+    /// The default caching configuration (30 s TTL, 1024 predicates).
+    pub fn default_cache() -> ProbeCachePolicy {
+        ProbeCachePolicy::Cache {
+            ttl: SimDuration::from_secs(30),
+            capacity: 1024,
+        }
+    }
+
+    /// True when caching is enabled.
+    pub fn enabled(&self) -> bool {
+        *self != ProbeCachePolicy::Off
+    }
+}
+
 /// Tunables for a Moara deployment; defaults follow the paper.
 #[derive(Clone, Debug)]
 pub struct MoaraConfig {
@@ -63,6 +106,9 @@ pub struct MoaraConfig {
     /// (Section 6.3). When off, the planner minimizes the number of groups
     /// instead (the "no SP" lines of Figure 13(b)).
     pub use_size_probes: bool,
+    /// Probe-result caching across queries (the query-plane scheduler's
+    /// amortization; irrelevant when `use_size_probes` is off).
+    pub probe_cache: ProbeCachePolicy,
     /// Bits per DHT routing digit (Pastry `b`; FreePastry default 4).
     pub bits_per_digit: u32,
     /// How long answered query ids are remembered for duplicate
@@ -83,6 +129,7 @@ impl Default for MoaraConfig {
             probe_timeout: SimDuration::from_secs(3),
             front_timeout: Some(SimDuration::from_secs(60)),
             use_size_probes: true,
+            probe_cache: ProbeCachePolicy::default_cache(),
             bits_per_digit: 4,
             dedup_ttl: SimDuration::from_secs(300),
             gc: GcPolicy::Never,
@@ -120,6 +167,18 @@ impl MoaraConfig {
         self
     }
 
+    /// Sets the probe-cache policy.
+    pub fn with_probe_cache(mut self, policy: ProbeCachePolicy) -> MoaraConfig {
+        if let ProbeCachePolicy::Cache { ttl, capacity } = policy {
+            assert!(capacity >= 1, "probe cache capacity must be at least 1");
+            // A zero TTL can never satisfy `age < ttl`: the cache would
+            // be "on" yet miss every lookup. Demand Off instead.
+            assert!(ttl.as_micros() > 0, "probe cache ttl must be positive");
+        }
+        self.probe_cache = policy;
+        self
+    }
+
     /// Sets the adaptation windows `(k_UPDATE, k_NO-UPDATE)`.
     pub fn with_adaptation_windows(mut self, k_update: usize, k_no_update: usize) -> MoaraConfig {
         assert!(
@@ -145,6 +204,37 @@ mod tests {
         assert!(c.use_size_probes);
         assert_eq!(c.dedup_ttl, SimDuration::from_secs(300));
         assert_eq!(c.gc, GcPolicy::Never);
+        assert!(c.probe_cache.enabled());
+    }
+
+    #[test]
+    fn probe_cache_builder() {
+        let c = MoaraConfig::default().with_probe_cache(ProbeCachePolicy::Off);
+        assert_eq!(c.probe_cache, ProbeCachePolicy::Off);
+        assert!(!c.probe_cache.enabled());
+        let c = c.with_probe_cache(ProbeCachePolicy::Cache {
+            ttl: SimDuration::from_secs(5),
+            capacity: 16,
+        });
+        assert!(c.probe_cache.enabled());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_probe_cache_capacity_rejected() {
+        let _ = MoaraConfig::default().with_probe_cache(ProbeCachePolicy::Cache {
+            ttl: SimDuration::from_secs(5),
+            capacity: 0,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "ttl must be positive")]
+    fn zero_probe_cache_ttl_rejected() {
+        let _ = MoaraConfig::default().with_probe_cache(ProbeCachePolicy::Cache {
+            ttl: SimDuration::from_micros(0),
+            capacity: 4,
+        });
     }
 
     #[test]

@@ -46,12 +46,14 @@ mod cluster;
 mod config;
 mod msg;
 mod node;
+pub mod sched;
 pub mod state;
 
 pub use cluster::{Cluster, ClusterBuilder, Directory};
-pub use config::{GcPolicy, MoaraConfig, Mode};
+pub use config::{GcPolicy, MoaraConfig, Mode, ProbeCachePolicy};
 pub use msg::{MoaraMsg, PredKey, QueryId, GLOBAL_PRED};
 pub use node::{MoaraNode, QueryOutcome};
+pub use sched::ProbeCache;
 
 // Re-export the commonly combined companion crates so downstream users can
 // depend on `moara-core` alone.

@@ -85,6 +85,10 @@ pub enum MoaraMsg {
     },
     /// Front-end request for a tree's current query-cost estimate.
     SizeProbe {
+        /// The query on whose behalf the probe was issued (per-query
+        /// message accounting; a cached/coalesced reply may end up
+        /// serving other queries too).
+        qid: QueryId,
         /// Predicate tree being probed.
         pred_key: PredKey,
         /// Who to answer.
@@ -92,11 +96,53 @@ pub enum MoaraMsg {
     },
     /// Root's answer to a [`MoaraMsg::SizeProbe`].
     SizeReply {
+        /// Echo of the probe's query id.
+        qid: QueryId,
         /// Probed predicate tree.
         pred_key: PredKey,
         /// Estimated messages to query this tree once (`2 × np`).
         cost: u64,
     },
+    /// Several messages coalesced into one frame because they leave the
+    /// same node toward the same next hop (the scheduler's batched
+    /// fan-out: sub-queries and probes of one composite query often share
+    /// overlay path prefixes). Each item is processed as if it had
+    /// arrived alone; `Route` items are re-grouped — and re-batched — at
+    /// every hop.
+    Batch {
+        /// The coalesced messages, in send order.
+        items: Vec<MoaraMsg>,
+    },
+}
+
+impl MoaraMsg {
+    /// The end-to-end query this message belongs to, if any. `Status` is
+    /// maintenance traffic and belongs to none; a batch has a query only
+    /// when every item agrees on it.
+    pub fn query_id(&self) -> Option<QueryId> {
+        match self {
+            MoaraMsg::Route { inner, .. } => inner.query_id(),
+            MoaraMsg::QueryDown { qid, .. }
+            | MoaraMsg::QueryReply { qid, .. }
+            | MoaraMsg::SizeProbe { qid, .. }
+            | MoaraMsg::SizeReply { qid, .. } => Some(*qid),
+            MoaraMsg::Status { .. } => None,
+            MoaraMsg::Batch { items } => {
+                let mut tags = items.iter().map(MoaraMsg::query_id);
+                let first = tags.next()??;
+                tags.all(|t| t == Some(first)).then_some(first)
+            }
+        }
+    }
+}
+
+impl QueryId {
+    /// Packs the id into the opaque `u64` used for per-query message
+    /// accounting (origin in the high 32 bits, the per-origin counter's
+    /// low 32 bits below — unique until one origin issues 2³² queries).
+    pub fn tag(&self) -> u64 {
+        (u64::from(self.origin.0) << 32) | (self.n & 0xffff_ffff)
+    }
 }
 
 impl Wire for QueryId {
@@ -159,13 +205,29 @@ fn decode_at(buf: &mut &[u8], depth: usize) -> Result<MoaraMsg, WireError> {
             last_seq: Wire::decode(buf)?,
         },
         4 => MoaraMsg::SizeProbe {
+            qid: Wire::decode(buf)?,
             pred_key: Wire::decode(buf)?,
             reply_to: Wire::decode(buf)?,
         },
         5 => MoaraMsg::SizeReply {
+            qid: Wire::decode(buf)?,
             pred_key: Wire::decode(buf)?,
             cost: Wire::decode(buf)?,
         },
+        6 => {
+            // Batches share the Route depth budget: the engine never
+            // nests them, so a deeply nested crafted frame is invalid.
+            if depth >= MAX_ROUTE_DEPTH {
+                return Err(WireError::Invalid("Batch nesting too deep"));
+            }
+            let n = u32::decode(buf)? as usize;
+            // Cap the pre-allocation: `n` is attacker-controlled.
+            let mut items = Vec::with_capacity(n.min(64));
+            for _ in 0..n {
+                items.push(decode_at(buf, depth + 1)?);
+            }
+            MoaraMsg::Batch { items }
+        }
         _ => return Err(WireError::Invalid("MoaraMsg tag")),
     })
 }
@@ -224,15 +286,32 @@ impl Wire for MoaraMsg {
                 np.encode(out);
                 last_seq.encode(out);
             }
-            MoaraMsg::SizeProbe { pred_key, reply_to } => {
+            MoaraMsg::SizeProbe {
+                qid,
+                pred_key,
+                reply_to,
+            } => {
                 out.push(4);
+                qid.encode(out);
                 pred_key.encode(out);
                 reply_to.encode(out);
             }
-            MoaraMsg::SizeReply { pred_key, cost } => {
+            MoaraMsg::SizeReply {
+                qid,
+                pred_key,
+                cost,
+            } => {
                 out.push(5);
+                qid.encode(out);
                 pred_key.encode(out);
                 cost.encode(out);
+            }
+            MoaraMsg::Batch { items } => {
+                out.push(6);
+                (items.len() as u32).encode(out);
+                for item in items {
+                    item.encode(out);
+                }
             }
         }
     }
@@ -287,10 +366,17 @@ impl Wire for MoaraMsg {
                     + np.encoded_len()
                     + last_seq.encoded_len()
             }
-            MoaraMsg::SizeProbe { pred_key, reply_to } => {
-                pred_key.encoded_len() + reply_to.encoded_len()
-            }
-            MoaraMsg::SizeReply { pred_key, cost } => pred_key.encoded_len() + cost.encoded_len(),
+            MoaraMsg::SizeProbe {
+                qid,
+                pred_key,
+                reply_to,
+            } => qid.encoded_len() + pred_key.encoded_len() + reply_to.encoded_len(),
+            MoaraMsg::SizeReply {
+                qid,
+                pred_key,
+                cost,
+            } => qid.encoded_len() + pred_key.encoded_len() + cost.encoded_len(),
+            MoaraMsg::Batch { items } => 4 + items.iter().map(Wire::encoded_len).sum::<usize>(),
         }
     }
 }
@@ -304,6 +390,10 @@ impl Message for MoaraMsg {
     /// actually puts on the socket, byte for byte.
     fn size_bytes(&self) -> usize {
         moara_wire::peer_framed_len(self)
+    }
+
+    fn query_tag(&self) -> Option<u64> {
+        self.query_id().map(|q| q.tag())
     }
 }
 
@@ -354,9 +444,14 @@ mod tests {
 
     #[test]
     fn size_bytes_is_the_exact_framed_wire_size() {
+        let probe_qid = QueryId {
+            origin: NodeId(3),
+            n: 9,
+        };
         let msg = MoaraMsg::Route {
             key: Id(7),
             inner: Box::new(MoaraMsg::SizeProbe {
+                qid: probe_qid,
                 pred_key: "CPU-Util<50".into(),
                 reply_to: NodeId(3),
             }),
@@ -369,6 +464,7 @@ mod tests {
         // Route framing overhead over its payload: tag (1) + key (8), plus
         // the frame header the inner message no longer pays twice.
         let inner = MoaraMsg::SizeProbe {
+            qid: probe_qid,
             pred_key: "CPU-Util<50".into(),
             reply_to: NodeId(3),
         };
@@ -376,9 +472,85 @@ mod tests {
     }
 
     #[test]
+    fn batch_roundtrips_and_tags_uniform_queries_only() {
+        let qid = QueryId {
+            origin: NodeId(2),
+            n: 5,
+        };
+        let other = QueryId {
+            origin: NodeId(2),
+            n: 6,
+        };
+        let probe = |q: QueryId, key: &str| MoaraMsg::Route {
+            key: Id(1),
+            inner: Box::new(MoaraMsg::SizeProbe {
+                qid: q,
+                pred_key: key.into(),
+                reply_to: NodeId(2),
+            }),
+        };
+        let uniform = MoaraMsg::Batch {
+            items: vec![probe(qid, "A=1"), probe(qid, "B=1")],
+        };
+        assert_eq!(MoaraMsg::from_bytes(&uniform.to_bytes()).unwrap(), uniform);
+        assert_eq!(uniform.query_id(), Some(qid));
+        assert_eq!(uniform.query_tag(), Some(qid.tag()));
+
+        // A batch carrying two queries' messages is one wire message and
+        // belongs to neither for per-query accounting.
+        let mixed = MoaraMsg::Batch {
+            items: vec![probe(qid, "A=1"), probe(other, "B=1")],
+        };
+        assert_eq!(MoaraMsg::from_bytes(&mixed.to_bytes()).unwrap(), mixed);
+        assert_eq!(mixed.query_id(), None);
+
+        // Status is maintenance traffic, never query-attributed.
+        let status = MoaraMsg::Status {
+            pred_key: "A=true".into(),
+            pred: moara_query::SimplePredicate::new("A", moara_query::CmpOp::Eq, true),
+            prune: true,
+            update_set: vec![],
+            np: 0,
+            last_seq: 0,
+        };
+        assert_eq!(status.query_id(), None);
+
+        // An empty batch is legal on the wire and unattributed.
+        let empty = MoaraMsg::Batch { items: vec![] };
+        assert_eq!(MoaraMsg::from_bytes(&empty.to_bytes()).unwrap(), empty);
+        assert_eq!(empty.query_id(), None);
+    }
+
+    #[test]
+    fn deeply_nested_batch_is_rejected_not_a_stack_overflow() {
+        let mut evil = Vec::new();
+        for _ in 0..(MAX_ROUTE_DEPTH + 10) {
+            evil.push(6u8); // Batch tag
+            evil.extend_from_slice(&1u32.to_le_bytes()); // one item
+        }
+        assert_eq!(
+            MoaraMsg::from_bytes(&evil),
+            Err(WireError::Invalid("Batch nesting too deep"))
+        );
+    }
+
+    #[test]
+    fn query_id_tag_packs_origin_and_counter() {
+        let q = QueryId {
+            origin: NodeId(7),
+            n: 0x1_0000_0042, // high bits beyond 32 are masked off
+        };
+        assert_eq!(q.tag(), (7u64 << 32) | 0x42);
+    }
+
+    #[test]
     fn deeply_nested_route_is_rejected_not_a_stack_overflow() {
         // Legitimate nesting decodes fine.
         let mut ok = MoaraMsg::SizeReply {
+            qid: QueryId {
+                origin: NodeId(0),
+                n: 0,
+            },
             pred_key: "A=1".into(),
             cost: 1,
         };

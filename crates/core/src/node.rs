@@ -15,18 +15,22 @@ use std::sync::Arc;
 use moara_aggregation::{AggKind, AggResult, AggState, NodeRef};
 use moara_attributes::{AttrStore, Value};
 use moara_dht::Id;
-use moara_query::{choose_cover, Cover, Query, SimplePredicate};
+use moara_query::{Cover, CoverPlan, Query, SimplePredicate};
 use moara_simnet::{NodeId, SimTime, TimerId, TimerTag};
 use moara_transport::{NetCtx, NetProtocol};
 
 use crate::cluster::Directory;
 use crate::config::{GcPolicy, MoaraConfig, Mode};
 use crate::msg::{MoaraMsg, PredKey, QueryId, GLOBAL_PRED};
+use crate::sched::{BatchQueue, QuerySched};
 use crate::state::{ChildInfo, PredState};
 
 /// The final result of a front-end query.
 #[derive(Clone, Debug)]
 pub struct QueryOutcome {
+    /// The end-to-end query id, whose [`QueryId::tag`] keys per-query
+    /// message accounting at the transport.
+    pub qid: QueryId,
     /// The merged aggregate.
     pub result: AggResult,
     /// False if any branch timed out, failed, or a probe went unanswered.
@@ -35,8 +39,11 @@ pub struct QueryOutcome {
     pub issued_at: SimTime,
     /// When the last sub-query reply arrived.
     pub completed_at: SimTime,
-    /// Messages the whole system sent between issue and completion
-    /// (filled in by the cluster harness; 0 when queries overlap).
+    /// Messages attributed to this query: probes, sub-queries, replies,
+    /// and their routing envelopes — maintenance traffic (status updates)
+    /// is accounted separately. Filled in by the cluster harness from the
+    /// transport's per-query counters (correct even when queries
+    /// overlap); 0 until then.
     pub messages: u64,
 }
 
@@ -66,11 +73,15 @@ enum FrontPhase {
     Waiting,
 }
 
-/// An in-flight query at the front-end (originating node).
+/// An in-flight query at the front-end (originating node). Many of these
+/// coexist; the shared [`QuerySched`] coalesces their probes and caches
+/// their costs across queries.
 struct FrontQuery {
     qid: QueryId,
     query: Arc<Query>,
-    cnf: Option<moara_query::Cnf>,
+    /// Candidate covers, derived once at submit (`None` in Global mode or
+    /// on CNF blow-up — the query goes to the global tree).
+    plan: Option<CoverPlan>,
     phase: FrontPhase,
     probes_pending: HashSet<PredKey>,
     costs: HashMap<PredKey, u64>,
@@ -78,6 +89,9 @@ struct FrontQuery {
     acc: AggState,
     complete: bool,
     issued_at: SimTime,
+    /// Cache epoch when the query was accepted; replies are used for the
+    /// lazy cost refresh only while no churn was observed since.
+    epoch: u64,
     timer: Option<(TimerId, TimerTag)>,
 }
 
@@ -101,6 +115,9 @@ pub struct MoaraNode {
     fronts: HashMap<u64, FrontQuery>,
     completed: HashMap<u64, QueryOutcome>,
     timers: HashMap<TimerTag, TimerEvent>,
+    /// The query-plane scheduler: probe-cost cache (with churn epoch) and
+    /// the in-flight probe registry shared by all concurrent fronts.
+    sched: QuerySched,
     next_front: u64,
     next_q: u64,
     next_tag: u64,
@@ -109,6 +126,7 @@ pub struct MoaraNode {
 impl MoaraNode {
     /// Creates a node bound to the shared overlay directory.
     pub fn new(dir: Directory, cfg: MoaraConfig) -> MoaraNode {
+        let sched = QuerySched::new(cfg.probe_cache);
         MoaraNode {
             dir,
             cfg,
@@ -120,10 +138,22 @@ impl MoaraNode {
             fronts: HashMap::new(),
             completed: HashMap::new(),
             timers: HashMap::new(),
+            sched,
             next_front: 0,
             next_q: 0,
             next_tag: 0,
         }
+    }
+
+    /// Number of probe costs currently cached at this front-end
+    /// (tests/inspection).
+    pub fn probe_cache_len(&self) -> usize {
+        self.sched.cache.len()
+    }
+
+    /// The probe cache's churn epoch (tests/inspection).
+    pub fn probe_cache_epoch(&self) -> u64 {
+        self.sched.cache.epoch()
     }
 
     /// Read access to the per-predicate protocol state (tests/inspection).
@@ -213,9 +243,14 @@ impl MoaraNode {
     // ----- front-end ---------------------------------------------------
 
     /// Accepts a query at this node's front-end; returns a handle for
-    /// [`MoaraNode::take_outcome`]. Planning follows Section 6: CNF →
+    /// [`MoaraNode::take_outcome`]. Planning follows Section 6 — CNF →
     /// structural covers → (optional) size probes → min-cost cover →
-    /// parallel sub-queries with duplicate suppression.
+    /// parallel sub-queries with duplicate suppression — scheduled
+    /// through the query plane: probe costs come from the cache when a
+    /// valid entry exists (repeated composite queries skip the probe
+    /// phase entirely), misses coalesce onto probes already in flight for
+    /// overlapping queries, and fan-out sharing a next hop leaves as one
+    /// batched frame.
     pub fn submit(&mut self, ctx: &mut dyn NetCtx<MoaraMsg>, query: Query) -> u64 {
         let front_id = self.next_front;
         self.next_front += 1;
@@ -226,16 +261,20 @@ impl MoaraNode {
         self.next_q += 1;
         let query = Arc::new(query);
 
-        let cnf = if self.cfg.mode == Mode::Global {
+        let plan = if self.cfg.mode == Mode::Global {
             None
         } else {
-            query.predicate.to_cnf().ok()
+            query
+                .predicate
+                .to_cnf()
+                .ok()
+                .map(|cnf| CoverPlan::build(&cnf))
         };
         let kind = query.agg;
         let mut front = FrontQuery {
             qid,
             query: query.clone(),
-            cnf,
+            plan,
             phase: FrontPhase::Waiting,
             probes_pending: HashSet::new(),
             costs: HashMap::new(),
@@ -243,53 +282,98 @@ impl MoaraNode {
             acc: kind.identity(),
             complete: true,
             issued_at: ctx.now(),
+            epoch: self.sched.cache.epoch(),
             timer: None,
         };
 
         // Unsatisfiable predicates are detected structurally (Figure 7's
         // disjointness rules) and answered locally — before any probes.
-        if let Some(cnf) = &front.cnf {
-            if choose_cover(cnf, |_| 1) == Cover::Empty {
-                self.fronts.insert(front_id, front);
-                self.finish_front(ctx, front_id);
-                return front_id;
-            }
+        if front.plan.as_ref().is_some_and(|p| p.empty) {
+            self.fronts.insert(front_id, front);
+            self.finish_front(ctx, front_id);
+            return front_id;
         }
 
-        let needs_probes = match &front.cnf {
-            None => false, // Global mode or CNF blow-up: go global
-            Some(cnf) => {
-                !cnf.is_all()
-                    && self.cfg.use_size_probes
-                    && !(cnf.clauses.len() == 1 && cnf.clauses[0].atoms.len() == 1)
-            }
-        };
+        // Probes are worth the round-trip only when cost information can
+        // change the planner's decision, i.e. the plan has at least two
+        // candidate covers. (This subsumes the old "single clause with a
+        // single atom" special case and additionally skips pure unions,
+        // whose only cover is forced regardless of group sizes.)
+        let needs_probes =
+            self.cfg.use_size_probes && front.plan.as_ref().is_some_and(CoverPlan::needs_costs);
 
         if needs_probes {
             front.phase = FrontPhase::Probing;
-            let cnf = front.cnf.clone().expect("probing implies CNF");
+            let atoms = front
+                .plan
+                .as_ref()
+                .expect("probing implies a plan")
+                .probe_atoms();
             let me = ctx.me();
-            let mut seen = HashSet::new();
-            for clause in &cnf.clauses {
-                for atom in &clause.atoms {
-                    let key = atom.key();
-                    if seen.insert(key.clone()) {
-                        front.probes_pending.insert(key.clone());
-                        self.route(
-                            ctx,
-                            Self::tree_key_for(atom),
-                            MoaraMsg::SizeProbe {
-                                pred_key: key,
-                                reply_to: me,
-                            },
-                        );
+            let now = ctx.now();
+            let mut outbound: Vec<(Id, MoaraMsg)> = Vec::new();
+            for atom in atoms {
+                let key = atom.key();
+                if let Some(cost) = self.sched.cache.lookup(&key, now) {
+                    ctx.count("probe_cache_hits");
+                    front.costs.insert(key, cost);
+                    continue;
+                }
+                if self.sched.cache.enabled() {
+                    ctx.count("probe_cache_misses");
+                }
+                front.probes_pending.insert(key.clone());
+                let epoch = self.sched.cache.epoch();
+                let probe = MoaraMsg::SizeProbe {
+                    qid,
+                    pred_key: key.clone(),
+                    reply_to: me,
+                };
+                use std::collections::hash_map::Entry;
+                match self.sched.waiters.entry(key) {
+                    Entry::Occupied(mut e) => {
+                        let wait = e.get_mut();
+                        wait.fronts.push(front_id);
+                        if now.duration_since(wait.sent_at) >= self.cfg.probe_timeout {
+                            // The in-flight probe has outlived the probe
+                            // timeout: presume its reply lost and re-send,
+                            // otherwise continuous traffic would coalesce
+                            // onto a dead probe forever. The new qid
+                            // supersedes the old probe: a slow reply to
+                            // it can no longer be cached as fresh.
+                            wait.sent_at = now;
+                            wait.epoch = epoch;
+                            wait.probe_qid = qid;
+                            outbound.push((Self::tree_key_for(&atom), probe));
+                            ctx.count("size_probes");
+                        } else {
+                            // Another in-flight query already probed this
+                            // tree; share its reply instead of re-asking.
+                            ctx.count("probes_coalesced");
+                        }
+                    }
+                    Entry::Vacant(e) => {
+                        e.insert(crate::sched::ProbeWait {
+                            fronts: vec![front_id],
+                            sent_at: now,
+                            epoch,
+                            probe_qid: qid,
+                        });
+                        outbound.push((Self::tree_key_for(&atom), probe));
                         ctx.count("size_probes");
                     }
                 }
             }
+            if front.probes_pending.is_empty() {
+                // Every relevant cost was cached: skip the probe phase.
+                self.fronts.insert(front_id, front);
+                self.dispatch_front(ctx, front_id);
+                return front_id;
+            }
             let tag = self.alloc_timer(TimerEvent::Probe(front_id));
             front.timer = Some((ctx.set_timer(self.cfg.probe_timeout, tag), tag));
             self.fronts.insert(front_id, front);
+            self.route_many(ctx, outbound);
         } else {
             self.fronts.insert(front_id, front);
             self.dispatch_front(ctx, front_id);
@@ -309,14 +393,14 @@ impl MoaraNode {
         }
         let front = self.fronts.get_mut(&front_id).expect("front exists");
         let n2 = (self.dir.ring_size() as u64).saturating_mul(2);
-        let cover = match &front.cnf {
+        let cover = match &front.plan {
             None => Cover::All,
-            Some(cnf) => {
+            Some(plan) => {
                 if self.cfg.use_size_probes {
                     let costs = &front.costs;
-                    choose_cover(cnf, |atom| costs.get(&atom.key()).copied().unwrap_or(n2))
+                    plan.choose(|atom| costs.get(&atom.key()).copied().unwrap_or(n2))
                 } else {
-                    choose_cover(cnf, |_| 1)
+                    plan.choose(|_| 1)
                 }
             }
         };
@@ -353,20 +437,23 @@ impl MoaraNode {
             let t = ctx.set_timer(d, tag);
             self.fronts.get_mut(&front_id).expect("front").timer = Some((t, tag));
         }
-        for (pred_key, tree) in subs {
-            self.route(
-                ctx,
-                tree,
-                MoaraMsg::QueryDown {
-                    qid,
-                    seq: 0,
-                    pred_key,
+        let outbound: Vec<(Id, MoaraMsg)> = subs
+            .into_iter()
+            .map(|(pred_key, tree)| {
+                (
                     tree,
-                    query: (*query).clone(),
-                    reply_to: me,
-                },
-            );
-        }
+                    MoaraMsg::QueryDown {
+                        qid,
+                        seq: 0,
+                        pred_key,
+                        tree,
+                        query: (*query).clone(),
+                        reply_to: me,
+                    },
+                )
+            })
+            .collect();
+        self.route_many(ctx, outbound);
     }
 
     fn finish_front(&mut self, ctx: &mut dyn NetCtx<MoaraMsg>, front_id: u64) {
@@ -377,6 +464,7 @@ impl MoaraNode {
             self.drop_timer(ctx, t);
         }
         let outcome = QueryOutcome {
+            qid: front.qid,
             result: front.query.agg.finalize(front.acc),
             complete: front.complete && front.sub_pending.is_empty(),
             issued_at: front.issued_at,
@@ -398,6 +486,24 @@ impl MoaraNode {
                 },
             ),
             None => self.handle_at_root(ctx, key, inner),
+        }
+    }
+
+    /// Routes several messages at once, coalescing those that share a
+    /// next hop into one [`MoaraMsg::Batch`] frame. Called on front-end
+    /// fan-out and again whenever a batch is unpacked at an intermediate
+    /// hop, so shared overlay path prefixes are paid for once.
+    fn route_many(&mut self, ctx: &mut dyn NetCtx<MoaraMsg>, items: Vec<(Id, MoaraMsg)>) {
+        let me = ctx.me();
+        let mut queue = BatchQueue::new();
+        for (key, inner) in items {
+            match self.dir.next_hop_node(me, key) {
+                Some(next) => queue.push_remote(next, key, inner),
+                None => queue.push_local(key, inner),
+            }
+        }
+        for (key, inner) in queue.flush(ctx) {
+            self.handle_at_root(ctx, key, inner);
         }
     }
 
@@ -428,9 +534,20 @@ impl MoaraNode {
                 };
                 self.handle_query_down(ctx, qid, seq, pred_key, tree, query, reply_to);
             }
-            MoaraMsg::SizeProbe { pred_key, reply_to } => {
+            MoaraMsg::SizeProbe {
+                qid,
+                pred_key,
+                reply_to,
+            } => {
                 let cost = self.estimated_query_cost(ctx.me(), &pred_key);
-                ctx.send(reply_to, MoaraMsg::SizeReply { pred_key, cost });
+                ctx.send(
+                    reply_to,
+                    MoaraMsg::SizeReply {
+                        qid,
+                        pred_key,
+                        cost,
+                    },
+                );
             }
             other => {
                 debug_assert!(false, "unexpected routed payload {other:?}");
@@ -516,6 +633,9 @@ impl MoaraNode {
     /// Re-evaluates local satisfaction for every predicate over `attr`
     /// after a local attribute change ("group churn" at this node).
     pub fn on_local_change(&mut self, ctx: &mut dyn NetCtx<MoaraMsg>, attr: &str) {
+        // Local churn is direct evidence that group sizes moved; drop all
+        // cached probe costs so the next composite query re-probes.
+        self.sched.cache.bump_epoch();
         let me = ctx.me();
         let keys: Vec<PredKey> = self
             .states
@@ -537,6 +657,9 @@ impl MoaraNode {
     /// (after joins/failures): drops ex-children, re-introduces state to
     /// new parents (Section 7's reconfiguration handling).
     pub fn reconcile(&mut self, ctx: &mut dyn NetCtx<MoaraMsg>) {
+        // Overlay reconfiguration invalidates cached probe costs: tree
+        // shapes (and thus per-tree query costs) may have changed.
+        self.sched.cache.bump_epoch();
         let me = ctx.me();
         let keys: Vec<PredKey> = self.states.keys().cloned().collect();
         for key in keys {
@@ -788,6 +911,19 @@ impl MoaraNode {
             .find(|(_, f)| f.qid == qid && f.sub_pending.contains(&pred_key))
             .map(|(id, _)| *id);
         if let Some(front_id) = front_id {
+            // Lazy cost refresh (Section 6.3): the root's answer carries
+            // the tree's current NO-PRUNE count, so every query keeps the
+            // probe cache tracking tree convergence for free. Without
+            // this, a cached cold-tree estimate (2×N) would outlive the
+            // very query that built and pruned the tree. Skipped if churn
+            // was observed since the query was accepted — the measurement
+            // might predate the change the epoch bump evicted.
+            let fresh = self.fronts[&front_id].epoch == self.sched.cache.epoch();
+            if fresh && pred_key != GLOBAL_PRED {
+                self.sched
+                    .cache
+                    .insert(pred_key.clone(), np.saturating_mul(2), ctx.now());
+            }
             let front = self.fronts.get_mut(&front_id).expect("front exists");
             front.sub_pending.remove(&pred_key);
             front.complete &= complete;
@@ -813,6 +949,9 @@ impl MoaraNode {
         last_seq: u64,
     ) {
         let me = ctx.me();
+        // Status traffic is churn evidence for exactly this predicate's
+        // tree: drop its cached probe cost, keep the rest.
+        self.sched.cache.invalidate(&pred_key);
         self.ensure_state(me, &pred);
         let st = self.states.get_mut(&pred_key).expect("just ensured");
         st.note_child_status(
@@ -833,22 +972,53 @@ impl MoaraNode {
         self.maybe_gc(ctx.now());
     }
 
-    fn handle_size_reply(&mut self, ctx: &mut dyn NetCtx<MoaraMsg>, pred_key: PredKey, cost: u64) {
-        let front_id = self
-            .fronts
-            .iter()
-            .find(|(_, f)| {
-                matches!(f.phase, FrontPhase::Probing) && f.probes_pending.contains(&pred_key)
-            })
-            .map(|(id, _)| *id);
-        let Some(front_id) = front_id else {
-            return; // late reply after probe timeout
+    /// A probe answer: satisfies *every* front waiting on that key — one
+    /// probe round-trip can unblock several overlapping queries — and
+    /// lands in the probe cache only when its freshness is provable:
+    /// the reply must echo the qid of the *latest* probe send (a slow
+    /// reply to a probe superseded by a re-send may predate churn) and
+    /// no epoch bump may have happened since that send. A superseded
+    /// reply still delivers its cost to waiters (costs only steer cover
+    /// choice) but leaves the `ProbeWait` in place, so the authoritative
+    /// reply behind it can still be cached when it arrives. A reply with
+    /// no `ProbeWait` at all (everyone timed out and forgot the key) is
+    /// dropped: its send epoch is unknown.
+    fn handle_size_reply(
+        &mut self,
+        ctx: &mut dyn NetCtx<MoaraMsg>,
+        qid: QueryId,
+        pred_key: PredKey,
+        cost: u64,
+    ) {
+        let Some(wait) = self.sched.waiters.get_mut(&pred_key) else {
+            return;
         };
-        let front = self.fronts.get_mut(&front_id).expect("front exists");
-        front.probes_pending.remove(&pred_key);
-        front.costs.insert(pred_key, cost);
-        if front.probes_pending.is_empty() {
-            self.dispatch_front(ctx, front_id);
+        let fronts = std::mem::take(&mut wait.fronts);
+        if qid == wait.probe_qid {
+            let epoch_ok = wait.epoch == self.sched.cache.epoch();
+            self.sched.waiters.remove(&pred_key);
+            if epoch_ok {
+                self.sched.cache.insert(pred_key.clone(), cost, ctx.now());
+            }
+        }
+        let mut ready = Vec::new();
+        for fid in fronts {
+            let Some(front) = self.fronts.get_mut(&fid) else {
+                continue; // front finished (e.g. via its overall deadline)
+            };
+            if !matches!(front.phase, FrontPhase::Probing) {
+                continue; // already dispatched on probe timeout
+            }
+            if !front.probes_pending.remove(&pred_key) {
+                continue;
+            }
+            front.costs.insert(pred_key.clone(), cost);
+            if front.probes_pending.is_empty() {
+                ready.push(fid);
+            }
+        }
+        for fid in ready {
+            self.dispatch_front(ctx, fid);
         }
     }
 }
@@ -893,13 +1063,43 @@ impl NetProtocol for MoaraNode {
                 np,
                 last_seq,
             } => self.handle_status(ctx, from, pred_key, pred, prune, update_set, np, last_seq),
-            MoaraMsg::SizeProbe { pred_key, reply_to } => {
+            MoaraMsg::SizeProbe {
+                qid,
+                pred_key,
+                reply_to,
+            } => {
                 // Only roots receive probes (via Route), but handle a
                 // stray direct probe gracefully.
                 let cost = self.estimated_query_cost(ctx.me(), &pred_key);
-                ctx.send(reply_to, MoaraMsg::SizeReply { pred_key, cost });
+                ctx.send(
+                    reply_to,
+                    MoaraMsg::SizeReply {
+                        qid,
+                        pred_key,
+                        cost,
+                    },
+                );
             }
-            MoaraMsg::SizeReply { pred_key, cost } => self.handle_size_reply(ctx, pred_key, cost),
+            MoaraMsg::SizeReply {
+                qid,
+                pred_key,
+                cost,
+            } => {
+                self.handle_size_reply(ctx, qid, pred_key, cost);
+            }
+            MoaraMsg::Batch { items } => {
+                // Unpack: each item behaves as if it had arrived alone.
+                // Route items are collected and re-forwarded together so
+                // they re-coalesce for their next shared hop.
+                let mut routed: Vec<(Id, MoaraMsg)> = Vec::new();
+                for item in items {
+                    match item {
+                        MoaraMsg::Route { key, inner } => routed.push((key, *inner)),
+                        other => self.on_message(ctx, from, other),
+                    }
+                }
+                self.route_many(ctx, routed);
+            }
         }
     }
 
@@ -925,6 +1125,11 @@ impl NetProtocol for MoaraNode {
                     // dispatch path doesn't "cancel" it (the simulator's
                     // cancelled set would keep the id forever).
                     self.fronts.get_mut(&front_id).expect("probing").timer = None;
+                    // Withdraw this front's probe interests: keys whose
+                    // probe now has no waiters are forgotten so the next
+                    // query re-probes instead of coalescing onto a probe
+                    // that may be lost.
+                    self.sched.forget_front(front_id);
                     // Missing costs fall back to worst case in dispatch.
                     self.dispatch_front(ctx, front_id);
                 }

@@ -13,15 +13,29 @@
 //!
 //! `--listen` is the control-plane address (clients and joiners dial it);
 //! the peer plane auto-binds and is exchanged through membership.
+//!
+//! Query-plane scheduler flags (see `docs/query-plane.md`):
+//!
+//! * `--no-probe-cache` — probe group sizes on every composite query
+//!   (the paper's behaviour) instead of caching probe costs;
+//! * `--probe-cache-ttl-ms N` — how long a cached probe cost may be
+//!   served (default 30000);
+//! * `--probe-cache-cap N` — max cached predicates per front-end
+//!   (default 1024);
+//! * `--no-size-probes` — plan composite covers structurally, without
+//!   size probes at all.
 
 use std::net::ToSocketAddrs;
 use std::time::Duration;
 
-use moara_core::MoaraConfig;
+use moara_core::{MoaraConfig, ProbeCachePolicy};
 use moara_daemon::{parse_attrs, Daemon, DaemonOpts};
+use moara_simnet::SimDuration;
 
 const USAGE: &str = "usage: moarad --listen IP:PORT [--join IP:PORT] \
-                     [--attrs k=v,...] [--seed N]";
+                     [--attrs k=v,...] [--seed N] \
+                     [--no-probe-cache] [--probe-cache-ttl-ms N] \
+                     [--probe-cache-cap N] [--no-size-probes]";
 
 fn fail(msg: &str) -> ! {
     eprintln!("moarad: {msg}");
@@ -34,6 +48,14 @@ fn main() {
     let mut join = None;
     let mut attrs = Vec::new();
     let mut seed = 42u64;
+    let mut cfg = MoaraConfig::default();
+    // The TTL/capacity flags only tune the cache; `--no-probe-cache` is
+    // the sole on/off switch, so flag order never matters.
+    let (mut cache_ttl, mut cache_cap) = match cfg.probe_cache {
+        ProbeCachePolicy::Cache { ttl, capacity } => (ttl, capacity),
+        ProbeCachePolicy::Off => (SimDuration::from_secs(30), 1024),
+    };
+    let mut cache_on = cfg.probe_cache.enabled();
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -61,6 +83,25 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| fail("--seed needs an integer"));
             }
+            "--no-probe-cache" => cache_on = false,
+            "--probe-cache-ttl-ms" => {
+                let ms: u64 = val("--probe-cache-ttl-ms")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--probe-cache-ttl-ms needs an integer"));
+                if ms == 0 {
+                    fail("--probe-cache-ttl-ms must be positive (use --no-probe-cache)");
+                }
+                cache_ttl = SimDuration::from_millis(ms);
+            }
+            "--probe-cache-cap" => {
+                cache_cap = val("--probe-cache-cap")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--probe-cache-cap needs an integer"));
+                if cache_cap == 0 {
+                    fail("--probe-cache-cap must be at least 1");
+                }
+            }
+            "--no-size-probes" => cfg.use_size_probes = false,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -69,13 +110,21 @@ fn main() {
         }
     }
     let listen = listen.unwrap_or_else(|| fail("--listen is required"));
+    cfg.probe_cache = if cache_on {
+        ProbeCachePolicy::Cache {
+            ttl: cache_ttl,
+            capacity: cache_cap,
+        }
+    } else {
+        ProbeCachePolicy::Off
+    };
 
     let mut daemon = match Daemon::start(DaemonOpts {
         listen,
         join,
         attrs,
         seed,
-        cfg: MoaraConfig::default(),
+        cfg,
     }) {
         Ok(d) => d,
         Err(e) => {

@@ -108,6 +108,13 @@ impl Message for DaemonMsg {
     fn size_bytes(&self) -> usize {
         moara_wire::peer_framed_len(self)
     }
+
+    fn query_tag(&self) -> Option<u64> {
+        match self {
+            DaemonMsg::Moara(m) => m.query_tag(),
+            DaemonMsg::Membership(_) => None,
+        }
+    }
 }
 
 /// A control-plane request (from `moara-cli` or a joining daemon).
@@ -854,6 +861,10 @@ mod tests {
         let msgs = vec![
             DaemonMsg::Membership(vec![member.clone(), member.clone()]),
             DaemonMsg::Moara(MoaraMsg::SizeReply {
+                qid: moara_core::QueryId {
+                    origin: NodeId(1),
+                    n: 4,
+                },
                 pred_key: "A=1".into(),
                 cost: 12,
             }),

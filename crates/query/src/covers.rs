@@ -71,87 +71,171 @@ pub fn reduce_clause(clause: &Clause) -> Vec<SimplePredicate> {
         .collect()
 }
 
+/// The cost-independent half of cover selection: every candidate cover a
+/// CNF predicate admits, precomputed once.
+///
+/// Splitting the planner this way is the query-plane scheduler's cost
+/// hook: the engine builds the plan a single time per query, reads
+/// [`CoverPlan::probe_atoms`] to learn exactly which groups' costs can
+/// influence the decision (and therefore which size probes are worth
+/// sending or looking up in the probe cache), and then calls
+/// [`CoverPlan::choose`] — repeatedly if costs trickle in — without
+/// re-deriving clauses and resolvents.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CoverPlan {
+    /// Candidate covers: each reduced CNF clause plus every resolvent
+    /// over complementary atom pairs, in derivation order.
+    pub candidates: Vec<Vec<SimplePredicate>>,
+    /// The predicate is structurally unsatisfiable (Figure 7 disjointness
+    /// or a `(B) and (not B)` resolution).
+    pub empty: bool,
+    /// The predicate matches everything; there is nothing to cost.
+    pub all: bool,
+}
+
+impl CoverPlan {
+    /// Derives every candidate cover of `cnf` (reduced clauses plus
+    /// resolvents over complementary atoms) and detects structural
+    /// unsatisfiability — all the planning work that does not depend on
+    /// group costs.
+    pub fn build(cnf: &Cnf) -> CoverPlan {
+        if cnf.is_all() {
+            return CoverPlan {
+                candidates: Vec::new(),
+                empty: false,
+                all: true,
+            };
+        }
+
+        // Unsatisfiability: two conjoined singleton clauses with disjoint
+        // groups can never both hold (Figure 7, row 1 for `and`).
+        let singles: Vec<&SimplePredicate> = cnf
+            .clauses
+            .iter()
+            .filter(|c| c.atoms.len() == 1)
+            .map(|c| &c.atoms[0])
+            .collect();
+        for i in 0..singles.len() {
+            for j in (i + 1)..singles.len() {
+                if matches!(
+                    relate(singles[i], singles[j]),
+                    Relation::Disjoint | Relation::Complementary
+                ) {
+                    return CoverPlan::unsat();
+                }
+            }
+        }
+
+        // Candidate covers: each reduced clause…
+        let mut candidates: Vec<Vec<SimplePredicate>> =
+            cnf.clauses.iter().map(reduce_clause).collect();
+
+        // …plus resolvents over complementary atom pairs across clauses:
+        // (X or B) and (X' or C) with C = not(B) admits the cover X ∪ X'
+        // (any node outside both X and X' would have to satisfy both B and
+        // not(B)). This captures the paper's `not` identities, e.g.
+        // (A or B) and (A or C) = A when C = not(B).
+        let n = cnf.clauses.len();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                for (bi, b) in cnf.clauses[i].atoms.iter().enumerate() {
+                    for (cj, c) in cnf.clauses[j].atoms.iter().enumerate() {
+                        if relate(b, c) != Relation::Complementary {
+                            continue;
+                        }
+                        let mut resolvent: Vec<SimplePredicate> = Vec::new();
+                        for (k, a) in cnf.clauses[i].atoms.iter().enumerate() {
+                            if k != bi {
+                                resolvent.push(a.clone());
+                            }
+                        }
+                        for (k, a) in cnf.clauses[j].atoms.iter().enumerate() {
+                            if k != cj && !resolvent.iter().any(|x| x.key() == a.key()) {
+                                resolvent.push(a.clone());
+                            }
+                        }
+                        if resolvent.is_empty() {
+                            // (B) and (not B): unsatisfiable.
+                            return CoverPlan::unsat();
+                        }
+                        candidates.push(reduce_clause(&Clause { atoms: resolvent }));
+                    }
+                }
+            }
+        }
+
+        CoverPlan {
+            candidates,
+            empty: false,
+            all: false,
+        }
+    }
+
+    fn unsat() -> CoverPlan {
+        CoverPlan {
+            candidates: Vec::new(),
+            empty: true,
+            all: false,
+        }
+    }
+
+    /// Whether cost information can change the outcome of
+    /// [`CoverPlan::choose`]. With zero or one candidate the decision is
+    /// forced, so probing group sizes would be pure overhead.
+    pub fn needs_costs(&self) -> bool {
+        self.candidates.len() > 1
+    }
+
+    /// The distinct atoms appearing in any candidate cover, ordered by
+    /// key — exactly the groups whose cost estimates the scheduler should
+    /// obtain (from its probe cache or by sending size probes).
+    pub fn probe_atoms(&self) -> Vec<SimplePredicate> {
+        let mut by_key: std::collections::BTreeMap<String, &SimplePredicate> =
+            std::collections::BTreeMap::new();
+        for cand in &self.candidates {
+            for atom in cand {
+                by_key.entry(atom.key()).or_insert(atom);
+            }
+        }
+        by_key.into_values().cloned().collect()
+    }
+
+    /// Picks the minimum-cost candidate under `cost` (ties break toward
+    /// the earlier-derived candidate, keeping the choice deterministic).
+    pub fn choose(&self, cost: impl Fn(&SimplePredicate) -> u64) -> Cover {
+        if self.empty {
+            return Cover::Empty;
+        }
+        if self.all {
+            return Cover::All;
+        }
+        let best = self
+            .candidates
+            .iter()
+            .enumerate()
+            .min_by_key(|(idx, groups)| {
+                let total: u64 = groups
+                    .iter()
+                    .fold(0u64, |acc, g| acc.saturating_add(cost(g)));
+                (total, *idx)
+            })
+            .map(|(_, groups)| groups);
+
+        match best {
+            Some(groups) if !groups.is_empty() => Cover::Groups(groups.clone()),
+            _ => Cover::All,
+        }
+    }
+}
+
 /// Selects the minimum-cost cover for a CNF predicate.
 ///
 /// `cost` estimates the messages needed to query one group's tree (the
 /// engine feeds this from size probes; unknown groups should return a
-/// large value such as twice the system size).
+/// large value such as twice the system size). One-shot convenience over
+/// [`CoverPlan::build`] + [`CoverPlan::choose`].
 pub fn choose_cover(cnf: &Cnf, cost: impl Fn(&SimplePredicate) -> u64) -> Cover {
-    if cnf.is_all() {
-        return Cover::All;
-    }
-
-    // Unsatisfiability: two conjoined singleton clauses with disjoint
-    // groups can never both hold (Figure 7, row 1 for `and`).
-    let singles: Vec<&SimplePredicate> = cnf
-        .clauses
-        .iter()
-        .filter(|c| c.atoms.len() == 1)
-        .map(|c| &c.atoms[0])
-        .collect();
-    for i in 0..singles.len() {
-        for j in (i + 1)..singles.len() {
-            if matches!(
-                relate(singles[i], singles[j]),
-                Relation::Disjoint | Relation::Complementary
-            ) {
-                return Cover::Empty;
-            }
-        }
-    }
-
-    // Candidate covers: each reduced clause…
-    let mut candidates: Vec<Vec<SimplePredicate>> = cnf.clauses.iter().map(reduce_clause).collect();
-
-    // …plus resolvents over complementary atom pairs across clauses:
-    // (X or B) and (X' or C) with C = not(B) admits the cover X ∪ X'
-    // (any node outside both X and X' would have to satisfy both B and
-    // not(B)). This captures the paper's `not` identities, e.g.
-    // (A or B) and (A or C) = A when C = not(B).
-    let n = cnf.clauses.len();
-    for i in 0..n {
-        for j in (i + 1)..n {
-            for (bi, b) in cnf.clauses[i].atoms.iter().enumerate() {
-                for (cj, c) in cnf.clauses[j].atoms.iter().enumerate() {
-                    if relate(b, c) != Relation::Complementary {
-                        continue;
-                    }
-                    let mut resolvent: Vec<SimplePredicate> = Vec::new();
-                    for (k, a) in cnf.clauses[i].atoms.iter().enumerate() {
-                        if k != bi {
-                            resolvent.push(a.clone());
-                        }
-                    }
-                    for (k, a) in cnf.clauses[j].atoms.iter().enumerate() {
-                        if k != cj && !resolvent.iter().any(|x| x.key() == a.key()) {
-                            resolvent.push(a.clone());
-                        }
-                    }
-                    if resolvent.is_empty() {
-                        // (B) and (not B): unsatisfiable.
-                        return Cover::Empty;
-                    }
-                    candidates.push(reduce_clause(&Clause { atoms: resolvent }));
-                }
-            }
-        }
-    }
-
-    let best = candidates
-        .into_iter()
-        .enumerate()
-        .min_by_key(|(idx, groups)| {
-            let total: u64 = groups
-                .iter()
-                .fold(0u64, |acc, g| acc.saturating_add(cost(g)));
-            (total, *idx)
-        })
-        .map(|(_, groups)| groups);
-
-    match best {
-        Some(groups) if !groups.is_empty() => Cover::Groups(groups),
-        _ => Cover::All,
-    }
+    CoverPlan::build(cnf).choose(cost)
 }
 
 #[cfg(test)]
@@ -333,5 +417,197 @@ mod tests {
             ],
         };
         assert_eq!(reduce_clause(&clause).len(), 1);
+    }
+
+    #[test]
+    fn plan_exposes_candidates_and_probe_atoms() {
+        // (A and B): two singleton clauses → two candidates; both atoms
+        // can influence the choice, so both should be probed.
+        let p = Predicate::And(vec![flag("A"), flag("B")]);
+        let plan = CoverPlan::build(&p.to_cnf().unwrap());
+        assert!(!plan.empty && !plan.all);
+        assert_eq!(plan.candidates.len(), 2);
+        assert!(plan.needs_costs());
+        let keys: Vec<String> = plan.probe_atoms().iter().map(|a| a.key()).collect();
+        assert_eq!(keys.len(), 2);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "sorted by key");
+
+        // A pure union has exactly one candidate: cost cannot change the
+        // decision, so the scheduler should skip probing entirely.
+        let p = Predicate::Or(vec![flag("A"), flag("B"), flag("C")]);
+        let plan = CoverPlan::build(&p.to_cnf().unwrap());
+        assert_eq!(plan.candidates.len(), 1);
+        assert!(!plan.needs_costs());
+
+        let all = CoverPlan::build(&Predicate::All.to_cnf().unwrap());
+        assert!(all.all && !all.needs_costs());
+        assert!(all.probe_atoms().is_empty());
+        assert_eq!(all.choose(uniform_cost), Cover::All);
+    }
+
+    #[test]
+    fn plan_choose_matches_choose_cover() {
+        let p = Predicate::Or(vec![
+            Predicate::And(vec![
+                Predicate::Or(vec![flag("A"), flag("B")]),
+                Predicate::Or(vec![flag("A"), flag("C")]),
+            ]),
+            flag("D"),
+        ]);
+        let cnf = p.to_cnf().unwrap();
+        let cost = |a: &SimplePredicate| match a.attr.as_str() {
+            "B" => 500,
+            _ => 10,
+        };
+        let plan = CoverPlan::build(&cnf);
+        assert_eq!(plan.choose(cost), choose_cover(&cnf, cost));
+    }
+}
+
+#[cfg(test)]
+mod planner_soundness {
+    //! Property-based soundness of the cover planner: whatever candidate
+    //! the cost function makes it pick, the chosen cover must never miss
+    //! a node that satisfies the composite predicate, and `Cover::Empty`
+    //! may only be returned when brute-force evaluation over every node
+    //! finds no satisfying node at all.
+
+    use proptest::prelude::*;
+
+    use super::*;
+    use crate::ast::{CmpOp, Predicate};
+    use moara_attributes::AttrStore;
+
+    /// One simulated node: two boolean flags and two small integers.
+    #[derive(Clone, Debug)]
+    struct NodeAttrs {
+        a: bool,
+        b: bool,
+        x: i64,
+        y: i64,
+    }
+
+    fn store_of(n: &NodeAttrs) -> AttrStore {
+        let mut s = AttrStore::new();
+        s.set("A", n.a);
+        s.set("B", n.b);
+        s.set("x", n.x);
+        s.set("y", n.y);
+        s
+    }
+
+    fn arb_node() -> impl Strategy<Value = NodeAttrs> {
+        (any::<bool>(), any::<bool>(), 0i64..8, 0i64..8).prop_map(|(a, b, x, y)| NodeAttrs {
+            a,
+            b,
+            x,
+            y,
+        })
+    }
+
+    /// Leaf atoms mixing boolean flags and numeric comparisons, so the
+    /// semantic rules (inclusion, disjointness, complements) all fire.
+    fn arb_atom() -> impl Strategy<Value = Predicate> {
+        prop_oneof![
+            any::<bool>().prop_map(|v| Predicate::atom("A", CmpOp::Eq, v)),
+            any::<bool>().prop_map(|v| Predicate::atom("B", CmpOp::Eq, v)),
+            (0u8..6, 0i64..8).prop_map(|(op, v)| {
+                let op = [
+                    CmpOp::Lt,
+                    CmpOp::Le,
+                    CmpOp::Gt,
+                    CmpOp::Ge,
+                    CmpOp::Eq,
+                    CmpOp::Ne,
+                ][op as usize];
+                Predicate::atom("x", op, v)
+            }),
+            (0i64..8).prop_map(|v| Predicate::atom("y", CmpOp::Lt, v)),
+        ]
+    }
+
+    fn arb_pred() -> impl Strategy<Value = Predicate> {
+        arb_atom().prop_recursive(3, 16, 3, |inner| {
+            prop_oneof![
+                proptest::collection::vec(inner.clone(), 1..4).prop_map(Predicate::And),
+                proptest::collection::vec(inner, 1..4).prop_map(Predicate::Or),
+            ]
+        })
+    }
+
+    /// A deterministic pseudo-random cost per group, so different runs
+    /// exercise different candidate choices.
+    fn salted_cost(salt: u64) -> impl Fn(&SimplePredicate) -> u64 {
+        move |atom: &SimplePredicate| {
+            let mut h = salt ^ 0x9e37_79b9_7f4a_7c15;
+            for byte in atom.key().bytes() {
+                h = h.wrapping_mul(0x100_0000_01b3) ^ u64::from(byte);
+            }
+            1 + (h % 997)
+        }
+    }
+
+    proptest! {
+        /// The chosen cover never misses a satisfying node: every node
+        /// that satisfies the composite predicate also satisfies at least
+        /// one group of the chosen cover, for arbitrary cost functions.
+        #[test]
+        fn chosen_cover_misses_no_satisfying_node(
+            pred in arb_pred(),
+            nodes in proptest::collection::vec(arb_node(), 1..12),
+            salt in any::<u64>(),
+        ) {
+            if let Ok(cnf) = pred.to_cnf() {
+                let cover = choose_cover(&cnf, salted_cost(salt));
+                for node in &nodes {
+                    let store = store_of(node);
+                    if !pred.eval(&store) {
+                        continue;
+                    }
+                    match &cover {
+                        Cover::All => {}
+                        Cover::Empty => prop_assert!(
+                            false,
+                            "Cover::Empty but {node:?} satisfies {pred}"
+                        ),
+                        Cover::Groups(groups) => prop_assert!(
+                            groups.iter().any(|g| g.eval(&store)),
+                            "node {node:?} satisfies {pred} but no group of {groups:?}"
+                        ),
+                    }
+                }
+            }
+        }
+
+        /// `Cover::Empty` is only produced when brute-force evaluation
+        /// over the full attribute grid finds no satisfying assignment.
+        #[test]
+        fn empty_cover_implies_truly_unsatisfiable(pred in arb_pred(), salt in any::<u64>()) {
+            let planner_empty = pred
+                .to_cnf()
+                .map(|cnf| choose_cover(&cnf, salted_cost(salt)) == Cover::Empty)
+                .unwrap_or(false);
+            if planner_empty {
+                // Exhaustive grid over the generator's whole value space
+                // (values land in 0..8; 9 covers the "above every
+                // literal" side of range predicates).
+                for bits in 0..4u8 {
+                    for x in 0..=9i64 {
+                        for y in 0..=9i64 {
+                            let store = store_of(&NodeAttrs {
+                                a: bits & 1 != 0,
+                                b: bits & 2 != 0,
+                                x,
+                                y,
+                            });
+                            prop_assert!(
+                                !pred.eval(&store),
+                                "planner said Empty but {pred} holds at bits={bits} x={x} y={y}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 }

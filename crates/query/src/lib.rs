@@ -53,7 +53,7 @@ pub mod semantic;
 
 pub use ast::{CmpOp, Predicate, Query, SimplePredicate};
 pub use cnf::{Clause, Cnf, CnfError};
-pub use covers::{choose_cover, reduce_clause, Cover};
+pub use covers::{choose_cover, reduce_clause, Cover, CoverPlan};
 pub use error::ParseError;
 pub use parser::{parse_predicate, parse_query};
 pub use semantic::{relate, Relation};

@@ -53,6 +53,17 @@ pub trait Message: Clone + fmt::Debug {
     fn size_bytes(&self) -> usize {
         64
     }
+
+    /// Opaque per-query tag for message attribution, or `None` for
+    /// traffic that belongs to no single query (maintenance, membership).
+    ///
+    /// Transports feed this into [`crate::Stats::record_query_msg`], so a
+    /// harness can read how many messages one end-to-end query caused even
+    /// while other queries are in flight — global before/after snapshots
+    /// cannot tell overlapping queries apart.
+    fn query_tag(&self) -> Option<u64> {
+        None
+    }
 }
 
 impl Message for () {}
@@ -194,6 +205,9 @@ impl<M: Message> Context<'_, M> {
     pub fn send(&mut self, to: NodeId, msg: M) {
         let bytes = msg.size_bytes();
         self.core.stats.record_send(self.me, bytes);
+        if let Some(tag) = msg.query_tag() {
+            self.core.stats.record_query_msg(tag);
+        }
         if !self.core.alive.get(to.index()).copied().unwrap_or(false) {
             self.core.stats.record_drop();
             self.core.undeliverable.push((self.me, to));
@@ -366,9 +380,9 @@ impl<P: Protocol> Simulator<P> {
                 self.with_node(id, |n, ctx| n.on_message(ctx, from, msg));
             }
             EventKind::Timer { id: tid, tag } => {
-                if self.core.cancelled.remove(&tid.0) {
-                    return;
-                }
+                // Cancelled timers never reach here: both run loops purge
+                // them (without advancing the clock) before dispatching.
+                debug_assert!(!self.core.cancelled.contains(&tid.0), "unpurged timer");
                 self.with_node(id, |n, ctx| n.on_timer(ctx, tag));
             }
         }
@@ -388,11 +402,26 @@ impl<P: Protocol> Simulator<P> {
         self.core.now
     }
 
+    /// True when `ev` is a cancelled timer, consuming its cancellation
+    /// mark. Cancelled timers are purged *without advancing the clock*:
+    /// letting them drag `now` forward used to make every synchronous
+    /// query inflate virtual time by its (cancelled) front-end deadline,
+    /// expiring every TTL in the system between consecutive queries.
+    fn purge_if_cancelled(&mut self, ev: &Event<P::Msg>) -> bool {
+        match ev.kind {
+            EventKind::Timer { id: tid, .. } => self.core.cancelled.remove(&tid.0),
+            EventKind::Deliver { .. } => false,
+        }
+    }
+
     /// Processes at most `budget` events; returns true if the queue drained.
     pub fn run_events(&mut self, budget: u64) -> bool {
         for _ in 0..budget {
             match self.core.queue.pop() {
                 Some(Reverse(ev)) => {
+                    if self.purge_if_cancelled(&ev) {
+                        continue;
+                    }
                     debug_assert!(ev.time >= self.core.now, "time went backwards");
                     self.core.now = ev.time;
                     self.dispatch(ev);
@@ -413,6 +442,9 @@ impl<P: Protocol> Simulator<P> {
                 break;
             }
             let Reverse(ev) = self.core.queue.pop().expect("peeked");
+            if self.purge_if_cancelled(&ev) {
+                continue;
+            }
             self.core.now = ev.time;
             self.dispatch(ev);
         }

@@ -4,9 +4,14 @@
 //! per node"; [`Stats`] keeps exactly that, plus byte counts and free-form
 //! named counters for experiment-specific events (e.g. size probes).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use crate::sim::NodeId;
+
+/// How many distinct query tags [`Stats`] keeps per-query counts for.
+/// Oldest tags are dropped beyond this, bounding memory in run-forever
+/// deployments where the per-query view is only read by harnesses.
+pub const QUERY_TAG_CAP: usize = 8192;
 
 /// Message/byte accounting for a simulation run.
 #[derive(Clone, Debug, Default)]
@@ -17,6 +22,8 @@ pub struct Stats {
     recv_bytes: Vec<u64>,
     dropped: u64,
     counters: HashMap<&'static str, u64>,
+    per_query: HashMap<u64, u64>,
+    query_order: VecDeque<u64>,
 }
 
 impl Stats {
@@ -54,6 +61,32 @@ impl Stats {
     /// Adds `by` to the named experiment counter.
     pub fn bump(&mut self, name: &'static str, by: u64) {
         *self.counters.entry(name).or_insert(0) += by;
+    }
+
+    /// Accounts one sent message attributed to the query with `tag`
+    /// (see `Message::query_tag`). Keeps at most [`QUERY_TAG_CAP`]
+    /// distinct tags, evicting the oldest.
+    pub fn record_query_msg(&mut self, tag: u64) {
+        use std::collections::hash_map::Entry;
+        match self.per_query.entry(tag) {
+            Entry::Occupied(mut e) => *e.get_mut() += 1,
+            Entry::Vacant(e) => {
+                e.insert(1);
+                self.query_order.push_back(tag);
+                if self.query_order.len() > QUERY_TAG_CAP {
+                    if let Some(old) = self.query_order.pop_front() {
+                        self.per_query.remove(&old);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Messages attributed to the query with `tag` (0 if unknown or
+    /// evicted). This is per-query accounting that stays correct when
+    /// queries overlap, unlike a global before/after message snapshot.
+    pub fn messages_for_query(&self, tag: u64) -> u64 {
+        self.per_query.get(&tag).copied().unwrap_or(0)
     }
 
     /// Total messages sent across all nodes.
@@ -118,11 +151,8 @@ impl Stats {
         }
         self.dropped = 0;
         self.counters.clear();
-    }
-
-    /// Snapshot of total messages, for measuring deltas around an operation.
-    pub fn message_snapshot(&self) -> u64 {
-        self.total_messages()
+        self.per_query.clear();
+        self.query_order.clear();
     }
 }
 
@@ -163,5 +193,29 @@ mod tests {
         let s = Stats::default();
         assert_eq!(s.sent_by(NodeId(99)), 0);
         assert_eq!(s.received_by(NodeId(99)), 0);
+    }
+
+    #[test]
+    fn per_query_accounting_is_independent_per_tag() {
+        let mut s = Stats::default();
+        s.record_query_msg(1);
+        s.record_query_msg(1);
+        s.record_query_msg(2);
+        assert_eq!(s.messages_for_query(1), 2);
+        assert_eq!(s.messages_for_query(2), 1);
+        assert_eq!(s.messages_for_query(3), 0);
+        s.reset();
+        assert_eq!(s.messages_for_query(1), 0);
+    }
+
+    #[test]
+    fn per_query_tags_are_bounded() {
+        let mut s = Stats::default();
+        for tag in 0..(QUERY_TAG_CAP as u64 + 10) {
+            s.record_query_msg(tag);
+        }
+        // The oldest tags fell off; the newest survive.
+        assert_eq!(s.messages_for_query(0), 0);
+        assert_eq!(s.messages_for_query(QUERY_TAG_CAP as u64 + 9), 1);
     }
 }

@@ -176,6 +176,9 @@ impl<M: Message + Wire> TcpCore<M> {
         msg.encode(&mut payload);
         let framed = payload.len() + FRAME_HDR;
         self.stats.record_send(from, framed);
+        if let Some(tag) = msg.query_tag() {
+            self.stats.record_query_msg(tag);
+        }
         if !self.is_alive(to.0) {
             self.stats.record_drop();
             self.undeliverable.push((from, to));

@@ -53,7 +53,7 @@ pub use moara_wire as wire;
 
 pub use moara_aggregation::{AggKind, AggResult};
 pub use moara_attributes::{AttrStore, Value};
-pub use moara_core::{Cluster, MoaraConfig, Mode, QueryOutcome};
+pub use moara_core::{Cluster, MoaraConfig, Mode, ProbeCachePolicy, QueryOutcome};
 pub use moara_query::{parse_predicate, parse_query, Predicate, Query, SimplePredicate};
 pub use moara_simnet::NodeId;
 pub use moara_transport::{NetCtx, NetProtocol, SimTransport, TcpTransport, Transport};

@@ -1,0 +1,251 @@
+//! The adaptive query-plane scheduler end to end: per-query message
+//! accounting under overlapping queries, probe-cost caching with
+//! churn-driven invalidation, probe coalescing across concurrent
+//! queries, and batched fan-out.
+
+use moara::{AggResult, Cluster, MoaraConfig, NodeId, ProbeCachePolicy, Value};
+
+fn count_of(out: &moara::QueryOutcome) -> i64 {
+    match &out.result {
+        AggResult::Value(Value::Int(x)) => *x,
+        AggResult::Empty => 0,
+        other => panic!("unexpected result {other:?}"),
+    }
+}
+
+/// 60 nodes with three overlapping boolean groups.
+fn testbed(cfg: MoaraConfig, seed: u64) -> Cluster {
+    let mut c = Cluster::builder().nodes(60).seed(seed).config(cfg).build();
+    for i in 0..60u32 {
+        let node = NodeId(i);
+        c.set_attr(node, "a", i % 2 == 0); // 30 nodes
+        c.set_attr(node, "b", i % 3 == 0); // 20 nodes
+        c.set_attr(node, "c", i % 5 == 0); // 12 nodes
+    }
+    c.run_to_quiescence();
+    c.stats_mut().reset();
+    c
+}
+
+/// Regression for the old harness accounting: `QueryOutcome::messages`
+/// came from a global before/after snapshot, so overlapping queries read
+/// 0 (async path) or each other's traffic (sync path). Messages are now
+/// tagged with their `QueryId` at the transport, so every outcome reports
+/// its own traffic even when queries run concurrently.
+#[test]
+fn overlapping_queries_account_messages_separately() {
+    let mut c = testbed(MoaraConfig::default(), 21);
+    // Three queries in flight at once, from three different front-ends.
+    let fa = c.submit(
+        NodeId(0),
+        moara::parse_query("SELECT count(*) WHERE a = true").unwrap(),
+    );
+    let fb = c.submit(
+        NodeId(1),
+        moara::parse_query("SELECT count(*) WHERE b = true").unwrap(),
+    );
+    let fc = c.submit(
+        NodeId(2),
+        moara::parse_query("SELECT count(*) WHERE c = true").unwrap(),
+    );
+    c.run_to_quiescence();
+
+    let a = c.take_outcome(NodeId(0), fa).expect("a finished");
+    let b = c.take_outcome(NodeId(1), fb).expect("b finished");
+    let cc = c.take_outcome(NodeId(2), fc).expect("c finished");
+    assert!(a.complete && b.complete && cc.complete);
+    assert_eq!(count_of(&a), 30);
+    assert_eq!(count_of(&b), 20);
+    assert_eq!(count_of(&cc), 12);
+
+    // Every overlapping query reports its own (non-zero) traffic…
+    for (name, out) in [("a", &a), ("b", &b), ("c", &cc)] {
+        assert!(out.messages > 0, "query {name} reported 0 messages");
+    }
+    // …and the per-query figures are a decomposition of (a subset of)
+    // the system total, not copies of it.
+    let tagged = a.messages + b.messages + cc.messages;
+    let total = c.stats().total_messages();
+    assert!(
+        tagged <= total,
+        "tagged {tagged} must not exceed total {total}"
+    );
+    for out in [&a, &b, &cc] {
+        assert!(out.messages < total, "one query charged the whole system");
+    }
+}
+
+#[test]
+fn repeated_composite_query_skips_probe_phase() {
+    let mut c = testbed(MoaraConfig::default(), 22);
+    let q = "SELECT count(*) WHERE a = true AND c = true";
+    // First query must probe (two candidate covers, no cache).
+    let first = c.query(NodeId(0), q).unwrap();
+    assert_eq!(count_of(&first), 6); // multiples of 10
+    assert!(c.stats().counter("size_probes") > 0);
+    // Let pruning/statuses settle, then measure a steady-state repeat.
+    let _ = c.query(NodeId(0), q).unwrap();
+    let probes_before = c.stats().counter("size_probes");
+    let repeat = c.query(NodeId(0), q).unwrap();
+    assert_eq!(count_of(&repeat), 6);
+    assert_eq!(
+        c.stats().counter("size_probes"),
+        probes_before,
+        "a warm repeat must not send probes"
+    );
+    assert!(c.stats().counter("probe_cache_hits") > 0);
+    assert!(
+        repeat.messages < first.messages,
+        "cached repeat ({}) should cost less than the cold query ({})",
+        repeat.messages,
+        first.messages
+    );
+}
+
+#[test]
+fn probe_cache_off_reprobes_every_query() {
+    let cfg = MoaraConfig::default().with_probe_cache(ProbeCachePolicy::Off);
+    let mut c = testbed(cfg, 23);
+    let q = "SELECT count(*) WHERE a = true AND c = true";
+    let _ = c.query(NodeId(0), q).unwrap();
+    let probes_before = c.stats().counter("size_probes");
+    let _ = c.query(NodeId(0), q).unwrap();
+    assert!(
+        c.stats().counter("size_probes") > probes_before,
+        "with the cache off every composite query re-probes"
+    );
+    assert_eq!(c.stats().counter("probe_cache_hits"), 0);
+}
+
+#[test]
+fn local_churn_invalidates_the_probe_cache() {
+    let mut c = testbed(MoaraConfig::default(), 24);
+    let q = "SELECT count(*) WHERE a = true AND c = true";
+    let _ = c.query(NodeId(0), q).unwrap();
+    let _ = c.query(NodeId(0), q).unwrap();
+    let probes_before = c.stats().counter("size_probes");
+    let epoch_before = c.node(NodeId(0)).probe_cache_epoch();
+    // Node 0 (the front-end) leaves group `a`: direct churn evidence.
+    c.set_attr(NodeId(0), "a", false);
+    c.run_to_quiescence();
+    assert!(
+        c.node(NodeId(0)).probe_cache_epoch() > epoch_before,
+        "local churn must bump the cache epoch"
+    );
+    let out = c.query(NodeId(0), q).unwrap();
+    assert!(
+        c.stats().counter("size_probes") > probes_before,
+        "the query after churn must re-probe"
+    );
+    assert_eq!(count_of(&out), 5, "node 0 left the intersection");
+}
+
+#[test]
+fn concurrent_identical_queries_share_one_probe() {
+    let mut c = testbed(MoaraConfig::default(), 25);
+    let parse = |t: &str| moara::parse_query(t).unwrap();
+    let q = "SELECT count(*) WHERE a = true AND c = true";
+    // Submit twice back-to-back from one front-end: the second query's
+    // probes coalesce onto the first's in-flight ones.
+    let f1 = c.submit(NodeId(3), parse(q));
+    let f2 = c.submit(NodeId(3), parse(q));
+    c.run_to_quiescence();
+    let o1 = c.take_outcome(NodeId(3), f1).expect("first finished");
+    let o2 = c.take_outcome(NodeId(3), f2).expect("second finished");
+    assert_eq!(count_of(&o1), 6);
+    assert_eq!(count_of(&o2), 6);
+    assert!(
+        c.stats().counter("probes_coalesced") > 0,
+        "the second query should piggyback on in-flight probes"
+    );
+}
+
+#[test]
+fn union_fanout_batches_and_stays_exact() {
+    // Unions have a single forced cover (no probes — the plan has one
+    // candidate), so the fan-out to all group trees leaves immediately
+    // and same-next-hop sub-queries share frames. Eight group trees from
+    // one front-end guarantee shared first hops on a 60-node overlay.
+    let mut c = Cluster::builder().nodes(60).seed(26).build();
+    for i in 0..60u32 {
+        for g in 0..8u32 {
+            c.set_attr(NodeId(i), &format!("g{g}"), i % 8 == g);
+        }
+    }
+    c.run_to_quiescence();
+    c.stats_mut().reset();
+    let union: Vec<String> = (0..8).map(|g| format!("g{g} = true")).collect();
+    let out = c
+        .query(
+            NodeId(0),
+            &format!("SELECT count(*) WHERE {}", union.join(" OR ")),
+        )
+        .unwrap();
+    assert_eq!(count_of(&out), 60, "the eight groups partition all nodes");
+    assert_eq!(
+        c.stats().counter("size_probes"),
+        0,
+        "a pure union has one candidate cover; probing it is waste"
+    );
+    assert!(
+        c.stats().counter("batched_fanout") > 0,
+        "eight sub-queries from one front should share at least one hop"
+    );
+}
+
+/// Regression: a probe whose reply never comes must not absorb all later
+/// traffic. Once the in-flight probe is older than the probe timeout,
+/// the next query re-sends it instead of coalescing forever.
+#[test]
+fn aged_probe_is_resent_instead_of_coalesced_forever() {
+    use moara::simnet::{latency::Constant, SimDuration};
+    // One-way latency far above the 3s probe timeout stands in for a
+    // lost reply: no probe can be answered before the waiters time out.
+    let mut c = Cluster::builder()
+        .nodes(16)
+        .seed(28)
+        .latency(Constant::from_millis(10_000))
+        .build();
+    for i in 0..16u32 {
+        c.set_attr(NodeId(i), "a", i % 2 == 0);
+        c.set_attr(NodeId(i), "c", i % 4 == 0);
+    }
+    c.run_to_quiescence();
+    c.stats_mut().reset();
+
+    let parse = |t: &str| moara::parse_query(t).unwrap();
+    let q = "SELECT count(*) WHERE a = true AND c = true";
+    let _f1 = c.submit(NodeId(0), parse(q));
+    let probes_first = c.stats().counter("size_probes");
+    assert!(probes_first > 0);
+
+    // One second in: the probe is still believed in flight → coalesce.
+    c.run_for(SimDuration::from_secs(1));
+    let _f2 = c.submit(NodeId(0), parse(q));
+    assert_eq!(c.stats().counter("size_probes"), probes_first);
+    assert!(c.stats().counter("probes_coalesced") > 0);
+
+    // 3.5 seconds in: the first front has timed out, the second still
+    // waits, and the probe has aged past the probe timeout — the next
+    // query must re-send rather than piggyback on a dead probe.
+    c.run_for(SimDuration::from_millis(2_500));
+    let _f3 = c.submit(NodeId(0), parse(q));
+    assert!(
+        c.stats().counter("size_probes") > probes_first,
+        "an aged in-flight probe must be re-sent"
+    );
+    c.run_to_quiescence();
+}
+
+#[test]
+fn global_and_single_group_queries_bypass_the_scheduler() {
+    let mut c = testbed(MoaraConfig::default(), 27);
+    let g = c.query(NodeId(0), "SELECT count(*)").unwrap();
+    assert_eq!(count_of(&g), 60);
+    let s = c
+        .query(NodeId(0), "SELECT count(*) WHERE b = true")
+        .unwrap();
+    assert_eq!(count_of(&s), 20);
+    assert_eq!(c.stats().counter("size_probes"), 0);
+    assert_eq!(c.stats().counter("probe_cache_hits"), 0);
+}

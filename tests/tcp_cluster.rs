@@ -47,6 +47,61 @@ fn three_node_cluster_over_real_sockets_answers_the_quickstart_query() {
     assert_eq!(out.result, AggResult::Value(Value::Int(2)));
 }
 
+/// Probe-cache invalidation over the TCP loopback transport: two
+/// identical composite queries share cached probe costs; a group
+/// membership change at the front-end between queries bumps the churn
+/// epoch, so the next query re-probes and returns the updated count.
+#[test]
+fn tcp_loopback_probe_cache_invalidation_reprobes_after_churn() {
+    // Deterministic loopback mode: same codec and framing as sockets,
+    // virtual clock, no real I/O — so probe counters are exact.
+    let mut c = Cluster::builder()
+        .nodes(16)
+        .seed(31)
+        .build_tcp(TcpConfig::loopback(31));
+    for i in 0..16u32 {
+        c.set_attr(NodeId(i), "a", i % 2 == 0); // 8 nodes, includes 0
+        c.set_attr(NodeId(i), "c", i % 4 == 0); // 4 nodes, includes 0
+    }
+    c.run_to_quiescence();
+    c.stats_mut().reset();
+
+    let q = "SELECT count(*) WHERE a = true AND c = true";
+    let first = c.query(NodeId(0), q).unwrap();
+    assert!(first.complete);
+    assert_eq!(first.result, AggResult::Value(Value::Int(4)));
+    assert!(c.stats().counter("size_probes") > 0, "cold query probes");
+
+    // Identical repeat: costs come from the probe cache.
+    let probes_after_first = c.stats().counter("size_probes");
+    let second = c.query(NodeId(0), q).unwrap();
+    assert_eq!(second.result, AggResult::Value(Value::Int(4)));
+    assert_eq!(
+        c.stats().counter("size_probes"),
+        probes_after_first,
+        "warm repeat must not re-probe"
+    );
+    assert!(c.stats().counter("probe_cache_hits") > 0);
+
+    // Group churn at the front-end: node 0 leaves `a` (and thus the
+    // intersection). The epoch bump evicts the stale costs.
+    let epoch_before = c.node(NodeId(0)).probe_cache_epoch();
+    c.set_attr(NodeId(0), "a", false);
+    c.run_to_quiescence();
+    assert!(c.node(NodeId(0)).probe_cache_epoch() > epoch_before);
+
+    let third = c.query(NodeId(0), q).unwrap();
+    assert!(
+        c.stats().counter("size_probes") > probes_after_first,
+        "the query after churn must re-probe"
+    );
+    assert_eq!(
+        third.result,
+        AggResult::Value(Value::Int(3)),
+        "the updated membership must be reflected"
+    );
+}
+
 #[test]
 fn tcp_cluster_handles_other_aggregates_and_composites() {
     let mut c = Cluster::builder()

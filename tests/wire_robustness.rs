@@ -1,0 +1,186 @@
+//! Adversarial decoding: frames arrive from untrusted peer sockets, so
+//! every [`MoaraMsg`] decoder must reject — never panic, hang, or
+//! over-allocate on — truncated or corrupted input.
+//!
+//! Two systematic sweeps over every message variant (including `Route`
+//! nesting and `Batch` coalescing):
+//!
+//! * **truncation** — every strict prefix of a valid encoding must return
+//!   `Err` (a prefix can never be a complete message, because decoding is
+//!   deterministic and `from_bytes` rejects trailing bytes);
+//! * **bit flips** — flipping any single bit must either decode to some
+//!   valid message (whose canonical re-encoding round-trips) or return
+//!   `Err`; it must never panic or loop.
+
+use moara::aggregation::{AggKind, AggState};
+use moara::core::{MoaraMsg, QueryId};
+use moara::dht::Id;
+use moara::query::{CmpOp, Predicate, Query, SimplePredicate};
+use moara::simnet::NodeId;
+use moara_wire::Wire;
+
+fn qid(origin: u32, n: u64) -> QueryId {
+    QueryId {
+        origin: NodeId(origin),
+        n,
+    }
+}
+
+/// One exemplar per variant, plus nesting/coalescing shapes.
+fn samples() -> Vec<MoaraMsg> {
+    let query = Query::new(
+        Some("CPU-Util".into()),
+        AggKind::Avg,
+        Predicate::And(vec![
+            Predicate::atom("ServiceX", CmpOp::Eq, true),
+            Predicate::Or(vec![
+                Predicate::atom("CPU-Util", CmpOp::Lt, 50i64),
+                Predicate::atom("OS", CmpOp::Ne, "Linux"),
+            ]),
+        ]),
+    );
+    let down = MoaraMsg::QueryDown {
+        qid: qid(3, 17),
+        seq: 9,
+        pred_key: "ServiceX=true".into(),
+        tree: Id::of_attribute("ServiceX"),
+        query,
+        reply_to: NodeId(12),
+    };
+    let probe = MoaraMsg::SizeProbe {
+        qid: qid(1, 2),
+        pred_key: "CPU-Util<50".into(),
+        reply_to: NodeId(1),
+    };
+    let routed_probe = MoaraMsg::Route {
+        key: Id::of_attribute("CPU-Util"),
+        inner: Box::new(probe.clone()),
+    };
+    vec![
+        down.clone(),
+        MoaraMsg::QueryReply {
+            qid: qid(3, 17),
+            pred_key: "ServiceX=true".into(),
+            state: AggState::Avg {
+                sum: 12.5,
+                count: 4,
+            },
+            np: 7,
+            complete: true,
+        },
+        MoaraMsg::Status {
+            pred_key: "ServiceX=true".into(),
+            pred: SimplePredicate::new("ServiceX", CmpOp::Eq, true),
+            prune: false,
+            update_set: (0..5).map(NodeId).collect(),
+            np: 5,
+            last_seq: 3,
+        },
+        probe,
+        MoaraMsg::SizeReply {
+            qid: qid(1, 2),
+            pred_key: "CPU-Util<50".into(),
+            cost: 64,
+        },
+        routed_probe.clone(),
+        // Route-in-route: a probe relayed across two overlay hops.
+        MoaraMsg::Route {
+            key: Id(42),
+            inner: Box::new(routed_probe.clone()),
+        },
+        // A coalesced fan-out frame wrapping routed messages.
+        MoaraMsg::Batch {
+            items: vec![
+                routed_probe,
+                MoaraMsg::Route {
+                    key: Id(9),
+                    inner: Box::new(down),
+                },
+            ],
+        },
+    ]
+}
+
+#[test]
+fn every_truncation_of_every_variant_errors() {
+    for msg in samples() {
+        let bytes = msg.to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                MoaraMsg::from_bytes(&bytes[..cut]).is_err(),
+                "decoding a {cut}-byte prefix of {msg:?} should fail"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_single_bit_flip_decodes_cleanly_or_errors() {
+    for msg in samples() {
+        let bytes = msg.to_bytes();
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut corrupt = bytes.clone();
+                corrupt[i] ^= 1 << bit;
+                // Must not panic, recurse unboundedly, or over-allocate.
+                if let Ok(decoded) = MoaraMsg::from_bytes(&corrupt) {
+                    // If corruption happens to decode, it must be a valid
+                    // message in its own right: canonical round-trip.
+                    let re = decoded.to_bytes();
+                    assert_eq!(
+                        MoaraMsg::from_bytes(&re).as_ref(),
+                        Ok(&decoded),
+                        "re-encoding of bit-flipped decode must round-trip"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn random_garbage_never_panics() {
+    // Deterministic LCG byte soup, various lengths.
+    let mut x: u64 = 0x2545_f491_4f6c_dd1d;
+    for len in [0usize, 1, 2, 7, 16, 64, 257, 1024] {
+        for _ in 0..64 {
+            let mut buf = Vec::with_capacity(len);
+            for _ in 0..len {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                buf.push((x >> 33) as u8);
+            }
+            let _ = MoaraMsg::from_bytes(&buf); // must simply not panic
+        }
+    }
+}
+
+#[test]
+fn huge_claimed_collection_lengths_error_without_allocating() {
+    // A Status frame whose update_set claims u32::MAX entries: decode
+    // must fail on exhaustion, not try to reserve gigabytes up front.
+    let valid = MoaraMsg::Status {
+        pred_key: "A=1".into(),
+        pred: SimplePredicate::new("A", CmpOp::Eq, 1i64),
+        prune: false,
+        update_set: vec![NodeId(1)],
+        np: 1,
+        last_seq: 0,
+    };
+    let bytes = valid.to_bytes();
+    // The update_set length prefix sits right after tag + pred_key +
+    // pred + prune; inflate it.
+    let pred_key: String = "A=1".into();
+    let pred = SimplePredicate::new("A", CmpOp::Eq, 1i64);
+    let pos = 1 + pred_key.encoded_len() + pred.encoded_len() + 1;
+    assert_eq!(bytes[pos..pos + 4], 1u32.to_le_bytes(), "prefix located");
+    let mut evil = bytes.clone();
+    evil[pos..pos + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(MoaraMsg::from_bytes(&evil).is_err());
+
+    // Same for a Batch frame claiming u32::MAX items.
+    let mut evil = vec![6u8];
+    evil.extend_from_slice(&u32::MAX.to_le_bytes());
+    assert!(MoaraMsg::from_bytes(&evil).is_err());
+}

@@ -137,18 +137,54 @@ fn status_roundtrips() {
 #[test]
 fn size_probe_and_reply_roundtrip() {
     roundtrip(&MoaraMsg::SizeProbe {
+        qid: qid(2, 7),
         pred_key: "ServiceX=true".into(),
         reply_to: NodeId(2),
     });
     roundtrip(&MoaraMsg::SizeReply {
+        qid: qid(2, 7),
         pred_key: "ServiceX=true".into(),
         cost: 64,
     });
 }
 
 #[test]
+fn batch_roundtrips() {
+    let route_probe = |key: &str| MoaraMsg::Route {
+        key: Id::of_attribute(key),
+        inner: Box::new(MoaraMsg::SizeProbe {
+            qid: qid(4, 2),
+            pred_key: format!("{key}=true"),
+            reply_to: NodeId(4),
+        }),
+    };
+    roundtrip(&MoaraMsg::Batch { items: vec![] });
+    let batch = MoaraMsg::Batch {
+        items: vec![
+            route_probe("ServiceX"),
+            route_probe("Apache"),
+            MoaraMsg::Route {
+                key: Id(3),
+                inner: Box::new(MoaraMsg::QueryDown {
+                    qid: qid(4, 2),
+                    seq: 0,
+                    pred_key: "ServiceX=true".into(),
+                    tree: Id::of_attribute("ServiceX"),
+                    query: composite_query(),
+                    reply_to: NodeId(4),
+                }),
+            },
+        ],
+    };
+    roundtrip(&batch);
+    // One coalesced frame is attributed to its (single) query.
+    assert_eq!(batch.query_tag(), Some(qid(4, 2).tag()));
+}
+
+#[test]
 fn route_nesting_roundtrips() {
     let inner = MoaraMsg::SizeProbe {
+        qid: qid(5, 0),
         pred_key: "ServiceX=true".into(),
         reply_to: NodeId(5),
     };
@@ -186,6 +222,7 @@ fn route_nesting_roundtrips() {
 #[test]
 fn decoding_rejects_corruption() {
     let msg = MoaraMsg::SizeReply {
+        qid: qid(0, 0),
         pred_key: "A=1".into(),
         cost: 1,
     };
