@@ -168,11 +168,28 @@ impl Directory {
         inner.trees.clear();
     }
 
-    fn remove_member(&self, node: NodeId) {
+    /// Removes a (failed) member from the overlay: its ring id leaves the
+    /// ring and every cached tree is invalidated, so routing and tree
+    /// structure repair around it. The id mapping is retained, which is
+    /// what allows [`Directory::revive_member`] to undo this. Public so
+    /// membership layers (the `moarad` daemon's failure detector, the
+    /// simulated daemon swarm) can repair the overlay when *they* — not
+    /// an omniscient harness — learn of a failure.
+    pub fn remove_member(&self, node: NodeId) {
         let mut inner = self.inner.borrow_mut();
         let id = inner.id_of[node.index()];
         inner.ring.remove(id);
         inner.node_of.remove(&id);
+        inner.trees.clear();
+    }
+
+    /// Re-inserts a previously removed member under its original ring id
+    /// (crash-recovery: the node rejoined with its identity intact).
+    pub fn revive_member(&self, node: NodeId) {
+        let mut inner = self.inner.borrow_mut();
+        let id = inner.id_of[node.index()];
+        inner.ring.add(id);
+        inner.node_of.insert(id, node);
         inner.trees.clear();
     }
 
@@ -291,6 +308,42 @@ impl Cluster {
             seed: 42,
             latency: Box::new(latency::Constant::from_millis(1)),
         }
+    }
+
+    // ----- fault injection (simulator backend only) ---------------------
+    //
+    // Unlike `fail_node`, none of these touch the directory or notify any
+    // node: the overlay keeps believing in the full membership while the
+    // network silently loses frames — exactly the situation a real
+    // deployment is in until its failure detector reacts.
+
+    /// Cuts all traffic between `side` and the rest of the cluster, in
+    /// both directions (a bidirectional netsplit). Stacks with previous
+    /// partitions; undo with [`Cluster::heal`].
+    pub fn partition(&mut self, side: &[NodeId]) {
+        let side_set: std::collections::HashSet<NodeId> = side.iter().copied().collect();
+        let rest: Vec<NodeId> = self
+            .node_ids()
+            .into_iter()
+            .filter(|n| !side_set.contains(n))
+            .collect();
+        self.transport.faults_mut().partition(side, &rest);
+    }
+
+    /// Removes every partition (link-loss probabilities stay in force).
+    pub fn heal(&mut self) {
+        self.transport.faults_mut().heal();
+    }
+
+    /// Sets the message-drop probability of every link without a
+    /// per-link override (lossy-network injection).
+    pub fn set_default_drop(&mut self, p: f64) {
+        self.transport.faults_mut().set_default_drop(p);
+    }
+
+    /// Sets the drop probability of the directed link `from → to`.
+    pub fn set_link_drop(&mut self, from: NodeId, to: NodeId, p: f64) {
+        self.transport.faults_mut().set_link_drop(from, to, p);
     }
 }
 
@@ -447,6 +500,28 @@ impl<T: Transport<MoaraNode>> Cluster<T> {
                 nn.on_peer_failed(ctx, node);
                 nn.reconcile(ctx);
             });
+        }
+    }
+
+    /// Restarts a previously failed node under its original identity
+    /// (crash-recovery: ring id and attribute store are preserved, as for
+    /// a daemon restarted from its persisted state). The node's stale
+    /// per-tree protocol state is discarded via
+    /// [`MoaraNode::on_rejoin`], the overlay re-integrates its ring id,
+    /// and every live node reconciles — so the returnee re-enters its
+    /// groups' trees and reappears in query results.
+    pub fn restart_node(&mut self, node: NodeId) {
+        if self.transport.is_alive(node) {
+            return;
+        }
+        self.transport.recover_node(node);
+        self.dir.revive_member(node);
+        self.transport.with_node(node, |n, ctx| n.on_rejoin(ctx));
+        for n in self.node_ids() {
+            if !self.transport.is_alive(n) {
+                continue;
+            }
+            self.transport.with_node(n, |nn, ctx| nn.reconcile(ctx));
         }
     }
 

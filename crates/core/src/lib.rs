@@ -54,6 +54,7 @@ pub use config::{GcPolicy, MoaraConfig, Mode, ProbeCachePolicy};
 pub use msg::{MoaraMsg, PredKey, QueryId, GLOBAL_PRED};
 pub use node::{MoaraNode, QueryOutcome};
 pub use sched::ProbeCache;
+pub use state::{ChildInfo, PredState, StatusOut};
 
 // Re-export the commonly combined companion crates so downstream users can
 // depend on `moara-core` alone.

@@ -680,6 +680,32 @@ impl MoaraNode {
         }
     }
 
+    /// Resets protocol state that cannot have survived a crash-restart
+    /// (or a long partition) intact, then re-enters this node's groups'
+    /// trees via [`MoaraNode::reconcile`]. Everything discarded here is
+    /// *safe* to discard: a cleared child entry degrades to the default
+    /// (NO-PRUNE, forward directly) and `sent = None` makes the next
+    /// status comparison against the parent's default — so the trees
+    /// rebuild their pruning lazily while completeness holds throughout.
+    pub fn on_rejoin(&mut self, ctx: &mut dyn NetCtx<MoaraMsg>) {
+        for st in self.states.values_mut() {
+            // Children may have changed state (or died) while we were
+            // gone; their reports are stale testimony.
+            st.children.clear();
+            // The parent has long since dropped us (or was never told
+            // about us): whatever we believe we sent, it no longer knows.
+            st.sent = None;
+            st.parent = None;
+        }
+        // In-flight work addressed to the pre-crash process is void.
+        self.sessions.clear();
+        self.fronts.clear();
+        self.timers.clear();
+        self.sched.waiters.clear();
+        self.sched.cache.bump_epoch();
+        self.reconcile(ctx);
+    }
+
     /// Treats `failed` as having answered NULL in any pending session —
     /// the engine's analogue of FreePastry's failure notification.
     pub fn on_peer_failed(&mut self, ctx: &mut dyn NetCtx<MoaraMsg>, failed: NodeId) {

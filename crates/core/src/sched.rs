@@ -329,6 +329,47 @@ mod tests {
     }
 
     #[test]
+    fn insert_at_exactly_capacity_keeps_everything() {
+        // Regression guard for the `while order.len() > capacity` boundary:
+        // filling the cache to exactly its capacity must evict nothing —
+        // an off-by-one (`>=`) would silently shrink every full cache.
+        let mut c = cache(100, 3);
+        c.insert("A=1".into(), 1, t(0));
+        c.insert("B=1".into(), 2, t(1));
+        c.insert("C=1".into(), 3, t(2));
+        assert_eq!(c.len(), 3, "exactly-at-capacity insert must not evict");
+        assert_eq!(c.lookup("A=1", t(3)), Some(1));
+        assert_eq!(c.lookup("B=1", t(3)), Some(2));
+        assert_eq!(c.lookup("C=1", t(3)), Some(3));
+        // The next insert beyond capacity evicts exactly the oldest
+        // insertion — and only it.
+        c.insert("D=1".into(), 4, t(4));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.lookup("A=1", t(5)), None, "oldest insertion evicted");
+        assert_eq!(c.lookup("B=1", t(5)), Some(2));
+        assert_eq!(c.lookup("C=1", t(5)), Some(3));
+        assert_eq!(c.lookup("D=1", t(5)), Some(4));
+    }
+
+    #[test]
+    fn capacity_one_still_serves_warm_repeats() {
+        // The degenerate cache must still be a cache: a repeated query
+        // for the same predicate hits, and only a *different* key (not a
+        // refresh of the same one) displaces the entry.
+        let mut c = cache(100, 1);
+        c.insert("A=1".into(), 7, t(0));
+        assert_eq!(c.lookup("A=1", t(1)), Some(7), "warm repeat");
+        assert_eq!(c.lookup("A=1", t(2)), Some(7), "still warm");
+        c.insert("A=1".into(), 8, t(3));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.lookup("A=1", t(4)), Some(8), "refresh keeps the key");
+        c.insert("B=1".into(), 9, t(5));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.lookup("A=1", t(6)), None);
+        assert_eq!(c.lookup("B=1", t(6)), Some(9));
+    }
+
+    #[test]
     fn forget_front_clears_emptied_keys_only() {
         let wait = |fronts: Vec<u64>| ProbeWait {
             fronts,

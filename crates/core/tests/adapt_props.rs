@@ -1,0 +1,268 @@
+//! Property tests for the adaptation state machine (`PredState` in
+//! `state.rs`): arbitrary interleavings of query / change / child-status
+//! events never panic or break the Section 4 invariants, and the
+//! UPDATE / NO-UPDATE mode always equals what a *shadow model* computes
+//! by freshly recomputing the `2·qn` vs `c` rate comparison over the
+//! sliding window after every event batch.
+//!
+//! The shadow model is deliberately transparent: it keeps the full event
+//! history and re-counts the window from scratch each time (window length
+//! chosen by its *current* mode, ties keep the mode — Procedure 2
+//! verbatim), so any drift in the implementation's incremental
+//! bookkeeping (event capping, gap accounting, qs/qn classification
+//! plumbing) shows up as a mode mismatch.
+
+use moara_core::{ChildInfo, PredState};
+use moara_query::{CmpOp, SimplePredicate};
+use moara_simnet::NodeId;
+use proptest::prelude::*;
+
+/// The three adaptation events of the paper's sliding window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Ev {
+    Qn,
+    Qs,
+    Change,
+}
+
+/// Reference implementation of Procedure 2 over an unbounded event log.
+struct Model {
+    events: Vec<Ev>,
+    mode: bool, // true = UPDATE
+    k_update: usize,
+    k_no_update: usize,
+}
+
+impl Model {
+    /// Appends one operation's events, then runs exactly one transition
+    /// (mirroring how every `PredState` entry point transitions once).
+    fn apply(&mut self, evs: &[Ev]) {
+        if evs.is_empty() {
+            return;
+        }
+        self.events.extend_from_slice(evs);
+        let k = if self.mode {
+            self.k_update
+        } else {
+            self.k_no_update
+        };
+        let (mut qn, mut c) = (0u64, 0u64);
+        for ev in self.events.iter().rev().take(k) {
+            match ev {
+                Ev::Qn => qn += 1,
+                Ev::Qs => {}
+                Ev::Change => c += 1,
+            }
+        }
+        if 2 * qn < c {
+            self.mode = false;
+        } else if 2 * qn > c {
+            self.mode = true;
+        }
+    }
+}
+
+/// One random stimulus for the state machine.
+#[derive(Clone, Debug)]
+enum Op {
+    /// A query arrives, `jump` sequence numbers ahead of contiguous.
+    Query { jump: u64 },
+    /// Local satisfaction re-evaluated (group churn at this node).
+    Refresh { sat: bool },
+    /// A child reports status, then satisfaction is re-derived.
+    ChildStatus {
+        child: u32,
+        prune: bool,
+        bypass: bool,
+        np: u64,
+        sat: bool,
+    },
+    /// A child's status piggybacks a sequence number we never saw.
+    AccountSeq { jump: u64 },
+    /// The node computes (and records) what to tell its parent.
+    StatusToSend,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..4).prop_map(|jump| Op::Query { jump }),
+        any::<bool>().prop_map(|sat| Op::Refresh { sat }),
+        (
+            1u32..3,
+            any::<bool>(),
+            any::<bool>(),
+            0u64..5,
+            any::<bool>()
+        )
+            .prop_map(|(child, prune, bypass, np, sat)| Op::ChildStatus {
+                child,
+                prune,
+                bypass,
+                np,
+                sat,
+            }),
+        (0u64..6).prop_map(|jump| Op::AccountSeq { jump }),
+        Just(Op::StatusToSend),
+    ]
+}
+
+fn me() -> NodeId {
+    NodeId(0)
+}
+
+/// Drives `PredState` and the shadow model with the same operations,
+/// checking mode equality and the Section 4 invariants after every step.
+fn drive(ops: &[Op], k_update: usize, k_no_update: usize, threshold: usize) {
+    let children = [NodeId(1), NodeId(2)];
+    let mut s = PredState::new(
+        SimplePredicate::new("A", CmpOp::Eq, true),
+        k_update,
+        k_no_update,
+        threshold,
+        false,
+    );
+    let mut model = Model {
+        events: Vec::new(),
+        mode: false,
+        k_update: k_update.max(1),
+        k_no_update: k_no_update.max(1),
+    };
+    let cap = model.k_update.max(model.k_no_update) as u64;
+    // `sat` re-derived from first principles: local satisfaction, or a
+    // child that must keep receiving queries (default or NO-PRUNE).
+    // Meaningful only right after a refresh ran with these inputs.
+    let derived_sat = |s: &PredState, local: bool| {
+        local
+            || children.iter().any(|c| {
+                s.children
+                    .get(c)
+                    .is_none_or(|info| !info.prune && !info.update_set.is_empty())
+            })
+    };
+    for op in ops {
+        match op.clone() {
+            Op::Query { jump } => {
+                let seq = s.last_seen_seq + 1 + jump;
+                let gap = if seq > s.last_seen_seq + 1 {
+                    (seq - s.last_seen_seq - 1).min(cap)
+                } else {
+                    0
+                };
+                let qs = s.cur_update_set.contains(&me());
+                s.on_query(me(), seq);
+                let mut evs = vec![Ev::Qn; gap as usize];
+                evs.push(if qs { Ev::Qs } else { Ev::Qn });
+                model.apply(&evs);
+            }
+            Op::Refresh { sat } => {
+                let before = s.cur_update_set.clone();
+                s.refresh(me(), sat, &children);
+                if s.cur_update_set != before {
+                    model.apply(&[Ev::Change]);
+                }
+                assert_eq!(s.sat, derived_sat(&s, sat), "sat diverged after {op:?}");
+            }
+            Op::ChildStatus {
+                child,
+                prune,
+                bypass,
+                np,
+                sat,
+            } => {
+                // Wire-consistent reports only: NO-PRUNE ⇔ non-empty set.
+                let update_set = if prune {
+                    vec![]
+                } else if bypass {
+                    vec![NodeId(7)] // a bypassed descendant
+                } else {
+                    vec![NodeId(child)]
+                };
+                s.note_child_status(
+                    NodeId(child),
+                    ChildInfo {
+                        prune,
+                        update_set,
+                        np,
+                    },
+                );
+                let before = s.cur_update_set.clone();
+                s.refresh(me(), sat, &children);
+                if s.cur_update_set != before {
+                    model.apply(&[Ev::Change]);
+                }
+                assert_eq!(s.sat, derived_sat(&s, sat), "sat diverged after {op:?}");
+            }
+            Op::AccountSeq { jump } => {
+                let seq = s.last_seen_seq + jump; // jump 0 = stale no-op
+                let gap = if seq > s.last_seen_seq {
+                    (seq - s.last_seen_seq).min(cap)
+                } else {
+                    0
+                };
+                s.account_seq(seq);
+                model.apply(&vec![Ev::Qn; gap as usize]);
+            }
+            Op::StatusToSend => {
+                let _ = s.status_to_send(me());
+            }
+        }
+        s.check_invariants();
+        assert_eq!(
+            s.update, model.mode,
+            "mode diverged from the freshly recomputed window \
+             (ops so far ending with {op:?}, window events {:?})",
+            model.events
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn mode_always_matches_recomputed_rate_comparison(
+        ops in proptest::collection::vec(arb_op(), 1..80),
+        k_update in 1usize..4,
+        k_no_update in 1usize..5,
+        threshold in 1usize..4,
+    ) {
+        drive(&ops, k_update, k_no_update, threshold);
+    }
+
+    #[test]
+    fn forced_update_never_leaves_update_under_any_interleaving(
+        ops in proptest::collection::vec(arb_op(), 1..60),
+    ) {
+        let children = [NodeId(1), NodeId(2)];
+        let mut s = PredState::new(
+            SimplePredicate::new("A", CmpOp::Eq, true),
+            1,
+            3,
+            2,
+            true, // Always-Update baseline
+        );
+        for op in &ops {
+            match op.clone() {
+                Op::Query { jump } => s.on_query(me(), s.last_seen_seq + 1 + jump),
+                Op::Refresh { sat } => s.refresh(me(), sat, &children),
+                Op::ChildStatus { child, prune, bypass, np, sat } => {
+                    let update_set = if prune {
+                        vec![]
+                    } else if bypass {
+                        vec![NodeId(7)]
+                    } else {
+                        vec![NodeId(child)]
+                    };
+                    s.note_child_status(NodeId(child), ChildInfo { prune, update_set, np });
+                    s.refresh(me(), sat, &children);
+                }
+                Op::AccountSeq { jump } => s.account_seq(s.last_seen_seq + jump),
+                Op::StatusToSend => {
+                    let _ = s.status_to_send(me());
+                }
+            }
+            s.check_invariants();
+            prop_assert!(s.update, "always-update left UPDATE after {op:?}");
+        }
+    }
+}

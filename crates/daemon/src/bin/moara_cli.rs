@@ -73,8 +73,24 @@ fn main() {
             }
         }
         Ok(CtrlReply::Ok) => println!("ok"),
-        Ok(CtrlReply::Status { node, members }) => {
-            println!("node=n{node} members={members}");
+        Ok(CtrlReply::Status {
+            node,
+            members,
+            alive,
+            dead,
+        }) => {
+            // Confirmed-dead peers keep their slot in the member list
+            // (dense id space) but are pruned from the overlay; surface
+            // them so operators see what the failure detector concluded.
+            let dead = if dead.is_empty() {
+                "-".to_owned()
+            } else {
+                dead.iter()
+                    .map(|n| format!("n{n}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            println!("node=n{node} members={members} alive={alive} dead={dead}");
         }
         Ok(CtrlReply::Joined { .. }) => {
             // Only daemons send Join; a human shouldn't end up here.

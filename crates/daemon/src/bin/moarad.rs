@@ -14,6 +14,16 @@
 //! `--listen` is the control-plane address (clients and joiners dial it);
 //! the peer plane auto-binds and is exchanged through membership.
 //!
+//! Membership flags (see `docs/membership.md`):
+//!
+//! * `--rejoin-as N` — crash-recovery: reclaim node id `N` from the seed
+//!   (the seed revives the identity under a higher incarnation and the
+//!   restarted daemon re-enters its groups' trees);
+//! * `--swim-period-ms N` — failure-detector protocol period (default
+//!   1000): one liveness probe per period;
+//! * `--swim-suspect-periods N` — periods a suspicion may go unrefuted
+//!   before the failure is confirmed (default 3).
+//!
 //! Query-plane scheduler flags (see `docs/query-plane.md`):
 //!
 //! * `--no-probe-cache` — probe group sizes on every composite query
@@ -30,10 +40,12 @@ use std::time::Duration;
 
 use moara_core::{MoaraConfig, ProbeCachePolicy};
 use moara_daemon::{parse_attrs, Daemon, DaemonOpts};
+use moara_membership::SwimConfig;
 use moara_simnet::SimDuration;
 
 const USAGE: &str = "usage: moarad --listen IP:PORT [--join IP:PORT] \
-                     [--attrs k=v,...] [--seed N] \
+                     [--rejoin-as N] [--attrs k=v,...] [--seed N] \
+                     [--swim-period-ms N] [--swim-suspect-periods N] \
                      [--no-probe-cache] [--probe-cache-ttl-ms N] \
                      [--probe-cache-cap N] [--no-size-probes]";
 
@@ -46,9 +58,11 @@ fn fail(msg: &str) -> ! {
 fn main() {
     let mut listen = None;
     let mut join = None;
+    let mut rejoin = None;
     let mut attrs = Vec::new();
     let mut seed = 42u64;
     let mut cfg = MoaraConfig::default();
+    let mut swim = SwimConfig::default();
     // The TTL/capacity flags only tune the cache; `--no-probe-cache` is
     // the sole on/off switch, so flag order never matters.
     let (mut cache_ttl, mut cache_cap) = match cfg.probe_cache {
@@ -74,6 +88,32 @@ fn main() {
                 );
             }
             "--join" => join = Some(val("--join")),
+            "--rejoin-as" => {
+                rejoin = Some(
+                    val("--rejoin-as")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--rejoin-as needs a node id")),
+                );
+            }
+            "--swim-period-ms" => {
+                let ms: u64 = val("--swim-period-ms")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--swim-period-ms needs an integer"));
+                if ms == 0 {
+                    fail("--swim-period-ms must be positive");
+                }
+                swim.period = SimDuration::from_millis(ms);
+                // Keep the direct-probe window inside the period.
+                swim.ping_timeout = SimDuration::from_millis((ms / 3).max(1));
+            }
+            "--swim-suspect-periods" => {
+                swim.suspect_periods = val("--swim-suspect-periods")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--swim-suspect-periods needs an integer"));
+                if swim.suspect_periods == 0 {
+                    fail("--swim-suspect-periods must be positive");
+                }
+            }
             "--attrs" => match parse_attrs(&val("--attrs")) {
                 Ok(a) => attrs = a,
                 Err(e) => fail(&e),
@@ -125,6 +165,8 @@ fn main() {
         attrs,
         seed,
         cfg,
+        swim,
+        rejoin,
     }) {
         Ok(d) => d,
         Err(e) => {

@@ -13,13 +13,34 @@
 //!   updates, status) and from joining daemons (`Join`).
 //!
 //! Cluster formation: the first daemon (no `--join`) is the *seed* and
-//! owns membership — it assigns dense `NodeId`s and random ring ids, and
-//! broadcasts the full member list on every change. Every daemon rebuilds
-//! its overlay [`Directory`] from the same list, so all processes derive
-//! identical tree topologies, exactly like the in-process cluster.
+//! owns membership *assignment* — it hands out dense `NodeId`s and random
+//! ring ids, and broadcasts the full member list (with liveness and
+//! incarnation numbers) on every change plus periodically as
+//! anti-entropy. Every daemon rebuilds its overlay [`Directory`] from the
+//! same list, so all processes derive identical tree topologies, exactly
+//! like the in-process cluster.
+//!
+//! Membership *liveness*, by contrast, is fully decentralized: every
+//! daemon embeds a SWIM-style failure detector (`moara-membership`) next
+//! to its protocol node. Detectors ping each other over the peer plane
+//! ([`DaemonMsg::Swim`]), escalate unanswered probes through random
+//! relays, gossip suspicions and confirmations with incarnation numbers,
+//! and hand confirmed failures to the daemon — which removes the peer
+//! from its [`Directory`] (DHT ring repair), tells its `MoaraNode`
+//! (`on_peer_failed` + `reconcile`), and marks the member dead in its
+//! view. A crashed peer therefore disappears from query answers and from
+//! `moara-cli status` without any omniscient help. Crash-recovery is the
+//! reverse: a restarted daemon re-joins through the seed (`--rejoin-as`),
+//! is re-announced under a *higher incarnation*, and re-enters its
+//! groups' trees. See `docs/membership.md`.
 //!
 //! The seed is a bootstrap convenience, not a data-plane coordinator:
-//! queries, aggregation, and pruning run peer-to-peer over the DHT trees.
+//! queries, aggregation, pruning, and failure detection all run
+//! peer-to-peer, so a cluster whose seed crashed keeps serving traffic.
+//! The seed is, however, a bootstrap *single point*: while it is down no
+//! new member can join, and restarting `moarad` without `--join` forks a
+//! fresh one-member cluster rather than resuming the old one (the member
+//! list is not persisted). Seed persistence/handover is future work.
 
 use std::collections::HashMap;
 use std::io::Write;
@@ -33,20 +54,36 @@ use rand::{Rng, SeedableRng};
 use moara_attributes::Value;
 use moara_core::{Directory, MoaraConfig, MoaraMsg, MoaraNode};
 use moara_dht::Id;
+use moara_membership::{SwimConfig, SwimDetector, SwimEvent, SwimMsg};
 use moara_query::parse_query;
 use moara_simnet::{Message, NodeId, SimDuration, SimTime, TimerId, TimerTag};
 use moara_transport::{NetCtx, NetProtocol, TcpConfig, TcpTransport, Transport};
 use moara_wire::{read_frame, write_msg, Wire, WireError};
 
+pub mod sim;
+pub use sim::SimSwarm;
+
 /// One cluster member, as carried in membership lists.
+///
+/// Members are never *removed* from the list (the dense `NodeId` space
+/// must stay gap-free so every daemon derives the same overlay); a
+/// crashed member is instead marked `alive = false` and pruned from the
+/// routing directory. A rejoin revives the entry under a higher
+/// incarnation.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Member {
     /// Dense transport-level id (assigned by the seed, in join order).
     pub node: u32,
     /// Ring id on the DHT (assigned by the seed, random).
     pub ring_id: u64,
-    /// Peer-plane listen address.
+    /// Peer-plane listen address (refreshed on rejoin).
     pub addr: String,
+    /// The member's incarnation number — bumped by the seed on every
+    /// rejoin and by the member itself to refute suspicion, so stale
+    /// liveness claims lose deterministically.
+    pub incarnation: u64,
+    /// False once the member's failure was confirmed.
+    pub alive: bool,
 }
 
 impl Wire for Member {
@@ -54,16 +91,20 @@ impl Wire for Member {
         self.node.encode(out);
         self.ring_id.encode(out);
         self.addr.encode(out);
+        self.incarnation.encode(out);
+        self.alive.encode(out);
     }
     fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
         Ok(Member {
             node: Wire::decode(buf)?,
             ring_id: Wire::decode(buf)?,
             addr: Wire::decode(buf)?,
+            incarnation: Wire::decode(buf)?,
+            alive: Wire::decode(buf)?,
         })
     }
     fn encoded_len(&self) -> usize {
-        4 + 8 + self.addr.encoded_len()
+        4 + 8 + self.addr.encoded_len() + 8 + 1
     }
 }
 
@@ -72,8 +113,12 @@ impl Wire for Member {
 pub enum DaemonMsg {
     /// An embedded Moara protocol message.
     Moara(MoaraMsg),
-    /// Authoritative full member list (seed-broadcast on every change).
+    /// Authoritative full member list (seed-broadcast on change and as
+    /// periodic anti-entropy).
     Membership(Vec<Member>),
+    /// Failure-detector traffic: pings, indirect probes, acks, each
+    /// piggybacking membership gossip (see `moara-membership`).
+    Swim(SwimMsg),
 }
 
 impl Wire for DaemonMsg {
@@ -87,12 +132,17 @@ impl Wire for DaemonMsg {
                 out.push(1);
                 ms.encode(out);
             }
+            DaemonMsg::Swim(s) => {
+                out.push(2);
+                s.encode(out);
+            }
         }
     }
     fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
         Ok(match u8::decode(buf)? {
             0 => DaemonMsg::Moara(Wire::decode(buf)?),
             1 => DaemonMsg::Membership(Wire::decode(buf)?),
+            2 => DaemonMsg::Swim(Wire::decode(buf)?),
             _ => return Err(WireError::Invalid("DaemonMsg tag")),
         })
     }
@@ -100,6 +150,7 @@ impl Wire for DaemonMsg {
         1 + match self {
             DaemonMsg::Moara(m) => m.encoded_len(),
             DaemonMsg::Membership(ms) => ms.encoded_len(),
+            DaemonMsg::Swim(s) => s.encoded_len(),
         }
     }
 }
@@ -112,7 +163,7 @@ impl Message for DaemonMsg {
     fn query_tag(&self) -> Option<u64> {
         match self {
             DaemonMsg::Moara(m) => m.query_tag(),
-            DaemonMsg::Membership(_) => None,
+            DaemonMsg::Membership(_) | DaemonMsg::Swim(_) => None,
         }
     }
 }
@@ -124,6 +175,10 @@ pub enum CtrlRequest {
     Join {
         /// The joiner's peer-plane listen address.
         addr: String,
+        /// Crash-recovery: the node id this daemon previously held. The
+        /// seed revives that member under a higher incarnation (new
+        /// address, same ring id) instead of assigning a fresh id.
+        prev_node: Option<u32>,
     },
     /// Run a query from this daemon's front-end and return the aggregate.
     Query {
@@ -164,8 +219,13 @@ pub enum CtrlReply {
     Status {
         /// This daemon's node id.
         node: u32,
-        /// Members this daemon currently knows.
+        /// Members this daemon currently knows (alive or dead).
         members: u32,
+        /// How many of them are currently believed alive.
+        alive: u32,
+        /// Node ids of members whose failure was confirmed (kept in the
+        /// view for identity continuity, pruned from the overlay).
+        dead: Vec<u32>,
     },
     /// Request failed.
     Error(String),
@@ -174,9 +234,10 @@ pub enum CtrlReply {
 impl Wire for CtrlRequest {
     fn encode(&self, out: &mut Vec<u8>) {
         match self {
-            CtrlRequest::Join { addr } => {
+            CtrlRequest::Join { addr, prev_node } => {
                 out.push(0);
                 addr.encode(out);
+                prev_node.encode(out);
             }
             CtrlRequest::Query { text } => {
                 out.push(1);
@@ -194,6 +255,7 @@ impl Wire for CtrlRequest {
         Ok(match u8::decode(buf)? {
             0 => CtrlRequest::Join {
                 addr: Wire::decode(buf)?,
+                prev_node: Wire::decode(buf)?,
             },
             1 => CtrlRequest::Query {
                 text: Wire::decode(buf)?,
@@ -208,7 +270,7 @@ impl Wire for CtrlRequest {
     }
     fn encoded_len(&self) -> usize {
         1 + match self {
-            CtrlRequest::Join { addr } => addr.encoded_len(),
+            CtrlRequest::Join { addr, prev_node } => addr.encoded_len() + prev_node.encoded_len(),
             CtrlRequest::Query { text } => text.encoded_len(),
             CtrlRequest::SetAttr { attr, value } => attr.encoded_len() + value.encoded_len(),
             CtrlRequest::Status => 0,
@@ -230,10 +292,17 @@ impl Wire for CtrlReply {
                 complete.encode(out);
             }
             CtrlReply::Ok => out.push(2),
-            CtrlReply::Status { node, members } => {
+            CtrlReply::Status {
+                node,
+                members,
+                alive,
+                dead,
+            } => {
                 out.push(3);
                 node.encode(out);
                 members.encode(out);
+                alive.encode(out);
+                dead.encode(out);
             }
             CtrlReply::Error(e) => {
                 out.push(4);
@@ -255,6 +324,8 @@ impl Wire for CtrlReply {
             3 => CtrlReply::Status {
                 node: Wire::decode(buf)?,
                 members: Wire::decode(buf)?,
+                alive: Wire::decode(buf)?,
+                dead: Wire::decode(buf)?,
             },
             4 => CtrlReply::Error(Wire::decode(buf)?),
             _ => return Err(WireError::Invalid("CtrlReply tag")),
@@ -265,7 +336,7 @@ impl Wire for CtrlReply {
             CtrlReply::Joined { members, .. } => 4 + members.encoded_len(),
             CtrlReply::Answer { result, .. } => result.encoded_len() + 1,
             CtrlReply::Ok => 0,
-            CtrlReply::Status { .. } => 8,
+            CtrlReply::Status { dead, .. } => 12 + dead.encoded_len(),
             CtrlReply::Error(e) => e.encoded_len(),
         }
     }
@@ -274,7 +345,7 @@ impl Wire for CtrlReply {
 /// Adapter: a `NetCtx<DaemonMsg>` seen by the wrapped `MoaraNode` as a
 /// `NetCtx<MoaraMsg>` (outgoing messages gain the `DaemonMsg::Moara`
 /// envelope; timers and the clock pass straight through).
-struct MoaraCtx<'a> {
+pub(crate) struct MoaraCtx<'a> {
     inner: &'a mut dyn NetCtx<DaemonMsg>,
 }
 
@@ -299,21 +370,73 @@ impl NetCtx<MoaraMsg> for MoaraCtx<'_> {
     }
 }
 
-fn moara_ctx(inner: &mut dyn NetCtx<DaemonMsg>) -> MoaraCtx<'_> {
+pub(crate) fn moara_ctx(inner: &mut dyn NetCtx<DaemonMsg>) -> MoaraCtx<'_> {
     MoaraCtx { inner }
 }
 
-/// The per-process protocol node: a `MoaraNode` plus membership intake.
+/// Adapter: the failure detector's view of the peer plane (outgoing
+/// [`SwimMsg`]s gain the [`DaemonMsg::Swim`] envelope).
+pub(crate) struct SwimCtx<'a> {
+    inner: &'a mut dyn NetCtx<DaemonMsg>,
+}
+
+impl NetCtx<SwimMsg> for SwimCtx<'_> {
+    fn now(&self) -> SimTime {
+        self.inner.now()
+    }
+    fn me(&self) -> NodeId {
+        self.inner.me()
+    }
+    fn send(&mut self, to: NodeId, msg: SwimMsg) {
+        self.inner.send(to, DaemonMsg::Swim(msg));
+    }
+    fn set_timer(&mut self, delay: SimDuration, tag: TimerTag) -> TimerId {
+        self.inner.set_timer(delay, tag)
+    }
+    fn cancel_timer(&mut self, id: TimerId) {
+        self.inner.cancel_timer(id);
+    }
+    fn count(&mut self, name: &'static str) {
+        self.inner.count(name);
+    }
+}
+
+pub(crate) fn swim_ctx(inner: &mut dyn NetCtx<DaemonMsg>) -> SwimCtx<'_> {
+    SwimCtx { inner }
+}
+
+/// The per-process protocol node: a `MoaraNode`, its failure detector,
+/// and membership intake. The two state machines share the peer plane
+/// (multiplexed by [`DaemonMsg`] variant) and the timer space (the
+/// detector's tags carry [`moara_membership::SWIM_TAG_BASE`]).
 pub struct DaemonNode {
     /// The wrapped protocol engine.
     pub moara: MoaraNode,
+    /// The SWIM failure detector for this node.
+    pub swim: SwimDetector,
     /// Last membership broadcast received, not yet applied (the daemon
     /// loop applies it — rebuilding the directory needs daemon state).
     pub pending_membership: Option<Vec<Member>>,
 }
 
+impl DaemonNode {
+    /// Couples a protocol engine with its failure detector.
+    pub fn new(moara: MoaraNode, swim: SwimDetector) -> DaemonNode {
+        DaemonNode {
+            moara,
+            swim,
+            pending_membership: None,
+        }
+    }
+}
+
 impl NetProtocol for DaemonNode {
     type Msg = DaemonMsg;
+
+    fn on_start(&mut self, ctx: &mut dyn NetCtx<DaemonMsg>) {
+        let mut sctx = swim_ctx(ctx);
+        self.swim.start(&mut sctx);
+    }
 
     fn on_message(&mut self, ctx: &mut dyn NetCtx<DaemonMsg>, from: NodeId, msg: DaemonMsg) {
         match msg {
@@ -333,12 +456,21 @@ impl NetProtocol for DaemonNode {
                     ctx.count("membership_from_non_seed");
                 }
             }
+            DaemonMsg::Swim(s) => {
+                let mut sctx = swim_ctx(ctx);
+                self.swim.on_message(&mut sctx, from, s);
+            }
         }
     }
 
     fn on_timer(&mut self, ctx: &mut dyn NetCtx<DaemonMsg>, tag: TimerTag) {
-        let mut mctx = moara_ctx(ctx);
-        self.moara.on_timer(&mut mctx, tag);
+        if self.swim.owns_tag(tag) {
+            let mut sctx = swim_ctx(ctx);
+            self.swim.on_timer(&mut sctx, tag);
+        } else {
+            let mut mctx = moara_ctx(ctx);
+            self.moara.on_timer(&mut mctx, tag);
+        }
     }
 }
 
@@ -356,6 +488,26 @@ pub struct DaemonOpts {
     pub seed: u64,
     /// Engine configuration.
     pub cfg: MoaraConfig,
+    /// Failure-detector tuning (`--swim-*` flags).
+    pub swim: SwimConfig,
+    /// Crash-recovery (`--rejoin-as`): reclaim this node id from the
+    /// seed instead of joining fresh. Requires `join`.
+    pub rejoin: Option<u32>,
+}
+
+impl DaemonOpts {
+    /// Defaults for everything but the control address.
+    pub fn new(listen: SocketAddr) -> DaemonOpts {
+        DaemonOpts {
+            listen,
+            join: None,
+            attrs: Vec::new(),
+            seed: 42,
+            cfg: MoaraConfig::default(),
+            swim: SwimConfig::default(),
+            rejoin: None,
+        }
+    }
 }
 
 /// Parses `k=v,...` attribute lists (`true`/`false` → Bool, integers →
@@ -444,6 +596,9 @@ impl Daemon {
         let peer_addr = reserved.addr();
         let mut rng = StdRng::seed_from_u64(opts.seed);
 
+        if opts.rejoin.is_some() && opts.join.is_none() {
+            return Err("--rejoin-as requires --join (the seed revives identities)".into());
+        }
         let (me, members) = match &opts.join {
             None => {
                 // We are the seed: member 0 of a one-node cluster.
@@ -451,22 +606,37 @@ impl Daemon {
                     node: 0,
                     ring_id: rng.gen(),
                     addr: peer_addr.to_string(),
+                    incarnation: 0,
+                    alive: true,
                 }];
                 (NodeId(0), members)
             }
             Some(seed_ctrl) => {
-                let reply = ctrl_roundtrip(
-                    seed_ctrl,
-                    &CtrlRequest::Join {
-                        addr: peer_addr.to_string(),
-                    },
-                    Duration::from_secs(10),
-                )
-                .map_err(|e| format!("join via {seed_ctrl}: {e}"))?;
-                match reply {
-                    CtrlReply::Joined { node, members } => (NodeId(node), members),
-                    CtrlReply::Error(e) => return Err(format!("seed refused join: {e}")),
-                    other => return Err(format!("unexpected join reply {other:?}")),
+                // A rejoin racing its own failure detection ("node N is
+                // still believed alive") is retried until the seed's
+                // detector catches up — a quickly restarted daemon would
+                // otherwise have to be relaunched by hand.
+                let deadline = Instant::now() + Duration::from_secs(30);
+                loop {
+                    let reply = ctrl_roundtrip(
+                        seed_ctrl,
+                        &CtrlRequest::Join {
+                            addr: peer_addr.to_string(),
+                            prev_node: opts.rejoin,
+                        },
+                        Duration::from_secs(10),
+                    )
+                    .map_err(|e| format!("join via {seed_ctrl}: {e}"))?;
+                    match reply {
+                        CtrlReply::Joined { node, members } => break (NodeId(node), members),
+                        CtrlReply::Error(e)
+                            if e.contains("still believed alive") && Instant::now() < deadline =>
+                        {
+                            std::thread::sleep(Duration::from_millis(250));
+                        }
+                        CtrlReply::Error(e) => return Err(format!("seed refused join: {e}")),
+                        other => return Err(format!("unexpected join reply {other:?}")),
+                    }
                 }
             }
         };
@@ -478,17 +648,29 @@ impl Daemon {
                 .collect::<Vec<_>>(),
             opts.cfg.bits_per_digit,
         );
+        // Confirmed-dead members keep their slot in the dense list but
+        // are pruned from the routing overlay.
+        for m in &members {
+            if !m.alive {
+                dir.remove_member(NodeId(m.node));
+            }
+        }
         let mut moara = MoaraNode::new(dir.clone(), opts.cfg.clone());
         for (k, v) in &opts.attrs {
             moara.store.set(k.as_str(), v.clone());
         }
-        let node = DaemonNode {
-            moara,
-            pending_membership: None,
-        };
+        let mut swim = SwimDetector::new(me, opts.swim.clone(), opts.seed ^ u64::from(me.0));
+        let epoch_now = SimTime::ZERO;
+        for m in &members {
+            swim.sync_peer(NodeId(m.node), m.incarnation, m.alive, epoch_now);
+        }
+        // A rejoiner spreads its revival by gossip too, so peers whose
+        // anti-entropy broadcast is late still reintegrate it promptly.
+        swim.announce_alive();
+        let node = DaemonNode::new(moara, swim);
         transport.add_node_with_listener(me, node, reserved);
         for m in &members {
-            if m.node != me.0 {
+            if m.node != me.0 && m.alive {
                 let addr = resolve(&m.addr).map_err(|e| format!("peer {}: {e}", m.addr))?;
                 transport.register_peer(NodeId(m.node), addr);
             }
@@ -539,6 +721,16 @@ impl Daemon {
         self.members.len()
     }
 
+    /// The full member view, liveness included.
+    pub fn members(&self) -> &[Member] {
+        &self.members
+    }
+
+    /// Members currently believed alive.
+    pub fn alive_member_count(&self) -> usize {
+        self.members.iter().filter(|m| m.alive).count()
+    }
+
     /// The peer-plane listen address.
     pub fn peer_addr(&self) -> Option<SocketAddr> {
         self.transport.local_addr(self.me)
@@ -550,6 +742,7 @@ impl Daemon {
     pub fn step(&mut self, max_wait: Duration) -> bool {
         let mut did = self.transport.pump(max_wait);
         did |= self.apply_pending_membership();
+        did |= self.apply_swim_events();
         did |= self.serve_ctrl();
         did |= self.finish_queries();
         // Keep the transport's undeliverable log bounded (it grows on
@@ -596,6 +789,79 @@ impl Daemon {
         });
     }
 
+    /// Acts on what this daemon's failure detector concluded: confirmed
+    /// failures prune the peer from the member view and the overlay
+    /// (ring repair + `on_peer_failed` + `reconcile`); revivals undo the
+    /// pruning. This is the path that replaces the harness-level
+    /// `Cluster::fail_node` oracle in real deployments.
+    fn apply_swim_events(&mut self) -> bool {
+        let events = self.transport.node_mut(self.me).swim.take_events();
+        if events.is_empty() {
+            return false;
+        }
+        let mut changed = false;
+        for ev in events {
+            match ev {
+                SwimEvent::Suspected(_) => {}
+                SwimEvent::Confirmed(n) => changed |= self.mark_member_dead(n),
+                SwimEvent::Revived { node, incarnation } => {
+                    changed |= self.mark_member_alive(node, incarnation);
+                }
+            }
+        }
+        if changed && self.is_seed {
+            // Spread the news eagerly; the periodic anti-entropy
+            // re-broadcast covers anyone who misses this one.
+            self.broadcast_membership();
+        }
+        changed
+    }
+
+    fn mark_member_dead(&mut self, n: NodeId) -> bool {
+        let Some(m) = self.members.iter_mut().find(|m| m.node == n.0) else {
+            return false;
+        };
+        if !m.alive || n == self.me {
+            return false;
+        }
+        m.alive = false;
+        self.dir.remove_member(n);
+        self.transport.with_node(self.me, |dn, ctx| {
+            let mut mctx = moara_ctx(ctx);
+            dn.moara.on_peer_failed(&mut mctx, n);
+            dn.moara.reconcile(&mut mctx);
+        });
+        true
+    }
+
+    fn mark_member_alive(&mut self, n: NodeId, incarnation: u64) -> bool {
+        let Some(m) = self.members.iter_mut().find(|m| m.node == n.0) else {
+            return false;
+        };
+        m.incarnation = m.incarnation.max(incarnation);
+        if m.alive {
+            return false;
+        }
+        // Reintegrate only if we hold *some* address for the peer.
+        // A refuted false confirmation (the peer never actually died)
+        // kept its address valid, and that revival must work seed-less —
+        // with the seed down, deferring would prune a healthy peer
+        // forever. A peer that really restarted carries a new address we
+        // may not have yet; then this re-inserts it against the stale one
+        // for a moment — bounded and self-healing, because a rejoin
+        // requires a live seed whose broadcast (which carries the fresh
+        // address) is at most one anti-entropy interval away. Only a
+        // daemon with *no* address at all (it joined after the death)
+        // must wait for that broadcast.
+        if !self.transport.peers().any(|(id, _)| id == n) {
+            return false;
+        }
+        m.alive = true;
+        self.dir.revive_member(n);
+        self.reconcile_local();
+        true
+    }
+
     fn apply_pending_membership(&mut self) -> bool {
         let Some(members) = self.transport.node_mut(self.me).pending_membership.take() else {
             return false;
@@ -617,10 +883,59 @@ impl Daemon {
             && members.iter().any(|m| m.node == self.me.0)
     }
 
-    fn install_members(&mut self, members: Vec<Member>) {
+    fn install_members(&mut self, mut members: Vec<Member>) {
         if !self.membership_is_sane(&members) {
             // Malformed or stale broadcast: drop it rather than panic or
             // corrupt the overlay view.
+            return;
+        }
+        // A list claiming *we* are dead is stale testimony about a node
+        // with first-hand knowledge: refute it (the detector jumps its
+        // incarnation above the claim and gossips the revival) and keep
+        // ourselves in the overlay.
+        let my_slot = members
+            .iter_mut()
+            .find(|m| m.node == self.me.0)
+            .expect("sanity checked");
+        let claimed_dead = !my_slot.alive;
+        my_slot.alive = true;
+        // First-hand knowledge outranks a stale list the other way too:
+        // a peer our own detector confirmed dead at (or above) the
+        // list's incarnation stays dead — a seed anti-entropy broadcast
+        // sent before the seed learned of the death must not resurrect
+        // it in our routing view (only a higher incarnation revives).
+        {
+            let swim = &self.transport.node(self.me).swim;
+            for m in members.iter_mut() {
+                if m.alive && m.node != self.me.0 {
+                    if let Some(p) = swim.peer(NodeId(m.node)) {
+                        if p.state == moara_membership::PeerState::Dead
+                            && p.incarnation >= m.incarnation
+                        {
+                            m.alive = false;
+                            m.incarnation = p.incarnation;
+                        }
+                    }
+                }
+            }
+        }
+        // The periodic anti-entropy re-broadcast usually carries exactly
+        // what we already have (and nothing about us changed) — bail out
+        // before touching anything: a full reset would invalidate every
+        // cached tree AND bump the probe-cache churn epoch on every
+        // member, every 2 s, silently disabling the query-plane
+        // scheduler's 30 s cost cache in steady state. Our own slot's
+        // incarnation is normalized first: we store the (possibly
+        // refutation-bumped) detector value, which the seed's list can
+        // lag behind — without this, one refutation would make every
+        // later broadcast compare unequal forever.
+        if let (Some(mine), Some(stored)) = (
+            members.iter_mut().find(|m| m.node == self.me.0),
+            self.members.iter().find(|m| m.node == self.me.0),
+        ) {
+            mine.incarnation = mine.incarnation.max(stored.incarnation);
+        }
+        if !claimed_dead && members == self.members {
             return;
         }
         let pairs: Vec<(NodeId, Id)> = members
@@ -629,35 +944,113 @@ impl Daemon {
             .collect();
         self.dir.reset_members(&pairs, self.cfg.bits_per_digit);
         for m in &members {
-            if m.node != self.me.0 {
+            if !m.alive {
+                self.dir.remove_member(NodeId(m.node));
+            } else if m.node != self.me.0 {
                 if let Ok(addr) = resolve(&m.addr) {
                     self.transport.register_peer(NodeId(m.node), addr);
                 }
             }
         }
+        // Peers that the list reports dead but we still thought alive:
+        // the engine must stop waiting for their replies.
+        let newly_dead: Vec<NodeId> = members
+            .iter()
+            .filter(|m| {
+                !m.alive
+                    && self
+                        .members
+                        .iter()
+                        .find(|o| o.node == m.node)
+                        .is_none_or(|o| o.alive)
+            })
+            .map(|m| NodeId(m.node))
+            .collect();
+        let me = self.me;
+        let member_states: Vec<(u32, u64, bool)> = members
+            .iter()
+            .map(|m| (m.node, m.incarnation, m.alive))
+            .collect();
+        let my_incarnation = self.transport.with_node(me, |dn, ctx| {
+            let now = ctx.now();
+            for &(node, incarnation, alive) in &member_states {
+                let alive = if node == me.0 { !claimed_dead } else { alive };
+                dn.swim.sync_peer(NodeId(node), incarnation, alive, now);
+            }
+            let mut mctx = moara_ctx(ctx);
+            for &n in &newly_dead {
+                dn.moara.on_peer_failed(&mut mctx, n);
+            }
+            dn.swim.incarnation()
+        });
+        members
+            .iter_mut()
+            .find(|m| m.node == me.0)
+            .expect("sanity checked")
+            .incarnation = my_incarnation;
         self.members = members;
         self.reconcile_local();
     }
 
-    /// Seed-only: admit a joiner, reply with the member list, broadcast.
-    fn handle_join(&mut self, addr: String) -> CtrlReply {
+    /// Seed-only: admit a joiner (or revive a rejoiner), reply with the
+    /// member list, broadcast.
+    fn handle_join(&mut self, addr: String, prev_node: Option<u32>) -> CtrlReply {
         if !self.is_seed {
             return CtrlReply::Error("only the seed daemon admits joins".into());
         }
         if resolve(&addr).is_err() {
             return CtrlReply::Error(format!("unresolvable peer address {addr}"));
         }
-        let node = self.members.iter().map(|m| m.node + 1).max().unwrap_or(0);
-        let mut ring_id = self.rng.gen();
-        while self.members.iter().any(|m| m.ring_id == ring_id) {
-            ring_id = self.rng.gen();
-        }
         let mut members = self.members.clone();
-        members.push(Member {
-            node,
-            ring_id,
-            addr,
-        });
+        let node = match prev_node {
+            Some(prev) => {
+                // Crash-recovery: revive the old identity under a fresh
+                // incarnation — strictly above anything the cluster may
+                // have confirmed it dead at, so the revival out-ranks
+                // every stale death claim in flight.
+                let Some(m) = members.iter_mut().find(|m| m.node == prev) else {
+                    return CtrlReply::Error(format!("unknown previous node id {prev}"));
+                };
+                if m.node == self.me.0 {
+                    return CtrlReply::Error("the seed's own id cannot be reclaimed".into());
+                }
+                // Refuse to hand a member's identity to someone else until
+                // its failure is *confirmed* — a merely suspected node is
+                // usually alive (one lost probe round suffices), and
+                // reviving its slot for an impostor would split-brain the
+                // id. A genuinely crashed daemon restarting quickly hits
+                // this too, so `Daemon::start` treats it as retryable and
+                // polls until confirmation.
+                let detector_view = self.transport.node(self.me).swim.peer(NodeId(prev));
+                let confirmed_dead = !m.alive
+                    || detector_view.is_some_and(|p| p.state == moara_membership::PeerState::Dead);
+                if !confirmed_dead {
+                    return CtrlReply::Error(format!(
+                        "node {prev} is still believed alive; retry after its failure is detected"
+                    ));
+                }
+                let detector_inc = detector_view.map_or(0, |p| p.incarnation);
+                m.incarnation = m.incarnation.max(detector_inc) + 1;
+                m.alive = true;
+                m.addr = addr;
+                prev
+            }
+            None => {
+                let node = members.iter().map(|m| m.node + 1).max().unwrap_or(0);
+                let mut ring_id = self.rng.gen();
+                while members.iter().any(|m| m.ring_id == ring_id) {
+                    ring_id = self.rng.gen();
+                }
+                members.push(Member {
+                    node,
+                    ring_id,
+                    addr,
+                    incarnation: 0,
+                    alive: true,
+                });
+                node
+            }
+        };
         self.install_members(members.clone());
         // Everyone learns through the peer plane (the joiner additionally
         // gets the list in its Joined reply, and the periodic re-announce
@@ -671,8 +1064,8 @@ impl Daemon {
         while let Ok(job) = self.ctrl_rx.try_recv() {
             did = true;
             match job.req {
-                CtrlRequest::Join { addr } => {
-                    let reply = self.handle_join(addr);
+                CtrlRequest::Join { addr, prev_node } => {
+                    let reply = self.handle_join(addr, prev_node);
                     let _ = job.reply.send(reply);
                 }
                 CtrlRequest::Query { text } => match parse_query(&text) {
@@ -699,9 +1092,17 @@ impl Daemon {
                     let _ = job.reply.send(CtrlReply::Ok);
                 }
                 CtrlRequest::Status => {
+                    let dead: Vec<u32> = self
+                        .members
+                        .iter()
+                        .filter(|m| !m.alive)
+                        .map(|m| m.node)
+                        .collect();
                     let _ = job.reply.send(CtrlReply::Status {
                         node: self.me.0,
                         members: self.members.len() as u32,
+                        alive: (self.members.len() - dead.len()) as u32,
+                        dead,
                     });
                 }
             }
@@ -857,6 +1258,8 @@ mod tests {
             node: 3,
             ring_id: 0xdead_beef,
             addr: "127.0.0.1:7777".into(),
+            incarnation: 2,
+            alive: false,
         };
         let msgs = vec![
             DaemonMsg::Membership(vec![member.clone(), member.clone()]),
@@ -867,6 +1270,15 @@ mod tests {
                 },
                 pred_key: "A=1".into(),
                 cost: 12,
+            }),
+            DaemonMsg::Swim(SwimMsg::Ping {
+                seq: 5,
+                reply_to: NodeId(2),
+                updates: vec![moara_membership::Update {
+                    node: NodeId(1),
+                    incarnation: 3,
+                    state: moara_membership::PeerState::Suspect,
+                }],
             }),
         ];
         for m in msgs {
@@ -879,6 +1291,11 @@ mod tests {
         let reqs = vec![
             CtrlRequest::Join {
                 addr: "127.0.0.1:1".into(),
+                prev_node: None,
+            },
+            CtrlRequest::Join {
+                addr: "127.0.0.1:1".into(),
+                prev_node: Some(4),
             },
             CtrlRequest::Query {
                 text: "SELECT count(*)".into(),
@@ -905,6 +1322,8 @@ mod tests {
             CtrlReply::Status {
                 node: 0,
                 members: 3,
+                alive: 2,
+                dead: vec![1],
             },
             CtrlReply::Error("nope".into()),
         ];
@@ -930,11 +1349,9 @@ mod tests {
             let attrs = parse_attrs(attrs).unwrap();
             std::thread::spawn(move || {
                 let mut d = Daemon::start(DaemonOpts {
-                    listen,
                     join,
                     attrs,
-                    seed: 42,
-                    cfg: MoaraConfig::default(),
+                    ..DaemonOpts::new(listen)
                 })
                 .expect("daemon boots");
                 loop {

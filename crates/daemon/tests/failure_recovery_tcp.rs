@@ -1,0 +1,201 @@
+//! The issue's acceptance scenario in real time over real sockets: three
+//! daemons (one per thread, exactly the `moarad` event loop) form a TCP
+//! cluster; one is killed — its sockets drop, nobody is told — and the
+//! survivors' SWIM detectors confirm the failure, prune the member, and
+//! answer queries with the surviving count. The dead daemon then
+//! restarts with `--rejoin-as` semantics (same node id, higher
+//! incarnation, fresh ports), re-enters its groups' trees, and reappears
+//! in both `status` and query results.
+//!
+//! Run single-threaded (the chaos CI job does): the test kills and
+//! rebinds listeners, and parallel socket tests could mask failures as
+//! flaky port reuse.
+
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use moara_daemon::{ctrl_roundtrip, parse_attrs, CtrlReply, CtrlRequest, Daemon, DaemonOpts};
+use moara_membership::SwimConfig;
+use moara_simnet::SimDuration;
+
+fn free_port() -> SocketAddr {
+    TcpListener::bind("127.0.0.1:0")
+        .unwrap()
+        .local_addr()
+        .unwrap()
+}
+
+fn fast_swim() -> SwimConfig {
+    // Quick enough to confirm a kill in a few seconds, tolerant enough
+    // that scheduler starvation under a parallel `cargo test` run (many
+    // busy daemon threads) does not condemn a live-but-slow daemon
+    // before its refutation lands.
+    SwimConfig {
+        period: SimDuration::from_millis(400),
+        ping_timeout: SimDuration::from_millis(130),
+        suspect_periods: 6,
+        ..SwimConfig::default()
+    }
+}
+
+/// A daemon running on its own thread until killed (dropping the daemon
+/// closes its peer listener and connections — a process crash, minus the
+/// process).
+struct RunningDaemon {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl RunningDaemon {
+    fn spawn(listen: SocketAddr, join: Option<String>, rejoin: Option<u32>, attrs: &str) -> Self {
+        let attrs = parse_attrs(attrs).unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let thread = std::thread::spawn(move || {
+            let mut d = Daemon::start(DaemonOpts {
+                join,
+                rejoin,
+                attrs,
+                swim: fast_swim(),
+                ..DaemonOpts::new(listen)
+            })
+            .expect("daemon boots");
+            while !stop2.load(Ordering::SeqCst) {
+                d.step(Duration::from_millis(2));
+            }
+        });
+        RunningDaemon {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    fn kill(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for RunningDaemon {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn status(ctrl: SocketAddr) -> Option<(u32, u32, u32, Vec<u32>)> {
+    match ctrl_roundtrip(
+        &ctrl.to_string(),
+        &CtrlRequest::Status,
+        Duration::from_secs(5),
+    ) {
+        Ok(CtrlReply::Status {
+            node,
+            members,
+            alive,
+            dead,
+        }) => Some((node, members, alive, dead)),
+        _ => None,
+    }
+}
+
+fn wait_for_status(
+    deadline: Instant,
+    what: &str,
+    ctrl: SocketAddr,
+    pred: impl Fn(&(u32, u32, u32, Vec<u32>)) -> bool,
+) {
+    let mut last: Option<(u32, u32, u32, Vec<u32>)> = None;
+    loop {
+        let s = status(ctrl);
+        if let Some(st) = &s {
+            if pred(st) {
+                return;
+            }
+        }
+        last = s.or(last);
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for {what} at {ctrl} (last status: {last:?})"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn count_query(ctrl: SocketAddr) -> (String, bool) {
+    match ctrl_roundtrip(
+        &ctrl.to_string(),
+        &CtrlRequest::Query {
+            text: "SELECT count(*) WHERE ServiceX = true".into(),
+        },
+        Duration::from_secs(30),
+    ) {
+        Ok(CtrlReply::Answer { result, complete }) => (result, complete),
+        other => panic!("unexpected query reply {other:?}"),
+    }
+}
+
+#[test]
+fn killed_daemon_is_detected_pruned_and_rejoins() {
+    let seed_ctrl = free_port();
+    let b_ctrl = free_port();
+    let c_ctrl = free_port();
+    let seed_str = seed_ctrl.to_string();
+
+    let _a = RunningDaemon::spawn(seed_ctrl, None, None, "ServiceX=true");
+    let _b = RunningDaemon::spawn(b_ctrl, Some(seed_str.clone()), None, "ServiceX=true");
+    let c = RunningDaemon::spawn(c_ctrl, Some(seed_str.clone()), None, "ServiceX=true");
+
+    let deadline = Instant::now() + Duration::from_secs(120);
+    for ctrl in [seed_ctrl, b_ctrl, c_ctrl] {
+        wait_for_status(deadline, "cluster formation", ctrl, |&(_, m, a, _)| {
+            m == 3 && a == 3
+        });
+    }
+    // B and C join concurrently, so which of them got node id 1 vs 2 is
+    // a race — ask C which one it is before killing it.
+    let c_id = status(c_ctrl).expect("c answers status").0;
+    let (result, complete) = count_query(b_ctrl);
+    assert!(complete);
+    assert_eq!(result, "3");
+
+    // Kill daemon C: its listeners and connections drop. No component is
+    // told — the survivors' detectors must conclude the failure on their
+    // own, prune the member, and repair the trees.
+    c.kill();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    for ctrl in [seed_ctrl, b_ctrl] {
+        // A survivor transiently (and wrongly) suspected under load
+        // self-heals by refutation, so wait for the *stable* predicate:
+        // the killed daemon confirmed dead and everyone else back alive.
+        wait_for_status(
+            deadline,
+            "failure confirmation",
+            ctrl,
+            |(_, _, alive, dead)| *alive == 2 && *dead == vec![c_id],
+        );
+    }
+    let (result, complete) = count_query(b_ctrl);
+    assert!(complete, "post-repair query must not hang on the dead peer");
+    assert_eq!(result, "2", "the crashed member leaves the answers");
+
+    // Restart C under its old identity (fresh ports, preserved attrs —
+    // what `moarad --rejoin-as 2` does after a crash).
+    let c2_ctrl = free_port();
+    let _c2 = RunningDaemon::spawn(c2_ctrl, Some(seed_str), Some(c_id), "ServiceX=true");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    for ctrl in [seed_ctrl, b_ctrl, c2_ctrl] {
+        wait_for_status(deadline, "rejoin propagation", ctrl, |(_, m, a, dead)| {
+            *m == 3 && *a == 3 && dead.is_empty()
+        });
+    }
+    let (result, complete) = count_query(seed_ctrl);
+    assert!(complete);
+    assert_eq!(result, "3", "the returnee reappears in query results");
+}

@@ -72,12 +72,15 @@ fn wait_for_members(ctrl: &str, want: u32) {
     let deadline = Instant::now() + Duration::from_secs(30);
     loop {
         let (out, ok) = cli(&["--connect", ctrl, "status"]);
-        if ok && out.ends_with(&format!("members={want}")) {
+        // `status` reports the full liveness view, e.g.
+        // `node=n1 members=3 alive=3 dead=-`; everyone must both know
+        // and believe-alive the whole cluster.
+        if ok && out.contains(&format!("members={want} alive={want} dead=-")) {
             return;
         }
         assert!(
             Instant::now() < deadline,
-            "daemon {ctrl} never saw {want} members (last: {out:?})"
+            "daemon {ctrl} never saw {want} live members (last: {out:?})"
         );
         std::thread::sleep(Duration::from_millis(50));
     }

@@ -1,0 +1,116 @@
+//! The issue's acceptance scenario under deterministic simulation: a
+//! daemon-shaped cluster (engine + SWIM detector + private directory per
+//! node) where one node crashes at the *network* level, the survivors'
+//! detectors confirm it without omniscient help, queries return the
+//! surviving members' count, and a restart with a higher incarnation
+//! rejoins and reappears in query results — replayable byte-for-byte.
+
+use moara_core::MoaraConfig;
+use moara_daemon::SimSwarm;
+use moara_membership::SwimConfig;
+use moara_simnet::NodeId;
+
+fn outcome_count(out: &moara_core::QueryOutcome) -> i64 {
+    match &out.result {
+        moara_aggregation::AggResult::Value(moara_attributes::Value::Int(x)) => *x,
+        moara_aggregation::AggResult::Empty => 0,
+        other => panic!("unexpected result {other:?}"),
+    }
+}
+
+fn service_swarm(n: usize, seed: u64) -> SimSwarm {
+    let mut s = SimSwarm::new(n, MoaraConfig::default(), SwimConfig::fast(), seed);
+    for i in 0..n as u32 {
+        s.set_attr(NodeId(i), "ServiceX", true);
+    }
+    s.run_periods(5);
+    s
+}
+
+#[test]
+fn crash_is_confirmed_queries_shrink_and_rejoin_restores() {
+    let mut s = service_swarm(3, 42);
+    let q = "SELECT count(*) WHERE ServiceX = true";
+    assert_eq!(outcome_count(&s.query(NodeId(0), q)), 3);
+
+    // Crash node 2 at the network level: frames stop, nobody is told.
+    s.crash(NodeId(2));
+    s.run_periods(40);
+    for survivor in [0u32, 1] {
+        assert!(
+            !s.believes_alive(NodeId(survivor), NodeId(2)),
+            "survivor {survivor} must confirm the crash via its own detector"
+        );
+    }
+    let out = s.query(NodeId(0), q);
+    assert_eq!(
+        outcome_count(&out),
+        2,
+        "the crashed member must leave query answers"
+    );
+    assert!(
+        out.complete,
+        "post-repair trees must not wait on the dead node"
+    );
+
+    // Restart with preserved attributes and a bumped incarnation: the
+    // revival spreads by gossip, survivors reintegrate it, and it
+    // reappears in query results.
+    s.restart(NodeId(2));
+    s.run_periods(40);
+    for survivor in [0u32, 1] {
+        assert!(
+            s.believes_alive(NodeId(survivor), NodeId(2)),
+            "survivor {survivor} must see the rejoin"
+        );
+    }
+    let out = s.query(NodeId(1), q);
+    assert_eq!(outcome_count(&out), 3, "the returnee re-enters its trees");
+    assert!(out.complete);
+}
+
+#[test]
+fn the_whole_failure_recovery_story_is_deterministic() {
+    let run = || {
+        let mut s = service_swarm(4, 7);
+        let q = "SELECT count(*) WHERE ServiceX = true";
+        let a = s.query(NodeId(1), q);
+        s.crash(NodeId(3));
+        s.run_periods(40);
+        let b = s.query(NodeId(0), q);
+        s.restart(NodeId(3));
+        s.run_periods(40);
+        let c = s.query(NodeId(2), q);
+        (
+            outcome_count(&a),
+            outcome_count(&b),
+            outcome_count(&c),
+            format!("{:?}", (a.latency(), b.latency(), c.latency())),
+        )
+    };
+    let first = run();
+    assert_eq!(first, run(), "same seed ⇒ identical trace");
+    assert_eq!((first.0, first.1, first.2), (4, 3, 4));
+}
+
+#[test]
+fn interior_crash_does_not_lose_group_members() {
+    // 8 daemons, 3 in the group; crash a *non*-member (which may be an
+    // interior node of the group's tree): after confirmation the group
+    // count must be intact.
+    let mut s = SimSwarm::new(8, MoaraConfig::default(), SwimConfig::fast(), 11);
+    for i in 0..3u32 {
+        s.set_attr(NodeId(i), "ServiceX", true);
+    }
+    for i in 3..8u32 {
+        s.set_attr(NodeId(i), "ServiceX", false);
+    }
+    s.run_periods(5);
+    let q = "SELECT count(*) WHERE ServiceX = true";
+    assert_eq!(outcome_count(&s.query(NodeId(4), q)), 3);
+    s.crash(NodeId(6));
+    s.run_periods(50);
+    let out = s.query(NodeId(4), q);
+    assert_eq!(outcome_count(&out), 3, "members must survive tree repair");
+    assert!(out.complete);
+}

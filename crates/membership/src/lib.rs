@@ -1,0 +1,75 @@
+//! # moara-membership
+//!
+//! Live membership for Moara: a SWIM-style failure detector that turns
+//! "a peer stopped answering" into a *protocol-level* signal the rest of
+//! the stack can act on — `on_peer_failed`, DHT ring repair, membership
+//! pruning — without the omniscient `Cluster::fail_node` the simulator
+//! harness enjoys.
+//!
+//! Three pieces:
+//!
+//! * [`SwimMsg`] / [`Update`] — the gossip frames: ping, indirect
+//!   ping-req, ack, each piggybacking bounded membership claims stamped
+//!   with incarnation numbers;
+//! * [`SwimDetector`] — the per-node state machine (probe round-robin,
+//!   suspect → confirm with refutation, dissemination queue), written
+//!   against the `moara-transport` seam so `SimTransport` drives it
+//!   deterministically and `TcpTransport` drives it in real time;
+//! * [`SwimNode`] — a minimal [`NetProtocol`] host for running detectors
+//!   standalone (tests, examples); real deployments embed the detector
+//!   next to their protocol node (see `moara-daemon`), multiplexing
+//!   messages by envelope variant and timers by [`SWIM_TAG_BASE`].
+//!
+//! See `docs/membership.md` for parameters, frame layouts, and the
+//! crash-recovery (rejoin) flow.
+
+pub mod detector;
+pub mod msg;
+
+pub use detector::{PeerView, SwimConfig, SwimDetector, SwimEvent, SWIM_TAG_BASE};
+pub use msg::{PeerState, SwimMsg, Update};
+
+use moara_simnet::{NodeId, SimTime, TimerTag};
+use moara_transport::{NetCtx, NetProtocol};
+
+/// A standalone [`NetProtocol`] host for one [`SwimDetector`]: the whole
+/// node *is* the detector. Used by tests and by deployments that want a
+/// dedicated membership plane.
+#[derive(Debug)]
+pub struct SwimNode {
+    /// The hosted detector.
+    pub detector: SwimDetector,
+}
+
+impl SwimNode {
+    /// Hosts a fresh detector for `me`.
+    pub fn new(me: NodeId, cfg: SwimConfig, seed: u64) -> SwimNode {
+        SwimNode {
+            detector: SwimDetector::new(me, cfg, seed),
+        }
+    }
+
+    /// Installs the peer set as all-alive at incarnation 0.
+    pub fn with_peers(mut self, peers: &[NodeId]) -> SwimNode {
+        for &p in peers {
+            self.detector.sync_peer(p, 0, true, SimTime::ZERO);
+        }
+        self
+    }
+}
+
+impl NetProtocol for SwimNode {
+    type Msg = SwimMsg;
+
+    fn on_start(&mut self, ctx: &mut dyn NetCtx<SwimMsg>) {
+        self.detector.start(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut dyn NetCtx<SwimMsg>, from: NodeId, msg: SwimMsg) {
+        self.detector.on_message(ctx, from, msg);
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn NetCtx<SwimMsg>, tag: TimerTag) {
+        self.detector.on_timer(ctx, tag);
+    }
+}

@@ -1,0 +1,214 @@
+//! The detector under deterministic simulation: the same state machine
+//! the `moarad` daemon runs in real time, driven here by `SimTransport`
+//! timers — crash confirmation, refutation, full-isolation partitions,
+//! and crash-recovery rejoin, all byte-for-byte reproducible.
+
+use moara_membership::{PeerState, SwimConfig, SwimEvent, SwimNode};
+use moara_simnet::{latency, NodeId, SimDuration};
+use moara_transport::{SimTransport, Transport};
+
+fn swarm_with(n: usize, seed: u64, cfg: SwimConfig) -> SimTransport<SwimNode> {
+    let mut t: SimTransport<SwimNode> = SimTransport::new(latency::Constant::from_millis(2), seed);
+    let all: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+    for i in 0..n as u32 {
+        let peers: Vec<NodeId> = all.iter().copied().filter(|&p| p != NodeId(i)).collect();
+        t.add_node(SwimNode::new(NodeId(i), cfg.clone(), seed ^ u64::from(i)).with_peers(&peers));
+    }
+    t
+}
+
+fn swarm(n: usize, seed: u64) -> SimTransport<SwimNode> {
+    swarm_with(n, seed, SwimConfig::fast())
+}
+
+fn period() -> SimDuration {
+    SwimConfig::fast().period
+}
+
+fn run_periods(t: &mut SimTransport<SwimNode>, periods: u64) {
+    for _ in 0..periods {
+        t.run_for(period());
+    }
+}
+
+fn view_of(t: &SimTransport<SwimNode>, at: u32, about: u32) -> PeerState {
+    t.node(NodeId(at))
+        .detector
+        .peer(NodeId(about))
+        .expect("peer known")
+        .state
+}
+
+#[test]
+fn healthy_cluster_raises_no_alarms() {
+    let mut t = swarm(8, 1);
+    run_periods(&mut t, 30);
+    for i in 0..8u32 {
+        let events = t.node_mut(NodeId(i)).detector.take_events();
+        assert!(events.is_empty(), "node {i} raised {events:?}");
+        for j in 0..8u32 {
+            if i != j {
+                assert_eq!(view_of(&t, i, j), PeerState::Alive);
+            }
+        }
+    }
+    assert!(t.stats().counter("swim_pings") > 0, "probing did happen");
+}
+
+#[test]
+fn crashed_node_is_confirmed_by_every_survivor_without_omniscient_help() {
+    let mut t = swarm(6, 2);
+    run_periods(&mut t, 10);
+    // Network-level crash: node 3 stops receiving; nobody is told.
+    t.fail_node(NodeId(3));
+    run_periods(&mut t, 60);
+    for i in 0..6u32 {
+        if i == 3 {
+            continue;
+        }
+        assert_eq!(view_of(&t, i, 3), PeerState::Dead, "survivor {i}");
+        let events = t.node_mut(NodeId(i)).detector.take_events();
+        assert!(
+            events.contains(&SwimEvent::Confirmed(NodeId(3))),
+            "survivor {i} got {events:?}"
+        );
+        // No healthy peer was condemned along the way.
+        for j in 0..6u32 {
+            if j != 3 && j != i {
+                assert_eq!(view_of(&t, i, j), PeerState::Alive);
+            }
+        }
+    }
+}
+
+#[test]
+fn detection_is_deterministic_under_the_simulator() {
+    let run = || {
+        let mut t = swarm(5, 7);
+        run_periods(&mut t, 5);
+        t.fail_node(NodeId(2));
+        run_periods(&mut t, 50);
+        let confirms: Vec<(u32, Vec<SwimEvent>)> = (0..5u32)
+            .map(|i| (i, t.node_mut(NodeId(i)).detector.take_events()))
+            .collect();
+        (
+            t.stats().total_messages(),
+            t.stats().counter("swim_pings"),
+            format!("{confirms:?}"),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn isolated_node_and_majority_reconverge_after_heal() {
+    let mut t = swarm(4, 3);
+    run_periods(&mut t, 10);
+    let isolated = NodeId(0);
+    let rest: Vec<NodeId> = (1..4).map(NodeId).collect();
+    t.faults_mut().partition(&[isolated], &rest);
+    run_periods(&mut t, 80);
+    // Both sides condemned each other.
+    for i in 1..4u32 {
+        assert_eq!(view_of(&t, i, 0), PeerState::Dead, "survivor {i}");
+    }
+    for j in 1..4u32 {
+        assert_eq!(view_of(&t, 0, j), PeerState::Dead, "isolated about {j}");
+    }
+    for i in 0..4u32 {
+        t.node_mut(NodeId(i)).detector.take_events();
+    }
+    // Heal: the dead-peer probe + refutation dance revives both sides —
+    // each node that was wrongly confirmed bumps its incarnation, and the
+    // higher-incarnation alive claim spreads by gossip.
+    t.faults_mut().heal();
+    run_periods(&mut t, 200);
+    for i in 0..4u32 {
+        for j in 0..4u32 {
+            if i != j {
+                assert_eq!(view_of(&t, i, j), PeerState::Alive, "{i} about {j}");
+            }
+        }
+    }
+    // Everyone saw node 0 come back as a revival event.
+    for i in 1..4u32 {
+        let events = t.node_mut(NodeId(i)).detector.take_events();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, SwimEvent::Revived { node, .. } if *node == isolated)),
+            "survivor {i} got {events:?}"
+        );
+    }
+}
+
+#[test]
+fn crash_restart_with_higher_incarnation_rejoins() {
+    let mut t = swarm(5, 11);
+    run_periods(&mut t, 10);
+    t.fail_node(NodeId(4));
+    run_periods(&mut t, 60);
+    for i in 0..4u32 {
+        assert_eq!(view_of(&t, i, 4), PeerState::Dead);
+        t.node_mut(NodeId(i)).detector.take_events();
+    }
+    // Restart: state preserved, incarnation bumped above the confirmed
+    // one, alive re-announced (what a restarted moarad does on rejoin).
+    let dead_inc = t
+        .node(NodeId(0))
+        .detector
+        .peer(NodeId(4))
+        .unwrap()
+        .incarnation;
+    t.recover_node(NodeId(4));
+    t.node_mut(NodeId(4)).detector.set_incarnation(dead_inc + 1);
+    run_periods(&mut t, 120);
+    for i in 0..4u32 {
+        assert_eq!(view_of(&t, i, 4), PeerState::Alive, "survivor {i}");
+        let events = t.node_mut(NodeId(i)).detector.take_events();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, SwimEvent::Revived { node, .. } if *node == NodeId(4))),
+            "survivor {i} got {events:?}"
+        );
+    }
+    // The restarted node also re-learned its peers are alive.
+    for j in 0..4u32 {
+        assert_eq!(view_of(&t, 4, j), PeerState::Alive);
+    }
+}
+
+#[test]
+fn lossy_links_delay_but_do_not_break_detection() {
+    // Under sustained loss a short suspicion window would confirm healthy
+    // peers; a wider one rides out the dropped acks (the tuning trade-off
+    // documented in docs/membership.md).
+    let cfg = SwimConfig {
+        suspect_periods: 8,
+        ..SwimConfig::fast()
+    };
+    let mut t = swarm_with(5, 13, cfg);
+    // 20% loss on every link: indirect probes and gossip absorb it.
+    t.faults_mut().set_default_drop(0.2);
+    run_periods(&mut t, 40);
+    for i in 0..5u32 {
+        for j in 0..5u32 {
+            if i != j {
+                assert_eq!(
+                    view_of(&t, i, j),
+                    PeerState::Alive,
+                    "{i} wrongly condemned {j} under loss"
+                );
+            }
+        }
+    }
+    // A real crash is still confirmed.
+    t.fail_node(NodeId(1));
+    run_periods(&mut t, 100);
+    for i in 0..5u32 {
+        if i != 1 {
+            assert_eq!(view_of(&t, i, 1), PeerState::Dead, "survivor {i}");
+        }
+    }
+}

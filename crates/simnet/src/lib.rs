@@ -54,6 +54,6 @@ mod stats;
 mod time;
 
 pub use latency::LatencyModel;
-pub use sim::{Context, Message, NodeId, Protocol, Simulator, TimerId, TimerTag};
+pub use sim::{Context, FaultPlan, Message, NodeId, Protocol, Simulator, TimerId, TimerTag};
 pub use stats::Stats;
 pub use time::{SimDuration, SimTime};

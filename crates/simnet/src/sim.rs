@@ -2,11 +2,11 @@
 //! event loop.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::fmt;
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use crate::latency::LatencyModel;
 use crate::stats::Stats;
@@ -144,6 +144,90 @@ impl<M> Ord for Event<M> {
     }
 }
 
+/// Scriptable network faults: per-link (and default) message-drop
+/// probabilities plus bidirectional partitions. Consulted on every send
+/// when any fault is configured; a faulted message is lost *silently* —
+/// unlike sends to failed nodes it produces no undeliverable-log entry,
+/// because real networks drop packets without notifying the sender.
+///
+/// This is the simulator's fault-injection surface for churn scenarios
+/// the paper only gestures at: lossy links, netsplits, and (together with
+/// [`Simulator::fail_node`] / [`Simulator::recover_node`], which preserve
+/// node state) crash-then-restart. Drops are counted under the
+/// `"faults_dropped"` stats counter.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    /// Drop probability applied to every link without an explicit entry.
+    default_drop: f64,
+    /// Directed per-link drop probabilities, overriding the default.
+    link_drop: HashMap<(u32, u32), f64>,
+    /// Active partitions: traffic between the two sides of any entry is
+    /// cut in both directions.
+    partitions: Vec<(HashSet<u32>, HashSet<u32>)>,
+}
+
+impl FaultPlan {
+    /// Sets the drop probability for links without a per-link override.
+    pub fn set_default_drop(&mut self, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.default_drop = p;
+    }
+
+    /// Sets the drop probability of the directed link `from → to`.
+    pub fn set_link_drop(&mut self, from: NodeId, to: NodeId, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.link_drop.insert((from.0, to.0), p);
+    }
+
+    /// Cuts all traffic between `a` and `b`, in both directions. Stacks
+    /// with existing partitions.
+    pub fn partition(&mut self, a: &[NodeId], b: &[NodeId]) {
+        let a: HashSet<u32> = a.iter().map(|n| n.0).collect();
+        let b: HashSet<u32> = b.iter().map(|n| n.0).collect();
+        self.partitions.push((a, b));
+    }
+
+    /// Removes every partition (link-drop probabilities stay).
+    pub fn heal(&mut self) {
+        self.partitions.clear();
+    }
+
+    /// Removes every fault: partitions and drop probabilities.
+    pub fn clear(&mut self) {
+        self.partitions.clear();
+        self.link_drop.clear();
+        self.default_drop = 0.0;
+    }
+
+    /// True when any fault is configured (the send path skips the fault
+    /// check — and its RNG draw — entirely otherwise, so fault-free runs
+    /// keep their exact historical event traces).
+    pub fn active(&self) -> bool {
+        self.default_drop > 0.0 || !self.link_drop.is_empty() || !self.partitions.is_empty()
+    }
+
+    /// Whether a partition currently severs `from → to`.
+    pub fn partitioned(&self, from: NodeId, to: NodeId) -> bool {
+        self.partitions.iter().any(|(a, b)| {
+            (a.contains(&from.0) && b.contains(&to.0)) || (b.contains(&from.0) && a.contains(&to.0))
+        })
+    }
+
+    /// Decides whether this send is lost, drawing from `rng` only when a
+    /// probabilistic fault applies to the link.
+    fn drops(&self, rng: &mut StdRng, from: NodeId, to: NodeId) -> bool {
+        if self.partitioned(from, to) {
+            return true;
+        }
+        let p = self
+            .link_drop
+            .get(&(from.0, to.0))
+            .copied()
+            .unwrap_or(self.default_drop);
+        p > 0.0 && rng.gen_bool(p)
+    }
+}
+
 /// Everything the event loop owns besides the nodes themselves; split out so
 /// a node and the [`Context`] can be borrowed simultaneously.
 struct Core<M> {
@@ -157,6 +241,7 @@ struct Core<M> {
     alive: Vec<bool>,
     stats: Stats,
     undeliverable: Vec<(NodeId, NodeId)>,
+    faults: FaultPlan,
 }
 
 impl<M: Message> Core<M> {
@@ -211,6 +296,12 @@ impl<M: Message> Context<'_, M> {
         if !self.core.alive.get(to.index()).copied().unwrap_or(false) {
             self.core.stats.record_drop();
             self.core.undeliverable.push((self.me, to));
+            return;
+        }
+        if self.core.faults.active() && self.core.faults.drops(&mut self.core.rng, self.me, to) {
+            // Injected network loss: silent (no undeliverable entry) —
+            // the sender of a packet lost in the network learns nothing.
+            self.core.stats.bump("faults_dropped", 1);
             return;
         }
         let now = self.core.now;
@@ -271,8 +362,19 @@ impl<P: Protocol> Simulator<P> {
                 alive: Vec::new(),
                 stats: Stats::default(),
                 undeliverable: Vec::new(),
+                faults: FaultPlan::default(),
             },
         }
+    }
+
+    /// The scriptable network-fault plan (lossy links, partitions).
+    pub fn faults_mut(&mut self) -> &mut FaultPlan {
+        &mut self.core.faults
+    }
+
+    /// Read access to the fault plan.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.core.faults
     }
 
     /// Adds a node and invokes its [`Protocol::on_start`]. Returns its id.
@@ -593,6 +695,63 @@ mod tests {
         s.with_node(a, |_n, ctx| ctx.send(a, 0));
         s.run_to_quiescence();
         assert_eq!(s.node(a).got, vec![(a, 0)]);
+    }
+
+    #[test]
+    fn partition_cuts_both_directions_and_heal_restores() {
+        let mut s = sim();
+        let a = s.add_node(Echo::default());
+        let b = s.add_node(Echo::default());
+        s.faults_mut().partition(&[a], &[b]);
+        assert!(s.faults().partitioned(a, b) && s.faults().partitioned(b, a));
+        s.with_node(a, |_n, ctx| ctx.send(b, 0));
+        s.with_node(b, |_n, ctx| ctx.send(a, 0));
+        s.run_to_quiescence();
+        assert!(s.node(a).got.is_empty());
+        assert!(s.node(b).got.is_empty());
+        assert_eq!(s.stats().counter("faults_dropped"), 2);
+        // Partition loss is silent: no undeliverable notifications.
+        assert!(s.take_undeliverable().is_empty());
+        s.faults_mut().heal();
+        s.with_node(a, |_n, ctx| ctx.send(b, 0));
+        s.run_to_quiescence();
+        assert_eq!(s.node(b).got.len(), 1);
+    }
+
+    #[test]
+    fn link_drop_probability_loses_about_that_fraction() {
+        let mut s = sim();
+        let a = s.add_node(Echo::default());
+        let b = s.add_node(Echo::default());
+        s.faults_mut().set_link_drop(a, b, 0.5);
+        for _ in 0..200 {
+            s.with_node(a, |_n, ctx| ctx.send(b, 0));
+        }
+        s.run_to_quiescence();
+        let got = s.node(b).got.len();
+        assert!((60..=140).contains(&got), "half-lossy link delivered {got}");
+        assert_eq!(s.stats().counter("faults_dropped") as usize, 200 - got);
+        // The reverse direction is untouched.
+        s.with_node(b, |_n, ctx| ctx.send(a, 0));
+        s.run_to_quiescence();
+        assert_eq!(s.node(a).got.len(), 1);
+    }
+
+    #[test]
+    fn fault_free_runs_keep_their_exact_trace() {
+        // Guard: an inactive FaultPlan must not disturb the RNG stream.
+        let run = |touch_faults: bool| {
+            let mut s: Simulator<Echo> = Simulator::new(crate::latency::Lan::emulab(), 5);
+            let a = s.add_node(Echo::default());
+            let b = s.add_node(Echo::default());
+            if touch_faults {
+                s.faults_mut().set_default_drop(0.0);
+            }
+            s.with_node(a, |_n, ctx| ctx.send(b, 10));
+            s.run_to_quiescence();
+            (s.now(), s.stats().total_messages())
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! [`Transport`] host trait, so everything written against the trait runs
 //! under deterministic discrete-event simulation unchanged.
 
-use moara_simnet::{LatencyModel, NodeId, SimDuration, SimTime, Simulator, Stats};
+use moara_simnet::{FaultPlan, LatencyModel, NodeId, SimDuration, SimTime, Simulator, Stats};
 
 use crate::{NetCtx, NetProtocol, SimHosted, Transport};
 
@@ -39,6 +39,19 @@ impl<P: NetProtocol> SimTransport<P> {
     /// Number of queued events (pending deliveries + timers).
     pub fn pending_events(&self) -> usize {
         self.sim.pending_events()
+    }
+
+    /// The simulator's scriptable network-fault plan (per-link drop
+    /// probabilities, partitions) — the fault-injection surface for churn
+    /// and netsplit scenarios. Sim-specific: real transports get their
+    /// faults from the real network.
+    pub fn faults_mut(&mut self) -> &mut FaultPlan {
+        self.sim.faults_mut()
+    }
+
+    /// Read access to the fault plan.
+    pub fn faults(&self) -> &FaultPlan {
+        self.sim.faults()
     }
 }
 

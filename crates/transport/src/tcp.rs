@@ -463,10 +463,17 @@ where
     /// Registers where a *remote* node (hosted by another process)
     /// listens, so local sends can reach it.
     pub fn register_peer(&mut self, id: NodeId, addr: SocketAddr) {
-        self.core.peers.insert(id.0, addr);
+        let prev = self.core.peers.insert(id.0, addr);
         self.core.alive.entry(id.0).or_insert(true);
         // A stale pooled connection may point at a dead predecessor.
         self.core.pool.remove(&id.0);
+        if prev != Some(addr) {
+            // A *new* address is a fresh start: drop any send-failure
+            // cooldown accrued against the old one, or a rejoined peer
+            // (same id, new port) would stay unreachable for up to the
+            // full exponential backoff.
+            self.core.suspect_until.remove(&id.0);
+        }
     }
 
     /// Forgets a peer (it left the cluster).

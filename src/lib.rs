@@ -11,6 +11,8 @@
 //! * [`aggregation`](moara_aggregation) — aggregation functions;
 //! * [`attributes`](moara_attributes) — the per-node data model;
 //! * [`dht`](moara_dht) — the Pastry-style overlay substrate;
+//! * [`membership`](moara_membership) — the SWIM-style failure detector
+//!   behind live membership (see `docs/membership.md`);
 //! * [`transport`](moara_transport) — the pluggable transport subsystem;
 //! * [`simnet`](moara_simnet) — the discrete-event simulator;
 //! * [`wire`](moara_wire) — the binary wire codec;
@@ -46,6 +48,7 @@ pub use moara_attributes as attributes;
 pub use moara_baselines as baselines;
 pub use moara_core as core;
 pub use moara_dht as dht;
+pub use moara_membership as membership;
 pub use moara_query as query;
 pub use moara_simnet as simnet;
 pub use moara_transport as transport;

@@ -139,6 +139,129 @@ fn massive_churn_then_stability() {
 }
 
 #[test]
+fn partition_hides_members_heal_restores_them() {
+    // A netsplit is injected at the *network* level: the overlay still
+    // believes in the full membership, so queries from the majority side
+    // time out on the cut branches (incomplete, fewer members) — and
+    // after heal() the very next query is whole again, with no repair
+    // step in between. Eventual completeness after heal.
+    let mut c = flagged_cluster(24, 8, 21);
+    let q = "SELECT count(*) WHERE A = 1";
+    let before = c.query(NodeId(12), q).unwrap();
+    assert!(before.complete);
+    assert_eq!(count_of(&before), 8);
+
+    // Cut off a side holding three of the group members.
+    let side: Vec<NodeId> = [0u32, 1, 2].map(NodeId).to_vec();
+    c.partition(&side);
+    let during = c.query(NodeId(12), q).unwrap();
+    assert!(
+        !during.complete,
+        "severed branches must surface as incompleteness, not hang"
+    );
+    assert!(
+        count_of(&during) < 8,
+        "cut members cannot answer: got {}",
+        count_of(&during)
+    );
+    // The minority side is worse off: the group's tree root lives on the
+    // other side, so it cannot even reach the tree — it gets a (clearly
+    // marked incomplete) partial answer of at most its own members.
+    let minority = c.query(NodeId(0), q).unwrap();
+    assert!(!minority.complete);
+    assert!(count_of(&minority) <= 3);
+
+    c.heal();
+    let after = c.query(NodeId(12), q).unwrap();
+    assert!(after.complete, "healed network must complete again");
+    assert_eq!(
+        count_of(&after),
+        8,
+        "answers return to the pre-partition count"
+    );
+}
+
+#[test]
+fn crash_then_rejoin_restores_the_pre_crash_count() {
+    let mut c = flagged_cluster(30, 9, 22);
+    let q = "SELECT count(*) WHERE A = 1";
+    assert_eq!(count_of(&c.query(NodeId(20), q).unwrap()), 9);
+
+    // Crash two group members (overlay repairs around them).
+    c.fail_node(NodeId(1));
+    c.fail_node(NodeId(4));
+    let during = c.query(NodeId(20), q).unwrap();
+    assert!(during.complete);
+    assert_eq!(count_of(&during), 7);
+
+    // Restart them: same identity, attribute stores preserved, stale
+    // tree state discarded — they re-enter the group's tree.
+    c.restart_node(NodeId(1));
+    c.restart_node(NodeId(4));
+    c.run_to_quiescence();
+    assert!(c.is_alive(NodeId(1)) && c.is_alive(NodeId(4)));
+    let after = c.query(NodeId(20), q).unwrap();
+    assert!(after.complete);
+    assert_eq!(count_of(&after), 9, "returnees reappear in query results");
+
+    // And the ground truth agrees.
+    let truth = c
+        .group_members(&SimplePredicate::new("A", CmpOp::Eq, 1i64))
+        .len() as i64;
+    assert_eq!(truth, 9);
+}
+
+#[test]
+fn rejoined_root_serves_its_tree_again() {
+    // Harder variant: the crashed node is the *root* of the group's tree;
+    // the tree re-homes while it is gone and must re-form around it when
+    // it returns.
+    let mut c = flagged_cluster(40, 6, 23);
+    let q = "SELECT count(*) WHERE A = 1";
+    c.query(NodeId(30), q).unwrap();
+    let key = moara_dht::Id::of_attribute("A");
+    let root = c.directory().owner_node(key);
+    let was_member = c.node(root).store.get("A") == Some(&Value::Int(1));
+    c.fail_node(root);
+    let expected = 6 - i64::from(was_member);
+    assert_eq!(count_of(&c.query(NodeId(30), q).unwrap()), expected);
+
+    c.restart_node(root);
+    c.run_to_quiescence();
+    assert_eq!(
+        c.directory().owner_node(key),
+        root,
+        "the returnee owns its key again"
+    );
+    let out = c.query(NodeId(30), q).unwrap();
+    assert!(out.complete);
+    assert_eq!(count_of(&out), 6);
+}
+
+#[test]
+fn lossy_network_queries_stay_bounded_and_eventually_complete() {
+    // Per-link loss: individual queries may come back incomplete (their
+    // branch timeouts fire) but never hang, and a retry loop converges to
+    // the full answer once a loss-free round happens.
+    let mut c = flagged_cluster(16, 5, 24);
+    let q = "SELECT count(*) WHERE A = 1";
+    c.set_default_drop(0.05);
+    let mut complete_with_truth = false;
+    for _ in 0..12 {
+        let out = c.query(NodeId(10), q).unwrap();
+        assert!(count_of(&out) <= 5, "loss can only lose answers, not add");
+        if out.complete && count_of(&out) == 5 {
+            complete_with_truth = true;
+            break;
+        }
+    }
+    assert!(
+        complete_with_truth,
+        "repeated queries over a 5%-lossy network must eventually complete"
+    );
+}
+
+#[test]
 fn attribute_removal_is_group_departure() {
     let mut c = flagged_cluster(20, 8, 8);
     let q = "SELECT count(*) WHERE A = 1";
