@@ -1,0 +1,355 @@
+//! Incremental re-aggregation: the delta-capable fold behind the
+//! continuous-query subscription plane.
+//!
+//! A tree node standing in for a subtree keeps one partial aggregate per
+//! *source* (its own local contribution plus one summary per reporting
+//! child) and must answer, after every input change, "did my subtree's
+//! merged aggregate change?" — pushing a delta upward only when it did.
+//! [`DeltaFold`] is that bookkeeping, factored out of the protocol so the
+//! update/retract rules are testable in isolation:
+//!
+//! * **Invertible kinds** (`count`, integer `sum`, `histogram`) maintain
+//!   the merged state in O(1) per update by un-merging the source's old
+//!   contribution and merging the new one ([`AggKind::unmerge`]).
+//! * **Order statistics and float kinds** (`min`, `max`, `top-k`,
+//!   `avg`, `std`, float `sum`, `enumerate`) re-fold from the per-source
+//!   summaries instead. For `min`/`max` the summaries are exactly what
+//!   makes *retraction* possible: when the child holding the minimum
+//!   leaves (or raises its value), no arithmetic can recover the
+//!   runner-up — but the sibling summaries still know it. Floats re-fold
+//!   to keep merged state bit-identical to a fresh fold (subtraction
+//!   would accumulate rounding drift that the suppression comparison
+//!   `old == new` could never cancel).
+//!
+//! Either path yields the same state as folding all current sources from
+//! scratch (property-tested below), so "changed" has one meaning: the
+//! replacement partial aggregate this subtree would report is different.
+
+use std::collections::BTreeMap;
+
+use crate::func::{AggKind, AggState};
+
+/// Source key for a node's own local contribution (children use their
+/// transport id; `u64::MAX` can never collide with one).
+pub const LOCAL_SOURCE: u64 = u64::MAX;
+
+/// A set of per-source partial aggregates with an incrementally
+/// maintained merge (see module docs).
+#[derive(Clone, Debug)]
+pub struct DeltaFold {
+    kind: AggKind,
+    parts: BTreeMap<u64, AggState>,
+    merged: AggState,
+}
+
+impl DeltaFold {
+    /// An empty fold for `kind` (merged state is the identity).
+    pub fn new(kind: AggKind) -> DeltaFold {
+        DeltaFold {
+            kind,
+            parts: BTreeMap::new(),
+            merged: AggState::Null,
+        }
+    }
+
+    /// The aggregation kind this fold merges.
+    pub fn kind(&self) -> AggKind {
+        self.kind
+    }
+
+    /// The current merged partial aggregate over all sources.
+    pub fn merged(&self) -> &AggState {
+        &self.merged
+    }
+
+    /// Number of sources currently contributing (null parts included —
+    /// a source that reported "nothing" is still a known source).
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// True when no source has reported.
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// Whether `source` has a recorded part.
+    pub fn contains(&self, source: u64) -> bool {
+        self.parts.contains_key(&source)
+    }
+
+    /// The recorded part of one source.
+    pub fn part(&self, source: u64) -> Option<&AggState> {
+        self.parts.get(&source)
+    }
+
+    /// Source keys in ascending order.
+    pub fn sources(&self) -> impl Iterator<Item = u64> + '_ {
+        self.parts.keys().copied()
+    }
+
+    /// Records (or replaces) `source`'s partial aggregate and returns
+    /// whether the merged state changed — the delta trigger.
+    pub fn set(&mut self, source: u64, state: AggState) -> bool {
+        let old = self.parts.insert(source, state.clone());
+        if old.as_ref() == Some(&state) {
+            return false;
+        }
+        self.remerge(old, Some(state))
+    }
+
+    /// Forgets `source` (child failed or was re-homed) and returns
+    /// whether the merged state changed.
+    pub fn remove(&mut self, source: u64) -> bool {
+        match self.parts.remove(&source) {
+            None => false,
+            Some(old) => self.remerge(Some(old), None),
+        }
+    }
+
+    /// Applies one source transition `old → new` to the merged state,
+    /// via O(1) un-merge when the kind is invertible, by re-folding the
+    /// summaries otherwise. Returns whether the merge changed.
+    fn remerge(&mut self, old: Option<AggState>, new: Option<AggState>) -> bool {
+        let before = self.merged.clone();
+        let fast = match old {
+            Some(old_state) => {
+                self.kind
+                    .unmerge(before.clone(), old_state)
+                    .map(|shrunk| match new {
+                        Some(n) => self.kind.merge(shrunk, n),
+                        None => shrunk,
+                    })
+            }
+            // Pure addition never needs inversion.
+            None => Some(
+                self.kind
+                    .merge(before.clone(), new.unwrap_or(AggState::Null)),
+            ),
+        };
+        self.merged = fast.unwrap_or_else(|| self.refold());
+        self.merged != before
+    }
+
+    /// Folds all current parts from scratch (the slow, always-correct
+    /// path; also the reference the fast path is property-tested against).
+    pub fn refold(&self) -> AggState {
+        self.parts
+            .values()
+            .fold(AggState::Null, |acc, s| self.kind.merge(acc, s.clone()))
+    }
+}
+
+impl AggKind {
+    /// Removes `part` from the merged state `total`, for kinds whose
+    /// merge is exactly invertible (integer arithmetic only: `count`,
+    /// integer `sum`, `histogram`). Returns `None` for everything else —
+    /// order statistics cannot retract without sibling summaries, and
+    /// float accumulators would drift away from a fresh fold.
+    pub fn unmerge(&self, total: AggState, part: AggState) -> Option<AggState> {
+        use AggState::*;
+        Some(match (total, part) {
+            (t, Null) => t,
+            (Count(t), Count(p)) => {
+                let left = t.checked_sub(p)?;
+                if left == 0 {
+                    Null
+                } else {
+                    Count(left)
+                }
+            }
+            (SumInt(t), SumInt(p)) => SumInt(t.wrapping_sub(p)),
+            (
+                Hist {
+                    lo,
+                    hi,
+                    counts: mut t,
+                },
+                Hist { counts: p, .. },
+            ) => {
+                if t.len() != p.len() {
+                    return None;
+                }
+                for (a, b) in t.iter_mut().zip(&p) {
+                    *a = a.checked_sub(*b)?;
+                }
+                if t.iter().all(|&c| c == 0) {
+                    Null
+                } else {
+                    Hist { lo, hi, counts: t }
+                }
+            }
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::NodeRef;
+    use moara_attributes::Value;
+
+    fn seed(kind: AggKind, node: u64, v: i64) -> AggState {
+        kind.seed(NodeRef(node), &Value::Int(v)).unwrap()
+    }
+
+    #[test]
+    fn count_updates_in_place_and_zero_returns_to_null() {
+        let mut f = DeltaFold::new(AggKind::Count);
+        assert!(f.set(1, AggState::Count(1)));
+        assert!(f.set(2, AggState::Count(3)));
+        assert_eq!(f.merged(), &AggState::Count(4));
+        // Unchanged input is suppressed.
+        assert!(!f.set(2, AggState::Count(3)));
+        assert!(f.set(2, AggState::Count(1)));
+        assert_eq!(f.merged(), &AggState::Count(2));
+        assert!(f.remove(1));
+        assert!(f.set(2, AggState::Null));
+        assert_eq!(f.merged(), &AggState::Null);
+        assert_eq!(f.len(), 1, "a null source is still a known source");
+    }
+
+    #[test]
+    fn min_retracts_through_sibling_summaries() {
+        let mut f = DeltaFold::new(AggKind::Min);
+        f.set(1, seed(AggKind::Min, 1, 5));
+        f.set(2, seed(AggKind::Min, 2, 2));
+        f.set(3, seed(AggKind::Min, 3, 9));
+        assert_eq!(f.merged(), &AggState::Min((Value::Int(2), NodeRef(2))));
+        // The minimum's holder leaves: the fold must surface the runner-up
+        // — impossible arithmetically, possible from the summaries.
+        assert!(f.remove(2));
+        assert_eq!(f.merged(), &AggState::Min((Value::Int(5), NodeRef(1))));
+        // The new minimum's holder *raises* its value instead of leaving.
+        assert!(f.set(1, seed(AggKind::Min, 1, 50)));
+        assert_eq!(f.merged(), &AggState::Min((Value::Int(9), NodeRef(3))));
+    }
+
+    #[test]
+    fn max_and_topk_retract_too() {
+        let mut f = DeltaFold::new(AggKind::Max);
+        f.set(1, seed(AggKind::Max, 1, 5));
+        f.set(2, seed(AggKind::Max, 2, 8));
+        assert!(f.remove(2));
+        assert_eq!(f.merged(), &AggState::Max((Value::Int(5), NodeRef(1))));
+
+        let kind = AggKind::TopK(2);
+        let mut f = DeltaFold::new(kind);
+        f.set(1, seed(kind, 1, 5));
+        f.set(2, seed(kind, 2, 8));
+        f.set(3, seed(kind, 3, 7));
+        assert!(f.remove(2));
+        assert_eq!(
+            f.merged().clone().finish(),
+            crate::func::AggResult::Ranked(vec![
+                (Value::Int(7), NodeRef(3)),
+                (Value::Int(5), NodeRef(1)),
+            ])
+        );
+    }
+
+    #[test]
+    fn unmerge_is_exact_for_invertible_kinds_only() {
+        let k = AggKind::Count;
+        assert_eq!(
+            k.unmerge(AggState::Count(5), AggState::Count(2)),
+            Some(AggState::Count(3))
+        );
+        assert_eq!(
+            k.unmerge(AggState::Count(2), AggState::Count(2)),
+            Some(AggState::Null)
+        );
+        assert_eq!(k.unmerge(AggState::Count(1), AggState::Count(2)), None);
+        assert_eq!(
+            AggKind::Sum.unmerge(AggState::SumInt(5), AggState::SumInt(7)),
+            Some(AggState::SumInt(-2))
+        );
+        // Floats and order statistics refuse.
+        assert_eq!(
+            AggKind::Sum.unmerge(AggState::SumFloat(5.0), AggState::SumFloat(2.0)),
+            None
+        );
+        assert_eq!(
+            AggKind::Min.unmerge(
+                AggState::Min((Value::Int(1), NodeRef(1))),
+                AggState::Min((Value::Int(1), NodeRef(1)))
+            ),
+            None
+        );
+        // Identity removal is free for every kind.
+        assert_eq!(
+            AggKind::Avg.unmerge(AggState::Avg { sum: 1.0, count: 1 }, AggState::Null),
+            Some(AggState::Avg { sum: 1.0, count: 1 })
+        );
+    }
+
+    #[test]
+    fn histogram_unmerges_bucketwise() {
+        let kind = AggKind::Histogram {
+            lo: 0,
+            hi: 10,
+            buckets: 2,
+        };
+        let mut f = DeltaFold::new(kind);
+        f.set(1, seed(kind, 1, 1));
+        f.set(2, seed(kind, 2, 7));
+        assert!(f.remove(1));
+        assert_eq!(f.merged(), &seed(kind, 2, 7));
+        assert!(f.remove(2));
+        assert_eq!(f.merged(), &AggState::Null);
+    }
+
+    #[test]
+    fn fast_path_matches_refold_under_random_walks() {
+        // Every kind, driven by a deterministic pseudo-random stream of
+        // set/remove operations: the incrementally maintained merge must
+        // equal a from-scratch fold at every step.
+        let kinds = [
+            AggKind::Count,
+            AggKind::Sum,
+            AggKind::Avg,
+            AggKind::Min,
+            AggKind::Max,
+            AggKind::Std,
+            AggKind::TopK(3),
+            AggKind::Enumerate,
+            AggKind::Histogram {
+                lo: 0,
+                hi: 100,
+                buckets: 4,
+            },
+        ];
+        for kind in kinds {
+            let mut f = DeltaFold::new(kind);
+            let mut x: u64 = 0x5eed ^ 0x9e3779b97f4a7c15;
+            for _ in 0..300 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let src = (x >> 8) % 6;
+                if x.is_multiple_of(5) {
+                    f.remove(src);
+                } else {
+                    let v = ((x >> 16) % 200) as i64 - 100;
+                    f.set(src, seed(kind, src, v));
+                }
+                assert_eq!(f.merged(), &f.refold(), "kind {kind:?} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn changed_flag_tracks_merge_not_input() {
+        // Two sources with equal values: removing one changes the merged
+        // count but not the merged min.
+        let mut f = DeltaFold::new(AggKind::Min);
+        f.set(1, seed(AggKind::Min, 1, 4));
+        f.set(2, seed(AggKind::Min, 1, 4)); // same attributed value
+        assert!(!f.remove(2), "identical min elsewhere: merge unchanged");
+        let mut f = DeltaFold::new(AggKind::Count);
+        f.set(1, AggState::Count(1));
+        f.set(2, AggState::Count(1));
+        assert!(f.remove(2), "count shrinks");
+    }
+}

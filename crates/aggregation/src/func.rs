@@ -28,6 +28,13 @@ pub enum AggKind {
     Max,
     /// Arithmetic mean, implemented as sum + count as in the paper.
     Avg,
+    /// Population standard deviation, implemented as sum +
+    /// sum-of-squares + count. An extension beyond the paper's function
+    /// list: still partially aggregatable (all three moments add), and
+    /// delta-friendly — a subtree's contribution can be replaced without
+    /// touching its siblings', which is what threshold subscriptions
+    /// watch.
+    Std,
     /// The `k` largest values with their nodes ("top-3 loaded hosts").
     TopK(usize),
     /// The `k` smallest values with their nodes.
@@ -59,6 +66,7 @@ impl AggKind {
             "min" => Some(AggKind::Min),
             "max" => Some(AggKind::Max),
             "avg" | "average" | "mean" => Some(AggKind::Avg),
+            "std" | "stddev" | "stdev" => Some(AggKind::Std),
             "enum" | "enumerate" | "list" => Some(AggKind::Enumerate),
             _ => None,
         }
@@ -113,6 +121,19 @@ impl AggKind {
                     return Err(AggError::NonNumeric(value.clone()));
                 }
                 Ok(AggState::Avg { sum: f, count: 1 })
+            }
+            AggKind::Std => {
+                let f = value
+                    .as_f64()
+                    .ok_or_else(|| AggError::NonNumeric(value.clone()))?;
+                if f.is_nan() {
+                    return Err(AggError::NonNumeric(value.clone()));
+                }
+                Ok(AggState::Std {
+                    sum: f,
+                    sum_sq: f * f,
+                    count: 1,
+                })
             }
             AggKind::Min | AggKind::Max => {
                 if matches!(value, Value::Float(f) if f.is_nan()) {
@@ -182,6 +203,22 @@ impl AggKind {
             (SumFloat(x), SumFloat(y)) => SumFloat(x + y),
             (Avg { sum: s1, count: c1 }, Avg { sum: s2, count: c2 }) => Avg {
                 sum: s1 + s2,
+                count: c1 + c2,
+            },
+            (
+                Std {
+                    sum: s1,
+                    sum_sq: q1,
+                    count: c1,
+                },
+                Std {
+                    sum: s2,
+                    sum_sq: q2,
+                    count: c2,
+                },
+            ) => Std {
+                sum: s1 + s2,
+                sum_sq: q1 + q2,
                 count: c1 + c2,
             },
             (Min(x), Min(y)) => Min(pick(x, y, false)),
@@ -274,6 +311,15 @@ pub enum AggState {
         /// Number of contributions so far.
         count: u64,
     },
+    /// Partial standard deviation (first two moments plus count).
+    Std {
+        /// Sum of contributions so far.
+        sum: f64,
+        /// Sum of squared contributions so far.
+        sum_sq: f64,
+        /// Number of contributions so far.
+        count: u64,
+    },
     /// Current minimum with its node.
     Min((Value, NodeRef)),
     /// Current maximum with its node.
@@ -318,6 +364,16 @@ impl AggState {
                     AggResult::Empty
                 } else {
                     AggResult::Value(Value::Float(sum / count as f64))
+                }
+            }
+            AggState::Std { sum, sum_sq, count } => {
+                if count == 0 {
+                    AggResult::Empty
+                } else {
+                    let mean = sum / count as f64;
+                    // Clamp the catastrophic-cancellation case to zero.
+                    let var = (sum_sq / count as f64 - mean * mean).max(0.0);
+                    AggResult::Value(Value::Float(var.sqrt()))
                 }
             }
             AggState::Min((v, n)) | AggState::Max((v, n)) => AggResult::Attributed(v, n),
@@ -470,6 +526,7 @@ mod wire {
                     hi.encode(out);
                     buckets.encode(out);
                 }
+                AggKind::Std => out.push(9),
             }
         }
 
@@ -488,6 +545,7 @@ mod wire {
                     hi: i64::decode(buf)?,
                     buckets: u32::decode(buf)?,
                 },
+                9 => AggKind::Std,
                 _ => return Err(WireError::Invalid("AggKind tag")),
             })
         }
@@ -550,6 +608,12 @@ mod wire {
                     hi.encode(out);
                     counts.encode(out);
                 }
+                AggState::Std { sum, sum_sq, count } => {
+                    out.push(10);
+                    sum.encode(out);
+                    sum_sq.encode(out);
+                    count.encode(out);
+                }
             }
         }
 
@@ -576,6 +640,11 @@ mod wire {
                     hi: i64::decode(buf)?,
                     counts: Wire::decode(buf)?,
                 },
+                10 => AggState::Std {
+                    sum: f64::decode(buf)?,
+                    sum_sq: f64::decode(buf)?,
+                    count: u64::decode(buf)?,
+                },
                 _ => return Err(WireError::Invalid("AggState tag")),
             })
         }
@@ -585,6 +654,7 @@ mod wire {
                 AggState::Null => 0,
                 AggState::Count(_) | AggState::SumInt(_) | AggState::SumFloat(_) => 8,
                 AggState::Avg { .. } => 16,
+                AggState::Std { .. } => 24,
                 AggState::Min(item) | AggState::Max(item) => item.encoded_len(),
                 AggState::Ranked { items, .. } => 9 + items.encoded_len(),
                 AggState::Nodes(ns) => ns.encoded_len(),
@@ -756,7 +826,27 @@ mod tests {
         assert_eq!(AggKind::from_name("COUNT"), Some(AggKind::Count));
         assert_eq!(AggKind::from_name("Avg"), Some(AggKind::Avg));
         assert_eq!(AggKind::from_name("enumerate"), Some(AggKind::Enumerate));
+        assert_eq!(AggKind::from_name("std"), Some(AggKind::Std));
+        assert_eq!(AggKind::from_name("STDDEV"), Some(AggKind::Std));
         assert_eq!(AggKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn std_is_population_standard_deviation() {
+        let kind = AggKind::Std;
+        // Values 2, 4, 4, 4, 5, 5, 7, 9 → σ = 2 (the classic example).
+        let vals: Vec<(u64, Value)> = [2, 4, 4, 4, 5, 5, 7, 9]
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i as u64, Value::Int(v)))
+            .collect();
+        let s = merge_left(kind, seed_all(kind, &vals));
+        assert!((s.finish().as_f64().unwrap() - 2.0).abs() < 1e-9);
+        // A single value has zero spread; the empty aggregate is Empty.
+        let one = kind.seed(NodeRef(1), &Value::Int(7)).unwrap();
+        assert_eq!(one.finish().as_f64(), Some(0.0));
+        assert_eq!(kind.finalize(AggState::Null), AggResult::Empty);
+        assert!(kind.seed(NodeRef(1), &Value::Bool(true)).is_err());
     }
 
     #[test]
@@ -770,6 +860,7 @@ mod tests {
             Just(AggKind::Count),
             Just(AggKind::Sum),
             Just(AggKind::Avg),
+            Just(AggKind::Std),
             Just(AggKind::Min),
             Just(AggKind::Max),
             (1usize..5).prop_map(AggKind::TopK),

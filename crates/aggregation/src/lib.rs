@@ -31,7 +31,9 @@
 //! assert_eq!(merged.finish().as_f64(), Some(30.0));
 //! ```
 
+mod delta;
 mod func;
 
+pub use delta::{DeltaFold, LOCAL_SOURCE};
 pub use func::{AggError, AggKind, AggResult, AggState, NodeRef};
 pub use moara_attributes::Value;

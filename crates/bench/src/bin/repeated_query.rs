@@ -13,7 +13,7 @@
 //! least 30% of total messages with no latency regression.
 
 use moara_bench::harness::mean;
-use moara_bench::scaled;
+use moara_bench::{full_scale, scaled, BenchReport};
 use moara_core::{Cluster, MoaraConfig, ProbeCachePolicy};
 use moara_simnet::latency::Constant;
 use moara_simnet::NodeId;
@@ -217,6 +217,40 @@ fn main() {
         );
         failed = true;
     }
+
+    // Machine-readable record, so perf is tracked across revisions
+    // instead of only surviving in CI logs.
+    BenchReport::new("query")
+        .field(
+            "scale",
+            if smoke {
+                "smoke"
+            } else if full_scale() {
+                "full"
+            } else {
+                "default"
+            },
+        )
+        .field("nodes", w.nodes)
+        .field("groups", w.groups)
+        .field("group_size", w.group_size)
+        .field("queries", queries)
+        .field("cache_off_messages", off.total_messages)
+        .field("cache_on_messages", on.total_messages)
+        .field("cache_off_probes", off.probes)
+        .field("cache_on_probes", on.probes)
+        .field("cache_hits", on.cache_hits)
+        .field("probes_coalesced", on.coalesced)
+        .field("batched_frames", on.batched)
+        .field("cache_off_latency_ms", off.mean_latency_ms)
+        .field("cache_on_latency_ms", on.mean_latency_ms)
+        .field("saved_messages", saved)
+        .field("saved_pct", saved_pct)
+        .field("latency_delta_pct", lat_delta_pct)
+        .field("gate_min_saved_pct", 30.0)
+        .field("gate_passed", !failed)
+        .write();
+
     if failed {
         std::process::exit(1);
     }

@@ -1,0 +1,239 @@
+//! Continuous queries vs polling: what the subscription plane buys a
+//! dashboard-style workload.
+//!
+//! The same monitoring story runs twice on identical clusters with an
+//! identical (seeded) sparse-update script:
+//!
+//! * **polling** — the front-end re-runs `SELECT sum(V) WHERE A = true`
+//!   every period, paying the full probe/plan/aggregate pipeline whether
+//!   or not anything changed (the pre-subscription architecture);
+//! * **subscription** — the front-end installs the same query once with
+//!   [`DeliveryPolicy::Periodic`] at the same period (identical
+//!   client-visible freshness), and thereafter only *changed subtrees*
+//!   send anything: deltas on the sparse updates, half-lease renewals as
+//!   keep-alive.
+//!
+//! Both arms must observe byte-identical per-period results; the
+//! comparison reports total messages, per-event counters, and the
+//! savings. `--smoke` shrinks the workload for CI, where this binary is
+//! an executable gate: it exits nonzero unless the subscription serves
+//! the same freshness with **at least 50% fewer messages**. Numbers land
+//! in `BENCH_subscribe.json` so perf is tracked across revisions.
+
+use moara_bench::{full_scale, scaled, BenchReport};
+use moara_core::{Cluster, DeliveryPolicy, MoaraConfig};
+use moara_simnet::latency::Constant;
+use moara_simnet::{NodeId, SimDuration};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SEED: u64 = 1908;
+
+struct Workload {
+    nodes: usize,
+    group: usize,
+    /// Observation periods (one poll / one snapshot each).
+    periods: usize,
+    /// A sparse update lands every this many periods.
+    update_every: usize,
+    period: SimDuration,
+    lease: SimDuration,
+}
+
+struct RunResult {
+    messages: u64,
+    answers: Vec<String>,
+    deltas: u64,
+    renews: u64,
+    suppressed: u64,
+}
+
+fn build(w: &Workload) -> Cluster {
+    let mut cluster = Cluster::builder()
+        .nodes(w.nodes)
+        .seed(SEED)
+        .latency(Constant::from_millis(1))
+        .config(MoaraConfig::default())
+        .build();
+    for i in 0..w.nodes as u32 {
+        cluster.set_attr(NodeId(i), "A", (i as usize) < w.group);
+        cluster.set_attr(NodeId(i), "V", i as i64 % 10);
+    }
+    cluster.run_to_quiescence();
+    cluster.stats_mut().reset();
+    cluster
+}
+
+/// The shared sparse-update script: at period `p` (if due), one group
+/// member's `V` moves. Seeded, so both arms replay the same history.
+fn apply_update(cluster: &mut Cluster, rng: &mut StdRng, w: &Workload) {
+    let member = NodeId(rng.gen_range(0..w.group) as u32);
+    let v = rng.gen_range(0..1000) as i64;
+    cluster.set_attr(member, "V", v);
+}
+
+fn run_polling(w: &Workload) -> RunResult {
+    let mut cluster = build(w);
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x5b5);
+    let mut answers = Vec::new();
+    let half = SimDuration::from_micros(w.period.as_micros() / 2);
+    for p in 0..w.periods {
+        cluster.run_for(half);
+        if p % w.update_every == 0 {
+            apply_update(&mut cluster, &mut rng, w);
+        }
+        cluster.run_for(half);
+        let out = cluster
+            .query(NodeId(0), "SELECT sum(V) WHERE A = true")
+            .expect("workload query parses");
+        assert!(out.complete);
+        answers.push(out.result.to_string());
+    }
+    let stats = cluster.stats();
+    RunResult {
+        messages: stats.total_messages(),
+        answers,
+        deltas: 0,
+        renews: 0,
+        suppressed: 0,
+    }
+}
+
+fn run_subscription(w: &Workload) -> RunResult {
+    let mut cluster = build(w);
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x5b5);
+    let wid = cluster
+        .subscribe(
+            NodeId(0),
+            "SELECT sum(V) WHERE A = true",
+            DeliveryPolicy::Periodic(w.period),
+            w.lease,
+        )
+        .expect("workload query parses");
+    cluster.run_to_quiescence(); // initial sync (counted against the arm)
+    let initial = cluster.take_sub_updates(NodeId(0), wid);
+    assert_eq!(initial.len(), 1, "one initial update");
+    assert!(initial[0].complete);
+
+    let half = SimDuration::from_micros(w.period.as_micros() / 2);
+    for p in 0..w.periods {
+        cluster.run_for(half);
+        if p % w.update_every == 0 {
+            apply_update(&mut cluster, &mut rng, w);
+        }
+        cluster.run_for(half);
+    }
+    // Snapshot ticks fire inside run_for; one per period.
+    let answers: Vec<String> = cluster
+        .take_sub_updates(NodeId(0), wid)
+        .into_iter()
+        .map(|u| u.result.to_string())
+        .collect();
+    let stats = cluster.stats();
+    RunResult {
+        messages: stats.total_messages(),
+        answers,
+        deltas: stats.counter("sub_deltas"),
+        renews: stats.counter("sub_renews"),
+        suppressed: stats.counter("sub_suppressed"),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let w = if smoke {
+        Workload {
+            nodes: 48,
+            group: 8,
+            periods: 24,
+            update_every: 3,
+            period: SimDuration::from_secs(5),
+            lease: SimDuration::from_secs(90),
+        }
+    } else {
+        // A standing dashboard holds its lease for minutes (the lease is
+        // the post-crash GC budget, not a liveness heartbeat — SWIM owns
+        // liveness), so renewal keep-alive amortizes to
+        // O(n / (lease/2)) msgs/s against polling's O(group/period).
+        Workload {
+            nodes: scaled(256, 1024),
+            group: 16,
+            periods: scaled(120, 240),
+            update_every: 4,
+            period: SimDuration::from_secs(5),
+            // Scaled with deployment size: keep-alive cost is O(n) per
+            // half-lease, so operators of larger overlays hold longer
+            // leases (the trade is GC latency after a subscriber crash).
+            lease: SimDuration::from_secs(scaled(600, 1200) as u64),
+        }
+    };
+    println!(
+        "=== continuous-query workload: {} nodes, group of {}, {} periods of {}, \
+         one update per {} periods ===",
+        w.nodes, w.group, w.periods, w.period, w.update_every
+    );
+
+    let poll = run_polling(&w);
+    let sub = run_subscription(&w);
+    assert_eq!(
+        poll.answers, sub.answers,
+        "subscription snapshots must equal period-equivalent polling"
+    );
+
+    println!(
+        "{:>14} {:>12} {:>10} {:>10} {:>10}",
+        "mode", "total msgs", "deltas", "renews", "suppressed"
+    );
+    println!(
+        "{:>14} {:>12} {:>10} {:>10} {:>10}",
+        "polling", poll.messages, "-", "-", "-"
+    );
+    println!(
+        "{:>14} {:>12} {:>10} {:>10} {:>10}",
+        "subscription", sub.messages, sub.deltas, sub.renews, sub.suppressed
+    );
+
+    let saved = poll.messages.saturating_sub(sub.messages);
+    let saved_pct = 100.0 * saved as f64 / poll.messages.max(1) as f64;
+    println!(
+        "\nsubscription saved {saved} messages ({saved_pct:.1}%) at identical \
+         client-visible freshness over {} periods",
+        w.periods
+    );
+
+    let gate_passed = saved_pct >= 50.0;
+    BenchReport::new("subscribe")
+        .field(
+            "scale",
+            if smoke {
+                "smoke"
+            } else if full_scale() {
+                "full"
+            } else {
+                "default"
+            },
+        )
+        .field("nodes", w.nodes)
+        .field("group", w.group)
+        .field("periods", w.periods)
+        .field("update_every_periods", w.update_every)
+        .field("period_secs", w.period.as_secs_f64())
+        .field("poll_messages", poll.messages)
+        .field("sub_messages", sub.messages)
+        .field("sub_deltas", sub.deltas)
+        .field("sub_renews", sub.renews)
+        .field("sub_suppressed", sub.suppressed)
+        .field("saved_messages", saved)
+        .field("saved_pct", saved_pct)
+        .field("gate_min_saved_pct", 50.0)
+        .field("gate_passed", gate_passed)
+        .write();
+
+    // Executable acceptance gate (CI runs --smoke): the subscription
+    // plane must halve the message bill, or this exits nonzero.
+    if !gate_passed {
+        eprintln!("FAIL: expected >=50% message savings, got {saved_pct:.1}%");
+        std::process::exit(1);
+    }
+    println!("PASS: >=50% fewer messages than period-equivalent polling");
+}

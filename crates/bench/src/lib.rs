@@ -17,7 +17,8 @@
 //! | `fig14_planetlab_cdf` | Fig. 14 | wide-area response CDF per group size |
 //! | `fig15_vs_central` | Fig. 15 | Moara vs centralized aggregator CDF |
 //! | `fig16_bottleneck` | Fig. 16 | per-query latency vs bottleneck link |
-//! | `repeated_query` | — | query-plane scheduler: probe cache on/off under repeated composite traffic (CI runs `--smoke`) |
+//! | `repeated_query` | — | query-plane scheduler: probe cache on/off under repeated composite traffic (CI runs `--smoke`; writes `BENCH_query.json`) |
+//! | `subscribe_bench` | — | continuous queries: standing subscription vs period-equivalent polling under sparse updates (CI runs `--smoke`; writes `BENCH_subscribe.json`) |
 //!
 //! Scale: every binary runs a reduced-but-shape-preserving configuration
 //! by default so the whole suite finishes in minutes; set
@@ -25,7 +26,10 @@
 //! Figure 9, 16 384 for Figure 11(a)).
 
 pub mod harness;
+pub mod report;
 pub mod workloads;
+
+pub use report::{BenchReport, BenchValue};
 
 /// True when the environment requests paper-scale experiment sizes.
 pub fn full_scale() -> bool {

@@ -1,0 +1,168 @@
+//! Machine-readable benchmark output.
+//!
+//! The figure binaries historically printed their numbers to stdout and
+//! nothing else, so perf across PRs could only be compared by reading CI
+//! logs. [`BenchReport`] writes a flat `BENCH_<name>.json` next to the
+//! working directory: insertion-ordered keys, no external dependencies,
+//! one file per harness — easy for scripts to diff between revisions.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+
+/// One JSON scalar.
+#[derive(Clone, Debug)]
+pub enum BenchValue {
+    /// Unsigned counter (message totals, node counts).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (latencies, percentages); NaN/inf render as null.
+    F64(f64),
+    /// Boolean (gate outcomes).
+    Bool(bool),
+    /// Free-form string (scale labels, workload names).
+    Str(String),
+}
+
+impl From<u64> for BenchValue {
+    fn from(v: u64) -> Self {
+        BenchValue::U64(v)
+    }
+}
+impl From<usize> for BenchValue {
+    fn from(v: usize) -> Self {
+        BenchValue::U64(v as u64)
+    }
+}
+impl From<i64> for BenchValue {
+    fn from(v: i64) -> Self {
+        BenchValue::I64(v)
+    }
+}
+impl From<f64> for BenchValue {
+    fn from(v: f64) -> Self {
+        BenchValue::F64(v)
+    }
+}
+impl From<bool> for BenchValue {
+    fn from(v: bool) -> Self {
+        BenchValue::Bool(v)
+    }
+}
+impl From<&str> for BenchValue {
+    fn from(v: &str) -> Self {
+        BenchValue::Str(v.to_owned())
+    }
+}
+impl From<String> for BenchValue {
+    fn from(v: String) -> Self {
+        BenchValue::Str(v)
+    }
+}
+
+/// A flat, insertion-ordered benchmark record.
+#[derive(Debug)]
+pub struct BenchReport {
+    name: String,
+    fields: Vec<(String, BenchValue)>,
+}
+
+impl BenchReport {
+    /// A report that will land in `BENCH_<name>.json`.
+    pub fn new(name: &str) -> BenchReport {
+        BenchReport {
+            name: name.to_owned(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Adds (or appends another) field; builder-style.
+    pub fn field(mut self, key: &str, value: impl Into<BenchValue>) -> BenchReport {
+        self.fields.push((key.to_owned(), value.into()));
+        self
+    }
+
+    /// Renders the record as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"bench\": {},", json_escape(&self.name));
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            let comma = if i + 1 == self.fields.len() { "" } else { "," };
+            let rendered = match v {
+                BenchValue::U64(x) => x.to_string(),
+                BenchValue::I64(x) => x.to_string(),
+                BenchValue::F64(x) if x.is_finite() => format!("{x:.6}"),
+                BenchValue::F64(_) => "null".to_owned(),
+                BenchValue::Bool(x) => x.to_string(),
+                BenchValue::Str(s) => json_escape(s),
+            };
+            let _ = writeln!(out, "  {}: {rendered}{comma}", json_escape(k));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Writes `BENCH_<name>.json` in the current directory and reports
+    /// the path on stdout.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the file cannot be written — a bench run whose record
+    /// silently vanished would defeat the point of tracking it.
+    pub fn write(&self) {
+        let path = format!("BENCH_{}.json", self.name);
+        let mut f = std::fs::File::create(&path).unwrap_or_else(|e| panic!("create {path}: {e}"));
+        f.write_all(self.to_json().as_bytes())
+            .unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("bench record written to {path}");
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_flat_ordered_json() {
+        let r = BenchReport::new("example")
+            .field("nodes", 48usize)
+            .field("saved_pct", 51.25f64)
+            .field("gate_passed", true)
+            .field("scale", "smoke")
+            .field("delta", -3i64);
+        let json = r.to_json();
+        assert_eq!(
+            json,
+            "{\n  \"bench\": \"example\",\n  \"nodes\": 48,\n  \"saved_pct\": 51.250000,\n  \
+             \"gate_passed\": true,\n  \"scale\": \"smoke\",\n  \"delta\": -3\n}\n"
+        );
+    }
+
+    #[test]
+    fn escapes_strings_and_nan() {
+        let r = BenchReport::new("x")
+            .field("label", "a\"b\\c\nd")
+            .field("bad", f64::NAN);
+        let json = r.to_json();
+        assert!(json.contains("\"label\": \"a\\\"b\\\\c\\nd\""));
+        assert!(json.contains("\"bad\": null"));
+    }
+}

@@ -472,6 +472,52 @@ impl<T: Transport<MoaraNode>> Cluster<T> {
         Ok(self.query_parsed(origin, parse_query(text)?))
     }
 
+    /// Installs a standing query at `origin`'s front-end (the
+    /// continuous-query subscription plane). Drive the cluster with
+    /// [`Cluster::run_for`] / [`Cluster::run_to_quiescence`] and collect
+    /// updates with [`Cluster::take_sub_updates`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error for malformed query text.
+    pub fn subscribe(
+        &mut self,
+        origin: NodeId,
+        text: &str,
+        policy: moara_subscribe::DeliveryPolicy,
+        lease: SimDuration,
+    ) -> Result<u64, ParseError> {
+        let query = parse_query(text)?;
+        Ok(self
+            .transport
+            .with_node(origin, |n, ctx| n.subscribe(ctx, query, policy, lease)))
+    }
+
+    /// Drains the client-visible updates of a watch at `origin`.
+    pub fn take_sub_updates(
+        &mut self,
+        origin: NodeId,
+        watch_id: u64,
+    ) -> Vec<moara_subscribe::SubUpdate> {
+        self.transport.node_mut(origin).take_sub_updates(watch_id)
+    }
+
+    /// Cancels a subscription (state tears down along its trees).
+    pub fn unsubscribe(&mut self, origin: NodeId, watch_id: u64) {
+        self.transport
+            .with_node(origin, |n, ctx| n.unsubscribe(ctx, watch_id));
+    }
+
+    /// Total per-tree subscription entries across all alive nodes
+    /// (lease-expiry GC drives this to zero once subscribers are gone).
+    pub fn sub_entries_total(&self) -> usize {
+        self.node_ids()
+            .into_iter()
+            .filter(|&n| self.transport.is_alive(n))
+            .map(|n| self.transport.node(n).sub_entry_count())
+            .sum()
+    }
+
     /// Advances the transport by `d` (virtual time under simulation, real
     /// waiting over TCP), processing due events.
     pub fn run_for(&mut self, d: SimDuration) {

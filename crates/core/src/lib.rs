@@ -56,6 +56,10 @@ pub use node::{MoaraNode, QueryOutcome};
 pub use sched::ProbeCache;
 pub use state::{ChildInfo, PredState, StatusOut};
 
+// The continuous-query subscription plane's shared types, re-exported so
+// harnesses and daemons name them through the engine crate.
+pub use moara_subscribe::{DeliveryPolicy, SubId, SubSpec, SubUpdate};
+
 // Re-export the commonly combined companion crates so downstream users can
 // depend on `moara-core` alone.
 pub use moara_aggregation as aggregation;
@@ -63,3 +67,4 @@ pub use moara_attributes as attributes;
 pub use moara_dht as dht;
 pub use moara_query as query;
 pub use moara_simnet as simnet;
+pub use moara_subscribe as subscribe;

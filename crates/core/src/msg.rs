@@ -4,6 +4,7 @@ use moara_aggregation::AggState;
 use moara_dht::Id;
 use moara_query::Query;
 use moara_simnet::{Message, NodeId};
+use moara_subscribe::{SubId, SubSpec};
 use moara_wire::{Wire, WireError};
 
 /// Identifies one end-to-end query issued by a front-end: (origin node,
@@ -113,6 +114,62 @@ pub enum MoaraMsg {
         /// The coalesced messages, in send order.
         items: Vec<MoaraMsg>,
     },
+    /// Installs (or idempotently re-installs) a standing subscription on
+    /// one tree of its pinned cover. Travels `Route`d from the front-end
+    /// to the tree root, then down the tree like a query; every hop pins
+    /// a `SubEntry`, re-homes its delta push target to the sender, and
+    /// forwards the install to its own targets. Re-sent on renewal after
+    /// churn and during repair — receivers treat it as an upsert.
+    Subscribe {
+        /// The full install payload (query, policy, lease, cover).
+        spec: SubSpec,
+        /// Which tree of the cover this install is for.
+        pred_key: PredKey,
+        /// The tree's routing key.
+        tree: Id,
+        /// Root-assigned per-tree sequence number (0 until stamped).
+        /// Installs count as queries for the Section 4 adaptation
+        /// machinery, so the tree prunes around the standing query and
+        /// later installs/renewals touch only the group.
+        seq: u64,
+    },
+    /// A replacement delta: the sender's subtree now aggregates to
+    /// `state` on this subscription's tree. Flows one hop upward (or
+    /// root → front-end); sent only when the sender's merge changed.
+    SubDelta {
+        /// The subscription.
+        sid: SubId,
+        /// Which tree of the cover.
+        pred_key: PredKey,
+        /// Per-sender monotone sequence number (stale frames drop).
+        seq: u64,
+        /// The sender's new subtree partial aggregate.
+        state: AggState,
+    },
+    /// Lease renewal, traveling the same path as the install. Carries the
+    /// forwarding hop's highest-seen delta sequence for the receiver, so
+    /// a child whose deltas were lost (partition, drops) re-pushes its
+    /// current state — renewal doubles as anti-entropy.
+    SubRenew {
+        /// The subscription.
+        sid: SubId,
+        /// Which tree of the cover.
+        pred_key: PredKey,
+        /// New lease duration in microseconds.
+        lease_us: u64,
+        /// The sender's highest-seen delta sequence from the receiver
+        /// (0 from the front-end toward the root's parent-less hop).
+        last_seen_seq: u64,
+    },
+    /// Tears a subscription down along a tree (explicit unsubscribe), or
+    /// — when sent *upward* by a node that received traffic for a
+    /// subscription it no longer knows — asks the parent to re-install.
+    SubCancel {
+        /// The subscription.
+        sid: SubId,
+        /// Which tree of the cover.
+        pred_key: PredKey,
+    },
 }
 
 impl MoaraMsg {
@@ -126,7 +183,13 @@ impl MoaraMsg {
             | MoaraMsg::QueryReply { qid, .. }
             | MoaraMsg::SizeProbe { qid, .. }
             | MoaraMsg::SizeReply { qid, .. } => Some(*qid),
-            MoaraMsg::Status { .. } => None,
+            // Subscription traffic is standing state, not an in-flight
+            // query; like Status it is maintenance for accounting.
+            MoaraMsg::Status { .. }
+            | MoaraMsg::Subscribe { .. }
+            | MoaraMsg::SubDelta { .. }
+            | MoaraMsg::SubRenew { .. }
+            | MoaraMsg::SubCancel { .. } => None,
             MoaraMsg::Batch { items } => {
                 let mut tags = items.iter().map(MoaraMsg::query_id);
                 let first = tags.next()??;
@@ -228,6 +291,28 @@ fn decode_at(buf: &mut &[u8], depth: usize) -> Result<MoaraMsg, WireError> {
             }
             MoaraMsg::Batch { items }
         }
+        7 => MoaraMsg::Subscribe {
+            spec: Wire::decode(buf)?,
+            pred_key: Wire::decode(buf)?,
+            tree: Wire::decode(buf)?,
+            seq: Wire::decode(buf)?,
+        },
+        8 => MoaraMsg::SubDelta {
+            sid: Wire::decode(buf)?,
+            pred_key: Wire::decode(buf)?,
+            seq: Wire::decode(buf)?,
+            state: Wire::decode(buf)?,
+        },
+        9 => MoaraMsg::SubRenew {
+            sid: Wire::decode(buf)?,
+            pred_key: Wire::decode(buf)?,
+            lease_us: Wire::decode(buf)?,
+            last_seen_seq: Wire::decode(buf)?,
+        },
+        10 => MoaraMsg::SubCancel {
+            sid: Wire::decode(buf)?,
+            pred_key: Wire::decode(buf)?,
+        },
         _ => return Err(WireError::Invalid("MoaraMsg tag")),
     })
 }
@@ -313,6 +398,47 @@ impl Wire for MoaraMsg {
                     item.encode(out);
                 }
             }
+            MoaraMsg::Subscribe {
+                spec,
+                pred_key,
+                tree,
+                seq,
+            } => {
+                out.push(7);
+                spec.encode(out);
+                pred_key.encode(out);
+                tree.encode(out);
+                seq.encode(out);
+            }
+            MoaraMsg::SubDelta {
+                sid,
+                pred_key,
+                seq,
+                state,
+            } => {
+                out.push(8);
+                sid.encode(out);
+                pred_key.encode(out);
+                seq.encode(out);
+                state.encode(out);
+            }
+            MoaraMsg::SubRenew {
+                sid,
+                pred_key,
+                lease_us,
+                last_seen_seq,
+            } => {
+                out.push(9);
+                sid.encode(out);
+                pred_key.encode(out);
+                lease_us.encode(out);
+                last_seen_seq.encode(out);
+            }
+            MoaraMsg::SubCancel { sid, pred_key } => {
+                out.push(10);
+                sid.encode(out);
+                pred_key.encode(out);
+            }
         }
     }
 
@@ -377,6 +503,24 @@ impl Wire for MoaraMsg {
                 cost,
             } => qid.encoded_len() + pred_key.encoded_len() + cost.encoded_len(),
             MoaraMsg::Batch { items } => 4 + items.iter().map(Wire::encoded_len).sum::<usize>(),
+            MoaraMsg::Subscribe {
+                spec,
+                pred_key,
+                tree,
+                ..
+            } => spec.encoded_len() + pred_key.encoded_len() + tree.encoded_len() + 8,
+            MoaraMsg::SubDelta {
+                sid,
+                pred_key,
+                seq,
+                state,
+            } => {
+                sid.encoded_len() + pred_key.encoded_len() + seq.encoded_len() + state.encoded_len()
+            }
+            MoaraMsg::SubRenew { sid, pred_key, .. } => {
+                sid.encoded_len() + pred_key.encoded_len() + 16
+            }
+            MoaraMsg::SubCancel { sid, pred_key } => sid.encoded_len() + pred_key.encoded_len(),
         }
     }
 }

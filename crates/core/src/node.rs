@@ -9,14 +9,15 @@
 //! [`Query`] — but plans covers, fires size probes, fans out sub-queries,
 //! and merges the final answer).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
 use moara_aggregation::{AggKind, AggResult, AggState, NodeRef};
 use moara_attributes::{AttrStore, Value};
 use moara_dht::Id;
 use moara_query::{Cover, CoverPlan, Query, SimplePredicate};
-use moara_simnet::{NodeId, SimTime, TimerId, TimerTag};
+use moara_simnet::{NodeId, SimDuration, SimTime, TimerId, TimerTag};
+use moara_subscribe::{DeliveryPolicy, SubEntry, SubId, SubSpec, SubUpdate, WatchState};
 use moara_transport::{NetCtx, NetProtocol};
 
 use crate::cluster::Directory;
@@ -99,6 +100,16 @@ enum TimerEvent {
     Session(QueryId, PredKey),
     Probe(u64),
     Front(u64),
+    /// Node-side subscription lease clock (maintenance timer).
+    SubLease(SubId, PredKey),
+    /// Node-side initial-sync timeout: announce with what arrived.
+    SubInit(SubId, PredKey),
+    /// Front-end renewal tick (maintenance; re-armed every lease/2).
+    WatchRenew(u64),
+    /// Front-end periodic-delivery tick (maintenance).
+    WatchTick(u64),
+    /// Front-end initial-sync timeout: emit the first update incomplete.
+    WatchInit(u64),
 }
 
 /// A Moara agent/protocol instance hosted on one simulated machine.
@@ -118,8 +129,21 @@ pub struct MoaraNode {
     /// The query-plane scheduler: probe-cost cache (with churn epoch) and
     /// the in-flight probe registry shared by all concurrent fronts.
     sched: QuerySched,
+    /// Standing-subscription state this node hosts as a tree member, by
+    /// (subscription, tree).
+    subs: BTreeMap<(SubId, PredKey), SubEntry>,
+    /// Subscriptions this node originated, by watch handle.
+    watches: HashMap<u64, WatchState>,
+    /// Reverse index: subscription id → watch handle.
+    watch_of: HashMap<SubId, u64>,
+    /// Pending initial-sync timers, so completing the sync can cancel
+    /// them instead of letting quiescence drains fire them.
+    sub_init_timers: HashMap<(SubId, PredKey), (TimerId, TimerTag)>,
+    watch_init_timers: HashMap<u64, (TimerId, TimerTag)>,
     next_front: u64,
     next_q: u64,
+    next_watch: u64,
+    next_sub: u64,
     next_tag: u64,
 }
 
@@ -139,8 +163,15 @@ impl MoaraNode {
             completed: HashMap::new(),
             timers: HashMap::new(),
             sched,
+            subs: BTreeMap::new(),
+            watches: HashMap::new(),
+            watch_of: HashMap::new(),
+            sub_init_timers: HashMap::new(),
+            watch_init_timers: HashMap::new(),
             next_front: 0,
             next_q: 0,
+            next_watch: 0,
+            next_sub: 0,
             next_tag: 0,
         }
     }
@@ -549,6 +580,42 @@ impl MoaraNode {
                     },
                 );
             }
+            MoaraMsg::Subscribe {
+                spec,
+                pred_key,
+                tree,
+                ..
+            } => {
+                // Arrived at the tree root: deltas go to the subscriber,
+                // and the root stamps the install's tree sequence number
+                // (installs count as queries for adaptation, Section 4).
+                let seq = if pred_key == GLOBAL_PRED {
+                    0
+                } else {
+                    if let Some(atom) = find_atom(&spec.query, &pred_key) {
+                        self.ensure_state(ctx.me(), &atom);
+                    }
+                    match self.states.get_mut(&pred_key) {
+                        Some(st) => {
+                            st.seq_counter += 1;
+                            st.seq_counter
+                        }
+                        None => 0,
+                    }
+                };
+                self.handle_subscribe(ctx, None, spec, pred_key, tree, seq);
+            }
+            MoaraMsg::SubRenew {
+                sid,
+                pred_key,
+                lease_us,
+                last_seen_seq,
+            } => {
+                self.handle_sub_renew(ctx, None, sid, pred_key, lease_us, last_seen_seq);
+            }
+            MoaraMsg::SubCancel { sid, pred_key } => {
+                self.handle_sub_cancel(ctx, None, sid, pred_key);
+            }
             other => {
                 debug_assert!(false, "unexpected routed payload {other:?}");
             }
@@ -651,6 +718,9 @@ impl MoaraNode {
             st.refresh(me, sat, &children);
             self.sync_status(ctx, &key);
         }
+        // Standing subscriptions react to the same change: the local
+        // contribution is re-derived and any movement pushes a delta.
+        self.subs_on_local_change(ctx);
     }
 
     /// Reconciles all predicate states with the current overlay topology
@@ -678,6 +748,8 @@ impl MoaraNode {
             st.refresh(me, sat, &children);
             self.sync_status(ctx, &key);
         }
+        // Standing subscriptions repair along the reconciled trees.
+        self.subs_on_reconcile(ctx);
     }
 
     /// Resets protocol state that cannot have survived a crash-restart
@@ -703,6 +775,16 @@ impl MoaraNode {
         self.timers.clear();
         self.sched.waiters.clear();
         self.sched.cache.bump_epoch();
+        // Standing subscription state is likewise void: hosted entries
+        // are re-installed by the parents' repair wave, and this node's
+        // own watches did not survive the crash (their subscribers are
+        // gone with the process).
+        self.subs.clear();
+        for (_, wid) in std::mem::take(&mut self.watch_of) {
+            self.watches.remove(&wid);
+        }
+        self.sub_init_timers.clear();
+        self.watch_init_timers.clear();
         self.reconcile(ctx);
     }
 
@@ -721,6 +803,27 @@ impl MoaraNode {
             sess.complete = false;
             if sess.pending.is_empty() {
                 self.finalize_session(ctx, &key);
+            }
+        }
+        // Standing subscriptions retract the failed child's summary at
+        // once — the result shrinks within the same failure confirm that
+        // triggered this hook (the rest of its subtree is re-adopted by
+        // the reconcile that follows).
+        let keys: Vec<(SubId, PredKey)> = self
+            .subs
+            .iter()
+            .filter(|(_, e)| {
+                e.last_seen.contains_key(&failed) || e.pending_initial.contains(&failed)
+            })
+            .map(|(k, _)| k.clone())
+            .collect();
+        for key in keys {
+            let entry = self.subs.get_mut(&key).expect("filtered");
+            let changed = entry.drop_child(failed);
+            if !entry.announced {
+                self.maybe_announce(ctx, &key);
+            } else if changed {
+                self.push_sub_delta(ctx, &key);
             }
         }
     }
@@ -996,6 +1099,11 @@ impl MoaraNode {
         self.sync_status(ctx, &pred_key);
         self.touch(&pred_key, ctx.now());
         self.maybe_gc(ctx.now());
+        // Status traffic is the install-repair trigger for standing
+        // subscriptions on this tree: a branch that just un-pruned
+        // (a node joined the group down there) gets the install, a
+        // branch that pruned is released.
+        self.subs_on_status(ctx, &pred_key);
     }
 
     /// A probe answer: satisfies *every* front waiting on that key — one
@@ -1045,6 +1153,757 @@ impl MoaraNode {
         }
         for fid in ready {
             self.dispatch_front(ctx, fid);
+        }
+    }
+
+    // ----- continuous queries (subscription plane) ----------------------
+
+    /// Installs a standing query at this node's front-end: the plan is
+    /// built once (cover chosen from cached probe costs — no probe
+    /// round-trip; a stale cost only affects efficiency, never
+    /// correctness), `Subscribe` is routed along every pinned tree, and
+    /// from then on the result is maintained by incremental deltas.
+    /// Returns a watch handle for [`MoaraNode::take_sub_updates`].
+    pub fn subscribe(
+        &mut self,
+        ctx: &mut dyn NetCtx<MoaraMsg>,
+        query: Query,
+        policy: DeliveryPolicy,
+        lease: SimDuration,
+    ) -> u64 {
+        // Floors against degenerate standing clocks: a zero (or
+        // micro-scale) period or lease would re-arm its maintenance
+        // timer in a tight loop.
+        let lease = lease.max(SimDuration::from_millis(10));
+        let policy = match policy {
+            DeliveryPolicy::Periodic(p) => {
+                DeliveryPolicy::Periodic(p.max(SimDuration::from_millis(10)))
+            }
+            other => other,
+        };
+        let wid = self.next_watch;
+        self.next_watch += 1;
+        let sid = SubId {
+            origin: ctx.me(),
+            n: self.next_sub,
+        };
+        self.next_sub += 1;
+        let now = ctx.now();
+
+        let plan = if self.cfg.mode == Mode::Global {
+            None
+        } else {
+            query
+                .predicate
+                .to_cnf()
+                .ok()
+                .map(|cnf| CoverPlan::build(&cnf))
+        };
+        let n2 = (self.dir.ring_size() as u64).saturating_mul(2);
+        let cover = match &plan {
+            None => Cover::All,
+            Some(plan) => {
+                if self.cfg.use_size_probes {
+                    let cache = &self.sched.cache;
+                    plan.choose(|atom| cache.lookup(&atom.key(), now).unwrap_or(n2))
+                } else {
+                    plan.choose(|_| 1)
+                }
+            }
+        };
+        let roots: Vec<(PredKey, Id)> = match &cover {
+            Cover::Empty => Vec::new(),
+            Cover::All => {
+                let attr = query
+                    .attr
+                    .as_ref()
+                    .map(|a| a.as_str().to_owned())
+                    .unwrap_or_else(|| GLOBAL_PRED.to_owned());
+                vec![(GLOBAL_PRED.to_owned(), Id::of_attribute(&attr))]
+            }
+            Cover::Groups(groups) => groups
+                .iter()
+                .map(|g| (g.key(), Self::tree_key_for(g)))
+                .collect(),
+        };
+        let mut cover_keys: Vec<String> = roots.iter().map(|(k, _)| k.clone()).collect();
+        cover_keys.sort();
+        let spec = SubSpec {
+            id: sid,
+            query,
+            policy,
+            lease,
+            owner: ctx.me(),
+            cover: cover_keys,
+        };
+        let mut watch = WatchState::new(spec.clone(), roots.clone());
+        if roots.is_empty() {
+            // Structurally unsatisfiable: the (empty) result is standing
+            // truth with no communication at all.
+            watch.force_initial(now);
+            self.watches.insert(wid, watch);
+            self.watch_of.insert(sid, wid);
+            return wid;
+        }
+        self.watches.insert(wid, watch);
+        self.watch_of.insert(sid, wid);
+        ctx.count("sub_subscribes");
+
+        let outbound: Vec<(Id, MoaraMsg)> = roots
+            .iter()
+            .map(|(k, tree)| {
+                (
+                    *tree,
+                    MoaraMsg::Subscribe {
+                        spec: spec.clone(),
+                        pred_key: k.clone(),
+                        tree: *tree,
+                        seq: 0,
+                    },
+                )
+            })
+            .collect();
+        self.route_many(ctx, outbound);
+
+        // Renewal at half the lease keeps state alive everywhere with a
+        // margin for one lost renewal; both standing clocks are
+        // maintenance timers — they must not gate quiescence.
+        let half = SimDuration::from_micros((lease.as_micros() / 2).max(1));
+        let tag = self.alloc_timer(TimerEvent::WatchRenew(wid));
+        ctx.set_maintenance_timer(half, tag);
+        if let DeliveryPolicy::Periodic(period) = policy {
+            let tag = self.alloc_timer(TimerEvent::WatchTick(wid));
+            ctx.set_maintenance_timer(period, tag);
+        }
+        let init_to = self.cfg.front_timeout.unwrap_or(SimDuration::from_secs(60));
+        let tag = self.alloc_timer(TimerEvent::WatchInit(wid));
+        let t = ctx.set_timer(init_to, tag);
+        self.watch_init_timers.insert(wid, (t, tag));
+        wid
+    }
+
+    /// Tears a subscription down: `SubCancel` travels every pinned tree
+    /// and removes per-node state eagerly (lease expiry would get there
+    /// anyway, this is just prompt).
+    pub fn unsubscribe(&mut self, ctx: &mut dyn NetCtx<MoaraMsg>, watch_id: u64) {
+        let Some(watch) = self.watches.remove(&watch_id) else {
+            return;
+        };
+        self.watch_of.remove(&watch.spec.id);
+        if let Some(t) = self.watch_init_timers.remove(&watch_id) {
+            self.drop_timer(ctx, t);
+        }
+        let outbound: Vec<(Id, MoaraMsg)> = watch
+            .roots
+            .iter()
+            .map(|(k, tree)| {
+                (
+                    *tree,
+                    MoaraMsg::SubCancel {
+                        sid: watch.spec.id,
+                        pred_key: k.clone(),
+                    },
+                )
+            })
+            .collect();
+        self.route_many(ctx, outbound);
+    }
+
+    /// Drains the client-visible updates of one watch.
+    pub fn take_sub_updates(&mut self, watch_id: u64) -> Vec<SubUpdate> {
+        self.watches
+            .get_mut(&watch_id)
+            .map(WatchState::take_updates)
+            .unwrap_or_default()
+    }
+
+    /// The current merged result of a watch (None for unknown handles).
+    pub fn watch_result(&self, watch_id: u64) -> Option<AggResult> {
+        self.watches.get(&watch_id).map(WatchState::current)
+    }
+
+    /// Updates ever emitted by a watch (per-subscription stats).
+    pub fn watch_updates_emitted(&self, watch_id: u64) -> u64 {
+        self.watches.get(&watch_id).map_or(0, |w| w.updates_emitted)
+    }
+
+    /// Number of watches this front-end currently maintains.
+    pub fn active_watches(&self) -> usize {
+        self.watches.len()
+    }
+
+    /// Number of per-tree subscription entries this node currently hosts
+    /// (tests: lease-expiry GC must drive this to zero).
+    pub fn sub_entry_count(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// This node's contribution to one tree of a subscription's pinned
+    /// cover: its value if it satisfies the composite predicate AND this
+    /// tree is the first cover group it belongs to (standing duplicate
+    /// suppression for overlapping groups), else the null contribution.
+    fn sub_contribution(&self, me: NodeId, spec: &SubSpec, pred_key: &str) -> AggState {
+        if !spec.query.predicate.eval(&self.store) {
+            return AggState::Null;
+        }
+        let owning = spec.cover.iter().find(|k| {
+            k.as_str() == GLOBAL_PRED
+                || find_atom(&spec.query, k).is_some_and(|a| a.eval(&self.store))
+        });
+        if owning.map(String::as_str) != Some(pred_key) {
+            return AggState::Null;
+        }
+        self.local_contribution(me, &spec.query)
+    }
+
+    /// Whom to forward a subscription install to: this node's *tree
+    /// children* — all of them.
+    ///
+    /// Deliberately broader than a query's `query_targets`, twice over.
+    /// No SQP bypass: forwarding to a child's updateSet members directly
+    /// wins latency for one-shot queries, but a standing fold needs
+    /// *stable per-hop sources* — bypass sets churn with every
+    /// membership wobble, and re-homing summaries mid-stream is exactly
+    /// how double-counts happen. And no PRUNE filtering: a pruned branch
+    /// holds no members *today*, but the node that joins the group
+    /// tomorrow must already hold the subscription so its first
+    /// `on_local_change` can push the delta — relying on the NO-PRUNE
+    /// status to re-install would silently lose joins whenever that
+    /// status is lost (partitions drop frames without telling anyone).
+    /// The standing state this costs is bounded by the lease, and the
+    /// steady-state traffic (renewals at half-lease) stays far below
+    /// per-period polling.
+    ///
+    /// When `seq` is given (install path), the install is accounted as a
+    /// query for the Section 4 adaptation machinery, so a standing query
+    /// warms and prunes the tree exactly like a one-shot query would —
+    /// one-shot queries running next to the subscription start from a
+    /// converged tree.
+    fn sub_targets(
+        &mut self,
+        ctx: &mut dyn NetCtx<MoaraMsg>,
+        atom: Option<SimplePredicate>,
+        pred_key: &str,
+        tree: Id,
+        seq: Option<u64>,
+    ) -> Vec<NodeId> {
+        let me = ctx.me();
+        let children = self.dir.children_of(tree, me);
+        if pred_key == GLOBAL_PRED {
+            return children;
+        }
+        if let Some(atom) = &atom {
+            self.ensure_state(me, atom);
+        }
+        if let (Some(seq), Some(st)) = (seq, self.states.get_mut(pred_key)) {
+            st.on_query(me, seq);
+            let sat = st.pred.eval(&self.store);
+            st.refresh(me, sat, &children);
+            self.sync_status(ctx, pred_key);
+        }
+        children
+    }
+
+    /// Delivers (or locally applies) the replacement delta of one entry,
+    /// suppressed when its subtree aggregate has not moved.
+    fn push_sub_delta(&mut self, ctx: &mut dyn NetCtx<MoaraMsg>, key: &(SubId, PredKey)) {
+        let me = ctx.me();
+        let Some(entry) = self.subs.get_mut(key) else {
+            return;
+        };
+        if !entry.announced {
+            return;
+        }
+        let Some((seq, state)) = entry.take_push() else {
+            ctx.count("sub_suppressed");
+            return;
+        };
+        let to = entry.push_to;
+        if to == me {
+            // This node is both the tree root and the subscriber.
+            self.deliver_to_watch(ctx, key.0, key.1.clone(), seq, state);
+        } else {
+            ctx.send(
+                to,
+                MoaraMsg::SubDelta {
+                    sid: key.0,
+                    pred_key: key.1.clone(),
+                    seq,
+                    state,
+                },
+            );
+            ctx.count("sub_deltas");
+        }
+    }
+
+    /// Announces an entry upward once its initial sync is complete (all
+    /// pinned children reported, or the init timeout cleared them).
+    fn maybe_announce(&mut self, ctx: &mut dyn NetCtx<MoaraMsg>, key: &(SubId, PredKey)) {
+        let ready = self
+            .subs
+            .get(key)
+            .is_some_and(|e| !e.announced && e.pending_initial.is_empty());
+        if !ready {
+            return;
+        }
+        if let Some(t) = self.sub_init_timers.remove(key) {
+            self.drop_timer(ctx, t);
+        }
+        self.subs.get_mut(key).expect("checked").announced = true;
+        self.push_sub_delta(ctx, key);
+    }
+
+    /// A root's delta reaching the subscribing front-end.
+    fn deliver_to_watch(
+        &mut self,
+        ctx: &mut dyn NetCtx<MoaraMsg>,
+        sid: SubId,
+        pred_key: PredKey,
+        seq: u64,
+        state: AggState,
+    ) {
+        let Some(&wid) = self.watch_of.get(&sid) else {
+            ctx.count("sub_unknown_delta");
+            return;
+        };
+        let Some(watch) = self.watches.get_mut(&wid) else {
+            return;
+        };
+        if watch.note_root(&pred_key, seq, state).is_none() {
+            return; // stale frame
+        }
+        watch.maybe_emit(ctx.now());
+        if watch.initial_done() {
+            if let Some(t) = self.watch_init_timers.remove(&wid) {
+                self.drop_timer(ctx, t);
+            }
+        }
+    }
+
+    /// Install (or idempotent re-install) of a subscription at this node.
+    /// `from` is the installing hop (None when routed here as tree root,
+    /// in which case deltas go straight to the subscriber).
+    fn handle_subscribe(
+        &mut self,
+        ctx: &mut dyn NetCtx<MoaraMsg>,
+        from: Option<NodeId>,
+        spec: SubSpec,
+        pred_key: PredKey,
+        tree: Id,
+        seq: u64,
+    ) {
+        let me = ctx.me();
+        let now = ctx.now();
+        let push_to = from.unwrap_or(spec.owner);
+        let key = (spec.id, pred_key.clone());
+        let atom = find_atom(&spec.query, &pred_key);
+        let targets = self.sub_targets(ctx, atom, &pred_key, tree, Some(seq));
+        let is_new = !self.subs.contains_key(&key);
+        if is_new {
+            let mut entry = SubEntry::new(spec.clone(), pred_key.clone(), tree, push_to, now);
+            entry.set_local(self.sub_contribution(me, &spec, &pred_key));
+            self.subs.insert(key.clone(), entry);
+            ctx.count("sub_installs");
+            let tag = self.alloc_timer(TimerEvent::SubLease(spec.id, pred_key.clone()));
+            ctx.set_maintenance_timer(spec.lease, tag);
+        } else {
+            let entry = self.subs.get_mut(&key).expect("checked");
+            entry.renew(now);
+            entry.push_to = push_to;
+            // Whether this is a new parent adopting us or our old parent
+            // re-pinning after churn, it may know nothing of our state:
+            // the next push must carry the full replacement aggregate.
+            entry.last_pushed = None;
+            ctx.count("sub_reinstalls");
+        }
+        let entry = self.subs.get_mut(&key).expect("just inserted");
+        let known: HashSet<NodeId> = entry
+            .child_sources()
+            .into_iter()
+            .chain(entry.pending_initial.iter().copied())
+            .collect();
+        let missing: Vec<NodeId> = targets
+            .iter()
+            .copied()
+            .filter(|t| !known.contains(t))
+            .collect();
+        for c in &missing {
+            if is_new {
+                entry.pending_initial.insert(*c);
+            }
+            // Fresh install downstream restarts its delta sequence.
+            entry.last_seen.insert(*c, 0);
+        }
+        for c in &missing {
+            ctx.send(
+                *c,
+                MoaraMsg::Subscribe {
+                    spec: spec.clone(),
+                    pred_key: pred_key.clone(),
+                    tree,
+                    seq,
+                },
+            );
+        }
+        if is_new {
+            let entry = self.subs.get(&key).expect("exists");
+            if entry.pending_initial.is_empty() {
+                self.maybe_announce(ctx, &key);
+            } else if let Some(d) = self.cfg.child_timeout {
+                let tag = self.alloc_timer(TimerEvent::SubInit(key.0, key.1.clone()));
+                let t = ctx.set_timer(d, tag);
+                self.sub_init_timers.insert(key.clone(), (t, tag));
+            }
+        } else if self.subs.get(&key).is_some_and(|e| e.announced) {
+            // Re-announce the current subtree aggregate to the installer.
+            self.push_sub_delta(ctx, &key);
+        }
+    }
+
+    fn handle_sub_delta(
+        &mut self,
+        ctx: &mut dyn NetCtx<MoaraMsg>,
+        from: NodeId,
+        sid: SubId,
+        pred_key: PredKey,
+        seq: u64,
+        state: AggState,
+    ) {
+        let key = (sid, pred_key.clone());
+        let known_child = self
+            .subs
+            .get(&key)
+            .is_some_and(|e| e.last_seen.contains_key(&from) || e.pending_initial.contains(&from));
+        if known_child {
+            let entry = self.subs.get_mut(&key).expect("checked");
+            match entry.note_child(from, seq, state) {
+                None => {} // stale frame
+                Some(changed) => {
+                    if !entry.announced {
+                        self.maybe_announce(ctx, &key);
+                    } else if changed {
+                        self.push_sub_delta(ctx, &key);
+                    } else {
+                        ctx.count("sub_suppressed");
+                    }
+                }
+            }
+            return;
+        }
+        if sid.origin == ctx.me() {
+            // Only the *current root* of one of the watch's pinned trees
+            // may speak for that tree. Without this check, a re-homed
+            // ex-child whose push target still points here (its delta
+            // raced the reconcile that dropped it) would overwrite the
+            // root's partial with one subtree's aggregate — and the
+            // suppression logic would never correct it.
+            let is_root = self
+                .watch_of
+                .get(&sid)
+                .and_then(|wid| self.watches.get(wid))
+                .and_then(|w| w.roots.iter().find(|(k, _)| *k == pred_key))
+                .is_some_and(|(_, tree)| self.dir.owner_node(*tree) == from);
+            if is_root {
+                self.deliver_to_watch(ctx, sid, pred_key, seq, state);
+                return;
+            }
+        }
+        // A sender we no longer track (re-homed by churn, or our state
+        // expired): ignore — leases and the next repair wave converge it.
+        ctx.count("sub_unknown_delta");
+    }
+
+    fn handle_sub_renew(
+        &mut self,
+        ctx: &mut dyn NetCtx<MoaraMsg>,
+        from: Option<NodeId>,
+        sid: SubId,
+        pred_key: PredKey,
+        lease_us: u64,
+        last_seen_seq: u64,
+    ) {
+        let key = (sid, pred_key.clone());
+        let now = ctx.now();
+        if !self.subs.contains_key(&key) {
+            // We lost the state this renewal assumed (our lease lapsed
+            // during a partition): bounce a SubCancel to whoever renewed
+            // us — the parent hop, or the subscriber itself when the
+            // renewal arrived routed (we are the tree root). A cancel
+            // arriving from a child source means "re-install me"; one
+            // arriving at the origin's watch triggers a full re-pin —
+            // either way the gap closes without a new message type.
+            let back = from.unwrap_or(sid.origin);
+            if back != ctx.me() {
+                ctx.send(back, MoaraMsg::SubCancel { sid, pred_key });
+            }
+            return;
+        }
+        let entry = self.subs.get_mut(&key).expect("checked");
+        entry.spec.lease = SimDuration::from_micros(lease_us);
+        entry.renew(now);
+        ctx.count("sub_renews");
+        // Anti-entropy: the renewing parent echoes the highest delta
+        // sequence it saw from us; if ours is ahead, a replacement state
+        // was lost on the wire (partition, drops) — re-push it.
+        if entry.announced && last_seen_seq < entry.next_seq {
+            entry.last_pushed = None;
+            self.push_sub_delta(ctx, &key);
+        }
+        let entry = self.subs.get(&key).expect("exists");
+        let downstream: Vec<(NodeId, u64)> = entry
+            .child_sources()
+            .into_iter()
+            .chain(entry.pending_initial.iter().copied())
+            .map(|c| (c, entry.last_seen.get(&c).copied().unwrap_or(0)))
+            .collect();
+        for (c, seen) in downstream {
+            ctx.send(
+                c,
+                MoaraMsg::SubRenew {
+                    sid,
+                    pred_key: pred_key.clone(),
+                    lease_us,
+                    last_seen_seq: seen,
+                },
+            );
+        }
+    }
+
+    fn handle_sub_cancel(
+        &mut self,
+        ctx: &mut dyn NetCtx<MoaraMsg>,
+        from: Option<NodeId>,
+        sid: SubId,
+        pred_key: PredKey,
+    ) {
+        let key = (sid, pred_key.clone());
+        // A cancel reaching the subscription's own origin is a repair
+        // signal, never a teardown: some hop upstream (typically an
+        // expired tree root answering our renewal) lost its state. The
+        // watch re-pins its trees with a full install.
+        if sid.origin == ctx.me() {
+            if let Some(&wid) = self.watch_of.get(&sid) {
+                self.repin_watch(ctx, wid);
+                return;
+            }
+        }
+        let Some(entry) = self.subs.get_mut(&key) else {
+            return;
+        };
+        let from_child = from.is_some_and(|f| {
+            entry.last_seen.contains_key(&f) || entry.pending_initial.contains(&f)
+        });
+        if from_child {
+            // The child lost its state (lease lapse in a partition) and
+            // is asking to be re-installed.
+            let f = from.expect("checked");
+            let changed = entry.drop_child(f);
+            entry.last_seen.insert(f, 0);
+            let msg = MoaraMsg::Subscribe {
+                spec: entry.spec.clone(),
+                pred_key: pred_key.clone(),
+                tree: entry.tree,
+                seq: 0,
+            };
+            ctx.send(f, msg);
+            ctx.count("sub_reinstall_requests");
+            if changed {
+                self.push_sub_delta(ctx, &key);
+            }
+            return;
+        }
+        // Teardown from above (front-end cancel, routed or direct).
+        let entry = self.subs.remove(&key).expect("checked");
+        if let Some(t) = self.sub_init_timers.remove(&key) {
+            self.drop_timer(ctx, t);
+        }
+        ctx.count("sub_cancels");
+        for c in entry
+            .child_sources()
+            .into_iter()
+            .chain(entry.pending_initial.iter().copied())
+        {
+            ctx.send(
+                c,
+                MoaraMsg::SubCancel {
+                    sid,
+                    pred_key: pred_key.clone(),
+                },
+            );
+        }
+    }
+
+    /// Re-sends the full install along every pinned tree of a watch —
+    /// the front-end's churn repair (new tree roots learn the
+    /// subscription; surviving ones treat it as a renewal).
+    fn repin_watch(&mut self, ctx: &mut dyn NetCtx<MoaraMsg>, wid: u64) {
+        let Some(watch) = self.watches.get_mut(&wid) else {
+            return;
+        };
+        let spec = watch.spec.clone();
+        let roots = watch.roots.clone();
+        for (k, _) in &roots {
+            // A repaired root may restart its delta sequence.
+            watch.reset_root_seq(k);
+        }
+        let outbound: Vec<(Id, MoaraMsg)> = roots
+            .iter()
+            .map(|(k, tree)| {
+                (
+                    *tree,
+                    MoaraMsg::Subscribe {
+                        spec: spec.clone(),
+                        pred_key: k.clone(),
+                        tree: *tree,
+                        seq: 0,
+                    },
+                )
+            })
+            .collect();
+        ctx.count("sub_repins");
+        self.route_many(ctx, outbound);
+    }
+
+    /// Subscription upkeep after a local attribute change: recompute the
+    /// local contribution of every hosted entry and push the deltas the
+    /// change caused. This is the heart of the plane — group churn turns
+    /// into O(changed paths) traffic instead of a per-poll re-query.
+    fn subs_on_local_change(&mut self, ctx: &mut dyn NetCtx<MoaraMsg>) {
+        let me = ctx.me();
+        let keys: Vec<(SubId, PredKey)> = self.subs.keys().cloned().collect();
+        for key in keys {
+            let contrib = {
+                let entry = self.subs.get(&key).expect("exists");
+                self.sub_contribution(me, &entry.spec, &key.1)
+            };
+            let entry = self.subs.get_mut(&key).expect("exists");
+            if entry.set_local(contrib) && entry.announced {
+                self.push_sub_delta(ctx, &key);
+            }
+        }
+    }
+
+    /// Subscription upkeep when a status update revealed group change
+    /// under `pred_key`: the query targets may have moved — install to
+    /// new ones, release vanished ones.
+    fn subs_on_status(&mut self, ctx: &mut dyn NetCtx<MoaraMsg>, pred_key: &str) {
+        let keys: Vec<(SubId, PredKey)> = self
+            .subs
+            .keys()
+            .filter(|(_, k)| k == pred_key)
+            .cloned()
+            .collect();
+        for key in keys {
+            self.repair_entry_targets(ctx, &key);
+        }
+    }
+
+    /// Diffs one entry's folded sources against the tree's current
+    /// install targets: missing targets get a (re-)install, stale
+    /// sources (ex-children after a reconfiguration) are dropped
+    /// *silently* — the ex-child was re-homed and its state now belongs
+    /// to a new parent; a cancel from us could tear down a healthy
+    /// branch mid-adoption. Keeping its summary would double-count the
+    /// moment the new parent's fold reports the same nodes.
+    fn repair_entry_targets(&mut self, ctx: &mut dyn NetCtx<MoaraMsg>, key: &(SubId, PredKey)) {
+        let (atom, tree) = {
+            let entry = self.subs.get(key).expect("exists");
+            (find_atom(&entry.spec.query, &key.1), entry.tree)
+        };
+        let targets = self.sub_targets(ctx, atom, &key.1, tree, None);
+        let tset: HashSet<NodeId> = targets.iter().copied().collect();
+        let entry = self.subs.get_mut(key).expect("exists");
+        let known: Vec<NodeId> = entry
+            .child_sources()
+            .into_iter()
+            .chain(entry.pending_initial.iter().copied())
+            .chain(entry.last_seen.keys().copied())
+            .collect::<HashSet<_>>()
+            .into_iter()
+            .collect();
+        let mut changed = false;
+        for s in &known {
+            if !tset.contains(s) {
+                changed |= entry.drop_child(*s);
+            }
+        }
+        let known: HashSet<NodeId> = known.into_iter().filter(|s| tset.contains(s)).collect();
+        let missing: Vec<NodeId> = targets
+            .iter()
+            .copied()
+            .filter(|t| !known.contains(t))
+            .collect();
+        for c in &missing {
+            if !entry.announced {
+                entry.pending_initial.insert(*c);
+            }
+            entry.last_seen.insert(*c, 0);
+        }
+        let spec = entry.spec.clone();
+        for c in &missing {
+            ctx.send(
+                *c,
+                MoaraMsg::Subscribe {
+                    spec: spec.clone(),
+                    pred_key: key.1.clone(),
+                    tree,
+                    seq: 0,
+                },
+            );
+        }
+        if self.subs.get(key).is_some_and(|e| e.announced) {
+            if changed {
+                self.push_sub_delta(ctx, key);
+            }
+        } else {
+            // The diff may have dropped the last straggler this entry's
+            // initial sync was waiting on.
+            self.maybe_announce(ctx, key);
+        }
+    }
+
+    /// Subscription repair after an overlay reconfiguration: re-home
+    /// roles (a node promoted to tree root adopts the subscriber as its
+    /// push target; a demoted ex-root drops its stale entry), re-diff
+    /// targets everywhere, and re-pin every owned watch.
+    fn subs_on_reconcile(&mut self, ctx: &mut dyn NetCtx<MoaraMsg>) {
+        let me = ctx.me();
+        let keys: Vec<(SubId, PredKey)> = self.subs.keys().cloned().collect();
+        for key in keys {
+            let (tree, owner, push_to) = {
+                let e = self.subs.get(&key).expect("exists");
+                (e.tree, e.spec.owner, e.push_to)
+            };
+            let parent = self.dir.parent_of(tree, me);
+            match parent {
+                None => {
+                    // We are (now) the root: deltas go to the subscriber.
+                    let entry = self.subs.get_mut(&key).expect("exists");
+                    if entry.push_to != owner {
+                        entry.push_to = owner;
+                        entry.last_pushed = None;
+                    }
+                }
+                Some(_) if push_to == owner && me != owner => {
+                    // Demoted ex-root: the subscriber now talks to the
+                    // new root; our copy is stale topology. Drop it —
+                    // the new install wave re-pins our subtree.
+                    self.subs.remove(&key);
+                    if let Some(t) = self.sub_init_timers.remove(&key) {
+                        self.drop_timer(ctx, t);
+                    }
+                    ctx.count("sub_demotions");
+                    continue;
+                }
+                Some(_) => {}
+            }
+            self.repair_entry_targets(ctx, &key);
+        }
+        // The origin repairs its pinned trees top-down: new roots learn
+        // the subscription, surviving roots treat it as a renewal.
+        let wids: Vec<u64> = self.watches.keys().copied().collect();
+        for wid in wids {
+            self.repin_watch(ctx, wid);
         }
     }
 }
@@ -1126,6 +1985,27 @@ impl NetProtocol for MoaraNode {
                 }
                 self.route_many(ctx, routed);
             }
+            MoaraMsg::Subscribe {
+                spec,
+                pred_key,
+                tree,
+                seq,
+            } => self.handle_subscribe(ctx, Some(from), spec, pred_key, tree, seq),
+            MoaraMsg::SubDelta {
+                sid,
+                pred_key,
+                seq,
+                state,
+            } => self.handle_sub_delta(ctx, from, sid, pred_key, seq, state),
+            MoaraMsg::SubRenew {
+                sid,
+                pred_key,
+                lease_us,
+                last_seen_seq,
+            } => self.handle_sub_renew(ctx, Some(from), sid, pred_key, lease_us, last_seen_seq),
+            MoaraMsg::SubCancel { sid, pred_key } => {
+                self.handle_sub_cancel(ctx, Some(from), sid, pred_key);
+            }
         }
     }
 
@@ -1166,6 +2046,84 @@ impl NetProtocol for MoaraNode {
                     front.sub_pending.clear();
                     front.timer = None; // just fired; nothing to cancel
                     self.finish_front(ctx, front_id);
+                }
+            }
+            Some(TimerEvent::SubLease(sid, pred_key)) => {
+                let key = (sid, pred_key);
+                let now = ctx.now();
+                match self.subs.get(&key) {
+                    Some(entry) if entry.expired(now) => {
+                        self.subs.remove(&key);
+                        if let Some(t) = self.sub_init_timers.remove(&key) {
+                            self.drop_timer(ctx, t);
+                        }
+                        ctx.count("sub_expired");
+                    }
+                    Some(entry) => {
+                        // Renewed since armed: sleep until the deadline.
+                        let left = entry.deadline.duration_since(now);
+                        let tag = self.alloc_timer(TimerEvent::SubLease(key.0, key.1.clone()));
+                        ctx.set_maintenance_timer(left, tag);
+                    }
+                    None => {}
+                }
+            }
+            Some(TimerEvent::SubInit(sid, pred_key)) => {
+                let key = (sid, pred_key);
+                self.sub_init_timers.remove(&key);
+                if let Some(entry) = self.subs.get_mut(&key) {
+                    if !entry.announced {
+                        // Announce with what arrived; the stragglers'
+                        // deltas merge in as they land.
+                        entry.pending_initial.clear();
+                        self.maybe_announce(ctx, &key);
+                    }
+                }
+            }
+            Some(TimerEvent::WatchRenew(wid)) => {
+                // Renewals are deliberately lightweight (SubRenew, not a
+                // full re-install): topology churn already re-pins via
+                // reconcile, and the piggybacked last-seen sequences give
+                // renewal its anti-entropy teeth.
+                if let Some(watch) = self.watches.get(&wid) {
+                    let lease = watch.spec.lease;
+                    let sid = watch.spec.id;
+                    let renews: Vec<(Id, MoaraMsg)> = watch
+                        .roots
+                        .iter()
+                        .map(|(k, tree)| {
+                            (
+                                *tree,
+                                MoaraMsg::SubRenew {
+                                    sid,
+                                    pred_key: k.clone(),
+                                    lease_us: lease.as_micros(),
+                                    last_seen_seq: watch.last_seen.get(k).copied().unwrap_or(0),
+                                },
+                            )
+                        })
+                        .collect();
+                    self.route_many(ctx, renews);
+                    let half = SimDuration::from_micros((lease.as_micros() / 2).max(1));
+                    let tag = self.alloc_timer(TimerEvent::WatchRenew(wid));
+                    ctx.set_maintenance_timer(half, tag);
+                }
+            }
+            Some(TimerEvent::WatchTick(wid)) => {
+                if let Some(watch) = self.watches.get_mut(&wid) {
+                    if watch.last_result.is_some() {
+                        watch.emit_snapshot(ctx.now());
+                    }
+                    if let DeliveryPolicy::Periodic(period) = watch.spec.policy {
+                        let tag = self.alloc_timer(TimerEvent::WatchTick(wid));
+                        ctx.set_maintenance_timer(period, tag);
+                    }
+                }
+            }
+            Some(TimerEvent::WatchInit(wid)) => {
+                self.watch_init_timers.remove(&wid);
+                if let Some(watch) = self.watches.get_mut(&wid) {
+                    watch.force_initial(ctx.now());
                 }
             }
             None => {}

@@ -3,18 +3,34 @@
 //! ```text
 //! moara-cli --connect 127.0.0.1:7102 query "SELECT count(*) WHERE ServiceX = true"
 //! moara-cli --connect 127.0.0.1:7102 set ServiceX=true
-//! moara-cli --connect 127.0.0.1:7102 status
+//! moara-cli --connect 127.0.0.1:7102 status [--json]
+//! moara-cli --connect 127.0.0.1:7102 watch "SELECT avg(CPU-Util) WHERE ServiceX = true" \
+//!           [--period SECS | --threshold X] [--lease-ms N] [--updates N] [--json]
 //! ```
 //!
-//! Prints the aggregate (or status) on stdout; exits non-zero on errors
+//! `watch` installs a standing query (the continuous-query subscription
+//! plane, see `docs/continuous-queries.md`) and streams one line per
+//! update until interrupted (or `--updates N` lines arrived). The default
+//! delivery is on-change; `--period SECS` switches to periodic snapshots
+//! and `--threshold X` to threshold-crossing alerts.
+//!
+//! `--json` makes `status` and `watch` output machine-readable (one JSON
+//! object per line). Prints results on stdout; exits non-zero on errors
 //! and on incomplete query answers.
 
+use std::io::Write;
+use std::net::TcpStream;
 use std::time::Duration;
 
+use moara_core::DeliveryPolicy;
 use moara_daemon::{ctrl_roundtrip, parse_value, CtrlReply, CtrlRequest};
+use moara_simnet::SimDuration;
+use moara_wire::{read_frame, write_msg, Wire};
 
-const USAGE: &str = "usage: moara-cli --connect IP:PORT (query TEXT | set k=v | status) \
-                     [--timeout SECS]";
+const USAGE: &str = "usage: moara-cli --connect IP:PORT \
+                     (query TEXT | set k=v | status | watch TEXT) \
+                     [--period SECS] [--threshold X] [--lease-ms N] \
+                     [--updates N] [--json] [--timeout SECS]";
 
 fn fail(msg: &str) -> ! {
     eprintln!("moara-cli: {msg}");
@@ -22,10 +38,39 @@ fn fail(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+enum Command {
+    Simple(CtrlRequest),
+    Watch { text: String },
+}
+
 fn main() {
     let mut connect = None;
     let mut timeout = Duration::from_secs(120);
-    let mut command: Option<CtrlRequest> = None;
+    let mut command: Option<Command> = None;
+    let mut json = false;
+    let mut period: Option<u64> = None;
+    let mut threshold: Option<f64> = None;
+    let mut lease_ms: u64 = 30_000;
+    let mut max_updates: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -42,18 +87,48 @@ fn main() {
                         .unwrap_or_else(|_| fail("--timeout needs whole seconds")),
                 );
             }
-            "query" => command = Some(CtrlRequest::Query { text: val("query") }),
+            "--json" => json = true,
+            "--period" => {
+                let secs: u64 = val("--period")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--period needs whole seconds"));
+                if secs == 0 {
+                    fail("--period must be positive");
+                }
+                period = Some(secs);
+            }
+            "--threshold" => {
+                threshold = Some(
+                    val("--threshold")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--threshold needs a number")),
+                );
+            }
+            "--lease-ms" => {
+                lease_ms = val("--lease-ms")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--lease-ms needs milliseconds"));
+            }
+            "--updates" => {
+                max_updates = Some(
+                    val("--updates")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--updates needs a count")),
+                );
+            }
+            "query" => command = Some(Command::Simple(CtrlRequest::Query { text: val("query") })),
             "set" => {
                 let kv = val("set");
                 let Some((k, v)) = kv.split_once('=') else {
                     fail(&format!("`{kv}` is not k=v"));
                 };
-                command = Some(CtrlRequest::SetAttr {
+                command = Some(Command::Simple(CtrlRequest::SetAttr {
                     attr: k.to_owned(),
                     value: parse_value(v),
-                });
+                }));
             }
-            "status" => command = Some(CtrlRequest::Status),
+            "status" => command = Some(Command::Simple(CtrlRequest::Status)),
+            "watch" => command = Some(Command::Watch { text: val("watch") }),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -64,7 +139,21 @@ fn main() {
     let connect = connect.unwrap_or_else(|| fail("--connect is required"));
     let command = command.unwrap_or_else(|| fail("a command is required"));
 
-    match ctrl_roundtrip(&connect, &command, timeout) {
+    let request = match command {
+        Command::Watch { text } => {
+            let policy = match (period, threshold) {
+                (Some(_), Some(_)) => fail("--period and --threshold are mutually exclusive"),
+                (Some(s), None) => DeliveryPolicy::Periodic(SimDuration::from_secs(s)),
+                (None, Some(v)) => DeliveryPolicy::Threshold { value: v },
+                (None, None) => DeliveryPolicy::OnChange,
+            };
+            run_watch(&connect, text, policy, lease_ms, max_updates, json);
+            return;
+        }
+        Command::Simple(req) => req,
+    };
+
+    match ctrl_roundtrip(&connect, &request, timeout) {
         Ok(CtrlReply::Answer { result, complete }) => {
             println!("{result}");
             if !complete {
@@ -79,6 +168,18 @@ fn main() {
             alive,
             dead,
         }) => {
+            if json {
+                let dead_json = dead
+                    .iter()
+                    .map(|n| n.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",");
+                println!(
+                    "{{\"node\":{node},\"members\":{members},\"alive\":{alive},\
+                     \"dead\":[{dead_json}]}}"
+                );
+                return;
+            }
             // Confirmed-dead peers keep their slot in the member list
             // (dense id space) but are pruned from the overlay; surface
             // them so operators see what the failure detector concluded.
@@ -96,6 +197,10 @@ fn main() {
             // Only daemons send Join; a human shouldn't end up here.
             println!("joined");
         }
+        Ok(CtrlReply::Update { .. }) => {
+            eprintln!("moara-cli: unexpected streaming update outside watch");
+            std::process::exit(1);
+        }
         Ok(CtrlReply::Error(e)) => {
             eprintln!("moara-cli: daemon error: {e}");
             std::process::exit(1);
@@ -103,6 +208,82 @@ fn main() {
         Err(e) => {
             eprintln!("moara-cli: {e}");
             std::process::exit(1);
+        }
+    }
+}
+
+/// Opens a dedicated control connection, installs the watch, and prints
+/// one line per streamed update.
+fn run_watch(
+    connect: &str,
+    text: String,
+    policy: DeliveryPolicy,
+    lease_ms: u64,
+    max_updates: Option<u64>,
+    json: bool,
+) {
+    use std::net::ToSocketAddrs;
+    let addr = connect
+        .to_socket_addrs()
+        .ok()
+        .and_then(|mut a| a.next())
+        .unwrap_or_else(|| fail(&format!("bad address {connect}")));
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10))
+        .unwrap_or_else(|e| fail(&format!("connect {connect}: {e}")));
+    let _ = stream.set_nodelay(true);
+    let req = CtrlRequest::Watch {
+        text,
+        policy,
+        lease_us: lease_ms.saturating_mul(1_000),
+    };
+    if write_msg(&mut stream, &req).is_err() || stream.flush().is_err() {
+        eprintln!("moara-cli: failed to send watch request");
+        std::process::exit(1);
+    }
+    let mut seen = 0u64;
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(p)) => p,
+            Ok(None) => return, // daemon closed the stream
+            Err(e) => {
+                eprintln!("moara-cli: stream error: {e}");
+                std::process::exit(1);
+            }
+        };
+        match CtrlReply::from_bytes(&payload) {
+            Ok(CtrlReply::Update {
+                result,
+                initial,
+                complete,
+            }) => {
+                if json {
+                    println!(
+                        "{{\"result\":{},\"initial\":{initial},\"complete\":{complete}}}",
+                        json_str(&result)
+                    );
+                } else {
+                    let mark = if initial { "=" } else { ">" };
+                    let note = if complete { "" } else { " (incomplete)" };
+                    println!("{mark} {result}{note}");
+                }
+                let _ = std::io::stdout().flush();
+                seen += 1;
+                if max_updates.is_some_and(|m| seen >= m) {
+                    return;
+                }
+            }
+            Ok(CtrlReply::Error(e)) => {
+                eprintln!("moara-cli: daemon error: {e}");
+                std::process::exit(1);
+            }
+            Ok(other) => {
+                eprintln!("moara-cli: unexpected reply {other:?}");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("moara-cli: bad frame: {e}");
+                std::process::exit(1);
+            }
         }
     }
 }

@@ -52,7 +52,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use moara_attributes::Value;
-use moara_core::{Directory, MoaraConfig, MoaraMsg, MoaraNode};
+use moara_core::{DeliveryPolicy, Directory, MoaraConfig, MoaraMsg, MoaraNode};
 use moara_dht::Id;
 use moara_membership::{SwimConfig, SwimDetector, SwimEvent, SwimMsg};
 use moara_query::parse_query;
@@ -194,6 +194,18 @@ pub enum CtrlRequest {
     },
     /// Report node id and membership view.
     Status,
+    /// Install a standing query and stream its updates back on this
+    /// control connection ([`CtrlReply::Update`] frames) until the
+    /// client disconnects.
+    Watch {
+        /// Query text, either syntax of `moara_query::parse_query`.
+        text: String,
+        /// When updates surface (on-change / periodic / threshold).
+        policy: DeliveryPolicy,
+        /// Subscription lease in microseconds (the daemon renews it for
+        /// as long as the watcher stays connected).
+        lease_us: u64,
+    },
 }
 
 /// A control-plane reply.
@@ -227,6 +239,15 @@ pub enum CtrlReply {
         /// view for identity continuity, pruned from the overlay).
         dead: Vec<u32>,
     },
+    /// One update of a standing watch (streamed; many per request).
+    Update {
+        /// The merged result, rendered (`AggResult` display form).
+        result: String,
+        /// True for the first update of the watch.
+        initial: bool,
+        /// False when some pinned tree had not reported yet.
+        complete: bool,
+    },
     /// Request failed.
     Error(String),
 }
@@ -249,6 +270,16 @@ impl Wire for CtrlRequest {
                 value.encode(out);
             }
             CtrlRequest::Status => out.push(3),
+            CtrlRequest::Watch {
+                text,
+                policy,
+                lease_us,
+            } => {
+                out.push(4);
+                text.encode(out);
+                policy.encode(out);
+                lease_us.encode(out);
+            }
         }
     }
     fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
@@ -265,6 +296,11 @@ impl Wire for CtrlRequest {
                 value: Wire::decode(buf)?,
             },
             3 => CtrlRequest::Status,
+            4 => CtrlRequest::Watch {
+                text: Wire::decode(buf)?,
+                policy: Wire::decode(buf)?,
+                lease_us: Wire::decode(buf)?,
+            },
             _ => return Err(WireError::Invalid("CtrlRequest tag")),
         })
     }
@@ -274,6 +310,9 @@ impl Wire for CtrlRequest {
             CtrlRequest::Query { text } => text.encoded_len(),
             CtrlRequest::SetAttr { attr, value } => attr.encoded_len() + value.encoded_len(),
             CtrlRequest::Status => 0,
+            CtrlRequest::Watch { text, policy, .. } => {
+                text.encoded_len() + policy.encoded_len() + 8
+            }
         }
     }
 }
@@ -308,6 +347,16 @@ impl Wire for CtrlReply {
                 out.push(4);
                 e.encode(out);
             }
+            CtrlReply::Update {
+                result,
+                initial,
+                complete,
+            } => {
+                out.push(5);
+                result.encode(out);
+                initial.encode(out);
+                complete.encode(out);
+            }
         }
     }
     fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
@@ -328,6 +377,11 @@ impl Wire for CtrlReply {
                 dead: Wire::decode(buf)?,
             },
             4 => CtrlReply::Error(Wire::decode(buf)?),
+            5 => CtrlReply::Update {
+                result: Wire::decode(buf)?,
+                initial: Wire::decode(buf)?,
+                complete: Wire::decode(buf)?,
+            },
             _ => return Err(WireError::Invalid("CtrlReply tag")),
         })
     }
@@ -338,6 +392,7 @@ impl Wire for CtrlReply {
             CtrlReply::Ok => 0,
             CtrlReply::Status { dead, .. } => 12 + dead.encoded_len(),
             CtrlReply::Error(e) => e.encoded_len(),
+            CtrlReply::Update { result, .. } => result.encoded_len() + 2,
         }
     }
 }
@@ -567,6 +622,10 @@ pub struct Daemon {
     ctrl_rx: Receiver<CtrlJob>,
     /// Queries whose outcome we are waiting on: front id → reply channel.
     pending_queries: HashMap<u64, Sender<CtrlReply>>,
+    /// Standing watches streaming to control connections: watch id →
+    /// update channel. A failed send means the watcher hung up; the
+    /// daemon then cancels the subscription.
+    watch_streams: HashMap<u64, Sender<CtrlReply>>,
     /// Sends that could not be delivered since the last drain (kept
     /// bounded by draining every step; the count feeds future failure
     /// detection).
@@ -697,6 +756,7 @@ impl Daemon {
             ctrl_addr,
             ctrl_rx,
             pending_queries: HashMap::new(),
+            watch_streams: HashMap::new(),
             undeliverable_total: 0,
             last_announce: Instant::now(),
         };
@@ -745,6 +805,7 @@ impl Daemon {
         did |= self.apply_swim_events();
         did |= self.serve_ctrl();
         did |= self.finish_queries();
+        did |= self.pump_watches();
         // Keep the transport's undeliverable log bounded (it grows on
         // every send to a dead peer, and this loop runs forever).
         self.undeliverable_total += self.transport.take_undeliverable().len() as u64;
@@ -1091,6 +1152,26 @@ impl Daemon {
                     });
                     let _ = job.reply.send(CtrlReply::Ok);
                 }
+                CtrlRequest::Watch {
+                    text,
+                    policy,
+                    lease_us,
+                } => match parse_query(&text) {
+                    Ok(query) => {
+                        let me = self.me;
+                        let lease = SimDuration::from_micros(lease_us.max(1_000_000));
+                        let wid = self.transport.with_node(me, |n, ctx| {
+                            let mut mctx = moara_ctx(ctx);
+                            n.moara.subscribe(&mut mctx, query, policy, lease)
+                        });
+                        self.watch_streams.insert(wid, job.reply);
+                    }
+                    Err(e) => {
+                        let _ = job
+                            .reply
+                            .send(CtrlReply::Error(format!("parse error: {e}")));
+                    }
+                },
                 CtrlRequest::Status => {
                     let dead: Vec<u32> = self
                         .members
@@ -1137,6 +1218,46 @@ impl Daemon {
         }
         !done.is_empty()
     }
+
+    /// Streams pending subscription updates to their watchers; a hung-up
+    /// watcher's subscription is cancelled (its standing state then
+    /// tears down along the trees).
+    fn pump_watches(&mut self) -> bool {
+        if self.watch_streams.is_empty() {
+            return false;
+        }
+        let me = self.me;
+        let mut did = false;
+        let mut gone: Vec<u64> = Vec::new();
+        let wids: Vec<u64> = self.watch_streams.keys().copied().collect();
+        for wid in wids {
+            let updates = self.transport.node_mut(me).moara.take_sub_updates(wid);
+            for u in updates {
+                did = true;
+                let reply = CtrlReply::Update {
+                    result: u.result.to_string(),
+                    initial: u.initial,
+                    complete: u.complete,
+                };
+                if self
+                    .watch_streams
+                    .get(&wid)
+                    .is_none_or(|tx| tx.send(reply).is_err())
+                {
+                    gone.push(wid);
+                    break;
+                }
+            }
+        }
+        for wid in gone {
+            self.watch_streams.remove(&wid);
+            self.transport.with_node(me, |n, ctx| {
+                let mut mctx = moara_ctx(ctx);
+                n.moara.unsubscribe(&mut mctx, wid);
+            });
+        }
+        did
+    }
 }
 
 fn resolve(addr: &str) -> Result<SocketAddr, String> {
@@ -1162,7 +1283,10 @@ fn spawn_ctrl_accept_loop(listener: TcpListener, tx: Sender<CtrlJob>) {
 }
 
 /// Serves one control connection: framed request in, framed reply out,
-/// repeated until the client hangs up.
+/// repeated until the client hangs up. A `Watch` request flips the
+/// connection into streaming mode: update frames flow until the client
+/// disconnects (detected by a failed write) or the daemon drops the
+/// stream.
 fn ctrl_conn_loop(mut stream: TcpStream, tx: Sender<CtrlJob>) {
     let _ = stream.set_nodelay(true);
     loop {
@@ -1173,6 +1297,7 @@ fn ctrl_conn_loop(mut stream: TcpStream, tx: Sender<CtrlJob>) {
             let _ = write_msg(&mut stream, &CtrlReply::Error("bad request frame".into()));
             return;
         };
+        let streaming = matches!(req, CtrlRequest::Watch { .. });
         let (reply_tx, reply_rx) = std::sync::mpsc::channel();
         if tx
             .send(CtrlJob {
@@ -1182,6 +1307,40 @@ fn ctrl_conn_loop(mut stream: TcpStream, tx: Sender<CtrlJob>) {
             .is_err()
         {
             return; // daemon shut down
+        }
+        if streaming {
+            // Forward update frames as they arrive. Dropping `reply_rx`
+            // on any write failure is the hang-up signal the daemon's
+            // pump observes (its next send errs and it unsubscribes).
+            loop {
+                match reply_rx.recv_timeout(Duration::from_secs(1)) {
+                    Ok(reply) => {
+                        let stop = matches!(reply, CtrlReply::Error(_));
+                        if write_msg(&mut stream, &reply).is_err() || stream.flush().is_err() {
+                            return;
+                        }
+                        if stop {
+                            return;
+                        }
+                    }
+                    Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                        // A quiescent watch emits nothing for long
+                        // stretches; probe the socket so a hung-up
+                        // client releases the stream promptly.
+                        let _ = stream.set_read_timeout(Some(Duration::from_millis(1)));
+                        let mut probe = [0u8; 1];
+                        match std::io::Read::read(&mut stream, &mut probe) {
+                            Ok(0) => return, // EOF: client gone
+                            Ok(_) => {}      // stray bytes: ignore
+                            Err(e)
+                                if e.kind() == std::io::ErrorKind::WouldBlock
+                                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+                            Err(_) => return,
+                        }
+                    }
+                    Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return,
+                }
+            }
         }
         // Queries can legitimately take a while (front timeout bounds
         // them); everything else answers within one loop iteration.
@@ -1305,6 +1464,11 @@ mod tests {
                 value: Value::Int(1),
             },
             CtrlRequest::Status,
+            CtrlRequest::Watch {
+                text: "SELECT count(*) WHERE ServiceX = true".into(),
+                policy: DeliveryPolicy::Threshold { value: 2.5 },
+                lease_us: 30_000_000,
+            },
         ];
         for r in reqs {
             assert_eq!(CtrlRequest::from_bytes(&r.to_bytes()).unwrap(), r);
@@ -1326,6 +1490,11 @@ mod tests {
                 dead: vec![1],
             },
             CtrlReply::Error("nope".into()),
+            CtrlReply::Update {
+                result: "4".into(),
+                initial: true,
+                complete: false,
+            },
         ];
         for r in replies {
             assert_eq!(CtrlReply::from_bytes(&r.to_bytes()).unwrap(), r);

@@ -12,11 +12,11 @@
 //! flowing), and every structural reaction happens because some node's
 //! detector concluded something.
 
-use moara_core::{Directory, MoaraConfig, MoaraNode, QueryOutcome};
+use moara_core::{DeliveryPolicy, Directory, MoaraConfig, MoaraNode, QueryOutcome, SubUpdate};
 use moara_dht::Id;
 use moara_membership::{SwimConfig, SwimDetector, SwimEvent};
 use moara_query::parse_query;
-use moara_simnet::{latency, NodeId, SimDuration};
+use moara_simnet::{latency, NodeId, SimDuration, Stats};
 use moara_transport::{SimTransport, Transport};
 
 use rand::rngs::StdRng;
@@ -94,6 +94,58 @@ impl SimSwarm {
     /// Read access to one daemon's node (engine + detector).
     pub fn node(&self, node: NodeId) -> &DaemonNode {
         self.transport.node(node)
+    }
+
+    /// Message statistics of the swarm's transport.
+    pub fn stats(&self) -> &Stats {
+        self.transport.stats()
+    }
+
+    /// Mutable statistics (reset between phases).
+    pub fn stats_mut(&mut self) -> &mut Stats {
+        self.transport.stats_mut()
+    }
+
+    /// Installs a standing query at one daemon's front-end; drive the
+    /// swarm with [`SimSwarm::run`] and drain
+    /// [`SimSwarm::take_sub_updates`].
+    pub fn subscribe(
+        &mut self,
+        origin: NodeId,
+        text: &str,
+        policy: DeliveryPolicy,
+        lease: SimDuration,
+    ) -> u64 {
+        let query = parse_query(text).expect("query parses");
+        self.transport.with_node(origin, |dn, ctx| {
+            let mut mctx = moara_ctx(ctx);
+            dn.moara.subscribe(&mut mctx, query, policy, lease)
+        })
+    }
+
+    /// Drains the client-visible updates of a watch.
+    pub fn take_sub_updates(&mut self, origin: NodeId, watch_id: u64) -> Vec<SubUpdate> {
+        self.transport
+            .node_mut(origin)
+            .moara
+            .take_sub_updates(watch_id)
+    }
+
+    /// Cancels a subscription.
+    pub fn unsubscribe(&mut self, origin: NodeId, watch_id: u64) {
+        self.transport.with_node(origin, |dn, ctx| {
+            let mut mctx = moara_ctx(ctx);
+            dn.moara.unsubscribe(&mut mctx, watch_id);
+        });
+    }
+
+    /// Total per-tree subscription entries across the *alive* daemons.
+    pub fn sub_entries_total(&self) -> usize {
+        (0..self.views.len() as u32)
+            .map(NodeId)
+            .filter(|&n| self.transport.is_alive(n))
+            .map(|n| self.transport.node(n).moara.sub_entry_count())
+            .sum()
     }
 
     /// Whether daemon `at` currently believes member `about` is alive.

@@ -133,4 +133,48 @@ fn three_moarad_processes_answer_a_query_via_moara_cli() {
     ]);
     assert!(ok);
     assert_eq!(answer, "3");
+
+    // Standing query through the streaming control plane: the watcher
+    // gets the initial result, then a delta-driven update when a member
+    // leaves the group — across real processes and sockets.
+    let mut watch = Command::new(env!("CARGO_BIN_EXE_moara-cli"))
+        .args([
+            "--connect",
+            &a_ctrl,
+            "watch",
+            "SELECT count(*) WHERE ServiceX = true",
+            "--updates",
+            "2",
+            "--json",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn watch");
+    let watch_out = watch.stdout.take().expect("piped stdout");
+    let (wtx, wrx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        for line in BufReader::new(watch_out).lines().map_while(Result::ok) {
+            let _ = wtx.send(line);
+        }
+    });
+    let first = wrx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("initial watch update");
+    assert_eq!(
+        first, r#"{"result":"3","initial":true,"complete":true}"#,
+        "initial standing result"
+    );
+    let (out, ok) = cli(&["--connect", &c_ctrl, "set", "ServiceX=false"]);
+    assert!(ok);
+    assert_eq!(out, "ok");
+    let second = wrx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("delta-driven watch update");
+    assert_eq!(
+        second, r#"{"result":"2","initial":false,"complete":true}"#,
+        "standing result tracked the change without a re-query"
+    );
+    let status = watch.wait().expect("watch exits after --updates 2");
+    assert!(status.success());
 }

@@ -1,0 +1,154 @@
+//! The continuous-query acceptance scenario under deterministic
+//! simulation: a daemon-shaped cluster (engine + SWIM detector + private
+//! directory per node) where a front-end installs a standing query once
+//! and the full lifecycle plays out —
+//!
+//!   subscribe → initial result → a local attribute change propagates as
+//!   an incremental delta (no re-query, no size probes) → a member crash
+//!   shrinks the standing result within one SWIM confirm → its rejoin
+//!   restores it → the subscriber's crash stops renewals and lease
+//!   expiry garbage-collects every per-node subscription entry —
+//!
+//! and the whole story replays byte-for-byte under the same seed.
+
+use moara_core::{DeliveryPolicy, MoaraConfig};
+use moara_daemon::SimSwarm;
+use moara_membership::SwimConfig;
+use moara_simnet::{NodeId, SimDuration};
+
+const Q: &str = "SELECT count(*) WHERE ServiceX = true";
+const LEASE: SimDuration = SimDuration(20_000_000); // 20 s
+
+fn service_swarm(n: usize, seed: u64) -> SimSwarm {
+    let mut s = SimSwarm::new(n, MoaraConfig::default(), SwimConfig::fast(), seed);
+    for i in 0..n as u32 {
+        s.set_attr(NodeId(i), "ServiceX", true);
+    }
+    s.run_periods(5);
+    s
+}
+
+/// Runs the full lifecycle and returns every observation a client could
+/// make, so determinism can be asserted run-against-run.
+fn lifecycle(seed: u64) -> Vec<String> {
+    let mut log = Vec::new();
+    let mut s = service_swarm(5, seed);
+    let origin = NodeId(0);
+    let wid = s.subscribe(origin, Q, DeliveryPolicy::OnChange, LEASE);
+
+    // Initial sync: one update carrying the full group count.
+    s.run_periods(10);
+    for u in s.take_sub_updates(origin, wid) {
+        log.push(format!("initial={} complete={}", u.result, u.complete));
+    }
+
+    // Group churn at one member: the change flows root-ward as an
+    // incremental delta — no size probes, no query fan-out.
+    s.stats_mut().reset();
+    s.set_attr(NodeId(3), "ServiceX", false);
+    s.run_periods(10);
+    for u in s.take_sub_updates(origin, wid) {
+        log.push(format!("after-leave={}", u.result));
+    }
+    log.push(format!(
+        "deltas>0={} probes={}",
+        s.stats().counter("sub_deltas") > 0,
+        s.stats().counter("size_probes"),
+    ));
+
+    // A member crashes. Within one SWIM confirm (suspect_periods + the
+    // probe round, plus delta propagation) the standing result shrinks.
+    s.crash(NodeId(2));
+    let mut confirmed_at = None;
+    for period in 0..100u64 {
+        s.run_periods(1);
+        if !s.believes_alive(NodeId(0), NodeId(2)) {
+            confirmed_at = Some(period);
+            break;
+        }
+    }
+    assert!(confirmed_at.is_some(), "origin never confirmed the crash");
+    // One more period for the retraction delta to reach the front-end.
+    s.run_periods(2);
+    let ups = s.take_sub_updates(origin, wid);
+    log.push(format!(
+        "after-crash={}",
+        ups.last().map(|u| u.result.to_string()).unwrap_or_default()
+    ));
+
+    // The crashed member rejoins (state preserved, higher incarnation):
+    // the repair wave re-pins it and the standing result recovers.
+    s.restart(NodeId(2));
+    s.run_periods(40);
+    let ups = s.take_sub_updates(origin, wid);
+    log.push(format!(
+        "after-rejoin={}",
+        ups.last().map(|u| u.result.to_string()).unwrap_or_default()
+    ));
+
+    // The subscriber itself crashes: renewals stop, and within one lease
+    // every per-node subscription entry is garbage collected.
+    assert!(s.sub_entries_total() > 0, "entries pinned while alive");
+    s.crash(origin);
+    s.run(SimDuration::from_micros(
+        LEASE.as_micros() + 5 * 1_000_000, // one lease + slack
+    ));
+    log.push(format!("entries-after-lease={}", s.sub_entries_total()));
+    log
+}
+
+#[test]
+fn full_subscription_lifecycle_under_swim_churn() {
+    let log = lifecycle(42);
+    assert_eq!(
+        log,
+        vec![
+            "initial=5 complete=true".to_owned(),
+            "after-leave=4".to_owned(),
+            "deltas>0=true probes=0".to_owned(),
+            "after-crash=3".to_owned(),
+            "after-rejoin=4".to_owned(),
+            "entries-after-lease=0".to_owned(),
+        ],
+        "lifecycle observations"
+    );
+}
+
+#[test]
+fn the_lifecycle_is_deterministic() {
+    assert_eq!(lifecycle(7), lifecycle(7), "same seed, same story");
+}
+
+#[test]
+fn crash_shrinks_within_one_confirm_window() {
+    // Tighter timing claim: from the moment the origin's detector
+    // confirms the death, at most two SWIM periods pass before the
+    // standing result reflects it (on_peer_failed retracts the summary
+    // in the same callback; the deltas only need to cross the tree).
+    let mut s = service_swarm(6, 91);
+    let origin = NodeId(1);
+    let wid = s.subscribe(origin, Q, DeliveryPolicy::OnChange, LEASE);
+    s.run_periods(10);
+    assert_eq!(
+        s.take_sub_updates(origin, wid)
+            .last()
+            .map(|u| u.result.to_string()),
+        Some("6".into())
+    );
+    s.crash(NodeId(4));
+    for _ in 0..100 {
+        s.run_periods(1);
+        if !s.believes_alive(origin, NodeId(4)) {
+            break;
+        }
+    }
+    assert!(!s.believes_alive(origin, NodeId(4)), "never confirmed");
+    s.run_periods(2);
+    assert_eq!(
+        s.take_sub_updates(origin, wid)
+            .last()
+            .map(|u| u.result.to_string()),
+        Some("5".into()),
+        "result must shrink within one confirm (+2 periods propagation)"
+    );
+}

@@ -344,7 +344,15 @@ fn negate(p: Predicate) -> Option<Predicate> {
 /// family: `top(attr, 3)`, `TOP(3)` in triple form, and the compact
 /// `top3` / `top-3` spellings.
 fn resolve_agg(name: &str, explicit_k: Option<usize>, pos: usize) -> Result<AggKind, ParseError> {
-    let lower = name.to_ascii_lowercase();
+    let mut lower = name.to_ascii_lowercase();
+    // `topk(Load, 3)` / `bottomk(Load, 2)` are accepted spellings of the
+    // `top`/`bottom` family (the trailing `k` is the parameter name, not
+    // a count — `top3` stays the literal-k spelling).
+    if lower == "topk" {
+        lower = "top".into();
+    } else if lower == "bottomk" {
+        lower = "bottom".into();
+    }
     for (prefix, make) in [
         ("top", AggKind::TopK as fn(usize) -> AggKind),
         ("bottom", AggKind::BottomK as fn(usize) -> AggKind),
@@ -459,6 +467,15 @@ mod tests {
             parse_query("SELECT bottom(Load, 2)").unwrap().agg,
             AggKind::BottomK(2)
         );
+        assert_eq!(
+            parse_query("SELECT topk(Load, 4)").unwrap().agg,
+            AggKind::TopK(4)
+        );
+        assert_eq!(
+            parse_query("SELECT bottomk(Load, 2)").unwrap().agg,
+            AggKind::BottomK(2)
+        );
+        assert!(parse_query("SELECT topk(Load)").is_err()); // still needs k
         assert!(parse_query("SELECT top(Load)").is_err()); // missing k
         assert!(parse_query("SELECT top0(Load)").is_err());
         assert!(parse_query("SELECT top3(Load, 4)").is_err()); // k twice
@@ -535,6 +552,23 @@ mod tests {
     #[test]
     fn where_keyword_case_insensitive() {
         assert!(parse_query("select COUNT(*) where X = true").is_ok());
+    }
+
+    #[test]
+    fn std_parses_in_both_syntaxes() {
+        assert_eq!(
+            parse_query("SELECT std(CPU-Util) WHERE ServiceX = true")
+                .unwrap()
+                .agg,
+            AggKind::Std
+        );
+        assert_eq!(
+            parse_query("(CPU-Util, STDDEV, ServiceX = true)")
+                .unwrap()
+                .agg,
+            AggKind::Std
+        );
+        assert!(parse_query("SELECT std(*)").is_err()); // needs an attribute
     }
 
     #[test]

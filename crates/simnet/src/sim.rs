@@ -125,6 +125,10 @@ struct Event<M> {
     seq: u64,
     node: NodeId,
     kind: EventKind<M>,
+    /// Maintenance timers (lease clocks, renewal ticks, periodic
+    /// emissions) do not count toward quiescence: `run_to_quiescence`
+    /// neither waits for nor fires them — they fire during `run_for`.
+    maintenance: bool,
 }
 
 impl<M> PartialEq for Event<M> {
@@ -242,18 +246,35 @@ struct Core<M> {
     stats: Stats,
     undeliverable: Vec<(NodeId, NodeId)>,
     faults: FaultPlan,
+    /// Queued events that gate quiescence (everything except maintenance
+    /// timers); kept as a counter so `run_to_quiescence` can stop without
+    /// scanning the heap.
+    fg_events: usize,
 }
 
 impl<M: Message> Core<M> {
-    fn push(&mut self, time: SimTime, node: NodeId, kind: EventKind<M>) {
+    fn push(&mut self, time: SimTime, node: NodeId, kind: EventKind<M>, maintenance: bool) {
         let seq = self.seq;
         self.seq += 1;
+        if !maintenance {
+            self.fg_events += 1;
+        }
         self.queue.push(Reverse(Event {
             time,
             seq,
             node,
             kind,
+            maintenance,
         }));
+    }
+
+    /// Pops the next event, keeping the foreground counter in sync.
+    fn pop(&mut self) -> Option<Event<M>> {
+        let Reverse(ev) = self.queue.pop()?;
+        if !ev.maintenance {
+            self.fg_events -= 1;
+        }
+        Some(ev)
     }
 }
 
@@ -312,16 +333,33 @@ impl<M: Message> Context<'_, M> {
         let at = self.core.now + delay;
         let from = self.me;
         self.core.stats.record_recv(to, bytes);
-        self.core.push(at, to, EventKind::Deliver { from, msg });
+        self.core
+            .push(at, to, EventKind::Deliver { from, msg }, false);
     }
 
     /// Arms a one-shot timer that fires on this node after `delay`.
     pub fn set_timer(&mut self, delay: SimDuration, tag: TimerTag) -> TimerId {
+        self.arm_timer(delay, tag, false)
+    }
+
+    /// Arms a one-shot *maintenance* timer: it fires during `run_for`
+    /// like any other, but does not gate quiescence —
+    /// [`Simulator::run_to_quiescence`] neither waits for nor fires it.
+    /// For standing periodic work (lease clocks, subscription renewals)
+    /// that would otherwise make a quiescence drain re-arm itself
+    /// forever. A maintenance timer skipped by a drain may consequently
+    /// fire *late* (at the clock position the drain reached).
+    pub fn set_maintenance_timer(&mut self, delay: SimDuration, tag: TimerTag) -> TimerId {
+        self.arm_timer(delay, tag, true)
+    }
+
+    fn arm_timer(&mut self, delay: SimDuration, tag: TimerTag, maintenance: bool) -> TimerId {
         let id = TimerId(self.core.next_timer);
         self.core.next_timer += 1;
         let at = self.core.now + delay;
         let me = self.me;
-        self.core.push(at, me, EventKind::Timer { id, tag });
+        self.core
+            .push(at, me, EventKind::Timer { id, tag }, maintenance);
         id
     }
 
@@ -363,6 +401,7 @@ impl<P: Protocol> Simulator<P> {
                 stats: Stats::default(),
                 undeliverable: Vec::new(),
                 faults: FaultPlan::default(),
+                fg_events: 0,
             },
         }
     }
@@ -490,12 +529,15 @@ impl<P: Protocol> Simulator<P> {
         }
     }
 
-    /// Processes events until the queue is empty. Returns the final time.
+    /// Processes events until no *foreground* events remain: pending
+    /// deliveries and ordinary timers drain; maintenance timers stay
+    /// queued (they would re-arm themselves forever). Returns the final
+    /// time.
     ///
     /// # Panics
     ///
     /// Panics after 200 million events, which in practice indicates a
-    /// protocol livelock (e.g. a self-rearming timer).
+    /// protocol livelock (e.g. a self-rearming foreground timer).
     pub fn run_to_quiescence(&mut self) -> SimTime {
         assert!(
             self.run_events(200_000_000),
@@ -516,22 +558,31 @@ impl<P: Protocol> Simulator<P> {
         }
     }
 
-    /// Processes at most `budget` events; returns true if the queue drained.
+    /// Processes at most `budget` foreground events; returns true if the
+    /// foreground drained. Maintenance timers encountered on the way are
+    /// set aside (unfired, clock untouched) and re-queued at the end.
     pub fn run_events(&mut self, budget: u64) -> bool {
+        let mut stash: Vec<Event<P::Msg>> = Vec::new();
         for _ in 0..budget {
-            match self.core.queue.pop() {
-                Some(Reverse(ev)) => {
-                    if self.purge_if_cancelled(&ev) {
-                        continue;
-                    }
-                    debug_assert!(ev.time >= self.core.now, "time went backwards");
-                    self.core.now = ev.time;
-                    self.dispatch(ev);
-                }
-                None => return true,
+            if self.core.fg_events == 0 {
+                break;
             }
+            let Some(ev) = self.core.pop() else { break };
+            if self.purge_if_cancelled(&ev) {
+                continue;
+            }
+            if ev.maintenance {
+                stash.push(ev);
+                continue;
+            }
+            debug_assert!(ev.time >= self.core.now, "time went backwards");
+            self.core.now = ev.time;
+            self.dispatch(ev);
         }
-        self.core.queue.is_empty()
+        for ev in stash {
+            self.core.queue.push(Reverse(ev));
+        }
+        self.core.fg_events == 0
     }
 
     /// Processes all events with `time <= until`, then advances the clock to
@@ -543,11 +594,15 @@ impl<P: Protocol> Simulator<P> {
             if !due {
                 break;
             }
-            let Reverse(ev) = self.core.queue.pop().expect("peeked");
+            let ev = self.core.pop().expect("peeked");
             if self.purge_if_cancelled(&ev) {
                 continue;
             }
-            self.core.now = ev.time;
+            // A maintenance timer skipped by a quiescence drain can be
+            // overdue; it fires late without moving the clock backwards.
+            if ev.time > self.core.now {
+                self.core.now = ev.time;
+            }
             self.dispatch(ev);
         }
         if self.core.now < until {
@@ -752,6 +807,39 @@ mod tests {
             (s.now(), s.stats().total_messages())
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn maintenance_timers_do_not_gate_quiescence() {
+        #[derive(Debug, Default)]
+        struct Renewer {
+            fired: u32,
+        }
+        impl Protocol for Renewer {
+            type Msg = u32;
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                ctx.set_maintenance_timer(SimDuration::from_millis(10), 0);
+            }
+            fn on_message(&mut self, _ctx: &mut Context<'_, u32>, _from: NodeId, _msg: u32) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, u32>, _tag: TimerTag) {
+                // Standing periodic work: re-arms itself forever.
+                self.fired += 1;
+                ctx.set_maintenance_timer(SimDuration::from_millis(10), 0);
+            }
+        }
+        let mut s: Simulator<Renewer> = Simulator::new(Constant::from_millis(1), 3);
+        let a = s.add_node(Renewer::default());
+        // Quiescence terminates immediately and fires nothing.
+        let end = s.run_to_quiescence();
+        assert_eq!(end, SimTime::ZERO);
+        assert_eq!(s.node(a).fired, 0);
+        // run_for fires the standing timer on schedule.
+        s.run_for(SimDuration::from_millis(35));
+        assert_eq!(s.node(a).fired, 3);
+        // A quiescence drain in between leaves the schedule intact.
+        s.run_to_quiescence();
+        s.run_for(SimDuration::from_millis(10));
+        assert_eq!(s.node(a).fired, 4);
     }
 
     #[test]

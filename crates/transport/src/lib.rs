@@ -56,6 +56,16 @@ pub trait NetCtx<M> {
     /// Arms a one-shot timer firing on this node after `delay`.
     fn set_timer(&mut self, delay: SimDuration, tag: TimerTag) -> TimerId;
 
+    /// Arms a one-shot *maintenance* timer: fires like any other during
+    /// normal running, but does not gate the transport's quiescence.
+    /// For standing periodic work (lease clocks, subscription renewals)
+    /// that re-arms itself forever — a quiescence drain must neither
+    /// wait for it nor fire it. Defaults to a plain timer for backends
+    /// without the distinction.
+    fn set_maintenance_timer(&mut self, delay: SimDuration, tag: TimerTag) -> TimerId {
+        self.set_timer(delay, tag)
+    }
+
     /// Cancels a pending timer (no-op if already fired).
     fn cancel_timer(&mut self, id: TimerId);
 
@@ -75,6 +85,9 @@ impl<M: Message> NetCtx<M> for moara_simnet::Context<'_, M> {
     }
     fn set_timer(&mut self, delay: SimDuration, tag: TimerTag) -> TimerId {
         moara_simnet::Context::set_timer(self, delay, tag)
+    }
+    fn set_maintenance_timer(&mut self, delay: SimDuration, tag: TimerTag) -> TimerId {
+        moara_simnet::Context::set_maintenance_timer(self, delay, tag)
     }
     fn cancel_timer(&mut self, id: TimerId) {
         moara_simnet::Context::cancel_timer(self, id);

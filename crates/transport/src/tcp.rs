@@ -140,6 +140,10 @@ struct TcpCore<M> {
     /// Seqs still in the heap; guards `cancelled` against growing on
     /// cancellations of already-fired timers.
     live_timers: HashSet<u64>,
+    /// Timers that do not gate quiescence (lease clocks, renewal ticks):
+    /// they fire at their deadline like any other, but
+    /// `run_to_quiescence` does not wait them out.
+    maintenance_timers: HashSet<u64>,
     next_timer: u64,
     /// Peers whose last reconnect cycle failed entirely: drop sends to
     /// them until the deadline instead of blocking the event loop again.
@@ -265,11 +269,24 @@ impl<M: Message + Wire> TcpCore<M> {
     }
 
     fn set_timer(&mut self, me: NodeId, delay: SimDuration, tag: TimerTag) -> TimerId {
+        self.arm_timer(me, delay, tag, false)
+    }
+
+    fn arm_timer(
+        &mut self,
+        me: NodeId,
+        delay: SimDuration,
+        tag: TimerTag,
+        maintenance: bool,
+    ) -> TimerId {
         let seq = self.next_timer;
         self.next_timer += 1;
         let due = self.now_us().saturating_add(delay.as_micros());
         self.timers.push(Reverse((due, seq, me.0, tag)));
         self.live_timers.insert(seq);
+        if maintenance {
+            self.maintenance_timers.insert(seq);
+        }
         TimerId::from_raw(seq)
     }
 
@@ -278,12 +295,26 @@ impl<M: Message + Wire> TcpCore<M> {
         while let Some(Reverse((due, seq, _, _))) = self.timers.peek().copied() {
             if self.cancelled.remove(&seq) {
                 self.live_timers.remove(&seq);
+                self.maintenance_timers.remove(&seq);
                 self.timers.pop();
                 continue;
             }
             return Some(due.saturating_sub(self.now_us()));
         }
         None
+    }
+
+    /// Micros until the next *foreground* (non-maintenance) timer — the
+    /// quiescence condition. Scans the heap; timer counts are tiny.
+    fn next_fg_timer_in(&self) -> Option<u64> {
+        let now = self.now_us();
+        self.timers
+            .iter()
+            .filter(|Reverse((_, seq, _, _))| {
+                !self.cancelled.contains(seq) && !self.maintenance_timers.contains(seq)
+            })
+            .map(|Reverse((due, _, _, _))| due.saturating_sub(now))
+            .min()
     }
 }
 
@@ -305,6 +336,9 @@ impl<M: Message + Wire> NetCtx<M> for TcpCtx<'_, M> {
     }
     fn set_timer(&mut self, delay: SimDuration, tag: TimerTag) -> TimerId {
         self.core.set_timer(self.me, delay, tag)
+    }
+    fn set_maintenance_timer(&mut self, delay: SimDuration, tag: TimerTag) -> TimerId {
+        self.core.arm_timer(self.me, delay, tag, true)
     }
     fn cancel_timer(&mut self, id: TimerId) {
         // Cancelling an already-fired timer must not grow the set forever.
@@ -372,6 +406,7 @@ where
                 timers: BinaryHeap::new(),
                 cancelled: HashSet::new(),
                 live_timers: HashSet::new(),
+                maintenance_timers: HashSet::new(),
                 next_timer: 0,
                 suspect_until: HashMap::new(),
                 local_queue: VecDeque::new(),
@@ -557,6 +592,7 @@ where
         while let Some(Reverse((due, seq, node, tag))) = self.core.timers.peek().copied() {
             if self.core.cancelled.remove(&seq) {
                 self.core.live_timers.remove(&seq);
+                self.core.maintenance_timers.remove(&seq);
                 self.core.timers.pop();
                 continue;
             }
@@ -565,6 +601,7 @@ where
             }
             self.core.timers.pop();
             self.core.live_timers.remove(&seq);
+            self.core.maintenance_timers.remove(&seq);
             if self.core.is_alive(node) && self.nodes.contains_key(&node) {
                 self.with_node_inner(NodeId(node), |n, ctx| n.on_timer(ctx, tag));
             }
@@ -743,9 +780,11 @@ where
                 idle_since = None;
                 continue;
             }
-            if let Some(us) = self.core.next_timer_in() {
-                // Idle but a timer is due later: wait for it (pump blocks
-                // until then, bounded to keep checking the cap).
+            if let Some(us) = self.core.next_fg_timer_in() {
+                // Idle but a foreground timer is due later: wait for it
+                // (pump blocks until then, bounded to keep checking the
+                // cap). Maintenance timers — standing lease/renewal
+                // clocks that re-arm forever — are not waited out.
                 self.pump(Duration::from_micros(us).min(Duration::from_millis(50)));
                 continue;
             }

@@ -13,6 +13,9 @@
 //! * [`dht`](moara_dht) — the Pastry-style overlay substrate;
 //! * [`membership`](moara_membership) — the SWIM-style failure detector
 //!   behind live membership (see `docs/membership.md`);
+//! * [`subscribe`](moara_subscribe) — the continuous-query subscription
+//!   plane: leased standing queries with incremental in-network
+//!   re-aggregation (see `docs/continuous-queries.md`);
 //! * [`transport`](moara_transport) — the pluggable transport subsystem;
 //! * [`simnet`](moara_simnet) — the discrete-event simulator;
 //! * [`wire`](moara_wire) — the binary wire codec;
@@ -51,6 +54,7 @@ pub use moara_dht as dht;
 pub use moara_membership as membership;
 pub use moara_query as query;
 pub use moara_simnet as simnet;
+pub use moara_subscribe as subscribe;
 pub use moara_transport as transport;
 pub use moara_wire as wire;
 
@@ -59,4 +63,5 @@ pub use moara_attributes::{AttrStore, Value};
 pub use moara_core::{Cluster, MoaraConfig, Mode, ProbeCachePolicy, QueryOutcome};
 pub use moara_query::{parse_predicate, parse_query, Predicate, Query, SimplePredicate};
 pub use moara_simnet::NodeId;
+pub use moara_subscribe::{DeliveryPolicy, SubUpdate};
 pub use moara_transport::{NetCtx, NetProtocol, SimTransport, TcpTransport, Transport};

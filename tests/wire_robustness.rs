@@ -56,6 +56,10 @@ fn samples() -> Vec<MoaraMsg> {
         key: Id::of_attribute("CPU-Util"),
         inner: Box::new(probe.clone()),
     };
+    let sub_id = moara::subscribe::SubId {
+        origin: NodeId(2),
+        n: 5,
+    };
     vec![
         down.clone(),
         MoaraMsg::QueryReply {
@@ -97,6 +101,40 @@ fn samples() -> Vec<MoaraMsg> {
                     inner: Box::new(down),
                 },
             ],
+        },
+        // The subscription plane's four frames.
+        MoaraMsg::Subscribe {
+            spec: moara::subscribe::SubSpec {
+                id: sub_id,
+                query: Query::new(None, AggKind::Count, Predicate::atom("A", CmpOp::Eq, 1i64)),
+                policy: moara::subscribe::DeliveryPolicy::Threshold { value: 3.5 },
+                lease: moara::simnet::SimDuration::from_secs(30),
+                owner: NodeId(2),
+                cover: vec!["A=1".into()],
+            },
+            pred_key: "A=1".into(),
+            tree: Id::of_attribute("A"),
+            seq: 1,
+        },
+        MoaraMsg::SubDelta {
+            sid: sub_id,
+            pred_key: "A=1".into(),
+            seq: 4,
+            state: AggState::Std {
+                sum: 6.0,
+                sum_sq: 14.0,
+                count: 3,
+            },
+        },
+        MoaraMsg::SubRenew {
+            sid: sub_id,
+            pred_key: "A=1".into(),
+            lease_us: 30_000_000,
+            last_seen_seq: 4,
+        },
+        MoaraMsg::SubCancel {
+            sid: sub_id,
+            pred_key: "A=1".into(),
         },
     ]
 }

@@ -11,7 +11,8 @@ use moara::attributes::Value;
 use moara::core::{MoaraMsg, QueryId};
 use moara::dht::Id;
 use moara::query::{CmpOp, Predicate, Query, SimplePredicate};
-use moara::simnet::{Message, NodeId};
+use moara::simnet::{Message, NodeId, SimDuration};
+use moara::subscribe::{DeliveryPolicy, SubId, SubSpec};
 use moara_wire::{Wire, FRAME_HDR, SENDER_HDR};
 
 fn roundtrip(msg: &MoaraMsg) {
@@ -217,6 +218,108 @@ fn route_nesting_roundtrips() {
     assert_eq!(one.encoded_len(), 1 + 8 + inner.encoded_len());
     assert_eq!(one.size_bytes(), FRAME_HDR + SENDER_HDR + one.encoded_len());
     assert_eq!(two.size_bytes(), one.size_bytes() + 9);
+}
+
+fn sub_spec(policy: DeliveryPolicy) -> SubSpec {
+    SubSpec {
+        id: SubId {
+            origin: NodeId(2),
+            n: 7,
+        },
+        query: composite_query(),
+        policy,
+        lease: SimDuration::from_secs(30),
+        owner: NodeId(2),
+        cover: vec!["CPU-Util<50".into(), "ServiceX=true".into()],
+    }
+}
+
+#[test]
+fn subscribe_roundtrips_for_every_policy() {
+    for policy in [
+        DeliveryPolicy::OnChange,
+        DeliveryPolicy::Periodic(SimDuration::from_secs(5)),
+        DeliveryPolicy::Threshold { value: -1.25 },
+    ] {
+        roundtrip(&MoaraMsg::Subscribe {
+            spec: sub_spec(policy),
+            pred_key: "ServiceX=true".into(),
+            tree: Id::of_attribute("ServiceX"),
+            seq: 3,
+        });
+        // Installs travel Route'd to the tree root like queries.
+        roundtrip(&MoaraMsg::Route {
+            key: Id::of_attribute("ServiceX"),
+            inner: Box::new(MoaraMsg::Subscribe {
+                spec: sub_spec(policy),
+                pred_key: "ServiceX=true".into(),
+                tree: Id::of_attribute("ServiceX"),
+                seq: 3,
+            }),
+        });
+    }
+}
+
+#[test]
+fn sub_delta_roundtrips_for_every_agg_state() {
+    let states = vec![
+        AggState::Null,
+        AggState::Count(42),
+        AggState::SumInt(-7),
+        AggState::Avg {
+            sum: 10.5,
+            count: 3,
+        },
+        AggState::Std {
+            sum: 9.0,
+            sum_sq: 29.0,
+            count: 3,
+        },
+        AggState::Min((Value::Int(-3), NodeRef(4))),
+        AggState::Ranked {
+            k: 2,
+            descending: true,
+            items: vec![(Value::Float(9.5), NodeRef(1))],
+        },
+    ];
+    for state in states {
+        roundtrip(&MoaraMsg::SubDelta {
+            sid: SubId {
+                origin: NodeId(1),
+                n: 3,
+            },
+            pred_key: "ServiceX=true".into(),
+            seq: 12,
+            state,
+        });
+    }
+}
+
+#[test]
+fn sub_renew_and_cancel_roundtrip() {
+    let sid = SubId {
+        origin: NodeId(9),
+        n: 1,
+    };
+    roundtrip(&MoaraMsg::SubRenew {
+        sid,
+        pred_key: "A=1".into(),
+        lease_us: 30_000_000,
+        last_seen_seq: 8,
+    });
+    roundtrip(&MoaraMsg::SubCancel {
+        sid,
+        pred_key: "A=1".into(),
+    });
+    // Subscription traffic is maintenance for per-query accounting.
+    assert_eq!(
+        MoaraMsg::SubCancel {
+            sid,
+            pred_key: "A=1".into()
+        }
+        .query_tag(),
+        None
+    );
 }
 
 #[test]
