@@ -158,7 +158,17 @@ impl AggKind {
                     Count(left)
                 }
             }
-            (SumInt(t), SumInt(p)) => SumInt(t.wrapping_sub(p)),
+            (SumInt(t), SumInt(p)) => {
+                let left = t.wrapping_sub(p);
+                if left == 0 {
+                    // Zero is ambiguous: the remaining parts may
+                    // genuinely sum to zero (SumInt(0)) or may all be
+                    // gone (Null) — only a refold can tell, and the
+                    // fast path must never diverge from it.
+                    return None;
+                }
+                SumInt(left)
+            }
             (
                 Hist {
                     lo,
@@ -282,6 +292,31 @@ mod tests {
             AggKind::Avg.unmerge(AggState::Avg { sum: 1.0, count: 1 }, AggState::Null),
             Some(AggState::Avg { sum: 1.0, count: 1 })
         );
+        // A zero difference is ambiguous (all-gone vs genuinely zero):
+        // the fast path must punt to a refold rather than guess.
+        assert_eq!(
+            AggKind::Sum.unmerge(AggState::SumInt(5), AggState::SumInt(5)),
+            None
+        );
+    }
+
+    /// Removing the last contributing `sum` source must return the fold
+    /// to `Null` — exactly what `refold()` says — not leave a stranded
+    /// `SumInt(0)` that would finalize as `0` instead of `Empty`.
+    #[test]
+    fn sum_returns_to_null_when_the_last_source_leaves() {
+        let mut f = DeltaFold::new(AggKind::Sum);
+        assert!(f.set(1, AggState::SumInt(5)));
+        assert!(f.remove(1));
+        assert_eq!(f.merged(), &AggState::Null);
+        assert_eq!(f.merged(), &f.refold());
+        // But parts that genuinely sum to zero stay a numeric zero.
+        f.set(1, AggState::SumInt(2));
+        f.set(2, AggState::SumInt(-2));
+        assert_eq!(f.merged(), &AggState::SumInt(0));
+        assert_eq!(f.merged(), &f.refold());
+        f.remove(2);
+        assert_eq!(f.merged(), &AggState::SumInt(2));
     }
 
     #[test]

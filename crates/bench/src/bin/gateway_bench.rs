@@ -1,0 +1,272 @@
+//! HTTP edge benchmark: N concurrent clients hammer a live multi-daemon
+//! cluster through the `moara-gateway` and the harness records req/s and
+//! the latency distribution.
+//!
+//! This is the first workload that measures the system the way its
+//! eventual users see it — end to end through HTTP, the daemon event
+//! loop, the query planner, and the aggregation trees — rather than
+//! through the in-process harness. The daemons are real [`Daemon`]s on
+//! the TCP transport (one per thread, like `moarad` processes sharing a
+//! host); the clients are raw keep-alive sockets speaking HTTP/1.1.
+//!
+//! ```text
+//! cargo run --release -p moara-bench --bin gateway_bench            # full scale
+//! cargo run --release -p moara-bench --bin gateway_bench -- --smoke # CI gate
+//! ```
+//!
+//! Writes `BENCH_gateway.json` (p50/p95/p99 latency, req/s, error
+//! count). `--smoke` additionally *gates*: every request must succeed
+//! and the latency/throughput floor must hold, else the process exits
+//! nonzero and CI fails.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use moara_attributes::Value;
+use moara_bench::BenchReport;
+use moara_daemon::{ctrl_roundtrip, CtrlReply, CtrlRequest, Daemon, DaemonOpts};
+
+struct Scale {
+    label: &'static str,
+    daemons: usize,
+    clients: usize,
+    requests_per_client: usize,
+    /// Smoke-gate floors (None = record only, never gate).
+    gate: Option<Gate>,
+}
+
+struct Gate {
+    min_req_per_s: f64,
+    max_p99_ms: f64,
+}
+
+fn free_port() -> SocketAddr {
+    TcpListener::bind("127.0.0.1:0")
+        .unwrap()
+        .local_addr()
+        .unwrap()
+}
+
+/// Boots one daemon on its own thread; returns (ctrl addr, http addr).
+fn boot_daemon(join: Option<String>, service_x: bool) -> (SocketAddr, SocketAddr) {
+    let listen = free_port();
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let mut d = Daemon::start(DaemonOpts {
+            join,
+            attrs: vec![
+                ("ServiceX".to_owned(), Value::Bool(service_x)),
+                (
+                    "CPU-Util".to_owned(),
+                    Value::Int(if service_x { 30 } else { 80 }),
+                ),
+            ],
+            http: Some("127.0.0.1:0".parse().expect("literal addr")),
+            ..DaemonOpts::new(listen)
+        })
+        .expect("daemon boots");
+        tx.send((d.ctrl_addr(), d.http_addr().expect("gateway enabled")))
+            .expect("report addrs");
+        loop {
+            d.step(Duration::from_millis(2));
+        }
+    });
+    rx.recv_timeout(Duration::from_secs(30)).expect("daemon up")
+}
+
+fn wait_members(ctrl: SocketAddr, want: u32) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(CtrlReply::Status { members, .. }) = ctrl_roundtrip(
+            &ctrl.to_string(),
+            &CtrlRequest::Status,
+            Duration::from_secs(5),
+        ) {
+            if members == want {
+                return;
+            }
+        }
+        assert!(Instant::now() < deadline, "cluster never converged");
+        std::thread::sleep(Duration::from_millis(30));
+    }
+}
+
+/// One HTTP request on a persistent connection; returns (status, body).
+fn http_roundtrip(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    request: &str,
+) -> Result<(u16, String), String> {
+    writer
+        .write_all(request.as_bytes())
+        .and_then(|()| writer.flush())
+        .map_err(|e| format!("send: {e}"))?;
+    let mut status_line = String::new();
+    reader
+        .read_line(&mut status_line)
+        .map_err(|e| format!("status: {e}"))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| format!("hdr: {e}"))?;
+        if line == "\r\n" {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().map_err(|e| format!("len: {e}"))?;
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("body: {e}"))?;
+    Ok((status, String::from_utf8_lossy(&body).into_owned()))
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return f64::NAN;
+    }
+    let rank = (p / 100.0 * (sorted_us.len() - 1) as f64).round() as usize;
+    sorted_us[rank.min(sorted_us.len() - 1)] as f64 / 1000.0
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke {
+        Scale {
+            label: "smoke",
+            daemons: 3,
+            clients: 4,
+            requests_per_client: 50,
+            gate: Some(Gate {
+                // Deliberately generous: the gate exists to catch the
+                // gateway becoming unusable (seconds-long stalls, mass
+                // errors), not to benchmark CI hardware.
+                min_req_per_s: 20.0,
+                max_p99_ms: 2000.0,
+            }),
+        }
+    } else {
+        Scale {
+            label: "full",
+            daemons: 5,
+            clients: 16,
+            requests_per_client: 200,
+            gate: None,
+        }
+    };
+
+    // Boot the cluster: one seed, the rest join; every daemon carries a
+    // gateway, and clients spray across all of them like an external
+    // load balancer would.
+    let (seed_ctrl, seed_http) = boot_daemon(None, true);
+    let mut https = vec![seed_http];
+    for i in 1..scale.daemons {
+        let (_ctrl, http) = boot_daemon(Some(seed_ctrl.to_string()), i % 2 == 0);
+        https.push(http);
+    }
+    wait_members(seed_ctrl, scale.daemons as u32);
+    let in_group = scale.daemons.div_ceil(2);
+
+    let request = "GET /v1/query?q=SELECT%20count(*)%20WHERE%20ServiceX%20%3D%20true \
+                   HTTP/1.1\r\nHost: bench\r\n\r\n";
+    let expect = format!("\"result\":\"{in_group}\"");
+
+    // Warmup: one request per daemon primes connections, probe caches,
+    // and tree state out of the measured window.
+    for &addr in &https {
+        let mut w = TcpStream::connect(addr).expect("warmup connect");
+        let mut r = BufReader::new(w.try_clone().expect("clone"));
+        let (status, body) = http_roundtrip(&mut r, &mut w, request).expect("warmup request");
+        assert_eq!(status, 200, "warmup failed: {body}");
+        assert!(body.contains(&expect), "warmup answered {body}");
+    }
+
+    let started = Instant::now();
+    let mut workers = Vec::new();
+    for c in 0..scale.clients {
+        let addr = https[c % https.len()];
+        let expect = expect.clone();
+        let n = scale.requests_per_client;
+        workers.push(std::thread::spawn(move || {
+            let mut latencies_us = Vec::with_capacity(n);
+            let mut errors = 0u64;
+            let mut writer = TcpStream::connect(addr).expect("client connect");
+            writer
+                .set_read_timeout(Some(Duration::from_secs(30)))
+                .expect("timeout");
+            let mut reader = BufReader::new(writer.try_clone().expect("clone"));
+            for _ in 0..n {
+                let t0 = Instant::now();
+                match http_roundtrip(&mut reader, &mut writer, request) {
+                    Ok((200, body)) if body.contains(&expect) => {
+                        latencies_us.push(t0.elapsed().as_micros() as u64);
+                    }
+                    Ok(_) | Err(_) => errors += 1,
+                }
+            }
+            (latencies_us, errors)
+        }));
+    }
+    let mut latencies_us: Vec<u64> = Vec::new();
+    let mut errors = 0u64;
+    for w in workers {
+        let (lat, err) = w.join().expect("client thread");
+        latencies_us.extend(lat);
+        errors += err;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    latencies_us.sort_unstable();
+
+    let total = (scale.clients * scale.requests_per_client) as u64;
+    let req_per_s = latencies_us.len() as f64 / elapsed;
+    let p50 = percentile(&latencies_us, 50.0);
+    let p95 = percentile(&latencies_us, 95.0);
+    let p99 = percentile(&latencies_us, 99.0);
+
+    println!(
+        "gateway_bench[{}]: daemons={} clients={} requests={} ok={} errors={}",
+        scale.label,
+        scale.daemons,
+        scale.clients,
+        total,
+        latencies_us.len(),
+        errors
+    );
+    println!(
+        "  req/s={req_per_s:.1}  p50={p50:.2}ms  p95={p95:.2}ms  p99={p99:.2}ms  wall={elapsed:.2}s"
+    );
+
+    let gate_passed = match &scale.gate {
+        None => true,
+        Some(g) => errors == 0 && req_per_s >= g.min_req_per_s && p99 <= g.max_p99_ms,
+    };
+
+    BenchReport::new("gateway")
+        .field("scale", scale.label)
+        .field("daemons", scale.daemons)
+        .field("clients", scale.clients)
+        .field("requests", total)
+        .field("errors", errors)
+        .field("req_per_s", req_per_s)
+        .field("p50_ms", p50)
+        .field("p95_ms", p95)
+        .field("p99_ms", p99)
+        .field("wall_s", elapsed)
+        .field("gate_passed", gate_passed)
+        .write();
+
+    if !gate_passed {
+        eprintln!("gateway_bench: smoke gate FAILED");
+        std::process::exit(1);
+    }
+}

@@ -9,6 +9,8 @@
 use std::fmt::Write as _;
 use std::io::Write as _;
 
+use moara_gateway::json;
+
 /// One JSON scalar.
 #[derive(Clone, Debug)]
 pub enum BenchValue {
@@ -85,7 +87,7 @@ impl BenchReport {
     /// Renders the record as a JSON object.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        let _ = writeln!(out, "  \"bench\": {},", json_escape(&self.name));
+        let _ = writeln!(out, "  \"bench\": {},", json::escape(&self.name));
         for (i, (k, v)) in self.fields.iter().enumerate() {
             let comma = if i + 1 == self.fields.len() { "" } else { "," };
             let rendered = match v {
@@ -94,9 +96,9 @@ impl BenchReport {
                 BenchValue::F64(x) if x.is_finite() => format!("{x:.6}"),
                 BenchValue::F64(_) => "null".to_owned(),
                 BenchValue::Bool(x) => x.to_string(),
-                BenchValue::Str(s) => json_escape(s),
+                BenchValue::Str(s) => json::escape(s),
             };
-            let _ = writeln!(out, "  {}: {rendered}{comma}", json_escape(k));
+            let _ = writeln!(out, "  {}: {rendered}{comma}", json::escape(k));
         }
         out.push_str("}\n");
         out
@@ -116,24 +118,6 @@ impl BenchReport {
             .unwrap_or_else(|e| panic!("write {path}: {e}"));
         println!("bench record written to {path}");
     }
-}
-
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }
 
 #[cfg(test)]

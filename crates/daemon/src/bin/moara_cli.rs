@@ -24,6 +24,7 @@ use std::time::Duration;
 
 use moara_core::DeliveryPolicy;
 use moara_daemon::{ctrl_roundtrip, parse_value, CtrlReply, CtrlRequest};
+use moara_gateway::json;
 use moara_simnet::SimDuration;
 use moara_wire::{read_frame, write_msg, Wire};
 
@@ -36,25 +37,6 @@ fn fail(msg: &str) -> ! {
     eprintln!("moara-cli: {msg}");
     eprintln!("{USAGE}");
     std::process::exit(2);
-}
-
-/// Minimal JSON string escaping (quotes, backslashes, control chars).
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }
 
 enum Command {
@@ -167,6 +149,8 @@ fn main() {
             members,
             alive,
             dead,
+            watches,
+            sub_entries,
         }) => {
             if json {
                 let dead_json = dead
@@ -176,7 +160,8 @@ fn main() {
                     .join(",");
                 println!(
                     "{{\"node\":{node},\"members\":{members},\"alive\":{alive},\
-                     \"dead\":[{dead_json}]}}"
+                     \"dead\":[{dead_json}],\"watches\":{watches},\
+                     \"sub_entries\":{sub_entries}}}"
                 );
                 return;
             }
@@ -191,7 +176,10 @@ fn main() {
                     .collect::<Vec<_>>()
                     .join(",")
             };
-            println!("node=n{node} members={members} alive={alive} dead={dead}");
+            println!(
+                "node=n{node} members={members} alive={alive} dead={dead} \
+                 watches={watches} subs={sub_entries}"
+            );
         }
         Ok(CtrlReply::Joined { .. }) => {
             // Only daemons send Join; a human shouldn't end up here.
@@ -259,7 +247,7 @@ fn run_watch(
                 if json {
                     println!(
                         "{{\"result\":{},\"initial\":{initial},\"complete\":{complete}}}",
-                        json_str(&result)
+                        json::escape(&result)
                     );
                 } else {
                     let mark = if initial { "=" } else { ">" };

@@ -13,6 +13,15 @@
 //!
 //! `--listen` is the control-plane address (clients and joiners dial it);
 //! the peer plane auto-binds and is exchanged through membership.
+//! `--http ADDR` additionally opens the HTTP edge gateway there —
+//! `GET /v1/query`, `POST /v1/attrs`, `GET /v1/watch` (SSE),
+//! `GET /healthz`, `GET /metrics` — so ordinary HTTP clients, load
+//! balancers, and Prometheus scrapers can talk to the cluster through
+//! any daemon (see `docs/gateway.md`).
+//!
+//! SIGINT/SIGTERM shut the daemon down gracefully: it stops accepting,
+//! cancels its standing watches and SSE streams (so peers GC that state
+//! promptly), flushes the cancels, and exits 0.
 //!
 //! Membership flags (see `docs/membership.md`):
 //!
@@ -36,6 +45,7 @@
 //!   size probes at all.
 
 use std::net::ToSocketAddrs;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 use moara_core::{MoaraConfig, ProbeCachePolicy};
@@ -44,10 +54,38 @@ use moara_membership::SwimConfig;
 use moara_simnet::SimDuration;
 
 const USAGE: &str = "usage: moarad --listen IP:PORT [--join IP:PORT] \
-                     [--rejoin-as N] [--attrs k=v,...] [--seed N] \
+                     [--http IP:PORT] [--rejoin-as N] [--attrs k=v,...] \
+                     [--seed N] \
                      [--swim-period-ms N] [--swim-suspect-periods N] \
                      [--no-probe-cache] [--probe-cache-ttl-ms N] \
                      [--probe-cache-cap N] [--no-size-probes]";
+
+/// Flipped by the SIGINT/SIGTERM handler; the main loop notices and
+/// shuts down gracefully. A store is all the handler does — the only
+/// async-signal-safe thing it could do.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Registers the shutdown handler via libc's `signal` (linked into every
+/// `std` binary; declared here because the container bakes in no signal
+/// crate). No-op on non-Unix targets.
+fn install_signal_handlers() {
+    #[cfg(unix)]
+    {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+    }
+}
 
 fn fail(msg: &str) -> ! {
     eprintln!("moarad: {msg}");
@@ -58,6 +96,7 @@ fn fail(msg: &str) -> ! {
 fn main() {
     let mut listen = None;
     let mut join = None;
+    let mut http = None;
     let mut rejoin = None;
     let mut attrs = Vec::new();
     let mut seed = 42u64;
@@ -88,6 +127,15 @@ fn main() {
                 );
             }
             "--join" => join = Some(val("--join")),
+            "--http" => {
+                let v = val("--http");
+                http = Some(
+                    v.to_socket_addrs()
+                        .ok()
+                        .and_then(|mut a| a.next())
+                        .unwrap_or_else(|| fail(&format!("bad --http address {v}"))),
+                );
+            }
             "--rejoin-as" => {
                 rejoin = Some(
                     val("--rejoin-as")
@@ -159,6 +207,7 @@ fn main() {
         ProbeCachePolicy::Off
     };
 
+    install_signal_handlers();
     let mut daemon = match Daemon::start(DaemonOpts {
         listen,
         join,
@@ -167,6 +216,7 @@ fn main() {
         cfg,
         swim,
         rejoin,
+        http,
     }) {
         Ok(d) => d,
         Err(e) => {
@@ -179,7 +229,7 @@ fn main() {
     // member count printed here is the view at boot; poll `status` via
     // moara-cli for the live view.
     println!(
-        "MOARAD ctrl={} node=n{} peer={} members={}",
+        "MOARAD ctrl={} node=n{} peer={} members={} http={}",
         daemon.ctrl_addr(),
         daemon.id().0,
         daemon
@@ -187,10 +237,19 @@ fn main() {
             .map(|a| a.to_string())
             .unwrap_or_else(|| "-".into()),
         daemon.member_count(),
+        daemon
+            .http_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|| "-".into()),
     );
     let mut last_members = daemon.member_count();
     loop {
         daemon.step(Duration::from_millis(5));
+        if SHUTDOWN.load(Ordering::SeqCst) {
+            daemon.shutdown();
+            println!("MOARAD shutdown");
+            return;
+        }
         let members = daemon.member_count();
         if members != last_members {
             println!("MOARAD members={members}");

@@ -45,15 +45,18 @@
 use std::collections::HashMap;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use moara_attributes::Value;
-use moara_core::{DeliveryPolicy, Directory, MoaraConfig, MoaraMsg, MoaraNode};
+use moara_core::{DeliveryPolicy, Directory, MoaraConfig, MoaraMsg, MoaraNode, SubUpdate};
 use moara_dht::Id;
+use moara_gateway::{GatewayHandle, GwJob, GwReply, GwRequest, MetricsRegistry, WatchPolicy};
 use moara_membership::{SwimConfig, SwimDetector, SwimEvent, SwimMsg};
 use moara_query::parse_query;
 use moara_simnet::{Message, NodeId, SimDuration, SimTime, TimerId, TimerTag};
@@ -238,6 +241,13 @@ pub enum CtrlReply {
         /// Node ids of members whose failure was confirmed (kept in the
         /// view for identity continuity, pruned from the overlay).
         dead: Vec<u32>,
+        /// Standing watches fronted by this daemon (control-plane
+        /// `watch` streams plus gateway SSE streams).
+        watches: u32,
+        /// Standing-subscription entries hosted on this node's trees
+        /// (its own and other front-ends'; drains to zero after
+        /// cancellation or lease GC — the leak detector for tests).
+        sub_entries: u32,
     },
     /// One update of a standing watch (streamed; many per request).
     Update {
@@ -336,12 +346,16 @@ impl Wire for CtrlReply {
                 members,
                 alive,
                 dead,
+                watches,
+                sub_entries,
             } => {
                 out.push(3);
                 node.encode(out);
                 members.encode(out);
                 alive.encode(out);
                 dead.encode(out);
+                watches.encode(out);
+                sub_entries.encode(out);
             }
             CtrlReply::Error(e) => {
                 out.push(4);
@@ -375,6 +389,8 @@ impl Wire for CtrlReply {
                 members: Wire::decode(buf)?,
                 alive: Wire::decode(buf)?,
                 dead: Wire::decode(buf)?,
+                watches: Wire::decode(buf)?,
+                sub_entries: Wire::decode(buf)?,
             },
             4 => CtrlReply::Error(Wire::decode(buf)?),
             5 => CtrlReply::Update {
@@ -390,7 +406,7 @@ impl Wire for CtrlReply {
             CtrlReply::Joined { members, .. } => 4 + members.encoded_len(),
             CtrlReply::Answer { result, .. } => result.encoded_len() + 1,
             CtrlReply::Ok => 0,
-            CtrlReply::Status { dead, .. } => 12 + dead.encoded_len(),
+            CtrlReply::Status { dead, .. } => 20 + dead.encoded_len(),
             CtrlReply::Error(e) => e.encoded_len(),
             CtrlReply::Update { result, .. } => result.encoded_len() + 2,
         }
@@ -548,6 +564,9 @@ pub struct DaemonOpts {
     /// Crash-recovery (`--rejoin-as`): reclaim this node id from the
     /// seed instead of joining fresh. Requires `join`.
     pub rejoin: Option<u32>,
+    /// HTTP gateway listen address (`--http`); `None` disables the
+    /// gateway.
+    pub http: Option<SocketAddr>,
 }
 
 impl DaemonOpts {
@@ -561,6 +580,7 @@ impl DaemonOpts {
             cfg: MoaraConfig::default(),
             swim: SwimConfig::default(),
             rejoin: None,
+            http: None,
         }
     }
 }
@@ -620,12 +640,26 @@ pub struct Daemon {
     is_seed: bool,
     ctrl_addr: SocketAddr,
     ctrl_rx: Receiver<CtrlJob>,
+    /// Shared with the control accept loop; set by [`Daemon::shutdown`].
+    ctrl_stop: Arc<AtomicBool>,
+    /// The embedded HTTP gateway, when `--http` asked for one.
+    gw_handle: Option<GatewayHandle>,
+    /// Gateway jobs funnel into the event loop through this.
+    gw_rx: Option<Receiver<GwJob>>,
     /// Queries whose outcome we are waiting on: front id → reply channel.
     pending_queries: HashMap<u64, Sender<CtrlReply>>,
+    /// Gateway queries in flight: front id → HTTP reply channel.
+    pending_gw_queries: HashMap<u64, Sender<GwReply>>,
     /// Standing watches streaming to control connections: watch id →
     /// update channel. A failed send means the watcher hung up; the
     /// daemon then cancels the subscription.
     watch_streams: HashMap<u64, Sender<CtrlReply>>,
+    /// Standing watches streaming to gateway SSE connections.
+    gw_watch_streams: HashMap<u64, Sender<GwReply>>,
+    /// When watch streams were last liveness-probed (a quiescent watch
+    /// sends nothing, so a hung-up client would otherwise hold its
+    /// subscription until something changes).
+    last_keepalive: Instant,
     /// Sends that could not be delivered since the last drain (kept
     /// bounded by draining every step; the count feeds future failure
     /// detection).
@@ -638,6 +672,18 @@ pub struct Daemon {
 
 /// How often the seed re-broadcasts the member list.
 const ANNOUNCE_EVERY: Duration = Duration::from_secs(2);
+
+/// Connection workers in the embedded HTTP gateway. Each live SSE
+/// stream occupies one for its whole life; the gateway caps streams at
+/// half the pool (further watches answer 503) so one-shot requests —
+/// `/healthz` above all — always have workers left.
+const GATEWAY_WORKERS: usize = 16;
+
+/// How often quiescent watch streams are liveness-probed (control-plane
+/// streams get a swallowed `Ok` frame, SSE streams an `: keepalive`
+/// comment); a hung-up watcher is unsubscribed within this bound even if
+/// its standing query never changes.
+const WATCH_KEEPALIVE_EVERY: Duration = Duration::from_secs(1);
 
 impl Daemon {
     /// Boots a daemon: binds both planes, and either seeds a fresh
@@ -743,7 +789,23 @@ impl Daemon {
             .local_addr()
             .map_err(|e| format!("control addr: {e}"))?;
         let (ctrl_tx, ctrl_rx) = std::sync::mpsc::channel();
-        spawn_ctrl_accept_loop(ctrl_listener, ctrl_tx);
+        let ctrl_stop = Arc::new(AtomicBool::new(false));
+        spawn_ctrl_accept_loop(ctrl_listener, ctrl_tx, Arc::clone(&ctrl_stop));
+
+        // The HTTP edge: any client that can speak HTTP/1.1 (a browser, a
+        // load balancer's health checks, a Prometheus scraper) enters
+        // through here; jobs funnel into the same single-threaded loop as
+        // control requests. See `docs/gateway.md`.
+        let (gw_handle, gw_rx) = match opts.http {
+            None => (None, None),
+            Some(addr) => {
+                let listener = TcpListener::bind(addr)
+                    .map_err(|e| format!("bind http listener {addr}: {e}"))?;
+                let (gw_tx, gw_rx) = std::sync::mpsc::channel();
+                let handle = moara_gateway::spawn_gateway(listener, gw_tx, GATEWAY_WORKERS);
+                (Some(handle), Some(gw_rx))
+            }
+        };
 
         let mut daemon = Daemon {
             transport,
@@ -755,8 +817,14 @@ impl Daemon {
             is_seed: opts.join.is_none(),
             ctrl_addr,
             ctrl_rx,
+            ctrl_stop,
+            gw_handle,
+            gw_rx,
             pending_queries: HashMap::new(),
+            pending_gw_queries: HashMap::new(),
             watch_streams: HashMap::new(),
+            gw_watch_streams: HashMap::new(),
+            last_keepalive: Instant::now(),
             undeliverable_total: 0,
             last_announce: Instant::now(),
         };
@@ -769,6 +837,11 @@ impl Daemon {
     /// The control-plane address (useful when `--listen` used port 0).
     pub fn ctrl_addr(&self) -> SocketAddr {
         self.ctrl_addr
+    }
+
+    /// The HTTP gateway address, when one is enabled.
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        self.gw_handle.as_ref().map(|h| h.addr())
     }
 
     /// This daemon's node id.
@@ -804,6 +877,7 @@ impl Daemon {
         did |= self.apply_pending_membership();
         did |= self.apply_swim_events();
         did |= self.serve_ctrl();
+        did |= self.serve_gateway();
         did |= self.finish_queries();
         did |= self.pump_watches();
         // Keep the transport's undeliverable log bounded (it grows on
@@ -1179,11 +1253,14 @@ impl Daemon {
                         .filter(|m| !m.alive)
                         .map(|m| m.node)
                         .collect();
+                    let moara = &self.transport.node(self.me).moara;
                     let _ = job.reply.send(CtrlReply::Status {
                         node: self.me.0,
                         members: self.members.len() as u32,
                         alive: (self.members.len() - dead.len()) as u32,
                         dead,
+                        watches: moara.active_watches() as u32,
+                        sub_entries: moara.sub_entry_count() as u32,
                     });
                 }
             }
@@ -1192,13 +1269,14 @@ impl Daemon {
     }
 
     fn finish_queries(&mut self) -> bool {
-        if self.pending_queries.is_empty() {
+        if self.pending_queries.is_empty() && self.pending_gw_queries.is_empty() {
             return false;
         }
         let me = self.me;
         let done: Vec<u64> = self
             .pending_queries
             .keys()
+            .chain(self.pending_gw_queries.keys())
             .copied()
             .filter(|fid| self.transport.node(me).moara.outcome(*fid).is_some())
             .collect();
@@ -1214,50 +1292,470 @@ impl Daemon {
                     result: outcome.result.to_string(),
                     complete: outcome.complete,
                 });
+            } else if let Some(reply) = self.pending_gw_queries.remove(fid) {
+                let _ = reply.send(GwReply::Answer {
+                    result: outcome.result.to_string(),
+                    complete: outcome.complete,
+                });
             }
         }
         !done.is_empty()
     }
 
-    /// Streams pending subscription updates to their watchers; a hung-up
-    /// watcher's subscription is cancelled (its standing state then
-    /// tears down along the trees).
+    /// Streams pending subscription updates to their watchers (control
+    /// connections and gateway SSE streams alike); a hung-up watcher's
+    /// subscription is cancelled (its standing state then tears down
+    /// along the trees). Quiescent streams are liveness-probed every
+    /// [`WATCH_KEEPALIVE_EVERY`] so a silent hang-up cannot hold a
+    /// subscription alive through endless lease renewals.
     fn pump_watches(&mut self) -> bool {
-        if self.watch_streams.is_empty() {
+        if self.watch_streams.is_empty() && self.gw_watch_streams.is_empty() {
             return false;
         }
+        let probe = self.last_keepalive.elapsed() >= WATCH_KEEPALIVE_EVERY;
+        if probe {
+            self.last_keepalive = Instant::now();
+        }
         let me = self.me;
-        let mut did = false;
-        let mut gone: Vec<u64> = Vec::new();
-        let wids: Vec<u64> = self.watch_streams.keys().copied().collect();
-        for wid in wids {
-            let updates = self.transport.node_mut(me).moara.take_sub_updates(wid);
-            for u in updates {
-                did = true;
-                let reply = CtrlReply::Update {
-                    result: u.result.to_string(),
-                    initial: u.initial,
-                    complete: u.complete,
-                };
-                if self
-                    .watch_streams
-                    .get(&wid)
-                    .is_none_or(|tx| tx.send(reply).is_err())
-                {
-                    gone.push(wid);
-                    break;
+        // `CtrlReply::Ok` doubles as the control-plane stream keepalive:
+        // the connection loop swallows it without writing to the socket,
+        // so a dropped receiver (= the conn thread noticed hang-up) is
+        // the only way that send fails.
+        let (did_ctrl, gone) = pump_stream_map(
+            &mut self.transport,
+            me,
+            &self.watch_streams,
+            probe,
+            &|u| CtrlReply::Update {
+                result: u.result.to_string(),
+                initial: u.initial,
+                complete: u.complete,
+            },
+            &|| CtrlReply::Ok,
+        );
+        let (did_gw, gw_gone) = pump_stream_map(
+            &mut self.transport,
+            me,
+            &self.gw_watch_streams,
+            probe,
+            &|u| GwReply::Update {
+                result: u.result.to_string(),
+                initial: u.initial,
+                complete: u.complete,
+            },
+            &|| GwReply::Keepalive,
+        );
+        for wid in gone {
+            self.watch_streams.remove(&wid);
+            self.unsubscribe(wid);
+        }
+        for wid in gw_gone {
+            self.gw_watch_streams.remove(&wid);
+            self.unsubscribe(wid);
+        }
+        did_ctrl || did_gw
+    }
+
+    fn unsubscribe(&mut self, wid: u64) {
+        self.transport.with_node(self.me, |n, ctx| {
+            let mut mctx = moara_ctx(ctx);
+            n.moara.unsubscribe(&mut mctx, wid);
+        });
+    }
+
+    /// Drains HTTP gateway jobs into the protocol node — the HTTP twin of
+    /// [`Daemon::serve_ctrl`].
+    fn serve_gateway(&mut self) -> bool {
+        let jobs: Vec<GwJob> = match &self.gw_rx {
+            Some(rx) => rx.try_iter().collect(),
+            None => return false,
+        };
+        let did = !jobs.is_empty();
+        for job in jobs {
+            match job.req {
+                GwRequest::Query { q } => match parse_query(&q) {
+                    Ok(query) => {
+                        let me = self.me;
+                        let fid = self.transport.with_node(me, |n, ctx| {
+                            let mut mctx = moara_ctx(ctx);
+                            n.moara.submit(&mut mctx, query)
+                        });
+                        self.pending_gw_queries.insert(fid, job.reply);
+                    }
+                    Err(e) => {
+                        let _ = job.reply.send(GwReply::Error {
+                            status: 400,
+                            msg: format!("parse error: {e}"),
+                        });
+                    }
+                },
+                GwRequest::SetAttrs { attrs } => {
+                    let count = attrs.len();
+                    self.transport.with_node(self.me, |n, ctx| {
+                        let mut mctx = moara_ctx(ctx);
+                        for (k, v) in &attrs {
+                            n.moara.store.set(k.as_str(), parse_value(v));
+                            n.moara.on_local_change(&mut mctx, k);
+                        }
+                    });
+                    let _ = job.reply.send(GwReply::AttrsSet { count });
+                }
+                GwRequest::Watch {
+                    q,
+                    policy,
+                    lease_ms,
+                } => match parse_query(&q) {
+                    Ok(query) => {
+                        let policy = match policy {
+                            WatchPolicy::OnChange => DeliveryPolicy::OnChange,
+                            WatchPolicy::PeriodMs(ms) => {
+                                DeliveryPolicy::Periodic(SimDuration::from_millis(ms))
+                            }
+                            WatchPolicy::Threshold(v) => DeliveryPolicy::Threshold { value: v },
+                        };
+                        let lease =
+                            SimDuration::from_micros(lease_ms.saturating_mul(1_000).max(1_000_000));
+                        let me = self.me;
+                        let wid = self.transport.with_node(me, |n, ctx| {
+                            let mut mctx = moara_ctx(ctx);
+                            n.moara.subscribe(&mut mctx, query, policy, lease)
+                        });
+                        self.gw_watch_streams.insert(wid, job.reply);
+                    }
+                    Err(e) => {
+                        let _ = job.reply.send(GwReply::Error {
+                            status: 400,
+                            msg: format!("parse error: {e}"),
+                        });
+                    }
+                },
+                GwRequest::Metrics => {
+                    let text = self.render_metrics();
+                    let _ = job.reply.send(GwReply::Metrics { text });
+                }
+                GwRequest::Health => {
+                    let alive = self.alive_member_count() as u32;
+                    let _ = job.reply.send(GwReply::Health {
+                        node: self.me.0,
+                        members: self.members.len() as u32,
+                        alive,
+                    });
                 }
             }
         }
-        for wid in gone {
-            self.watch_streams.remove(&wid);
-            self.transport.with_node(me, |n, ctx| {
-                let mut mctx = moara_ctx(ctx);
-                n.moara.unsubscribe(&mut mctx, wid);
-            });
-        }
         did
     }
+
+    /// Snapshots every subsystem's counters and gauges into one
+    /// Prometheus exposition (the metrics catalogue lives in
+    /// `docs/gateway.md`; keep the two in sync).
+    fn render_metrics(&self) -> String {
+        let mut reg = MetricsRegistry::new();
+        let dn = self.transport.node(self.me);
+        let stats = self.transport.stats();
+        let c = |name: &str| stats.counter(name);
+
+        // Transport: the volume picture.
+        reg.counter(
+            "moara_transport_messages_sent_total",
+            "Peer-plane messages sent by this daemon.",
+            stats.total_messages(),
+        );
+        reg.counter(
+            "moara_transport_messages_received_total",
+            "Peer-plane messages received by this daemon.",
+            stats.total_recv_messages(),
+        );
+        reg.counter(
+            "moara_transport_bytes_sent_total",
+            "Peer-plane bytes sent (framed wire size).",
+            stats.total_bytes(),
+        );
+        reg.counter(
+            "moara_transport_bytes_received_total",
+            "Peer-plane bytes received (framed wire size).",
+            stats.total_recv_bytes(),
+        );
+        reg.counter(
+            "moara_transport_dropped_total",
+            "Messages dropped at (or en route to) failed peers.",
+            stats.dropped(),
+        );
+        reg.counter(
+            "moara_transport_connects_total",
+            "Fresh outbound peer connections established.",
+            c("tcp_connects"),
+        );
+        reg.counter(
+            "moara_transport_reconnects_total",
+            "Peer connections re-established after a failure.",
+            c("tcp_reconnects"),
+        );
+        reg.counter(
+            "moara_transport_undeliverable_total",
+            "Sends abandoned because the peer was unreachable or dead.",
+            self.undeliverable_total,
+        );
+        reg.counter(
+            "moara_transport_decode_errors_total",
+            "Inbound frames that failed wire decoding.",
+            c("wire_decode_errors"),
+        );
+
+        // Query-plane scheduler: cache effectiveness and batching.
+        reg.counter(
+            "moara_sched_probe_cache_hits_total",
+            "Composite queries planned from cached probe costs.",
+            c("probe_cache_hits"),
+        );
+        reg.counter(
+            "moara_sched_probe_cache_misses_total",
+            "Composite queries that had to probe group sizes.",
+            c("probe_cache_misses"),
+        );
+        reg.counter(
+            "moara_sched_probes_coalesced_total",
+            "Probe rounds shared with a concurrent query's round.",
+            c("probes_coalesced"),
+        );
+        reg.counter(
+            "moara_sched_size_probes_total",
+            "Size-probe messages issued.",
+            c("size_probes"),
+        );
+        reg.counter(
+            "moara_sched_batched_fanout_total",
+            "Fan-out messages coalesced into shared Batch frames.",
+            c("batched_fanout"),
+        );
+        reg.gauge(
+            "moara_sched_probe_cache_entries",
+            "Predicates currently held in the probe-cost cache.",
+            dn.moara.probe_cache_len() as f64,
+        );
+        reg.counter(
+            "moara_sched_probe_cache_epoch",
+            "Churn epoch of the probe cache (bumps invalidate it).",
+            dn.moara.probe_cache_epoch(),
+        );
+
+        // Membership: the liveness picture.
+        let (_, suspect, detector_dead) = dn.swim.state_counts();
+        let dead = self.members.iter().filter(|m| !m.alive).count();
+        reg.gauge(
+            "moara_membership_members",
+            "Cluster members known (alive or dead).",
+            self.members.len() as f64,
+        );
+        reg.gauge(
+            "moara_membership_alive",
+            "Members currently believed alive.",
+            (self.members.len() - dead) as f64,
+        );
+        reg.gauge(
+            "moara_membership_suspect",
+            "Peers under unrefuted suspicion right now.",
+            suspect as f64,
+        );
+        reg.gauge(
+            "moara_membership_dead",
+            "Members whose failure was confirmed.",
+            dead.max(detector_dead) as f64,
+        );
+        reg.counter(
+            "moara_membership_incarnation",
+            "This node's incarnation (bumps refute stale death claims).",
+            dn.swim.incarnation(),
+        );
+        reg.counter(
+            "moara_membership_pings_total",
+            "Direct liveness probes sent.",
+            c("swim_pings"),
+        );
+        reg.counter(
+            "moara_membership_ping_reqs_total",
+            "Indirect probes relayed through third parties.",
+            c("swim_ping_reqs"),
+        );
+        reg.counter(
+            "moara_membership_suspicions_total",
+            "Peers this detector put under suspicion.",
+            c("swim_suspected"),
+        );
+        reg.counter(
+            "moara_membership_confirms_total",
+            "Failures this detector confirmed.",
+            c("swim_confirmed"),
+        );
+
+        // Subscription plane: standing-query health.
+        reg.gauge(
+            "moara_subscribe_watches",
+            "Standing watches fronted by this daemon.",
+            dn.moara.active_watches() as f64,
+        );
+        reg.gauge(
+            "moara_subscribe_entries",
+            "Standing-subscription entries hosted on this node.",
+            dn.moara.sub_entry_count() as f64,
+        );
+        reg.counter(
+            "moara_subscribe_installs_total",
+            "Subscription entries installed on this node.",
+            c("sub_installs"),
+        );
+        reg.counter(
+            "moara_subscribe_deltas_total",
+            "Replacement deltas pushed up aggregation trees.",
+            c("sub_deltas"),
+        );
+        reg.counter(
+            "moara_subscribe_suppressed_total",
+            "Quiescent rounds where an unchanged subtree pushed nothing.",
+            c("sub_suppressed"),
+        );
+        reg.counter(
+            "moara_subscribe_renews_total",
+            "Lease renewals sent along pinned trees.",
+            c("sub_renews"),
+        );
+        reg.counter(
+            "moara_subscribe_cancels_total",
+            "Subscription cancellations propagated.",
+            c("sub_cancels"),
+        );
+        reg.counter(
+            "moara_subscribe_lease_expired_total",
+            "Subscription entries GCed by lease expiry.",
+            c("sub_expired"),
+        );
+
+        // Engine odds and ends.
+        reg.gauge(
+            "moara_node_tracked_predicates",
+            "Predicates with live aggregation state on this node.",
+            dn.moara.tracked_predicates() as f64,
+        );
+        reg.gauge(
+            "moara_queries_inflight",
+            "Queries submitted here still waiting for their outcome.",
+            (self.pending_queries.len() + self.pending_gw_queries.len()) as f64,
+        );
+
+        // The gateway's own traffic.
+        if let Some(gw) = &self.gw_handle {
+            use std::sync::atomic::Ordering::Relaxed;
+            let s = gw.stats();
+            let by_endpoint: [(&str, u64); 5] = [
+                ("query", s.queries.load(Relaxed)),
+                ("attrs", s.attr_sets.load(Relaxed)),
+                ("watch", s.watches_opened.load(Relaxed)),
+                ("metrics", s.scrapes.load(Relaxed)),
+                ("healthz", s.health_checks.load(Relaxed)),
+            ];
+            for (endpoint, n) in by_endpoint {
+                reg.counter_with(
+                    "moara_gateway_requests_total",
+                    "HTTP requests accepted, by endpoint.",
+                    &[("endpoint", endpoint)],
+                    n,
+                );
+            }
+            reg.counter(
+                "moara_gateway_errors_total",
+                "HTTP responses with a 4xx/5xx status.",
+                s.errors.load(Relaxed),
+            );
+            reg.counter(
+                "moara_gateway_sse_frames_total",
+                "Server-Sent Events data frames written.",
+                s.sse_frames.load(Relaxed),
+            );
+            reg.gauge(
+                "moara_gateway_open_streams",
+                "SSE watch streams currently open.",
+                s.open_streams.load(Relaxed) as f64,
+            );
+        }
+        reg.gauge(
+            "moara_up",
+            "Always 1 while the daemon event loop serves scrapes.",
+            1.0,
+        );
+        reg.render()
+    }
+
+    /// Graceful shutdown: stop accepting control and HTTP connections,
+    /// cancel every active watch and SSE stream (so peers GC the standing
+    /// state promptly instead of waiting out leases), and flush the
+    /// cancel frames. The caller exits afterwards.
+    pub fn shutdown(&mut self) {
+        self.ctrl_stop.store(true, Ordering::SeqCst);
+        // Wake the control acceptor blocked in accept().
+        let _ = TcpStream::connect_timeout(&self.ctrl_addr, Duration::from_millis(50));
+        if let Some(gw) = &self.gw_handle {
+            gw.stop();
+        }
+        let wids: Vec<u64> = self
+            .watch_streams
+            .keys()
+            .chain(self.gw_watch_streams.keys())
+            .copied()
+            .collect();
+        // Dropping the senders ends the per-connection streaming loops.
+        self.watch_streams.clear();
+        self.gw_watch_streams.clear();
+        for wid in wids {
+            self.unsubscribe(wid);
+        }
+        self.pending_queries.clear();
+        self.pending_gw_queries.clear();
+        // Give the SubCancel frames a moment to reach the trees.
+        let deadline = Instant::now() + Duration::from_millis(300);
+        while Instant::now() < deadline {
+            self.transport.pump(Duration::from_millis(10));
+        }
+    }
+}
+
+/// Drains one watch-stream map: forwards pending subscription updates,
+/// liveness-probes quiescent streams when `probe` is set, and returns
+/// (anything-flowed, watch ids whose receiver hung up). Generic over the
+/// reply type so the control plane and the gateway share one
+/// implementation of the hang-up detection.
+fn pump_stream_map<R>(
+    transport: &mut TcpTransport<DaemonNode>,
+    me: NodeId,
+    streams: &HashMap<u64, Sender<R>>,
+    probe: bool,
+    to_reply: &dyn Fn(SubUpdate) -> R,
+    keepalive: &dyn Fn() -> R,
+) -> (bool, Vec<u64>) {
+    let mut did = false;
+    let mut gone: Vec<u64> = Vec::new();
+    let wids: Vec<u64> = streams.keys().copied().collect();
+    for wid in wids {
+        let updates = transport.node_mut(me).moara.take_sub_updates(wid);
+        for u in updates {
+            did = true;
+            if streams
+                .get(&wid)
+                .is_none_or(|tx| tx.send(to_reply(u)).is_err())
+            {
+                gone.push(wid);
+                break;
+            }
+        }
+        if probe
+            && !gone.contains(&wid)
+            && streams
+                .get(&wid)
+                .is_none_or(|tx| tx.send(keepalive()).is_err())
+        {
+            gone.push(wid);
+        }
+    }
+    (did, gone)
 }
 
 fn resolve(addr: &str) -> Result<SocketAddr, String> {
@@ -1267,11 +1765,14 @@ fn resolve(addr: &str) -> Result<SocketAddr, String> {
         .ok_or_else(|| "no address".to_owned())
 }
 
-fn spawn_ctrl_accept_loop(listener: TcpListener, tx: Sender<CtrlJob>) {
+fn spawn_ctrl_accept_loop(listener: TcpListener, tx: Sender<CtrlJob>, stop: Arc<AtomicBool>) {
     std::thread::Builder::new()
         .name("moarad-ctrl-accept".into())
         .spawn(move || {
             for conn in listener.incoming() {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
                 let Ok(stream) = conn else { continue };
                 let tx = tx.clone();
                 let _ = std::thread::Builder::new()
@@ -1314,6 +1815,11 @@ fn ctrl_conn_loop(mut stream: TcpStream, tx: Sender<CtrlJob>) {
             // pump observes (its next send errs and it unsubscribes).
             loop {
                 match reply_rx.recv_timeout(Duration::from_secs(1)) {
+                    // A bare Ok on a watch stream is the daemon's
+                    // keepalive probe: it tests that this thread (and
+                    // therefore the client socket) is still alive, and is
+                    // never forwarded.
+                    Ok(CtrlReply::Ok) => {}
                     Ok(reply) => {
                         let stop = matches!(reply, CtrlReply::Error(_));
                         if write_msg(&mut stream, &reply).is_err() || stream.flush().is_err() {
@@ -1327,15 +1833,8 @@ fn ctrl_conn_loop(mut stream: TcpStream, tx: Sender<CtrlJob>) {
                         // A quiescent watch emits nothing for long
                         // stretches; probe the socket so a hung-up
                         // client releases the stream promptly.
-                        let _ = stream.set_read_timeout(Some(Duration::from_millis(1)));
-                        let mut probe = [0u8; 1];
-                        match std::io::Read::read(&mut stream, &mut probe) {
-                            Ok(0) => return, // EOF: client gone
-                            Ok(_) => {}      // stray bytes: ignore
-                            Err(e)
-                                if e.kind() == std::io::ErrorKind::WouldBlock
-                                    || e.kind() == std::io::ErrorKind::TimedOut => {}
-                            Err(_) => return,
+                        if !moara_gateway::http::socket_alive(&mut stream) {
+                            return;
                         }
                     }
                     Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return,
@@ -1488,6 +1987,8 @@ mod tests {
                 members: 3,
                 alive: 2,
                 dead: vec![1],
+                watches: 2,
+                sub_entries: 5,
             },
             CtrlReply::Error("nope".into()),
             CtrlReply::Update {

@@ -100,6 +100,7 @@ fn status(ctrl: SocketAddr) -> Option<(u32, u32, u32, Vec<u32>)> {
             members,
             alive,
             dead,
+            ..
         }) => Some((node, members, alive, dead)),
         _ => None,
     }

@@ -178,3 +178,72 @@ fn three_moarad_processes_answer_a_query_via_moara_cli() {
     let status = watch.wait().expect("watch exits after --updates 2");
     assert!(status.success());
 }
+
+/// Graceful shutdown: SIGTERM must make a daemon stop accepting, cancel
+/// its standing state, and exit 0 — not die on the signal default.
+#[test]
+fn sigterm_shuts_a_daemon_down_cleanly() {
+    let a_ctrl = free_port();
+    let b_ctrl = free_port();
+    let mut a = spawn_moarad(&a_ctrl, None, "ServiceX=true");
+    let _b = spawn_moarad(&b_ctrl, Some(&a_ctrl), "ServiceX=true");
+    wait_for_members(&a_ctrl, 2);
+    wait_for_members(&b_ctrl, 2);
+
+    // A standing watch fronted by the daemon about to die: shutdown must
+    // tear it down (stream closed, subscription cancelled), not strand it.
+    let mut watch = Command::new(env!("CARGO_BIN_EXE_moara-cli"))
+        .args([
+            "--connect",
+            &a_ctrl,
+            "watch",
+            "SELECT count(*) WHERE ServiceX = true",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn watch");
+    let watch_out = watch.stdout.take().expect("piped stdout");
+    let (wtx, wrx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        for line in BufReader::new(watch_out).lines().map_while(Result::ok) {
+            let _ = wtx.send(line);
+        }
+    });
+    wrx.recv_timeout(Duration::from_secs(30))
+        .expect("initial watch update");
+
+    let pid = a.0.id().to_string();
+    let killed = Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .expect("send SIGTERM");
+    assert!(killed.success());
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let status = loop {
+        if let Some(status) = a.0.try_wait().expect("poll moarad") {
+            break status;
+        }
+        assert!(Instant::now() < deadline, "moarad ignored SIGTERM");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(
+        status.success(),
+        "graceful shutdown must exit 0, got {status:?}"
+    );
+    // The watcher's stream ended with the daemon; the client exits too.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        if watch.try_wait().expect("poll watch").is_some() {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "watch client never noticed the shutdown"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    // B keeps serving: the surviving cluster answers without the peer.
+    let (_, ok) = cli(&["--connect", &b_ctrl, "status"]);
+    assert!(ok, "survivor still serves its control plane");
+}

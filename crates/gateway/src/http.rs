@@ -1,0 +1,438 @@
+//! Minimal HTTP/1.1 request parsing and response writing on `std::io`.
+//!
+//! Deliberately small: request line + headers + optional
+//! `Content-Length` body, percent-decoded query parameters, keep-alive.
+//! No chunked transfer, no TLS, no multipart — the gateway's endpoints
+//! need none of them. Hard caps on line length, header count, and body
+//! size keep a hostile client from ballooning memory, the same hardening
+//! posture as the wire codec's frame and nesting caps.
+
+use std::io::{BufRead, Write};
+
+/// Longest accepted request line or header line, bytes.
+pub const MAX_LINE: usize = 8 * 1024;
+/// Most headers accepted per request.
+pub const MAX_HEADERS: usize = 64;
+/// Largest accepted request body, bytes.
+pub const MAX_BODY: usize = 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Clone, Debug)]
+pub struct HttpRequest {
+    /// Upper-cased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Percent-decoded path, query string stripped (`/v1/query`).
+    pub path: String,
+    /// Percent-decoded query parameters, in order of appearance.
+    pub params: Vec<(String, String)>,
+    /// Header names lower-cased; values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// Raw body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+    /// False for `HTTP/1.0` or an explicit `Connection: close`.
+    pub keep_alive: bool,
+}
+
+impl HttpRequest {
+    /// First value of a query parameter.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// A header value (name matched case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed the connection before (or mid-) request.
+    Closed,
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// Malformed or over-limit request; the description is safe to echo
+    /// in a 400 body.
+    Bad(&'static str),
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> HttpError {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads one line (CRLF or bare LF terminated), bounded by [`MAX_LINE`].
+fn read_line(reader: &mut impl BufRead) -> Result<String, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Err(HttpError::Closed);
+                }
+                break;
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                line.push(byte[0]);
+                if line.len() > MAX_LINE {
+                    return Err(HttpError::Bad("line too long"));
+                }
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| HttpError::Bad("non-UTF-8 request"))
+}
+
+/// Parses one request off `reader`. [`HttpError::Closed`] on a clean EOF
+/// between requests (keep-alive connections end this way).
+pub fn read_request(reader: &mut impl BufRead) -> Result<HttpRequest, HttpError> {
+    let request_line = read_line(reader)?;
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts
+        .next()
+        .ok_or(HttpError::Bad("empty request line"))?
+        .to_ascii_uppercase();
+    let target = parts.next().ok_or(HttpError::Bad("missing request path"))?;
+    let version = parts.next().ok_or(HttpError::Bad("missing HTTP version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Bad("unsupported HTTP version"));
+    }
+    let mut keep_alive = version != "HTTP/1.0";
+
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let path = percent_decode(raw_path);
+    let params = raw_query.map(parse_query).unwrap_or_default();
+
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::Bad("too many headers"));
+        }
+        let (name, value) = line.split_once(':').ok_or(HttpError::Bad("bad header"))?;
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_owned();
+        if name == "content-length" {
+            content_length = value
+                .parse()
+                .map_err(|_| HttpError::Bad("bad content-length"))?;
+            if content_length > MAX_BODY {
+                return Err(HttpError::Bad("body too large"));
+            }
+        }
+        if name == "connection" {
+            let v = value.to_ascii_lowercase();
+            if v.contains("close") {
+                keep_alive = false;
+            } else if v.contains("keep-alive") {
+                keep_alive = true;
+            }
+        }
+        headers.push((name, value));
+    }
+
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader.read_exact(&mut body)?;
+    }
+
+    Ok(HttpRequest {
+        method,
+        path,
+        params,
+        headers,
+        body,
+        keep_alive,
+    })
+}
+
+/// One response, rendered by [`HttpResponse::write_to`].
+#[derive(Clone, Debug)]
+pub struct HttpResponse {
+    /// Status code (`200`, `404`, ...).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+    /// Optional `Allow` header (405 and OPTIONS responses carry one).
+    pub allow: Option<&'static str>,
+}
+
+impl HttpResponse {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> HttpResponse {
+        HttpResponse {
+            status,
+            content_type: "application/json",
+            body: body.into().into_bytes(),
+            allow: None,
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, content_type: &'static str, body: impl Into<String>) -> HttpResponse {
+        HttpResponse {
+            status,
+            content_type,
+            body: body.into().into_bytes(),
+            allow: None,
+        }
+    }
+
+    /// Attaches an `Allow` header (builder-style).
+    pub fn with_allow(mut self, allow: &'static str) -> HttpResponse {
+        self.allow = Some(allow);
+        self
+    }
+
+    /// The standard JSON error envelope.
+    pub fn error(status: u16, msg: &str) -> HttpResponse {
+        HttpResponse::json(
+            status,
+            format!("{{\"error\":{}}}\n", crate::json::escape(msg)),
+        )
+    }
+
+    /// The canonical reason phrase for the status code.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Writes status line, headers, and body.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn write_to(&self, out: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
+        self.write_inner(out, keep_alive, true)
+    }
+
+    /// Writes status line and headers only — the `HEAD` rendering:
+    /// identical headers (`Content-Length` included) without the body.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn write_head_to(&self, out: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
+        self.write_inner(out, keep_alive, false)
+    }
+
+    fn write_inner(
+        &self,
+        out: &mut impl Write,
+        keep_alive: bool,
+        include_body: bool,
+    ) -> std::io::Result<()> {
+        let conn = if keep_alive { "keep-alive" } else { "close" };
+        write!(
+            out,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len(),
+        )?;
+        if let Some(allow) = self.allow {
+            write!(out, "Allow: {allow}\r\n")?;
+        }
+        write!(out, "Connection: {conn}\r\n\r\n")?;
+        if include_body {
+            out.write_all(&self.body)?;
+        }
+        out.flush()
+    }
+}
+
+/// Probes whether the peer of a streaming (write-mostly) socket is still
+/// connected: reads one byte with a 1 ms timeout. EOF or a hard error
+/// means the peer hung up; a timeout (nothing to read) or stray bytes
+/// mean it is still there. Shared by the gateway's SSE loop and the
+/// daemon's control-plane watch loop — quiescent streams have no writes
+/// to fail, so this is their only hang-up signal. Leaves the socket's
+/// read timeout at 1 ms.
+pub fn socket_alive(stream: &mut std::net::TcpStream) -> bool {
+    use std::io::Read;
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(1)));
+    let mut probe = [0u8; 1];
+    match stream.read(&mut probe) {
+        Ok(0) => false, // EOF: peer gone
+        Ok(_) => true,  // stray bytes: ignore
+        Err(e)
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut =>
+        {
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+/// Decodes `%XX` escapes and `+`-as-space.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3);
+                match hex.and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok()) {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Splits `a=1&b=two` into decoded pairs (also used for form bodies).
+pub fn parse_query(q: &str) -> Vec<(String, String)> {
+    q.split('&')
+        .filter(|p| !p.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(pair), String::new()),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<HttpRequest, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_get_with_query_params() {
+        let req = parse(
+            "GET /v1/query?q=SELECT%20count(*)%20WHERE%20A+%3D%201&x=y HTTP/1.1\r\n\
+             Host: localhost\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/v1/query");
+        assert_eq!(req.param("q"), Some("SELECT count(*) WHERE A = 1"));
+        assert_eq!(req.param("x"), Some("y"));
+        assert_eq!(req.header("host"), Some("localhost"));
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn parses_post_body_by_content_length() {
+        let req =
+            parse("POST /v1/attrs HTTP/1.1\r\nContent-Length: 7\r\n\r\nA=1&B=2extra-not-read")
+                .unwrap();
+        assert_eq!(req.body, b"A=1&B=2");
+    }
+
+    #[test]
+    fn http10_and_connection_close_disable_keep_alive() {
+        assert!(!parse("GET / HTTP/1.0\r\n\r\n").unwrap().keep_alive);
+        assert!(
+            !parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+                .unwrap()
+                .keep_alive
+        );
+    }
+
+    #[test]
+    fn rejects_garbage_and_eof() {
+        assert!(matches!(parse(""), Err(HttpError::Closed)));
+        assert!(matches!(parse("nonsense\r\n\r\n"), Err(HttpError::Bad(_))));
+        assert!(matches!(
+            parse("GET / SPDY/3\r\n\r\n"),
+            Err(HttpError::Bad(_))
+        ));
+        let huge = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(MAX_LINE + 1));
+        assert!(matches!(parse(&huge), Err(HttpError::Bad(_))));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n"),
+            Err(HttpError::Bad(_))
+        ));
+    }
+
+    #[test]
+    fn socket_alive_detects_peer_hangup() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::net::TcpStream::connect(addr).unwrap();
+        let (mut server, _) = listener.accept().unwrap();
+        assert!(socket_alive(&mut server), "connected peer reads alive");
+        drop(client);
+        assert!(!socket_alive(&mut server), "hung-up peer reads dead");
+    }
+
+    #[test]
+    fn percent_decoding_handles_edge_cases() {
+        assert_eq!(percent_decode("a%20b"), "a b");
+        assert_eq!(percent_decode("a+b"), "a b");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+        assert_eq!(percent_decode("%E6%97%A5"), "日");
+    }
+
+    #[test]
+    fn response_renders_with_length_and_connection() {
+        let mut out = Vec::new();
+        HttpResponse::json(200, "{\"ok\":true}")
+            .write_to(&mut out, true)
+            .unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(s.contains("Content-Length: 11\r\n"));
+        assert!(s.contains("Connection: keep-alive\r\n"));
+        assert!(s.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+}

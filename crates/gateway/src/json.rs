@@ -1,0 +1,68 @@
+//! The one JSON string encoder.
+//!
+//! Three hand-rolled escapers had grown independently (the bench report,
+//! `moara-cli`'s `--json` output, and the gateway's response encoding all
+//! need one); this module is the shared superset they now delegate to.
+
+use std::fmt::Write as _;
+
+/// Renders `s` as a JSON string literal, quotes included.
+///
+/// Escapes quotes, backslashes, the common whitespace escapes (`\n`,
+/// `\r`, `\t`), and all other control characters as `\u00XX`. Non-ASCII
+/// characters pass through verbatim (JSON is UTF-8; no `\u` round-trip
+/// needed).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_strings_gain_only_quotes() {
+        assert_eq!(escape("hello"), "\"hello\"");
+        assert_eq!(escape(""), "\"\"");
+    }
+
+    #[test]
+    fn quotes_and_backslashes_escape() {
+        assert_eq!(escape("a\"b"), "\"a\\\"b\"");
+        assert_eq!(escape("a\\b"), "\"a\\\\b\"");
+        assert_eq!(escape("\\\""), "\"\\\\\\\"\"");
+    }
+
+    #[test]
+    fn control_chars_escape() {
+        assert_eq!(escape("a\nb"), "\"a\\nb\"");
+        assert_eq!(escape("a\rb"), "\"a\\rb\"");
+        assert_eq!(escape("a\tb"), "\"a\\tb\"");
+        assert_eq!(escape("a\x00b"), "\"a\\u0000b\"");
+        assert_eq!(escape("\x1f"), "\"\\u001f\"");
+        assert_eq!(escape("\x07"), "\"\\u0007\"");
+    }
+
+    #[test]
+    fn non_ascii_passes_through() {
+        assert_eq!(escape("héllo"), "\"héllo\"");
+        assert_eq!(escape("日本語"), "\"日本語\"");
+        assert_eq!(escape("emoji 🦀"), "\"emoji 🦀\"");
+    }
+}

@@ -1,0 +1,42 @@
+//! # moara-gateway
+//!
+//! The HTTP edge of a Moara cluster, plus its observability plane.
+//!
+//! Until this crate existed the only ways into a cluster were the Rust
+//! API and the custom framed control plane — nothing an off-the-shelf
+//! client, load balancer, dashboard, or scraper could speak. The gateway
+//! embeds a small thread-pooled HTTP/1.1 server (written on `std::net`,
+//! the same no-new-deps constraint that shaped `TcpTransport`) in every
+//! `moarad` behind `--http ADDR`:
+//!
+//! * `GET /v1/query?q=…` — run a composite query, answer as JSON;
+//! * `POST /v1/attrs` — set local attributes (group churn over HTTP);
+//! * `GET /v1/watch?q=…&policy=…` — Server-Sent Events stream bridging
+//!   the continuous-query subscription plane: one `data:` frame per
+//!   standing-query delta, lease auto-renewed while the socket is open,
+//!   cancelled on hang-up;
+//! * `GET /healthz` — liveness of the daemon event loop;
+//! * `GET /metrics` — Prometheus text exposition of the counters the
+//!   subsystems already keep (transport, query scheduler, membership,
+//!   subscriptions, gateway itself).
+//!
+//! Any daemon is a valid entry point: a request served by a non-front-end
+//! daemon simply runs the query from that node, so an external load
+//! balancer can spray the whole cluster.
+//!
+//! Architecturally the gateway mirrors the control plane: connection
+//! threads never touch protocol state. They parse HTTP into a
+//! [`GwRequest`], push a [`GwJob`] through an MPSC channel into the
+//! daemon's single-threaded event loop, and block on (or, for watches,
+//! stream from) the reply channel. See `docs/gateway.md`.
+
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod server;
+
+pub use http::{HttpRequest, HttpResponse};
+pub use metrics::MetricsRegistry;
+pub use server::{
+    spawn_gateway, GatewayHandle, GatewayStats, GwJob, GwReply, GwRequest, WatchPolicy,
+};

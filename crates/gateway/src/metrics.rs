@@ -1,0 +1,221 @@
+//! Prometheus text exposition for the counters the cluster already keeps.
+//!
+//! The subsystems (transport, query scheduler, membership, subscriptions)
+//! all count things — into `Stats` named counters, detector peer states,
+//! node-level gauges — but until now those numbers were only reachable
+//! from Rust. [`MetricsRegistry`] is the rendezvous point: the daemon
+//! snapshots every layer into one registry per `/metrics` scrape and
+//! renders it in the Prometheus text format (version 0.0.4), so any
+//! standard scraper can watch a live cluster.
+//!
+//! The registry is a plain value, not a global: it holds one scrape's
+//! samples, insertion-ordered, grouped into families (`# HELP`/`# TYPE`
+//! emitted once per family even when samples carry different labels).
+
+use std::fmt::Write as _;
+
+/// Prometheus metric kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing count.
+    Counter,
+    /// Point-in-time value.
+    Gauge,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+        }
+    }
+}
+
+struct Sample {
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+struct Family {
+    name: String,
+    help: &'static str,
+    kind: MetricKind,
+    samples: Vec<Sample>,
+}
+
+/// One scrape's worth of metrics, renderable as Prometheus text.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    families: Vec<Family>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Records a counter sample.
+    pub fn counter(&mut self, name: &str, help: &'static str, value: u64) {
+        self.sample(name, help, MetricKind::Counter, &[], value as f64);
+    }
+
+    /// Records a gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &'static str, value: f64) {
+        self.sample(name, help, MetricKind::Gauge, &[], value);
+    }
+
+    /// Records a labelled counter sample (same name may be recorded many
+    /// times with different labels; they join one family).
+    pub fn counter_with(
+        &mut self,
+        name: &str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+        value: u64,
+    ) {
+        self.sample(name, help, MetricKind::Counter, labels, value as f64);
+    }
+
+    /// Records a labelled gauge sample.
+    pub fn gauge_with(
+        &mut self,
+        name: &str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+        value: f64,
+    ) {
+        self.sample(name, help, MetricKind::Gauge, labels, value);
+    }
+
+    fn sample(
+        &mut self,
+        name: &str,
+        help: &'static str,
+        kind: MetricKind,
+        labels: &[(&str, &str)],
+        value: f64,
+    ) {
+        let sample = Sample {
+            labels: labels
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+                .collect(),
+            value,
+        };
+        if let Some(f) = self.families.iter_mut().find(|f| f.name == name) {
+            f.samples.push(sample);
+            return;
+        }
+        self.families.push(Family {
+            name: name.to_owned(),
+            help,
+            kind,
+            samples: vec![sample],
+        });
+    }
+
+    /// How many samples the registry holds (tests, sanity gates).
+    pub fn sample_count(&self) -> usize {
+        self.families.iter().map(|f| f.samples.len()).sum()
+    }
+
+    /// Renders the Prometheus text format.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.families {
+            let _ = writeln!(out, "# HELP {} {}", f.name, f.help);
+            let _ = writeln!(out, "# TYPE {} {}", f.name, f.kind.as_str());
+            for s in &f.samples {
+                out.push_str(&f.name);
+                if !s.labels.is_empty() {
+                    out.push('{');
+                    for (i, (k, v)) in s.labels.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+                    }
+                    out.push('}');
+                }
+                // Prometheus accepts integer or float renderings; keep
+                // integers exact (counters are u64-sourced).
+                if s.value.fract() == 0.0 && s.value.abs() < 9e15 {
+                    let _ = writeln!(out, " {}", s.value as i64);
+                } else {
+                    let _ = writeln!(out, " {}", s.value);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Label-value escaping per the exposition format: backslash, quote,
+/// newline.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_help_type_and_samples() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("moara_messages_sent_total", "Messages sent.", 42);
+        reg.gauge("moara_members_alive", "Members believed alive.", 3.0);
+        let text = reg.render();
+        assert!(text.contains("# HELP moara_messages_sent_total Messages sent.\n"));
+        assert!(text.contains("# TYPE moara_messages_sent_total counter\n"));
+        assert!(text.contains("moara_messages_sent_total 42\n"));
+        assert!(text.contains("# TYPE moara_members_alive gauge\n"));
+        assert!(text.contains("moara_members_alive 3\n"));
+    }
+
+    #[test]
+    fn labelled_samples_share_one_family_header() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_with(
+            "moara_http_requests_total",
+            "Requests.",
+            &[("endpoint", "query")],
+            7,
+        );
+        reg.counter_with(
+            "moara_http_requests_total",
+            "Requests.",
+            &[("endpoint", "watch")],
+            2,
+        );
+        let text = reg.render();
+        assert_eq!(text.matches("# TYPE moara_http_requests_total").count(), 1);
+        assert!(text.contains("moara_http_requests_total{endpoint=\"query\"} 7\n"));
+        assert!(text.contains("moara_http_requests_total{endpoint=\"watch\"} 2\n"));
+    }
+
+    #[test]
+    fn label_values_escape() {
+        let mut reg = MetricsRegistry::new();
+        reg.gauge_with("g", "G.", &[("q", "a\"b\\c\nd")], 1.0);
+        assert!(reg.render().contains("g{q=\"a\\\"b\\\\c\\nd\"} 1\n"));
+    }
+
+    #[test]
+    fn floats_render_as_floats() {
+        let mut reg = MetricsRegistry::new();
+        reg.gauge("g", "G.", 0.5);
+        assert!(reg.render().contains("g 0.5\n"));
+    }
+}

@@ -1,0 +1,966 @@
+//! The gateway server: accept loop, worker pool, routing, SSE streaming.
+//!
+//! Threading model (mirrors the daemon's control plane): the acceptor
+//! thread hands sockets to a fixed worker pool; each worker parses HTTP,
+//! translates it into a [`GwRequest`], and pushes a [`GwJob`] through an
+//! MPSC channel into the daemon's event loop — protocol state is only
+//! ever touched by that single loop. One-shot endpoints block on the
+//! reply channel; `/v1/watch` flips the connection into a Server-Sent
+//! Events stream that forwards [`GwReply::Update`] frames until either
+//! side hangs up. A long-lived SSE stream occupies its worker for its
+//! whole life, so at most half the pool may hold streams — further
+//! watch requests answer 503 immediately, keeping the other half free
+//! for one-shots (`/healthz` must stay reachable under watcher
+//! overload). The acceptor's hand-off queue is bounded too: when it
+//! fills, new connections are closed at accept instead of queueing fds
+//! without limit. Writes carry a timeout so a client that stops
+//! *reading* cannot pin a worker in `write_all` forever.
+//!
+//! Hang-up plumbing: the worker drops its reply receiver when the client
+//! disconnects; the daemon notices on its next send (updates or the
+//! periodic keepalive probe) and cancels the standing subscription, so
+//! peers GC the watch's in-network state promptly.
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::mpsc::{RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::http::{read_request, HttpError, HttpRequest, HttpResponse};
+use crate::json;
+
+/// How a watch's updates surface to the SSE client (string-typed twin of
+/// the subscription plane's `DeliveryPolicy`; the daemon converts).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WatchPolicy {
+    /// Every change to the merged result (the default).
+    OnChange,
+    /// A snapshot every N milliseconds, changed or not (N must be
+    /// positive; enforced at parse time).
+    PeriodMs(u64),
+    /// Threshold-crossing alerts around the value.
+    Threshold(f64),
+}
+
+/// What the HTTP layer asks the daemon to do.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GwRequest {
+    /// `GET /v1/query?q=…` — run a composite query.
+    Query {
+        /// Query text (either syntax the parser accepts).
+        q: String,
+    },
+    /// `POST /v1/attrs` — set local attributes. Values are raw strings;
+    /// the daemon applies its `parse_value` typing rules.
+    SetAttrs {
+        /// Name/value pairs in body order.
+        attrs: Vec<(String, String)>,
+    },
+    /// `GET /v1/watch?q=…` — install a standing query and stream deltas.
+    Watch {
+        /// Query text.
+        q: String,
+        /// Delivery policy.
+        policy: WatchPolicy,
+        /// Subscription lease in milliseconds (daemon-renewed while the
+        /// socket stays open).
+        lease_ms: u64,
+    },
+    /// `GET /metrics` — snapshot every subsystem into Prometheus text.
+    Metrics,
+    /// `GET /healthz` — prove the daemon event loop is serving.
+    Health,
+}
+
+/// What the daemon answers.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GwReply {
+    /// Query finished.
+    Answer {
+        /// Rendered aggregate.
+        result: String,
+        /// False if some branch timed out or failed.
+        complete: bool,
+    },
+    /// Attributes applied.
+    AttrsSet {
+        /// How many pairs were set.
+        count: usize,
+    },
+    /// Rendered `/metrics` exposition.
+    Metrics {
+        /// Prometheus text.
+        text: String,
+    },
+    /// Liveness report.
+    Health {
+        /// This daemon's node id.
+        node: u32,
+        /// Members known (alive or dead).
+        members: u32,
+        /// Members believed alive.
+        alive: u32,
+    },
+    /// One standing-query update (streamed; many per watch).
+    Update {
+        /// Rendered merged result.
+        result: String,
+        /// True for the watch's first update.
+        initial: bool,
+        /// False while some pinned tree has not reported yet.
+        complete: bool,
+    },
+    /// Liveness probe for quiescent watch streams: rendered as an SSE
+    /// comment, exists so a hung-up client is detected without a delta.
+    Keepalive,
+    /// Request failed (status is an HTTP code).
+    Error {
+        /// HTTP status to answer with.
+        status: u16,
+        /// Safe-to-echo description.
+        msg: String,
+    },
+}
+
+/// One in-flight gateway request: the parsed request plus the channel the
+/// worker blocks on (or streams from) for replies.
+pub struct GwJob {
+    /// What to do.
+    pub req: GwRequest,
+    /// Where replies go. For watches the daemon holds this sender for
+    /// the life of the subscription.
+    pub reply: Sender<GwReply>,
+}
+
+/// Live counters the gateway keeps about itself (lock-free; scraped into
+/// `/metrics` alongside the subsystem counters).
+#[derive(Debug, Default)]
+pub struct GatewayStats {
+    /// Requests accepted, by coarse endpoint class.
+    pub queries: AtomicU64,
+    /// `POST /v1/attrs` requests.
+    pub attr_sets: AtomicU64,
+    /// Watches opened (SSE streams started).
+    pub watches_opened: AtomicU64,
+    /// SSE data frames written.
+    pub sse_frames: AtomicU64,
+    /// `/metrics` scrapes served.
+    pub scrapes: AtomicU64,
+    /// `/healthz` probes served.
+    pub health_checks: AtomicU64,
+    /// Responses with a 4xx/5xx status.
+    pub errors: AtomicU64,
+    /// SSE streams currently holding a pool slot (reserved at routing
+    /// time, released when the stream ends — so mid-setup streams
+    /// count, and the half-pool cap cannot be raced past).
+    pub open_streams: AtomicI64,
+}
+
+/// A running gateway: address, stats, and the stop switch.
+pub struct GatewayHandle {
+    addr: SocketAddr,
+    stats: Arc<GatewayStats>,
+    stop: Arc<AtomicBool>,
+}
+
+impl GatewayHandle {
+    /// Where the gateway listens.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The gateway's own counters.
+    pub fn stats(&self) -> &Arc<GatewayStats> {
+        &self.stats
+    }
+
+    /// Stops accepting new connections (in-flight requests finish; open
+    /// SSE streams end when the daemon drops their reply senders).
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the acceptor blocked in accept() so it observes the flag.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(50));
+    }
+}
+
+/// Spawns the accept loop and `workers` connection workers on
+/// `listener`. Jobs flow into `tx`; the daemon's event loop must drain
+/// them (see `Daemon::step`).
+///
+/// # Panics
+///
+/// Panics if the listener's local address cannot be read or threads
+/// cannot spawn — both are boot-time process failures.
+pub fn spawn_gateway(listener: TcpListener, tx: Sender<GwJob>, workers: usize) -> GatewayHandle {
+    let addr = listener.local_addr().expect("gateway listener addr");
+    let stats = Arc::new(GatewayStats::default());
+    let stop = Arc::new(AtomicBool::new(false));
+    let workers = workers.max(1);
+    // Half the pool may hold SSE streams; the rest stays free for
+    // one-shot requests, so a burst of watchers can never starve
+    // `/healthz` (a load balancer that cannot reach the health endpoint
+    // would pull a healthy daemon out of rotation).
+    let max_streams = (workers / 2).max(1) as i64;
+    // Bounded hand-off: when every worker is busy and the backlog is
+    // full, new connections are dropped at accept (the client sees a
+    // reset immediately) instead of queueing fds and latency without
+    // limit.
+    let (conn_tx, conn_rx) = std::sync::mpsc::sync_channel::<TcpStream>(workers * 2);
+    let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+    for i in 0..workers {
+        let conn_rx = Arc::clone(&conn_rx);
+        let tx = tx.clone();
+        let stats = Arc::clone(&stats);
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name(format!("moara-gw-worker-{i}"))
+            .spawn(move || loop {
+                let conn = match conn_rx.lock() {
+                    Ok(rx) => rx.recv(),
+                    Err(_) => return,
+                };
+                let Ok(stream) = conn else { return };
+                serve_connection(stream, &tx, &stats, &stop, max_streams);
+            })
+            .expect("spawn gateway worker");
+    }
+
+    {
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("moara-gw-accept".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let _ = stream.set_nodelay(true);
+                    match conn_tx.try_send(stream) {
+                        Ok(()) => {}
+                        // Backlog full: drop (= close) the connection.
+                        Err(std::sync::mpsc::TrySendError::Full(_)) => {}
+                        Err(std::sync::mpsc::TrySendError::Disconnected(_)) => break,
+                    }
+                }
+            })
+            .expect("spawn gateway acceptor");
+    }
+
+    GatewayHandle { addr, stats, stop }
+}
+
+/// How long a one-shot endpoint waits for the daemon's answer (queries
+/// are bounded by the engine's front timeout, well under this).
+const REPLY_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// How long one socket write may stall before the connection is declared
+/// dead. Without this, a client that stops *reading* while keeping the
+/// socket open would block its worker in `write_all` forever once the
+/// TCP send buffer fills.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How long a keep-alive connection may sit idle (no request bytes)
+/// before its worker closes it. Without this, a handful of clients
+/// holding idle keep-alive connections would pin every pool worker and
+/// starve `/healthz` — the non-streaming twin of the SSE cap.
+const IDLE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Serves one connection: requests in, responses out, until the client
+/// hangs up, sends `Connection: close`, goes idle past [`IDLE_TIMEOUT`],
+/// or upgrades to an SSE stream.
+fn serve_connection(
+    stream: TcpStream,
+    tx: &Sender<GwJob>,
+    stats: &GatewayStats,
+    stop: &AtomicBool,
+    max_streams: i64,
+) {
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        let req = match read_request(&mut reader) {
+            Ok(r) => r,
+            Err(HttpError::Closed) => return,
+            // Includes the idle timeout (WouldBlock/TimedOut): close and
+            // free the worker.
+            Err(HttpError::Io(_)) => return,
+            Err(HttpError::Bad(why)) => {
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+                let _ = HttpResponse::error(400, why).write_to(&mut writer, false);
+                return;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            let _ = HttpResponse::error(503, "shutting down").write_to(&mut writer, false);
+            return;
+        }
+        let keep_alive = req.keep_alive;
+        // OPTIONS is answered at this layer: it exists for probes and
+        // CORS-less tooling, not the daemon.
+        if req.method == "OPTIONS" {
+            let response = HttpResponse::text(200, "text/plain; charset=utf-8", "")
+                .with_allow(ALLOWED_METHODS);
+            if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
+                return;
+            }
+            continue;
+        }
+        // HEAD is GET with the body suppressed (RFC 9110): route it like
+        // GET, write headers only. Load-balancer health checks commonly
+        // probe with HEAD.
+        let head_only = req.method == "HEAD";
+        match route(&req) {
+            Ok(GwRequest::Watch {
+                q,
+                policy,
+                lease_ms,
+            }) => {
+                // Atomic slot reservation (increment-then-check): a
+                // burst of simultaneous watch requests must not all
+                // slip past a yet-unincremented gauge and oversubscribe
+                // the pool.
+                if stats.open_streams.fetch_add(1, Ordering::SeqCst) >= max_streams {
+                    stats.open_streams.fetch_sub(1, Ordering::SeqCst);
+                    stats.errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = HttpResponse::error(503, "too many watch streams")
+                        .write_to(&mut writer, false);
+                    return;
+                }
+                stats.watches_opened.fetch_add(1, Ordering::Relaxed);
+                serve_watch(
+                    &mut writer,
+                    &mut reader,
+                    tx,
+                    stats,
+                    GwRequest::Watch {
+                        q,
+                        policy,
+                        lease_ms,
+                    },
+                );
+                stats.open_streams.fetch_sub(1, Ordering::SeqCst);
+                return; // SSE streams never keep-alive into a next request
+            }
+            Ok(gw_req) => {
+                let counter = match &gw_req {
+                    GwRequest::Query { .. } => &stats.queries,
+                    GwRequest::SetAttrs { .. } => &stats.attr_sets,
+                    GwRequest::Metrics => &stats.scrapes,
+                    GwRequest::Health => &stats.health_checks,
+                    GwRequest::Watch { .. } => unreachable!("handled above"),
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+                let response = one_shot(tx, gw_req);
+                if response.status >= 400 {
+                    stats.errors.fetch_add(1, Ordering::Relaxed);
+                }
+                let sent = if head_only {
+                    response.write_head_to(&mut writer, keep_alive)
+                } else {
+                    response.write_to(&mut writer, keep_alive)
+                };
+                if sent.is_err() || !keep_alive {
+                    return;
+                }
+            }
+            Err(response) => {
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+                let sent = if head_only {
+                    response.write_head_to(&mut writer, keep_alive)
+                } else {
+                    response.write_to(&mut writer, keep_alive)
+                };
+                if sent.is_err() || !keep_alive {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// What the gateway speaks, for `Allow` headers.
+const ALLOWED_METHODS: &str = "GET, HEAD, POST, OPTIONS";
+
+/// Maps a parsed HTTP request onto the gateway API.
+fn route(req: &HttpRequest) -> Result<GwRequest, HttpResponse> {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET" | "HEAD", "/v1/query") => {
+            let q = req
+                .param("q")
+                .ok_or_else(|| HttpResponse::error(400, "missing query parameter q"))?;
+            Ok(GwRequest::Query { q: q.to_owned() })
+        }
+        ("POST", "/v1/attrs") => {
+            let body = std::str::from_utf8(&req.body)
+                .map_err(|_| HttpResponse::error(400, "body is not UTF-8"))?;
+            let attrs = parse_attr_body(body).map_err(|e| HttpResponse::error(400, e))?;
+            if attrs.is_empty() {
+                return Err(HttpResponse::error(400, "no attributes in body"));
+            }
+            Ok(GwRequest::SetAttrs { attrs })
+        }
+        ("GET", "/v1/watch") => {
+            let q = req
+                .param("q")
+                .ok_or_else(|| HttpResponse::error(400, "missing query parameter q"))?;
+            let policy = parse_policy(req.param("policy").unwrap_or("on-change"))
+                .map_err(|e| HttpResponse::error(400, e))?;
+            let lease_ms = match req.param("lease_ms") {
+                None => 30_000,
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| HttpResponse::error(400, "lease_ms must be an integer"))?,
+            };
+            Ok(GwRequest::Watch {
+                q: q.to_owned(),
+                policy,
+                lease_ms,
+            })
+        }
+        // HEAD cannot open a stream; point the prober at GET.
+        ("HEAD", "/v1/watch") => {
+            Err(HttpResponse::error(405, "watch streams require GET").with_allow("GET"))
+        }
+        ("GET" | "HEAD", "/metrics") => Ok(GwRequest::Metrics),
+        ("GET" | "HEAD", "/healthz") => Ok(GwRequest::Health),
+        ("GET" | "HEAD" | "POST", _) => Err(HttpResponse::error(404, "no such endpoint")),
+        _ => Err(HttpResponse::error(405, "method not allowed").with_allow(ALLOWED_METHODS)),
+    }
+}
+
+/// Parses the `policy` query parameter: `on-change`, `period:MILLIS`, or
+/// `threshold:VALUE`.
+fn parse_policy(s: &str) -> Result<WatchPolicy, &'static str> {
+    if s == "on-change" {
+        return Ok(WatchPolicy::OnChange);
+    }
+    if let Some(ms) = s.strip_prefix("period:") {
+        let ms: u64 = ms.parse().map_err(|_| "period wants period:MILLIS")?;
+        if ms == 0 {
+            return Err("period must be positive");
+        }
+        return Ok(WatchPolicy::PeriodMs(ms));
+    }
+    if let Some(v) = s.strip_prefix("threshold:") {
+        let v: f64 = v.parse().map_err(|_| "threshold wants threshold:VALUE")?;
+        if v.is_nan() {
+            return Err("threshold must not be NaN");
+        }
+        return Ok(WatchPolicy::Threshold(v));
+    }
+    Err("policy must be on-change, period:MILLIS, or threshold:VALUE")
+}
+
+/// Parses a `/v1/attrs` body: form pairs (`A=1&B=2`) or the `--attrs`
+/// comma syntax (`A=1,B=2`).
+///
+/// Precedence: a body containing `&` is always form data. Otherwise the
+/// comma syntax applies only when *every* comma-separated piece is a
+/// `k=v` pair; a body like `note=a,b` (one pair whose value holds a
+/// comma) falls back to a single pair. The one genuinely ambiguous
+/// spelling, `A=1,B=2` with a literal-comma intent, needs the comma
+/// encoded (`%2C`) or form syntax.
+fn parse_attr_body(body: &str) -> Result<Vec<(String, String)>, &'static str> {
+    let body = body.trim();
+    let decode = |k: &str, v: &str| -> Result<(String, String), &'static str> {
+        let k = crate::http::percent_decode(k);
+        if k.is_empty() {
+            return Err("attribute has an empty name");
+        }
+        Ok((k, crate::http::percent_decode(v)))
+    };
+    let split_pairs = |sep: char| -> Option<Vec<(&str, &str)>> {
+        body.split(sep)
+            .filter(|p| !p.is_empty())
+            .map(|part| part.split_once('='))
+            .collect()
+    };
+    let pairs = if body.contains('&') {
+        split_pairs('&').ok_or("attribute is not k=v")?
+    } else if let Some(pairs) = split_pairs(',') {
+        pairs
+    } else {
+        // Not clean comma syntax: a single pair whose value carries
+        // literal commas.
+        vec![body.split_once('=').ok_or("attribute is not k=v")?]
+    };
+    pairs.into_iter().map(|(k, v)| decode(k, v)).collect()
+}
+
+/// Sends one job and renders its single reply.
+fn one_shot(tx: &Sender<GwJob>, req: GwRequest) -> HttpResponse {
+    let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+    if tx
+        .send(GwJob {
+            req,
+            reply: reply_tx,
+        })
+        .is_err()
+    {
+        return HttpResponse::error(503, "daemon shut down");
+    }
+    match reply_rx.recv_timeout(REPLY_TIMEOUT) {
+        Ok(reply) => render_reply(reply),
+        Err(_) => HttpResponse::error(408, "daemon did not answer in time"),
+    }
+}
+
+fn render_reply(reply: GwReply) -> HttpResponse {
+    match reply {
+        GwReply::Answer { result, complete } => HttpResponse::json(
+            200,
+            format!(
+                "{{\"result\":{},\"complete\":{complete}}}\n",
+                json::escape(&result)
+            ),
+        ),
+        GwReply::AttrsSet { count } => {
+            HttpResponse::json(200, format!("{{\"ok\":true,\"set\":{count}}}\n"))
+        }
+        GwReply::Metrics { text } => {
+            HttpResponse::text(200, "text/plain; version=0.0.4; charset=utf-8", text)
+        }
+        GwReply::Health {
+            node,
+            members,
+            alive,
+        } => HttpResponse::json(
+            200,
+            format!(
+                "{{\"status\":\"ok\",\"node\":{node},\"members\":{members},\"alive\":{alive}}}\n"
+            ),
+        ),
+        GwReply::Error { status, msg } => HttpResponse::error(status, &msg),
+        GwReply::Update { .. } | GwReply::Keepalive => {
+            HttpResponse::error(500, "streaming reply to one-shot request")
+        }
+    }
+}
+
+/// Renders one update as an SSE frame (`data: {json}\n\n`).
+pub fn sse_frame(result: &str, initial: bool, complete: bool) -> String {
+    format!(
+        "data: {{\"result\":{},\"initial\":{initial},\"complete\":{complete}}}\n\n",
+        json::escape(result)
+    )
+}
+
+/// Streams a watch: installs the standing query, writes SSE headers, and
+/// forwards updates until hang-up (either direction).
+fn serve_watch(
+    writer: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    tx: &Sender<GwJob>,
+    stats: &GatewayStats,
+    req: GwRequest,
+) {
+    let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+    if tx
+        .send(GwJob {
+            req,
+            reply: reply_tx,
+        })
+        .is_err()
+    {
+        let _ = HttpResponse::error(503, "daemon shut down").write_to(writer, false);
+        return;
+    }
+    // The daemon answers Error before the first Update on a parse
+    // failure; wait for the first reply to decide the status line.
+    let first = match reply_rx.recv_timeout(REPLY_TIMEOUT) {
+        Ok(r) => r,
+        Err(_) => {
+            stats.errors.fetch_add(1, Ordering::Relaxed);
+            let _ =
+                HttpResponse::error(408, "daemon did not answer in time").write_to(writer, false);
+            return;
+        }
+    };
+    if let GwReply::Error { status, msg } = first {
+        stats.errors.fetch_add(1, Ordering::Relaxed);
+        let _ = HttpResponse::error(status, &msg).write_to(writer, false);
+        return;
+    }
+    let header = "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-cache\r\nConnection: close\r\n\r\n";
+    if writer.write_all(header.as_bytes()).is_err() || writer.flush().is_err() {
+        return;
+    }
+    let mut forward = |reply: GwReply| -> bool {
+        let frame = match reply {
+            GwReply::Update {
+                result,
+                initial,
+                complete,
+            } => {
+                stats.sse_frames.fetch_add(1, Ordering::Relaxed);
+                sse_frame(&result, initial, complete)
+            }
+            GwReply::Keepalive => ": keepalive\n\n".to_owned(),
+            GwReply::Error { msg, .. } => {
+                let _ = writer.write_all(
+                    format!("event: error\ndata: {}\n\n", json::escape(&msg)).as_bytes(),
+                );
+                let _ = writer.flush();
+                return false;
+            }
+            _ => return true, // one-shot replies cannot appear mid-stream
+        };
+        writer.write_all(frame.as_bytes()).is_ok() && writer.flush().is_ok()
+    };
+    let mut alive = forward(first);
+    while alive {
+        match reply_rx.recv_timeout(Duration::from_secs(1)) {
+            Ok(reply) => alive = forward(reply),
+            Err(RecvTimeoutError::Timeout) => {
+                // A quiescent watch emits nothing for long stretches;
+                // probe the socket so a hung-up client releases the
+                // worker (and, by dropping reply_rx, the subscription).
+                alive = crate::http::socket_alive(reader.get_mut());
+            }
+            Err(RecvTimeoutError::Disconnected) => break, // daemon cancelled
+        }
+    }
+    // Dropping reply_rx here is the hang-up signal the daemon observes;
+    // the caller releases the open-streams reservation.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead as _, Read as _};
+
+    /// Boots a gateway backed by a scripted responder thread.
+    fn test_gateway(
+        respond: impl Fn(GwRequest, Sender<GwReply>) + Send + 'static,
+    ) -> GatewayHandle {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let (tx, rx) = std::sync::mpsc::channel::<GwJob>();
+        std::thread::spawn(move || {
+            for job in rx {
+                respond(job.req, job.reply);
+            }
+        });
+        spawn_gateway(listener, tx, 2)
+    }
+
+    fn roundtrip(addr: SocketAddr, raw: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(raw.as_bytes()).unwrap();
+        let mut out = String::new();
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let _ = s.read_to_string(&mut out);
+        out
+    }
+
+    #[test]
+    fn query_roundtrips_as_json() {
+        let gw = test_gateway(|req, reply| {
+            assert_eq!(
+                req,
+                GwRequest::Query {
+                    q: "SELECT count(*) WHERE A = 1".into()
+                }
+            );
+            let _ = reply.send(GwReply::Answer {
+                result: "2".into(),
+                complete: true,
+            });
+        });
+        let resp = roundtrip(
+            gw.addr(),
+            "GET /v1/query?q=SELECT%20count(*)%20WHERE%20A%20%3D%201 HTTP/1.1\r\n\
+             Connection: close\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 200 OK\r\n"), "{resp}");
+        assert!(
+            resp.contains("{\"result\":\"2\",\"complete\":true}"),
+            "{resp}"
+        );
+        assert_eq!(gw.stats().queries.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn attrs_post_parses_both_body_styles() {
+        let gw = test_gateway(|req, reply| match req {
+            GwRequest::SetAttrs { attrs } => {
+                let n = attrs.len();
+                assert!(attrs.iter().any(|(k, v)| k == "A" && v == "1"));
+                let _ = reply.send(GwReply::AttrsSet { count: n });
+            }
+            other => panic!("unexpected {other:?}"),
+        });
+        for body in ["A=1&B=two", "A=1,B=two"] {
+            let resp = roundtrip(
+                gw.addr(),
+                &format!(
+                    "POST /v1/attrs HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                    body.len()
+                ),
+            );
+            assert!(resp.contains("{\"ok\":true,\"set\":2}"), "{resp}");
+        }
+    }
+
+    #[test]
+    fn watch_streams_sse_frames_until_daemon_drops() {
+        let gw = test_gateway(|req, reply| {
+            match req {
+                GwRequest::Watch {
+                    policy: WatchPolicy::PeriodMs(1500),
+                    lease_ms: 5000,
+                    ..
+                } => {}
+                other => panic!("unexpected {other:?}"),
+            }
+            let _ = reply.send(GwReply::Update {
+                result: "1".into(),
+                initial: true,
+                complete: true,
+            });
+            let _ = reply.send(GwReply::Keepalive);
+            let _ = reply.send(GwReply::Update {
+                result: "2".into(),
+                initial: false,
+                complete: true,
+            });
+            // reply dropped here: stream must end.
+        });
+        let mut s = TcpStream::connect(gw.addr()).unwrap();
+        s.write_all(
+            b"GET /v1/watch?q=SELECT%20count(*)&policy=period:1500&lease_ms=5000 HTTP/1.1\r\n\r\n",
+        )
+        .unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut reader = BufReader::new(s);
+        let mut header = String::new();
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            header.push_str(&line);
+            if line == "\r\n" {
+                break;
+            }
+        }
+        assert!(header.contains("text/event-stream"), "{header}");
+        let mut rest = String::new();
+        let _ = reader.read_to_string(&mut rest);
+        assert!(
+            rest.contains("data: {\"result\":\"1\",\"initial\":true,\"complete\":true}\n\n"),
+            "{rest}"
+        );
+        assert!(rest.contains(": keepalive\n\n"), "{rest}");
+        assert!(rest.contains("data: {\"result\":\"2\""), "{rest}");
+        assert_eq!(gw.stats().sse_frames.load(Ordering::Relaxed), 2);
+        assert_eq!(gw.stats().open_streams.load(Ordering::Relaxed), 0);
+    }
+
+    /// Half the pool is reserved for one-shot requests: with 2 workers
+    /// the stream cap is 1, so a second concurrent watch answers 503
+    /// fast instead of queueing behind a worker that will never free.
+    #[test]
+    fn watch_streams_beyond_the_cap_answer_503() {
+        let held: Arc<Mutex<Vec<Sender<GwReply>>>> = Arc::new(Mutex::new(Vec::new()));
+        let held2 = Arc::clone(&held);
+        let gw = test_gateway(move |req, reply| {
+            if matches!(req, GwRequest::Watch { .. }) {
+                let _ = reply.send(GwReply::Update {
+                    result: "1".into(),
+                    initial: true,
+                    complete: true,
+                });
+                held2.lock().unwrap().push(reply); // keep the stream open
+            } else if matches!(req, GwRequest::Health) {
+                let _ = reply.send(GwReply::Health {
+                    node: 0,
+                    members: 1,
+                    alive: 1,
+                });
+            }
+        });
+        let mut s1 = TcpStream::connect(gw.addr()).unwrap();
+        s1.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        s1.write_all(b"GET /v1/watch?q=x HTTP/1.1\r\n\r\n").unwrap();
+        let mut reader = BufReader::new(s1.try_clone().unwrap());
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            if line.starts_with("data: ") {
+                break; // stream 1 is fully open and counted
+            }
+        }
+        let resp = roundtrip(
+            gw.addr(),
+            "GET /v1/watch?q=x HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 503 "), "{resp}");
+        // One-shot endpoints still get the remaining worker.
+        let resp = roundtrip(
+            gw.addr(),
+            "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 200 "), "{resp}");
+    }
+
+    #[test]
+    fn bad_requests_answer_4xx() {
+        let gw = test_gateway(|_req, _reply| {});
+        let resp = roundtrip(
+            gw.addr(),
+            "GET /v1/query HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 400 "), "{resp}");
+        let resp = roundtrip(gw.addr(), "GET /nope HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 404 "), "{resp}");
+        let resp = roundtrip(
+            gw.addr(),
+            "DELETE /v1/query HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 405 "), "{resp}");
+        let resp = roundtrip(
+            gw.addr(),
+            "GET /v1/watch?q=x&policy=sometimes HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 400 "), "{resp}");
+        assert_eq!(gw.stats().errors.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn keep_alive_serves_sequential_requests_on_one_connection() {
+        let gw = test_gateway(|req, reply| {
+            if let GwRequest::Health = req {
+                let _ = reply.send(GwReply::Health {
+                    node: 0,
+                    members: 3,
+                    alive: 3,
+                });
+            }
+        });
+        let mut s = TcpStream::connect(gw.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut reader = BufReader::new(s.try_clone().unwrap());
+        for _ in 0..3 {
+            s.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert_eq!(line, "HTTP/1.1 200 OK\r\n");
+            // Drain headers + body by Content-Length.
+            let mut len = 0usize;
+            loop {
+                let mut l = String::new();
+                reader.read_line(&mut l).unwrap();
+                if let Some(v) = l.to_ascii_lowercase().strip_prefix("content-length:") {
+                    len = v.trim().parse().unwrap();
+                }
+                if l == "\r\n" {
+                    break;
+                }
+            }
+            let mut body = vec![0u8; len];
+            reader.read_exact(&mut body).unwrap();
+            assert!(String::from_utf8(body).unwrap().contains("\"alive\":3"));
+        }
+        assert_eq!(gw.stats().health_checks.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn stop_refuses_new_connections() {
+        let gw = test_gateway(|_req, _reply| {});
+        gw.stop();
+        std::thread::sleep(Duration::from_millis(100));
+        // The acceptor has exited; a fresh connection is never served.
+        let mut s = match TcpStream::connect(gw.addr()) {
+            Ok(s) => s,
+            Err(_) => return, // listener already closed: also fine
+        };
+        let _ = s.write_all(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+        s.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        let mut out = String::new();
+        let _ = s.read_to_string(&mut out);
+        assert!(
+            out.is_empty() || out.starts_with("HTTP/1.1 503"),
+            "stopped gateway must not serve: {out}"
+        );
+    }
+
+    #[test]
+    fn head_and_options_serve_probes() {
+        let gw = test_gateway(|req, reply| {
+            if let GwRequest::Health = req {
+                let _ = reply.send(GwReply::Health {
+                    node: 0,
+                    members: 3,
+                    alive: 3,
+                });
+            }
+        });
+        // HEAD /healthz: GET's headers (Content-Length included), no body.
+        let resp = roundtrip(
+            gw.addr(),
+            "HEAD /healthz HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 200 OK\r\n"), "{resp}");
+        assert!(resp.contains("Content-Length:"), "{resp}");
+        assert!(resp.ends_with("\r\n\r\n"), "no body after headers: {resp}");
+        // OPTIONS: 200 with the allowed-methods surface.
+        let resp = roundtrip(
+            gw.addr(),
+            "OPTIONS /healthz HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 200 "), "{resp}");
+        assert!(resp.contains("Allow: GET, HEAD, POST, OPTIONS"), "{resp}");
+        // HEAD cannot open a stream; the 405 points at GET.
+        let resp = roundtrip(
+            gw.addr(),
+            "HEAD /v1/watch?q=x HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 405 "), "{resp}");
+        assert!(resp.contains("Allow: GET\r\n"), "{resp}");
+    }
+
+    #[test]
+    fn attr_bodies_parse_form_comma_and_literal_comma_values() {
+        let ok = |body: &str| parse_attr_body(body).unwrap();
+        assert_eq!(
+            ok("A=1&B=two"),
+            vec![("A".into(), "1".into()), ("B".into(), "two".into())]
+        );
+        assert_eq!(
+            ok("A=1,B=two"),
+            vec![("A".into(), "1".into()), ("B".into(), "two".into())]
+        );
+        // A single form pair whose value holds a comma must survive.
+        assert_eq!(ok("note=a,b"), vec![("note".into(), "a,b".into())]);
+        // Encoded commas are always literal.
+        assert_eq!(ok("note=a%2Cb"), vec![("note".into(), "a,b".into())]);
+        // Form syntax keeps commas literal even with multiple pairs.
+        assert_eq!(
+            ok("A=1,2&B=3"),
+            vec![("A".into(), "1,2".into()), ("B".into(), "3".into())]
+        );
+        assert!(parse_attr_body("justnonsense").is_err());
+        assert!(parse_attr_body("=v&A=1").is_err());
+    }
+
+    #[test]
+    fn policy_parser_covers_all_spellings() {
+        assert_eq!(parse_policy("on-change"), Ok(WatchPolicy::OnChange));
+        assert_eq!(parse_policy("period:250"), Ok(WatchPolicy::PeriodMs(250)));
+        assert_eq!(
+            parse_policy("threshold:2.5"),
+            Ok(WatchPolicy::Threshold(2.5))
+        );
+        assert!(parse_policy("period:0").is_err());
+        assert!(parse_policy("period:x").is_err());
+        assert!(parse_policy("threshold:NaN").is_err());
+        assert!(parse_policy("whenever").is_err());
+    }
+}

@@ -190,6 +190,21 @@ impl SwimDetector {
         self.peers.get(&node)
     }
 
+    /// How many peers this detector currently believes alive, suspects,
+    /// and has confirmed dead, in that order (the `/metrics` liveness
+    /// gauges; excludes this node itself).
+    pub fn state_counts(&self) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for (_, p) in self.peers() {
+            match p.state {
+                PeerState::Alive => counts.0 += 1,
+                PeerState::Suspect => counts.1 += 1,
+                PeerState::Dead => counts.2 += 1,
+            }
+        }
+        counts
+    }
+
     /// Peers currently confirmed dead.
     pub fn confirmed_dead(&self) -> Vec<NodeId> {
         self.peers

@@ -99,6 +99,23 @@ impl Stats {
         self.sent_bytes.iter().sum()
     }
 
+    /// Total messages received across all nodes.
+    pub fn total_recv_messages(&self) -> u64 {
+        self.recv_msgs.iter().sum()
+    }
+
+    /// Total bytes received across all nodes.
+    pub fn total_recv_bytes(&self) -> u64 {
+        self.recv_bytes.iter().sum()
+    }
+
+    /// All named experiment counters, unordered — the observability
+    /// plane's bulk export (`/metrics` snapshots every counter without
+    /// naming each one).
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
     /// Messages sent by a single node.
     pub fn sent_by(&self, id: NodeId) -> u64 {
         self.sent_msgs.get(id.index()).copied().unwrap_or(0)

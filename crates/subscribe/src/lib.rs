@@ -416,7 +416,7 @@ impl WatchState {
             // Periodic emission is timer-driven (`emit_snapshot`).
             DeliveryPolicy::Periodic(_) => false,
             DeliveryPolicy::Threshold { value } => {
-                let side = result.as_f64().map(|v| v >= value);
+                let side = threshold_side(&result, value);
                 let crossed = side.is_some() && side != self.threshold_side;
                 if side.is_some() {
                     self.threshold_side = side;
@@ -441,7 +441,7 @@ impl WatchState {
 
     fn emit_first(&mut self, now: SimTime, result: AggResult) {
         if let DeliveryPolicy::Threshold { value } = self.spec.policy {
-            self.threshold_side = result.as_f64().map(|v| v >= value);
+            self.threshold_side = threshold_side(&result, value);
         }
         self.push_update(now, result, true);
     }
@@ -468,6 +468,18 @@ impl WatchState {
     /// Drains pending client-visible updates.
     pub fn take_updates(&mut self) -> Vec<SubUpdate> {
         self.updates.drain(..).collect()
+    }
+}
+
+/// Which side of a threshold a result sits on. An [`AggResult::Empty`]
+/// result sits *below* any threshold — a watched group that empties out
+/// is the severest under-threshold case and must still alert; only
+/// genuinely non-numeric results (lists, histograms) have no side.
+fn threshold_side(result: &AggResult, value: f64) -> Option<bool> {
+    match result.as_f64() {
+        Some(v) => Some(v >= value),
+        None if *result == AggResult::Empty => Some(false),
+        None => None,
     }
 }
 
@@ -620,6 +632,37 @@ mod tests {
         assert_eq!(w.take_updates().len(), 1);
         w.note_root("A=true", 4, AggState::Count(2));
         w.maybe_emit(t(4)); // crossed down
+        assert_eq!(w.take_updates().len(), 1);
+    }
+
+    /// The severest downward crossing: the watched group empties out
+    /// entirely. For kinds like `avg`/`min`/`max`/`std` that finalizes
+    /// to `AggResult::Empty` — no numeric value at all — and that must
+    /// alert like any other drop below the threshold; the return of a
+    /// numeric value above it must alert again.
+    #[test]
+    fn watch_threshold_alerts_when_the_group_empties() {
+        let mut s = spec(DeliveryPolicy::Threshold { value: 5.0 });
+        s.query = Query::new(
+            Some("V".into()),
+            AggKind::Avg,
+            Predicate::atom("A", moara_query::CmpOp::Eq, true),
+        );
+        let mut w = WatchState::new(s, vec![("A=true".into(), Id(1))]);
+        let avg = |sum: f64, count: u64| AggState::Avg { sum, count };
+        w.note_root("A=true", 1, avg(12.0, 2));
+        w.maybe_emit(t(1)); // initial: avg 6.0, above
+        assert_eq!(w.take_updates().len(), 1);
+        w.note_root("A=true", 2, AggState::Null);
+        w.maybe_emit(t(2)); // everyone left: Empty = below, must alert
+        let ups = w.take_updates();
+        assert_eq!(ups.len(), 1, "emptying out crosses the threshold");
+        assert_eq!(ups[0].result, AggResult::Empty);
+        w.note_root("A=true", 3, AggState::Null);
+        w.maybe_emit(t(3)); // still empty: silent
+        assert!(w.take_updates().is_empty());
+        w.note_root("A=true", 4, avg(14.0, 2));
+        w.maybe_emit(t(4)); // back above
         assert_eq!(w.take_updates().len(), 1);
     }
 

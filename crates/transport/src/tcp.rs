@@ -243,6 +243,15 @@ impl<M: Message + Wire> TcpCore<M> {
                 None => match TcpStream::connect_timeout(&addr, self.cfg.connect_timeout) {
                     Ok(c) => {
                         let _ = c.set_nodelay(true);
+                        // Fresh outbound connections are worth counting:
+                        // steady state reuses the pool, so `tcp_connects`
+                        // growth means peers restarting or sockets dying.
+                        // Re-establishment after a failed write/attempt is
+                        // the sharper signal (`tcp_reconnects`).
+                        self.stats.bump("tcp_connects", 1);
+                        if attempt > 0 || streak > 0 {
+                            self.stats.bump("tcp_reconnects", 1);
+                        }
                         c
                     }
                     Err(_) => continue,
