@@ -11,6 +11,12 @@
 //! `--smoke` shrinks the workload for CI, where this binary doubles as an
 //! executable regression gate: it exits nonzero unless the cache saves at
 //! least 30% of total messages with no latency regression.
+//!
+//! A third run repeats the cache-on workload with distributed tracing
+//! sampling every query. Trace contexts piggyback on protocol messages
+//! (see `docs/observability.md`), so the gate also fails if tracing adds
+//! more than 5% to total messages or mean latency — the observability
+//! plane must be close to free.
 
 use moara_bench::harness::mean;
 use moara_bench::{full_scale, scaled, BenchReport};
@@ -36,6 +42,7 @@ struct Workload {
 
 struct RunResult {
     total_messages: u64,
+    total_bytes: u64,
     probes: u64,
     cache_hits: u64,
     coalesced: u64,
@@ -45,13 +52,14 @@ struct RunResult {
     answers: Vec<String>,
 }
 
-fn build(w: &Workload, policy: ProbeCachePolicy) -> Cluster {
+fn build(w: &Workload, policy: ProbeCachePolicy, trace_sample: u64) -> Cluster {
     let cfg = MoaraConfig::default().with_probe_cache(policy);
     let mut cluster = Cluster::builder()
         .nodes(w.nodes)
         .seed(SEED)
         .latency(Constant::from_millis(1))
         .config(cfg)
+        .tracing(trace_sample)
         .build();
     let mut rng = StdRng::seed_from_u64(SEED ^ 0x51ed);
     let all: Vec<NodeId> = (0..w.nodes as u32).map(NodeId).collect();
@@ -80,8 +88,8 @@ fn query_text(w: &Workload, i: usize) -> String {
     )
 }
 
-fn run(w: &Workload, policy: ProbeCachePolicy) -> RunResult {
-    let mut cluster = build(w, policy);
+fn run(w: &Workload, policy: ProbeCachePolicy, trace_sample: u64) -> RunResult {
+    let mut cluster = build(w, policy, trace_sample);
     // Warm-up: one round builds and prunes the group trees, so the
     // measurement below sees the steady state the workload is about —
     // heavy *repeated* traffic (cold-start costs are identical in both
@@ -125,6 +133,7 @@ fn run(w: &Workload, policy: ProbeCachePolicy) -> RunResult {
     let stats = cluster.stats();
     RunResult {
         total_messages: stats.total_messages(),
+        total_bytes: stats.total_bytes(),
         probes: stats.counter("size_probes"),
         cache_hits: stats.counter("probe_cache_hits"),
         coalesced: stats.counter("probes_coalesced"),
@@ -162,11 +171,16 @@ fn main() {
         w.nodes, w.groups, w.group_size
     );
 
-    let off = run(&w, ProbeCachePolicy::Off);
-    let on = run(&w, ProbeCachePolicy::default_cache());
+    let off = run(&w, ProbeCachePolicy::Off, 0);
+    let on = run(&w, ProbeCachePolicy::default_cache(), 0);
+    let traced = run(&w, ProbeCachePolicy::default_cache(), 1);
     assert_eq!(
         off.answers, on.answers,
         "probe caching must never change query answers"
+    );
+    assert_eq!(
+        on.answers, traced.answers,
+        "tracing must never change query answers"
     );
 
     println!(
@@ -180,7 +194,7 @@ fn main() {
         "msgs/query",
         "latency (ms)"
     );
-    for (label, r) in [("off", &off), ("on", &on)] {
+    for (label, r) in [("off", &off), ("on", &on), ("on + tracing", &traced)] {
         println!(
             "{:>14} {:>12} {:>10} {:>10} {:>10} {:>10} {:>14.1} {:>14.2}",
             label,
@@ -203,8 +217,23 @@ fn main() {
          latency {lat_delta_pct:+.1}% vs cache-off"
     );
 
+    // Tracing overhead: trace contexts ride inside existing protocol
+    // messages, so the message count should be flat; the wire grows by
+    // the context bytes. Both are reported, messages and latency gated.
+    let trace_msg_pct = 100.0 * (traced.total_messages as f64 - on.total_messages as f64)
+        / on.total_messages.max(1) as f64;
+    let trace_lat_pct =
+        100.0 * (traced.mean_latency_ms - on.mean_latency_ms) / on.mean_latency_ms.max(1e-9);
+    let trace_bytes_pct =
+        100.0 * (traced.total_bytes as f64 - on.total_bytes as f64) / on.total_bytes.max(1) as f64;
+    println!(
+        "tracing every query: messages {trace_msg_pct:+.1}%, \
+         latency {trace_lat_pct:+.1}%, wire bytes {trace_bytes_pct:+.1}% vs tracing-off"
+    );
+
     // Executable acceptance gate (run by CI in --smoke mode): ≥30% fewer
-    // total messages and no latency regression.
+    // total messages and no latency regression from the cache, and ≤5%
+    // message/latency overhead from always-on tracing.
     let mut failed = false;
     if saved_pct < 30.0 {
         eprintln!("FAIL: expected >=30% message savings, got {saved_pct:.1}%");
@@ -215,6 +244,14 @@ fn main() {
             "FAIL: latency regression: {:.2} ms (on) vs {:.2} ms (off)",
             on.mean_latency_ms, off.mean_latency_ms
         );
+        failed = true;
+    }
+    if trace_msg_pct > 5.0 {
+        eprintln!("FAIL: tracing added {trace_msg_pct:.1}% messages (gate: 5%)");
+        failed = true;
+    }
+    if trace_lat_pct > 5.0 {
+        eprintln!("FAIL: tracing added {trace_lat_pct:.1}% latency (gate: 5%)");
         failed = true;
     }
 
@@ -247,12 +284,20 @@ fn main() {
         .field("saved_messages", saved)
         .field("saved_pct", saved_pct)
         .field("latency_delta_pct", lat_delta_pct)
+        .field("traced_messages", traced.total_messages)
+        .field("trace_msg_overhead_pct", trace_msg_pct)
+        .field("trace_latency_overhead_pct", trace_lat_pct)
+        .field("trace_bytes_overhead_pct", trace_bytes_pct)
         .field("gate_min_saved_pct", 30.0)
+        .field("gate_max_trace_overhead_pct", 5.0)
         .field("gate_passed", !failed)
         .write();
 
     if failed {
         std::process::exit(1);
     }
-    println!("PASS: >=30% message savings with no latency regression");
+    println!(
+        "PASS: >=30% message savings with no latency regression; \
+         tracing overhead within 5%"
+    );
 }

@@ -21,6 +21,7 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -28,6 +29,7 @@ use rand::{Rng, SeedableRng};
 use moara_dht::{Id, Ring, TreeTopology};
 use moara_query::{parse_query, ParseError, Query, SimplePredicate};
 use moara_simnet::{latency, LatencyModel, NodeId, SimDuration, SimTime, Stats};
+use moara_trace::SpanStore;
 use moara_transport::{SimTransport, TcpConfig, TcpTransport, Transport};
 
 use crate::config::MoaraConfig;
@@ -204,6 +206,7 @@ pub struct ClusterBuilder {
     cfg: MoaraConfig,
     seed: u64,
     latency: Box<dyn LatencyModel>,
+    trace_sample: u64,
 }
 
 impl ClusterBuilder {
@@ -233,6 +236,16 @@ impl ClusterBuilder {
         self
     }
 
+    /// Enables distributed tracing: every node records phase spans into
+    /// one shared [`SpanStore`], sampling one query in `sample_every`
+    /// (1 = every query, 0 = off). Because the store is shared, a
+    /// cluster-wide merged span tree needs no scatter-gather here —
+    /// exactly the merged view the daemons assemble over control sockets.
+    pub fn tracing(mut self, sample_every: u64) -> ClusterBuilder {
+        self.trace_sample = sample_every;
+        self
+    }
+
     /// Common setup: overlay ring, id shuffle, directory, node states.
     fn prepare(&mut self) -> (Directory, StdRng) {
         assert!(self.n > 0, "cluster needs at least one node");
@@ -253,16 +266,23 @@ impl ClusterBuilder {
     /// backend; all paper experiments run here).
     pub fn build(mut self) -> Cluster {
         let (dir, rng) = self.prepare();
+        let tracer = (self.trace_sample > 0)
+            .then(|| Arc::new(SpanStore::new(TRACE_STORE_CAP, self.trace_sample)));
         let mut transport: SimTransport<MoaraNode> =
             SimTransport::new(self.latency, self.seed.wrapping_add(1));
         for _ in 0..self.n {
-            transport.add_node(MoaraNode::new(dir.clone(), self.cfg.clone()));
+            let mut node = MoaraNode::new(dir.clone(), self.cfg.clone());
+            if let Some(t) = &tracer {
+                node.set_tracer(t.clone());
+            }
+            transport.add_node(node);
         }
         Cluster {
             transport,
             dir,
             cfg: self.cfg,
             rng,
+            tracer,
         }
     }
 
@@ -273,18 +293,28 @@ impl ClusterBuilder {
     pub fn build_tcp(self, tcp: TcpConfig) -> Cluster<TcpTransport<MoaraNode>> {
         let mut this = self;
         let (dir, rng) = this.prepare();
+        let tracer = (this.trace_sample > 0)
+            .then(|| Arc::new(SpanStore::new(TRACE_STORE_CAP, this.trace_sample)));
         let mut transport: TcpTransport<MoaraNode> = TcpTransport::new(tcp);
         for _ in 0..this.n {
-            transport.add_node(MoaraNode::new(dir.clone(), this.cfg.clone()));
+            let mut node = MoaraNode::new(dir.clone(), this.cfg.clone());
+            if let Some(t) = &tracer {
+                node.set_tracer(t.clone());
+            }
+            transport.add_node(node);
         }
         Cluster {
             transport,
             dir,
             cfg: this.cfg,
             rng,
+            tracer,
         }
     }
 }
+
+/// Span capacity of the harness-attached store (shared by all nodes).
+const TRACE_STORE_CAP: usize = 65_536;
 
 /// A running Moara deployment over some [`Transport`] backend.
 ///
@@ -296,6 +326,8 @@ pub struct Cluster<T: Transport<MoaraNode> = SimTransport<MoaraNode>> {
     dir: Directory,
     cfg: MoaraConfig,
     rng: StdRng,
+    /// The shared span store when built with [`ClusterBuilder::tracing`].
+    tracer: Option<Arc<SpanStore>>,
 }
 
 impl Cluster {
@@ -307,6 +339,7 @@ impl Cluster {
             cfg: MoaraConfig::default(),
             seed: 42,
             latency: Box::new(latency::Constant::from_millis(1)),
+            trace_sample: 0,
         }
     }
 
@@ -381,6 +414,12 @@ impl<T: Transport<MoaraNode>> Cluster<T> {
     /// The transport backend (e.g. to reach TCP-specific accessors).
     pub fn transport(&self) -> &T {
         &self.transport
+    }
+
+    /// The cluster-wide span store, when tracing was enabled at build
+    /// time ([`ClusterBuilder::tracing`]).
+    pub fn tracer(&self) -> Option<&Arc<SpanStore>> {
+        self.tracer.as_ref()
     }
 
     /// Current time on the transport's clock (virtual under simulation,
@@ -584,6 +623,9 @@ impl<T: Transport<MoaraNode>> Cluster<T> {
         let node = NodeId(self.transport.len() as u32);
         self.dir.add_member(id, node);
         let mut moara = MoaraNode::new(self.dir.clone(), self.cfg.clone());
+        if let Some(t) = &self.tracer {
+            moara.set_tracer(t.clone());
+        }
         for (a, v) in attrs {
             moara.store.set(a.as_str(), v);
         }

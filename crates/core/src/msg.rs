@@ -5,6 +5,7 @@ use moara_dht::Id;
 use moara_query::Query;
 use moara_simnet::{Message, NodeId};
 use moara_subscribe::{SubId, SubSpec};
+use moara_trace::TraceCtx;
 use moara_wire::{Wire, WireError};
 
 /// Identifies one end-to-end query issued by a front-end: (origin node,
@@ -53,6 +54,9 @@ pub enum MoaraMsg {
         query: Query,
         /// Where the receiver should send its aggregated reply.
         reply_to: NodeId,
+        /// Tracing context: the sender-side span that forwarded this
+        /// sub-query (absent when the query is unsampled).
+        trace: Option<TraceCtx>,
     },
     /// A (partial) aggregate flowing back up.
     QueryReply {
@@ -67,6 +71,8 @@ pub enum MoaraMsg {
         np: u64,
         /// False if some branch timed out or failed below the replier.
         complete: bool,
+        /// Tracing context: the replier's fold span.
+        trace: Option<TraceCtx>,
     },
     /// PRUNE / NO-PRUNE status update to a tree parent (Sections 4 and 5).
     Status {
@@ -94,6 +100,8 @@ pub enum MoaraMsg {
         pred_key: PredKey,
         /// Who to answer.
         reply_to: NodeId,
+        /// Tracing context: the front-end's probe span.
+        trace: Option<TraceCtx>,
     },
     /// Root's answer to a [`MoaraMsg::SizeProbe`].
     SizeReply {
@@ -103,6 +111,8 @@ pub enum MoaraMsg {
         pred_key: PredKey,
         /// Estimated messages to query this tree once (`2 × np`).
         cost: u64,
+        /// Tracing context: the root's probe-answer span.
+        trace: Option<TraceCtx>,
     },
     /// Several messages coalesced into one frame because they leave the
     /// same node toward the same next hop (the scheduler's batched
@@ -145,6 +155,9 @@ pub enum MoaraMsg {
         seq: u64,
         /// The sender's new subtree partial aggregate.
         state: AggState,
+        /// Tracing context: the sender's push span (a fresh trace at the
+        /// delta's origin, continued hop by hop toward the front-end).
+        trace: Option<TraceCtx>,
     },
     /// Lease renewal, traveling the same path as the install. Carries the
     /// forwarding hop's highest-seen delta sequence for the receiver, so
@@ -251,6 +264,7 @@ fn decode_at(buf: &mut &[u8], depth: usize) -> Result<MoaraMsg, WireError> {
             tree: Wire::decode(buf)?,
             query: Wire::decode(buf)?,
             reply_to: Wire::decode(buf)?,
+            trace: Wire::decode(buf)?,
         },
         2 => MoaraMsg::QueryReply {
             qid: Wire::decode(buf)?,
@@ -258,6 +272,7 @@ fn decode_at(buf: &mut &[u8], depth: usize) -> Result<MoaraMsg, WireError> {
             state: Wire::decode(buf)?,
             np: Wire::decode(buf)?,
             complete: Wire::decode(buf)?,
+            trace: Wire::decode(buf)?,
         },
         3 => MoaraMsg::Status {
             pred_key: Wire::decode(buf)?,
@@ -271,11 +286,13 @@ fn decode_at(buf: &mut &[u8], depth: usize) -> Result<MoaraMsg, WireError> {
             qid: Wire::decode(buf)?,
             pred_key: Wire::decode(buf)?,
             reply_to: Wire::decode(buf)?,
+            trace: Wire::decode(buf)?,
         },
         5 => MoaraMsg::SizeReply {
             qid: Wire::decode(buf)?,
             pred_key: Wire::decode(buf)?,
             cost: Wire::decode(buf)?,
+            trace: Wire::decode(buf)?,
         },
         6 => {
             // Batches share the Route depth budget: the engine never
@@ -302,6 +319,7 @@ fn decode_at(buf: &mut &[u8], depth: usize) -> Result<MoaraMsg, WireError> {
             pred_key: Wire::decode(buf)?,
             seq: Wire::decode(buf)?,
             state: Wire::decode(buf)?,
+            trace: Wire::decode(buf)?,
         },
         9 => MoaraMsg::SubRenew {
             sid: Wire::decode(buf)?,
@@ -332,6 +350,7 @@ impl Wire for MoaraMsg {
                 tree,
                 query,
                 reply_to,
+                trace,
             } => {
                 out.push(1);
                 qid.encode(out);
@@ -340,6 +359,7 @@ impl Wire for MoaraMsg {
                 tree.encode(out);
                 query.encode(out);
                 reply_to.encode(out);
+                trace.encode(out);
             }
             MoaraMsg::QueryReply {
                 qid,
@@ -347,6 +367,7 @@ impl Wire for MoaraMsg {
                 state,
                 np,
                 complete,
+                trace,
             } => {
                 out.push(2);
                 qid.encode(out);
@@ -354,6 +375,7 @@ impl Wire for MoaraMsg {
                 state.encode(out);
                 np.encode(out);
                 complete.encode(out);
+                trace.encode(out);
             }
             MoaraMsg::Status {
                 pred_key,
@@ -375,21 +397,25 @@ impl Wire for MoaraMsg {
                 qid,
                 pred_key,
                 reply_to,
+                trace,
             } => {
                 out.push(4);
                 qid.encode(out);
                 pred_key.encode(out);
                 reply_to.encode(out);
+                trace.encode(out);
             }
             MoaraMsg::SizeReply {
                 qid,
                 pred_key,
                 cost,
+                trace,
             } => {
                 out.push(5);
                 qid.encode(out);
                 pred_key.encode(out);
                 cost.encode(out);
+                trace.encode(out);
             }
             MoaraMsg::Batch { items } => {
                 out.push(6);
@@ -415,12 +441,14 @@ impl Wire for MoaraMsg {
                 pred_key,
                 seq,
                 state,
+                trace,
             } => {
                 out.push(8);
                 sid.encode(out);
                 pred_key.encode(out);
                 seq.encode(out);
                 state.encode(out);
+                trace.encode(out);
             }
             MoaraMsg::SubRenew {
                 sid,
@@ -456,6 +484,7 @@ impl Wire for MoaraMsg {
                 tree,
                 query,
                 reply_to,
+                trace,
             } => {
                 qid.encoded_len()
                     + seq.encoded_len()
@@ -463,6 +492,7 @@ impl Wire for MoaraMsg {
                     + tree.encoded_len()
                     + query.encoded_len()
                     + reply_to.encoded_len()
+                    + trace.encoded_len()
             }
             MoaraMsg::QueryReply {
                 qid,
@@ -470,12 +500,14 @@ impl Wire for MoaraMsg {
                 state,
                 np,
                 complete,
+                trace,
             } => {
                 qid.encoded_len()
                     + pred_key.encoded_len()
                     + state.encoded_len()
                     + np.encoded_len()
                     + complete.encoded_len()
+                    + trace.encoded_len()
             }
             MoaraMsg::Status {
                 pred_key,
@@ -496,12 +528,24 @@ impl Wire for MoaraMsg {
                 qid,
                 pred_key,
                 reply_to,
-            } => qid.encoded_len() + pred_key.encoded_len() + reply_to.encoded_len(),
+                trace,
+            } => {
+                qid.encoded_len()
+                    + pred_key.encoded_len()
+                    + reply_to.encoded_len()
+                    + trace.encoded_len()
+            }
             MoaraMsg::SizeReply {
                 qid,
                 pred_key,
                 cost,
-            } => qid.encoded_len() + pred_key.encoded_len() + cost.encoded_len(),
+                trace,
+            } => {
+                qid.encoded_len()
+                    + pred_key.encoded_len()
+                    + cost.encoded_len()
+                    + trace.encoded_len()
+            }
             MoaraMsg::Batch { items } => 4 + items.iter().map(Wire::encoded_len).sum::<usize>(),
             MoaraMsg::Subscribe {
                 spec,
@@ -514,8 +558,13 @@ impl Wire for MoaraMsg {
                 pred_key,
                 seq,
                 state,
+                trace,
             } => {
-                sid.encoded_len() + pred_key.encoded_len() + seq.encoded_len() + state.encoded_len()
+                sid.encoded_len()
+                    + pred_key.encoded_len()
+                    + seq.encoded_len()
+                    + state.encoded_len()
+                    + trace.encoded_len()
             }
             MoaraMsg::SubRenew { sid, pred_key, .. } => {
                 sid.encoded_len() + pred_key.encoded_len() + 16
@@ -560,6 +609,7 @@ mod tests {
             tree: Id(0),
             query: q,
             reply_to: NodeId(0),
+            trace: None,
         };
         let routed = MoaraMsg::Route {
             key: Id(1),
@@ -598,6 +648,7 @@ mod tests {
                 qid: probe_qid,
                 pred_key: "CPU-Util<50".into(),
                 reply_to: NodeId(3),
+                trace: None,
             }),
         };
         let payload = msg.to_bytes();
@@ -611,6 +662,7 @@ mod tests {
             qid: probe_qid,
             pred_key: "CPU-Util<50".into(),
             reply_to: NodeId(3),
+            trace: None,
         };
         assert_eq!(msg.encoded_len(), 1 + 8 + inner.encoded_len());
     }
@@ -631,6 +683,7 @@ mod tests {
                 qid: q,
                 pred_key: key.into(),
                 reply_to: NodeId(2),
+                trace: None,
             }),
         };
         let uniform = MoaraMsg::Batch {
@@ -666,6 +719,160 @@ mod tests {
     }
 
     #[test]
+    fn traced_variants_roundtrip_and_survive_truncation() {
+        let qid = QueryId {
+            origin: NodeId(1),
+            n: 4,
+        };
+        let ctx = TraceCtx {
+            trace_id: qid.tag(),
+            span_id: 0x2_0000_0001,
+            parent_span_id: 0x1_0000_0000,
+            flags: moara_trace::FLAG_SAMPLED,
+        };
+        let q = Query::new(None, AggKind::Count, Predicate::All);
+        let traced: Vec<MoaraMsg> = vec![
+            MoaraMsg::QueryDown {
+                qid,
+                seq: 3,
+                pred_key: "A=true".into(),
+                tree: Id(9),
+                query: q,
+                reply_to: NodeId(1),
+                trace: Some(ctx),
+            },
+            MoaraMsg::QueryReply {
+                qid,
+                pred_key: "A=true".into(),
+                state: AggState::Count(2),
+                np: 1,
+                complete: true,
+                trace: Some(ctx),
+            },
+            MoaraMsg::SizeProbe {
+                qid,
+                pred_key: "A=true".into(),
+                reply_to: NodeId(1),
+                trace: Some(ctx),
+            },
+            MoaraMsg::SizeReply {
+                qid,
+                pred_key: "A=true".into(),
+                cost: 8,
+                trace: Some(ctx),
+            },
+            MoaraMsg::SubDelta {
+                sid: SubId {
+                    origin: NodeId(1),
+                    n: 2,
+                },
+                pred_key: "A=true".into(),
+                seq: 5,
+                state: AggState::Count(1),
+                trace: Some(ctx),
+            },
+        ];
+        for msg in traced {
+            let bytes = msg.to_bytes();
+            assert_eq!(bytes.len(), msg.encoded_len(), "{msg:?}");
+            assert_eq!(MoaraMsg::from_bytes(&bytes).unwrap(), msg);
+            // Every truncated prefix errors instead of panicking (frames
+            // arrive from untrusted sockets).
+            for cut in 0..bytes.len() {
+                assert!(MoaraMsg::from_bytes(&bytes[..cut]).is_err(), "cut={cut}");
+            }
+            // A present context costs exactly its 25 bytes over absent.
+            let untraced = match MoaraMsg::from_bytes(&bytes).unwrap() {
+                MoaraMsg::QueryDown {
+                    trace: _,
+                    qid,
+                    seq,
+                    pred_key,
+                    tree,
+                    query,
+                    reply_to,
+                } => MoaraMsg::QueryDown {
+                    trace: None,
+                    qid,
+                    seq,
+                    pred_key,
+                    tree,
+                    query,
+                    reply_to,
+                },
+                MoaraMsg::QueryReply {
+                    trace: _,
+                    qid,
+                    pred_key,
+                    state,
+                    np,
+                    complete,
+                } => MoaraMsg::QueryReply {
+                    trace: None,
+                    qid,
+                    pred_key,
+                    state,
+                    np,
+                    complete,
+                },
+                MoaraMsg::SizeProbe {
+                    trace: _,
+                    qid,
+                    pred_key,
+                    reply_to,
+                } => MoaraMsg::SizeProbe {
+                    trace: None,
+                    qid,
+                    pred_key,
+                    reply_to,
+                },
+                MoaraMsg::SizeReply {
+                    trace: _,
+                    qid,
+                    pred_key,
+                    cost,
+                } => MoaraMsg::SizeReply {
+                    trace: None,
+                    qid,
+                    pred_key,
+                    cost,
+                },
+                MoaraMsg::SubDelta {
+                    trace: _,
+                    sid,
+                    pred_key,
+                    seq,
+                    state,
+                } => MoaraMsg::SubDelta {
+                    trace: None,
+                    sid,
+                    pred_key,
+                    seq,
+                    state,
+                },
+                other => other,
+            };
+            assert_eq!(
+                msg.encoded_len(),
+                untraced.encoded_len() + ctx.encoded_len()
+            );
+        }
+        // A bad option tag on the trace field is rejected.
+        let probe = MoaraMsg::SizeProbe {
+            qid,
+            pred_key: "A".into(),
+            reply_to: NodeId(1),
+            trace: None,
+        };
+        let mut bytes = probe.to_bytes();
+        *bytes.last_mut().unwrap() = 9; // option tag must be 0 or 1
+        assert_eq!(
+            MoaraMsg::from_bytes(&bytes),
+            Err(WireError::Invalid("option tag"))
+        );
+    }
+
+    #[test]
     fn deeply_nested_batch_is_rejected_not_a_stack_overflow() {
         let mut evil = Vec::new();
         for _ in 0..(MAX_ROUTE_DEPTH + 10) {
@@ -697,6 +904,7 @@ mod tests {
             },
             pred_key: "A=1".into(),
             cost: 1,
+            trace: None,
         };
         for i in 0..10 {
             ok = MoaraMsg::Route {

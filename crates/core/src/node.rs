@@ -18,6 +18,7 @@ use moara_dht::Id;
 use moara_query::{Cover, CoverPlan, Query, SimplePredicate};
 use moara_simnet::{NodeId, SimDuration, SimTime, TimerId, TimerTag};
 use moara_subscribe::{DeliveryPolicy, SubEntry, SubId, SubSpec, SubUpdate, WatchState};
+use moara_trace::{Phase, SpanRecord, SpanStore, TraceCtx, NO_PEER, TRACE_NS_SUBDELTA};
 use moara_transport::{NetCtx, NetProtocol};
 
 use crate::cluster::Directory;
@@ -65,6 +66,13 @@ struct Session {
     timer: Option<(TimerId, TimerTag)>,
     tree: Id,
     done: bool,
+    /// This hop's fan-out context (span_id = the fan-out span recorded
+    /// when the sub-query arrived); the fold span parents to it and the
+    /// `QueryReply` carries its descendant upstream.
+    trace: Option<TraceCtx>,
+    /// When the sub-query arrived — the fold span's queue-wait window
+    /// (time spent waiting for children) is measured from here.
+    started_at: SimTime,
 }
 
 enum FrontPhase {
@@ -94,6 +102,13 @@ struct FrontQuery {
     /// lazy cost refresh only while no churn was observed since.
     epoch: u64,
     timer: Option<(TimerId, TimerTag)>,
+    /// The front-end's trace context for this query (span_id = the plan
+    /// span): probes and sub-queries descend from it, and the terminal
+    /// reply span parents to it. `None` when unsampled.
+    trace: Option<TraceCtx>,
+    /// Span ids minted per outstanding probe, so the probe span recorded
+    /// on reply matches the id the probed root parented to.
+    probe_spans: HashMap<PredKey, u64>,
 }
 
 enum TimerEvent {
@@ -145,6 +160,14 @@ pub struct MoaraNode {
     next_watch: u64,
     next_sub: u64,
     next_tag: u64,
+    /// Span sink, when the host (daemon or cluster harness) attached one.
+    tracer: Option<Arc<SpanStore>>,
+    /// The trace context of the `SubDelta` currently being handled —
+    /// implicit causal propagation: a push triggered while folding an
+    /// incoming delta chains to it instead of starting a fresh trace.
+    delta_ctx: Option<TraceCtx>,
+    /// Counter for delta-push trace ids minted at this node.
+    next_delta_trace: u64,
 }
 
 impl MoaraNode {
@@ -173,7 +196,64 @@ impl MoaraNode {
             next_watch: 0,
             next_sub: 0,
             next_tag: 0,
+            tracer: None,
+            delta_ctx: None,
+            next_delta_trace: 0,
         }
+    }
+
+    /// Attaches a span store: subsequent sampled queries, probes, and
+    /// delta pushes record phase spans there. The store may be shared
+    /// across nodes (cluster harness) or per-daemon.
+    pub fn set_tracer(&mut self, tracer: Arc<SpanStore>) {
+        self.tracer = Some(tracer);
+    }
+
+    /// The attached span store, if any.
+    pub fn tracer(&self) -> Option<&Arc<SpanStore>> {
+        self.tracer.as_ref()
+    }
+
+    /// Records one span under `parent` and returns the descended context
+    /// (`span_id` = the new span) for downstream messages. `None` when
+    /// tracing is off or the parent context is unsampled — callers thread
+    /// the result straight into the wire field.
+    #[allow(clippy::too_many_arguments)]
+    fn trace_span(
+        &self,
+        parent: Option<TraceCtx>,
+        me: NodeId,
+        now: SimTime,
+        phase: Phase,
+        peer: u32,
+        queue_us: u64,
+        service_us: u64,
+        bytes: u64,
+        detail: String,
+    ) -> Option<TraceCtx> {
+        let tracer = self.tracer.as_ref()?;
+        if !tracer.enabled() {
+            return None;
+        }
+        let ctx = parent?;
+        if !ctx.sampled() {
+            return None;
+        }
+        let span_id = tracer.next_span_id(me.0);
+        tracer.record(SpanRecord {
+            trace_id: ctx.trace_id,
+            span_id,
+            parent_span_id: ctx.span_id,
+            node: me.0,
+            phase,
+            peer,
+            start_us: now.as_micros().saturating_sub(queue_us),
+            queue_us,
+            service_us,
+            bytes,
+            detail,
+        });
+        Some(ctx.descend(span_id))
     }
 
     /// Number of probe costs currently cached at this front-end
@@ -205,6 +285,16 @@ impl MoaraNode {
     /// Peeks at a finished query outcome.
     pub fn outcome(&self, front_id: u64) -> Option<&QueryOutcome> {
         self.completed.get(&front_id)
+    }
+
+    /// The sampled trace id of an in-flight front, if tracing picked it
+    /// up. Only valid while the front is alive — callers wanting to
+    /// correlate a query with its trace grab this right after `submit`.
+    pub fn front_trace_id(&self, front_id: u64) -> Option<u64> {
+        self.fronts
+            .get(&front_id)
+            .and_then(|f| f.trace)
+            .map(|t| t.trace_id)
     }
 
     /// Applies the configured garbage-collection policy: NO-UPDATE states
@@ -302,6 +392,41 @@ impl MoaraNode {
                 .map(|cnf| CoverPlan::build(&cnf))
         };
         let kind = query.agg;
+        // Parse and plan run inline at the front-end; when this query is
+        // sampled, their spans anchor the trace tree (trace id = the
+        // query's wire tag) and every downstream hop parents to the plan
+        // span's id carried in the message contexts.
+        let trace = if self
+            .tracer
+            .as_ref()
+            .is_some_and(|t| t.enabled() && t.sample_root())
+        {
+            let root = Some(TraceCtx::root(qid.tag()));
+            let parsed = self.trace_span(
+                root,
+                ctx.me(),
+                ctx.now(),
+                Phase::Parse,
+                NO_PEER,
+                0,
+                0,
+                0,
+                format!("agg={:?}", kind),
+            );
+            self.trace_span(
+                parsed,
+                ctx.me(),
+                ctx.now(),
+                Phase::Plan,
+                NO_PEER,
+                0,
+                0,
+                0,
+                if plan.is_some() { "cnf" } else { "global" }.to_owned(),
+            )
+        } else {
+            None
+        };
         let mut front = FrontQuery {
             qid,
             query: query.clone(),
@@ -315,6 +440,8 @@ impl MoaraNode {
             issued_at: ctx.now(),
             epoch: self.sched.cache.epoch(),
             timer: None,
+            trace,
+            probe_spans: HashMap::new(),
         };
 
         // Unsatisfiable predicates are detected structurally (Figure 7's
@@ -355,10 +482,22 @@ impl MoaraNode {
                 }
                 front.probes_pending.insert(key.clone());
                 let epoch = self.sched.cache.epoch();
+                // The probe span's id is minted at send but recorded on
+                // reply (its queue-wait is the probe round-trip); the
+                // probed root parents its own span to this id.
+                let probe_trace = match (&self.tracer, front.trace) {
+                    (Some(tr), Some(t)) if tr.enabled() && t.sampled() => {
+                        let sid = tr.next_span_id(me.0);
+                        front.probe_spans.insert(key.clone(), sid);
+                        Some(t.descend(sid))
+                    }
+                    _ => None,
+                };
                 let probe = MoaraMsg::SizeProbe {
                     qid,
                     pred_key: key.clone(),
                     reply_to: me,
+                    trace: probe_trace,
                 };
                 use std::collections::hash_map::Entry;
                 match self.sched.waiters.entry(key) {
@@ -437,6 +576,7 @@ impl MoaraNode {
         };
         let qid = front.qid;
         let query = front.query.clone();
+        let ftrace = front.trace;
         let me = ctx.me();
 
         let subs: Vec<(PredKey, Id)> = match cover {
@@ -468,6 +608,19 @@ impl MoaraNode {
             let t = ctx.set_timer(d, tag);
             self.fronts.get_mut(&front_id).expect("front").timer = Some((t, tag));
         }
+        // One fan-out span at the origin covers the whole sub-query
+        // spray; each tree root's own fan-out span parents to it.
+        let qtrace = self.trace_span(
+            ftrace,
+            me,
+            ctx.now(),
+            Phase::FanOut,
+            NO_PEER,
+            0,
+            0,
+            0,
+            format!("subs={}", subs.len()),
+        );
         let outbound: Vec<(Id, MoaraMsg)> = subs
             .into_iter()
             .map(|(pred_key, tree)| {
@@ -480,6 +633,7 @@ impl MoaraNode {
                         tree,
                         query: (*query).clone(),
                         reply_to: me,
+                        trace: qtrace,
                     },
                 )
             })
@@ -494,10 +648,24 @@ impl MoaraNode {
         if let Some(t) = front.timer {
             self.drop_timer(ctx, t);
         }
+        let complete = front.complete && front.sub_pending.is_empty();
+        // The terminal span: its queue-wait is the query's end-to-end
+        // latency as seen by the front-end.
+        self.trace_span(
+            front.trace,
+            ctx.me(),
+            ctx.now(),
+            Phase::Reply,
+            NO_PEER,
+            ctx.now().duration_since(front.issued_at).as_micros(),
+            0,
+            0,
+            format!("complete={complete}"),
+        );
         let outcome = QueryOutcome {
             qid: front.qid,
             result: front.query.agg.finalize(front.acc),
-            complete: front.complete && front.sub_pending.is_empty(),
+            complete,
             issued_at: front.issued_at,
             completed_at: ctx.now(),
             messages: 0,
@@ -546,6 +714,7 @@ impl MoaraNode {
                 tree,
                 query,
                 reply_to,
+                trace,
                 ..
             } => {
                 // The root stamps the per-tree sequence number (Section 4).
@@ -563,23 +732,14 @@ impl MoaraNode {
                         None => 0,
                     }
                 };
-                self.handle_query_down(ctx, qid, seq, pred_key, tree, query, reply_to);
+                self.handle_query_down(ctx, qid, seq, pred_key, tree, query, reply_to, trace);
             }
             MoaraMsg::SizeProbe {
                 qid,
                 pred_key,
                 reply_to,
-            } => {
-                let cost = self.estimated_query_cost(ctx.me(), &pred_key);
-                ctx.send(
-                    reply_to,
-                    MoaraMsg::SizeReply {
-                        qid,
-                        pred_key,
-                        cost,
-                    },
-                );
-            }
+                trace,
+            } => self.answer_size_probe(ctx, qid, pred_key, reply_to, trace),
             MoaraMsg::Subscribe {
                 spec,
                 pred_key,
@@ -620,6 +780,40 @@ impl MoaraNode {
                 debug_assert!(false, "unexpected routed payload {other:?}");
             }
         }
+    }
+
+    /// Answers a size probe (routed to this root, or a stray direct one):
+    /// the probe span records this hop's view, and the reply carries its
+    /// descendant so the asking front-end can place the round-trip.
+    fn answer_size_probe(
+        &mut self,
+        ctx: &mut dyn NetCtx<MoaraMsg>,
+        qid: QueryId,
+        pred_key: PredKey,
+        reply_to: NodeId,
+        trace: Option<TraceCtx>,
+    ) {
+        let cost = self.estimated_query_cost(ctx.me(), &pred_key);
+        let t = self.trace_span(
+            trace,
+            ctx.me(),
+            ctx.now(),
+            Phase::Probe,
+            reply_to.0,
+            0,
+            0,
+            0,
+            format!("cost={cost}"),
+        );
+        ctx.send(
+            reply_to,
+            MoaraMsg::SizeReply {
+                qid,
+                pred_key,
+                cost,
+                trace: t,
+            },
+        );
     }
 
     /// The root's query-cost estimate: `2 × np`, or twice the system size
@@ -840,6 +1034,7 @@ impl MoaraNode {
         tree: Id,
         query: Query,
         reply_to: NodeId,
+        trace: Option<TraceCtx>,
     ) {
         let me = ctx.me();
         let skey = (qid, pred_key.clone());
@@ -854,6 +1049,7 @@ impl MoaraNode {
                     state: AggState::Null,
                     np: 0,
                     complete: true,
+                    trace,
                 },
             );
             return;
@@ -895,6 +1091,20 @@ impl MoaraNode {
             acc = self.local_contribution(me, &query);
         }
 
+        // This hop's fan-out span: parented to the sender's span carried
+        // on the wire; the outgoing sub-queries and the eventual fold
+        // span both descend from it.
+        let own = self.trace_span(
+            trace,
+            me,
+            ctx.now(),
+            Phase::FanOut,
+            reply_to.0,
+            0,
+            0,
+            0,
+            format!("targets={}", targets.len()),
+        );
         let mut session = Session {
             reply_to,
             pending: targets.iter().copied().collect(),
@@ -904,6 +1114,8 @@ impl MoaraNode {
             timer: None,
             tree,
             done: false,
+            trace: own,
+            started_at: ctx.now(),
         };
         if !targets.is_empty() {
             if let Some(d) = self.cfg.child_timeout {
@@ -923,6 +1135,7 @@ impl MoaraNode {
                     tree,
                     query: query.clone(),
                     reply_to: me,
+                    trace: own,
                 },
             );
         }
@@ -973,6 +1186,8 @@ impl MoaraNode {
         let acc = std::mem::replace(&mut sess.acc, AggState::Null);
         let reply_to = sess.reply_to;
         let tree = sess.tree;
+        let strace = sess.trace;
+        let started_at = sess.started_at;
         if let Some(t) = stale {
             self.drop_timer(ctx, t);
         }
@@ -984,6 +1199,19 @@ impl MoaraNode {
             }
             None => 0,
         };
+        // The fold span's queue-wait is the time this hop sat waiting for
+        // its children before it could merge and answer upstream.
+        let t = self.trace_span(
+            strace,
+            me,
+            ctx.now(),
+            Phase::Fold,
+            reply_to.0,
+            ctx.now().duration_since(started_at).as_micros(),
+            0,
+            0,
+            format!("complete={complete}"),
+        );
         ctx.send(
             reply_to,
             MoaraMsg::QueryReply {
@@ -992,6 +1220,7 @@ impl MoaraNode {
                 state: acc,
                 np,
                 complete,
+                trace: t,
             },
         );
         self.sessions.remove(skey);
@@ -1124,6 +1353,9 @@ impl MoaraNode {
         pred_key: PredKey,
         cost: u64,
     ) {
+        let tracer = self.tracer.clone();
+        let me = ctx.me().0;
+        let now_us = ctx.now().as_micros();
         let Some(wait) = self.sched.waiters.get_mut(&pred_key) else {
             return;
         };
@@ -1147,6 +1379,30 @@ impl MoaraNode {
                 continue;
             }
             front.costs.insert(pred_key.clone(), cost);
+            // The probe span was minted at send; record it now that the
+            // round-trip is known (its queue-wait).
+            if let (Some(tr), Some(t), Some(sid)) = (
+                tracer.as_ref(),
+                front.trace,
+                front.probe_spans.remove(&pred_key),
+            ) {
+                if tr.enabled() && t.sampled() {
+                    let issued = front.issued_at.as_micros();
+                    tr.record(SpanRecord {
+                        trace_id: t.trace_id,
+                        span_id: sid,
+                        parent_span_id: t.span_id,
+                        node: me,
+                        phase: Phase::Probe,
+                        peer: NO_PEER,
+                        start_us: issued,
+                        queue_us: now_us.saturating_sub(issued),
+                        service_us: 0,
+                        bytes: 0,
+                        detail: format!("{pred_key}={cost}"),
+                    });
+                }
+            }
             if front.probes_pending.is_empty() {
                 ready.push(fid);
             }
@@ -1419,10 +1675,44 @@ impl MoaraNode {
             return;
         };
         let to = entry.push_to;
+        // Causal context for this push: the delta being folded right now
+        // (implicit propagation), else a fresh sampled root in the
+        // delta-push trace-id namespace — a local change starting a wave.
+        let parent = match self.delta_ctx {
+            Some(t) => Some(t),
+            None => {
+                let fresh = self
+                    .tracer
+                    .as_ref()
+                    .is_some_and(|t| t.enabled() && t.sample_root());
+                if fresh {
+                    let n = self.next_delta_trace;
+                    self.next_delta_trace += 1;
+                    Some(TraceCtx::root(
+                        TRACE_NS_SUBDELTA | (u64::from(me.0) << 32) | (n & 0xffff_ffff),
+                    ))
+                } else {
+                    None
+                }
+            }
+        };
         if to == me {
             // This node is both the tree root and the subscriber.
+            let prev = std::mem::replace(&mut self.delta_ctx, parent);
             self.deliver_to_watch(ctx, key.0, key.1.clone(), seq, state);
+            self.delta_ctx = prev;
         } else {
+            let t = self.trace_span(
+                parent,
+                me,
+                ctx.now(),
+                Phase::SubDelta,
+                to.0,
+                0,
+                0,
+                0,
+                key.1.clone(),
+            );
             ctx.send(
                 to,
                 MoaraMsg::SubDelta {
@@ -1430,6 +1720,7 @@ impl MoaraNode {
                     pred_key: key.1.clone(),
                     seq,
                     state,
+                    trace: t,
                 },
             );
             ctx.count("sub_deltas");
@@ -1466,6 +1757,19 @@ impl MoaraNode {
             ctx.count("sub_unknown_delta");
             return;
         };
+        // Terminal span of a delta wave: the update reached its watch.
+        let dctx = self.delta_ctx;
+        self.trace_span(
+            dctx,
+            ctx.me(),
+            ctx.now(),
+            Phase::SubDelta,
+            NO_PEER,
+            0,
+            0,
+            0,
+            format!("deliver {pred_key}"),
+        );
         let Some(watch) = self.watches.get_mut(&wid) else {
             return;
         };
@@ -1932,13 +2236,15 @@ impl NetProtocol for MoaraNode {
                 tree,
                 query,
                 reply_to,
-            } => self.handle_query_down(ctx, qid, seq, pred_key, tree, query, reply_to),
+                trace,
+            } => self.handle_query_down(ctx, qid, seq, pred_key, tree, query, reply_to, trace),
             MoaraMsg::QueryReply {
                 qid,
                 pred_key,
                 state,
                 np,
                 complete,
+                trace: _,
             } => self.handle_query_reply(ctx, from, qid, pred_key, state, np, complete),
             MoaraMsg::Status {
                 pred_key,
@@ -1952,23 +2258,17 @@ impl NetProtocol for MoaraNode {
                 qid,
                 pred_key,
                 reply_to,
+                trace,
             } => {
                 // Only roots receive probes (via Route), but handle a
                 // stray direct probe gracefully.
-                let cost = self.estimated_query_cost(ctx.me(), &pred_key);
-                ctx.send(
-                    reply_to,
-                    MoaraMsg::SizeReply {
-                        qid,
-                        pred_key,
-                        cost,
-                    },
-                );
+                self.answer_size_probe(ctx, qid, pred_key, reply_to, trace);
             }
             MoaraMsg::SizeReply {
                 qid,
                 pred_key,
                 cost,
+                trace: _,
             } => {
                 self.handle_size_reply(ctx, qid, pred_key, cost);
             }
@@ -1996,7 +2296,14 @@ impl NetProtocol for MoaraNode {
                 pred_key,
                 seq,
                 state,
-            } => self.handle_sub_delta(ctx, from, sid, pred_key, seq, state),
+                trace,
+            } => {
+                // Implicit causal slot: any push (or watch delivery) this
+                // delta triggers while it is being folded chains to it.
+                self.delta_ctx = trace;
+                self.handle_sub_delta(ctx, from, sid, pred_key, seq, state);
+                self.delta_ctx = None;
+            }
             MoaraMsg::SubRenew {
                 sid,
                 pred_key,

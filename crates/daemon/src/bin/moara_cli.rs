@@ -6,6 +6,8 @@
 //! moara-cli --connect 127.0.0.1:7102 status [--json]
 //! moara-cli --connect 127.0.0.1:7102 watch "SELECT avg(CPU-Util) WHERE ServiceX = true" \
 //!           [--period SECS | --threshold X] [--lease-ms N] [--updates N] [--json]
+//! moara-cli --connect 127.0.0.1:7102 traces [--limit N]
+//! moara-cli --connect 127.0.0.1:7102 trace 0xID
 //! ```
 //!
 //! `watch` installs a standing query (the continuous-query subscription
@@ -14,9 +16,15 @@
 //! delivery is on-change; `--period SECS` switches to periodic snapshots
 //! and `--threshold X` to threshold-crossing alerts.
 //!
+//! `traces` lists the most recent sampled traces known to the daemon;
+//! `trace ID` gathers the span tree for one trace from the whole cluster
+//! and renders it as a text waterfall (unreachable nodes are flagged, so
+//! a partition shows up as a marked-lost subtree instead of a hang).
+//!
 //! `--json` makes `status` and `watch` output machine-readable (one JSON
-//! object per line). Prints results on stdout; exits non-zero on errors
-//! and on incomplete query answers.
+//! object per line); `status --json` includes a `metrics` snapshot of
+//! the daemon's headline counters. Prints results on stdout; exits
+//! non-zero on errors and on incomplete query answers.
 
 use std::io::Write;
 use std::net::TcpStream;
@@ -29,9 +37,10 @@ use moara_simnet::SimDuration;
 use moara_wire::{read_frame, write_msg, Wire};
 
 const USAGE: &str = "usage: moara-cli --connect IP:PORT \
-                     (query TEXT | set k=v | status | watch TEXT) \
+                     (query TEXT | set k=v | status | watch TEXT | \
+                     traces | trace ID) \
                      [--period SECS] [--threshold X] [--lease-ms N] \
-                     [--updates N] [--json] [--timeout SECS]";
+                     [--updates N] [--limit N] [--json] [--timeout SECS]";
 
 fn fail(msg: &str) -> ! {
     eprintln!("moara-cli: {msg}");
@@ -42,6 +51,7 @@ fn fail(msg: &str) -> ! {
 enum Command {
     Simple(CtrlRequest),
     Watch { text: String },
+    Traces,
 }
 
 fn main() {
@@ -53,6 +63,10 @@ fn main() {
     let mut threshold: Option<f64> = None;
     let mut lease_ms: u64 = 30_000;
     let mut max_updates: Option<u64> = None;
+    let mut limit: u32 = 50;
+    // Remembered across the request/reply hop so the waterfall header can
+    // name the trace even when the gather came back empty.
+    let mut trace_id: u64 = 0;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -111,6 +125,18 @@ fn main() {
             }
             "status" => command = Some(Command::Simple(CtrlRequest::Status)),
             "watch" => command = Some(Command::Watch { text: val("watch") }),
+            "--limit" => {
+                limit = val("--limit")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--limit needs a count"));
+            }
+            "traces" => command = Some(Command::Traces),
+            "trace" => {
+                let id = val("trace");
+                trace_id = moara_trace::parse_trace_id(&id)
+                    .unwrap_or_else(|| fail(&format!("`{id}` is not a trace id")));
+                command = Some(Command::Simple(CtrlRequest::TraceGet { trace_id }));
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -132,6 +158,7 @@ fn main() {
             run_watch(&connect, text, policy, lease_ms, max_updates, json);
             return;
         }
+        Command::Traces => CtrlRequest::TraceList { limit },
         Command::Simple(req) => req,
     };
 
@@ -151,6 +178,7 @@ fn main() {
             dead,
             watches,
             sub_entries,
+            metrics,
         }) => {
             if json {
                 let dead_json = dead
@@ -158,10 +186,18 @@ fn main() {
                     .map(|n| n.to_string())
                     .collect::<Vec<_>>()
                     .join(",");
+                // Headline counters as a flat object; names come from the
+                // daemon so new metrics appear here without a CLI change.
+                let metrics_json = metrics
+                    .iter()
+                    .map(|(name, value)| format!("{}:{value}", json::escape(name)))
+                    .collect::<Vec<_>>()
+                    .join(",");
                 println!(
                     "{{\"node\":{node},\"members\":{members},\"alive\":{alive},\
                      \"dead\":[{dead_json}],\"watches\":{watches},\
-                     \"sub_entries\":{sub_entries}}}"
+                     \"sub_entries\":{sub_entries},\
+                     \"metrics\":{{{metrics_json}}}}}"
                 );
                 return;
             }
@@ -180,6 +216,39 @@ fn main() {
                 "node=n{node} members={members} alive={alive} dead={dead} \
                  watches={watches} subs={sub_entries}"
             );
+        }
+        Ok(CtrlReply::Trace { spans, missing }) => {
+            print!(
+                "{}",
+                moara_trace::render_waterfall(trace_id, &spans, &missing)
+            );
+            if !missing.is_empty() {
+                // Partial trace (a peer was unreachable): succeed so the
+                // waterfall is usable, but flag it for scripts.
+                std::process::exit(3);
+            }
+        }
+        Ok(CtrlReply::Traces(list)) => {
+            if list.is_empty() {
+                eprintln!("moara-cli: no traces recorded (is tracing enabled?)");
+                return;
+            }
+            for t in list {
+                println!(
+                    "{} phase={} node=n{} start_us={} duration_us={} spans={}",
+                    moara_trace::format_trace_id(t.trace_id),
+                    t.phase.as_str(),
+                    t.node,
+                    t.start_us,
+                    t.duration_us,
+                    t.spans,
+                );
+            }
+        }
+        Ok(CtrlReply::Spans(_)) => {
+            // TraceFetch is daemon-to-daemon; the CLI never sends it.
+            eprintln!("moara-cli: unexpected raw span reply");
+            std::process::exit(1);
         }
         Ok(CtrlReply::Joined { .. }) => {
             // Only daemons send Join; a human shouldn't end up here.

@@ -43,6 +43,15 @@
 //!   (default 1024);
 //! * `--no-size-probes` — plan composite covers structurally, without
 //!   size probes at all.
+//!
+//! Observability flags (see `docs/observability.md`):
+//!
+//! * `--trace-sample N` — sample every Nth root query into the
+//!   distributed tracer (default 1 = every query; 0 disables tracing);
+//! * `--slow-query-ms N` — log one JSON line to stderr for every query
+//!   that takes longer than `N` milliseconds end-to-end;
+//! * `--access-log` — log one JSON line to stderr per HTTP gateway
+//!   request (method, path, status, duration, bytes, peer).
 
 use std::net::ToSocketAddrs;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -58,7 +67,8 @@ const USAGE: &str = "usage: moarad --listen IP:PORT [--join IP:PORT] \
                      [--seed N] \
                      [--swim-period-ms N] [--swim-suspect-periods N] \
                      [--no-probe-cache] [--probe-cache-ttl-ms N] \
-                     [--probe-cache-cap N] [--no-size-probes]";
+                     [--probe-cache-cap N] [--no-size-probes] \
+                     [--trace-sample N] [--slow-query-ms N] [--access-log]";
 
 /// Flipped by the SIGINT/SIGTERM handler; the main loop notices and
 /// shuts down gracefully. A store is all the handler does — the only
@@ -102,6 +112,9 @@ fn main() {
     let mut seed = 42u64;
     let mut cfg = MoaraConfig::default();
     let mut swim = SwimConfig::default();
+    let mut trace_sample = 1u64;
+    let mut slow_query_ms = None;
+    let mut access_log = false;
     // The TTL/capacity flags only tune the cache; `--no-probe-cache` is
     // the sole on/off switch, so flag order never matters.
     let (mut cache_ttl, mut cache_cap) = match cfg.probe_cache {
@@ -190,6 +203,19 @@ fn main() {
                 }
             }
             "--no-size-probes" => cfg.use_size_probes = false,
+            "--trace-sample" => {
+                trace_sample = val("--trace-sample")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--trace-sample needs an integer (0 disables)"));
+            }
+            "--slow-query-ms" => {
+                slow_query_ms = Some(
+                    val("--slow-query-ms")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--slow-query-ms needs milliseconds")),
+                );
+            }
+            "--access-log" => access_log = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -217,6 +243,9 @@ fn main() {
         swim,
         rejoin,
         http,
+        trace_sample,
+        slow_query_ms,
+        access_log,
     }) {
         Ok(d) => d,
         Err(e) => {

@@ -60,6 +60,9 @@ use moara_gateway::{GatewayHandle, GwJob, GwReply, GwRequest, MetricsRegistry, W
 use moara_membership::{SwimConfig, SwimDetector, SwimEvent, SwimMsg};
 use moara_query::parse_query;
 use moara_simnet::{Message, NodeId, SimDuration, SimTime, TimerId, TimerTag};
+use moara_trace::{
+    format_trace_id, Histogram, Phase, SpanRecord, SpanStore, TraceSummary, TRACE_NS_SWIM,
+};
 use moara_transport::{NetCtx, NetProtocol, TcpConfig, TcpTransport, Transport};
 use moara_wire::{read_frame, write_msg, Wire, WireError};
 
@@ -87,6 +90,10 @@ pub struct Member {
     pub incarnation: u64,
     /// False once the member's failure was confirmed.
     pub alive: bool,
+    /// Control-plane listen address (refreshed on rejoin). Lets any
+    /// daemon scatter-gather cluster state — trace spans above all —
+    /// over the control plane. Empty when unknown.
+    pub ctrl: String,
 }
 
 impl Wire for Member {
@@ -96,6 +103,7 @@ impl Wire for Member {
         self.addr.encode(out);
         self.incarnation.encode(out);
         self.alive.encode(out);
+        self.ctrl.encode(out);
     }
     fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
         Ok(Member {
@@ -104,10 +112,11 @@ impl Wire for Member {
             addr: Wire::decode(buf)?,
             incarnation: Wire::decode(buf)?,
             alive: Wire::decode(buf)?,
+            ctrl: Wire::decode(buf)?,
         })
     }
     fn encoded_len(&self) -> usize {
-        4 + 8 + self.addr.encoded_len() + 8 + 1
+        4 + 8 + self.addr.encoded_len() + 8 + 1 + self.ctrl.encoded_len()
     }
 }
 
@@ -182,6 +191,9 @@ pub enum CtrlRequest {
         /// seed revives that member under a higher incarnation (new
         /// address, same ring id) instead of assigning a fresh id.
         prev_node: Option<u32>,
+        /// The joiner's control-plane listen address (carried in the
+        /// member list so peers can scatter-gather traces).
+        ctrl: String,
     },
     /// Run a query from this daemon's front-end and return the aggregate.
     Query {
@@ -208,6 +220,26 @@ pub enum CtrlRequest {
         /// Subscription lease in microseconds (the daemon renews it for
         /// as long as the watcher stays connected).
         lease_us: u64,
+    },
+    /// Return the spans this daemon's local store holds for one trace
+    /// (the scatter-gather leaf request; `TraceGet` fans these out).
+    TraceFetch {
+        /// The trace to read.
+        trace_id: u64,
+    },
+    /// Return the cluster-merged span tree for one trace: the serving
+    /// daemon reads its own store and scatter-gathers every other alive
+    /// member's over the control plane, reporting unreachable members
+    /// instead of hanging.
+    TraceGet {
+        /// The trace to merge.
+        trace_id: u64,
+    },
+    /// Return summaries of the most recent traces in this daemon's
+    /// local store.
+    TraceList {
+        /// Maximum summaries to return.
+        limit: u32,
     },
 }
 
@@ -248,6 +280,10 @@ pub enum CtrlReply {
         /// (its own and other front-ends'; drains to zero after
         /// cancellation or lease GC — the leak detector for tests).
         sub_entries: u32,
+        /// A compact metrics snapshot (name → value), the control-plane
+        /// twin of the key `/metrics` families for `moara-cli status
+        /// --json`.
+        metrics: Vec<(String, f64)>,
     },
     /// One update of a standing watch (streamed; many per request).
     Update {
@@ -260,15 +296,32 @@ pub enum CtrlReply {
     },
     /// Request failed.
     Error(String),
+    /// This daemon's local spans for one trace (`TraceFetch` answer).
+    Spans(Vec<SpanRecord>),
+    /// The cluster-merged span tree for one trace (`TraceGet` answer).
+    Trace {
+        /// Spans from every daemon that answered, merged.
+        spans: Vec<SpanRecord>,
+        /// Node ids of alive members whose stores could not be reached
+        /// before the gather deadline (their subtrees show as orphans).
+        missing: Vec<u32>,
+    },
+    /// Recent trace summaries from this daemon (`TraceList` answer).
+    Traces(Vec<TraceSummary>),
 }
 
 impl Wire for CtrlRequest {
     fn encode(&self, out: &mut Vec<u8>) {
         match self {
-            CtrlRequest::Join { addr, prev_node } => {
+            CtrlRequest::Join {
+                addr,
+                prev_node,
+                ctrl,
+            } => {
                 out.push(0);
                 addr.encode(out);
                 prev_node.encode(out);
+                ctrl.encode(out);
             }
             CtrlRequest::Query { text } => {
                 out.push(1);
@@ -290,6 +343,18 @@ impl Wire for CtrlRequest {
                 policy.encode(out);
                 lease_us.encode(out);
             }
+            CtrlRequest::TraceFetch { trace_id } => {
+                out.push(5);
+                trace_id.encode(out);
+            }
+            CtrlRequest::TraceGet { trace_id } => {
+                out.push(6);
+                trace_id.encode(out);
+            }
+            CtrlRequest::TraceList { limit } => {
+                out.push(7);
+                limit.encode(out);
+            }
         }
     }
     fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
@@ -297,6 +362,7 @@ impl Wire for CtrlRequest {
             0 => CtrlRequest::Join {
                 addr: Wire::decode(buf)?,
                 prev_node: Wire::decode(buf)?,
+                ctrl: Wire::decode(buf)?,
             },
             1 => CtrlRequest::Query {
                 text: Wire::decode(buf)?,
@@ -311,18 +377,33 @@ impl Wire for CtrlRequest {
                 policy: Wire::decode(buf)?,
                 lease_us: Wire::decode(buf)?,
             },
+            5 => CtrlRequest::TraceFetch {
+                trace_id: Wire::decode(buf)?,
+            },
+            6 => CtrlRequest::TraceGet {
+                trace_id: Wire::decode(buf)?,
+            },
+            7 => CtrlRequest::TraceList {
+                limit: Wire::decode(buf)?,
+            },
             _ => return Err(WireError::Invalid("CtrlRequest tag")),
         })
     }
     fn encoded_len(&self) -> usize {
         1 + match self {
-            CtrlRequest::Join { addr, prev_node } => addr.encoded_len() + prev_node.encoded_len(),
+            CtrlRequest::Join {
+                addr,
+                prev_node,
+                ctrl,
+            } => addr.encoded_len() + prev_node.encoded_len() + ctrl.encoded_len(),
             CtrlRequest::Query { text } => text.encoded_len(),
             CtrlRequest::SetAttr { attr, value } => attr.encoded_len() + value.encoded_len(),
             CtrlRequest::Status => 0,
             CtrlRequest::Watch { text, policy, .. } => {
                 text.encoded_len() + policy.encoded_len() + 8
             }
+            CtrlRequest::TraceFetch { .. } | CtrlRequest::TraceGet { .. } => 8,
+            CtrlRequest::TraceList { .. } => 4,
         }
     }
 }
@@ -348,6 +429,7 @@ impl Wire for CtrlReply {
                 dead,
                 watches,
                 sub_entries,
+                metrics,
             } => {
                 out.push(3);
                 node.encode(out);
@@ -356,6 +438,7 @@ impl Wire for CtrlReply {
                 dead.encode(out);
                 watches.encode(out);
                 sub_entries.encode(out);
+                metrics.encode(out);
             }
             CtrlReply::Error(e) => {
                 out.push(4);
@@ -370,6 +453,19 @@ impl Wire for CtrlReply {
                 result.encode(out);
                 initial.encode(out);
                 complete.encode(out);
+            }
+            CtrlReply::Spans(spans) => {
+                out.push(6);
+                spans.encode(out);
+            }
+            CtrlReply::Trace { spans, missing } => {
+                out.push(7);
+                spans.encode(out);
+                missing.encode(out);
+            }
+            CtrlReply::Traces(ts) => {
+                out.push(8);
+                ts.encode(out);
             }
         }
     }
@@ -391,6 +487,7 @@ impl Wire for CtrlReply {
                 dead: Wire::decode(buf)?,
                 watches: Wire::decode(buf)?,
                 sub_entries: Wire::decode(buf)?,
+                metrics: Wire::decode(buf)?,
             },
             4 => CtrlReply::Error(Wire::decode(buf)?),
             5 => CtrlReply::Update {
@@ -398,6 +495,12 @@ impl Wire for CtrlReply {
                 initial: Wire::decode(buf)?,
                 complete: Wire::decode(buf)?,
             },
+            6 => CtrlReply::Spans(Wire::decode(buf)?),
+            7 => CtrlReply::Trace {
+                spans: Wire::decode(buf)?,
+                missing: Wire::decode(buf)?,
+            },
+            8 => CtrlReply::Traces(Wire::decode(buf)?),
             _ => return Err(WireError::Invalid("CtrlReply tag")),
         })
     }
@@ -406,9 +509,14 @@ impl Wire for CtrlReply {
             CtrlReply::Joined { members, .. } => 4 + members.encoded_len(),
             CtrlReply::Answer { result, .. } => result.encoded_len() + 1,
             CtrlReply::Ok => 0,
-            CtrlReply::Status { dead, .. } => 20 + dead.encoded_len(),
+            CtrlReply::Status { dead, metrics, .. } => {
+                20 + dead.encoded_len() + metrics.encoded_len()
+            }
             CtrlReply::Error(e) => e.encoded_len(),
             CtrlReply::Update { result, .. } => result.encoded_len() + 2,
+            CtrlReply::Spans(spans) => spans.encoded_len(),
+            CtrlReply::Trace { spans, missing } => spans.encoded_len() + missing.encoded_len(),
+            CtrlReply::Traces(ts) => ts.encoded_len(),
         }
     }
 }
@@ -488,6 +596,15 @@ pub struct DaemonNode {
     /// Last membership broadcast received, not yet applied (the daemon
     /// loop applies it — rebuilding the directory needs daemon state).
     pub pending_membership: Option<Vec<Member>>,
+    /// This daemon's span store, when tracing is on (also wired into
+    /// `moara`; held here so SWIM pings can record spans too).
+    pub tracer: Option<Arc<SpanStore>>,
+    /// SWIM-ping trace-id counter (namespaced under [`TRACE_NS_SWIM`]).
+    swim_trace_ctr: u64,
+    /// Arrival stamps of `SubDelta` frames not yet drained by the event
+    /// loop — feeds the delta-lag histogram (receive → end of the step
+    /// that folded it). Bounded: the loop drains it every step.
+    pub pending_delta_stamps: Vec<Instant>,
 }
 
 impl DaemonNode {
@@ -497,6 +614,9 @@ impl DaemonNode {
             moara,
             swim,
             pending_membership: None,
+            tracer: None,
+            swim_trace_ctr: 0,
+            pending_delta_stamps: Vec::new(),
         }
     }
 }
@@ -512,6 +632,14 @@ impl NetProtocol for DaemonNode {
     fn on_message(&mut self, ctx: &mut dyn NetCtx<DaemonMsg>, from: NodeId, msg: DaemonMsg) {
         match msg {
             DaemonMsg::Moara(m) => {
+                // Stamp SubDelta arrivals so the event loop can histogram
+                // how long the frame sat before its fold finished (the
+                // per-hop contribution to propagation lag). Capped so a
+                // stalled loop cannot grow it without bound.
+                if matches!(m, MoaraMsg::SubDelta { .. }) && self.pending_delta_stamps.len() < 4096
+                {
+                    self.pending_delta_stamps.push(Instant::now());
+                }
                 let mut mctx = moara_ctx(ctx);
                 self.moara.on_message(&mut mctx, from, m);
             }
@@ -528,6 +656,33 @@ impl NetProtocol for DaemonNode {
                 }
             }
             DaemonMsg::Swim(s) => {
+                // Sampled SWIM pings land in the span store too, so the
+                // failure detector's cadence shows up next to query
+                // phases in `/v1/traces` and the phase histograms.
+                if matches!(s, SwimMsg::Ping { .. }) {
+                    if let Some(tr) = &self.tracer {
+                        if tr.enabled() && tr.sample_root() {
+                            self.swim_trace_ctr += 1;
+                            let me = ctx.me().0;
+                            let trace_id = TRACE_NS_SWIM
+                                | (u64::from(me) << 32)
+                                | (self.swim_trace_ctr & 0xffff_ffff);
+                            tr.record(SpanRecord {
+                                trace_id,
+                                span_id: tr.next_span_id(me),
+                                parent_span_id: 0,
+                                node: me,
+                                phase: Phase::SwimPing,
+                                peer: from.0,
+                                start_us: ctx.now().as_micros(),
+                                queue_us: 0,
+                                service_us: 0,
+                                bytes: 0,
+                                detail: String::new(),
+                            });
+                        }
+                    }
+                }
                 let mut sctx = swim_ctx(ctx);
                 self.swim.on_message(&mut sctx, from, s);
             }
@@ -567,6 +722,15 @@ pub struct DaemonOpts {
     /// HTTP gateway listen address (`--http`); `None` disables the
     /// gateway.
     pub http: Option<SocketAddr>,
+    /// Trace sampling (`--trace-sample N`): every Nth root operation is
+    /// traced (1 = everything); 0 disables the span store entirely.
+    pub trace_sample: u64,
+    /// Slow-query log (`--slow-query-ms N`): queries slower than this
+    /// emit one JSON line on stderr; `None` disables.
+    pub slow_query_ms: Option<u64>,
+    /// Gateway access log (`--access-log`): one JSON line per HTTP
+    /// request on stderr.
+    pub access_log: bool,
 }
 
 impl DaemonOpts {
@@ -581,6 +745,9 @@ impl DaemonOpts {
             swim: SwimConfig::default(),
             rejoin: None,
             http: None,
+            trace_sample: 1,
+            slow_query_ms: None,
+            access_log: false,
         }
     }
 }
@@ -668,7 +835,31 @@ pub struct Daemon {
     /// re-broadcast heals members that missed a join announcement (the
     /// peer plane is fire-and-forget).
     last_announce: Instant,
+    /// This daemon's span store (shared with the engine and, for SWIM
+    /// spans, the protocol node); `None` when `--trace-sample 0`.
+    tracer: Option<Arc<SpanStore>>,
+    /// Slow-query threshold; `None` disables the log.
+    slow_query_ms: Option<u64>,
+    /// In-flight query bookkeeping for the slow-query log: front id →
+    /// (query text, submit instant, sampled trace id).
+    query_meta: HashMap<u64, (String, Instant, Option<u64>)>,
+    /// Queries that crossed the slow-query threshold.
+    slow_queries_total: u64,
+    /// Event-loop tick service time (post-poll work per step), µs.
+    tick_hist: Histogram,
+    /// Control + gateway jobs drained per step.
+    depth_hist: Histogram,
+    /// SubDelta receive → fold-finished lag per hop, µs.
+    delta_lag_hist: Histogram,
 }
+
+/// Spans each daemon's ring-buffer store holds (per store, before the
+/// oldest are evicted).
+const TRACE_STORE_CAP: usize = 65_536;
+
+/// How long a trace scatter-gather waits on each peer before reporting
+/// it missing (bounds `TraceGet` under partitions instead of hanging).
+const TRACE_FETCH_TIMEOUT: Duration = Duration::from_secs(2);
 
 /// How often the seed re-broadcasts the member list.
 const ANNOUNCE_EVERY: Duration = Duration::from_secs(2);
@@ -704,6 +895,19 @@ impl Daemon {
         if opts.rejoin.is_some() && opts.join.is_none() {
             return Err("--rejoin-as requires --join (the seed revives identities)".into());
         }
+
+        // Control plane: bound before joining, because the Join request
+        // carries our control address (peers scatter-gather traces over
+        // it). Jobs queue in the channel until the loop starts draining.
+        let ctrl_listener = TcpListener::bind(opts.listen)
+            .map_err(|e| format!("bind control listener {}: {e}", opts.listen))?;
+        let ctrl_addr = ctrl_listener
+            .local_addr()
+            .map_err(|e| format!("control addr: {e}"))?;
+        let (ctrl_tx, ctrl_rx) = std::sync::mpsc::channel();
+        let ctrl_stop = Arc::new(AtomicBool::new(false));
+        spawn_ctrl_accept_loop(ctrl_listener, ctrl_tx, Arc::clone(&ctrl_stop));
+
         let (me, members) = match &opts.join {
             None => {
                 // We are the seed: member 0 of a one-node cluster.
@@ -713,6 +917,7 @@ impl Daemon {
                     addr: peer_addr.to_string(),
                     incarnation: 0,
                     alive: true,
+                    ctrl: ctrl_addr.to_string(),
                 }];
                 (NodeId(0), members)
             }
@@ -728,6 +933,7 @@ impl Daemon {
                         &CtrlRequest::Join {
                             addr: peer_addr.to_string(),
                             prev_node: opts.rejoin,
+                            ctrl: ctrl_addr.to_string(),
                         },
                         Duration::from_secs(10),
                     )
@@ -760,7 +966,12 @@ impl Daemon {
                 dir.remove_member(NodeId(m.node));
             }
         }
+        let tracer = (opts.trace_sample > 0)
+            .then(|| Arc::new(SpanStore::new(TRACE_STORE_CAP, opts.trace_sample)));
         let mut moara = MoaraNode::new(dir.clone(), opts.cfg.clone());
+        if let Some(t) = &tracer {
+            moara.set_tracer(Arc::clone(t));
+        }
         for (k, v) in &opts.attrs {
             moara.store.set(k.as_str(), v.clone());
         }
@@ -772,7 +983,8 @@ impl Daemon {
         // A rejoiner spreads its revival by gossip too, so peers whose
         // anti-entropy broadcast is late still reintegrate it promptly.
         swim.announce_alive();
-        let node = DaemonNode::new(moara, swim);
+        let mut node = DaemonNode::new(moara, swim);
+        node.tracer = tracer.clone();
         transport.add_node_with_listener(me, node, reserved);
         for m in &members {
             if m.node != me.0 && m.alive {
@@ -780,17 +992,6 @@ impl Daemon {
                 transport.register_peer(NodeId(m.node), addr);
             }
         }
-
-        // Control plane: accept loop on its own thread, requests funnel
-        // into the daemon loop through a channel.
-        let ctrl_listener = TcpListener::bind(opts.listen)
-            .map_err(|e| format!("bind control listener {}: {e}", opts.listen))?;
-        let ctrl_addr = ctrl_listener
-            .local_addr()
-            .map_err(|e| format!("control addr: {e}"))?;
-        let (ctrl_tx, ctrl_rx) = std::sync::mpsc::channel();
-        let ctrl_stop = Arc::new(AtomicBool::new(false));
-        spawn_ctrl_accept_loop(ctrl_listener, ctrl_tx, Arc::clone(&ctrl_stop));
 
         // The HTTP edge: any client that can speak HTTP/1.1 (a browser, a
         // load balancer's health checks, a Prometheus scraper) enters
@@ -802,7 +1003,11 @@ impl Daemon {
                 let listener = TcpListener::bind(addr)
                     .map_err(|e| format!("bind http listener {addr}: {e}"))?;
                 let (gw_tx, gw_rx) = std::sync::mpsc::channel();
-                let handle = moara_gateway::spawn_gateway(listener, gw_tx, GATEWAY_WORKERS);
+                let sink: Option<moara_gateway::AccessLogSink> = opts
+                    .access_log
+                    .then(|| Arc::new(|line: &str| eprintln!("{line}")) as _);
+                let handle =
+                    moara_gateway::spawn_gateway_opts(listener, gw_tx, GATEWAY_WORKERS, sink);
                 (Some(handle), Some(gw_rx))
             }
         };
@@ -827,6 +1032,13 @@ impl Daemon {
             last_keepalive: Instant::now(),
             undeliverable_total: 0,
             last_announce: Instant::now(),
+            tracer,
+            slow_query_ms: opts.slow_query_ms,
+            query_meta: HashMap::new(),
+            slow_queries_total: 0,
+            tick_hist: Histogram::latency_us(),
+            depth_hist: Histogram::depth(),
+            delta_lag_hist: Histogram::latency_us(),
         };
         // A joiner's presence is already in `members`; make the overlay
         // aware locally (the seed broadcasts to everyone else on join).
@@ -874,12 +1086,23 @@ impl Daemon {
     /// Returns true if anything happened.
     pub fn step(&mut self, max_wait: Duration) -> bool {
         let mut did = self.transport.pump(max_wait);
+        // Tick timing starts after the poll: it measures how long one
+        // loop iteration's *work* takes, not how long the loop idled.
+        let tick_start = Instant::now();
         did |= self.apply_pending_membership();
         did |= self.apply_swim_events();
-        did |= self.serve_ctrl();
-        did |= self.serve_gateway();
+        let ctrl_jobs = self.serve_ctrl();
+        let gw_jobs = self.serve_gateway();
+        did |= ctrl_jobs + gw_jobs > 0;
         did |= self.finish_queries();
         did |= self.pump_watches();
+        // SubDelta frames pumped this step have now been folded and (if
+        // watched here) handed to their watchers: close their lag spans.
+        let stamps = std::mem::take(&mut self.transport.node_mut(self.me).pending_delta_stamps);
+        for stamp in stamps {
+            self.delta_lag_hist
+                .observe(u64::try_from(stamp.elapsed().as_micros()).unwrap_or(u64::MAX));
+        }
         // Keep the transport's undeliverable log bounded (it grows on
         // every send to a dead peer, and this loop runs forever).
         self.undeliverable_total += self.transport.take_undeliverable().len() as u64;
@@ -887,6 +1110,9 @@ impl Daemon {
         {
             self.broadcast_membership();
         }
+        self.depth_hist.observe((ctrl_jobs + gw_jobs) as u64);
+        self.tick_hist
+            .observe(u64::try_from(tick_start.elapsed().as_micros()).unwrap_or(u64::MAX));
         did
     }
 
@@ -1129,7 +1355,7 @@ impl Daemon {
 
     /// Seed-only: admit a joiner (or revive a rejoiner), reply with the
     /// member list, broadcast.
-    fn handle_join(&mut self, addr: String, prev_node: Option<u32>) -> CtrlReply {
+    fn handle_join(&mut self, addr: String, prev_node: Option<u32>, ctrl: String) -> CtrlReply {
         if !self.is_seed {
             return CtrlReply::Error("only the seed daemon admits joins".into());
         }
@@ -1168,6 +1394,7 @@ impl Daemon {
                 m.incarnation = m.incarnation.max(detector_inc) + 1;
                 m.alive = true;
                 m.addr = addr;
+                m.ctrl = ctrl;
                 prev
             }
             None => {
@@ -1182,6 +1409,7 @@ impl Daemon {
                     addr,
                     incarnation: 0,
                     alive: true,
+                    ctrl,
                 });
                 node
             }
@@ -1194,22 +1422,29 @@ impl Daemon {
         CtrlReply::Joined { node, members }
     }
 
-    fn serve_ctrl(&mut self) -> bool {
-        let mut did = false;
+    fn serve_ctrl(&mut self) -> usize {
+        let mut jobs = 0;
         while let Ok(job) = self.ctrl_rx.try_recv() {
-            did = true;
+            jobs += 1;
             match job.req {
-                CtrlRequest::Join { addr, prev_node } => {
-                    let reply = self.handle_join(addr, prev_node);
+                CtrlRequest::Join {
+                    addr,
+                    prev_node,
+                    ctrl,
+                } => {
+                    let reply = self.handle_join(addr, prev_node, ctrl);
                     let _ = job.reply.send(reply);
                 }
                 CtrlRequest::Query { text } => match parse_query(&text) {
                     Ok(query) => {
                         let me = self.me;
-                        let fid = self.transport.with_node(me, |n, ctx| {
+                        let (fid, trace_id) = self.transport.with_node(me, |n, ctx| {
                             let mut mctx = moara_ctx(ctx);
-                            n.moara.submit(&mut mctx, query)
+                            let fid = n.moara.submit(&mut mctx, query);
+                            (fid, n.moara.front_trace_id(fid))
                         });
+                        self.query_meta
+                            .insert(fid, (text, Instant::now(), trace_id));
                         self.pending_queries.insert(fid, job.reply);
                     }
                     Err(e) => {
@@ -1218,6 +1453,27 @@ impl Daemon {
                             .send(CtrlReply::Error(format!("parse error: {e}")));
                     }
                 },
+                CtrlRequest::TraceFetch { trace_id } => {
+                    let spans = self
+                        .tracer
+                        .as_ref()
+                        .map(|t| t.spans_for(trace_id))
+                        .unwrap_or_default();
+                    let _ = job.reply.send(CtrlReply::Spans(spans));
+                }
+                CtrlRequest::TraceGet { trace_id } => {
+                    self.spawn_trace_gather(trace_id, job.reply, |spans, missing| {
+                        CtrlReply::Trace { spans, missing }
+                    });
+                }
+                CtrlRequest::TraceList { limit } => {
+                    let ts = self
+                        .tracer
+                        .as_ref()
+                        .map(|t| t.recent(limit as usize))
+                        .unwrap_or_default();
+                    let _ = job.reply.send(CtrlReply::Traces(ts));
+                }
                 CtrlRequest::SetAttr { attr, value } => {
                     self.transport.with_node(self.me, |n, ctx| {
                         let mut mctx = moara_ctx(ctx);
@@ -1253,6 +1509,7 @@ impl Daemon {
                         .filter(|m| !m.alive)
                         .map(|m| m.node)
                         .collect();
+                    let metrics = self.metrics_snapshot();
                     let moara = &self.transport.node(self.me).moara;
                     let _ = job.reply.send(CtrlReply::Status {
                         node: self.me.0,
@@ -1261,11 +1518,100 @@ impl Daemon {
                         dead,
                         watches: moara.active_watches() as u32,
                         sub_entries: moara.sub_entry_count() as u32,
+                        metrics,
                     });
                 }
             }
         }
-        did
+        jobs
+    }
+
+    /// A compact name → value metrics snapshot for `status --json` (the
+    /// control-plane twin of the key `/metrics` families).
+    fn metrics_snapshot(&self) -> Vec<(String, f64)> {
+        let stats = self.transport.stats();
+        let dn = self.transport.node(self.me);
+        let mut out: Vec<(&str, f64)> = vec![
+            (
+                "transport_messages_sent_total",
+                stats.total_messages() as f64,
+            ),
+            (
+                "transport_messages_received_total",
+                stats.total_recv_messages() as f64,
+            ),
+            ("transport_bytes_sent_total", stats.total_bytes() as f64),
+            (
+                "transport_undeliverable_total",
+                self.undeliverable_total as f64,
+            ),
+            (
+                "queries_inflight",
+                (self.pending_queries.len() + self.pending_gw_queries.len()) as f64,
+            ),
+            ("watches", dn.moara.active_watches() as f64),
+            ("sub_entries", dn.moara.sub_entry_count() as f64),
+            ("slow_queries_total", self.slow_queries_total as f64),
+            ("event_loop_ticks_total", self.tick_hist.count() as f64),
+        ];
+        if let Some(t) = &self.tracer {
+            out.push(("trace_spans", t.len() as f64));
+            out.push(("trace_spans_dropped_total", t.dropped() as f64));
+        }
+        out.into_iter().map(|(k, v)| (k.to_owned(), v)).collect()
+    }
+
+    /// Answers a trace merge off the event loop: a spawned thread reads
+    /// the local store, then asks every other alive member for its spans
+    /// over the control plane ([`CtrlRequest::TraceFetch`], bounded by
+    /// [`TRACE_FETCH_TIMEOUT`] each). Peers that do not answer in time —
+    /// partitioned, crashed between detection rounds — land in `missing`
+    /// instead of hanging the request, so a trace cut by a partition
+    /// still renders (its lost subtrees show as orphans).
+    fn spawn_trace_gather<R: Send + 'static>(
+        &self,
+        trace_id: u64,
+        reply: Sender<R>,
+        respond: impl FnOnce(Vec<SpanRecord>, Vec<u32>) -> R + Send + 'static,
+    ) {
+        let tracer = self.tracer.clone();
+        let me = self.me.0;
+        let peers: Vec<(u32, String)> = self
+            .members
+            .iter()
+            .filter(|m| m.alive && m.node != me)
+            .map(|m| (m.node, m.ctrl.clone()))
+            .collect();
+        // Confirmed-dead peers can never answer: their spans are gone,
+        // so they go straight into `missing` rather than being silently
+        // skipped (a trace cut by a crash must not read as complete).
+        let lost: Vec<u32> = self
+            .members
+            .iter()
+            .filter(|m| !m.alive && m.node != me)
+            .map(|m| m.node)
+            .collect();
+        let _ = std::thread::Builder::new()
+            .name("moarad-trace-gather".into())
+            .spawn(move || {
+                let mut spans = tracer
+                    .as_ref()
+                    .map(|t| t.spans_for(trace_id))
+                    .unwrap_or_default();
+                let mut missing = lost;
+                for (node, ctrl) in peers {
+                    match ctrl_roundtrip(
+                        &ctrl,
+                        &CtrlRequest::TraceFetch { trace_id },
+                        TRACE_FETCH_TIMEOUT,
+                    ) {
+                        Ok(CtrlReply::Spans(s)) => spans.extend(s),
+                        _ => missing.push(node),
+                    }
+                }
+                spans.sort_by_key(|s| (s.start_us, s.span_id));
+                let _ = reply.send(respond(spans, missing));
+            });
     }
 
     fn finish_queries(&mut self) -> bool {
@@ -1287,6 +1633,24 @@ impl Daemon {
                 .moara
                 .take_outcome(*fid)
                 .expect("checked above");
+            if let Some((text, submitted, trace_id)) = self.query_meta.remove(fid) {
+                if let Some(threshold_ms) = self.slow_query_ms {
+                    let elapsed = submitted.elapsed();
+                    if elapsed.as_millis() as u64 >= threshold_ms {
+                        self.slow_queries_total += 1;
+                        eprintln!(
+                            "{}",
+                            slow_query_line(
+                                self.me.0,
+                                &text,
+                                u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
+                                outcome.complete,
+                                trace_id,
+                            )
+                        );
+                    }
+                }
+            }
             if let Some(reply) = self.pending_queries.remove(fid) {
                 let _ = reply.send(CtrlReply::Answer {
                     result: outcome.result.to_string(),
@@ -1365,27 +1729,54 @@ impl Daemon {
 
     /// Drains HTTP gateway jobs into the protocol node — the HTTP twin of
     /// [`Daemon::serve_ctrl`].
-    fn serve_gateway(&mut self) -> bool {
+    fn serve_gateway(&mut self) -> usize {
         let jobs: Vec<GwJob> = match &self.gw_rx {
             Some(rx) => rx.try_iter().collect(),
-            None => return false,
+            None => return 0,
         };
-        let did = !jobs.is_empty();
+        let count = jobs.len();
         for job in jobs {
             match job.req {
                 GwRequest::Query { q } => match parse_query(&q) {
                     Ok(query) => {
                         let me = self.me;
-                        let fid = self.transport.with_node(me, |n, ctx| {
+                        let (fid, trace_id) = self.transport.with_node(me, |n, ctx| {
                             let mut mctx = moara_ctx(ctx);
-                            n.moara.submit(&mut mctx, query)
+                            let fid = n.moara.submit(&mut mctx, query);
+                            (fid, n.moara.front_trace_id(fid))
                         });
+                        self.query_meta.insert(fid, (q, Instant::now(), trace_id));
                         self.pending_gw_queries.insert(fid, job.reply);
                     }
                     Err(e) => {
                         let _ = job.reply.send(GwReply::Error {
                             status: 400,
                             msg: format!("parse error: {e}"),
+                        });
+                    }
+                },
+                GwRequest::Traces { limit } => {
+                    let ts = self
+                        .tracer
+                        .as_ref()
+                        .map(|t| t.recent(limit))
+                        .unwrap_or_default();
+                    let _ = job.reply.send(GwReply::Json {
+                        body: traces_json(&ts),
+                    });
+                }
+                GwRequest::Trace { id } => match moara_trace::parse_trace_id(&id) {
+                    Some(trace_id) => {
+                        self.spawn_trace_gather(trace_id, job.reply, move |spans, missing| {
+                            GwReply::Json {
+                                body: trace_json(trace_id, &spans, &missing),
+                            }
+                        });
+                    }
+                    None => {
+                        let _ = job.reply.send(GwReply::Error {
+                            status: 400,
+                            msg: format!("bad trace id {id:?}"),
                         });
                     }
                 },
@@ -1443,7 +1834,7 @@ impl Daemon {
                 }
             }
         }
-        did
+        count
     }
 
     /// Snapshots every subsystem's counters and gauges into one
@@ -1646,12 +2037,13 @@ impl Daemon {
         if let Some(gw) = &self.gw_handle {
             use std::sync::atomic::Ordering::Relaxed;
             let s = gw.stats();
-            let by_endpoint: [(&str, u64); 5] = [
+            let by_endpoint: [(&str, u64); 6] = [
                 ("query", s.queries.load(Relaxed)),
                 ("attrs", s.attr_sets.load(Relaxed)),
                 ("watch", s.watches_opened.load(Relaxed)),
                 ("metrics", s.scrapes.load(Relaxed)),
                 ("healthz", s.health_checks.load(Relaxed)),
+                ("traces", s.traces.load(Relaxed)),
             ];
             for (endpoint, n) in by_endpoint {
                 reg.counter_with(
@@ -1676,7 +2068,77 @@ impl Daemon {
                 "SSE watch streams currently open.",
                 s.open_streams.load(Relaxed) as f64,
             );
+            for (endpoint, hist) in s.latency.families() {
+                let (cumulative, sum, count) = hist.snapshot();
+                reg.histogram_with(
+                    "moara_gateway_request_latency_us",
+                    "HTTP request service time in microseconds, by endpoint.",
+                    &[("endpoint", endpoint)],
+                    &moara_gateway::LATENCY_BOUNDS_US,
+                    &cumulative,
+                    sum,
+                    count,
+                );
+            }
         }
+
+        // Tracing plane: per-phase query latency distributions.
+        if let Some(tracer) = &self.tracer {
+            reg.counter(
+                "moara_trace_spans_total",
+                "Spans recorded into the trace ring buffer.",
+                tracer.len() as u64 + tracer.dropped(),
+            );
+            reg.counter(
+                "moara_trace_spans_dropped_total",
+                "Spans evicted from the bounded trace ring buffer.",
+                tracer.dropped(),
+            );
+            for (phase, hist) in tracer.phase_histograms() {
+                reg.histogram_with(
+                    "moara_query_phase_latency_us",
+                    "Span service time in microseconds, by query phase.",
+                    &[("phase", phase.as_str())],
+                    hist.bounds(),
+                    &hist.cumulative(),
+                    hist.sum(),
+                    hist.count(),
+                );
+            }
+        }
+
+        // Event-loop profile: how long each tick works and how many
+        // control/gateway jobs it drains. Tick time excludes the poll
+        // wait, so an idle daemon shows a flat, tiny distribution.
+        reg.histogram(
+            "moara_event_loop_tick_us",
+            "Per-tick event-loop work time in microseconds (poll wait excluded).",
+            self.tick_hist.bounds(),
+            &self.tick_hist.cumulative(),
+            self.tick_hist.sum(),
+            self.tick_hist.count(),
+        );
+        reg.histogram(
+            "moara_event_loop_jobs_per_tick",
+            "Control-plane plus gateway jobs drained per event-loop tick.",
+            self.depth_hist.bounds(),
+            &self.depth_hist.cumulative(),
+            self.depth_hist.sum(),
+            self.depth_hist.count(),
+        );
+        reg.histogram(
+            "moara_subscribe_delta_lag_us",
+            "Per-hop SubDelta residency (receive to fold-finished) in microseconds.",
+            self.delta_lag_hist.bounds(),
+            &self.delta_lag_hist.cumulative(),
+            self.delta_lag_hist.sum(),
+            self.delta_lag_hist.count(),
+        );
+        reg.counter(
+            "moara_slow_queries_total",
+            "Queries that exceeded the --slow-query-ms threshold.",
+            self.slow_queries_total,
+        );
         reg.gauge(
             "moara_up",
             "Always 1 while the daemon event loop serves scrapes.",
@@ -1756,6 +2218,86 @@ fn pump_stream_map<R>(
         }
     }
     (did, gone)
+}
+
+/// One span as a JSON object. Span ids render as hex strings (they
+/// routinely exceed JSON's 2^53 integer-exactness limit); timestamps
+/// stay numeric — they are each recording node's own microsecond clock.
+fn span_json(s: &SpanRecord) -> String {
+    use moara_gateway::json::escape;
+    format!(
+        "{{\"span_id\":{},\"parent_span_id\":{},\"node\":{},\"phase\":{},\"peer\":{},\
+         \"start_us\":{},\"queue_us\":{},\"service_us\":{},\"bytes\":{},\"detail\":{}}}",
+        escape(&format!("{:#018x}", s.span_id)),
+        escape(&format!("{:#018x}", s.parent_span_id)),
+        s.node,
+        escape(s.phase.as_str()),
+        if s.peer == moara_trace::NO_PEER {
+            "null".to_owned()
+        } else {
+            s.peer.to_string()
+        },
+        s.start_us,
+        s.queue_us,
+        s.service_us,
+        s.bytes,
+        escape(&s.detail),
+    )
+}
+
+/// The `GET /v1/trace/{id}` body: the merged span set (the tree is in
+/// the parent ids) plus the members the merge could not reach.
+fn trace_json(trace_id: u64, spans: &[SpanRecord], missing: &[u32]) -> String {
+    use moara_gateway::json::escape;
+    let spans_json: Vec<String> = spans.iter().map(span_json).collect();
+    let missing_json: Vec<String> = missing.iter().map(u32::to_string).collect();
+    format!(
+        "{{\"trace_id\":{},\"complete\":{},\"missing\":[{}],\"spans\":[{}]}}\n",
+        escape(&format_trace_id(trace_id)),
+        missing.is_empty(),
+        missing_json.join(","),
+        spans_json.join(","),
+    )
+}
+
+/// The `GET /v1/traces` body: recent traces, newest first.
+fn traces_json(summaries: &[TraceSummary]) -> String {
+    use moara_gateway::json::escape;
+    let items: Vec<String> = summaries
+        .iter()
+        .map(|t| {
+            format!(
+                "{{\"trace_id\":{},\"phase\":{},\"node\":{},\"start_us\":{},\
+                 \"duration_us\":{},\"spans\":{}}}",
+                escape(&format_trace_id(t.trace_id)),
+                escape(t.phase.as_str()),
+                t.node,
+                t.start_us,
+                t.duration_us,
+                t.spans,
+            )
+        })
+        .collect();
+    format!("{{\"traces\":[{}]}}\n", items.join(","))
+}
+
+/// One slow-query log line: a single JSON object on stderr, grep-able
+/// and machine-parsable, carrying the trace id when the query was
+/// sampled so the log links straight into `moara-cli trace`.
+fn slow_query_line(
+    node: u32,
+    text: &str,
+    duration_us: u64,
+    complete: bool,
+    trace_id: Option<u64>,
+) -> String {
+    use moara_gateway::json::escape;
+    format!(
+        "{{\"slow_query\":true,\"node\":{node},\"q\":{},\"duration_us\":{duration_us},\
+         \"complete\":{complete},\"trace_id\":{}}}",
+        escape(text),
+        trace_id.map_or("null".to_owned(), |t| escape(&format_trace_id(t))),
+    )
 }
 
 fn resolve(addr: &str) -> Result<SocketAddr, String> {
@@ -1918,6 +2460,7 @@ mod tests {
             addr: "127.0.0.1:7777".into(),
             incarnation: 2,
             alive: false,
+            ctrl: "127.0.0.1:7778".into(),
         };
         let msgs = vec![
             DaemonMsg::Membership(vec![member.clone(), member.clone()]),
@@ -1928,6 +2471,7 @@ mod tests {
                 },
                 pred_key: "A=1".into(),
                 cost: 12,
+                trace: None,
             }),
             DaemonMsg::Swim(SwimMsg::Ping {
                 seq: 5,
@@ -1950,10 +2494,12 @@ mod tests {
             CtrlRequest::Join {
                 addr: "127.0.0.1:1".into(),
                 prev_node: None,
+                ctrl: String::new(),
             },
             CtrlRequest::Join {
                 addr: "127.0.0.1:1".into(),
                 prev_node: Some(4),
+                ctrl: "127.0.0.1:2".into(),
             },
             CtrlRequest::Query {
                 text: "SELECT count(*)".into(),
@@ -1968,6 +2514,11 @@ mod tests {
                 policy: DeliveryPolicy::Threshold { value: 2.5 },
                 lease_us: 30_000_000,
             },
+            CtrlRequest::TraceFetch {
+                trace_id: 0x8000_0000_0000_0001,
+            },
+            CtrlRequest::TraceGet { trace_id: 42 },
+            CtrlRequest::TraceList { limit: 25 },
         ];
         for r in reqs {
             assert_eq!(CtrlRequest::from_bytes(&r.to_bytes()).unwrap(), r);
@@ -1989,6 +2540,7 @@ mod tests {
                 dead: vec![1],
                 watches: 2,
                 sub_entries: 5,
+                metrics: vec![("moara_up".into(), 1.0), ("watches".into(), 2.0)],
             },
             CtrlReply::Error("nope".into()),
             CtrlReply::Update {
@@ -1996,6 +2548,31 @@ mod tests {
                 initial: true,
                 complete: false,
             },
+            CtrlReply::Spans(vec![SpanRecord {
+                trace_id: 7,
+                span_id: (4u64 + 1) << 32 | 1,
+                parent_span_id: 0,
+                node: 4,
+                phase: Phase::FanOut,
+                peer: 2,
+                start_us: 10,
+                queue_us: 3,
+                service_us: 20,
+                bytes: 128,
+                detail: "A=1".into(),
+            }]),
+            CtrlReply::Trace {
+                spans: vec![],
+                missing: vec![2, 5],
+            },
+            CtrlReply::Traces(vec![TraceSummary {
+                trace_id: 7,
+                phase: Phase::Parse,
+                node: 4,
+                start_us: 10,
+                duration_us: 33,
+                spans: 9,
+            }]),
         ];
         for r in replies {
             assert_eq!(CtrlReply::from_bytes(&r.to_bytes()).unwrap(), r);

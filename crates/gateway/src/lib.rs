@@ -36,7 +36,9 @@ pub mod metrics;
 pub mod server;
 
 pub use http::{HttpRequest, HttpResponse};
-pub use metrics::MetricsRegistry;
+pub use metrics::{lint_exposition, MetricsRegistry};
 pub use server::{
-    spawn_gateway, GatewayHandle, GatewayStats, GwJob, GwReply, GwRequest, WatchPolicy,
+    access_log_line, spawn_gateway, spawn_gateway_opts, AccessLogSink, AtomicHistogram,
+    EndpointLatency, GatewayHandle, GatewayStats, GwJob, GwReply, GwRequest, WatchPolicy,
+    LATENCY_BOUNDS_US,
 };

@@ -21,6 +21,8 @@ pub enum MetricKind {
     Counter,
     /// Point-in-time value.
     Gauge,
+    /// Cumulative bucket distribution (`_bucket`/`_sum`/`_count` series).
+    Histogram,
 }
 
 impl MetricKind {
@@ -28,6 +30,7 @@ impl MetricKind {
         match self {
             MetricKind::Counter => "counter",
             MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
         }
     }
 }
@@ -37,11 +40,22 @@ struct Sample {
     value: f64,
 }
 
+struct HistSample {
+    labels: Vec<(String, String)>,
+    /// Finite upper bounds, ascending; the `+Inf` bucket is implicit.
+    bounds: Vec<u64>,
+    /// Cumulative counts, one per finite bound plus the `+Inf` total.
+    cumulative: Vec<u64>,
+    sum: u64,
+    count: u64,
+}
+
 struct Family {
     name: String,
     help: &'static str,
     kind: MetricKind,
     samples: Vec<Sample>,
+    hists: Vec<HistSample>,
 }
 
 /// One scrape's worth of metrics, renderable as Prometheus text.
@@ -113,6 +127,62 @@ impl MetricsRegistry {
             help,
             kind,
             samples: vec![sample],
+            hists: Vec::new(),
+        });
+    }
+
+    /// Records a histogram series from pre-aggregated data: ascending
+    /// finite `bounds` and `cumulative` counts (one per bound, plus the
+    /// final `+Inf` total, which must equal `count`). Deliberately takes
+    /// raw slices — this crate stays dependency-free, and any histogram
+    /// implementation (the trace store's, the gateway's atomic buckets)
+    /// can feed it.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        help: &'static str,
+        bounds: &[u64],
+        cumulative: &[u64],
+        sum: u64,
+        count: u64,
+    ) {
+        self.histogram_with(name, help, &[], bounds, cumulative, sum, count);
+    }
+
+    /// Records a labelled histogram series (same name, different labels
+    /// join one family — e.g. one series per query phase).
+    #[allow(clippy::too_many_arguments)]
+    pub fn histogram_with(
+        &mut self,
+        name: &str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+        bounds: &[u64],
+        cumulative: &[u64],
+        sum: u64,
+        count: u64,
+    ) {
+        debug_assert_eq!(cumulative.len(), bounds.len() + 1, "need a +Inf bucket");
+        let hist = HistSample {
+            labels: labels
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+                .collect(),
+            bounds: bounds.to_vec(),
+            cumulative: cumulative.to_vec(),
+            sum,
+            count,
+        };
+        if let Some(f) = self.families.iter_mut().find(|f| f.name == name) {
+            f.hists.push(hist);
+            return;
+        }
+        self.families.push(Family {
+            name: name.to_owned(),
+            help,
+            kind: MetricKind::Histogram,
+            samples: Vec::new(),
+            hists: vec![hist],
         });
     }
 
@@ -147,9 +217,241 @@ impl MetricsRegistry {
                     let _ = writeln!(out, " {}", s.value);
                 }
             }
+            for h in &f.hists {
+                let extra = |out: &mut String, le: Option<&str>| {
+                    let mut first = true;
+                    if le.is_some() || !h.labels.is_empty() {
+                        out.push('{');
+                        for (k, v) in &h.labels {
+                            if !first {
+                                out.push(',');
+                            }
+                            first = false;
+                            let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+                        }
+                        if let Some(le) = le {
+                            if !first {
+                                out.push(',');
+                            }
+                            let _ = write!(out, "le=\"{le}\"");
+                        }
+                        out.push('}');
+                    }
+                };
+                for (i, b) in h.bounds.iter().enumerate() {
+                    let _ = write!(out, "{}_bucket", f.name);
+                    extra(&mut out, Some(&b.to_string()));
+                    let _ = writeln!(out, " {}", h.cumulative[i]);
+                }
+                let _ = write!(out, "{}_bucket", f.name);
+                extra(&mut out, Some("+Inf"));
+                let _ = writeln!(out, " {}", h.cumulative[h.bounds.len()]);
+                let _ = write!(out, "{}_sum", f.name);
+                extra(&mut out, None);
+                let _ = writeln!(out, " {}", h.sum);
+                let _ = write!(out, "{}_count", f.name);
+                extra(&mut out, None);
+                let _ = writeln!(out, " {}", h.count);
+            }
         }
         out
     }
+}
+
+/// Conformance check for a full text-format scrape: family headers appear
+/// exactly once and before their samples, every sample line parses, every
+/// sample belongs to a declared family, and histogram series are
+/// internally consistent (cumulative buckets, `+Inf` equals `_count`).
+/// Returns the first violation found.
+pub fn lint_exposition(text: &str) -> Result<(), String> {
+    use std::collections::HashMap;
+    let mut kinds: HashMap<String, String> = HashMap::new();
+    let mut helped: HashMap<String, usize> = HashMap::new();
+    let mut sampled: HashMap<String, bool> = HashMap::new();
+    // Histogram bookkeeping: family -> labels -> (last le, last cum, inf, count)
+    #[derive(Default)]
+    struct HistCheck {
+        last_le: Option<f64>,
+        last_cum: Option<f64>,
+        inf: Option<f64>,
+        count: Option<f64>,
+    }
+    let mut hists: HashMap<(String, String), HistCheck> = HashMap::new();
+    for (ln, line) in text.lines().enumerate() {
+        let ln = ln + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().unwrap_or_default().to_owned();
+            if name.is_empty() {
+                return Err(format!("line {ln}: HELP without a metric name"));
+            }
+            *helped.entry(name.clone()).or_default() += 1;
+            if helped[&name] > 1 {
+                return Err(format!("line {ln}: duplicate HELP for {name}"));
+            }
+            if sampled.contains_key(&name) {
+                return Err(format!("line {ln}: HELP for {name} after its samples"));
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split(' ');
+            let name = it.next().unwrap_or_default().to_owned();
+            let kind = it.next().unwrap_or_default().to_owned();
+            if !matches!(
+                kind.as_str(),
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(format!("line {ln}: unknown TYPE {kind} for {name}"));
+            }
+            if kinds.insert(name.clone(), kind).is_some() {
+                return Err(format!("line {ln}: duplicate TYPE for {name}"));
+            }
+            if sampled.contains_key(&name) {
+                return Err(format!("line {ln}: TYPE for {name} after its samples"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // free-form comment
+        }
+        // Sample line: name[{labels}] value
+        let (series, value) = parse_sample_line(line)
+            .ok_or_else(|| format!("line {ln}: unparseable sample line: {line:?}"))?;
+        let (name, labels) = series;
+        let base = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suf| {
+                let stripped = name.strip_suffix(suf)?;
+                if kinds.get(stripped).map(String::as_str) == Some("histogram") {
+                    Some(stripped.to_owned())
+                } else {
+                    None
+                }
+            })
+            .unwrap_or_else(|| name.clone());
+        if !kinds.contains_key(&base) {
+            return Err(format!("line {ln}: sample for undeclared family {name}"));
+        }
+        sampled.insert(base.clone(), true);
+        if kinds[&base] == "histogram" {
+            // Strip the le label for the series key so one histogram's
+            // buckets group together.
+            let series_labels: Vec<&(String, String)> =
+                labels.iter().filter(|(k, _)| k != "le").collect();
+            let lkey = series_labels
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(",");
+            let check = hists.entry((base.clone(), lkey)).or_default();
+            if name.ends_with("_bucket") {
+                let le = labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .map(|(_, v)| v.as_str())
+                    .ok_or_else(|| format!("line {ln}: _bucket without le label"))?;
+                let le_v = if le == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    le.parse::<f64>()
+                        .map_err(|_| format!("line {ln}: bad le value {le:?}"))?
+                };
+                if let Some(prev) = check.last_le {
+                    if le_v <= prev {
+                        return Err(format!("line {ln}: le values not ascending"));
+                    }
+                }
+                if let Some(prev) = check.last_cum {
+                    if value < prev {
+                        return Err(format!("line {ln}: bucket counts not cumulative"));
+                    }
+                }
+                check.last_le = Some(le_v);
+                check.last_cum = Some(value);
+                if le_v.is_infinite() {
+                    check.inf = Some(value);
+                }
+            } else if name.ends_with("_count") {
+                check.count = Some(value);
+            }
+        }
+    }
+    for ((fam, labels), check) in &hists {
+        match (check.inf, check.count) {
+            (Some(i), Some(c)) if i != c => {
+                return Err(format!(
+                    "histogram {fam}{{{labels}}}: +Inf bucket {i} != count {c}"
+                ));
+            }
+            (None, _) => return Err(format!("histogram {fam}{{{labels}}}: no +Inf bucket")),
+            (_, None) => return Err(format!("histogram {fam}{{{labels}}}: no _count series")),
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Parses `name{k="v",...} value` (or `name value`); returns
+/// ((name, labels), value). Label values must be well-formed quoted
+/// strings with valid escapes.
+#[allow(clippy::type_complexity)]
+fn parse_sample_line(line: &str) -> Option<((String, Vec<(String, String)>), f64)> {
+    let (series, value) = line.rsplit_once(' ')?;
+    let value: f64 = value.parse().ok()?;
+    let (name, labels) = match series.find('{') {
+        None => (series.to_owned(), Vec::new()),
+        Some(open) => {
+            let name = series[..open].to_owned();
+            let body = series[open + 1..].strip_suffix('}')?;
+            let mut labels = Vec::new();
+            let mut rest = body;
+            while !rest.is_empty() {
+                let eq = rest.find("=\"")?;
+                let key = rest[..eq].to_owned();
+                rest = &rest[eq + 2..];
+                // Scan the quoted value honouring escapes.
+                let mut val = String::new();
+                let mut chars = rest.char_indices();
+                let mut end = None;
+                while let Some((i, c)) = chars.next() {
+                    match c {
+                        '\\' => {
+                            let (_, esc) = chars.next()?;
+                            match esc {
+                                '\\' => val.push('\\'),
+                                '"' => val.push('"'),
+                                'n' => val.push('\n'),
+                                _ => return None,
+                            }
+                        }
+                        '"' => {
+                            end = Some(i);
+                            break;
+                        }
+                        '\n' => return None,
+                        c => val.push(c),
+                    }
+                }
+                let end = end?;
+                labels.push((key, val));
+                rest = &rest[end + 1..];
+                rest = rest.strip_prefix(',').unwrap_or(rest);
+            }
+            (name, labels)
+        }
+    };
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        || name.chars().next().is_some_and(|c| c.is_ascii_digit())
+    {
+        return None;
+    }
+    Some(((name, labels), value))
 }
 
 /// Label-value escaping per the exposition format: backslash, quote,
@@ -217,5 +519,58 @@ mod tests {
         let mut reg = MetricsRegistry::new();
         reg.gauge("g", "G.", 0.5);
         assert!(reg.render().contains("g 0.5\n"));
+    }
+
+    #[test]
+    fn histograms_render_buckets_sum_count() {
+        let mut reg = MetricsRegistry::new();
+        reg.histogram("h_us", "H.", &[10, 100], &[1, 3, 4], 321, 4);
+        let text = reg.render();
+        assert!(text.contains("# TYPE h_us histogram\n"));
+        assert!(text.contains("h_us_bucket{le=\"10\"} 1\n"));
+        assert!(text.contains("h_us_bucket{le=\"100\"} 3\n"));
+        assert!(text.contains("h_us_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("h_us_sum 321\n"));
+        assert!(text.contains("h_us_count 4\n"));
+        assert_eq!(text.matches("# HELP h_us ").count(), 1);
+        lint_exposition(&text).unwrap();
+    }
+
+    #[test]
+    fn labelled_histograms_share_one_family() {
+        let mut reg = MetricsRegistry::new();
+        reg.histogram_with("h", "H.", &[("phase", "fold")], &[10], &[2, 2], 9, 2);
+        reg.histogram_with("h", "H.", &[("phase", "plan")], &[10], &[1, 1], 3, 1);
+        let text = reg.render();
+        assert_eq!(text.matches("# TYPE h histogram").count(), 1);
+        assert!(text.contains("h_bucket{phase=\"fold\",le=\"10\"} 2\n"));
+        assert!(text.contains("h_bucket{phase=\"plan\",le=\"10\"} 1\n"));
+        assert!(text.contains("h_count{phase=\"plan\"} 1\n"));
+        lint_exposition(&text).unwrap();
+    }
+
+    #[test]
+    fn lint_accepts_mixed_scrape_and_rejects_violations() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("c_total", "C.", 1);
+        reg.gauge_with("g", "G.", &[("q", "a\"b\\c\nd")], 1.5);
+        reg.histogram("h", "H.", &[5], &[0, 2], 11, 2);
+        lint_exposition(&reg.render()).unwrap();
+
+        // Duplicate TYPE.
+        let bad = "# TYPE x counter\n# TYPE x counter\nx 1\n";
+        assert!(lint_exposition(bad).unwrap_err().contains("duplicate TYPE"));
+        // Sample before its family header.
+        let bad = "x 1\n# TYPE x counter\n";
+        assert!(lint_exposition(bad).unwrap_err().contains("undeclared"));
+        // Non-cumulative buckets.
+        let bad = "# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\n\
+                   h_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n";
+        assert!(lint_exposition(bad).unwrap_err().contains("not cumulative"));
+        // +Inf bucket disagreeing with _count.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 4\n";
+        assert!(lint_exposition(bad).unwrap_err().contains("!= count"));
+        // Unparseable garbage.
+        assert!(lint_exposition("1bad{ 3\n").is_err());
     }
 }

@@ -72,6 +72,19 @@ pub enum GwRequest {
     Metrics,
     /// `GET /healthz` — prove the daemon event loop is serving.
     Health,
+    /// `GET /v1/traces` — recent sampled traces on this daemon.
+    Traces {
+        /// Maximum summaries to return.
+        limit: usize,
+    },
+    /// `GET /v1/trace/{id}` — one trace's span tree, merged across the
+    /// cluster by the daemon (scatter-gather over control sockets). The
+    /// id stays a raw string here: the daemon owns trace-id parsing, and
+    /// this crate stays dependency-free.
+    Trace {
+        /// Trace id as it appeared in the path (hex or decimal).
+        id: String,
+    },
 }
 
 /// What the daemon answers.
@@ -112,6 +125,11 @@ pub enum GwReply {
         /// False while some pinned tree has not reported yet.
         complete: bool,
     },
+    /// Pre-rendered JSON (trace endpoints: the daemon builds the body).
+    Json {
+        /// The response body, already valid JSON.
+        body: String,
+    },
     /// Liveness probe for quiescent watch streams: rendered as an SSE
     /// comment, exists so a hung-up client is detected without a delta.
     Keepalive,
@@ -134,6 +152,113 @@ pub struct GwJob {
     pub reply: Sender<GwReply>,
 }
 
+/// Bucket upper bounds (microseconds) for the gateway's request-latency
+/// histograms. Log-ish spacing from sub-millisecond one-shots out to the
+/// engine's front timeout; the final implicit bucket is `+Inf`.
+pub const LATENCY_BOUNDS_US: [u64; 12] = [
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 1_000_000,
+];
+
+/// A lock-free fixed-bucket histogram over [`LATENCY_BOUNDS_US`].
+/// Workers `observe` concurrently; the daemon's scrape thread snapshots
+/// cumulative counts in the exact shape `MetricsRegistry::histogram_with`
+/// wants. Tearing between buckets/sum under concurrent observes is
+/// tolerated — Prometheus histograms are sampled, not transactional.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    buckets: [AtomicU64; LATENCY_BOUNDS_US.len() + 1],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        AtomicHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+impl AtomicHistogram {
+    /// Records one observation in microseconds.
+    pub fn observe(&self, us: u64) {
+        let idx = LATENCY_BOUNDS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(LATENCY_BOUNDS_US.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(us, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `(cumulative bucket counts incl. +Inf, sum_us, count)` — the
+    /// arguments `MetricsRegistry::histogram_with` takes verbatim.
+    pub fn snapshot(&self) -> (Vec<u64>, u64, u64) {
+        let mut cumulative = Vec::with_capacity(self.buckets.len());
+        let mut running = 0u64;
+        for b in &self.buckets {
+            running += b.load(Ordering::Relaxed);
+            cumulative.push(running);
+        }
+        (
+            cumulative,
+            self.sum.load(Ordering::Relaxed),
+            self.count.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Request-latency histograms, one per endpoint class. Watch streams
+/// observe their whole stream lifetime (headers to hang-up), one-shots
+/// the read-to-written span.
+#[derive(Debug, Default)]
+pub struct EndpointLatency {
+    /// `/v1/query`.
+    pub query: AtomicHistogram,
+    /// `/v1/attrs`.
+    pub attrs: AtomicHistogram,
+    /// `/v1/watch` (stream lifetime).
+    pub watch: AtomicHistogram,
+    /// `/metrics`.
+    pub metrics: AtomicHistogram,
+    /// `/healthz`.
+    pub health: AtomicHistogram,
+    /// `/v1/traces` and `/v1/trace/{id}`.
+    pub traces: AtomicHistogram,
+    /// Everything else (404s, OPTIONS, parse failures).
+    pub other: AtomicHistogram,
+}
+
+impl EndpointLatency {
+    /// The histogram for an endpoint class label.
+    pub fn of(&self, class: &str) -> &AtomicHistogram {
+        match class {
+            "query" => &self.query,
+            "attrs" => &self.attrs,
+            "watch" => &self.watch,
+            "metrics" => &self.metrics,
+            "health" => &self.health,
+            "traces" => &self.traces,
+            _ => &self.other,
+        }
+    }
+
+    /// All classes, label first — iteration order is the scrape order.
+    pub fn families(&self) -> [(&'static str, &AtomicHistogram); 7] {
+        [
+            ("query", &self.query),
+            ("attrs", &self.attrs),
+            ("watch", &self.watch),
+            ("metrics", &self.metrics),
+            ("health", &self.health),
+            ("traces", &self.traces),
+            ("other", &self.other),
+        ]
+    }
+}
+
 /// Live counters the gateway keeps about itself (lock-free; scraped into
 /// `/metrics` alongside the subsystem counters).
 #[derive(Debug, Default)]
@@ -150,12 +275,42 @@ pub struct GatewayStats {
     pub scrapes: AtomicU64,
     /// `/healthz` probes served.
     pub health_checks: AtomicU64,
+    /// Trace endpoint requests (`/v1/traces`, `/v1/trace/{id}`).
+    pub traces: AtomicU64,
     /// Responses with a 4xx/5xx status.
     pub errors: AtomicU64,
     /// SSE streams currently holding a pool slot (reserved at routing
     /// time, released when the stream ends — so mid-setup streams
     /// count, and the half-pool cap cannot be raced past).
     pub open_streams: AtomicI64,
+    /// Request latency by endpoint class.
+    pub latency: EndpointLatency,
+}
+
+/// Where access-log lines go: the daemon passes a sink (stderr, a file)
+/// and the gateway calls it once per finished request with one JSON line
+/// (no trailing newline). Must be cheap and non-blocking-ish: workers
+/// call it inline.
+pub type AccessLogSink = Arc<dyn Fn(&str) + Send + Sync>;
+
+/// Renders one access-log line as a single JSON object. Pure — the
+/// caller supplies the timestamp — so tests can assert the exact line.
+pub fn access_log_line(
+    ts_ms: u64,
+    method: &str,
+    path: &str,
+    status: u16,
+    duration_us: u64,
+    bytes: usize,
+    peer: &str,
+) -> String {
+    format!(
+        "{{\"ts_ms\":{ts_ms},\"method\":{},\"path\":{},\"status\":{status},\
+         \"duration_us\":{duration_us},\"bytes\":{bytes},\"peer\":{}}}",
+        json::escape(method),
+        json::escape(path),
+        json::escape(peer)
+    )
 }
 
 /// A running gateway: address, stats, and the stop switch.
@@ -194,6 +349,18 @@ impl GatewayHandle {
 /// Panics if the listener's local address cannot be read or threads
 /// cannot spawn — both are boot-time process failures.
 pub fn spawn_gateway(listener: TcpListener, tx: Sender<GwJob>, workers: usize) -> GatewayHandle {
+    spawn_gateway_opts(listener, tx, workers, None)
+}
+
+/// [`spawn_gateway`] with options: an optional access-log sink that
+/// receives one JSON line per finished request (and per ended SSE
+/// stream).
+pub fn spawn_gateway_opts(
+    listener: TcpListener,
+    tx: Sender<GwJob>,
+    workers: usize,
+    access_log: Option<AccessLogSink>,
+) -> GatewayHandle {
     let addr = listener.local_addr().expect("gateway listener addr");
     let stats = Arc::new(GatewayStats::default());
     let stop = Arc::new(AtomicBool::new(false));
@@ -215,6 +382,7 @@ pub fn spawn_gateway(listener: TcpListener, tx: Sender<GwJob>, workers: usize) -
         let tx = tx.clone();
         let stats = Arc::clone(&stats);
         let stop = Arc::clone(&stop);
+        let access_log = access_log.clone();
         std::thread::Builder::new()
             .name(format!("moara-gw-worker-{i}"))
             .spawn(move || loop {
@@ -223,7 +391,7 @@ pub fn spawn_gateway(listener: TcpListener, tx: Sender<GwJob>, workers: usize) -
                     Err(_) => return,
                 };
                 let Ok(stream) = conn else { return };
-                serve_connection(stream, &tx, &stats, &stop, max_streams);
+                serve_connection(stream, &tx, &stats, &stop, max_streams, &access_log);
             })
             .expect("spawn gateway worker");
     }
@@ -269,6 +437,51 @@ const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
 /// starve `/healthz` — the non-streaming twin of the SSE cap.
 const IDLE_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// Times one finished request into the per-endpoint histogram and, when
+/// a sink is configured, emits one access-log line.
+#[allow(clippy::too_many_arguments)]
+fn finish_request(
+    stats: &GatewayStats,
+    access_log: &Option<AccessLogSink>,
+    class: &'static str,
+    method: &str,
+    path: &str,
+    status: u16,
+    started: std::time::Instant,
+    bytes: usize,
+    peer: &str,
+) {
+    let duration_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    stats.latency.of(class).observe(duration_us);
+    if let Some(sink) = access_log {
+        let ts_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+            .unwrap_or(0);
+        sink(&access_log_line(
+            ts_ms,
+            method,
+            path,
+            status,
+            duration_us,
+            bytes,
+            peer,
+        ));
+    }
+}
+
+/// The latency/access-log endpoint class of a routed request.
+fn endpoint_class(req: &GwRequest) -> &'static str {
+    match req {
+        GwRequest::Query { .. } => "query",
+        GwRequest::SetAttrs { .. } => "attrs",
+        GwRequest::Watch { .. } => "watch",
+        GwRequest::Metrics => "metrics",
+        GwRequest::Health => "health",
+        GwRequest::Traces { .. } | GwRequest::Trace { .. } => "traces",
+    }
+}
+
 /// Serves one connection: requests in, responses out, until the client
 /// hangs up, sends `Connection: close`, goes idle past [`IDLE_TIMEOUT`],
 /// or upgrades to an SSE stream.
@@ -278,9 +491,14 @@ fn serve_connection(
     stats: &GatewayStats,
     stop: &AtomicBool,
     max_streams: i64,
+    access_log: &Option<AccessLogSink>,
 ) {
     let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
     let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "-".into());
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -295,10 +513,23 @@ fn serve_connection(
             Err(HttpError::Io(_)) => return,
             Err(HttpError::Bad(why)) => {
                 stats.errors.fetch_add(1, Ordering::Relaxed);
-                let _ = HttpResponse::error(400, why).write_to(&mut writer, false);
+                let response = HttpResponse::error(400, why);
+                finish_request(
+                    stats,
+                    access_log,
+                    "other",
+                    "-",
+                    "-",
+                    response.status,
+                    std::time::Instant::now(),
+                    response.body.len(),
+                    &peer,
+                );
+                let _ = response.write_to(&mut writer, false);
                 return;
             }
         };
+        let started = std::time::Instant::now();
         if stop.load(Ordering::SeqCst) {
             let _ = HttpResponse::error(503, "shutting down").write_to(&mut writer, false);
             return;
@@ -309,6 +540,17 @@ fn serve_connection(
         if req.method == "OPTIONS" {
             let response = HttpResponse::text(200, "text/plain; charset=utf-8", "")
                 .with_allow(ALLOWED_METHODS);
+            finish_request(
+                stats,
+                access_log,
+                "other",
+                &req.method,
+                &req.path,
+                response.status,
+                started,
+                0,
+                &peer,
+            );
             if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
                 return;
             }
@@ -331,8 +573,19 @@ fn serve_connection(
                 if stats.open_streams.fetch_add(1, Ordering::SeqCst) >= max_streams {
                     stats.open_streams.fetch_sub(1, Ordering::SeqCst);
                     stats.errors.fetch_add(1, Ordering::Relaxed);
-                    let _ = HttpResponse::error(503, "too many watch streams")
-                        .write_to(&mut writer, false);
+                    let response = HttpResponse::error(503, "too many watch streams");
+                    finish_request(
+                        stats,
+                        access_log,
+                        "watch",
+                        &req.method,
+                        &req.path,
+                        response.status,
+                        started,
+                        response.body.len(),
+                        &peer,
+                    );
+                    let _ = response.write_to(&mut writer, false);
                     return;
                 }
                 stats.watches_opened.fetch_add(1, Ordering::Relaxed);
@@ -348,6 +601,20 @@ fn serve_connection(
                     },
                 );
                 stats.open_streams.fetch_sub(1, Ordering::SeqCst);
+                // One line per stream, at stream end: duration is the
+                // stream's whole lifetime, bytes are not tracked frame
+                // by frame.
+                finish_request(
+                    stats,
+                    access_log,
+                    "watch",
+                    &req.method,
+                    &req.path,
+                    200,
+                    started,
+                    0,
+                    &peer,
+                );
                 return; // SSE streams never keep-alive into a next request
             }
             Ok(gw_req) => {
@@ -356,13 +623,27 @@ fn serve_connection(
                     GwRequest::SetAttrs { .. } => &stats.attr_sets,
                     GwRequest::Metrics => &stats.scrapes,
                     GwRequest::Health => &stats.health_checks,
+                    GwRequest::Traces { .. } | GwRequest::Trace { .. } => &stats.traces,
                     GwRequest::Watch { .. } => unreachable!("handled above"),
                 };
                 counter.fetch_add(1, Ordering::Relaxed);
+                let class = endpoint_class(&gw_req);
                 let response = one_shot(tx, gw_req);
                 if response.status >= 400 {
                     stats.errors.fetch_add(1, Ordering::Relaxed);
                 }
+                let body_bytes = if head_only { 0 } else { response.body.len() };
+                finish_request(
+                    stats,
+                    access_log,
+                    class,
+                    &req.method,
+                    &req.path,
+                    response.status,
+                    started,
+                    body_bytes,
+                    &peer,
+                );
                 let sent = if head_only {
                     response.write_head_to(&mut writer, keep_alive)
                 } else {
@@ -374,6 +655,18 @@ fn serve_connection(
             }
             Err(response) => {
                 stats.errors.fetch_add(1, Ordering::Relaxed);
+                let body_bytes = if head_only { 0 } else { response.body.len() };
+                finish_request(
+                    stats,
+                    access_log,
+                    "other",
+                    &req.method,
+                    &req.path,
+                    response.status,
+                    started,
+                    body_bytes,
+                    &peer,
+                );
                 let sent = if head_only {
                     response.write_head_to(&mut writer, keep_alive)
                 } else {
@@ -432,6 +725,22 @@ fn route(req: &HttpRequest) -> Result<GwRequest, HttpResponse> {
         }
         ("GET" | "HEAD", "/metrics") => Ok(GwRequest::Metrics),
         ("GET" | "HEAD", "/healthz") => Ok(GwRequest::Health),
+        ("GET" | "HEAD", "/v1/traces") => {
+            let limit = match req.param("limit") {
+                None => 50,
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| HttpResponse::error(400, "limit must be an integer"))?,
+            };
+            Ok(GwRequest::Traces { limit })
+        }
+        ("GET" | "HEAD", path) if path.starts_with("/v1/trace/") => {
+            let id = &path["/v1/trace/".len()..];
+            if id.is_empty() {
+                return Err(HttpResponse::error(400, "missing trace id"));
+            }
+            Ok(GwRequest::Trace { id: id.to_owned() })
+        }
         ("GET" | "HEAD" | "POST", _) => Err(HttpResponse::error(404, "no such endpoint")),
         _ => Err(HttpResponse::error(405, "method not allowed").with_allow(ALLOWED_METHODS)),
     }
@@ -539,6 +848,7 @@ fn render_reply(reply: GwReply) -> HttpResponse {
                 "{{\"status\":\"ok\",\"node\":{node},\"members\":{members},\"alive\":{alive}}}\n"
             ),
         ),
+        GwReply::Json { body } => HttpResponse::json(200, body),
         GwReply::Error { status, msg } => HttpResponse::error(status, &msg),
         GwReply::Update { .. } | GwReply::Keepalive => {
             HttpResponse::error(500, "streaming reply to one-shot request")
@@ -948,6 +1258,138 @@ mod tests {
         );
         assert!(parse_attr_body("justnonsense").is_err());
         assert!(parse_attr_body("=v&A=1").is_err());
+    }
+
+    #[test]
+    fn trace_endpoints_route_and_render_json() {
+        let gw = test_gateway(|req, reply| match req {
+            GwRequest::Traces { limit } => {
+                assert_eq!(limit, 5);
+                let _ = reply.send(GwReply::Json {
+                    body: "{\"traces\":[]}\n".into(),
+                });
+            }
+            GwRequest::Trace { id } => {
+                assert_eq!(id, "00000002-0000002a");
+                let _ = reply.send(GwReply::Json {
+                    body: "{\"trace_id\":\"00000002-0000002a\",\"spans\":[]}\n".into(),
+                });
+            }
+            other => panic!("unexpected {other:?}"),
+        });
+        let resp = roundtrip(
+            gw.addr(),
+            "GET /v1/traces?limit=5 HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 200 OK\r\n"), "{resp}");
+        assert!(resp.contains("{\"traces\":[]}"), "{resp}");
+        let resp = roundtrip(
+            gw.addr(),
+            "GET /v1/trace/00000002-0000002a HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(
+            resp.contains("\"trace_id\":\"00000002-0000002a\""),
+            "{resp}"
+        );
+        assert_eq!(gw.stats().traces.load(Ordering::Relaxed), 2);
+        // Both requests landed in the traces latency histogram.
+        let (_, _, count) = gw.stats().latency.traces.snapshot();
+        assert_eq!(count, 2);
+        // An empty id is a client error, not a daemon round-trip.
+        let resp = roundtrip(
+            gw.addr(),
+            "GET /v1/trace/ HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 400 "), "{resp}");
+    }
+
+    #[test]
+    fn access_log_emits_one_json_line_per_request() {
+        let lines: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink_lines = Arc::clone(&lines);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let (tx, rx) = std::sync::mpsc::channel::<GwJob>();
+        std::thread::spawn(move || {
+            for job in rx {
+                if let GwRequest::Health = job.req {
+                    let _ = job.reply.send(GwReply::Health {
+                        node: 7,
+                        members: 1,
+                        alive: 1,
+                    });
+                }
+            }
+        });
+        let sink: AccessLogSink = Arc::new(move |line: &str| {
+            sink_lines.lock().unwrap().push(line.to_owned());
+        });
+        let gw = spawn_gateway_opts(listener, tx, 2, Some(sink));
+        let resp = roundtrip(
+            gw.addr(),
+            "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 200 "), "{resp}");
+        let resp = roundtrip(gw.addr(), "GET /nope HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 404 "), "{resp}");
+        let lines = lines.lock().unwrap();
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        assert!(
+            lines[0].contains("\"method\":\"GET\"")
+                && lines[0].contains("\"path\":\"/healthz\"")
+                && lines[0].contains("\"status\":200"),
+            "{}",
+            lines[0]
+        );
+        assert!(
+            lines[1].contains("\"path\":\"/nope\"") && lines[1].contains("\"status\":404"),
+            "{}",
+            lines[1]
+        );
+        for line in lines.iter() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains("\"duration_us\":"), "{line}");
+            assert!(line.contains("\"bytes\":"), "{line}");
+            assert!(line.contains("\"peer\":\"127.0.0.1:"), "{line}");
+        }
+    }
+
+    #[test]
+    fn access_log_line_is_exact_and_escapes() {
+        let line = access_log_line(
+            1700000000123,
+            "GET",
+            "/v1/query",
+            200,
+            4321,
+            17,
+            "10.0.0.9:55123",
+        );
+        assert_eq!(
+            line,
+            "{\"ts_ms\":1700000000123,\"method\":\"GET\",\"path\":\"/v1/query\",\
+             \"status\":200,\"duration_us\":4321,\"bytes\":17,\"peer\":\"10.0.0.9:55123\"}"
+        );
+        // Hostile path characters must come out escaped, keeping the line
+        // one valid JSON object.
+        let line = access_log_line(1, "GET", "/v1/query?q=\"x\"\n", 400, 1, 0, "-");
+        assert!(line.contains("\\\"x\\\"\\n"), "{line}");
+    }
+
+    #[test]
+    fn atomic_histogram_buckets_cumulate() {
+        let h = AtomicHistogram::default();
+        h.observe(50); // <= 100
+        h.observe(150); // <= 250
+        h.observe(2_000_000); // +Inf
+        let (cumulative, sum, count) = h.snapshot();
+        assert_eq!(count, 3);
+        assert_eq!(sum, 50 + 150 + 2_000_000);
+        assert_eq!(cumulative.len(), LATENCY_BOUNDS_US.len() + 1);
+        assert_eq!(cumulative[0], 1);
+        assert_eq!(cumulative[1], 2);
+        assert_eq!(*cumulative.last().unwrap(), 3);
+        // Monotone non-decreasing throughout.
+        assert!(cumulative.windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]

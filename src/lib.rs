@@ -55,6 +55,7 @@ pub use moara_membership as membership;
 pub use moara_query as query;
 pub use moara_simnet as simnet;
 pub use moara_subscribe as subscribe;
+pub use moara_trace as trace;
 pub use moara_transport as transport;
 pub use moara_wire as wire;
 

@@ -1,0 +1,109 @@
+//! Distributed-tracing behaviour on the simulator backend: span trees
+//! cover every query phase, causal links are intact, sampling thins
+//! roots, and — because the simulator is deterministic — two identical
+//! runs record byte-identical span sets.
+
+use moara::trace::{Phase, SpanRecord};
+use moara::{Cluster, NodeId};
+
+/// A traced testbed: 40 nodes, two overlapping groups, tracing every
+/// query.
+fn testbed(seed: u64, sample_every: u64) -> Cluster {
+    let mut c = Cluster::builder()
+        .nodes(40)
+        .seed(seed)
+        .tracing(sample_every)
+        .build();
+    for i in 0..40u32 {
+        let node = NodeId(i);
+        c.set_attr(node, "a", i % 2 == 0);
+        c.set_attr(node, "b", i % 3 == 0);
+    }
+    c.run_to_quiescence();
+    c
+}
+
+/// Runs the canonical composite query and returns the recorded spans for
+/// it, sorted into a canonical order.
+fn traced_query(c: &mut Cluster) -> (u64, Vec<SpanRecord>) {
+    let out = c
+        .query(NodeId(7), "SELECT count(*) WHERE a = true AND b = true")
+        .unwrap();
+    assert!(out.complete);
+    let trace_id = out.qid.tag();
+    let mut spans = c.tracer().expect("tracing enabled").spans_for(trace_id);
+    spans.sort_by_key(|s| (s.span_id, s.start_us, s.node));
+    (trace_id, spans)
+}
+
+#[test]
+fn span_tree_covers_all_phases_and_is_causally_linked() {
+    let mut c = testbed(11, 1);
+    let (trace_id, spans) = traced_query(&mut c);
+    assert!(!spans.is_empty(), "a traced query must record spans");
+
+    // Every phase of a composite query shows up.
+    for phase in [Phase::Parse, Phase::Plan, Phase::FanOut, Phase::Fold] {
+        assert!(
+            spans.iter().any(|s| s.phase == phase),
+            "missing {phase:?} span in {spans:#?}"
+        );
+    }
+
+    // Exactly one root (the front-end's parse span), and every other
+    // span's parent is present: the store is shared in-process, so the
+    // merged tree must be orphan-free.
+    let roots: Vec<&SpanRecord> = spans.iter().filter(|s| s.parent_span_id == 0).collect();
+    assert_eq!(roots.len(), 1, "one root span, got {roots:#?}");
+    assert_eq!(roots[0].phase, Phase::Parse);
+    assert_eq!(roots[0].node, 7, "root belongs to the origin front-end");
+    let ids: std::collections::HashSet<u64> = spans.iter().map(|s| s.span_id).collect();
+    for s in &spans {
+        assert_eq!(s.trace_id, trace_id);
+        assert!(
+            s.parent_span_id == 0 || ids.contains(&s.parent_span_id),
+            "orphan span {s:?}"
+        );
+    }
+
+    // More than one node took part: the fan-out crossed the overlay.
+    let nodes: std::collections::HashSet<u32> = spans.iter().map(|s| s.node).collect();
+    assert!(
+        nodes.len() > 1,
+        "expected a multi-node trace, got {nodes:?}"
+    );
+}
+
+#[test]
+fn identical_runs_record_identical_spans() {
+    // The simulator is deterministic, and the tracer must not break
+    // that: same seed, same workload, same spans — ids, phases, nodes,
+    // timings, byte counts, everything.
+    let (id_a, spans_a) = traced_query(&mut testbed(23, 1));
+    let (id_b, spans_b) = traced_query(&mut testbed(23, 1));
+    assert_eq!(id_a, id_b);
+    assert_eq!(spans_a, spans_b);
+    // And a different seed genuinely changes the trace.
+    let (_, spans_c) = traced_query(&mut testbed(24, 1));
+    assert_ne!(spans_a, spans_c);
+}
+
+#[test]
+fn sampling_thins_roots_and_zero_disables() {
+    // sample_every = 2: every other root query is traced.
+    let mut c = testbed(5, 2);
+    let mut traced = 0;
+    for _ in 0..6 {
+        let out = c
+            .query(NodeId(3), "SELECT count(*) WHERE a = true")
+            .unwrap();
+        if !c.tracer().unwrap().spans_for(out.qid.tag()).is_empty() {
+            traced += 1;
+        }
+    }
+    assert_eq!(traced, 3, "1-in-2 sampling should trace half the queries");
+
+    // sample_every = 0: no tracer is attached at all.
+    let c = Cluster::builder().nodes(4).seed(5).tracing(0).build();
+    assert!(c.tracer().is_none());
+}

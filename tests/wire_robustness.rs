@@ -46,11 +46,13 @@ fn samples() -> Vec<MoaraMsg> {
         tree: Id::of_attribute("ServiceX"),
         query,
         reply_to: NodeId(12),
+        trace: None,
     };
     let probe = MoaraMsg::SizeProbe {
         qid: qid(1, 2),
         pred_key: "CPU-Util<50".into(),
         reply_to: NodeId(1),
+        trace: None,
     };
     let routed_probe = MoaraMsg::Route {
         key: Id::of_attribute("CPU-Util"),
@@ -71,6 +73,7 @@ fn samples() -> Vec<MoaraMsg> {
             },
             np: 7,
             complete: true,
+            trace: None,
         },
         MoaraMsg::Status {
             pred_key: "ServiceX=true".into(),
@@ -85,6 +88,7 @@ fn samples() -> Vec<MoaraMsg> {
             qid: qid(1, 2),
             pred_key: "CPU-Util<50".into(),
             cost: 64,
+            trace: None,
         },
         routed_probe.clone(),
         // Route-in-route: a probe relayed across two overlay hops.
@@ -125,6 +129,7 @@ fn samples() -> Vec<MoaraMsg> {
                 sum_sq: 14.0,
                 count: 3,
             },
+            trace: None,
         },
         MoaraMsg::SubRenew {
             sid: sub_id,

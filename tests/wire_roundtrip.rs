@@ -67,6 +67,7 @@ fn query_down_roundtrips() {
         tree: Id::of_attribute("ServiceX"),
         query: composite_query(),
         reply_to: NodeId(12),
+        trace: None,
     });
     // Node-oriented query, no attribute.
     roundtrip(&MoaraMsg::QueryDown {
@@ -76,6 +77,7 @@ fn query_down_roundtrips() {
         tree: Id(u64::MAX),
         query: Query::new(None, AggKind::Count, Predicate::All),
         reply_to: NodeId(0),
+        trace: None,
     });
 }
 
@@ -111,6 +113,7 @@ fn query_reply_roundtrips_for_every_agg_state() {
             state,
             np: 11,
             complete: false,
+            trace: None,
         });
     }
 }
@@ -141,11 +144,13 @@ fn size_probe_and_reply_roundtrip() {
         qid: qid(2, 7),
         pred_key: "ServiceX=true".into(),
         reply_to: NodeId(2),
+        trace: None,
     });
     roundtrip(&MoaraMsg::SizeReply {
         qid: qid(2, 7),
         pred_key: "ServiceX=true".into(),
         cost: 64,
+        trace: None,
     });
 }
 
@@ -157,6 +162,7 @@ fn batch_roundtrips() {
             qid: qid(4, 2),
             pred_key: format!("{key}=true"),
             reply_to: NodeId(4),
+            trace: None,
         }),
     };
     roundtrip(&MoaraMsg::Batch { items: vec![] });
@@ -173,6 +179,7 @@ fn batch_roundtrips() {
                     tree: Id::of_attribute("ServiceX"),
                     query: composite_query(),
                     reply_to: NodeId(4),
+                    trace: None,
                 }),
             },
         ],
@@ -188,6 +195,7 @@ fn route_nesting_roundtrips() {
         qid: qid(5, 0),
         pred_key: "ServiceX=true".into(),
         reply_to: NodeId(5),
+        trace: None,
     };
     let one = MoaraMsg::Route {
         key: Id::of_attribute("ServiceX"),
@@ -210,6 +218,7 @@ fn route_nesting_roundtrips() {
             tree: Id::of_attribute("OS"),
             query: composite_query(),
             reply_to: NodeId(8),
+            trace: None,
         }),
     });
 
@@ -291,6 +300,7 @@ fn sub_delta_roundtrips_for_every_agg_state() {
             pred_key: "ServiceX=true".into(),
             seq: 12,
             state,
+            trace: None,
         });
     }
 }
@@ -328,6 +338,7 @@ fn decoding_rejects_corruption() {
         qid: qid(0, 0),
         pred_key: "A=1".into(),
         cost: 1,
+        trace: None,
     };
     let mut bytes = msg.to_bytes();
     bytes[0] = 0xEE; // bogus variant tag
