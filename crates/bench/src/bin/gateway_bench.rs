@@ -10,9 +10,19 @@
 //! host); the clients are raw keep-alive sockets speaking HTTP/1.1.
 //!
 //! ```text
-//! cargo run --release -p moara-bench --bin gateway_bench            # full scale
-//! cargo run --release -p moara-bench --bin gateway_bench -- --smoke # CI gate
+//! cargo run --release -p moara-bench --bin gateway_bench                         # full scale
+//! cargo run --release -p moara-bench --bin gateway_bench -- --smoke              # CI gate
+//! cargo run --release -p moara-bench --bin gateway_bench -- --profile read-heavy # cache on/off
 //! ```
+//!
+//! The default profile measures the raw tree-walk path (result cache
+//! off, so numbers stay comparable across runs of this bench). The
+//! `read-heavy` profile measures a high repeat-rate query mix twice —
+//! once with the result cache disabled, once with it enabled and warmed
+//! — and records both, plus their ratio; with `--smoke` it *gates*:
+//! cached throughput must beat uncached by ≥5× with zero coherence
+//! errors (responses are validated against the known-correct answer on
+//! every request, cached or not).
 //!
 //! Writes `BENCH_gateway.json` (p50/p95/p99 latency, req/s, error
 //! count). `--smoke` additionally *gates*: every request must succeed
@@ -21,11 +31,14 @@
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use moara_attributes::Value;
 use moara_bench::BenchReport;
 use moara_daemon::{ctrl_roundtrip, CtrlReply, CtrlRequest, Daemon, DaemonOpts};
+use moara_gateway::CacheConfig;
 
 struct Scale {
     label: &'static str,
@@ -49,7 +62,15 @@ fn free_port() -> SocketAddr {
 }
 
 /// Boots one daemon on its own thread; returns (ctrl addr, http addr).
-fn boot_daemon(join: Option<String>, service_x: bool) -> (SocketAddr, SocketAddr) {
+/// The thread serves until `stop` flips, then shuts the daemon down —
+/// so a finished cluster's event loops don't keep stealing CPU from
+/// the next measured pass.
+fn boot_daemon(
+    join: Option<String>,
+    service_x: bool,
+    cache: Option<CacheConfig>,
+    stop: Arc<AtomicBool>,
+) -> (SocketAddr, SocketAddr) {
     let listen = free_port();
     let (tx, rx) = std::sync::mpsc::channel();
     std::thread::spawn(move || {
@@ -63,14 +84,16 @@ fn boot_daemon(join: Option<String>, service_x: bool) -> (SocketAddr, SocketAddr
                 ),
             ],
             http: Some("127.0.0.1:0".parse().expect("literal addr")),
+            query_cache: cache,
             ..DaemonOpts::new(listen)
         })
         .expect("daemon boots");
         tx.send((d.ctrl_addr(), d.http_addr().expect("gateway enabled")))
             .expect("report addrs");
-        loop {
+        while !stop.load(Ordering::Relaxed) {
             d.step(Duration::from_millis(2));
         }
+        d.shutdown();
     });
     rx.recv_timeout(Duration::from_secs(30)).expect("daemon up")
 }
@@ -92,12 +115,13 @@ fn wait_members(ctrl: SocketAddr, want: u32) {
     }
 }
 
-/// One HTTP request on a persistent connection; returns (status, body).
+/// One HTTP request on a persistent connection; returns (status, body,
+/// `X-Moara-Cache` header if present).
 fn http_roundtrip(
     reader: &mut BufReader<TcpStream>,
     writer: &mut TcpStream,
     request: &str,
-) -> Result<(u16, String), String> {
+) -> Result<(u16, String, Option<String>), String> {
     writer
         .write_all(request.as_bytes())
         .and_then(|()| writer.flush())
@@ -112,6 +136,7 @@ fn http_roundtrip(
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| format!("bad status line {status_line:?}"))?;
     let mut content_length = 0usize;
+    let mut cache = None;
     loop {
         let mut line = String::new();
         reader
@@ -120,27 +145,229 @@ fn http_roundtrip(
         if line == "\r\n" {
             break;
         }
-        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+        let lower = line.to_ascii_lowercase();
+        if let Some(v) = lower.strip_prefix("content-length:") {
             content_length = v.trim().parse().map_err(|e| format!("len: {e}"))?;
+        }
+        if let Some(v) = lower.strip_prefix("x-moara-cache:") {
+            cache = Some(v.trim().to_owned());
         }
     }
     let mut body = vec![0u8; content_length];
     reader
         .read_exact(&mut body)
         .map_err(|e| format!("body: {e}"))?;
-    Ok((status, String::from_utf8_lossy(&body).into_owned()))
+    Ok((status, String::from_utf8_lossy(&body).into_owned(), cache))
 }
 
+/// Ceil-based nearest-rank percentile over a sorted slice, in ms. With
+/// `.round()` the p-th percentile could resolve *below* the p-th of the
+/// observations at small N (100 samples → "p99" at rank 98), making
+/// smoke gates looser than advertised; ceil is the standard
+/// nearest-rank definition: the smallest value with at least p% of the
+/// sample at or below it.
 fn percentile(sorted_us: &[u64], p: f64) -> f64 {
     if sorted_us.is_empty() {
         return f64::NAN;
     }
-    let rank = (p / 100.0 * (sorted_us.len() - 1) as f64).round() as usize;
-    sorted_us[rank.min(sorted_us.len() - 1)] as f64 / 1000.0
+    let n = sorted_us.len();
+    let rank = ((p / 100.0) * n as f64).ceil() as usize;
+    sorted_us[rank.clamp(1, n) - 1] as f64 / 1000.0
 }
 
-fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+/// What one measured pass produced.
+struct Pass {
+    /// Sorted request latencies, µs (successful requests only).
+    latencies_us: Vec<u64>,
+    /// Transport-/status-level failures.
+    errors: u64,
+    /// 200s whose body did not match the known-correct answer — on the
+    /// read-heavy profile these are *coherence* failures (a cache
+    /// serving a stale or wrong standing result).
+    coherence_errors: u64,
+    /// Responses tagged `X-Moara-Cache: hit`.
+    hits: u64,
+    /// Responses tagged `X-Moara-Cache: coalesced`.
+    coalesced: u64,
+    /// Wall-clock seconds.
+    elapsed: f64,
+}
+
+impl Pass {
+    fn req_per_s(&self) -> f64 {
+        self.latencies_us.len() as f64 / self.elapsed
+    }
+}
+
+/// Runs one measured pass: `clients` threads × `requests` keep-alive
+/// requests each, spraying across the daemons' gateways, validating
+/// every body against `expect`.
+fn run_pass(
+    https: &[SocketAddr],
+    clients: usize,
+    requests: usize,
+    request: &'static str,
+    expect: &str,
+) -> Pass {
+    let started = Instant::now();
+    let mut workers = Vec::new();
+    for c in 0..clients {
+        let addr = https[c % https.len()];
+        let expect = expect.to_owned();
+        workers.push(std::thread::spawn(move || {
+            let mut latencies_us = Vec::with_capacity(requests);
+            let (mut errors, mut coherence_errors) = (0u64, 0u64);
+            let (mut hits, mut coalesced) = (0u64, 0u64);
+            let mut writer = TcpStream::connect(addr).expect("client connect");
+            writer
+                .set_read_timeout(Some(Duration::from_secs(30)))
+                .expect("timeout");
+            let mut reader = BufReader::new(writer.try_clone().expect("clone"));
+            for _ in 0..requests {
+                let t0 = Instant::now();
+                match http_roundtrip(&mut reader, &mut writer, request) {
+                    Ok((200, body, cache)) => {
+                        if body.contains(&expect) {
+                            latencies_us.push(t0.elapsed().as_micros() as u64);
+                            match cache.as_deref() {
+                                Some("hit") => hits += 1,
+                                Some("coalesced") => coalesced += 1,
+                                _ => {}
+                            }
+                        } else {
+                            coherence_errors += 1;
+                        }
+                    }
+                    Ok(_) | Err(_) => errors += 1,
+                }
+            }
+            (latencies_us, errors, coherence_errors, hits, coalesced)
+        }));
+    }
+    let mut pass = Pass {
+        latencies_us: Vec::new(),
+        errors: 0,
+        coherence_errors: 0,
+        hits: 0,
+        coalesced: 0,
+        elapsed: 0.0,
+    };
+    for w in workers {
+        let (lat, err, coh, hits, coal) = w.join().expect("client thread");
+        pass.latencies_us.extend(lat);
+        pass.errors += err;
+        pass.coherence_errors += coh;
+        pass.hits += hits;
+        pass.coalesced += coal;
+    }
+    pass.elapsed = started.elapsed().as_secs_f64();
+    pass.latencies_us.sort_unstable();
+    pass
+}
+
+/// A running cluster: every daemon's HTTP address plus the flag that
+/// tells the daemon threads to shut down and stop consuming CPU.
+struct Fleet {
+    https: Vec<SocketAddr>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Fleet {
+    /// Signals the daemons down and gives their event loops a beat to
+    /// exit, so the next cluster measures on a quiet machine.
+    fn retire(self) {
+        self.stop.store(true, Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Boots a cluster of `daemons` gateways (seed + joiners) and waits for
+/// convergence.
+fn boot_cluster(daemons: usize, cache: Option<CacheConfig>) -> Fleet {
+    let stop = Arc::new(AtomicBool::new(false));
+    let (seed_ctrl, seed_http) = boot_daemon(None, true, cache.clone(), stop.clone());
+    let mut https = vec![seed_http];
+    for i in 1..daemons {
+        let (_ctrl, http) = boot_daemon(
+            Some(seed_ctrl.to_string()),
+            i % 2 == 0,
+            cache.clone(),
+            stop.clone(),
+        );
+        https.push(http);
+    }
+    wait_members(seed_ctrl, daemons as u32);
+    Fleet { https, stop }
+}
+
+/// The default profile's hot query (the simple-predicate walk the bench
+/// has always tracked), and the substring a correct answer contains.
+fn hot_query(daemons: usize) -> (&'static str, String) {
+    let in_group = daemons.div_ceil(2);
+    (
+        "GET /v1/query?q=SELECT%20count(*)%20WHERE%20ServiceX%20%3D%20true \
+         HTTP/1.1\r\nHost: bench\r\n\r\n",
+        format!("\"result\":\"{in_group}\""),
+    )
+}
+
+/// The read-heavy profile's hot query: a composite predicate
+/// (`ServiceX = true AND CPU-Util < 50`), the shape a dashboard pins —
+/// the walk pays CNF planning and cover probes on every miss while a
+/// cache hit costs the same hash lookup either way. ServiceX daemons
+/// boot with `CPU-Util = 30`, the rest `80`, so the composite count
+/// equals the ServiceX count.
+fn hot_composite_query(daemons: usize) -> (&'static str, String) {
+    let in_group = daemons.div_ceil(2);
+    (
+        "GET /v1/query?q=SELECT%20count(*)%20WHERE%20ServiceX%20%3D%20true%20AND%20\
+         CPU-Util%20%3C%2050 HTTP/1.1\r\nHost: bench\r\n\r\n",
+        format!("\"result\":\"{in_group}\""),
+    )
+}
+
+/// One warmup request per daemon primes connections, probe caches, and
+/// tree state out of the measured window.
+fn warm_connections(https: &[SocketAddr], request: &str, expect: &str) {
+    for &addr in https {
+        let mut w = TcpStream::connect(addr).expect("warmup connect");
+        let mut r = BufReader::new(w.try_clone().expect("clone"));
+        let (status, body, _) = http_roundtrip(&mut r, &mut w, request).expect("warmup request");
+        assert_eq!(status, 200, "warmup failed: {body}");
+        assert!(body.contains(expect), "warmup answered {body}");
+    }
+}
+
+/// Hammers each daemon until its gateway answers from the cache (the
+/// promotion threshold crossed, the standing subscription installed and
+/// synced), bounded by a deadline.
+fn warm_cache(https: &[SocketAddr], request: &str, expect: &str) {
+    for &addr in https {
+        let mut w = TcpStream::connect(addr).expect("warm connect");
+        w.set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        let mut r = BufReader::new(w.try_clone().expect("clone"));
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let (status, body, cache) =
+                http_roundtrip(&mut r, &mut w, request).expect("warm request");
+            assert_eq!(status, 200, "warm failed: {body}");
+            assert!(body.contains(expect), "warm answered {body}");
+            if cache.as_deref() == Some("hit") {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "cache never warmed on {addr} (last marker {cache:?})"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+}
+
+/// The default profile: the raw tree-walk path (cache off), gated on a
+/// generous floor under `--smoke`.
+fn run_default(smoke: bool) {
     let scale = if smoke {
         Scale {
             label: "smoke",
@@ -165,73 +392,26 @@ fn main() {
         }
     };
 
-    // Boot the cluster: one seed, the rest join; every daemon carries a
-    // gateway, and clients spray across all of them like an external
-    // load balancer would.
-    let (seed_ctrl, seed_http) = boot_daemon(None, true);
-    let mut https = vec![seed_http];
-    for i in 1..scale.daemons {
-        let (_ctrl, http) = boot_daemon(Some(seed_ctrl.to_string()), i % 2 == 0);
-        https.push(http);
-    }
-    wait_members(seed_ctrl, scale.daemons as u32);
-    let in_group = scale.daemons.div_ceil(2);
+    // Cache off: this profile tracks the walk path's throughput across
+    // PRs; the read-heavy profile owns the cached numbers.
+    let fleet = boot_cluster(scale.daemons, None);
+    let (request, expect) = hot_query(scale.daemons);
+    warm_connections(&fleet.https, request, &expect);
 
-    let request = "GET /v1/query?q=SELECT%20count(*)%20WHERE%20ServiceX%20%3D%20true \
-                   HTTP/1.1\r\nHost: bench\r\n\r\n";
-    let expect = format!("\"result\":\"{in_group}\"");
-
-    // Warmup: one request per daemon primes connections, probe caches,
-    // and tree state out of the measured window.
-    for &addr in &https {
-        let mut w = TcpStream::connect(addr).expect("warmup connect");
-        let mut r = BufReader::new(w.try_clone().expect("clone"));
-        let (status, body) = http_roundtrip(&mut r, &mut w, request).expect("warmup request");
-        assert_eq!(status, 200, "warmup failed: {body}");
-        assert!(body.contains(&expect), "warmup answered {body}");
-    }
-
-    let started = Instant::now();
-    let mut workers = Vec::new();
-    for c in 0..scale.clients {
-        let addr = https[c % https.len()];
-        let expect = expect.clone();
-        let n = scale.requests_per_client;
-        workers.push(std::thread::spawn(move || {
-            let mut latencies_us = Vec::with_capacity(n);
-            let mut errors = 0u64;
-            let mut writer = TcpStream::connect(addr).expect("client connect");
-            writer
-                .set_read_timeout(Some(Duration::from_secs(30)))
-                .expect("timeout");
-            let mut reader = BufReader::new(writer.try_clone().expect("clone"));
-            for _ in 0..n {
-                let t0 = Instant::now();
-                match http_roundtrip(&mut reader, &mut writer, request) {
-                    Ok((200, body)) if body.contains(&expect) => {
-                        latencies_us.push(t0.elapsed().as_micros() as u64);
-                    }
-                    Ok(_) | Err(_) => errors += 1,
-                }
-            }
-            (latencies_us, errors)
-        }));
-    }
-    let mut latencies_us: Vec<u64> = Vec::new();
-    let mut errors = 0u64;
-    for w in workers {
-        let (lat, err) = w.join().expect("client thread");
-        latencies_us.extend(lat);
-        errors += err;
-    }
-    let elapsed = started.elapsed().as_secs_f64();
-    latencies_us.sort_unstable();
-
+    let pass = run_pass(
+        &fleet.https,
+        scale.clients,
+        scale.requests_per_client,
+        request,
+        &expect,
+    );
+    fleet.retire();
     let total = (scale.clients * scale.requests_per_client) as u64;
-    let req_per_s = latencies_us.len() as f64 / elapsed;
-    let p50 = percentile(&latencies_us, 50.0);
-    let p95 = percentile(&latencies_us, 95.0);
-    let p99 = percentile(&latencies_us, 99.0);
+    let errors = pass.errors + pass.coherence_errors;
+    let req_per_s = pass.req_per_s();
+    let p50 = percentile(&pass.latencies_us, 50.0);
+    let p95 = percentile(&pass.latencies_us, 95.0);
+    let p99 = percentile(&pass.latencies_us, 99.0);
 
     println!(
         "gateway_bench[{}]: daemons={} clients={} requests={} ok={} errors={}",
@@ -239,11 +419,12 @@ fn main() {
         scale.daemons,
         scale.clients,
         total,
-        latencies_us.len(),
+        pass.latencies_us.len(),
         errors
     );
     println!(
-        "  req/s={req_per_s:.1}  p50={p50:.2}ms  p95={p95:.2}ms  p99={p99:.2}ms  wall={elapsed:.2}s"
+        "  req/s={req_per_s:.1}  p50={p50:.2}ms  p95={p95:.2}ms  p99={p99:.2}ms  wall={:.2}s",
+        pass.elapsed
     );
 
     let gate_passed = match &scale.gate {
@@ -261,12 +442,136 @@ fn main() {
         .field("p50_ms", p50)
         .field("p95_ms", p95)
         .field("p99_ms", p99)
-        .field("wall_s", elapsed)
+        .field("wall_s", pass.elapsed)
         .field("gate_passed", gate_passed)
         .write();
 
     if !gate_passed {
         eprintln!("gateway_bench: smoke gate FAILED");
         std::process::exit(1);
+    }
+}
+
+/// The read-heavy profile: every client repeats the same hot query (the
+/// repeat rate the result cache exists for), measured against two
+/// separate clusters — cache off, then cache on and warmed — so the two
+/// passes never share daemon state.
+fn run_read_heavy(smoke: bool) {
+    let (label, daemons, clients, requests) = if smoke {
+        ("read-heavy-smoke", 3, 4, 100)
+    } else {
+        ("read-heavy-full", 15, 4, 1200)
+    };
+
+    // Pass 1 — uncached: the walk path under the same mix. The fleet is
+    // retired before the cached cluster boots so the passes never
+    // contend for the machine.
+    let fleet = boot_cluster(daemons, None);
+    let (request, expect) = hot_composite_query(daemons);
+    warm_connections(&fleet.https, request, &expect);
+    let uncached = run_pass(&fleet.https, clients, requests, request, &expect);
+    fleet.retire();
+
+    // Pass 2 — cached: fresh cluster, default cache config, warmed until
+    // every daemon serves hits.
+    let fleet = boot_cluster(daemons, Some(CacheConfig::default()));
+    warm_connections(&fleet.https, request, &expect);
+    warm_cache(&fleet.https, request, &expect);
+    let cached = run_pass(&fleet.https, clients, requests, request, &expect);
+    fleet.retire();
+
+    let total = (clients * requests) as u64;
+    let speedup = cached.req_per_s() / uncached.req_per_s().max(f64::MIN_POSITIVE);
+    let errors = uncached.errors + cached.errors;
+    let coherence_errors = uncached.coherence_errors + cached.coherence_errors;
+
+    println!(
+        "gateway_bench[{label}]: daemons={daemons} clients={clients} requests={total}x2 \
+         errors={errors} coherence_errors={coherence_errors}"
+    );
+    println!(
+        "  uncached: req/s={:.1}  p50={:.3}ms  p99={:.3}ms",
+        uncached.req_per_s(),
+        percentile(&uncached.latencies_us, 50.0),
+        percentile(&uncached.latencies_us, 99.0),
+    );
+    println!(
+        "  cached:   req/s={:.1}  p50={:.3}ms  p99={:.3}ms  hits={}  coalesced={}",
+        cached.req_per_s(),
+        percentile(&cached.latencies_us, 50.0),
+        percentile(&cached.latencies_us, 99.0),
+        cached.hits,
+        cached.coalesced,
+    );
+    println!("  speedup: {speedup:.1}x");
+
+    // The gate: memory-speed reads must actually be memory-speed, and
+    // never wrong. Gated only in smoke (CI); full scale records.
+    let gate_passed = !smoke || (speedup >= 5.0 && errors == 0 && coherence_errors == 0);
+
+    BenchReport::new("gateway")
+        .field("scale", label)
+        .field("daemons", daemons)
+        .field("clients", clients)
+        .field("requests", total)
+        .field("errors", errors)
+        .field("coherence_errors", coherence_errors)
+        .field("uncached_req_per_s", uncached.req_per_s())
+        .field("uncached_p50_ms", percentile(&uncached.latencies_us, 50.0))
+        .field("uncached_p99_ms", percentile(&uncached.latencies_us, 99.0))
+        .field("cached_req_per_s", cached.req_per_s())
+        .field("cached_p50_ms", percentile(&cached.latencies_us, 50.0))
+        .field("cached_p99_ms", percentile(&cached.latencies_us, 99.0))
+        .field("cached_hits", cached.hits)
+        .field("cached_coalesced", cached.coalesced)
+        .field("speedup", speedup)
+        .field("gate_passed", gate_passed)
+        .write();
+
+    if !gate_passed {
+        eprintln!("gateway_bench: read-heavy smoke gate FAILED");
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let profile = args
+        .iter()
+        .position(|a| a == "--profile")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("default");
+    match profile {
+        "default" => run_default(smoke),
+        "read-heavy" => run_read_heavy(smoke),
+        other => {
+            eprintln!("gateway_bench: unknown profile {other} (default, read-heavy)");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::percentile;
+
+    /// Pins the ceil-based nearest-rank semantics at small N — with
+    /// `.round()`, p99 of 100 samples picked index 98 (the 98th
+    /// percentile), under-reporting the tail.
+    #[test]
+    fn percentile_is_ceil_nearest_rank() {
+        let v: Vec<u64> = (1..=100).map(|i| i * 1000).collect();
+        assert_eq!(percentile(&v, 50.0), 50.0);
+        assert_eq!(percentile(&v, 95.0), 95.0);
+        assert_eq!(percentile(&v, 99.0), 99.0, "rank 99, not 98");
+        assert_eq!(percentile(&v, 100.0), 100.0);
+        let small = [10_000u64, 20_000, 30_000];
+        assert_eq!(percentile(&small, 0.0), 10.0, "p0 clamps to the min");
+        assert_eq!(percentile(&small, 50.0), 20.0);
+        assert_eq!(percentile(&small, 99.0), 30.0);
+        assert_eq!(percentile(&[7_000u64], 50.0), 7.0);
+        assert!(percentile(&[], 50.0).is_nan());
     }
 }

@@ -112,15 +112,20 @@ pub fn mean(xs: &[f64]) -> f64 {
     xs.iter().sum::<f64>() / xs.len() as f64
 }
 
-/// The `p`-th percentile (0–100) of an unsorted slice.
+/// The `p`-th percentile (0–100) of an unsorted slice, by the ceil-based
+/// nearest-rank definition: the smallest observation with at least `p`%
+/// of the sample at or below it. (A rounded rank resolves *below* the
+/// requested percentile at small N — e.g. "p99" of 100 samples landing
+/// on the 98th — silently flattering tail-latency figures.)
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
     let mut v = xs.to_vec();
     v.sort_by(|a, b| a.total_cmp(b));
-    let idx = ((p / 100.0) * (v.len() - 1) as f64).round() as usize;
-    v[idx.min(v.len() - 1)]
+    let n = v.len();
+    let rank = ((p / 100.0) * n as f64).ceil() as usize;
+    v[rank.clamp(1, n) - 1]
 }
 
 /// Prints a CDF (cumulative fraction vs value) at the given fractions.
@@ -170,11 +175,16 @@ mod tests {
     fn percentile_and_mean() {
         let xs = [4.0, 1.0, 3.0, 2.0];
         assert!((mean(&xs) - 2.5).abs() < 1e-12);
+        // Ceil-based nearest-rank, pinned exactly: p0 clamps to the min,
+        // p50 of 4 samples is the 2nd, the tail percentiles the 4th.
         assert!((percentile(&xs, 0.0) - 1.0).abs() < 1e-12);
+        assert!((percentile(&xs, 50.0) - 2.0).abs() < 1e-12);
+        assert!((percentile(&xs, 95.0) - 4.0).abs() < 1e-12);
         assert!((percentile(&xs, 100.0) - 4.0).abs() < 1e-12);
-        assert!(
-            (percentile(&xs, 50.0) - 3.0).abs() < 1e-9
-                || (percentile(&xs, 50.0) - 2.0).abs() < 1e-9
-        );
+        // The small-N case the rounded rank got wrong: p99 of 100
+        // samples must be the 99th observation, not the 98th.
+        let big: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert!((percentile(&big, 99.0) - 99.0).abs() < 1e-12);
+        assert!((percentile(&big, 50.0) - 50.0).abs() < 1e-12);
     }
 }

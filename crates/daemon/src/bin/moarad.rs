@@ -52,6 +52,15 @@
 //!   that takes longer than `N` milliseconds end-to-end;
 //! * `--access-log` — log one JSON line to stderr per HTTP gateway
 //!   request (method, path, status, duration, bytes, peer).
+//!
+//! Gateway result-cache flags (see `docs/gateway.md`):
+//!
+//! * `--cache-promote-after N` — hits within the sliding window before a
+//!   query text is promoted to a standing subscription (default 3);
+//! * `--cache-max-entries N` — most query texts tracked at once
+//!   (default 256; LRU-evicted beyond that);
+//! * `--no-query-cache` — disable the result cache *and* single-flight
+//!   request coalescing (every `GET /v1/query` walks the tree).
 
 use std::net::ToSocketAddrs;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -59,6 +68,7 @@ use std::time::Duration;
 
 use moara_core::{MoaraConfig, ProbeCachePolicy};
 use moara_daemon::{parse_attrs, Daemon, DaemonOpts};
+use moara_gateway::CacheConfig;
 use moara_membership::SwimConfig;
 use moara_simnet::SimDuration;
 
@@ -68,7 +78,9 @@ const USAGE: &str = "usage: moarad --listen IP:PORT [--join IP:PORT] \
                      [--swim-period-ms N] [--swim-suspect-periods N] \
                      [--no-probe-cache] [--probe-cache-ttl-ms N] \
                      [--probe-cache-cap N] [--no-size-probes] \
-                     [--trace-sample N] [--slow-query-ms N] [--access-log]";
+                     [--trace-sample N] [--slow-query-ms N] [--access-log] \
+                     [--cache-promote-after N] [--cache-max-entries N] \
+                     [--no-query-cache]";
 
 /// Flipped by the SIGINT/SIGTERM handler; the main loop notices and
 /// shuts down gracefully. A store is all the handler does — the only
@@ -115,6 +127,11 @@ fn main() {
     let mut trace_sample = 1u64;
     let mut slow_query_ms = None;
     let mut access_log = false;
+    // Like the probe cache: the tuning flags only adjust the config,
+    // `--no-query-cache` is the sole on/off switch, so order never
+    // matters.
+    let mut query_cache = CacheConfig::default();
+    let mut query_cache_on = true;
     // The TTL/capacity flags only tune the cache; `--no-probe-cache` is
     // the sole on/off switch, so flag order never matters.
     let (mut cache_ttl, mut cache_cap) = match cfg.probe_cache {
@@ -216,6 +233,23 @@ fn main() {
                 );
             }
             "--access-log" => access_log = true,
+            "--cache-promote-after" => {
+                query_cache.promote_after = val("--cache-promote-after")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--cache-promote-after needs an integer"));
+                if query_cache.promote_after == 0 {
+                    fail("--cache-promote-after must be at least 1");
+                }
+            }
+            "--cache-max-entries" => {
+                query_cache.max_entries = val("--cache-max-entries")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--cache-max-entries needs an integer"));
+                if query_cache.max_entries == 0 {
+                    fail("--cache-max-entries must be at least 1 (use --no-query-cache)");
+                }
+            }
+            "--no-query-cache" => query_cache_on = false,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -246,6 +280,7 @@ fn main() {
         trace_sample,
         slow_query_ms,
         access_log,
+        query_cache: query_cache_on.then_some(query_cache),
     }) {
         Ok(d) => d,
         Err(e) => {

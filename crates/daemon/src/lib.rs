@@ -56,7 +56,9 @@ use rand::{Rng, SeedableRng};
 use moara_attributes::Value;
 use moara_core::{DeliveryPolicy, Directory, MoaraConfig, MoaraMsg, MoaraNode, SubUpdate};
 use moara_dht::Id;
-use moara_gateway::{GatewayHandle, GwJob, GwReply, GwRequest, MetricsRegistry, WatchPolicy};
+use moara_gateway::{
+    CacheConfig, GatewayHandle, GwJob, GwReply, GwRequest, MetricsRegistry, QueryCache, WatchPolicy,
+};
 use moara_membership::{SwimConfig, SwimDetector, SwimEvent, SwimMsg};
 use moara_query::parse_query;
 use moara_simnet::{Message, NodeId, SimDuration, SimTime, TimerId, TimerTag};
@@ -731,6 +733,11 @@ pub struct DaemonOpts {
     /// Gateway access log (`--access-log`): one JSON line per HTTP
     /// request on stderr.
     pub access_log: bool,
+    /// Gateway result cache (`--cache-*` / `--no-query-cache`): hot
+    /// query texts get promoted to standing subscriptions and served
+    /// from memory. `None` disables both the cache and single-flight
+    /// request coalescing. Only takes effect with `http`.
+    pub query_cache: Option<CacheConfig>,
 }
 
 impl DaemonOpts {
@@ -748,6 +755,7 @@ impl DaemonOpts {
             trace_sample: 1,
             slow_query_ms: None,
             access_log: false,
+            query_cache: Some(CacheConfig::default()),
         }
     }
 }
@@ -796,6 +804,21 @@ struct CtrlJob {
     reply: Sender<CtrlReply>,
 }
 
+/// Everyone waiting on one gateway tree walk, plus what the cache needs
+/// to fold the walk's answer back in when it lands.
+struct GwQueryWaiters {
+    /// Reply channels with their `X-Moara-Cache` marker: `Some("miss")`
+    /// for the request that started the walk, `Some("coalesced")` for
+    /// single-flight joiners, `None` when the cache is disabled (no
+    /// header at all).
+    waiters: Vec<(Sender<GwReply>, Option<&'static str>)>,
+    /// The normalized cache key, when the cache tracks this query.
+    cache_key: Option<String>,
+    /// The key's standing-result generation when the walk started; the
+    /// walk revalidates the entry only if it is unchanged on finish.
+    cache_gen: Option<u64>,
+}
+
 /// A running daemon: one Moara node, its transport, and both planes.
 pub struct Daemon {
     transport: TcpTransport<DaemonNode>,
@@ -815,8 +838,20 @@ pub struct Daemon {
     gw_rx: Option<Receiver<GwJob>>,
     /// Queries whose outcome we are waiting on: front id → reply channel.
     pending_queries: HashMap<u64, Sender<CtrlReply>>,
-    /// Gateway queries in flight: front id → HTTP reply channel.
-    pending_gw_queries: HashMap<u64, Sender<GwReply>>,
+    /// Gateway queries in flight: front id → every HTTP reply channel
+    /// waiting on that walk (single-flight: identical concurrent
+    /// queries share one walk) plus cache bookkeeping.
+    pending_gw_queries: HashMap<u64, GwQueryWaiters>,
+    /// Single-flight registry: normalized query text → the front id of
+    /// the walk already running for it. Identical queries arriving
+    /// while it runs join its waiter list instead of walking again.
+    gw_inflight: HashMap<String, u64>,
+    /// The gateway result cache, shared with the worker pool (workers
+    /// serve hits; this loop installs promotions, folds SubUpdates in,
+    /// and demotes). `None` when disabled or the gateway is off.
+    query_cache: Option<Arc<QueryCache>>,
+    /// When idle cache entries were last swept.
+    last_cache_sweep: Instant,
     /// Standing watches streaming to control connections: watch id →
     /// update channel. A failed send means the watcher hung up; the
     /// daemon then cancels the subscription.
@@ -869,6 +904,17 @@ const ANNOUNCE_EVERY: Duration = Duration::from_secs(2);
 /// half the pool (further watches answer 503) so one-shot requests —
 /// `/healthz` above all — always have workers left.
 const GATEWAY_WORKERS: usize = 16;
+
+/// Lease on cache-promoted standing subscriptions. Auto-renewed by the
+/// subscription plane while the watch exists, so the length only bounds
+/// how long peers hold orphaned state after an ungraceful death
+/// (graceful shutdown cancels explicitly).
+fn cache_sub_lease() -> SimDuration {
+    SimDuration::from_micros(30_000_000)
+}
+
+/// How often the result cache sweeps for idle promoted entries.
+const CACHE_SWEEP_EVERY: Duration = Duration::from_secs(5);
 
 /// How often quiescent watch streams are liveness-probed (control-plane
 /// streams get a swallowed `Ok` frame, SSE streams an `: keepalive`
@@ -997,8 +1043,8 @@ impl Daemon {
         // load balancer's health checks, a Prometheus scraper) enters
         // through here; jobs funnel into the same single-threaded loop as
         // control requests. See `docs/gateway.md`.
-        let (gw_handle, gw_rx) = match opts.http {
-            None => (None, None),
+        let (gw_handle, gw_rx, query_cache) = match opts.http {
+            None => (None, None, None),
             Some(addr) => {
                 let listener = TcpListener::bind(addr)
                     .map_err(|e| format!("bind http listener {addr}: {e}"))?;
@@ -1006,9 +1052,23 @@ impl Daemon {
                 let sink: Option<moara_gateway::AccessLogSink> = opts
                     .access_log
                     .then(|| Arc::new(|line: &str| eprintln!("{line}")) as _);
-                let handle =
-                    moara_gateway::spawn_gateway_opts(listener, gw_tx, GATEWAY_WORKERS, sink);
-                (Some(handle), Some(gw_rx))
+                // The cache is shared between the worker pool (which
+                // serves hits inline, never entering this loop) and the
+                // event loop (which owns every mutation that needs the
+                // protocol node: promotion installs, SubUpdate folds,
+                // demotion lease releases).
+                let cache = opts
+                    .query_cache
+                    .clone()
+                    .map(|cfg| Arc::new(QueryCache::new(cfg)));
+                let handle = moara_gateway::spawn_gateway_opts(
+                    listener,
+                    gw_tx,
+                    GATEWAY_WORKERS,
+                    sink,
+                    cache.clone(),
+                );
+                (Some(handle), Some(gw_rx), cache)
             }
         };
 
@@ -1027,6 +1087,9 @@ impl Daemon {
             gw_rx,
             pending_queries: HashMap::new(),
             pending_gw_queries: HashMap::new(),
+            gw_inflight: HashMap::new(),
+            query_cache,
+            last_cache_sweep: Instant::now(),
             watch_streams: HashMap::new(),
             gw_watch_streams: HashMap::new(),
             last_keepalive: Instant::now(),
@@ -1096,6 +1159,7 @@ impl Daemon {
         did |= ctrl_jobs + gw_jobs > 0;
         did |= self.finish_queries();
         did |= self.pump_watches();
+        did |= self.pump_query_cache();
         // SubDelta frames pumped this step have now been folded and (if
         // watched here) handed to their watchers: close their lag spans.
         let stamps = std::mem::take(&mut self.transport.node_mut(self.me).pending_delta_stamps);
@@ -1558,6 +1622,14 @@ impl Daemon {
             out.push(("trace_spans", t.len() as f64));
             out.push(("trace_spans_dropped_total", t.dropped() as f64));
         }
+        if let Some(cache) = &self.query_cache {
+            out.push(("gateway_cache_hits_total", cache.hits() as f64));
+            out.push(("gateway_cache_misses_total", cache.misses() as f64));
+            out.push(("gateway_cache_promotions_total", cache.promotions() as f64));
+            out.push(("gateway_cache_coalesced_total", cache.coalesced() as f64));
+            out.push(("gateway_cache_entries", cache.len() as f64));
+            out.push(("gateway_cache_promoted", cache.promoted_len() as f64));
+        }
         out.into_iter().map(|(k, v)| (k.to_owned(), v)).collect()
     }
 
@@ -1656,11 +1728,28 @@ impl Daemon {
                     result: outcome.result.to_string(),
                     complete: outcome.complete,
                 });
-            } else if let Some(reply) = self.pending_gw_queries.remove(fid) {
-                let _ = reply.send(GwReply::Answer {
-                    result: outcome.result.to_string(),
-                    complete: outcome.complete,
-                });
+            } else if let Some(w) = self.pending_gw_queries.remove(fid) {
+                let result = outcome.result.to_string();
+                for (reply, marker) in w.waiters {
+                    let _ = reply.send(GwReply::Answer {
+                        result: result.clone(),
+                        complete: outcome.complete,
+                        cache: marker,
+                    });
+                }
+                if let Some(key) = w.cache_key {
+                    // A newer identical query may have re-registered the
+                    // key; only clear the registry if it is still ours.
+                    if self.gw_inflight.get(&key) == Some(fid) {
+                        self.gw_inflight.remove(&key);
+                    }
+                    // A stale promoted entry is refreshed by the walk's
+                    // answer — unless a SubUpdate landed mid-walk (gen
+                    // moved), in which case the standing result wins.
+                    if let (Some(cache), Some(gen)) = (&self.query_cache, w.cache_gen) {
+                        cache.revalidate(&key, gen, &result, outcome.complete);
+                    }
+                }
             }
         }
         !done.is_empty()
@@ -1727,6 +1816,67 @@ impl Daemon {
         });
     }
 
+    /// The event-loop side of the result cache: installs standing
+    /// subscriptions for keys the workers flagged hot, folds their
+    /// pending SubUpdates into the cached entries (arming fresh entries,
+    /// staling served ones), releases evicted entries' subscriptions,
+    /// and periodically sweeps idle entries. Workers never touch the
+    /// protocol node; everything here runs on the single loop thread.
+    fn pump_query_cache(&mut self) -> bool {
+        let Some(cache) = self.query_cache.clone() else {
+            return false;
+        };
+        let mut did = false;
+        for (key, text) in cache.take_pending_promotions() {
+            did = true;
+            match parse_query(&text) {
+                Ok(query) => {
+                    let me = self.me;
+                    let wid = self.transport.with_node(me, |n, ctx| {
+                        let mut mctx = moara_ctx(ctx);
+                        n.moara.subscribe(
+                            &mut mctx,
+                            query,
+                            DeliveryPolicy::OnChange,
+                            cache_sub_lease(),
+                        )
+                    });
+                    if !cache.promoted(&key, wid) {
+                        // The entry changed state while the install was
+                        // queued; release the orphan subscription.
+                        self.unsubscribe(wid);
+                    }
+                }
+                // Unparseable text can never have walked successfully
+                // either, but keep the entry honest rather than wedged.
+                Err(_) => cache.promotion_failed(&key),
+            }
+        }
+        for token in cache.tokens() {
+            let updates = self
+                .transport
+                .node_mut(self.me)
+                .moara
+                .take_sub_updates(token);
+            for u in updates {
+                did = true;
+                cache.on_update(token, u.result.to_string(), u.complete);
+            }
+        }
+        for token in cache.take_pending_demotions() {
+            did = true;
+            self.unsubscribe(token);
+        }
+        if self.last_cache_sweep.elapsed() >= CACHE_SWEEP_EVERY {
+            self.last_cache_sweep = Instant::now();
+            for token in cache.demote_idle(Instant::now()) {
+                did = true;
+                self.unsubscribe(token);
+            }
+        }
+        did
+    }
+
     /// Drains HTTP gateway jobs into the protocol node — the HTTP twin of
     /// [`Daemon::serve_ctrl`].
     fn serve_gateway(&mut self) -> usize {
@@ -1737,24 +1887,54 @@ impl Daemon {
         let count = jobs.len();
         for job in jobs {
             match job.req {
-                GwRequest::Query { q } => match parse_query(&q) {
-                    Ok(query) => {
-                        let me = self.me;
-                        let (fid, trace_id) = self.transport.with_node(me, |n, ctx| {
-                            let mut mctx = moara_ctx(ctx);
-                            let fid = n.moara.submit(&mut mctx, query);
-                            (fid, n.moara.front_trace_id(fid))
-                        });
-                        self.query_meta.insert(fid, (q, Instant::now(), trace_id));
-                        self.pending_gw_queries.insert(fid, job.reply);
+                GwRequest::Query { q } => {
+                    // Single-flight: an identical query already walking
+                    // the tree absorbs this request as another waiter —
+                    // N identical in-flight queries cost one walk.
+                    let key = moara_gateway::normalize(&q);
+                    if let Some(cache) = &self.query_cache {
+                        if let Some(fid) = self.gw_inflight.get(&key) {
+                            if let Some(w) = self.pending_gw_queries.get_mut(fid) {
+                                w.waiters.push((job.reply, Some("coalesced")));
+                                cache.note_coalesced();
+                                continue;
+                            }
+                        }
                     }
-                    Err(e) => {
-                        let _ = job.reply.send(GwReply::Error {
-                            status: 400,
-                            msg: format!("parse error: {e}"),
-                        });
+                    match parse_query(&q) {
+                        Ok(query) => {
+                            let me = self.me;
+                            let (fid, trace_id) = self.transport.with_node(me, |n, ctx| {
+                                let mut mctx = moara_ctx(ctx);
+                                let fid = n.moara.submit(&mut mctx, query);
+                                (fid, n.moara.front_trace_id(fid))
+                            });
+                            self.query_meta.insert(fid, (q, Instant::now(), trace_id));
+                            let (marker, cache_key, cache_gen) = match &self.query_cache {
+                                Some(cache) => {
+                                    self.gw_inflight.insert(key.clone(), fid);
+                                    let gen = cache.gen_of(&key);
+                                    (Some("miss"), Some(key), gen)
+                                }
+                                None => (None, None, None),
+                            };
+                            self.pending_gw_queries.insert(
+                                fid,
+                                GwQueryWaiters {
+                                    waiters: vec![(job.reply, marker)],
+                                    cache_key,
+                                    cache_gen,
+                                },
+                            );
+                        }
+                        Err(e) => {
+                            let _ = job.reply.send(GwReply::Error {
+                                status: 400,
+                                msg: format!("parse error: {e}"),
+                            });
+                        }
                     }
-                },
+                }
                 GwRequest::Traces { limit } => {
                     let ts = self
                         .tracer
@@ -2080,6 +2260,49 @@ impl Daemon {
                     count,
                 );
             }
+            // The result cache (see docs/gateway.md "Result cache").
+            if let Some(cache) = &self.query_cache {
+                reg.counter(
+                    "moara_gateway_cache_hits_total",
+                    "Queries answered from the materialized standing result.",
+                    cache.hits(),
+                );
+                reg.counter(
+                    "moara_gateway_cache_misses_total",
+                    "Queries that fell through the cache to a tree walk.",
+                    cache.misses(),
+                );
+                reg.counter(
+                    "moara_gateway_cache_promotions_total",
+                    "Hot query texts promoted to standing subscriptions.",
+                    cache.promotions(),
+                );
+                reg.counter(
+                    "moara_gateway_cache_coalesced_total",
+                    "Queries that shared another identical query's in-flight walk.",
+                    cache.coalesced(),
+                );
+                reg.counter(
+                    "moara_gateway_cache_demotions_total",
+                    "Promoted entries released (idle or evicted at capacity).",
+                    cache.demotions(),
+                );
+                reg.counter(
+                    "moara_gateway_cache_invalidations_total",
+                    "Standing updates that superseded a served cached result.",
+                    cache.invalidations(),
+                );
+                reg.gauge(
+                    "moara_gateway_cache_entries",
+                    "Query texts currently tracked by the result cache.",
+                    cache.len() as f64,
+                );
+                reg.gauge(
+                    "moara_gateway_cache_promoted",
+                    "Cache entries currently backed by a standing subscription.",
+                    cache.promoted_len() as f64,
+                );
+            }
         }
 
         // Tracing plane: per-phase query latency distributions.
@@ -2158,12 +2381,18 @@ impl Daemon {
         if let Some(gw) = &self.gw_handle {
             gw.stop();
         }
-        let wids: Vec<u64> = self
+        let mut wids: Vec<u64> = self
             .watch_streams
             .keys()
             .chain(self.gw_watch_streams.keys())
             .copied()
             .collect();
+        // Cache-promoted standing subscriptions die with the daemon too:
+        // they ride the same SubCancel flush, so peers GC their leases
+        // and pinned covers now instead of waiting out CACHE_SUB_LEASE.
+        if let Some(cache) = &self.query_cache {
+            wids.extend(cache.tokens());
+        }
         // Dropping the senders ends the per-connection streaming loops.
         self.watch_streams.clear();
         self.gw_watch_streams.clear();
@@ -2172,6 +2401,7 @@ impl Daemon {
         }
         self.pending_queries.clear();
         self.pending_gw_queries.clear();
+        self.gw_inflight.clear();
         // Give the SubCancel frames a moment to reach the trees.
         let deadline = Instant::now() + Duration::from_millis(300);
         while Instant::now() < deadline {

@@ -30,8 +30,20 @@ fn free_port() -> String {
 }
 
 fn spawn_moarad(listen: &str, join: Option<&str>, attrs: &str) -> Guard {
+    spawn_moarad_with(listen, join, attrs, &[]).0
+}
+
+/// Like [`spawn_moarad`] with extra flags; also returns the boot banner
+/// (it carries `http=ADDR` when the gateway is enabled).
+fn spawn_moarad_with(
+    listen: &str,
+    join: Option<&str>,
+    attrs: &str,
+    extra: &[&str],
+) -> (Guard, String) {
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_moarad"));
     cmd.args(["--listen", listen, "--attrs", attrs])
+        .args(extra)
         .stdout(Stdio::piped())
         .stderr(Stdio::inherit());
     if let Some(seed) = join {
@@ -54,7 +66,22 @@ fn spawn_moarad(listen: &str, join: Option<&str>, attrs: &str) -> Guard {
         .recv_timeout(Duration::from_secs(30))
         .expect("moarad prints its banner");
     assert!(banner.starts_with("MOARAD"), "unexpected banner: {banner}");
-    Guard(child)
+    (Guard(child), banner)
+}
+
+/// One raw HTTP GET on a fresh connection; returns the whole response
+/// (status line, headers, body).
+fn http_get(addr: &str, path_query: &str) -> String {
+    use std::io::{Read, Write};
+    let mut s = std::net::TcpStream::connect(addr).expect("connect gateway");
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    s.write_all(
+        format!("GET {path_query} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").as_bytes(),
+    )
+    .unwrap();
+    let mut out = String::new();
+    let _ = s.read_to_string(&mut out);
+    out
 }
 
 fn cli(args: &[&str]) -> (String, bool) {
@@ -180,15 +207,62 @@ fn three_moarad_processes_answer_a_query_via_moara_cli() {
 }
 
 /// Graceful shutdown: SIGTERM must make a daemon stop accepting, cancel
-/// its standing state, and exit 0 — not die on the signal default.
+/// its standing state — explicit watches AND the result cache's
+/// auto-promoted subscriptions — and exit 0, not die on the signal
+/// default or strand sub state on the survivors.
 #[test]
 fn sigterm_shuts_a_daemon_down_cleanly() {
     let a_ctrl = free_port();
     let b_ctrl = free_port();
-    let mut a = spawn_moarad(&a_ctrl, None, "ServiceX=true");
+    // A carries the gateway with a hair-trigger promotion threshold so
+    // the test can warm its result cache with two GETs.
+    let (mut a, banner) = spawn_moarad_with(
+        &a_ctrl,
+        None,
+        "ServiceX=true",
+        &["--http", "127.0.0.1:0", "--cache-promote-after", "2"],
+    );
+    let a_http = banner
+        .split_whitespace()
+        .find_map(|kv| kv.strip_prefix("http="))
+        .expect("banner carries http=")
+        .to_owned();
+    assert_ne!(a_http, "-", "gateway must be enabled: {banner}");
     let _b = spawn_moarad(&b_ctrl, Some(&a_ctrl), "ServiceX=true");
     wait_for_members(&a_ctrl, 2);
     wait_for_members(&b_ctrl, 2);
+
+    // Warm A's result cache until the hot query is served from the
+    // standing subscription (the promotion installed and synced).
+    let q = "/v1/query?q=SELECT%20count(*)%20WHERE%20ServiceX%20%3D%20true";
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let resp = http_get(&a_http, q);
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        if resp.contains("X-Moara-Cache: hit") {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "result cache never warmed: {resp}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // The cache's subscription spans the cluster: B must be holding
+    // sub state for it before the kill, or the drain assert is vacuous.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let (out, ok) = cli(&["--connect", &b_ctrl, "status"]);
+        if ok && !out.contains("subs=0") {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "cache subscription never reached B: {out:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
 
     // A standing watch fronted by the daemon about to die: shutdown must
     // tear it down (stream closed, subscription cancelled), not strand it.
@@ -246,4 +320,20 @@ fn sigterm_shuts_a_daemon_down_cleanly() {
     // B keeps serving: the surviving cluster answers without the peer.
     let (_, ok) = cli(&["--connect", &b_ctrl, "status"]);
     assert!(ok, "survivor still serves its control plane");
+
+    // The shutdown flushed SubCancels for the watch AND the cache's
+    // promoted subscription: B's standing sub state drains to zero
+    // rather than leaking until lease expiry.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let (out, ok) = cli(&["--connect", &b_ctrl, "status"]);
+        if ok && out.contains("subs=0") {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "survivor still holds sub state after the shutdown flush: {out:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
 }

@@ -120,7 +120,7 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<HttpRequest, HttpError>
         Some((p, q)) => (p, Some(q)),
         None => (target, None),
     };
-    let path = percent_decode(raw_path);
+    let path = percent_decode_path(raw_path);
     let params = raw_query.map(parse_query).unwrap_or_default();
 
     let mut headers = Vec::new();
@@ -181,6 +181,9 @@ pub struct HttpResponse {
     pub body: Vec<u8>,
     /// Optional `Allow` header (405 and OPTIONS responses carry one).
     pub allow: Option<&'static str>,
+    /// Optional `X-Moara-Cache` header (`hit` / `miss` / `coalesced` on
+    /// query responses when the result cache is enabled).
+    pub cache: Option<&'static str>,
 }
 
 impl HttpResponse {
@@ -191,6 +194,7 @@ impl HttpResponse {
             content_type: "application/json",
             body: body.into().into_bytes(),
             allow: None,
+            cache: None,
         }
     }
 
@@ -201,12 +205,19 @@ impl HttpResponse {
             content_type,
             body: body.into().into_bytes(),
             allow: None,
+            cache: None,
         }
     }
 
     /// Attaches an `Allow` header (builder-style).
     pub fn with_allow(mut self, allow: &'static str) -> HttpResponse {
         self.allow = Some(allow);
+        self
+    }
+
+    /// Attaches an `X-Moara-Cache` header (builder-style).
+    pub fn with_cache(mut self, cache: &'static str) -> HttpResponse {
+        self.cache = Some(cache);
         self
     }
 
@@ -269,6 +280,9 @@ impl HttpResponse {
         if let Some(allow) = self.allow {
             write!(out, "Allow: {allow}\r\n")?;
         }
+        if let Some(cache) = self.cache {
+            write!(out, "X-Moara-Cache: {cache}\r\n")?;
+        }
         write!(out, "Connection: {conn}\r\n\r\n")?;
         if include_body {
             out.write_all(&self.body)?;
@@ -301,8 +315,21 @@ pub fn socket_alive(stream: &mut std::net::TcpStream) -> bool {
     }
 }
 
-/// Decodes `%XX` escapes and `+`-as-space.
+/// Decodes `%XX` escapes and `+`-as-space — the `x-www-form-urlencoded`
+/// rules, correct for query strings and form bodies only. For request
+/// paths use [`percent_decode_path`].
 pub fn percent_decode(s: &str) -> String {
+    decode_inner(s, true)
+}
+
+/// Decodes `%XX` escapes, leaving `+` alone: RFC 3986 gives `+` no
+/// special meaning in path segments, so `/v1/attrs/a+b` names `a+b`,
+/// not `a b` (encode a literal space as `%20`).
+pub fn percent_decode_path(s: &str) -> String {
+    decode_inner(s, false)
+}
+
+fn decode_inner(s: &str, plus_as_space: bool) -> String {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
@@ -321,7 +348,7 @@ pub fn percent_decode(s: &str) -> String {
                     }
                 }
             }
-            b'+' => {
+            b'+' if plus_as_space => {
                 out.push(b' ');
                 i += 1;
             }
@@ -424,6 +451,18 @@ mod tests {
     }
 
     #[test]
+    fn path_decoding_preserves_literal_plus() {
+        // RFC 3986: `+` means itself in a path segment; only query
+        // strings and form bodies use `+`-as-space.
+        assert_eq!(percent_decode_path("/v1/attrs/a+b"), "/v1/attrs/a+b");
+        assert_eq!(percent_decode_path("/v1/attrs/a%2Bb"), "/v1/attrs/a+b");
+        assert_eq!(percent_decode_path("/v1/attrs/a%20b"), "/v1/attrs/a b");
+        let req = parse("GET /v1/trace/a+b?q=a+b HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/v1/trace/a+b", "path `+` survives");
+        assert_eq!(req.param("q"), Some("a b"), "query `+` is a space");
+    }
+
+    #[test]
     fn response_renders_with_length_and_connection() {
         let mut out = Vec::new();
         HttpResponse::json(200, "{\"ok\":true}")
@@ -434,5 +473,21 @@ mod tests {
         assert!(s.contains("Content-Length: 11\r\n"));
         assert!(s.contains("Connection: keep-alive\r\n"));
         assert!(s.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn cache_header_renders_when_set() {
+        let mut out = Vec::new();
+        HttpResponse::json(200, "{}")
+            .with_cache("hit")
+            .write_to(&mut out, true)
+            .unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("X-Moara-Cache: hit\r\n"));
+        let mut out = Vec::new();
+        HttpResponse::json(200, "{}")
+            .write_to(&mut out, true)
+            .unwrap();
+        assert!(!String::from_utf8(out).unwrap().contains("X-Moara-Cache"));
     }
 }

@@ -30,11 +30,13 @@
 //! daemon's single-threaded event loop, and block on (or, for watches,
 //! stream from) the reply channel. See `docs/gateway.md`.
 
+pub mod cache;
 pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod server;
 
+pub use cache::{normalize, CacheConfig, QueryCache};
 pub use http::{HttpRequest, HttpResponse};
 pub use metrics::{lint_exposition, MetricsRegistry};
 pub use server::{

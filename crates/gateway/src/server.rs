@@ -28,6 +28,7 @@ use std::sync::mpsc::{RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use crate::cache::QueryCache;
 use crate::http::{read_request, HttpError, HttpRequest, HttpResponse};
 use crate::json;
 
@@ -96,6 +97,10 @@ pub enum GwReply {
         result: String,
         /// False if some branch timed out or failed.
         complete: bool,
+        /// `X-Moara-Cache` value (`miss` / `coalesced`); `None` when the
+        /// result cache is disabled. (`hit` answers never round-trip to
+        /// the daemon — workers serve them from [`QueryCache`] directly.)
+        cache: Option<&'static str>,
     },
     /// Attributes applied.
     AttrsSet {
@@ -349,17 +354,21 @@ impl GatewayHandle {
 /// Panics if the listener's local address cannot be read or threads
 /// cannot spawn — both are boot-time process failures.
 pub fn spawn_gateway(listener: TcpListener, tx: Sender<GwJob>, workers: usize) -> GatewayHandle {
-    spawn_gateway_opts(listener, tx, workers, None)
+    spawn_gateway_opts(listener, tx, workers, None, None)
 }
 
 /// [`spawn_gateway`] with options: an optional access-log sink that
 /// receives one JSON line per finished request (and per ended SSE
-/// stream).
+/// stream), and the optional shared result cache — when present,
+/// workers answer `/v1/query` hits from it inline, never entering the
+/// daemon's event loop (the cache's mutating side stays with the
+/// daemon, which shares the same `Arc`).
 pub fn spawn_gateway_opts(
     listener: TcpListener,
     tx: Sender<GwJob>,
     workers: usize,
     access_log: Option<AccessLogSink>,
+    cache: Option<Arc<QueryCache>>,
 ) -> GatewayHandle {
     let addr = listener.local_addr().expect("gateway listener addr");
     let stats = Arc::new(GatewayStats::default());
@@ -383,6 +392,7 @@ pub fn spawn_gateway_opts(
         let stats = Arc::clone(&stats);
         let stop = Arc::clone(&stop);
         let access_log = access_log.clone();
+        let cache = cache.clone();
         std::thread::Builder::new()
             .name(format!("moara-gw-worker-{i}"))
             .spawn(move || loop {
@@ -391,7 +401,7 @@ pub fn spawn_gateway_opts(
                     Err(_) => return,
                 };
                 let Ok(stream) = conn else { return };
-                serve_connection(stream, &tx, &stats, &stop, max_streams, &access_log);
+                serve_connection(stream, &tx, &stats, &stop, max_streams, &access_log, &cache);
             })
             .expect("spawn gateway worker");
     }
@@ -485,6 +495,7 @@ fn endpoint_class(req: &GwRequest) -> &'static str {
 /// Serves one connection: requests in, responses out, until the client
 /// hangs up, sends `Connection: close`, goes idle past [`IDLE_TIMEOUT`],
 /// or upgrades to an SSE stream.
+#[allow(clippy::too_many_arguments)]
 fn serve_connection(
     stream: TcpStream,
     tx: &Sender<GwJob>,
@@ -492,6 +503,7 @@ fn serve_connection(
     stop: &AtomicBool,
     max_streams: i64,
     access_log: &Option<AccessLogSink>,
+    cache: &Option<Arc<QueryCache>>,
 ) {
     let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
     let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
@@ -628,7 +640,21 @@ fn serve_connection(
                 };
                 counter.fetch_add(1, Ordering::Relaxed);
                 let class = endpoint_class(&gw_req);
-                let response = one_shot(tx, gw_req);
+                // The materialized-view fast path: a fresh standing
+                // result answers right here in the worker thread — the
+                // daemon's event loop (and its transport-poll cadence)
+                // is never entered, which is what makes hits
+                // sub-millisecond.
+                let cached = match (&gw_req, cache) {
+                    (GwRequest::Query { q }, Some(c)) => c.lookup(q, std::time::Instant::now()),
+                    _ => None,
+                };
+                let response = match cached {
+                    Some((result, complete)) => {
+                        HttpResponse::json(200, answer_body(&result, complete)).with_cache("hit")
+                    }
+                    None => one_shot(tx, gw_req),
+                };
                 if response.status >= 400 {
                     stats.errors.fetch_add(1, Ordering::Relaxed);
                 }
@@ -805,6 +831,15 @@ fn parse_attr_body(body: &str) -> Result<Vec<(String, String)>, &'static str> {
     pairs.into_iter().map(|(k, v)| decode(k, v)).collect()
 }
 
+/// The `/v1/query` answer body (shared by the daemon round-trip path and
+/// the worker-side cache-hit path, so both render byte-identically).
+fn answer_body(result: &str, complete: bool) -> String {
+    format!(
+        "{{\"result\":{},\"complete\":{complete}}}\n",
+        json::escape(result)
+    )
+}
+
 /// Sends one job and renders its single reply.
 fn one_shot(tx: &Sender<GwJob>, req: GwRequest) -> HttpResponse {
     let (reply_tx, reply_rx) = std::sync::mpsc::channel();
@@ -825,13 +860,17 @@ fn one_shot(tx: &Sender<GwJob>, req: GwRequest) -> HttpResponse {
 
 fn render_reply(reply: GwReply) -> HttpResponse {
     match reply {
-        GwReply::Answer { result, complete } => HttpResponse::json(
-            200,
-            format!(
-                "{{\"result\":{},\"complete\":{complete}}}\n",
-                json::escape(&result)
-            ),
-        ),
+        GwReply::Answer {
+            result,
+            complete,
+            cache,
+        } => {
+            let resp = HttpResponse::json(200, answer_body(&result, complete));
+            match cache {
+                Some(c) => resp.with_cache(c),
+                None => resp,
+            }
+        }
         GwReply::AttrsSet { count } => {
             HttpResponse::json(200, format!("{{\"ok\":true,\"set\":{count}}}\n"))
         }
@@ -983,6 +1022,7 @@ mod tests {
             let _ = reply.send(GwReply::Answer {
                 result: "2".into(),
                 complete: true,
+                cache: None,
             });
         });
         let resp = roundtrip(
@@ -995,7 +1035,78 @@ mod tests {
             resp.contains("{\"result\":\"2\",\"complete\":true}"),
             "{resp}"
         );
+        assert!(!resp.contains("X-Moara-Cache"), "no cache, no header");
         assert_eq!(gw.stats().queries.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn cache_markers_render_as_response_headers() {
+        let gw = test_gateway(|_req, reply| {
+            let _ = reply.send(GwReply::Answer {
+                result: "2".into(),
+                complete: true,
+                cache: Some("coalesced"),
+            });
+        });
+        let resp = roundtrip(
+            gw.addr(),
+            "GET /v1/query?q=x HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(resp.contains("X-Moara-Cache: coalesced\r\n"), "{resp}");
+    }
+
+    /// A warm cache answers in the worker thread: the daemon side sees
+    /// no job at all, and the response carries `X-Moara-Cache: hit`.
+    #[test]
+    fn cache_hits_are_served_without_entering_the_daemon() {
+        use crate::cache::{CacheConfig, QueryCache};
+        let cache = Arc::new(QueryCache::new(CacheConfig {
+            promote_after: 1,
+            ..CacheConfig::default()
+        }));
+        // Warm: first lookup promotes, then the "daemon" installs and
+        // syncs the standing result.
+        assert!(cache
+            .lookup("SELECT count(*)", std::time::Instant::now())
+            .is_none());
+        let (key, _) = cache.take_pending_promotions().remove(0);
+        assert!(cache.promoted(&key, 1));
+        cache.on_update(1, "42".into(), true);
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let (tx, rx) = std::sync::mpsc::channel::<GwJob>();
+        let daemon_jobs = Arc::new(AtomicU64::new(0));
+        let daemon_jobs2 = Arc::clone(&daemon_jobs);
+        std::thread::spawn(move || {
+            for job in rx {
+                daemon_jobs2.fetch_add(1, Ordering::SeqCst);
+                let _ = job.reply.send(GwReply::Answer {
+                    result: "slow".into(),
+                    complete: true,
+                    cache: Some("miss"),
+                });
+            }
+        });
+        let gw = spawn_gateway_opts(listener, tx, 2, None, Some(Arc::clone(&cache)));
+        let resp = roundtrip(
+            gw.addr(),
+            "GET /v1/query?q=SELECT%20count(*) HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(resp.contains("X-Moara-Cache: hit\r\n"), "{resp}");
+        assert!(
+            resp.contains("{\"result\":\"42\",\"complete\":true}"),
+            "{resp}"
+        );
+        assert_eq!(daemon_jobs.load(Ordering::SeqCst), 0, "no daemon trip");
+        assert_eq!(cache.hits(), 1);
+        // A different query misses straight through to the daemon.
+        let resp = roundtrip(
+            gw.addr(),
+            "GET /v1/query?q=other HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(resp.contains("X-Moara-Cache: miss\r\n"), "{resp}");
+        assert!(resp.contains("\"result\":\"slow\""), "{resp}");
+        assert_eq!(daemon_jobs.load(Ordering::SeqCst), 1);
     }
 
     #[test]
@@ -1323,7 +1434,7 @@ mod tests {
         let sink: AccessLogSink = Arc::new(move |line: &str| {
             sink_lines.lock().unwrap().push(line.to_owned());
         });
-        let gw = spawn_gateway_opts(listener, tx, 2, Some(sink));
+        let gw = spawn_gateway_opts(listener, tx, 2, Some(sink), None);
         let resp = roundtrip(
             gw.addr(),
             "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n",
