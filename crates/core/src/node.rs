@@ -151,6 +151,11 @@ pub struct MoaraNode {
     watches: HashMap<u64, WatchState>,
     /// Reverse index: subscription id → watch handle.
     watch_of: HashMap<SubId, u64>,
+    /// Watch handles with client-visible updates queued since the last
+    /// [`MoaraNode::take_dirty_watches`] drain — a hint so embedding
+    /// hosts poll only watches that actually emitted, instead of every
+    /// watch every tick.
+    dirty_watches: HashSet<u64>,
     /// Pending initial-sync timers, so completing the sync can cancel
     /// them instead of letting quiescence drains fire them.
     sub_init_timers: HashMap<(SubId, PredKey), (TimerId, TimerTag)>,
@@ -189,6 +194,7 @@ impl MoaraNode {
             subs: BTreeMap::new(),
             watches: HashMap::new(),
             watch_of: HashMap::new(),
+            dirty_watches: HashSet::new(),
             sub_init_timers: HashMap::new(),
             watch_init_timers: HashMap::new(),
             next_front: 0,
@@ -977,6 +983,7 @@ impl MoaraNode {
         for (_, wid) in std::mem::take(&mut self.watch_of) {
             self.watches.remove(&wid);
         }
+        self.dirty_watches.clear();
         self.sub_init_timers.clear();
         self.watch_init_timers.clear();
         self.reconcile(ctx);
@@ -1499,6 +1506,7 @@ impl MoaraNode {
             watch.force_initial(now);
             self.watches.insert(wid, watch);
             self.watch_of.insert(sid, wid);
+            self.dirty_watches.insert(wid);
             return wid;
         }
         self.watches.insert(wid, watch);
@@ -1546,6 +1554,7 @@ impl MoaraNode {
             return;
         };
         self.watch_of.remove(&watch.spec.id);
+        self.dirty_watches.remove(&watch_id);
         if let Some(t) = self.watch_init_timers.remove(&watch_id) {
             self.drop_timer(ctx, t);
         }
@@ -1571,6 +1580,17 @@ impl MoaraNode {
             .get_mut(&watch_id)
             .map(WatchState::take_updates)
             .unwrap_or_default()
+    }
+
+    /// Drains the set of watch handles that queued updates since the
+    /// last drain. Hosts with many standing watches (the gateway result
+    /// cache) poll [`MoaraNode::take_sub_updates`] for exactly these
+    /// instead of scanning every watch every tick — idle cost is O(1).
+    /// The set is a hint, not a transfer: updates stay queued on their
+    /// watch until that watch is drained, so hosts that poll specific
+    /// watches directly (ctrl/SSE streams) can ignore it.
+    pub fn take_dirty_watches(&mut self) -> Vec<u64> {
+        self.dirty_watches.drain().collect()
     }
 
     /// The current merged result of a watch (None for unknown handles).
@@ -1777,6 +1797,9 @@ impl MoaraNode {
             return; // stale frame
         }
         watch.maybe_emit(ctx.now());
+        if !watch.updates.is_empty() {
+            self.dirty_watches.insert(wid);
+        }
         if watch.initial_done() {
             if let Some(t) = self.watch_init_timers.remove(&wid) {
                 self.drop_timer(ctx, t);
@@ -2421,6 +2444,9 @@ impl NetProtocol for MoaraNode {
                     if watch.last_result.is_some() {
                         watch.emit_snapshot(ctx.now());
                     }
+                    if !watch.updates.is_empty() {
+                        self.dirty_watches.insert(wid);
+                    }
                     if let DeliveryPolicy::Periodic(period) = watch.spec.policy {
                         let tag = self.alloc_timer(TimerEvent::WatchTick(wid));
                         ctx.set_maintenance_timer(period, tag);
@@ -2431,6 +2457,9 @@ impl NetProtocol for MoaraNode {
                 self.watch_init_timers.remove(&wid);
                 if let Some(watch) = self.watches.get_mut(&wid) {
                     watch.force_initial(ctx.now());
+                    if !watch.updates.is_empty() {
+                        self.dirty_watches.insert(wid);
+                    }
                 }
             }
             None => {}

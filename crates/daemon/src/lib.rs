@@ -1852,7 +1852,14 @@ impl Daemon {
                 Err(_) => cache.promotion_failed(&key),
             }
         }
-        for token in cache.tokens() {
+        // Poll only watches that actually emitted since the last tick
+        // (the node's dirty hints) — idle cost stays O(1) however many
+        // entries are promoted. Hints for client watches (ctrl/SSE) are
+        // skipped; their updates stay queued for their own pollers.
+        for token in self.transport.node_mut(self.me).moara.take_dirty_watches() {
+            if !cache.has_token(token) {
+                continue;
+            }
             let updates = self
                 .transport
                 .node_mut(self.me)

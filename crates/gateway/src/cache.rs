@@ -19,9 +19,11 @@
 //! propagation, and the observable header sequence around a write is
 //! `hit → miss → hit`.
 //!
-//! Keys are *normalized* query text (whitespace-collapsed); the original
-//! text is kept alongside for the subscription install, so normalization
-//! can never change what is actually subscribed or walked.
+//! Keys are *normalized* query text (whitespace runs outside `'...'`
+//! string literals collapse to single spaces; literal contents are kept
+//! verbatim, exactly as the query lexer treats them); the original text
+//! is kept alongside for the subscription install, so normalization can
+//! never change what is actually subscribed or walked.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -116,20 +118,35 @@ pub struct QueryCache {
 }
 
 /// Collapses whitespace runs to single spaces and trims — the cache key.
-/// Only used for keying; the original text is what gets parsed, so two
-/// texts sharing a key differ at most in insignificant whitespace.
+/// Whitespace inside `'...'` string literals is significant to the query
+/// lexer, so literal spans (including an unterminated trailing one) are
+/// copied verbatim: `name = 'a  b'` and `name = 'a b'` must never share
+/// a key. Only used for keying; the original text is what gets parsed,
+/// so two texts sharing a key differ at most in insignificant
+/// whitespace.
 pub fn normalize(q: &str) -> String {
     let mut out = String::with_capacity(q.len());
     let mut pending_space = false;
-    for ch in q.trim().chars() {
+    let mut chars = q.trim().chars();
+    while let Some(ch) = chars.next() {
         if ch.is_whitespace() {
             pending_space = true;
-        } else {
-            if pending_space && !out.is_empty() {
-                out.push(' ');
+            continue;
+        }
+        if pending_space && !out.is_empty() {
+            out.push(' ');
+        }
+        pending_space = false;
+        out.push(ch);
+        if ch == '\'' {
+            // The lexer has no escape sequences: the next quote (if any)
+            // terminates the literal.
+            for c in chars.by_ref() {
+                out.push(c);
+                if c == '\'' {
+                    break;
+                }
             }
-            pending_space = false;
-            out.push(ch);
         }
     }
     out
@@ -365,6 +382,17 @@ impl QueryCache {
             .collect()
     }
 
+    /// Whether `token` is a live cache-held standing subscription (the
+    /// event loop filters its dirty-watch hints through this before
+    /// draining, so it never steals a client watch's updates).
+    pub fn has_token(&self, token: u64) -> bool {
+        self.inner
+            .lock()
+            .expect("cache lock")
+            .by_token
+            .contains_key(&token)
+    }
+
     /// Counts one coalesced (single-flight) waiter.
     pub fn note_coalesced(&self) {
         self.coalesced.fetch_add(1, Ordering::Relaxed);
@@ -416,15 +444,25 @@ impl QueryCache {
     }
 }
 
-/// Evicts the least-recently-used entry, preferring cold entries over
+/// Evicts the least-recently-used entry, preferring cold entries, then
 /// promoted ones (a promoted entry's token goes to the demotion queue so
-/// the event loop releases its lease). In-flight promotions are spared.
+/// the event loop releases its lease), and only as a last resort an
+/// in-flight promotion — so the map never outgrows `max_entries` even
+/// when every entry is `Promoting`. Evicting a `Promoting` entry is
+/// safe: when its install lands, [`QueryCache::promoted`] finds no entry
+/// and returns false, and the caller unsubscribes the orphan.
 fn evict_lru(g: &mut Inner, demotions: &AtomicU64) {
+    fn rank(s: &State) -> u8 {
+        match s {
+            State::Cold => 0,
+            State::Promoted { .. } => 1,
+            State::Promoting => 2,
+        }
+    }
     let victim = g
         .entries
         .iter()
-        .filter(|(_, e)| !matches!(e.state, State::Promoting))
-        .min_by_key(|(_, e)| (matches!(e.state, State::Promoted { .. }), e.lru))
+        .min_by_key(|(_, e)| (rank(&e.state), e.lru))
         .map(|(k, _)| k.clone());
     let Some(key) = victim else { return };
     if let Some(e) = g.entries.remove(&key) {
@@ -471,6 +509,29 @@ mod tests {
         assert_eq!(normalize("a"), "a");
         assert_eq!(normalize(""), "");
         assert_ne!(normalize("A = 1"), normalize("A = 2"));
+    }
+
+    #[test]
+    fn normalization_preserves_string_literals_verbatim() {
+        // The lexer keeps whitespace inside '...' verbatim, so distinct
+        // literals must yield distinct keys.
+        assert_ne!(
+            normalize("WHERE name = 'a  b'"),
+            normalize("WHERE name = 'a b'")
+        );
+        assert_ne!(
+            normalize("WHERE name = 'a\tb'"),
+            normalize("WHERE name = 'a b'")
+        );
+        assert_eq!(normalize("WHERE  name =  'a  b' "), "WHERE name = 'a  b'");
+        // Whitespace around (but not inside) literals still collapses.
+        assert_eq!(
+            normalize("count 'x  y'   AND  'p q'"),
+            "count 'x  y' AND 'p q'"
+        );
+        // An unterminated literal is copied verbatim, never collapsed
+        // into a terminated lookalike's key.
+        assert_ne!(normalize("name = 'a  b"), normalize("name = 'a b"));
     }
 
     #[test]
@@ -578,6 +639,28 @@ mod tests {
         assert!(cache.lookup("newkey", now).is_none());
         let demoted = cache.take_pending_demotions();
         assert_eq!(demoted.len(), 1, "a promoted entry lost its slot");
+        assert_eq!(cache.promoted_len(), 1);
+    }
+
+    #[test]
+    fn all_promoting_entries_still_respect_the_capacity_cap() {
+        // --cache-promote-after 1 turns every first sighting into a
+        // Promoting entry; a burst of distinct keys must not grow the
+        // map past max_entries between event-loop drains.
+        let cache = QueryCache::new(cfg(1, 2));
+        let now = Instant::now();
+        for i in 0..8 {
+            assert!(cache.lookup(&format!("q{i}"), now).is_none());
+            assert!(cache.len() <= 2, "cap held at insert {i}");
+        }
+        // The evicted keys' installs land on nothing: promoted() reports
+        // false so the caller unsubscribes the orphan token.
+        assert!(!cache.promoted("q0", 1));
+        assert_eq!(cache.promoted_len(), 0);
+        // A surviving key's install still lands normally.
+        assert!(cache.promoted("q7", 2));
+        assert!(cache.has_token(2));
+        assert!(!cache.has_token(1));
         assert_eq!(cache.promoted_len(), 1);
     }
 
