@@ -13,6 +13,7 @@
 //! cargo run --release -p moara-bench --bin gateway_bench                         # full scale
 //! cargo run --release -p moara-bench --bin gateway_bench -- --smoke              # CI gate
 //! cargo run --release -p moara-bench --bin gateway_bench -- --profile read-heavy # cache on/off
+//! cargo run --release -p moara-bench --bin gateway_bench -- --profile conn-sweep # 10k conns
 //! ```
 //!
 //! The default profile measures the raw tree-walk path (result cache
@@ -22,7 +23,12 @@
 //! — and records both, plus their ratio; with `--smoke` it *gates*:
 //! cached throughput must beat uncached by ≥5× with zero coherence
 //! errors (responses are validated against the known-correct answer on
-//! every request, cached or not).
+//! every request, cached or not). The `conn-sweep` profile measures the
+//! reactor's reason to exist: one real `moarad` process holds thousands
+//! of idle keep-alive connections (10k at full scale, 2k in smoke)
+//! while 16 active clients run the query mix; it gates on zero errors,
+//! the gateway staying responsive after every connection wave, and the
+//! parked connections still serving at the end.
 //!
 //! Writes `BENCH_gateway.json` (p50/p95/p99 latency, req/s, error
 //! count). `--smoke` additionally *gates*: every request must succeed
@@ -534,6 +540,200 @@ fn run_read_heavy(smoke: bool) {
     }
 }
 
+/// Kills the subprocess daemon on drop so a failed gate can't leak it.
+struct ChildGuard(std::process::Child);
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Spawns a real `moarad` process (found next to this bench binary in
+/// the cargo target dir) with the gateway on; returns its HTTP address.
+/// A subprocess, not an in-process daemon, so bench-side client sockets
+/// and daemon-side accepted sockets draw on separate fd limits — the
+/// 10k-connection sweep needs both halves.
+fn spawn_moarad(extra: &[&str]) -> (ChildGuard, SocketAddr) {
+    let moarad = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("target dir")
+        .join("moarad");
+    assert!(
+        moarad.exists(),
+        "moarad not found at {} (build the workspace first)",
+        moarad.display()
+    );
+    let listen = free_port();
+    let mut child = std::process::Command::new(moarad)
+        .args(["--listen", &listen.to_string(), "--http", "127.0.0.1:0"])
+        .args(["--attrs", "ServiceX=true,CPU-Util=30"])
+        .args(extra)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::inherit())
+        .spawn()
+        .expect("spawn moarad");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let mut lines = BufReader::new(stdout).lines();
+        if let Some(Ok(line)) = lines.next() {
+            let _ = tx.send(line);
+        }
+        for _ in lines {}
+    });
+    let banner = rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("moarad banner");
+    let http: SocketAddr = banner
+        .split_whitespace()
+        .find_map(|kv| kv.strip_prefix("http="))
+        .expect("banner carries http=")
+        .parse()
+        .expect("http addr parses");
+    (ChildGuard(child), http)
+}
+
+/// One `/healthz` round trip on a fresh connection; true iff 200.
+fn health_ok(addr: SocketAddr) -> bool {
+    let Ok(mut w) = TcpStream::connect(addr) else {
+        return false;
+    };
+    if w.set_read_timeout(Some(Duration::from_secs(30))).is_err() {
+        return false;
+    }
+    let mut r = BufReader::new(match w.try_clone() {
+        Ok(c) => c,
+        Err(_) => return false,
+    });
+    matches!(
+        http_roundtrip(
+            &mut r,
+            &mut w,
+            "GET /healthz HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n",
+        ),
+        Ok((200, _, _))
+    )
+}
+
+/// The connection-sweep profile: one real `moarad` process holds
+/// `idle_conns` parked keep-alive connections while 16 clients run the
+/// query mix through the same gateway. Gates (smoke and full alike):
+/// zero request errors, the gateway answering `/healthz` after every
+/// connection wave, and a sample of the parked connections still
+/// serving after the measured pass.
+fn run_conn_sweep(smoke: bool) {
+    let (label, idle_conns, requests) = if smoke {
+        ("conn-sweep-smoke", 2_000usize, 100usize)
+    } else {
+        ("conn-sweep-full", 10_000, 400)
+    };
+    let clients = 16;
+
+    // Cache off: the sweep tracks the walk path under connection load,
+    // comparable with the default profile's numbers. The idle timeout
+    // is raised far above the run length so the parked herd measures
+    // reactor capacity, not the idle sweep racing a slow setup.
+    let (_daemon, http) = spawn_moarad(&["--no-query-cache", "--gw-idle-timeout-ms", "600000"]);
+    let (request, expect) = hot_query(1);
+    let https = [http];
+    warm_connections(&https, request, &expect);
+
+    // Park the idle herd in waves; the gateway must stay responsive
+    // after every wave (a blocking-pool gateway dies here: 16 workers,
+    // wave one pins them all forever).
+    let mut idle: Vec<TcpStream> = Vec::with_capacity(idle_conns);
+    let mut waves_ok = true;
+    let t0 = Instant::now();
+    while idle.len() < idle_conns {
+        for _ in 0..500.min(idle_conns - idle.len()) {
+            idle.push(TcpStream::connect(http).expect("idle connect"));
+        }
+        waves_ok &= health_ok(http);
+    }
+    let setup_s = t0.elapsed().as_secs_f64();
+
+    // The measured pass: 16 active clients × `requests`, all while the
+    // idle herd sits on the same reactor.
+    let pass = run_pass(&https, clients, requests, request, &expect);
+
+    // The parked connections must still be live state machines.
+    let mut idle_alive = true;
+    let step = (idle_conns / 16).max(1);
+    for i in (0..idle_conns).step_by(step) {
+        let s = &mut idle[i];
+        let ok = s
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .and_then(|()| {
+                s.write_all(b"GET /healthz HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n")
+            })
+            .is_ok();
+        let mut out = String::new();
+        let _ = s.read_to_string(&mut out);
+        idle_alive &= ok && out.starts_with("HTTP/1.1 200 ");
+    }
+
+    let total = (clients * requests) as u64;
+    let errors = pass.errors + pass.coherence_errors;
+    let req_per_s = pass.req_per_s();
+    let p50 = percentile(&pass.latencies_us, 50.0);
+    let p99 = percentile(&pass.latencies_us, 99.0);
+
+    println!(
+        "gateway_bench[{label}]: idle_conns={idle_conns} clients={clients} requests={total} \
+         ok={} errors={errors} setup={setup_s:.2}s",
+        pass.latencies_us.len()
+    );
+    println!(
+        "  req/s={req_per_s:.1}  p50={p50:.2}ms  p99={p99:.2}ms  wall={:.2}s  \
+         waves_ok={waves_ok}  idle_alive={idle_alive}",
+        pass.elapsed
+    );
+
+    // Generous floors (CI hardware varies); the gate is about the
+    // reactor surviving connection scale, not about benchmarking.
+    let gate = if smoke {
+        Gate {
+            min_req_per_s: 20.0,
+            max_p99_ms: 2000.0,
+        }
+    } else {
+        Gate {
+            min_req_per_s: 100.0,
+            max_p99_ms: 2000.0,
+        }
+    };
+    let gate_passed = errors == 0
+        && waves_ok
+        && idle_alive
+        && req_per_s >= gate.min_req_per_s
+        && p99 <= gate.max_p99_ms;
+
+    BenchReport::new("gateway")
+        .field("scale", label)
+        .field("daemons", 1usize)
+        .field("idle_conns", idle_conns as u64)
+        .field("clients", clients)
+        .field("requests", total)
+        .field("errors", errors)
+        .field("req_per_s", req_per_s)
+        .field("p50_ms", p50)
+        .field("p99_ms", p99)
+        .field("setup_s", setup_s)
+        .field("wall_s", pass.elapsed)
+        .field("waves_ok", waves_ok)
+        .field("idle_alive", idle_alive)
+        .field("gate_passed", gate_passed)
+        .write();
+
+    if !gate_passed {
+        eprintln!("gateway_bench: conn-sweep gate FAILED");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -546,8 +746,9 @@ fn main() {
     match profile {
         "default" => run_default(smoke),
         "read-heavy" => run_read_heavy(smoke),
+        "conn-sweep" => run_conn_sweep(smoke),
         other => {
-            eprintln!("gateway_bench: unknown profile {other} (default, read-heavy)");
+            eprintln!("gateway_bench: unknown profile {other} (default, read-heavy, conn-sweep)");
             std::process::exit(2);
         }
     }

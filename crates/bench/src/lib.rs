@@ -19,6 +19,7 @@
 //! | `fig16_bottleneck` | Fig. 16 | per-query latency vs bottleneck link |
 //! | `repeated_query` | — | query-plane scheduler: probe cache on/off under repeated composite traffic (CI runs `--smoke`; writes `BENCH_query.json`) |
 //! | `subscribe_bench` | — | continuous queries: standing subscription vs period-equivalent polling under sparse updates (CI runs `--smoke`; writes `BENCH_subscribe.json`) |
+//! | `gateway_bench` | — | HTTP edge under concurrent clients: default walk-path profile, `--profile read-heavy` (result cache on/off), `--profile conn-sweep` (10k idle keep-alive connections on one reactor; CI runs all three `--smoke`; writes `BENCH_gateway.json`) |
 //!
 //! Scale: every binary runs a reduced-but-shape-preserving configuration
 //! by default so the whole suite finishes in minutes; set

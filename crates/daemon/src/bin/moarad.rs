@@ -53,6 +53,17 @@
 //! * `--access-log` — log one JSON line to stderr per HTTP gateway
 //!   request (method, path, status, duration, bytes, peer).
 //!
+//! Gateway middleware flags (see `docs/gateway.md`):
+//!
+//! * `--gw-rate-limit N` — per-peer-IP sustained requests/second on the
+//!   gateway; requests beyond the bucket answer 429 (default 0 = off);
+//! * `--gw-request-timeout-ms N` — per-request deadline: a request the
+//!   daemon has not answered by then gets 408 and its connection closed
+//!   (default 30000);
+//! * `--gw-idle-timeout-ms N` — keep-alive idle timeout: a connection
+//!   with no request in flight and no bytes received for this long is
+//!   closed; SSE streams are exempt (default 30000).
+//!
 //! Gateway result-cache flags (see `docs/gateway.md`):
 //!
 //! * `--cache-promote-after N` — hits within the sliding window before a
@@ -79,6 +90,8 @@ const USAGE: &str = "usage: moarad --listen IP:PORT [--join IP:PORT] \
                      [--no-probe-cache] [--probe-cache-ttl-ms N] \
                      [--probe-cache-cap N] [--no-size-probes] \
                      [--trace-sample N] [--slow-query-ms N] [--access-log] \
+                     [--gw-rate-limit N] [--gw-request-timeout-ms N] \
+                     [--gw-idle-timeout-ms N] \
                      [--cache-promote-after N] [--cache-max-entries N] \
                      [--no-query-cache]";
 
@@ -127,6 +140,9 @@ fn main() {
     let mut trace_sample = 1u64;
     let mut slow_query_ms = None;
     let mut access_log = false;
+    let mut gw_rate_limit = 0.0f64;
+    let mut gw_request_timeout_ms = 30_000u64;
+    let mut gw_idle_timeout_ms = 30_000u64;
     // Like the probe cache: the tuning flags only adjust the config,
     // `--no-query-cache` is the sole on/off switch, so order never
     // matters.
@@ -233,6 +249,30 @@ fn main() {
                 );
             }
             "--access-log" => access_log = true,
+            "--gw-rate-limit" => {
+                gw_rate_limit = val("--gw-rate-limit")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--gw-rate-limit needs requests/second (0 = off)"));
+                if !gw_rate_limit.is_finite() || gw_rate_limit < 0.0 {
+                    fail("--gw-rate-limit must be a non-negative number");
+                }
+            }
+            "--gw-request-timeout-ms" => {
+                gw_request_timeout_ms = val("--gw-request-timeout-ms")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--gw-request-timeout-ms needs milliseconds"));
+                if gw_request_timeout_ms == 0 {
+                    fail("--gw-request-timeout-ms must be positive");
+                }
+            }
+            "--gw-idle-timeout-ms" => {
+                gw_idle_timeout_ms = val("--gw-idle-timeout-ms")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--gw-idle-timeout-ms needs milliseconds"));
+                if gw_idle_timeout_ms == 0 {
+                    fail("--gw-idle-timeout-ms must be positive");
+                }
+            }
             "--cache-promote-after" => {
                 query_cache.promote_after = val("--cache-promote-after")
                     .parse()
@@ -281,6 +321,9 @@ fn main() {
         slow_query_ms,
         access_log,
         query_cache: query_cache_on.then_some(query_cache),
+        gw_rate_limit,
+        gw_request_timeout_ms,
+        gw_idle_timeout_ms,
     }) {
         Ok(d) => d,
         Err(e) => {

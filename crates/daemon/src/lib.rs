@@ -57,7 +57,8 @@ use moara_attributes::Value;
 use moara_core::{DeliveryPolicy, Directory, MoaraConfig, MoaraMsg, MoaraNode, SubUpdate};
 use moara_dht::Id;
 use moara_gateway::{
-    CacheConfig, GatewayHandle, GwJob, GwReply, GwRequest, MetricsRegistry, QueryCache, WatchPolicy,
+    CacheConfig, GatewayHandle, GatewayOpts, GwJob, GwReply, GwRequest, MetricsRegistry,
+    QueryCache, ReplySink, WatchPolicy,
 };
 use moara_membership::{SwimConfig, SwimDetector, SwimEvent, SwimMsg};
 use moara_query::parse_query;
@@ -738,6 +739,18 @@ pub struct DaemonOpts {
     /// from memory. `None` disables both the cache and single-flight
     /// request coalescing. Only takes effect with `http`.
     pub query_cache: Option<CacheConfig>,
+    /// Gateway per-peer-IP rate limit in requests/second
+    /// (`--gw-rate-limit`); `0.0` disables limiting.
+    pub gw_rate_limit: f64,
+    /// Gateway per-request deadline in milliseconds
+    /// (`--gw-request-timeout-ms`): a request the daemon has not
+    /// answered by then gets 408 and its connection closed.
+    pub gw_request_timeout_ms: u64,
+    /// Gateway keep-alive idle timeout in milliseconds
+    /// (`--gw-idle-timeout-ms`): a connection with no request in
+    /// flight and no bytes received for this long is closed. SSE
+    /// streams are exempt.
+    pub gw_idle_timeout_ms: u64,
 }
 
 impl DaemonOpts {
@@ -756,6 +769,9 @@ impl DaemonOpts {
             slow_query_ms: None,
             access_log: false,
             query_cache: Some(CacheConfig::default()),
+            gw_rate_limit: 0.0,
+            gw_request_timeout_ms: 30_000,
+            gw_idle_timeout_ms: 30_000,
         }
     }
 }
@@ -807,11 +823,11 @@ struct CtrlJob {
 /// Everyone waiting on one gateway tree walk, plus what the cache needs
 /// to fold the walk's answer back in when it lands.
 struct GwQueryWaiters {
-    /// Reply channels with their `X-Moara-Cache` marker: `Some("miss")`
+    /// Reply sinks with their `X-Moara-Cache` marker: `Some("miss")`
     /// for the request that started the walk, `Some("coalesced")` for
     /// single-flight joiners, `None` when the cache is disabled (no
     /// header at all).
-    waiters: Vec<(Sender<GwReply>, Option<&'static str>)>,
+    waiters: Vec<(ReplySink, Option<&'static str>)>,
     /// The normalized cache key, when the cache tracks this query.
     cache_key: Option<String>,
     /// The key's standing-result generation when the walk started; the
@@ -857,7 +873,7 @@ pub struct Daemon {
     /// daemon then cancels the subscription.
     watch_streams: HashMap<u64, Sender<CtrlReply>>,
     /// Standing watches streaming to gateway SSE connections.
-    gw_watch_streams: HashMap<u64, Sender<GwReply>>,
+    gw_watch_streams: HashMap<u64, ReplySink>,
     /// When watch streams were last liveness-probed (a quiescent watch
     /// sends nothing, so a hung-up client would otherwise hold its
     /// subscription until something changes).
@@ -898,12 +914,6 @@ const TRACE_FETCH_TIMEOUT: Duration = Duration::from_secs(2);
 
 /// How often the seed re-broadcasts the member list.
 const ANNOUNCE_EVERY: Duration = Duration::from_secs(2);
-
-/// Connection workers in the embedded HTTP gateway. Each live SSE
-/// stream occupies one for its whole life; the gateway caps streams at
-/// half the pool (further watches answer 503) so one-shot requests —
-/// `/healthz` above all — always have workers left.
-const GATEWAY_WORKERS: usize = 16;
 
 /// Lease on cache-promoted standing subscriptions. Auto-renewed by the
 /// subscription plane while the watch exists, so the length only bounds
@@ -1064,9 +1074,14 @@ impl Daemon {
                 let handle = moara_gateway::spawn_gateway_opts(
                     listener,
                     gw_tx,
-                    GATEWAY_WORKERS,
-                    sink,
-                    cache.clone(),
+                    GatewayOpts {
+                        rate_limit: opts.gw_rate_limit,
+                        request_timeout: Duration::from_millis(opts.gw_request_timeout_ms.max(1)),
+                        idle_timeout: Duration::from_millis(opts.gw_idle_timeout_ms.max(1)),
+                        access_log: sink,
+                        cache: cache.clone(),
+                        ..GatewayOpts::default()
+                    },
                 );
                 (Some(handle), Some(gw_rx), cache)
             }
@@ -1640,10 +1655,10 @@ impl Daemon {
     /// partitioned, crashed between detection rounds — land in `missing`
     /// instead of hanging the request, so a trace cut by a partition
     /// still renders (its lost subtrees show as orphans).
-    fn spawn_trace_gather<R: Send + 'static>(
+    fn spawn_trace_gather<R: Send + 'static, T: ReplyTx<R> + Send + 'static>(
         &self,
         trace_id: u64,
-        reply: Sender<R>,
+        reply: T,
         respond: impl FnOnce(Vec<SpanRecord>, Vec<u32>) -> R + Send + 'static,
     ) {
         let tracer = self.tracer.clone();
@@ -1682,7 +1697,7 @@ impl Daemon {
                     }
                 }
                 spans.sort_by_key(|s| (s.start_us, s.span_id));
-                let _ = reply.send(respond(spans, missing));
+                let _ = reply.send_reply(respond(spans, missing));
             });
     }
 
@@ -2255,6 +2270,38 @@ impl Daemon {
                 "SSE watch streams currently open.",
                 s.open_streams.load(Relaxed) as f64,
             );
+            // The reactor + middleware picture: connection churn and
+            // what the production-concern layers rejected.
+            reg.counter(
+                "moara_gateway_connections_accepted_total",
+                "HTTP connections accepted by the gateway.",
+                s.conns_accepted.load(Relaxed),
+            );
+            reg.counter(
+                "moara_gateway_connections_rejected_total",
+                "HTTP connections refused at the connection cap.",
+                s.conns_rejected.load(Relaxed),
+            );
+            reg.gauge(
+                "moara_gateway_open_connections",
+                "HTTP connections currently registered with reactor shards.",
+                s.open_conns.load(Relaxed) as f64,
+            );
+            reg.counter(
+                "moara_gateway_rate_limited_total",
+                "Requests answered 429 by the per-peer-IP token bucket.",
+                s.rate_limited.load(Relaxed),
+            );
+            reg.counter(
+                "moara_gateway_request_timeouts_total",
+                "Requests answered 408 (deadline exceeded or slowloris header timeout).",
+                s.request_timeouts.load(Relaxed),
+            );
+            reg.counter(
+                "moara_gateway_panics_total",
+                "Panics caught by per-connection isolation.",
+                s.panics_caught.load(Relaxed),
+            );
             for (endpoint, hist) in s.latency.families() {
                 let (cumulative, sum, count) = hist.snapshot();
                 reg.histogram_with(
@@ -2417,15 +2464,35 @@ impl Daemon {
     }
 }
 
+/// One place gateway and control replies go out through, abstracting
+/// over "a plain channel" (control connections, internal threads) and
+/// "a reactor reply sink" (gateway connections). A failed send means the
+/// receiving side hung up.
+trait ReplyTx<R> {
+    fn send_reply(&self, reply: R) -> Result<(), ()>;
+}
+
+impl<R> ReplyTx<R> for Sender<R> {
+    fn send_reply(&self, reply: R) -> Result<(), ()> {
+        self.send(reply).map_err(|_| ())
+    }
+}
+
+impl ReplyTx<GwReply> for ReplySink {
+    fn send_reply(&self, reply: GwReply) -> Result<(), ()> {
+        self.send(reply).map_err(|_| ())
+    }
+}
+
 /// Drains one watch-stream map: forwards pending subscription updates,
 /// liveness-probes quiescent streams when `probe` is set, and returns
 /// (anything-flowed, watch ids whose receiver hung up). Generic over the
-/// reply type so the control plane and the gateway share one
-/// implementation of the hang-up detection.
-fn pump_stream_map<R>(
+/// reply transport so the control plane (channels) and the gateway
+/// (reactor sinks) share one implementation of the hang-up detection.
+fn pump_stream_map<R, T: ReplyTx<R>>(
     transport: &mut TcpTransport<DaemonNode>,
     me: NodeId,
-    streams: &HashMap<u64, Sender<R>>,
+    streams: &HashMap<u64, T>,
     probe: bool,
     to_reply: &dyn Fn(SubUpdate) -> R,
     keepalive: &dyn Fn() -> R,
@@ -2439,7 +2506,7 @@ fn pump_stream_map<R>(
             did = true;
             if streams
                 .get(&wid)
-                .is_none_or(|tx| tx.send(to_reply(u)).is_err())
+                .is_none_or(|tx| tx.send_reply(to_reply(u)).is_err())
             {
                 gone.push(wid);
                 break;
@@ -2449,7 +2516,7 @@ fn pump_stream_map<R>(
             && !gone.contains(&wid)
             && streams
                 .get(&wid)
-                .is_none_or(|tx| tx.send(keepalive()).is_err())
+                .is_none_or(|tx| tx.send_reply(keepalive()).is_err())
         {
             gone.push(wid);
         }

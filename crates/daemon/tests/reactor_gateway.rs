@@ -1,0 +1,343 @@
+//! End-to-end tests for the gateway's epoll reactor and middleware
+//! stack against real `moarad` processes: request-smuggling rejection
+//! (with a pipelined-desync proof), per-peer rate limiting (429),
+//! per-request deadlines (408), ten thousand idle keep-alive
+//! connections on one daemon, and SSE hang-up draining standing watch
+//! state across a cluster.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Kills the child on drop so failed asserts don't leak daemons.
+struct Guard(Child);
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn free_port() -> String {
+    TcpListener::bind("127.0.0.1:0")
+        .unwrap()
+        .local_addr()
+        .unwrap()
+        .to_string()
+}
+
+/// Spawns a daemon with the gateway enabled plus any extra flags;
+/// returns (guard, http addr).
+fn spawn_moarad(listen: &str, join: Option<&str>, extra: &[&str]) -> (Guard, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_moarad"));
+    cmd.args([
+        "--listen",
+        listen,
+        "--http",
+        "127.0.0.1:0",
+        "--attrs",
+        "ServiceX=true",
+    ])
+    .args(extra)
+    .stdout(Stdio::piped())
+    .stderr(Stdio::inherit());
+    if let Some(seed) = join {
+        cmd.args(["--join", seed]);
+    }
+    let mut child = cmd.spawn().expect("spawn moarad");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let mut lines = BufReader::new(stdout).lines();
+        if let Some(Ok(line)) = lines.next() {
+            let _ = tx.send(line);
+        }
+        for _ in lines {}
+    });
+    let banner = rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("moarad prints its banner");
+    let http_addr = banner
+        .split_whitespace()
+        .find_map(|kv| kv.strip_prefix("http="))
+        .expect("banner carries http=")
+        .to_owned();
+    assert_ne!(http_addr, "-", "gateway must be enabled: {banner}");
+    (Guard(child), http_addr)
+}
+
+/// One raw HTTP round trip on a fresh connection; returns the full
+/// response bytes read until the server closes.
+fn http(addr: &str, raw: &str) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect gateway");
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    s.write_all(raw.as_bytes()).unwrap();
+    let mut out = String::new();
+    let _ = s.read_to_string(&mut out);
+    out
+}
+
+fn get(addr: &str, path_query: &str) -> String {
+    http(
+        addr,
+        &format!("GET {path_query} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"),
+    )
+}
+
+fn body_of(response: &str) -> &str {
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .unwrap_or("")
+}
+
+/// One gauge/counter value out of a `/metrics` exposition.
+fn metric(exposition: &str, name: &str) -> Option<f64> {
+    exposition
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .and_then(|v| v.parse().ok())
+}
+
+/// The smuggling surface, end to end: `Transfer-Encoding` answers 501
+/// and closes (so the chunked body's embedded request is never parsed),
+/// conflicting `Content-Length` answers 400 and closes, and a rejected
+/// request's body is drained so the keep-alive connection stays in sync.
+#[test]
+fn smuggling_vectors_are_rejected_end_to_end() {
+    let (_d, addr) = spawn_moarad(&free_port(), None, &[]);
+
+    // TE desync proof: with the old ignore-the-header behavior, the
+    // chunked body stayed in the buffer and the embedded
+    // `GET /v1/query?q=evil` would have executed as a second request.
+    let resp = http(
+        &addr,
+        "POST /v1/attrs HTTP/1.1\r\nHost: x\r\nTransfer-Encoding: chunked\r\n\r\n\
+         5\r\nA=1&B\r\n0\r\n\r\n\
+         GET /v1/query?q=evil HTTP/1.1\r\nHost: x\r\n\r\n",
+    );
+    assert!(resp.starts_with("HTTP/1.1 501 "), "{resp}");
+    assert_eq!(
+        resp.matches("HTTP/1.1").count(),
+        1,
+        "connection must close after 501, no second response: {resp}"
+    );
+
+    // CL.CL: conflicting duplicate Content-Length is a hard 400 + close.
+    let resp = http(
+        &addr,
+        "POST /v1/attrs HTTP/1.1\r\nHost: x\r\nContent-Length: 3\r\nContent-Length: 30\r\n\r\nA=1",
+    );
+    assert!(resp.starts_with("HTTP/1.1 400 "), "{resp}");
+    assert_eq!(resp.matches("HTTP/1.1").count(), 1, "{resp}");
+
+    // A rejected-by-routing request's body must not desync the next
+    // pipelined request.
+    let resp = http(
+        &addr,
+        "POST /nope HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello\
+         GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+    );
+    assert!(resp.starts_with("HTTP/1.1 404 "), "{resp}");
+    assert!(resp.contains("HTTP/1.1 200 OK\r\n"), "{resp}");
+    assert!(body_of(&resp).contains("\"status\":\"ok\""), "{resp}");
+
+    // The smuggled query never reached the router, let alone the daemon.
+    let resp = get(&addr, "/metrics");
+    assert!(resp.starts_with("HTTP/1.1 200 "), "{resp}");
+    let m = body_of(&resp);
+    assert_eq!(
+        metric(m, "moara_gateway_requests_total{endpoint=\"query\"}"),
+        Some(0.0),
+        "smuggled query must never execute:\n{m}"
+    );
+}
+
+/// `--gw-rate-limit` answers 429 once the peer's burst is spent, and the
+/// rejection is counted in `/metrics`.
+#[test]
+fn rate_limit_answers_429_over_real_daemon() {
+    let (_d, addr) = spawn_moarad(&free_port(), None, &["--gw-rate-limit", "5"]);
+
+    // Burst auto-sizes to 2×rate = 10 tokens; 14 rapid requests must
+    // spill past it.
+    let mut ok = 0;
+    let mut limited = 0;
+    for _ in 0..14 {
+        let resp = get(&addr, "/healthz");
+        if resp.starts_with("HTTP/1.1 200 ") {
+            ok += 1;
+        } else if resp.starts_with("HTTP/1.1 429 ") {
+            limited += 1;
+        } else {
+            panic!("unexpected response: {resp}");
+        }
+    }
+    assert!(ok >= 1, "the burst must admit something (ok={ok})");
+    assert!(
+        limited >= 1,
+        "the bucket must reject past the burst (ok={ok})"
+    );
+
+    // Let the bucket refill enough to admit the scrape, then check the
+    // counter surfaced.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        std::thread::sleep(Duration::from_millis(500));
+        let resp = get(&addr, "/metrics");
+        if resp.starts_with("HTTP/1.1 200 ") {
+            let m = body_of(&resp);
+            let counted = metric(m, "moara_gateway_rate_limited_total").unwrap_or(0.0);
+            assert!(counted >= f64::from(limited), "{counted} < {limited}:\n{m}");
+            break;
+        }
+        assert!(Instant::now() < deadline, "metrics never admitted: {resp}");
+    }
+}
+
+/// `--gw-request-timeout-ms 1` expires a real query round trip: the
+/// daemon's event loop polls on a multi-millisecond cadence, so a 1 ms
+/// deadline fires and the gateway answers 408.
+#[test]
+fn request_deadline_answers_408_over_real_daemon() {
+    let (_d, addr) = spawn_moarad(&free_port(), None, &["--gw-request-timeout-ms", "1"]);
+
+    // Fresh query text each attempt (no cache/coalescing short-cuts);
+    // one of a handful of attempts must cross the 1 ms deadline.
+    let mut saw_408 = false;
+    for i in 0..10 {
+        let resp = get(
+            &addr,
+            &format!("/v1/query?q=SELECT%20count(*)%20WHERE%20Attempt%20%3D%20{i}"),
+        );
+        if resp.starts_with("HTTP/1.1 408 ") {
+            saw_408 = true;
+            break;
+        }
+    }
+    assert!(saw_408, "a 1 ms deadline must expire some real round trip");
+}
+
+/// The reactor's reason to exist: one daemon holds 10k idle keep-alive
+/// connections and stays responsive on `/healthz` throughout — and the
+/// parked connections themselves still serve when spoken to.
+#[test]
+fn ten_thousand_idle_connections_stay_responsive() {
+    // Idle timeout raised above the test's worst-case runtime so a slow
+    // machine cannot get the early waves reaped before the sample.
+    let (_d, addr) = spawn_moarad(&free_port(), None, &["--gw-idle-timeout-ms", "600000"]);
+
+    let mut idle: Vec<TcpStream> = Vec::with_capacity(10_000);
+    for wave in 0..20 {
+        for _ in 0..500 {
+            idle.push(TcpStream::connect(&addr).expect("connect idle"));
+        }
+        // After every wave the gateway must still answer promptly.
+        let resp = get(&addr, "/healthz");
+        assert!(resp.starts_with("HTTP/1.1 200 "), "wave {wave}: {resp}");
+    }
+    assert_eq!(idle.len(), 10_000);
+
+    // The parked connections are live state machines, not just open fds:
+    // a sample of them serves requests.
+    for i in [0usize, 2_500, 5_000, 7_500, 9_999] {
+        let s = &mut idle[i];
+        s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        s.write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut out = String::new();
+        let _ = s.read_to_string(&mut out);
+        assert!(out.starts_with("HTTP/1.1 200 "), "conn {i}: {out}");
+    }
+
+    // The gauge saw them all (5 sampled conns closed above).
+    let resp = get(&addr, "/metrics");
+    let m = body_of(&resp);
+    let open = metric(m, "moara_gateway_open_connections").unwrap_or(0.0);
+    assert!(open >= 9_000.0, "open_connections={open}\n");
+    let accepted = metric(m, "moara_gateway_connections_accepted_total").unwrap_or(0.0);
+    assert!(accepted >= 10_000.0, "accepted={accepted}");
+}
+
+/// Abrupt SSE hang-ups under the reactor still tear standing watch state
+/// down to zero on every daemon (the `concurrent_ctrl` invariant, over
+/// HTTP): the daemon notices the dead sink, cancels the subscription,
+/// and peers GC their entries.
+#[test]
+fn sse_hangup_drains_watch_state_across_the_cluster() {
+    let seed_ctrl = free_port();
+    // --no-query-cache so cache-promoted standing subscriptions cannot
+    // muddy the zero-watches assertion.
+    let (_a, a_http) = spawn_moarad(&seed_ctrl, None, &["--no-query-cache"]);
+    let (_b, b_http) = spawn_moarad(&free_port(), Some(&seed_ctrl), &["--no-query-cache"]);
+    let (_c, c_http) = spawn_moarad(&free_port(), Some(&seed_ctrl), &["--no-query-cache"]);
+    let daemons = [&a_http, &b_http, &c_http];
+
+    // Wait for full membership.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    for addr in daemons {
+        loop {
+            let resp = get(addr, "/healthz");
+            if body_of(&resp).contains("\"alive\":3") {
+                break;
+            }
+            assert!(Instant::now() < deadline, "cluster never formed: {resp}");
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    // One SSE stream per daemon; each must deliver its initial frame
+    // (proving the standing query is installed) before we hang up.
+    let mut streams = Vec::new();
+    for addr in daemons {
+        let mut s = TcpStream::connect(addr).expect("connect watch");
+        s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        s.write_all(
+            b"GET /v1/watch?q=SELECT%20count(*)%20WHERE%20ServiceX%20%3D%20true&lease_ms=5000 \
+              HTTP/1.1\r\nHost: x\r\n\r\n",
+        )
+        .unwrap();
+        let mut reader = BufReader::new(s);
+        let frame_deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("SSE read");
+            if line.starts_with("data: ") {
+                assert!(line.contains("\"initial\":true"), "{line}");
+                break;
+            }
+            assert!(Instant::now() < frame_deadline, "no initial frame");
+        }
+        streams.push(reader);
+    }
+
+    // Abrupt hang-up: drop all three sockets without any protocol nicety.
+    drop(streams);
+
+    // Every daemon must drain to zero watches and zero standing entries.
+    let drain_deadline = Instant::now() + Duration::from_secs(30);
+    for addr in daemons {
+        loop {
+            let resp = get(addr, "/metrics");
+            let m = body_of(&resp);
+            let watches = metric(m, "moara_subscribe_watches");
+            let entries = metric(m, "moara_subscribe_entries");
+            if watches == Some(0.0) && entries == Some(0.0) {
+                break;
+            }
+            assert!(
+                Instant::now() < drain_deadline,
+                "daemon {addr} leaked watches={watches:?} entries={entries:?}"
+            );
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        // And the gateway's stream gauge agrees.
+        let resp = get(addr, "/metrics");
+        assert_eq!(
+            metric(body_of(&resp), "moara_gateway_open_streams"),
+            Some(0.0)
+        );
+    }
+}

@@ -1,11 +1,22 @@
-//! Minimal HTTP/1.1 request parsing and response writing on `std::io`.
+//! Minimal HTTP/1.1 request parsing and response writing.
 //!
 //! Deliberately small: request line + headers + optional
 //! `Content-Length` body, percent-decoded query parameters, keep-alive.
 //! No chunked transfer, no TLS, no multipart — the gateway's endpoints
-//! need none of them. Hard caps on line length, header count, and body
-//! size keep a hostile client from ballooning memory, the same hardening
-//! posture as the wire codec's frame and nesting caps.
+//! need none of them, and any `Transfer-Encoding` header is rejected
+//! outright (501) rather than ignored: a body the parser does not
+//! consume would desync the next request on the keep-alive connection
+//! (request smuggling, RFC 7230 §3.3.2). Hard caps on line length,
+//! header count, and body size keep a hostile client from ballooning
+//! memory, the same hardening posture as the wire codec's frame and
+//! nesting caps.
+//!
+//! The core entry point is [`parse_request`], an *incremental* parser
+//! over a byte buffer: it never blocks and never consumes a partial
+//! request, which is what lets the reactor (`reactor.rs`) run it on
+//! whatever bytes have arrived so far and simply wait for more on
+//! [`ParseStep::Incomplete`]. [`read_request`] wraps it for blocking
+//! `BufRead` callers (tests, mostly).
 
 use std::io::{BufRead, Write};
 
@@ -59,9 +70,15 @@ pub enum HttpError {
     Closed,
     /// Socket-level failure.
     Io(std::io::Error),
-    /// Malformed or over-limit request; the description is safe to echo
-    /// in a 400 body.
-    Bad(&'static str),
+    /// Malformed or unsupported request; `msg` is safe to echo in the
+    /// error body, `status` is the HTTP code to answer with (400 for
+    /// malformed, 413 over-limit, 501 unsupported).
+    Bad {
+        /// HTTP status to answer with.
+        status: u16,
+        /// Safe-to-echo description.
+        msg: &'static str,
+    },
 }
 
 impl From<std::io::Error> for HttpError {
@@ -70,49 +87,100 @@ impl From<std::io::Error> for HttpError {
     }
 }
 
-/// Reads one line (CRLF or bare LF terminated), bounded by [`MAX_LINE`].
-fn read_line(reader: &mut impl BufRead) -> Result<String, HttpError> {
-    let mut line = Vec::new();
-    loop {
-        let mut byte = [0u8; 1];
-        match reader.read(&mut byte) {
-            Ok(0) => {
-                if line.is_empty() {
-                    return Err(HttpError::Closed);
-                }
-                break;
-            }
-            Ok(_) => {
-                if byte[0] == b'\n' {
-                    break;
-                }
-                line.push(byte[0]);
-                if line.len() > MAX_LINE {
-                    return Err(HttpError::Bad("line too long"));
-                }
-            }
-            Err(e) => return Err(HttpError::Io(e)),
-        }
-    }
-    if line.last() == Some(&b'\r') {
-        line.pop();
-    }
-    String::from_utf8(line).map_err(|_| HttpError::Bad("non-UTF-8 request"))
+/// Outcome of one [`parse_request`] call over a byte buffer.
+#[derive(Debug)]
+pub enum ParseStep {
+    /// The buffer does not yet hold a complete request; read more bytes
+    /// and call again. Nothing was consumed.
+    Incomplete,
+    /// One full request parsed; the first `consumed` bytes of the
+    /// buffer belong to it (headers *and* body — a rejected route never
+    /// leaves an unread body behind to desync the next request).
+    Done {
+        /// The parsed request.
+        req: Box<HttpRequest>,
+        /// Bytes of the buffer this request occupied.
+        consumed: usize,
+    },
+    /// Malformed or unsupported request. The connection cannot be
+    /// resynchronized (the body boundary is unknown), so the caller
+    /// must answer `status` and close.
+    Reject {
+        /// HTTP status to answer with.
+        status: u16,
+        /// Safe-to-echo description.
+        msg: &'static str,
+    },
 }
 
-/// Parses one request off `reader`. [`HttpError::Closed`] on a clean EOF
-/// between requests (keep-alive connections end this way).
-pub fn read_request(reader: &mut impl BufRead) -> Result<HttpRequest, HttpError> {
-    let request_line = read_line(reader)?;
-    let mut parts = request_line.split_ascii_whitespace();
-    let method = parts
-        .next()
-        .ok_or(HttpError::Bad("empty request line"))?
-        .to_ascii_uppercase();
-    let target = parts.next().ok_or(HttpError::Bad("missing request path"))?;
-    let version = parts.next().ok_or(HttpError::Bad("missing HTTP version"))?;
+fn reject(status: u16, msg: &'static str) -> ParseStep {
+    ParseStep::Reject { status, msg }
+}
+
+/// Incrementally parses one request off the front of `buf`.
+///
+/// Returns [`ParseStep::Incomplete`] until the buffer holds the full
+/// head *and* `Content-Length` body; the caller keeps appending bytes
+/// and re-calling. On [`ParseStep::Done`] the caller drains `consumed`
+/// bytes — anything after them is pipelined input for the next call.
+///
+/// Smuggling defenses (RFC 7230 §3.3.2 / §3.3.3):
+/// * duplicate `Content-Length` headers (or comma-separated values)
+///   that disagree are rejected — the last value must not silently win,
+///   or a front proxy and this parser can frame the body differently;
+/// * any `Transfer-Encoding` header is rejected with 501 — this parser
+///   does not implement chunked framing, and ignoring the header would
+///   leave the chunked body in the buffer to be parsed as the *next*
+///   request.
+pub fn parse_request(buf: &[u8]) -> ParseStep {
+    // Split the head into lines as bytes arrive. `pos` tracks the scan
+    // cursor; the head ends at the first empty line.
+    let mut pos = 0usize;
+    let mut lines: Vec<&str> = Vec::new();
+    let head_end = loop {
+        let Some(nl) = buf[pos..].iter().position(|&b| b == b'\n') else {
+            if buf.len() - pos > MAX_LINE {
+                return reject(400, "line too long");
+            }
+            return ParseStep::Incomplete;
+        };
+        let mut line = &buf[pos..pos + nl];
+        if line.last() == Some(&b'\r') {
+            line = &line[..line.len() - 1];
+        }
+        if line.len() > MAX_LINE {
+            return reject(400, "line too long");
+        }
+        if line.is_empty() {
+            if lines.is_empty() {
+                return reject(400, "empty request line");
+            }
+            break pos + nl + 1;
+        }
+        // +1: the request line rides in front of the header lines.
+        if lines.len() > MAX_HEADERS {
+            return reject(400, "too many headers");
+        }
+        let Ok(text) = std::str::from_utf8(line) else {
+            return reject(400, "non-UTF-8 request");
+        };
+        lines.push(text);
+        pos += nl + 1;
+    };
+
+    let mut parts = lines[0].split_ascii_whitespace();
+    let Some(method) = parts.next() else {
+        return reject(400, "empty request line");
+    };
+    let method = method.to_ascii_uppercase();
+    let Some(target) = parts.next() else {
+        return reject(400, "missing request path");
+    };
+    let Some(version) = parts.next() else {
+        return reject(400, "missing HTTP version");
+    };
     if !version.starts_with("HTTP/1.") {
-        return Err(HttpError::Bad("unsupported HTTP version"));
+        return reject(400, "unsupported HTTP version");
     }
     let mut keep_alive = version != "HTTP/1.0";
 
@@ -123,51 +191,96 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<HttpRequest, HttpError>
     let path = percent_decode_path(raw_path);
     let params = raw_query.map(parse_query).unwrap_or_default();
 
-    let mut headers = Vec::new();
-    let mut content_length = 0usize;
-    loop {
-        let line = read_line(reader)?;
-        if line.is_empty() {
-            break;
-        }
-        if headers.len() >= MAX_HEADERS {
-            return Err(HttpError::Bad("too many headers"));
-        }
-        let (name, value) = line.split_once(':').ok_or(HttpError::Bad("bad header"))?;
+    let mut headers = Vec::with_capacity(lines.len() - 1);
+    let mut content_length: Option<usize> = None;
+    for line in &lines[1..] {
+        let Some((name, value)) = line.split_once(':') else {
+            return reject(400, "bad header");
+        };
         let name = name.trim().to_ascii_lowercase();
         let value = value.trim().to_owned();
-        if name == "content-length" {
-            content_length = value
-                .parse()
-                .map_err(|_| HttpError::Bad("bad content-length"))?;
-            if content_length > MAX_BODY {
-                return Err(HttpError::Bad("body too large"));
+        match name.as_str() {
+            "content-length" => {
+                // A header repeated across lines arrives here once per
+                // line; a comma-joined repeat arrives as one value.
+                // Either way every element must agree (identical
+                // repeats are legal per RFC 7230 §3.3.2's proxy
+                // allowance; *conflicting* ones are an attack).
+                for piece in value.split(',') {
+                    let Ok(n) = piece.trim().parse::<usize>() else {
+                        return reject(400, "bad content-length");
+                    };
+                    match content_length {
+                        Some(prev) if prev != n => {
+                            return reject(400, "conflicting content-length");
+                        }
+                        _ => content_length = Some(n),
+                    }
+                }
             }
-        }
-        if name == "connection" {
-            let v = value.to_ascii_lowercase();
-            if v.contains("close") {
-                keep_alive = false;
-            } else if v.contains("keep-alive") {
-                keep_alive = true;
+            "transfer-encoding" => {
+                return reject(501, "transfer-encoding not supported");
             }
+            "connection" => {
+                // Comma-separated token list, case-insensitive whole
+                // tokens only: `Connection: not-close-really` must not
+                // match `close`.
+                for token in value.split(',') {
+                    let token = token.trim();
+                    if token.eq_ignore_ascii_case("close") {
+                        keep_alive = false;
+                    } else if token.eq_ignore_ascii_case("keep-alive") {
+                        keep_alive = true;
+                    }
+                }
+            }
+            _ => {}
         }
         headers.push((name, value));
     }
 
-    let mut body = vec![0u8; content_length];
-    if content_length > 0 {
-        reader.read_exact(&mut body)?;
+    let content_length = content_length.unwrap_or(0);
+    if content_length > MAX_BODY {
+        return reject(413, "body too large");
     }
+    if buf.len() < head_end + content_length {
+        return ParseStep::Incomplete;
+    }
+    let body = buf[head_end..head_end + content_length].to_vec();
 
-    Ok(HttpRequest {
-        method,
-        path,
-        params,
-        headers,
-        body,
-        keep_alive,
-    })
+    ParseStep::Done {
+        req: Box::new(HttpRequest {
+            method,
+            path,
+            params,
+            headers,
+            body,
+            keep_alive,
+        }),
+        consumed: head_end + content_length,
+    }
+}
+
+/// Parses one request off a blocking reader — [`parse_request`] fed one
+/// byte at a time (the reader is buffered, so this is cheap). Used by
+/// tests and simple clients; the reactor calls [`parse_request`]
+/// directly. [`HttpError::Closed`] on a clean EOF between requests.
+pub fn read_request(reader: &mut impl BufRead) -> Result<HttpRequest, HttpError> {
+    let mut buf = Vec::new();
+    loop {
+        match parse_request(&buf) {
+            ParseStep::Done { req, .. } => return Ok(*req),
+            ParseStep::Reject { status, msg } => return Err(HttpError::Bad { status, msg }),
+            ParseStep::Incomplete => {}
+        }
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => return Err(HttpError::Closed),
+            Ok(_) => buf.push(byte[0]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
 }
 
 /// One response, rendered by [`HttpResponse::write_to`].
@@ -237,7 +350,10 @@ impl HttpResponse {
             404 => "Not Found",
             405 => "Method Not Allowed",
             408 => "Request Timeout",
+            413 => "Payload Too Large",
+            429 => "Too Many Requests",
             500 => "Internal Server Error",
+            501 => "Not Implemented",
             503 => "Service Unavailable",
             _ => "Unknown",
         }
@@ -294,10 +410,9 @@ impl HttpResponse {
 /// Probes whether the peer of a streaming (write-mostly) socket is still
 /// connected: reads one byte with a 1 ms timeout. EOF or a hard error
 /// means the peer hung up; a timeout (nothing to read) or stray bytes
-/// mean it is still there. Shared by the gateway's SSE loop and the
-/// daemon's control-plane watch loop — quiescent streams have no writes
-/// to fail, so this is their only hang-up signal. Leaves the socket's
-/// read timeout at 1 ms.
+/// mean it is still there. Used by the daemon's control-plane watch
+/// loop — quiescent streams have no writes to fail, so this is their
+/// only hang-up signal. Leaves the socket's read timeout at 1 ms.
 pub fn socket_alive(stream: &mut std::net::TcpStream) -> bool {
     use std::io::Read;
     let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(1)));
@@ -415,18 +530,150 @@ mod tests {
     }
 
     #[test]
+    fn connection_header_matches_whole_tokens_not_substrings() {
+        // `not-close-really` contains the substring `close` but is not
+        // the `close` token: keep-alive must survive.
+        let req = parse("GET / HTTP/1.1\r\nConnection: not-close-really\r\n\r\n").unwrap();
+        assert!(req.keep_alive, "substring must not match");
+        // Tokens are matched case-insensitively within comma lists.
+        assert!(
+            !parse("GET / HTTP/1.1\r\nConnection: Close\r\n\r\n")
+                .unwrap()
+                .keep_alive
+        );
+        assert!(
+            !parse("GET / HTTP/1.1\r\nConnection: x-upgrade, CLOSE\r\n\r\n")
+                .unwrap()
+                .keep_alive
+        );
+        // HTTP/1.0 with an explicit keep-alive token opts back in.
+        assert!(
+            parse("GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n")
+                .unwrap()
+                .keep_alive
+        );
+        // `keepalive-ish` is not the keep-alive token.
+        assert!(
+            !parse("GET / HTTP/1.0\r\nConnection: keepalive-ish\r\n\r\n")
+                .unwrap()
+                .keep_alive
+        );
+    }
+
+    #[test]
+    fn conflicting_content_length_headers_are_rejected() {
+        // Two headers that disagree: classic CL.CL smuggling vector.
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 6\r\n\r\nhello!"),
+            Err(HttpError::Bad { status: 400, .. })
+        ));
+        // Comma-joined values that disagree.
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 5, 6\r\n\r\nhello!"),
+            Err(HttpError::Bad { status: 400, .. })
+        ));
+        // Identical repeats are legal (some proxies fold headers).
+        let req = parse("POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello")
+            .unwrap();
+        assert_eq!(req.body, b"hello");
+        let req = parse("POST / HTTP/1.1\r\nContent-Length: 5, 5\r\n\r\nhello").unwrap();
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn transfer_encoding_is_rejected_with_501() {
+        // Ignoring Transfer-Encoding would leave the chunked body in the
+        // buffer to be parsed as the next request (smuggling); the
+        // parser refuses up front instead.
+        for te in ["chunked", "gzip, chunked", "identity"] {
+            let raw = format!("POST / HTTP/1.1\r\nTransfer-Encoding: {te}\r\n\r\n");
+            assert!(
+                matches!(
+                    parse(&raw),
+                    Err(HttpError::Bad {
+                        status: 501,
+                        msg: "transfer-encoding not supported"
+                    })
+                ),
+                "{te}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_parse_waits_for_full_head_and_body() {
+        let raw = b"POST /v1/attrs HTTP/1.1\r\nContent-Length: 7\r\n\r\nA=1&B=2";
+        // Every strict prefix is Incomplete; the full buffer is Done.
+        for cut in 0..raw.len() {
+            assert!(
+                matches!(parse_request(&raw[..cut]), ParseStep::Incomplete),
+                "prefix of {cut} bytes must be incomplete"
+            );
+        }
+        match parse_request(raw) {
+            ParseStep::Done { req, consumed } => {
+                assert_eq!(consumed, raw.len());
+                assert_eq!(req.body, b"A=1&B=2");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incremental_parse_leaves_pipelined_bytes() {
+        let raw = b"GET /healthz HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\n\r\n";
+        let (first, consumed) = match parse_request(raw) {
+            ParseStep::Done { req, consumed } => (req, consumed),
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(first.path, "/healthz");
+        match parse_request(&raw[consumed..]) {
+            ParseStep::Done { req, consumed } => {
+                assert_eq!(req.path, "/metrics");
+                assert_eq!(consumed, raw.len() - 25);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
     fn rejects_garbage_and_eof() {
         assert!(matches!(parse(""), Err(HttpError::Closed)));
-        assert!(matches!(parse("nonsense\r\n\r\n"), Err(HttpError::Bad(_))));
+        assert!(matches!(
+            parse("nonsense\r\n\r\n"),
+            Err(HttpError::Bad { status: 400, .. })
+        ));
         assert!(matches!(
             parse("GET / SPDY/3\r\n\r\n"),
-            Err(HttpError::Bad(_))
+            Err(HttpError::Bad { status: 400, .. })
         ));
         let huge = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(MAX_LINE + 1));
-        assert!(matches!(parse(&huge), Err(HttpError::Bad(_))));
+        assert!(matches!(
+            parse(&huge),
+            Err(HttpError::Bad { status: 400, .. })
+        ));
+        // An over-long line is rejected even before its newline arrives
+        // (a slowloris must not buffer without bound).
+        let unterminated = vec![b'x'; MAX_LINE + 2];
+        assert!(matches!(
+            parse_request(&unterminated),
+            ParseStep::Reject { status: 400, .. }
+        ));
         assert!(matches!(
             parse("GET / HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n"),
-            Err(HttpError::Bad(_))
+            Err(HttpError::Bad { status: 413, .. })
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(HttpError::Bad { status: 400, .. })
+        ));
+        let many = format!(
+            "GET / HTTP/1.1\r\n{}\r\n",
+            "X-H: 1\r\n".repeat(MAX_HEADERS + 1)
+        );
+        assert!(matches!(
+            parse(&many),
+            Err(HttpError::Bad { status: 400, .. })
         ));
     }
 

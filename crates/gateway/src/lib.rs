@@ -5,9 +5,9 @@
 //! Until this crate existed the only ways into a cluster were the Rust
 //! API and the custom framed control plane — nothing an off-the-shelf
 //! client, load balancer, dashboard, or scraper could speak. The gateway
-//! embeds a small thread-pooled HTTP/1.1 server (written on `std::net`,
-//! the same no-new-deps constraint that shaped `TcpTransport`) in every
-//! `moarad` behind `--http ADDR`:
+//! embeds an event-driven HTTP/1.1 server (written on `std::net` plus
+//! raw `epoll` syscalls, the same no-new-deps constraint that shaped
+//! `TcpTransport`) in every `moarad` behind `--http ADDR`:
 //!
 //! * `GET /v1/query?q=…` — run a composite query, answer as JSON;
 //! * `POST /v1/attrs` — set local attributes (group churn over HTTP);
@@ -24,23 +24,33 @@
 //! daemon simply runs the query from that node, so an external load
 //! balancer can spray the whole cluster.
 //!
-//! Architecturally the gateway mirrors the control plane: connection
-//! threads never touch protocol state. They parse HTTP into a
-//! [`GwRequest`], push a [`GwJob`] through an MPSC channel into the
-//! daemon's single-threaded event loop, and block on (or, for watches,
-//! stream from) the reply channel. See `docs/gateway.md`.
+//! Architecturally the gateway mirrors the control plane: HTTP threads
+//! never touch protocol state. A sharded `epoll` reactor ([`reactor`])
+//! owns every socket in nonblocking mode and drives per-connection state
+//! machines — incremental request parsing ([`http`]), buffered response
+//! writes, SSE streaming — so one daemon holds tens of thousands of
+//! keep-alive connections on a handful of threads. Parsed requests
+//! become [`GwRequest`]s pushed as [`GwJob`]s through an MPSC channel
+//! into the daemon's single-threaded event loop; replies return through
+//! per-shard mailboxes. Cache hits never leave the reactor. In front of
+//! routing sits a small middleware stack ([`middleware`]): per-peer-IP
+//! token-bucket rate limiting (429), per-request deadlines (408), and
+//! per-connection panic isolation. See `docs/gateway.md`.
 
 pub mod cache;
 pub mod http;
 pub mod json;
 pub mod metrics;
+pub mod middleware;
+pub mod reactor;
 pub mod server;
 
 pub use cache::{normalize, CacheConfig, QueryCache};
 pub use http::{HttpRequest, HttpResponse};
 pub use metrics::{lint_exposition, MetricsRegistry};
+pub use middleware::TokenBuckets;
 pub use server::{
     access_log_line, spawn_gateway, spawn_gateway_opts, AccessLogSink, AtomicHistogram,
-    EndpointLatency, GatewayHandle, GatewayStats, GwJob, GwReply, GwRequest, WatchPolicy,
-    LATENCY_BOUNDS_US,
+    EndpointLatency, GatewayHandle, GatewayOpts, GatewayStats, GwJob, GwReply, GwRequest,
+    ReplySink, SinkClosed, WatchPolicy, LATENCY_BOUNDS_US,
 };

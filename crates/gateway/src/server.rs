@@ -1,36 +1,42 @@
-//! The gateway server: accept loop, worker pool, routing, SSE streaming.
+//! The gateway's protocol surface: request/reply types, routing,
+//! response rendering, stats, and the spawn entry points.
 //!
-//! Threading model (mirrors the daemon's control plane): the acceptor
-//! thread hands sockets to a fixed worker pool; each worker parses HTTP,
-//! translates it into a [`GwRequest`], and pushes a [`GwJob`] through an
-//! MPSC channel into the daemon's event loop — protocol state is only
-//! ever touched by that single loop. One-shot endpoints block on the
-//! reply channel; `/v1/watch` flips the connection into a Server-Sent
+//! Threading model (since the reactor rewrite): the acceptor thread
+//! hands nonblocking sockets to a small set of `epoll` shard threads
+//! (`reactor.rs`); each shard drives per-connection state machines that
+//! parse HTTP incrementally, translate requests into [`GwRequest`]s,
+//! and push [`GwJob`]s through an MPSC channel into the daemon's event
+//! loop — protocol state is only ever touched by that single loop.
+//! Replies come back through a per-shard mailbox (a queue plus an
+//! `eventfd` wake), addressed by connection id and request generation;
+//! `/v1/watch` flips its connection's state machine into a Server-Sent
 //! Events stream that forwards [`GwReply::Update`] frames until either
-//! side hangs up. A long-lived SSE stream occupies its worker for its
-//! whole life, so at most half the pool may hold streams — further
-//! watch requests answer 503 immediately, keeping the other half free
-//! for one-shots (`/healthz` must stay reachable under watcher
-//! overload). The acceptor's hand-off queue is bounded too: when it
-//! fills, new connections are closed at accept instead of queueing fds
-//! without limit. Writes carry a timeout so a client that stops
-//! *reading* cannot pin a worker in `write_all` forever.
+//! side hangs up. Nothing in the HTTP path blocks, so one daemon holds
+//! tens of thousands of keep-alive and SSE connections on a handful of
+//! threads.
 //!
-//! Hang-up plumbing: the worker drops its reply receiver when the client
-//! disconnects; the daemon notices on its next send (updates or the
-//! periodic keepalive probe) and cancels the standing subscription, so
-//! peers GC the watch's in-network state promptly.
+//! Hang-up plumbing: every job carries a [`ReplySink`]. When the
+//! connection closes, the sink's sends start failing, which the daemon
+//! observes on its next update or keepalive probe and cancels the
+//! standing subscription — peers GC the watch's in-network state
+//! promptly. Symmetrically, when the *daemon* drops a sink without a
+//! terminal reply (subscription cancelled, shutdown), the sink's `Drop`
+//! posts a hang-up to the reactor and the SSE stream ends.
+//!
+//! Middleware on the reactor path: per-peer-IP token-bucket rate
+//! limiting (429), a per-request deadline (408), and per-connection
+//! panic isolation — see [`GatewayOpts`] and `docs/gateway.md`.
 
-use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
-use std::sync::mpsc::{RecvTimeoutError, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::Sender;
+use std::sync::Arc;
 use std::time::Duration;
 
 use crate::cache::QueryCache;
-use crate::http::{read_request, HttpError, HttpRequest, HttpResponse};
+use crate::http::{HttpRequest, HttpResponse};
 use crate::json;
+use crate::reactor::{Mail, Mailbox};
 
 /// How a watch's updates surface to the SSE client (string-typed twin of
 /// the subscription plane's `DeliveryPolicy`; the daemon converts).
@@ -99,7 +105,8 @@ pub enum GwReply {
         complete: bool,
         /// `X-Moara-Cache` value (`miss` / `coalesced`); `None` when the
         /// result cache is disabled. (`hit` answers never round-trip to
-        /// the daemon — workers serve them from [`QueryCache`] directly.)
+        /// the daemon — the reactor serves them from [`QueryCache`]
+        /// directly.)
         cache: Option<&'static str>,
     },
     /// Attributes applied.
@@ -147,14 +154,134 @@ pub enum GwReply {
     },
 }
 
-/// One in-flight gateway request: the parsed request plus the channel the
-/// worker blocks on (or streams from) for replies.
+enum SinkInner {
+    /// A plain channel (daemon-internal callers and tests).
+    Channel(Sender<GwReply>),
+    /// A reactor connection: replies post to the owning shard's mailbox,
+    /// addressed by connection id and request generation.
+    Reactor {
+        mailbox: Arc<Mailbox>,
+        conn: u64,
+        gen: u64,
+        closed: Arc<AtomicBool>,
+    },
+}
+
+/// The receiving side of a [`ReplySink`] is gone: the connection was
+/// closed or the channel dropped. The caller should stop producing —
+/// for a watch, cancel the subscription.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SinkClosed;
+
+impl std::fmt::Display for SinkClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("reply sink closed")
+    }
+}
+
+impl std::error::Error for SinkClosed {}
+
+/// Where gateway replies go. The daemon holds a sink for the life of a
+/// request (or, for watches, the life of the subscription) and calls
+/// [`ReplySink::send`] once per reply.
+///
+/// Hang-up semantics, both directions:
+/// * client gone → `send` returns `Err` (the reactor marked the
+///   connection closed), which tells the daemon to cancel the watch;
+/// * daemon gone → dropping the sink without a terminal reply posts a
+///   hang-up to the reactor and the SSE stream ends.
+///
+/// Deliberately not `Clone`: the drop of *the* sink is a protocol
+/// signal, and copies would fire it spuriously.
+pub struct ReplySink {
+    inner: SinkInner,
+}
+
+impl std::fmt::Debug for ReplySink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            SinkInner::Channel(_) => f.write_str("ReplySink::Channel"),
+            SinkInner::Reactor { conn, gen, .. } => {
+                write!(f, "ReplySink::Reactor {{ conn: {conn}, gen: {gen} }}")
+            }
+        }
+    }
+}
+
+impl ReplySink {
+    /// A sink backed by a plain channel — for daemon-internal reply
+    /// paths and tests; the reactor never sees these.
+    pub fn channel(tx: Sender<GwReply>) -> ReplySink {
+        ReplySink {
+            inner: SinkInner::Channel(tx),
+        }
+    }
+
+    pub(crate) fn reactor(
+        mailbox: Arc<Mailbox>,
+        conn: u64,
+        gen: u64,
+        closed: Arc<AtomicBool>,
+    ) -> ReplySink {
+        ReplySink {
+            inner: SinkInner::Reactor {
+                mailbox,
+                conn,
+                gen,
+                closed,
+            },
+        }
+    }
+
+    /// Delivers one reply; `Err(SinkClosed)` means the receiving side
+    /// is gone (connection closed / channel dropped) and the caller
+    /// should stop producing — for a watch, cancel the subscription.
+    pub fn send(&self, reply: GwReply) -> Result<(), SinkClosed> {
+        match &self.inner {
+            SinkInner::Channel(tx) => tx.send(reply).map_err(|_| SinkClosed),
+            SinkInner::Reactor {
+                mailbox,
+                conn,
+                gen,
+                closed,
+            } => {
+                if closed.load(Ordering::Acquire) {
+                    return Err(SinkClosed);
+                }
+                mailbox.post(*conn, *gen, Mail::Reply(reply));
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Drop for ReplySink {
+    fn drop(&mut self) {
+        if let SinkInner::Reactor {
+            mailbox,
+            conn,
+            gen,
+            closed,
+        } = &self.inner
+        {
+            // The reactor ignores hang-ups for requests that already got
+            // their terminal reply (the mailbox preserves order), so
+            // this only ends streams whose daemon side went away.
+            if !closed.load(Ordering::Acquire) {
+                mailbox.post(*conn, *gen, Mail::Hangup);
+            }
+        }
+    }
+}
+
+/// One in-flight gateway request: the parsed request plus the sink the
+/// daemon answers into.
 pub struct GwJob {
     /// What to do.
     pub req: GwRequest,
-    /// Where replies go. For watches the daemon holds this sender for
+    /// Where replies go. For watches the daemon holds this sink for
     /// the life of the subscription.
-    pub reply: Sender<GwReply>,
+    pub reply: ReplySink,
 }
 
 /// Bucket upper bounds (microseconds) for the gateway's request-latency
@@ -165,7 +292,7 @@ pub const LATENCY_BOUNDS_US: [u64; 12] = [
 ];
 
 /// A lock-free fixed-bucket histogram over [`LATENCY_BOUNDS_US`].
-/// Workers `observe` concurrently; the daemon's scrape thread snapshots
+/// Shards `observe` concurrently; the daemon's scrape thread snapshots
 /// cumulative counts in the exact shape `MetricsRegistry::histogram_with`
 /// wants. Tearing between buckets/sum under concurrent observes is
 /// tolerated — Prometheus histograms are sampled, not transactional.
@@ -284,9 +411,23 @@ pub struct GatewayStats {
     pub traces: AtomicU64,
     /// Responses with a 4xx/5xx status.
     pub errors: AtomicU64,
-    /// SSE streams currently holding a pool slot (reserved at routing
-    /// time, released when the stream ends — so mid-setup streams
-    /// count, and the half-pool cap cannot be raced past).
+    /// Requests answered 429 by the per-peer-IP token bucket.
+    pub rate_limited: AtomicU64,
+    /// Requests answered 408 (per-request deadline or slowloris header
+    /// timeout).
+    pub request_timeouts: AtomicU64,
+    /// Panics caught by per-connection isolation (each one killed its
+    /// connection only).
+    pub panics_caught: AtomicU64,
+    /// Connections accepted over the gateway's lifetime.
+    pub conns_accepted: AtomicU64,
+    /// Connections refused at accept because the connection cap was hit.
+    pub conns_rejected: AtomicU64,
+    /// Connections currently registered with a shard (gauge).
+    pub open_conns: AtomicI64,
+    /// SSE streams currently holding a slot (reserved at routing time,
+    /// released when the stream ends — so mid-setup streams count, and
+    /// the cap cannot be raced past).
     pub open_streams: AtomicI64,
     /// Request latency by endpoint class.
     pub latency: EndpointLatency,
@@ -294,7 +435,7 @@ pub struct GatewayStats {
 
 /// Where access-log lines go: the daemon passes a sink (stderr, a file)
 /// and the gateway calls it once per finished request with one JSON line
-/// (no trailing newline). Must be cheap and non-blocking-ish: workers
+/// (no trailing newline). Must be cheap and non-blocking-ish: shards
 /// call it inline.
 pub type AccessLogSink = Arc<dyn Fn(&str) + Send + Sync>;
 
@@ -318,11 +459,71 @@ pub fn access_log_line(
     )
 }
 
+/// Tuning and middleware knobs for [`spawn_gateway_opts`]. Start from
+/// `GatewayOpts::default()` and override what the deployment needs.
+#[derive(Clone)]
+pub struct GatewayOpts {
+    /// Reactor shard threads; `0` picks `available_parallelism` capped
+    /// at 8.
+    pub shards: usize,
+    /// Per-peer-IP sustained requests/second; `0.0` disables rate
+    /// limiting.
+    pub rate_limit: f64,
+    /// Token-bucket burst capacity; `0.0` picks `2 × rate_limit`.
+    pub rate_burst: f64,
+    /// How long a request may wait on the daemon before the gateway
+    /// answers 408 and closes the connection.
+    pub request_timeout: Duration,
+    /// How long a keep-alive connection may sit idle (no request bytes)
+    /// before it is closed.
+    pub idle_timeout: Duration,
+    /// How long a partial request head may dribble in before the
+    /// connection is answered 408 (slowloris defense).
+    pub header_timeout: Duration,
+    /// Most concurrent SSE streams; further `/v1/watch` requests answer
+    /// 503 immediately.
+    pub max_sse_streams: i64,
+    /// Most concurrent connections; further accepts are closed
+    /// immediately (and counted in `conns_rejected`).
+    pub max_conns: i64,
+    /// Optional access-log sink: one JSON line per finished request (and
+    /// per ended SSE stream).
+    pub access_log: Option<AccessLogSink>,
+    /// Optional shared result cache — when present, shards answer
+    /// `/v1/query` hits from it inline, never entering the daemon's
+    /// event loop (the cache's mutating side stays with the daemon,
+    /// which shares the same `Arc`).
+    pub cache: Option<Arc<QueryCache>>,
+    /// Test hook: a request for exactly this path panics inside the
+    /// connection handler, to prove panic isolation. `None` in
+    /// production, always.
+    pub panic_on_path: Option<String>,
+}
+
+impl Default for GatewayOpts {
+    fn default() -> GatewayOpts {
+        GatewayOpts {
+            shards: 0,
+            rate_limit: 0.0,
+            rate_burst: 0.0,
+            request_timeout: Duration::from_secs(30),
+            idle_timeout: Duration::from_secs(30),
+            header_timeout: Duration::from_secs(10),
+            max_sse_streams: 1024,
+            max_conns: 50_000,
+            access_log: None,
+            cache: None,
+            panic_on_path: None,
+        }
+    }
+}
+
 /// A running gateway: address, stats, and the stop switch.
 pub struct GatewayHandle {
-    addr: SocketAddr,
-    stats: Arc<GatewayStats>,
-    stop: Arc<AtomicBool>,
+    pub(crate) addr: SocketAddr,
+    pub(crate) stats: Arc<GatewayStats>,
+    pub(crate) stop: Arc<AtomicBool>,
+    pub(crate) wakes: Vec<Arc<Mailbox>>,
 }
 
 impl GatewayHandle {
@@ -336,121 +537,49 @@ impl GatewayHandle {
         &self.stats
     }
 
-    /// Stops accepting new connections (in-flight requests finish; open
-    /// SSE streams end when the daemon drops their reply senders).
+    /// Stops accepting new connections and tears down the shards; open
+    /// connections (SSE streams included) are closed, which fails the
+    /// daemon's next send into their sinks.
     pub fn stop(&self) {
         self.stop.store(true, Ordering::SeqCst);
         // Wake the acceptor blocked in accept() so it observes the flag.
         let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(50));
+        // And every shard blocked in epoll_wait.
+        for wake in &self.wakes {
+            wake.wake();
+        }
     }
 }
 
-/// Spawns the accept loop and `workers` connection workers on
-/// `listener`. Jobs flow into `tx`; the daemon's event loop must drain
-/// them (see `Daemon::step`).
+/// Spawns the gateway's acceptor and reactor shards on `listener` with
+/// default options. Jobs flow into `tx`; the daemon's event loop must
+/// drain them (see `Daemon::step`).
 ///
 /// # Panics
 ///
-/// Panics if the listener's local address cannot be read or threads
-/// cannot spawn — both are boot-time process failures.
-pub fn spawn_gateway(listener: TcpListener, tx: Sender<GwJob>, workers: usize) -> GatewayHandle {
-    spawn_gateway_opts(listener, tx, workers, None, None)
+/// Panics if the listener's local address cannot be read, `epoll` setup
+/// fails, or threads cannot spawn — all boot-time process failures.
+pub fn spawn_gateway(listener: TcpListener, tx: Sender<GwJob>) -> GatewayHandle {
+    spawn_gateway_opts(listener, tx, GatewayOpts::default())
 }
 
-/// [`spawn_gateway`] with options: an optional access-log sink that
-/// receives one JSON line per finished request (and per ended SSE
-/// stream), and the optional shared result cache — when present,
-/// workers answer `/v1/query` hits from it inline, never entering the
-/// daemon's event loop (the cache's mutating side stays with the
-/// daemon, which shares the same `Arc`).
+/// [`spawn_gateway`] with explicit [`GatewayOpts`].
+///
+/// # Panics
+///
+/// Same boot-time failures as [`spawn_gateway`].
 pub fn spawn_gateway_opts(
     listener: TcpListener,
     tx: Sender<GwJob>,
-    workers: usize,
-    access_log: Option<AccessLogSink>,
-    cache: Option<Arc<QueryCache>>,
+    opts: GatewayOpts,
 ) -> GatewayHandle {
-    let addr = listener.local_addr().expect("gateway listener addr");
-    let stats = Arc::new(GatewayStats::default());
-    let stop = Arc::new(AtomicBool::new(false));
-    let workers = workers.max(1);
-    // Half the pool may hold SSE streams; the rest stays free for
-    // one-shot requests, so a burst of watchers can never starve
-    // `/healthz` (a load balancer that cannot reach the health endpoint
-    // would pull a healthy daemon out of rotation).
-    let max_streams = (workers / 2).max(1) as i64;
-    // Bounded hand-off: when every worker is busy and the backlog is
-    // full, new connections are dropped at accept (the client sees a
-    // reset immediately) instead of queueing fds and latency without
-    // limit.
-    let (conn_tx, conn_rx) = std::sync::mpsc::sync_channel::<TcpStream>(workers * 2);
-    let conn_rx = Arc::new(Mutex::new(conn_rx));
-
-    for i in 0..workers {
-        let conn_rx = Arc::clone(&conn_rx);
-        let tx = tx.clone();
-        let stats = Arc::clone(&stats);
-        let stop = Arc::clone(&stop);
-        let access_log = access_log.clone();
-        let cache = cache.clone();
-        std::thread::Builder::new()
-            .name(format!("moara-gw-worker-{i}"))
-            .spawn(move || loop {
-                let conn = match conn_rx.lock() {
-                    Ok(rx) => rx.recv(),
-                    Err(_) => return,
-                };
-                let Ok(stream) = conn else { return };
-                serve_connection(stream, &tx, &stats, &stop, max_streams, &access_log, &cache);
-            })
-            .expect("spawn gateway worker");
-    }
-
-    {
-        let stop = Arc::clone(&stop);
-        std::thread::Builder::new()
-            .name("moara-gw-accept".into())
-            .spawn(move || {
-                for conn in listener.incoming() {
-                    if stop.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let Ok(stream) = conn else { continue };
-                    let _ = stream.set_nodelay(true);
-                    match conn_tx.try_send(stream) {
-                        Ok(()) => {}
-                        // Backlog full: drop (= close) the connection.
-                        Err(std::sync::mpsc::TrySendError::Full(_)) => {}
-                        Err(std::sync::mpsc::TrySendError::Disconnected(_)) => break,
-                    }
-                }
-            })
-            .expect("spawn gateway acceptor");
-    }
-
-    GatewayHandle { addr, stats, stop }
+    crate::reactor::spawn_reactor(listener, tx, opts)
 }
-
-/// How long a one-shot endpoint waits for the daemon's answer (queries
-/// are bounded by the engine's front timeout, well under this).
-const REPLY_TIMEOUT: Duration = Duration::from_secs(120);
-
-/// How long one socket write may stall before the connection is declared
-/// dead. Without this, a client that stops *reading* while keeping the
-/// socket open would block its worker in `write_all` forever once the
-/// TCP send buffer fills.
-const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
-
-/// How long a keep-alive connection may sit idle (no request bytes)
-/// before its worker closes it. Without this, a handful of clients
-/// holding idle keep-alive connections would pin every pool worker and
-/// starve `/healthz` — the non-streaming twin of the SSE cap.
-const IDLE_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Times one finished request into the per-endpoint histogram and, when
 /// a sink is configured, emits one access-log line.
 #[allow(clippy::too_many_arguments)]
-fn finish_request(
+pub(crate) fn finish_request(
     stats: &GatewayStats,
     access_log: &Option<AccessLogSink>,
     class: &'static str,
@@ -481,7 +610,7 @@ fn finish_request(
 }
 
 /// The latency/access-log endpoint class of a routed request.
-fn endpoint_class(req: &GwRequest) -> &'static str {
+pub(crate) fn endpoint_class(req: &GwRequest) -> &'static str {
     match req {
         GwRequest::Query { .. } => "query",
         GwRequest::SetAttrs { .. } => "attrs",
@@ -492,225 +621,11 @@ fn endpoint_class(req: &GwRequest) -> &'static str {
     }
 }
 
-/// Serves one connection: requests in, responses out, until the client
-/// hangs up, sends `Connection: close`, goes idle past [`IDLE_TIMEOUT`],
-/// or upgrades to an SSE stream.
-#[allow(clippy::too_many_arguments)]
-fn serve_connection(
-    stream: TcpStream,
-    tx: &Sender<GwJob>,
-    stats: &GatewayStats,
-    stop: &AtomicBool,
-    max_streams: i64,
-    access_log: &Option<AccessLogSink>,
-    cache: &Option<Arc<QueryCache>>,
-) {
-    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
-    let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
-    let peer = stream
-        .peer_addr()
-        .map(|a| a.to_string())
-        .unwrap_or_else(|_| "-".into());
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = stream;
-    loop {
-        let req = match read_request(&mut reader) {
-            Ok(r) => r,
-            Err(HttpError::Closed) => return,
-            // Includes the idle timeout (WouldBlock/TimedOut): close and
-            // free the worker.
-            Err(HttpError::Io(_)) => return,
-            Err(HttpError::Bad(why)) => {
-                stats.errors.fetch_add(1, Ordering::Relaxed);
-                let response = HttpResponse::error(400, why);
-                finish_request(
-                    stats,
-                    access_log,
-                    "other",
-                    "-",
-                    "-",
-                    response.status,
-                    std::time::Instant::now(),
-                    response.body.len(),
-                    &peer,
-                );
-                let _ = response.write_to(&mut writer, false);
-                return;
-            }
-        };
-        let started = std::time::Instant::now();
-        if stop.load(Ordering::SeqCst) {
-            let _ = HttpResponse::error(503, "shutting down").write_to(&mut writer, false);
-            return;
-        }
-        let keep_alive = req.keep_alive;
-        // OPTIONS is answered at this layer: it exists for probes and
-        // CORS-less tooling, not the daemon.
-        if req.method == "OPTIONS" {
-            let response = HttpResponse::text(200, "text/plain; charset=utf-8", "")
-                .with_allow(ALLOWED_METHODS);
-            finish_request(
-                stats,
-                access_log,
-                "other",
-                &req.method,
-                &req.path,
-                response.status,
-                started,
-                0,
-                &peer,
-            );
-            if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
-                return;
-            }
-            continue;
-        }
-        // HEAD is GET with the body suppressed (RFC 9110): route it like
-        // GET, write headers only. Load-balancer health checks commonly
-        // probe with HEAD.
-        let head_only = req.method == "HEAD";
-        match route(&req) {
-            Ok(GwRequest::Watch {
-                q,
-                policy,
-                lease_ms,
-            }) => {
-                // Atomic slot reservation (increment-then-check): a
-                // burst of simultaneous watch requests must not all
-                // slip past a yet-unincremented gauge and oversubscribe
-                // the pool.
-                if stats.open_streams.fetch_add(1, Ordering::SeqCst) >= max_streams {
-                    stats.open_streams.fetch_sub(1, Ordering::SeqCst);
-                    stats.errors.fetch_add(1, Ordering::Relaxed);
-                    let response = HttpResponse::error(503, "too many watch streams");
-                    finish_request(
-                        stats,
-                        access_log,
-                        "watch",
-                        &req.method,
-                        &req.path,
-                        response.status,
-                        started,
-                        response.body.len(),
-                        &peer,
-                    );
-                    let _ = response.write_to(&mut writer, false);
-                    return;
-                }
-                stats.watches_opened.fetch_add(1, Ordering::Relaxed);
-                serve_watch(
-                    &mut writer,
-                    &mut reader,
-                    tx,
-                    stats,
-                    GwRequest::Watch {
-                        q,
-                        policy,
-                        lease_ms,
-                    },
-                );
-                stats.open_streams.fetch_sub(1, Ordering::SeqCst);
-                // One line per stream, at stream end: duration is the
-                // stream's whole lifetime, bytes are not tracked frame
-                // by frame.
-                finish_request(
-                    stats,
-                    access_log,
-                    "watch",
-                    &req.method,
-                    &req.path,
-                    200,
-                    started,
-                    0,
-                    &peer,
-                );
-                return; // SSE streams never keep-alive into a next request
-            }
-            Ok(gw_req) => {
-                let counter = match &gw_req {
-                    GwRequest::Query { .. } => &stats.queries,
-                    GwRequest::SetAttrs { .. } => &stats.attr_sets,
-                    GwRequest::Metrics => &stats.scrapes,
-                    GwRequest::Health => &stats.health_checks,
-                    GwRequest::Traces { .. } | GwRequest::Trace { .. } => &stats.traces,
-                    GwRequest::Watch { .. } => unreachable!("handled above"),
-                };
-                counter.fetch_add(1, Ordering::Relaxed);
-                let class = endpoint_class(&gw_req);
-                // The materialized-view fast path: a fresh standing
-                // result answers right here in the worker thread — the
-                // daemon's event loop (and its transport-poll cadence)
-                // is never entered, which is what makes hits
-                // sub-millisecond.
-                let cached = match (&gw_req, cache) {
-                    (GwRequest::Query { q }, Some(c)) => c.lookup(q, std::time::Instant::now()),
-                    _ => None,
-                };
-                let response = match cached {
-                    Some((result, complete)) => {
-                        HttpResponse::json(200, answer_body(&result, complete)).with_cache("hit")
-                    }
-                    None => one_shot(tx, gw_req),
-                };
-                if response.status >= 400 {
-                    stats.errors.fetch_add(1, Ordering::Relaxed);
-                }
-                let body_bytes = if head_only { 0 } else { response.body.len() };
-                finish_request(
-                    stats,
-                    access_log,
-                    class,
-                    &req.method,
-                    &req.path,
-                    response.status,
-                    started,
-                    body_bytes,
-                    &peer,
-                );
-                let sent = if head_only {
-                    response.write_head_to(&mut writer, keep_alive)
-                } else {
-                    response.write_to(&mut writer, keep_alive)
-                };
-                if sent.is_err() || !keep_alive {
-                    return;
-                }
-            }
-            Err(response) => {
-                stats.errors.fetch_add(1, Ordering::Relaxed);
-                let body_bytes = if head_only { 0 } else { response.body.len() };
-                finish_request(
-                    stats,
-                    access_log,
-                    "other",
-                    &req.method,
-                    &req.path,
-                    response.status,
-                    started,
-                    body_bytes,
-                    &peer,
-                );
-                let sent = if head_only {
-                    response.write_head_to(&mut writer, keep_alive)
-                } else {
-                    response.write_to(&mut writer, keep_alive)
-                };
-                if sent.is_err() || !keep_alive {
-                    return;
-                }
-            }
-        }
-    }
-}
-
 /// What the gateway speaks, for `Allow` headers.
-const ALLOWED_METHODS: &str = "GET, HEAD, POST, OPTIONS";
+pub(crate) const ALLOWED_METHODS: &str = "GET, HEAD, POST, OPTIONS";
 
 /// Maps a parsed HTTP request onto the gateway API.
-fn route(req: &HttpRequest) -> Result<GwRequest, HttpResponse> {
+pub(crate) fn route(req: &HttpRequest) -> Result<GwRequest, HttpResponse> {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET" | "HEAD", "/v1/query") => {
             let q = req
@@ -832,33 +747,16 @@ fn parse_attr_body(body: &str) -> Result<Vec<(String, String)>, &'static str> {
 }
 
 /// The `/v1/query` answer body (shared by the daemon round-trip path and
-/// the worker-side cache-hit path, so both render byte-identically).
-fn answer_body(result: &str, complete: bool) -> String {
+/// the reactor-side cache-hit path, so both render byte-identically).
+pub(crate) fn answer_body(result: &str, complete: bool) -> String {
     format!(
         "{{\"result\":{},\"complete\":{complete}}}\n",
         json::escape(result)
     )
 }
 
-/// Sends one job and renders its single reply.
-fn one_shot(tx: &Sender<GwJob>, req: GwRequest) -> HttpResponse {
-    let (reply_tx, reply_rx) = std::sync::mpsc::channel();
-    if tx
-        .send(GwJob {
-            req,
-            reply: reply_tx,
-        })
-        .is_err()
-    {
-        return HttpResponse::error(503, "daemon shut down");
-    }
-    match reply_rx.recv_timeout(REPLY_TIMEOUT) {
-        Ok(reply) => render_reply(reply),
-        Err(_) => HttpResponse::error(408, "daemon did not answer in time"),
-    }
-}
-
-fn render_reply(reply: GwReply) -> HttpResponse {
+/// Renders one terminal reply as a full HTTP response.
+pub(crate) fn render_reply(reply: GwReply) -> HttpResponse {
     match reply {
         GwReply::Answer {
             result,
@@ -903,93 +801,20 @@ pub fn sse_frame(result: &str, initial: bool, complete: bool) -> String {
     )
 }
 
-/// Streams a watch: installs the standing query, writes SSE headers, and
-/// forwards updates until hang-up (either direction).
-fn serve_watch(
-    writer: &mut TcpStream,
-    reader: &mut BufReader<TcpStream>,
-    tx: &Sender<GwJob>,
-    stats: &GatewayStats,
-    req: GwRequest,
-) {
-    let (reply_tx, reply_rx) = std::sync::mpsc::channel();
-    if tx
-        .send(GwJob {
-            req,
-            reply: reply_tx,
-        })
-        .is_err()
-    {
-        let _ = HttpResponse::error(503, "daemon shut down").write_to(writer, false);
-        return;
-    }
-    // The daemon answers Error before the first Update on a parse
-    // failure; wait for the first reply to decide the status line.
-    let first = match reply_rx.recv_timeout(REPLY_TIMEOUT) {
-        Ok(r) => r,
-        Err(_) => {
-            stats.errors.fetch_add(1, Ordering::Relaxed);
-            let _ =
-                HttpResponse::error(408, "daemon did not answer in time").write_to(writer, false);
-            return;
-        }
-    };
-    if let GwReply::Error { status, msg } = first {
-        stats.errors.fetch_add(1, Ordering::Relaxed);
-        let _ = HttpResponse::error(status, &msg).write_to(writer, false);
-        return;
-    }
-    let header = "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-cache\r\nConnection: close\r\n\r\n";
-    if writer.write_all(header.as_bytes()).is_err() || writer.flush().is_err() {
-        return;
-    }
-    let mut forward = |reply: GwReply| -> bool {
-        let frame = match reply {
-            GwReply::Update {
-                result,
-                initial,
-                complete,
-            } => {
-                stats.sse_frames.fetch_add(1, Ordering::Relaxed);
-                sse_frame(&result, initial, complete)
-            }
-            GwReply::Keepalive => ": keepalive\n\n".to_owned(),
-            GwReply::Error { msg, .. } => {
-                let _ = writer.write_all(
-                    format!("event: error\ndata: {}\n\n", json::escape(&msg)).as_bytes(),
-                );
-                let _ = writer.flush();
-                return false;
-            }
-            _ => return true, // one-shot replies cannot appear mid-stream
-        };
-        writer.write_all(frame.as_bytes()).is_ok() && writer.flush().is_ok()
-    };
-    let mut alive = forward(first);
-    while alive {
-        match reply_rx.recv_timeout(Duration::from_secs(1)) {
-            Ok(reply) => alive = forward(reply),
-            Err(RecvTimeoutError::Timeout) => {
-                // A quiescent watch emits nothing for long stretches;
-                // probe the socket so a hung-up client releases the
-                // worker (and, by dropping reply_rx, the subscription).
-                alive = crate::http::socket_alive(reader.get_mut());
-            }
-            Err(RecvTimeoutError::Disconnected) => break, // daemon cancelled
-        }
-    }
-    // Dropping reply_rx here is the hang-up signal the daemon observes;
-    // the caller releases the open-streams reservation.
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::{BufRead as _, Read as _};
+    use std::io::{BufRead as _, BufReader, Read as _, Write as _};
+    use std::sync::Mutex;
 
     /// Boots a gateway backed by a scripted responder thread.
-    fn test_gateway(
-        respond: impl Fn(GwRequest, Sender<GwReply>) + Send + 'static,
+    fn test_gateway(respond: impl Fn(GwRequest, ReplySink) + Send + 'static) -> GatewayHandle {
+        test_gateway_opts(GatewayOpts::default(), respond)
+    }
+
+    fn test_gateway_opts(
+        opts: GatewayOpts,
+        respond: impl Fn(GwRequest, ReplySink) + Send + 'static,
     ) -> GatewayHandle {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let (tx, rx) = std::sync::mpsc::channel::<GwJob>();
@@ -998,7 +823,7 @@ mod tests {
                 respond(job.req, job.reply);
             }
         });
-        spawn_gateway(listener, tx, 2)
+        spawn_gateway_opts(listener, tx, opts)
     }
 
     fn roundtrip(addr: SocketAddr, raw: &str) -> String {
@@ -1055,7 +880,7 @@ mod tests {
         assert!(resp.contains("X-Moara-Cache: coalesced\r\n"), "{resp}");
     }
 
-    /// A warm cache answers in the worker thread: the daemon side sees
+    /// A warm cache answers on the reactor shard: the daemon side sees
     /// no job at all, and the response carries `X-Moara-Cache: hit`.
     #[test]
     fn cache_hits_are_served_without_entering_the_daemon() {
@@ -1073,21 +898,22 @@ mod tests {
         assert!(cache.promoted(&key, 1));
         cache.on_update(1, "42".into(), true);
 
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let (tx, rx) = std::sync::mpsc::channel::<GwJob>();
         let daemon_jobs = Arc::new(AtomicU64::new(0));
         let daemon_jobs2 = Arc::clone(&daemon_jobs);
-        std::thread::spawn(move || {
-            for job in rx {
+        let gw = test_gateway_opts(
+            GatewayOpts {
+                cache: Some(Arc::clone(&cache)),
+                ..GatewayOpts::default()
+            },
+            move |_req, reply| {
                 daemon_jobs2.fetch_add(1, Ordering::SeqCst);
-                let _ = job.reply.send(GwReply::Answer {
+                let _ = reply.send(GwReply::Answer {
                     result: "slow".into(),
                     complete: true,
                     cache: Some("miss"),
                 });
-            }
-        });
-        let gw = spawn_gateway_opts(listener, tx, 2, None, Some(Arc::clone(&cache)));
+            },
+        );
         let resp = roundtrip(
             gw.addr(),
             "GET /v1/query?q=SELECT%20count(*) HTTP/1.1\r\nConnection: close\r\n\r\n",
@@ -1181,32 +1007,39 @@ mod tests {
         assert!(rest.contains(": keepalive\n\n"), "{rest}");
         assert!(rest.contains("data: {\"result\":\"2\""), "{rest}");
         assert_eq!(gw.stats().sse_frames.load(Ordering::Relaxed), 2);
-        assert_eq!(gw.stats().open_streams.load(Ordering::Relaxed), 0);
+        // The stream ended and released its slot.
+        assert_eq!(gw.stats().open_streams.load(Ordering::SeqCst), 0);
     }
 
-    /// Half the pool is reserved for one-shot requests: with 2 workers
-    /// the stream cap is 1, so a second concurrent watch answers 503
-    /// fast instead of queueing behind a worker that will never free.
+    /// Beyond `max_sse_streams`, further watch requests answer 503 fast
+    /// — and one-shot endpoints keep working (`/healthz` must stay
+    /// reachable under watcher overload).
     #[test]
     fn watch_streams_beyond_the_cap_answer_503() {
-        let held: Arc<Mutex<Vec<Sender<GwReply>>>> = Arc::new(Mutex::new(Vec::new()));
+        let held: Arc<Mutex<Vec<ReplySink>>> = Arc::new(Mutex::new(Vec::new()));
         let held2 = Arc::clone(&held);
-        let gw = test_gateway(move |req, reply| {
-            if matches!(req, GwRequest::Watch { .. }) {
-                let _ = reply.send(GwReply::Update {
-                    result: "1".into(),
-                    initial: true,
-                    complete: true,
-                });
-                held2.lock().unwrap().push(reply); // keep the stream open
-            } else if matches!(req, GwRequest::Health) {
-                let _ = reply.send(GwReply::Health {
-                    node: 0,
-                    members: 1,
-                    alive: 1,
-                });
-            }
-        });
+        let gw = test_gateway_opts(
+            GatewayOpts {
+                max_sse_streams: 1,
+                ..GatewayOpts::default()
+            },
+            move |req, reply| {
+                if matches!(req, GwRequest::Watch { .. }) {
+                    let _ = reply.send(GwReply::Update {
+                        result: "1".into(),
+                        initial: true,
+                        complete: true,
+                    });
+                    held2.lock().unwrap().push(reply); // keep the stream open
+                } else if matches!(req, GwRequest::Health) {
+                    let _ = reply.send(GwReply::Health {
+                        node: 0,
+                        members: 1,
+                        alive: 1,
+                    });
+                }
+            },
+        );
         let mut s1 = TcpStream::connect(gw.addr()).unwrap();
         s1.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
         s1.write_all(b"GET /v1/watch?q=x HTTP/1.1\r\n\r\n").unwrap();
@@ -1223,7 +1056,7 @@ mod tests {
             "GET /v1/watch?q=x HTTP/1.1\r\nConnection: close\r\n\r\n",
         );
         assert!(resp.starts_with("HTTP/1.1 503 "), "{resp}");
-        // One-shot endpoints still get the remaining worker.
+        // One-shot endpoints still work beside the saturated stream cap.
         let resp = roundtrip(
             gw.addr(),
             "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n",
@@ -1290,6 +1123,277 @@ mod tests {
             assert!(String::from_utf8(body).unwrap().contains("\"alive\":3"));
         }
         assert_eq!(gw.stats().health_checks.load(Ordering::Relaxed), 3);
+    }
+
+    /// Two requests written in one TCP segment are both answered, in
+    /// order — the reactor parses pipelined input off one buffer.
+    #[test]
+    fn pipelined_requests_answer_in_order() {
+        let gw = test_gateway(|req, reply| {
+            if let GwRequest::Health = req {
+                let _ = reply.send(GwReply::Health {
+                    node: 0,
+                    members: 1,
+                    alive: 1,
+                });
+            }
+        });
+        let resp = roundtrip(
+            gw.addr(),
+            "GET /healthz HTTP/1.1\r\n\r\nGET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert_eq!(resp.matches("HTTP/1.1 200 OK\r\n").count(), 2, "{resp}");
+        assert_eq!(gw.stats().health_checks.load(Ordering::Relaxed), 2);
+    }
+
+    /// The smuggling defense, end to end: a `Transfer-Encoding` request
+    /// whose chunked body embeds a fake second request is answered 501
+    /// and the connection closed — the embedded request is never routed
+    /// (with the old ignore-the-header behavior, the chunked body stayed
+    /// in the buffer and `GET /v1/query?q=evil` would have executed).
+    #[test]
+    fn transfer_encoding_desync_is_rejected_not_smuggled() {
+        let jobs = Arc::new(AtomicU64::new(0));
+        let jobs2 = Arc::clone(&jobs);
+        let gw = test_gateway(move |_req, _reply| {
+            jobs2.fetch_add(1, Ordering::SeqCst);
+        });
+        let resp = roundtrip(
+            gw.addr(),
+            "POST /v1/attrs HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+             5\r\nA=1&B\r\n0\r\n\r\n\
+             GET /v1/query?q=evil HTTP/1.1\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 501 "), "{resp}");
+        // Exactly one response: the connection closed before the
+        // embedded request could be parsed.
+        assert_eq!(resp.matches("HTTP/1.1").count(), 1, "{resp}");
+        assert_eq!(jobs.load(Ordering::SeqCst), 0, "nothing was routed");
+        assert_eq!(gw.stats().queries.load(Ordering::Relaxed), 0);
+    }
+
+    /// Conflicting duplicate `Content-Length` headers (the CL.CL
+    /// smuggling vector) are rejected and the connection closed.
+    #[test]
+    fn conflicting_content_length_closes_the_connection() {
+        let gw = test_gateway(|_req, _reply| {});
+        let resp = roundtrip(
+            gw.addr(),
+            "POST /v1/attrs HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 30\r\n\r\nA=1",
+        );
+        assert!(resp.starts_with("HTTP/1.1 400 "), "{resp}");
+        assert_eq!(resp.matches("HTTP/1.1").count(), 1, "{resp}");
+    }
+
+    /// A rejected request (404 route) with a body must not leave the
+    /// body bytes in the buffer: the parser consumes head *and* body, so
+    /// the next pipelined request on the keep-alive connection parses
+    /// cleanly instead of desyncing.
+    #[test]
+    fn rejected_request_with_body_does_not_desync_keep_alive() {
+        let gw = test_gateway(|req, reply| {
+            if let GwRequest::Health = req {
+                let _ = reply.send(GwReply::Health {
+                    node: 0,
+                    members: 1,
+                    alive: 1,
+                });
+            }
+        });
+        let resp = roundtrip(
+            gw.addr(),
+            "POST /nope HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello\
+             GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 404 "), "{resp}");
+        assert!(resp.contains("HTTP/1.1 200 OK\r\n"), "{resp}");
+        assert!(resp.contains("\"status\":\"ok\""), "{resp}");
+        assert_eq!(gw.stats().health_checks.load(Ordering::Relaxed), 1);
+    }
+
+    /// Middleware: the per-peer token bucket answers 429 once the burst
+    /// is spent, and counts it.
+    #[test]
+    fn rate_limit_answers_429_and_counts() {
+        let gw = test_gateway_opts(
+            GatewayOpts {
+                rate_limit: 1.0,
+                rate_burst: 2.0,
+                ..GatewayOpts::default()
+            },
+            |req, reply| {
+                if let GwRequest::Health = req {
+                    let _ = reply.send(GwReply::Health {
+                        node: 0,
+                        members: 1,
+                        alive: 1,
+                    });
+                }
+            },
+        );
+        let mut statuses = Vec::new();
+        for _ in 0..3 {
+            let resp = roundtrip(
+                gw.addr(),
+                "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n",
+            );
+            statuses.push(resp.split_whitespace().nth(1).unwrap_or("?").to_owned());
+        }
+        assert_eq!(statuses[0], "200", "{statuses:?}");
+        assert_eq!(statuses[1], "200", "{statuses:?}");
+        assert_eq!(statuses[2], "429", "{statuses:?}");
+        assert_eq!(gw.stats().rate_limited.load(Ordering::Relaxed), 1);
+        assert!(gw.stats().errors.load(Ordering::Relaxed) >= 1);
+    }
+
+    /// Middleware: a request the daemon never answers times out with 408
+    /// after `request_timeout`, counted in `request_timeouts`.
+    #[test]
+    fn unanswered_request_times_out_with_408() {
+        let held: Arc<Mutex<Vec<ReplySink>>> = Arc::new(Mutex::new(Vec::new()));
+        let held2 = Arc::clone(&held);
+        let gw = test_gateway_opts(
+            GatewayOpts {
+                request_timeout: Duration::from_millis(50),
+                ..GatewayOpts::default()
+            },
+            move |_req, reply| {
+                held2.lock().unwrap().push(reply); // never answer
+            },
+        );
+        let resp = roundtrip(
+            gw.addr(),
+            "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 408 "), "{resp}");
+        assert_eq!(gw.stats().request_timeouts.load(Ordering::Relaxed), 1);
+        // The daemon's held sink now fails its sends: hang-up observed.
+        let sink = held.lock().unwrap().pop().unwrap();
+        assert!(sink.send(GwReply::Keepalive).is_err());
+    }
+
+    /// Middleware: a poisoned request kills its own connection only —
+    /// the shard survives and keeps serving others.
+    #[test]
+    fn panics_are_isolated_to_their_connection() {
+        let gw = test_gateway_opts(
+            GatewayOpts {
+                panic_on_path: Some("/boom".into()),
+                ..GatewayOpts::default()
+            },
+            |req, reply| {
+                if let GwRequest::Health = req {
+                    let _ = reply.send(GwReply::Health {
+                        node: 0,
+                        members: 1,
+                        alive: 1,
+                    });
+                }
+            },
+        );
+        let poisoned = roundtrip(gw.addr(), "GET /boom HTTP/1.1\r\n\r\n");
+        assert!(poisoned.is_empty(), "poisoned conn just closes: {poisoned}");
+        assert_eq!(gw.stats().panics_caught.load(Ordering::Relaxed), 1);
+        // The shard is alive and serving.
+        let resp = roundtrip(
+            gw.addr(),
+            "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 200 "), "{resp}");
+    }
+
+    /// Slowloris: a client dribbling header bytes is answered 408 after
+    /// `header_timeout` — and because nothing blocks per connection,
+    /// other clients are served the whole time.
+    #[test]
+    fn slowloris_headers_time_out_without_blocking_others() {
+        let gw = test_gateway_opts(
+            GatewayOpts {
+                header_timeout: Duration::from_millis(200),
+                ..GatewayOpts::default()
+            },
+            |req, reply| {
+                if let GwRequest::Health = req {
+                    let _ = reply.send(GwReply::Health {
+                        node: 0,
+                        members: 1,
+                        alive: 1,
+                    });
+                }
+            },
+        );
+        let mut slow = TcpStream::connect(gw.addr()).unwrap();
+        slow.set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        slow.write_all(b"GET /healthz HT").unwrap(); // dribble, never finish
+                                                     // While the slow client dangles, fast clients are unaffected.
+        for _ in 0..3 {
+            let resp = roundtrip(
+                gw.addr(),
+                "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n",
+            );
+            assert!(resp.starts_with("HTTP/1.1 200 "), "{resp}");
+        }
+        let mut out = String::new();
+        let _ = slow.read_to_string(&mut out);
+        assert!(out.starts_with("HTTP/1.1 408 "), "{out}");
+    }
+
+    /// Hundreds of idle keep-alive connections coexist with live traffic
+    /// — the reactor's whole point. (The 10k-connection version runs as
+    /// an e2e test against a real `moarad` for fd-limit headroom.)
+    #[test]
+    fn idle_keep_alive_connections_do_not_starve_requests() {
+        let gw = test_gateway(|req, reply| {
+            if let GwRequest::Health = req {
+                let _ = reply.send(GwReply::Health {
+                    node: 0,
+                    members: 1,
+                    alive: 1,
+                });
+            }
+        });
+        let idle: Vec<TcpStream> = (0..300)
+            .map(|_| TcpStream::connect(gw.addr()).unwrap())
+            .collect();
+        // All idle conns held open; requests still answer immediately.
+        let resp = roundtrip(
+            gw.addr(),
+            "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 200 "), "{resp}");
+        // And the idle conns themselves are live, not just parked.
+        let mut one = idle.into_iter().next().unwrap();
+        one.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        one.write_all(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut out = String::new();
+        let _ = one.read_to_string(&mut out);
+        assert!(out.starts_with("HTTP/1.1 200 "), "{out}");
+        assert!(gw.stats().conns_accepted.load(Ordering::Relaxed) >= 300);
+    }
+
+    /// The connection cap rejects (closes) accepts beyond `max_conns`
+    /// and counts them.
+    #[test]
+    fn connection_cap_rejects_excess_accepts() {
+        let gw = test_gateway_opts(
+            GatewayOpts {
+                max_conns: 2,
+                ..GatewayOpts::default()
+            },
+            |_req, _reply| {},
+        );
+        let _a = TcpStream::connect(gw.addr()).unwrap();
+        let _b = TcpStream::connect(gw.addr()).unwrap();
+        // Give the reactor a beat to register both.
+        std::thread::sleep(Duration::from_millis(100));
+        let mut c = TcpStream::connect(gw.addr()).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut out = String::new();
+        let _ = c.read_to_string(&mut out);
+        assert!(out.is_empty(), "over-cap conn is closed, not served");
+        assert!(gw.stats().conns_rejected.load(Ordering::Relaxed) >= 1);
     }
 
     #[test]
@@ -1418,23 +1522,24 @@ mod tests {
     fn access_log_emits_one_json_line_per_request() {
         let lines: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
         let sink_lines = Arc::clone(&lines);
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let (tx, rx) = std::sync::mpsc::channel::<GwJob>();
-        std::thread::spawn(move || {
-            for job in rx {
-                if let GwRequest::Health = job.req {
-                    let _ = job.reply.send(GwReply::Health {
+        let sink: AccessLogSink = Arc::new(move |line: &str| {
+            sink_lines.lock().unwrap().push(line.to_owned());
+        });
+        let gw = test_gateway_opts(
+            GatewayOpts {
+                access_log: Some(sink),
+                ..GatewayOpts::default()
+            },
+            |req, reply| {
+                if let GwRequest::Health = req {
+                    let _ = reply.send(GwReply::Health {
                         node: 7,
                         members: 1,
                         alive: 1,
                     });
                 }
-            }
-        });
-        let sink: AccessLogSink = Arc::new(move |line: &str| {
-            sink_lines.lock().unwrap().push(line.to_owned());
-        });
-        let gw = spawn_gateway_opts(listener, tx, 2, Some(sink), None);
+            },
+        );
         let resp = roundtrip(
             gw.addr(),
             "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n",
