@@ -1,0 +1,230 @@
+//! Health-plane overhead gate: what gossiped health digests cost the
+//! workloads the other gates protect.
+//!
+//! The same daemon-shaped workload — repeated composite queries from
+//! rotating front-ends plus one standing subscription, with periodic
+//! group churn — runs twice on identical [`SimSwarm`]s (same seed, same
+//! event script): once with health-digest piggybacking off, once with
+//! every daemon's digest riding its SWIM traffic. Digests piggyback on
+//! frames the failure detector sends anyway (`docs/observability.md`),
+//! so the gate fails if gossip adds **any** messages beyond 5%, more
+//! than 5% mean query latency, or changes a single answer. Wire-byte
+//! growth is reported (the digest payload is real) but not gated — the
+//! digest codec caps it at `HEALTH_DIGEST_MAX_BYTES` per frame.
+//!
+//! The run with gossip on must also actually disseminate: every daemon
+//! must end holding a digest for every peer, so the gate cannot pass
+//! vacuously by gossiping nothing.
+//!
+//! `--smoke` shrinks the workload for CI. Numbers land in
+//! `BENCH_health_overhead.json` so the overhead is tracked across
+//! revisions.
+
+use moara_bench::harness::mean;
+use moara_bench::{full_scale, scaled, BenchReport};
+use moara_core::{DeliveryPolicy, MoaraConfig};
+use moara_daemon::SimSwarm;
+use moara_membership::SwimConfig;
+use moara_simnet::{NodeId, SimDuration};
+
+const SEED: u64 = 4114;
+
+struct Workload {
+    nodes: usize,
+    groups: usize,
+    group_size: usize,
+    rounds: usize,
+    churn_every: usize,
+    fronts: usize,
+}
+
+struct RunResult {
+    messages: u64,
+    bytes: u64,
+    mean_latency_ms: f64,
+    answers: Vec<String>,
+}
+
+fn query_text(w: &Workload, i: usize) -> String {
+    let a = i % w.groups;
+    let b = (i + 1) % w.groups;
+    format!("SELECT count(*) WHERE g{a} = true AND g{b} = true")
+}
+
+fn run(w: &Workload, gossip: bool) -> RunResult {
+    let mut s = SimSwarm::new(w.nodes, MoaraConfig::default(), SwimConfig::fast(), SEED);
+    for g in 0..w.groups {
+        for i in 0..w.nodes {
+            // Overlapping deterministic groups: membership rotates with
+            // the group index so intersections are non-trivial.
+            s.set_attr(
+                NodeId(i as u32),
+                &format!("g{g}"),
+                (i + g * 3) % w.nodes < w.group_size,
+            );
+        }
+    }
+    s.run_periods(5);
+    if gossip {
+        s.enable_health_gossip();
+    }
+    s.stats_mut().reset();
+
+    // One standing dashboard rides along, as in `subscribe_bench`: its
+    // deltas and renewals share the wire the digests piggyback on.
+    let wid = s.subscribe(
+        NodeId(0),
+        "SELECT count(*) WHERE g0 = true",
+        DeliveryPolicy::OnChange,
+        SimDuration::from_secs(600),
+    );
+
+    let mut lat = Vec::new();
+    let mut answers = Vec::new();
+    for round in 0..w.rounds {
+        s.run_periods(2);
+        if round > 0 && round % w.churn_every == 0 {
+            // Deterministic churn: one member of one group flips.
+            let node = NodeId(((round * 7) % w.nodes) as u32);
+            let g = round % w.groups;
+            s.set_attr(node, &format!("g{g}"), round % 2 == 0);
+        }
+        for q in 0..w.groups {
+            let origin = NodeId(((round + q) % w.fronts) as u32);
+            let out = s.query(origin, &query_text(w, q));
+            assert!(out.complete, "round {round} query {q} incomplete");
+            lat.push(out.latency().as_secs_f64() * 1e3);
+            answers.push(out.result.to_string());
+        }
+    }
+    for u in s.take_sub_updates(NodeId(0), wid) {
+        answers.push(format!("sub:{}", u.result));
+    }
+
+    if gossip {
+        // The arm under test must really disseminate, or the gate below
+        // proves nothing.
+        for at in 0..w.nodes.min(8) as u32 {
+            for about in 0..w.nodes.min(8) as u32 {
+                if at != about {
+                    s.peer_digest(NodeId(at), NodeId(about)).unwrap_or_else(|| {
+                        panic!("gossip on, but node {at} never heard node {about}'s digest")
+                    });
+                }
+            }
+        }
+    }
+
+    let stats = s.stats();
+    RunResult {
+        messages: stats.total_messages(),
+        bytes: stats.total_bytes(),
+        mean_latency_ms: mean(&lat),
+        answers,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let w = if smoke {
+        Workload {
+            nodes: 16,
+            groups: 3,
+            group_size: 5,
+            rounds: 8,
+            churn_every: 3,
+            fronts: 2,
+        }
+    } else {
+        Workload {
+            nodes: scaled(48, 96),
+            groups: 4,
+            group_size: 8,
+            rounds: scaled(20, 40),
+            churn_every: 4,
+            fronts: 4,
+        }
+    };
+    let queries = w.rounds * w.groups;
+    println!(
+        "=== health-gossip overhead: {} daemons, {} groups of {}, {queries} queries \
+         + 1 standing subscription ===",
+        w.nodes, w.groups, w.group_size
+    );
+
+    let off = run(&w, false);
+    let on = run(&w, true);
+    assert_eq!(
+        off.answers, on.answers,
+        "health gossip must never change query or subscription answers"
+    );
+
+    let msg_pct = 100.0 * (on.messages as f64 - off.messages as f64) / off.messages.max(1) as f64;
+    let lat_pct =
+        100.0 * (on.mean_latency_ms - off.mean_latency_ms) / off.mean_latency_ms.max(1e-9);
+    let bytes_pct = 100.0 * (on.bytes as f64 - off.bytes as f64) / off.bytes.max(1) as f64;
+
+    println!(
+        "{:>14} {:>12} {:>14} {:>14}",
+        "health gossip", "total msgs", "total bytes", "latency (ms)"
+    );
+    for (label, r) in [("off", &off), ("on", &on)] {
+        println!(
+            "{:>14} {:>12} {:>14} {:>14.2}",
+            label, r.messages, r.bytes, r.mean_latency_ms
+        );
+    }
+    println!(
+        "\nhealth gossip: messages {msg_pct:+.1}%, latency {lat_pct:+.1}%, \
+         wire bytes {bytes_pct:+.1}% vs gossip-off"
+    );
+
+    // Executable acceptance gate (CI runs --smoke): piggybacked digests
+    // must stay within 5% on messages and latency — by construction they
+    // should add zero messages at all.
+    let mut failed = false;
+    if msg_pct > 5.0 {
+        eprintln!("FAIL: health gossip added {msg_pct:.1}% messages (gate: 5%)");
+        failed = true;
+    }
+    if lat_pct > 5.0 {
+        eprintln!("FAIL: health gossip added {lat_pct:.1}% latency (gate: 5%)");
+        failed = true;
+    }
+    if on.bytes <= off.bytes {
+        eprintln!("FAIL: digests claimed on, but no extra bytes on the wire");
+        failed = true;
+    }
+
+    BenchReport::new("health_overhead")
+        .field(
+            "scale",
+            if smoke {
+                "smoke"
+            } else if full_scale() {
+                "full"
+            } else {
+                "default"
+            },
+        )
+        .field("nodes", w.nodes)
+        .field("groups", w.groups)
+        .field("queries", queries)
+        .field("off_messages", off.messages)
+        .field("on_messages", on.messages)
+        .field("off_bytes", off.bytes)
+        .field("on_bytes", on.bytes)
+        .field("off_latency_ms", off.mean_latency_ms)
+        .field("on_latency_ms", on.mean_latency_ms)
+        .field("msg_overhead_pct", msg_pct)
+        .field("latency_overhead_pct", lat_pct)
+        .field("bytes_overhead_pct", bytes_pct)
+        .field("gate_max_overhead_pct", 5.0)
+        .field("gate_passed", !failed)
+        .write();
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!("PASS: health gossip within 5% on messages and latency (0 extra messages expected)");
+}

@@ -1,0 +1,363 @@
+//! Alert rules: the "react" layer of the health plane.
+//!
+//! A rule is a named threshold over one key of the daemon's health
+//! sample (`<name>: <metric> <op> <value>`). The engine evaluates all
+//! rules on the maintenance timer, tracks firing state across
+//! evaluations, and reports transitions so the daemon can log them as
+//! JSON lines next to the slow-query log. For every raw sample key the
+//! engine also derives `<key>_delta` — the change since the previous
+//! evaluation — so rules can watch growth rates (watch leaks, rate-limit
+//! spikes) without the engine hard-coding any particular metric.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use crate::health::AlertWire;
+
+/// Comparison operator of a rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlertOp {
+    Gt,
+    Ge,
+    Lt,
+    Le,
+}
+
+impl AlertOp {
+    fn as_str(self) -> &'static str {
+        match self {
+            AlertOp::Gt => ">",
+            AlertOp::Ge => ">=",
+            AlertOp::Lt => "<",
+            AlertOp::Le => "<=",
+        }
+    }
+    fn holds(self, value: f64, threshold: f64) -> bool {
+        match self {
+            AlertOp::Gt => value > threshold,
+            AlertOp::Ge => value >= threshold,
+            AlertOp::Lt => value < threshold,
+            AlertOp::Le => value <= threshold,
+        }
+    }
+}
+
+/// One alert rule: fire `name` while `metric op threshold` holds.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AlertRule {
+    pub name: String,
+    pub metric: String,
+    pub op: AlertOp,
+    pub threshold: f64,
+}
+
+impl AlertRule {
+    fn new(name: &str, metric: &str, op: AlertOp, threshold: f64) -> AlertRule {
+        AlertRule {
+            name: name.to_string(),
+            metric: metric.to_string(),
+            op,
+            threshold,
+        }
+    }
+}
+
+/// The rules every daemon ships with. A `--alert-rules` file may
+/// override any of these by reusing the rule name.
+pub fn builtin_rules() -> Vec<AlertRule> {
+    vec![
+        // Event loop spent >250ms of work inside a tick since the last
+        // evaluation: queries and probes are visibly stalling.
+        AlertRule::new("event_loop_stall", "stalled_ticks_delta", AlertOp::Gt, 0.0),
+        // SWIM confirmed at least one member dead.
+        AlertRule::new("dead_members", "dead_members", AlertOp::Gt, 0.0),
+        // Watch count grew by >256 between evaluations: a client is
+        // opening watches faster than it closes them.
+        AlertRule::new("watch_leak", "watches_delta", AlertOp::Gt, 256.0),
+        // >100 requests rejected by the rate limiter since the last
+        // evaluation.
+        AlertRule::new("rate_limit_spike", "rate_limited_delta", AlertOp::Gt, 100.0),
+        // Descriptor / memory ceilings: trouble before the kernel says so.
+        AlertRule::new("fd_ceiling", "open_fds", AlertOp::Gt, 8192.0),
+        AlertRule::new("rss_ceiling", "rss_bytes", AlertOp::Gt, 2e9),
+    ]
+}
+
+/// Parse an `--alert-rules` file.
+///
+/// Grammar, one rule per line: `name: metric op value` with `op` one of
+/// `>`, `>=`, `<`, `<=`. Blank lines and `#` comments are ignored.
+pub fn parse_rules(text: &str) -> Result<Vec<AlertRule>, String> {
+    let mut rules = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err =
+            |what: &str| format!("alert rules line {}: {} in {:?}", idx + 1, what, raw.trim());
+        let (name, expr) = line.split_once(':').ok_or_else(|| err("missing ':'"))?;
+        let name = name.trim();
+        if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Err(err("rule name must be [A-Za-z0-9_]+"));
+        }
+        let parts: Vec<&str> = expr.split_whitespace().collect();
+        let [metric, op, value] = parts[..] else {
+            return Err(err("expected 'metric op value'"));
+        };
+        let op = match op {
+            ">" => AlertOp::Gt,
+            ">=" => AlertOp::Ge,
+            "<" => AlertOp::Lt,
+            "<=" => AlertOp::Le,
+            _ => return Err(err("operator must be one of > >= < <=")),
+        };
+        let threshold: f64 = value
+            .parse()
+            .map_err(|_| err("threshold is not a number"))?;
+        rules.push(AlertRule::new(name, metric, op, threshold));
+    }
+    Ok(rules)
+}
+
+/// Merge user rules over the built-ins: same name replaces, new name appends.
+pub fn merge_rules(user: Vec<AlertRule>) -> Vec<AlertRule> {
+    let mut rules = builtin_rules();
+    for r in user {
+        match rules.iter_mut().find(|b| b.name == r.name) {
+            Some(slot) => *slot = r,
+            None => rules.push(r),
+        }
+    }
+    rules
+}
+
+/// A firing-state transition, reported once per edge for logging.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AlertEvent {
+    Fired {
+        rule: String,
+        metric: String,
+        value: f64,
+        threshold: f64,
+    },
+    Resolved {
+        rule: String,
+    },
+}
+
+struct Firing {
+    value: f64,
+    since: Instant,
+}
+
+/// Evaluates rules against successive health samples.
+pub struct AlertEngine {
+    rules: Vec<AlertRule>,
+    prev: HashMap<String, f64>,
+    firing: HashMap<String, Firing>,
+}
+
+impl AlertEngine {
+    pub fn new(rules: Vec<AlertRule>) -> AlertEngine {
+        AlertEngine {
+            rules,
+            prev: HashMap::new(),
+            firing: HashMap::new(),
+        }
+    }
+
+    pub fn rules(&self) -> &[AlertRule] {
+        &self.rules
+    }
+
+    /// Evaluate every rule against `sample`, updating firing state and
+    /// returning the transitions. `<key>_delta` keys are derived from
+    /// the previous call's sample (first call: no deltas, so delta rules
+    /// cannot fire spuriously at boot).
+    pub fn evaluate(&mut self, sample: &[(&'static str, f64)], now: Instant) -> Vec<AlertEvent> {
+        let mut ctx: HashMap<String, f64> =
+            sample.iter().map(|&(k, v)| (k.to_string(), v)).collect();
+        for &(k, v) in sample {
+            if let Some(prev) = self.prev.get(k) {
+                ctx.insert(format!("{k}_delta"), v - prev);
+            }
+        }
+        self.prev = sample.iter().map(|&(k, v)| (k.to_string(), v)).collect();
+
+        let mut events = Vec::new();
+        for rule in &self.rules {
+            // An unknown metric (typo, or a delta on the first round)
+            // simply never fires.
+            let holds = ctx
+                .get(&rule.metric)
+                .is_some_and(|&v| rule.op.holds(v, rule.threshold));
+            let value = ctx.get(&rule.metric).copied().unwrap_or(0.0);
+            match (holds, self.firing.contains_key(&rule.name)) {
+                (true, false) => {
+                    self.firing
+                        .insert(rule.name.clone(), Firing { value, since: now });
+                    events.push(AlertEvent::Fired {
+                        rule: rule.name.clone(),
+                        metric: rule.metric.clone(),
+                        value,
+                        threshold: rule.threshold,
+                    });
+                }
+                (true, true) => {
+                    if let Some(f) = self.firing.get_mut(&rule.name) {
+                        f.value = value;
+                    }
+                }
+                (false, true) => {
+                    self.firing.remove(&rule.name);
+                    events.push(AlertEvent::Resolved {
+                        rule: rule.name.clone(),
+                    });
+                }
+                (false, false) => {}
+            }
+        }
+        events
+    }
+
+    /// Currently-firing alerts, in rule order, for `/v1/alerts` and the
+    /// control plane.
+    pub fn firing(&self, now: Instant) -> Vec<AlertWire> {
+        self.rules
+            .iter()
+            .filter_map(|rule| {
+                self.firing.get(&rule.name).map(|f| AlertWire {
+                    rule: rule.name.clone(),
+                    metric: rule.metric.clone(),
+                    value: f.value,
+                    threshold: rule.threshold,
+                    since_s: now.saturating_duration_since(f.since).as_secs(),
+                })
+            })
+            .collect()
+    }
+
+    /// One JSON line per transition, matching the slow-query log shape.
+    pub fn event_line(node: u32, event: &AlertEvent) -> String {
+        match event {
+            AlertEvent::Fired { rule, metric, value, threshold } => format!(
+                "{{\"alert\":\"firing\",\"node\":{node},\"rule\":\"{rule}\",\"metric\":\"{metric}\",\"value\":{value},\"threshold\":{threshold}}}"
+            ),
+            AlertEvent::Resolved { rule } => {
+                format!("{{\"alert\":\"resolved\",\"node\":{node},\"rule\":\"{rule}\"}}")
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for AlertRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} {} {}",
+            self.name,
+            self.metric,
+            self.op.as_str(),
+            self.threshold
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_rules_and_rejects_garbage() {
+        let rules = parse_rules(
+            "# watch the loop\n\
+             stall: tick_p99_us > 250000\n\
+             \n\
+             cold_cache: cache_hit_pct < 10  # inline comment\n",
+        )
+        .unwrap();
+        assert_eq!(rules.len(), 2);
+        assert_eq!(
+            rules[0],
+            AlertRule::new("stall", "tick_p99_us", AlertOp::Gt, 250000.0)
+        );
+        assert_eq!(
+            rules[1],
+            AlertRule::new("cold_cache", "cache_hit_pct", AlertOp::Lt, 10.0)
+        );
+
+        for bad in [
+            "no colon here",
+            "name: onlymetric >",
+            "name: metric == 3",
+            "name: metric > notanumber",
+            "bad name!: metric > 1",
+        ] {
+            assert!(parse_rules(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn user_rules_override_builtins_by_name() {
+        let rules =
+            merge_rules(parse_rules("fd_ceiling: open_fds > 10\nmine: watches > 5").unwrap());
+        let fd = rules.iter().find(|r| r.name == "fd_ceiling").unwrap();
+        assert_eq!(fd.threshold, 10.0);
+        assert!(rules.iter().any(|r| r.name == "mine"));
+        assert_eq!(rules.len(), builtin_rules().len() + 1);
+    }
+
+    #[test]
+    fn engine_fires_resolves_and_reports_edges_once() {
+        let mut eng = AlertEngine::new(parse_rules("hot: load > 10").unwrap());
+        let t = Instant::now();
+        assert!(eng.evaluate(&[("load", 5.0)], t).is_empty());
+        let events = eng.evaluate(&[("load", 12.0)], t);
+        assert_eq!(events.len(), 1);
+        assert!(
+            matches!(&events[0], AlertEvent::Fired { rule, value, .. } if rule == "hot" && *value == 12.0)
+        );
+        // Still firing: no new edge, but the reported value tracks.
+        assert!(eng.evaluate(&[("load", 20.0)], t).is_empty());
+        let firing = eng.firing(t);
+        assert_eq!(firing.len(), 1);
+        assert_eq!(firing[0].value, 20.0);
+        let events = eng.evaluate(&[("load", 1.0)], t);
+        assert!(matches!(&events[0], AlertEvent::Resolved { rule } if rule == "hot"));
+        assert!(eng.firing(t).is_empty());
+    }
+
+    #[test]
+    fn delta_rules_need_two_samples_and_diff_consecutive_ones() {
+        let mut eng = AlertEngine::new(parse_rules("leak: watches_delta > 100").unwrap());
+        let t = Instant::now();
+        // First sample: no previous value, the delta key does not exist.
+        assert!(eng.evaluate(&[("watches", 5000.0)], t).is_empty());
+        assert!(eng.evaluate(&[("watches", 5050.0)], t).is_empty());
+        let events = eng.evaluate(&[("watches", 5200.0)], t);
+        assert!(matches!(&events[0], AlertEvent::Fired { value, .. } if *value == 150.0));
+    }
+
+    #[test]
+    fn event_lines_are_json_shaped() {
+        let fired = AlertEngine::event_line(
+            2,
+            &AlertEvent::Fired {
+                rule: "dead_members".into(),
+                metric: "dead_members".into(),
+                value: 1.0,
+                threshold: 0.0,
+            },
+        );
+        assert_eq!(
+            fired,
+            "{\"alert\":\"firing\",\"node\":2,\"rule\":\"dead_members\",\"metric\":\"dead_members\",\"value\":1,\"threshold\":0}"
+        );
+        let resolved = AlertEngine::event_line(2, &AlertEvent::Resolved { rule: "x".into() });
+        assert_eq!(
+            resolved,
+            "{\"alert\":\"resolved\",\"node\":2,\"rule\":\"x\"}"
+        );
+    }
+}

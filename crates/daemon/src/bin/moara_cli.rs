@@ -8,6 +8,7 @@
 //!           [--period SECS | --threshold X] [--lease-ms N] [--updates N] [--json]
 //! moara-cli --connect 127.0.0.1:7102 traces [--limit N]
 //! moara-cli --connect 127.0.0.1:7102 trace 0xID
+//! moara-cli --connect 127.0.0.1:7102 top [--once] [--interval-ms N]
 //! ```
 //!
 //! `watch` installs a standing query (the continuous-query subscription
@@ -21,10 +22,18 @@
 //! and renders it as a text waterfall (unreachable nodes are flagged, so
 //! a partition shows up as a marked-lost subtree instead of a hang).
 //!
+//! `top` renders a live cluster health dashboard (plain ANSI, no
+//! dependencies): one row per member from the answering daemon's merged
+//! gossip table — event-loop tick p99, stalls, connections, streams,
+//! watches, cache hit ratio, RSS, fds, uptime — plus the alerts it has
+//! firing. The screen refreshes every `--interval-ms` (default 2000);
+//! `--once` prints a single frame without clearing, for scripts.
+//!
 //! `--json` makes `status` and `watch` output machine-readable (one JSON
 //! object per line); `status --json` includes a `metrics` snapshot of
-//! the daemon's headline counters. Prints results on stdout; exits
-//! non-zero on errors and on incomplete query answers.
+//! the daemon's headline counters and the latency-bucket trace
+//! `exemplars`. Prints results on stdout; exits non-zero on errors and
+//! on incomplete query answers.
 
 use std::io::Write;
 use std::net::TcpStream;
@@ -38,9 +47,10 @@ use moara_wire::{read_frame, write_msg, Wire};
 
 const USAGE: &str = "usage: moara-cli --connect IP:PORT \
                      (query TEXT | set k=v | status | watch TEXT | \
-                     traces | trace ID) \
+                     traces | trace ID | top) \
                      [--period SECS] [--threshold X] [--lease-ms N] \
-                     [--updates N] [--limit N] [--json] [--timeout SECS]";
+                     [--updates N] [--limit N] [--json] [--timeout SECS] \
+                     [--once] [--interval-ms N]";
 
 fn fail(msg: &str) -> ! {
     eprintln!("moara-cli: {msg}");
@@ -52,6 +62,7 @@ enum Command {
     Simple(CtrlRequest),
     Watch { text: String },
     Traces,
+    Top,
 }
 
 fn main() {
@@ -64,6 +75,8 @@ fn main() {
     let mut lease_ms: u64 = 30_000;
     let mut max_updates: Option<u64> = None;
     let mut limit: u32 = 50;
+    let mut once = false;
+    let mut interval_ms: u64 = 2_000;
     // Remembered across the request/reply hop so the waterfall header can
     // name the trace even when the gather came back empty.
     let mut trace_id: u64 = 0;
@@ -131,6 +144,16 @@ fn main() {
                     .unwrap_or_else(|_| fail("--limit needs a count"));
             }
             "traces" => command = Some(Command::Traces),
+            "top" => command = Some(Command::Top),
+            "--once" => once = true,
+            "--interval-ms" => {
+                interval_ms = val("--interval-ms")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--interval-ms needs milliseconds"));
+                if interval_ms == 0 {
+                    fail("--interval-ms must be positive");
+                }
+            }
             "trace" => {
                 let id = val("trace");
                 trace_id = moara_trace::parse_trace_id(&id)
@@ -159,6 +182,10 @@ fn main() {
             return;
         }
         Command::Traces => CtrlRequest::TraceList { limit },
+        Command::Top => {
+            run_top(&connect, interval_ms, once, timeout);
+            return;
+        }
         Command::Simple(req) => req,
     };
 
@@ -179,6 +206,7 @@ fn main() {
             watches,
             sub_entries,
             metrics,
+            exemplars,
         }) => {
             if json {
                 let dead_json = dead
@@ -193,11 +221,19 @@ fn main() {
                     .map(|(name, value)| format!("{}:{value}", json::escape(name)))
                     .collect::<Vec<_>>()
                     .join(",");
+                // Slow-bucket trace ids: "<hist>/le/<bound>" -> trace id,
+                // the bridge from a latency histogram into `trace ID`.
+                let exemplars_json = exemplars
+                    .iter()
+                    .map(|(k, v)| format!("{}:{}", json::escape(k), json::escape(v)))
+                    .collect::<Vec<_>>()
+                    .join(",");
                 println!(
                     "{{\"node\":{node},\"members\":{members},\"alive\":{alive},\
                      \"dead\":[{dead_json}],\"watches\":{watches},\
                      \"sub_entries\":{sub_entries},\
-                     \"metrics\":{{{metrics_json}}}}}"
+                     \"metrics\":{{{metrics_json}}},\
+                     \"exemplars\":{{{exemplars_json}}}}}"
                 );
                 return;
             }
@@ -258,6 +294,12 @@ fn main() {
             eprintln!("moara-cli: unexpected streaming update outside watch");
             std::process::exit(1);
         }
+        Ok(CtrlReply::ClusterHealth { .. } | CtrlReply::MetricsText(_)) => {
+            // These answer ClusterHealth/MetricsFetch, which `top` and
+            // the gateway's federation path send — not this match.
+            eprintln!("moara-cli: unexpected health-plane reply");
+            std::process::exit(1);
+        }
         Ok(CtrlReply::Error(e)) => {
             eprintln!("moara-cli: daemon error: {e}");
             std::process::exit(1);
@@ -266,6 +308,161 @@ fn main() {
             eprintln!("moara-cli: {e}");
             std::process::exit(1);
         }
+    }
+}
+
+/// The `top` loop: poll the daemon's merged health table and repaint.
+/// One plain-ANSI clear per frame (`ESC[2J ESC[H`) — no terminal
+/// library, no raw mode; ^C exits like any CLI. `--once` prints a
+/// single frame with no clearing so scripts and tests can capture it.
+fn run_top(connect: &str, interval_ms: u64, once: bool, timeout: Duration) {
+    loop {
+        match ctrl_roundtrip(connect, &CtrlRequest::ClusterHealth, timeout) {
+            Ok(CtrlReply::ClusterHealth { node, rows, alerts }) => {
+                let frame = render_top(node, &rows, &alerts);
+                if once {
+                    print!("{frame}");
+                    return;
+                }
+                print!("\x1b[2J\x1b[H{frame}");
+                let _ = std::io::stdout().flush();
+            }
+            Ok(CtrlReply::Error(e)) => {
+                eprintln!("moara-cli: daemon error: {e}");
+                std::process::exit(1);
+            }
+            Ok(other) => {
+                eprintln!("moara-cli: unexpected reply {other:?}");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("moara-cli: {e}");
+                std::process::exit(1);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(interval_ms));
+    }
+}
+
+/// One `top` frame: a header, the member table, and any firing alerts.
+fn render_top(
+    node: u32,
+    rows: &[moara_daemon::health::PeerHealthRow],
+    alerts: &[moara_daemon::health::AlertWire],
+) -> String {
+    use std::fmt::Write as _;
+    let alive = rows
+        .iter()
+        .filter(|r| r.status != moara_daemon::health::HealthStatus::Dead)
+        .count();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "moara top — via n{node} · {alive}/{} members · {} alert(s) firing",
+        rows.len(),
+        alerts.len(),
+    );
+    let _ = writeln!(
+        out,
+        "{:>5} {:>6} {:>7} {:>9} {:>6} {:>6} {:>7} {:>7} {:>5} {:>6} {:>8} {:>5} {:>8}",
+        "NODE",
+        "STATUS",
+        "AGE",
+        "TICKP99",
+        "STALL",
+        "CONNS",
+        "STREAMS",
+        "WATCHES",
+        "SUBS",
+        "CACHE%",
+        "RSS",
+        "FDS",
+        "UPTIME",
+    );
+    for r in rows {
+        let age = if r.age_ms == u64::MAX {
+            "-".to_owned()
+        } else if r.age_ms < 10_000 {
+            format!("{}ms", r.age_ms)
+        } else {
+            format!("{}s", r.age_ms / 1_000)
+        };
+        match &r.summary {
+            Some(h) => {
+                let _ = writeln!(
+                    out,
+                    "{:>5} {:>6} {:>7} {:>9} {:>6} {:>6} {:>7} {:>7} {:>5} {:>6} {:>8} {:>5} {:>8}",
+                    format!("n{}", r.node),
+                    r.status.as_str(),
+                    age,
+                    format!("{}us", h.tick_p99_us),
+                    h.stalled_ticks,
+                    h.open_conns,
+                    h.open_streams,
+                    h.watches,
+                    h.sub_entries,
+                    h.cache_hit_pct()
+                        .map_or("-".to_owned(), |p| format!("{p:.1}")),
+                    fmt_bytes(h.rss_bytes),
+                    h.open_fds,
+                    fmt_secs(h.uptime_s),
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "{:>5} {:>6} {:>7} {:>9} {:>6} {:>6} {:>7} {:>7} {:>5} {:>6} {:>8} {:>5} {:>8}",
+                    format!("n{}", r.node),
+                    r.status.as_str(),
+                    age,
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                );
+            }
+        }
+    }
+    for a in alerts {
+        let _ = writeln!(
+            out,
+            "ALERT {}: {} = {} (threshold {}, {}s)",
+            a.rule, a.metric, a.value, a.threshold, a.since_s,
+        );
+    }
+    out
+}
+
+/// `1.5G`-style byte rendering, `-` for the zero a digestless peer sends.
+fn fmt_bytes(b: u64) -> String {
+    if b == 0 {
+        return "-".to_owned();
+    }
+    if b >= 1 << 30 {
+        format!("{:.1}G", b as f64 / f64::from(1u32 << 30))
+    } else if b >= 1 << 20 {
+        format!("{}M", b >> 20)
+    } else if b >= 1 << 10 {
+        format!("{}K", b >> 10)
+    } else {
+        format!("{b}B")
+    }
+}
+
+/// Compact uptime: seconds, minutes, or hours.
+fn fmt_secs(s: u64) -> String {
+    if s >= 3_600 {
+        format!("{}h{}m", s / 3_600, (s % 3_600) / 60)
+    } else if s >= 60 {
+        format!("{}m{}s", s / 60, s % 60)
+    } else {
+        format!("{s}s")
     }
 }
 

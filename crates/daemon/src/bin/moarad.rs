@@ -53,6 +53,15 @@
 //! * `--access-log` — log one JSON line to stderr per HTTP gateway
 //!   request (method, path, status, duration, bytes, peer).
 //!
+//! Cluster health-plane flags (see `docs/observability.md`):
+//!
+//! * `--stall-threshold-ms N` — event-loop ticks whose work time
+//!   exceeds `N` milliseconds count as stalls (watchdog + alert input;
+//!   default 250);
+//! * `--alert-rules FILE` — alert rules (`name: metric op value`, one
+//!   per line, `#` comments) merged over the built-in defaults: a rule
+//!   with a built-in's name replaces it.
+//!
 //! Gateway middleware flags (see `docs/gateway.md`):
 //!
 //! * `--gw-rate-limit N` — per-peer-IP sustained requests/second on the
@@ -93,7 +102,8 @@ const USAGE: &str = "usage: moarad --listen IP:PORT [--join IP:PORT] \
                      [--gw-rate-limit N] [--gw-request-timeout-ms N] \
                      [--gw-idle-timeout-ms N] \
                      [--cache-promote-after N] [--cache-max-entries N] \
-                     [--no-query-cache]";
+                     [--no-query-cache] \
+                     [--stall-threshold-ms N] [--alert-rules FILE]";
 
 /// Flipped by the SIGINT/SIGTERM handler; the main loop notices and
 /// shuts down gracefully. A store is all the handler does — the only
@@ -148,6 +158,8 @@ fn main() {
     // matters.
     let mut query_cache = CacheConfig::default();
     let mut query_cache_on = true;
+    let mut stall_threshold_ms = 250u64;
+    let mut alert_rules = Vec::new();
     // The TTL/capacity flags only tune the cache; `--no-probe-cache` is
     // the sole on/off switch, so flag order never matters.
     let (mut cache_ttl, mut cache_cap) = match cfg.probe_cache {
@@ -290,6 +302,23 @@ fn main() {
                 }
             }
             "--no-query-cache" => query_cache_on = false,
+            "--stall-threshold-ms" => {
+                stall_threshold_ms = val("--stall-threshold-ms")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--stall-threshold-ms needs milliseconds"));
+                if stall_threshold_ms == 0 {
+                    fail("--stall-threshold-ms must be positive");
+                }
+            }
+            "--alert-rules" => {
+                let path = val("--alert-rules");
+                let text = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| fail(&format!("cannot read --alert-rules {path}: {e}")));
+                match moara_daemon::alerts::parse_rules(&text) {
+                    Ok(rules) => alert_rules = rules,
+                    Err(e) => fail(&format!("--alert-rules {path}: {e}")),
+                }
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -324,6 +353,8 @@ fn main() {
         gw_rate_limit,
         gw_request_timeout_ms,
         gw_idle_timeout_ms,
+        stall_threshold_ms,
+        alert_rules,
     }) {
         Ok(d) => d,
         Err(e) => {

@@ -64,13 +64,22 @@ use moara_membership::{SwimConfig, SwimDetector, SwimEvent, SwimMsg};
 use moara_query::parse_query;
 use moara_simnet::{Message, NodeId, SimDuration, SimTime, TimerId, TimerTag};
 use moara_trace::{
-    format_trace_id, Histogram, Phase, SpanRecord, SpanStore, TraceSummary, TRACE_NS_SWIM,
+    format_trace_id, BucketExemplars, Histogram, Phase, SpanRecord, SpanStore, TraceSummary,
+    TRACE_NS_SWIM,
 };
 use moara_transport::{NetCtx, NetProtocol, TcpConfig, TcpTransport, Transport};
 use moara_wire::{read_frame, write_msg, Wire, WireError};
 
+pub mod alerts;
+pub mod health;
 pub mod sim;
 pub use sim::SimSwarm;
+
+use alerts::{AlertEngine, AlertRule};
+use health::{
+    AlertWire, HealthStatus, HealthSummary, PeerHealthRow, CACHE_RATIO_NONE,
+    HEALTH_DIGEST_MAX_BYTES,
+};
 
 /// One cluster member, as carried in membership lists.
 ///
@@ -134,6 +143,12 @@ pub enum DaemonMsg {
     /// Failure-detector traffic: pings, indirect probes, acks, each
     /// piggybacking membership gossip (see `moara-membership`).
     Swim(SwimMsg),
+    /// Failure-detector traffic carrying the sender's health digest as
+    /// a second piggyback — the zero-extra-messages dissemination layer
+    /// of the cluster health plane. A separate tag (rather than an
+    /// `Option` inside `Swim`) keeps plain SWIM frames byte-identical
+    /// to pre-health builds.
+    SwimHealth(SwimMsg, HealthSummary),
 }
 
 impl Wire for DaemonMsg {
@@ -151,6 +166,11 @@ impl Wire for DaemonMsg {
                 out.push(2);
                 s.encode(out);
             }
+            DaemonMsg::SwimHealth(s, h) => {
+                out.push(3);
+                s.encode(out);
+                h.encode(out);
+            }
         }
     }
     fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
@@ -158,6 +178,7 @@ impl Wire for DaemonMsg {
             0 => DaemonMsg::Moara(Wire::decode(buf)?),
             1 => DaemonMsg::Membership(Wire::decode(buf)?),
             2 => DaemonMsg::Swim(Wire::decode(buf)?),
+            3 => DaemonMsg::SwimHealth(Wire::decode(buf)?, Wire::decode(buf)?),
             _ => return Err(WireError::Invalid("DaemonMsg tag")),
         })
     }
@@ -166,6 +187,7 @@ impl Wire for DaemonMsg {
             DaemonMsg::Moara(m) => m.encoded_len(),
             DaemonMsg::Membership(ms) => ms.encoded_len(),
             DaemonMsg::Swim(s) => s.encoded_len(),
+            DaemonMsg::SwimHealth(s, h) => s.encoded_len() + h.encoded_len(),
         }
     }
 }
@@ -178,7 +200,7 @@ impl Message for DaemonMsg {
     fn query_tag(&self) -> Option<u64> {
         match self {
             DaemonMsg::Moara(m) => m.query_tag(),
-            DaemonMsg::Membership(_) | DaemonMsg::Swim(_) => None,
+            DaemonMsg::Membership(_) | DaemonMsg::Swim(_) | DaemonMsg::SwimHealth(..) => None,
         }
     }
 }
@@ -244,6 +266,15 @@ pub enum CtrlRequest {
         /// Maximum summaries to return.
         limit: u32,
     },
+    /// Return the merged cluster-health table: one row per member from
+    /// the gossiped digest store, plus this daemon's firing alerts.
+    /// Served entirely from passive local state — never blocks on
+    /// peers — so it works during partitions (`moara-cli top`).
+    ClusterHealth,
+    /// Return this daemon's Prometheus exposition (the metrics
+    /// federation leaf request; `GET /v1/cluster/metrics` fans these
+    /// out like `TraceGet` fans out `TraceFetch`).
+    MetricsFetch,
 }
 
 /// A control-plane reply.
@@ -287,6 +318,11 @@ pub enum CtrlReply {
         /// twin of the key `/metrics` families for `moara-cli status
         /// --json`.
         metrics: Vec<(String, f64)>,
+        /// Latency-bucket trace exemplars (key → trace id, e.g.
+        /// `phase/fold/le/100000` → `0x...`): the most recent sampled
+        /// trace that landed in each slow bucket, linking a p99 spike
+        /// straight to a concrete waterfall.
+        exemplars: Vec<(String, String)>,
     },
     /// One update of a standing watch (streamed; many per request).
     Update {
@@ -311,6 +347,17 @@ pub enum CtrlReply {
     },
     /// Recent trace summaries from this daemon (`TraceList` answer).
     Traces(Vec<TraceSummary>),
+    /// The merged cluster-health table (`ClusterHealth` answer).
+    ClusterHealth {
+        /// The serving daemon.
+        node: u32,
+        /// One row per member (self included), digest freshness stamped.
+        rows: Vec<PeerHealthRow>,
+        /// Alert rules firing on the serving daemon right now.
+        alerts: Vec<AlertWire>,
+    },
+    /// One daemon's Prometheus exposition (`MetricsFetch` answer).
+    MetricsText(String),
 }
 
 impl Wire for CtrlRequest {
@@ -358,6 +405,8 @@ impl Wire for CtrlRequest {
                 out.push(7);
                 limit.encode(out);
             }
+            CtrlRequest::ClusterHealth => out.push(8),
+            CtrlRequest::MetricsFetch => out.push(9),
         }
     }
     fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
@@ -389,6 +438,8 @@ impl Wire for CtrlRequest {
             7 => CtrlRequest::TraceList {
                 limit: Wire::decode(buf)?,
             },
+            8 => CtrlRequest::ClusterHealth,
+            9 => CtrlRequest::MetricsFetch,
             _ => return Err(WireError::Invalid("CtrlRequest tag")),
         })
     }
@@ -407,6 +458,7 @@ impl Wire for CtrlRequest {
             }
             CtrlRequest::TraceFetch { .. } | CtrlRequest::TraceGet { .. } => 8,
             CtrlRequest::TraceList { .. } => 4,
+            CtrlRequest::ClusterHealth | CtrlRequest::MetricsFetch => 0,
         }
     }
 }
@@ -433,6 +485,7 @@ impl Wire for CtrlReply {
                 watches,
                 sub_entries,
                 metrics,
+                exemplars,
             } => {
                 out.push(3);
                 node.encode(out);
@@ -442,6 +495,7 @@ impl Wire for CtrlReply {
                 watches.encode(out);
                 sub_entries.encode(out);
                 metrics.encode(out);
+                exemplars.encode(out);
             }
             CtrlReply::Error(e) => {
                 out.push(4);
@@ -470,6 +524,16 @@ impl Wire for CtrlReply {
                 out.push(8);
                 ts.encode(out);
             }
+            CtrlReply::ClusterHealth { node, rows, alerts } => {
+                out.push(9);
+                node.encode(out);
+                rows.encode(out);
+                alerts.encode(out);
+            }
+            CtrlReply::MetricsText(text) => {
+                out.push(10);
+                text.encode(out);
+            }
         }
     }
     fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
@@ -491,6 +555,7 @@ impl Wire for CtrlReply {
                 watches: Wire::decode(buf)?,
                 sub_entries: Wire::decode(buf)?,
                 metrics: Wire::decode(buf)?,
+                exemplars: Wire::decode(buf)?,
             },
             4 => CtrlReply::Error(Wire::decode(buf)?),
             5 => CtrlReply::Update {
@@ -504,6 +569,12 @@ impl Wire for CtrlReply {
                 missing: Wire::decode(buf)?,
             },
             8 => CtrlReply::Traces(Wire::decode(buf)?),
+            9 => CtrlReply::ClusterHealth {
+                node: Wire::decode(buf)?,
+                rows: Wire::decode(buf)?,
+                alerts: Wire::decode(buf)?,
+            },
+            10 => CtrlReply::MetricsText(Wire::decode(buf)?),
             _ => return Err(WireError::Invalid("CtrlReply tag")),
         })
     }
@@ -512,14 +583,21 @@ impl Wire for CtrlReply {
             CtrlReply::Joined { members, .. } => 4 + members.encoded_len(),
             CtrlReply::Answer { result, .. } => result.encoded_len() + 1,
             CtrlReply::Ok => 0,
-            CtrlReply::Status { dead, metrics, .. } => {
-                20 + dead.encoded_len() + metrics.encoded_len()
-            }
+            CtrlReply::Status {
+                dead,
+                metrics,
+                exemplars,
+                ..
+            } => 20 + dead.encoded_len() + metrics.encoded_len() + exemplars.encoded_len(),
             CtrlReply::Error(e) => e.encoded_len(),
             CtrlReply::Update { result, .. } => result.encoded_len() + 2,
             CtrlReply::Spans(spans) => spans.encoded_len(),
             CtrlReply::Trace { spans, missing } => spans.encoded_len() + missing.encoded_len(),
             CtrlReply::Traces(ts) => ts.encoded_len(),
+            CtrlReply::ClusterHealth { rows, alerts, .. } => {
+                4 + rows.encoded_len() + alerts.encoded_len()
+            }
+            CtrlReply::MetricsText(text) => text.encoded_len(),
         }
     }
 }
@@ -557,9 +635,12 @@ pub(crate) fn moara_ctx(inner: &mut dyn NetCtx<DaemonMsg>) -> MoaraCtx<'_> {
 }
 
 /// Adapter: the failure detector's view of the peer plane (outgoing
-/// [`SwimMsg`]s gain the [`DaemonMsg::Swim`] envelope).
+/// [`SwimMsg`]s gain the [`DaemonMsg::Swim`] envelope — or the
+/// [`DaemonMsg::SwimHealth`] one when this daemon has a health digest
+/// to gossip, riding the probe for free).
 pub(crate) struct SwimCtx<'a> {
     inner: &'a mut dyn NetCtx<DaemonMsg>,
+    digest: Option<&'a HealthSummary>,
 }
 
 impl NetCtx<SwimMsg> for SwimCtx<'_> {
@@ -570,7 +651,10 @@ impl NetCtx<SwimMsg> for SwimCtx<'_> {
         self.inner.me()
     }
     fn send(&mut self, to: NodeId, msg: SwimMsg) {
-        self.inner.send(to, DaemonMsg::Swim(msg));
+        match self.digest {
+            Some(h) => self.inner.send(to, DaemonMsg::SwimHealth(msg, h.clone())),
+            None => self.inner.send(to, DaemonMsg::Swim(msg)),
+        }
     }
     fn set_timer(&mut self, delay: SimDuration, tag: TimerTag) -> TimerId {
         self.inner.set_timer(delay, tag)
@@ -583,8 +667,11 @@ impl NetCtx<SwimMsg> for SwimCtx<'_> {
     }
 }
 
-pub(crate) fn swim_ctx(inner: &mut dyn NetCtx<DaemonMsg>) -> SwimCtx<'_> {
-    SwimCtx { inner }
+pub(crate) fn swim_ctx<'a>(
+    inner: &'a mut dyn NetCtx<DaemonMsg>,
+    digest: Option<&'a HealthSummary>,
+) -> SwimCtx<'a> {
+    SwimCtx { inner, digest }
 }
 
 /// The per-process protocol node: a `MoaraNode`, its failure detector,
@@ -608,6 +695,14 @@ pub struct DaemonNode {
     /// loop — feeds the delta-lag histogram (receive → end of the step
     /// that folded it). Bounded: the loop drains it every step.
     pub pending_delta_stamps: Vec<Instant>,
+    /// This daemon's freshest health digest, attached to every outgoing
+    /// SWIM message while set (`None` until the first sample, and
+    /// always `None` in harnesses that opt out of health gossip — then
+    /// the wire stays byte-identical to pre-health builds).
+    pub health_digest: Option<HealthSummary>,
+    /// Peer digests received since the event loop last drained them
+    /// (bounded: drained every step, and refreshed in place per peer).
+    pub pending_health: Vec<(u32, HealthSummary)>,
 }
 
 impl DaemonNode {
@@ -620,6 +715,17 @@ impl DaemonNode {
             tracer: None,
             swim_trace_ctr: 0,
             pending_delta_stamps: Vec::new(),
+            health_digest: None,
+            pending_health: Vec::new(),
+        }
+    }
+
+    /// Queues a freshly gossiped peer digest for the event loop,
+    /// replacing any queued older one from the same peer.
+    fn intake_health(&mut self, from: u32, digest: HealthSummary) {
+        match self.pending_health.iter_mut().find(|(n, _)| *n == from) {
+            Some(slot) => slot.1 = digest,
+            None => self.pending_health.push((from, digest)),
         }
     }
 }
@@ -628,11 +734,21 @@ impl NetProtocol for DaemonNode {
     type Msg = DaemonMsg;
 
     fn on_start(&mut self, ctx: &mut dyn NetCtx<DaemonMsg>) {
-        let mut sctx = swim_ctx(ctx);
+        let mut sctx = swim_ctx(ctx, self.health_digest.as_ref());
         self.swim.start(&mut sctx);
     }
 
     fn on_message(&mut self, ctx: &mut dyn NetCtx<DaemonMsg>, from: NodeId, msg: DaemonMsg) {
+        // A piggybacked health digest is peeled off for the event
+        // loop's peer table before the detector sees the probe (the
+        // detector itself is health-agnostic).
+        let msg = match msg {
+            DaemonMsg::SwimHealth(s, h) => {
+                self.intake_health(from.0, h);
+                DaemonMsg::Swim(s)
+            }
+            other => other,
+        };
         match msg {
             DaemonMsg::Moara(m) => {
                 // Stamp SubDelta arrivals so the event loop can histogram
@@ -686,15 +802,16 @@ impl NetProtocol for DaemonNode {
                         }
                     }
                 }
-                let mut sctx = swim_ctx(ctx);
+                let mut sctx = swim_ctx(ctx, self.health_digest.as_ref());
                 self.swim.on_message(&mut sctx, from, s);
             }
+            DaemonMsg::SwimHealth(..) => unreachable!("unwrapped above"),
         }
     }
 
     fn on_timer(&mut self, ctx: &mut dyn NetCtx<DaemonMsg>, tag: TimerTag) {
         if self.swim.owns_tag(tag) {
-            let mut sctx = swim_ctx(ctx);
+            let mut sctx = swim_ctx(ctx, self.health_digest.as_ref());
             self.swim.on_timer(&mut sctx, tag);
         } else {
             let mut mctx = moara_ctx(ctx);
@@ -751,6 +868,15 @@ pub struct DaemonOpts {
     /// flight and no bytes received for this long is closed. SSE
     /// streams are exempt.
     pub gw_idle_timeout_ms: u64,
+    /// Event-loop stall watchdog threshold in milliseconds
+    /// (`--stall-threshold-ms`): a tick whose *work* time (poll wait
+    /// excluded) crosses this counts as stalled — gossiped in the
+    /// health digest and watched by the `event_loop_stall` alert.
+    pub stall_threshold_ms: u64,
+    /// Extra alert rules (`--alert-rules FILE`, parsed by
+    /// `alerts::parse_rules`). Merged over the built-in defaults: a
+    /// rule reusing a built-in name overrides it.
+    pub alert_rules: Vec<AlertRule>,
 }
 
 impl DaemonOpts {
@@ -772,6 +898,8 @@ impl DaemonOpts {
             gw_rate_limit: 0.0,
             gw_request_timeout_ms: 30_000,
             gw_idle_timeout_ms: 30_000,
+            stall_threshold_ms: 250,
+            alert_rules: Vec::new(),
         }
     }
 }
@@ -902,6 +1030,29 @@ pub struct Daemon {
     depth_hist: Histogram,
     /// SubDelta receive → fold-finished lag per hop, µs.
     delta_lag_hist: Histogram,
+    /// When the daemon booted (uptime, alert `since` stamps).
+    started: Instant,
+    /// Stall-watchdog threshold in microseconds.
+    stall_threshold_us: u64,
+    /// Ticks whose work time crossed the threshold since boot.
+    stalled_ticks: u64,
+    /// The freshest local health sample (what peers receive as our
+    /// digest; also this daemon's own row in the merged table).
+    my_health: HealthSummary,
+    /// Gossiped peer digests: node → (digest, arrival stamp).
+    peer_health: HashMap<u32, (HealthSummary, Instant)>,
+    /// When the maintenance timer (self-sample + alert evaluation)
+    /// last ran.
+    last_health_sample: Instant,
+    /// Live digests older than this flip a member's row to `stale`.
+    health_stale_after: Duration,
+    /// The alert engine (built-ins merged with `--alert-rules`).
+    alert_engine: AlertEngine,
+    /// Most recent sampled trace id per gateway-latency bucket. This is
+    /// the daemon-side approximation of gateway request latency (query
+    /// submit → outcome; HTTP parse/write excluded), which is where
+    /// trace ids are known — the reactor shards never see them.
+    gw_latency_exemplars: BucketExemplars,
 }
 
 /// Spans each daemon's ring-buffer store holds (per store, before the
@@ -931,6 +1082,16 @@ const CACHE_SWEEP_EVERY: Duration = Duration::from_secs(5);
 /// comment); a hung-up watcher is unsubscribed within this bound even if
 /// its standing query never changes.
 const WATCH_KEEPALIVE_EVERY: Duration = Duration::from_secs(1);
+
+/// How often the maintenance timer samples this daemon's health (and
+/// re-evaluates the alert rules against the fresh sample). The digest
+/// peers hold about us is therefore at most this much older than the
+/// SWIM message that carried it.
+const HEALTH_SAMPLE_EVERY: Duration = Duration::from_secs(1);
+
+/// How long a metrics federation waits on each peer's `MetricsFetch`
+/// before reporting it in the `moara_federation_missing` series.
+const METRICS_FETCH_TIMEOUT: Duration = Duration::from_secs(2);
 
 impl Daemon {
     /// Boots a daemon: binds both planes, and either seeds a fresh
@@ -1117,6 +1278,17 @@ impl Daemon {
             tick_hist: Histogram::latency_us(),
             depth_hist: Histogram::depth(),
             delta_lag_hist: Histogram::latency_us(),
+            started: Instant::now(),
+            stall_threshold_us: opts.stall_threshold_ms.saturating_mul(1_000).max(1),
+            stalled_ticks: 0,
+            my_health: HealthSummary::default(),
+            peer_health: HashMap::new(),
+            last_health_sample: Instant::now(),
+            health_stale_after: health::stale_after(Duration::from_micros(
+                opts.swim.period.as_micros(),
+            )),
+            alert_engine: AlertEngine::new(alerts::merge_rules(opts.alert_rules)),
+            gw_latency_exemplars: BucketExemplars::new(&moara_gateway::LATENCY_BOUNDS_US),
         };
         // A joiner's presence is already in `members`; make the overlay
         // aware locally (the seed broadcasts to everyone else on join).
@@ -1182,6 +1354,15 @@ impl Daemon {
             self.delta_lag_hist
                 .observe(u64::try_from(stamp.elapsed().as_micros()).unwrap_or(u64::MAX));
         }
+        // Gossiped peer digests pumped this step move into the health
+        // table with an arrival stamp (staleness is judged against it).
+        let arrived = std::mem::take(&mut self.transport.node_mut(self.me).pending_health);
+        if !arrived.is_empty() {
+            let now = Instant::now();
+            for (node, digest) in arrived {
+                self.peer_health.insert(node, (digest, now));
+            }
+        }
         // Keep the transport's undeliverable log bounded (it grows on
         // every send to a dead peer, and this loop runs forever).
         self.undeliverable_total += self.transport.take_undeliverable().len() as u64;
@@ -1189,9 +1370,19 @@ impl Daemon {
         {
             self.broadcast_membership();
         }
+        // Maintenance timer: self-sample into the gossiped digest, then
+        // re-evaluate the alert rules against the fresh sample.
+        if self.last_health_sample.elapsed() >= HEALTH_SAMPLE_EVERY {
+            self.last_health_sample = Instant::now();
+            self.sample_health();
+            self.evaluate_alerts();
+        }
         self.depth_hist.observe((ctrl_jobs + gw_jobs) as u64);
-        self.tick_hist
-            .observe(u64::try_from(tick_start.elapsed().as_micros()).unwrap_or(u64::MAX));
+        let tick_us = u64::try_from(tick_start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.tick_hist.observe(tick_us);
+        if tick_us >= self.stall_threshold_us {
+            self.stalled_ticks += 1;
+        }
         did
     }
 
@@ -1589,6 +1780,7 @@ impl Daemon {
                         .map(|m| m.node)
                         .collect();
                     let metrics = self.metrics_snapshot();
+                    let exemplars = self.exemplar_entries();
                     let moara = &self.transport.node(self.me).moara;
                     let _ = job.reply.send(CtrlReply::Status {
                         node: self.me.0,
@@ -1598,7 +1790,20 @@ impl Daemon {
                         watches: moara.active_watches() as u32,
                         sub_entries: moara.sub_entry_count() as u32,
                         metrics,
+                        exemplars,
                     });
+                }
+                CtrlRequest::ClusterHealth => {
+                    let _ = job.reply.send(CtrlReply::ClusterHealth {
+                        node: self.me.0,
+                        rows: self.health_rows(),
+                        alerts: self.alert_engine.firing(Instant::now()),
+                    });
+                }
+                CtrlRequest::MetricsFetch => {
+                    let _ = job
+                        .reply
+                        .send(CtrlReply::MetricsText(self.render_metrics()));
                 }
             }
         }
@@ -1646,6 +1851,228 @@ impl Daemon {
             out.push(("gateway_cache_promoted", cache.promoted_len() as f64));
         }
         out.into_iter().map(|(k, v)| (k.to_owned(), v)).collect()
+    }
+
+    /// Samples this daemon into a fresh [`HealthSummary`] and publishes
+    /// it as the digest every outgoing SWIM message piggybacks.
+    fn sample_health(&mut self) {
+        let dn = self.transport.node(self.me);
+        let (queued, conns, streams) = match &self.gw_handle {
+            Some(gw) => {
+                use std::sync::atomic::Ordering::Relaxed;
+                let s = gw.stats();
+                (
+                    s.queued_jobs.load(Relaxed).max(0) as u32,
+                    s.open_conns.load(Relaxed).max(0) as u32,
+                    s.open_streams.load(Relaxed).max(0) as u32,
+                )
+            }
+            None => (0, 0, 0),
+        };
+        let cache_hit_bp = match &self.query_cache {
+            Some(c) => {
+                let (hits, misses) = (c.hits(), c.misses());
+                match (hits * 10_000).checked_div(hits + misses) {
+                    Some(bp) => bp as u16,
+                    None => CACHE_RATIO_NONE,
+                }
+            }
+            None => CACHE_RATIO_NONE,
+        };
+        let summary = HealthSummary {
+            node: self.me.0,
+            incarnation: dn.swim.incarnation(),
+            uptime_s: self.started.elapsed().as_secs(),
+            tick_p99_us: self.tick_hist.quantile(0.99),
+            stalled_ticks: self.stalled_ticks,
+            queued_jobs: queued,
+            open_conns: conns,
+            open_streams: streams,
+            watches: dn.moara.active_watches() as u32,
+            sub_entries: dn.moara.sub_entry_count() as u32,
+            cache_hit_bp,
+            rss_bytes: health::rss_bytes(),
+            open_fds: health::open_fds(),
+            queries_inflight: (self.pending_queries.len() + self.pending_gw_queries.len()) as u32,
+            alerts_firing: self.alert_engine.firing(Instant::now()).len() as u32,
+        };
+        // The size cap is a wire invariant, not a hope: a digest that
+        // would fatten SWIM probes past it is simply not gossiped.
+        if summary.encoded_len() <= HEALTH_DIGEST_MAX_BYTES {
+            self.transport.node_mut(self.me).health_digest = Some(summary.clone());
+        }
+        self.my_health = summary;
+    }
+
+    /// Evaluates the alert rules against the freshest health sample,
+    /// logging each firing/resolved transition as one JSON line on
+    /// stderr (next to the slow-query log).
+    fn evaluate_alerts(&mut self) {
+        let h = &self.my_health;
+        let dead = self.members.iter().filter(|m| !m.alive).count();
+        let rate_limited = match &self.gw_handle {
+            Some(gw) => gw
+                .stats()
+                .rate_limited
+                .load(std::sync::atomic::Ordering::Relaxed) as f64,
+            None => 0.0,
+        };
+        let mut sample: Vec<(&'static str, f64)> = vec![
+            ("tick_p99_us", h.tick_p99_us as f64),
+            ("stalled_ticks", h.stalled_ticks as f64),
+            ("dead_members", dead as f64),
+            ("watches", f64::from(h.watches)),
+            ("sub_entries", f64::from(h.sub_entries)),
+            ("queued_jobs", f64::from(h.queued_jobs)),
+            ("open_conns", f64::from(h.open_conns)),
+            ("open_streams", f64::from(h.open_streams)),
+            ("open_fds", f64::from(h.open_fds)),
+            ("rss_bytes", h.rss_bytes as f64),
+            ("queries_inflight", f64::from(h.queries_inflight)),
+            ("uptime_s", h.uptime_s as f64),
+            ("rate_limited", rate_limited),
+            ("slow_queries", self.slow_queries_total as f64),
+            ("undeliverable", self.undeliverable_total as f64),
+        ];
+        if let Some(pct) = h.cache_hit_pct() {
+            sample.push(("cache_hit_pct", pct));
+        }
+        let now = Instant::now();
+        let events = self.alert_engine.evaluate(&sample, now);
+        for ev in &events {
+            eprintln!("{}", AlertEngine::event_line(self.me.0, ev));
+        }
+        if !events.is_empty() {
+            // Keep the gossiped firing count fresh without waiting out
+            // the next sample period.
+            let n = self.alert_engine.firing(now).len() as u32;
+            self.my_health.alerts_firing = n;
+            if let Some(d) = &mut self.transport.node_mut(self.me).health_digest {
+                d.alerts_firing = n;
+            }
+        }
+    }
+
+    /// The merged cluster-health table: one staleness-stamped row per
+    /// member, self included. Built purely from passive local state
+    /// (the gossiped digest store + the membership view), so it never
+    /// blocks on peers — a partitioned cluster answers instantly with
+    /// `stale` rows.
+    fn health_rows(&self) -> Vec<PeerHealthRow> {
+        let mut rows: Vec<PeerHealthRow> = self
+            .members
+            .iter()
+            .map(|m| {
+                if m.node == self.me.0 {
+                    return PeerHealthRow {
+                        node: m.node,
+                        status: HealthStatus::Ok,
+                        age_ms: u64::try_from(self.last_health_sample.elapsed().as_millis())
+                            .unwrap_or(u64::MAX),
+                        summary: Some(self.my_health.clone()),
+                    };
+                }
+                let held = self.peer_health.get(&m.node);
+                let age_ms = held.map_or(u64::MAX, |(_, at)| {
+                    u64::try_from(at.elapsed().as_millis()).unwrap_or(u64::MAX)
+                });
+                let status = if !m.alive {
+                    HealthStatus::Dead
+                } else if held.is_some_and(|(_, at)| at.elapsed() <= self.health_stale_after) {
+                    HealthStatus::Ok
+                } else {
+                    HealthStatus::Stale
+                };
+                PeerHealthRow {
+                    node: m.node,
+                    status,
+                    age_ms,
+                    summary: held.map(|(h, _)| h.clone()),
+                }
+            })
+            .collect();
+        rows.sort_by_key(|r| r.node);
+        rows
+    }
+
+    /// Latency-bucket trace exemplars as (key, trace id) pairs:
+    /// `phase/<phase>/le/<bound>` from the span store's per-phase
+    /// histograms, `gateway/le/<bound>` from the daemon-observed
+    /// gateway query latency.
+    fn exemplar_entries(&self) -> Vec<(String, String)> {
+        fn bound_str(b: u64) -> String {
+            if b == u64::MAX {
+                "+Inf".to_owned()
+            } else {
+                b.to_string()
+            }
+        }
+        let mut out = Vec::new();
+        if let Some(t) = &self.tracer {
+            for (phase, entries) in t.phase_exemplars() {
+                for (bound, id) in entries {
+                    out.push((
+                        format!("phase/{}/le/{}", phase.as_str(), bound_str(bound)),
+                        format_trace_id(id),
+                    ));
+                }
+            }
+        }
+        for (bound, id) in self.gw_latency_exemplars.entries() {
+            out.push((
+                format!("gateway/le/{}", bound_str(bound)),
+                format_trace_id(id),
+            ));
+        }
+        out
+    }
+
+    /// Answers a cluster-metrics federation off the event loop: the
+    /// local exposition renders here (this loop owns the registries),
+    /// then a spawned thread asks every other alive member for its
+    /// exposition over the control plane ([`CtrlRequest::MetricsFetch`],
+    /// bounded by [`METRICS_FETCH_TIMEOUT`] each) and merges the
+    /// answers under per-peer `instance` labels. Peers that do not
+    /// answer in time — and members already confirmed dead — surface in
+    /// the `moara_federation_missing` series instead of hanging the
+    /// scrape.
+    fn spawn_metrics_gather(&self, reply: ReplySink) {
+        let local = self.render_metrics();
+        let me = self.me.0;
+        let peers: Vec<(u32, String)> = self
+            .members
+            .iter()
+            .filter(|m| m.alive && m.node != me)
+            .map(|m| (m.node, m.ctrl.clone()))
+            .collect();
+        let lost: Vec<u32> = self
+            .members
+            .iter()
+            .filter(|m| !m.alive && m.node != me)
+            .map(|m| m.node)
+            .collect();
+        let _ = std::thread::Builder::new()
+            .name("moarad-metrics-gather".into())
+            .spawn(move || {
+                let mut parts: Vec<(String, Option<String>)> =
+                    vec![(format!("n{me}"), Some(local))];
+                for (node, ctrl) in peers {
+                    let text = match ctrl_roundtrip(
+                        &ctrl,
+                        &CtrlRequest::MetricsFetch,
+                        METRICS_FETCH_TIMEOUT,
+                    ) {
+                        Ok(CtrlReply::MetricsText(t)) => Some(t),
+                        _ => None,
+                    };
+                    parts.push((format!("n{node}"), text));
+                }
+                for node in lost {
+                    parts.push((format!("n{node}"), None));
+                }
+                let text = moara_gateway::federate_expositions(&parts);
+                let _ = reply.send(GwReply::Metrics { text });
+            });
     }
 
     /// Answers a trace merge off the event loop: a spawned thread reads
@@ -1720,7 +2147,8 @@ impl Daemon {
                 .moara
                 .take_outcome(*fid)
                 .expect("checked above");
-            if let Some((text, submitted, trace_id)) = self.query_meta.remove(fid) {
+            let meta = self.query_meta.remove(fid);
+            if let Some((text, submitted, trace_id)) = &meta {
                 if let Some(threshold_ms) = self.slow_query_ms {
                     let elapsed = submitted.elapsed();
                     if elapsed.as_millis() as u64 >= threshold_ms {
@@ -1729,10 +2157,10 @@ impl Daemon {
                             "{}",
                             slow_query_line(
                                 self.me.0,
-                                &text,
+                                text,
                                 u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
                                 outcome.complete,
-                                trace_id,
+                                *trace_id,
                             )
                         );
                     }
@@ -1744,6 +2172,17 @@ impl Daemon {
                     complete: outcome.complete,
                 });
             } else if let Some(w) = self.pending_gw_queries.remove(fid) {
+                // Gateway latency exemplar: the most recent sampled
+                // trace per latency bucket, measured as submit →
+                // outcome on this loop (the HTTP parse/write tail is
+                // not included — the reactor shards never learn trace
+                // ids, so this daemon-side view is the linkable one).
+                if let Some((_, submitted, Some(tid))) = &meta {
+                    self.gw_latency_exemplars.observe(
+                        u64::try_from(submitted.elapsed().as_micros()).unwrap_or(u64::MAX),
+                        *tid,
+                    );
+                }
                 let result = outcome.result.to_string();
                 for (reply, marker) in w.waiters {
                     let _ = reply.send(GwReply::Answer {
@@ -1907,6 +2346,15 @@ impl Daemon {
             None => return 0,
         };
         let count = jobs.len();
+        if count > 0 {
+            // The reactor bumped the queue-depth gauge on submit; this
+            // drain is the matching decrement.
+            if let Some(gw) = &self.gw_handle {
+                gw.stats()
+                    .queued_jobs
+                    .fetch_sub(count as i64, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
         for job in jobs {
             match job.req {
                 GwRequest::Query { q } => {
@@ -1964,7 +2412,7 @@ impl Daemon {
                         .map(|t| t.recent(limit))
                         .unwrap_or_default();
                     let _ = job.reply.send(GwReply::Json {
-                        body: traces_json(&ts),
+                        body: traces_json(&ts, &self.exemplar_entries()),
                     });
                 }
                 GwRequest::Trace { id } => match moara_trace::parse_trace_id(&id) {
@@ -2032,6 +2480,20 @@ impl Daemon {
                         node: self.me.0,
                         members: self.members.len() as u32,
                         alive,
+                    });
+                }
+                GwRequest::ClusterHealth => {
+                    let rows = self.health_rows();
+                    let alerts = self.alert_engine.firing(Instant::now());
+                    let _ = job.reply.send(GwReply::Json {
+                        body: cluster_health_json(self.me.0, &rows, &alerts),
+                    });
+                }
+                GwRequest::ClusterMetrics => self.spawn_metrics_gather(job.reply),
+                GwRequest::Alerts => {
+                    let alerts = self.alert_engine.firing(Instant::now());
+                    let _ = job.reply.send(GwReply::Json {
+                        body: alerts_json(self.me.0, &alerts),
                     });
                 }
             }
@@ -2287,6 +2749,11 @@ impl Daemon {
                 "HTTP connections currently registered with reactor shards.",
                 s.open_conns.load(Relaxed) as f64,
             );
+            reg.gauge(
+                "moara_gateway_queued_jobs",
+                "Gateway jobs handed to the daemon and not yet drained.",
+                s.queued_jobs.load(Relaxed) as f64,
+            );
             reg.counter(
                 "moara_gateway_rate_limited_total",
                 "Requests answered 429 by the per-peer-IP token bucket.",
@@ -2416,6 +2883,58 @@ impl Daemon {
             "Queries that exceeded the --slow-query-ms threshold.",
             self.slow_queries_total,
         );
+        reg.counter(
+            "moara_event_loop_stalled_ticks_total",
+            "Event-loop ticks whose work time crossed --stall-threshold-ms.",
+            self.stalled_ticks,
+        );
+
+        // Process / build identity (the health plane's raw inputs).
+        reg.gauge_with(
+            "moara_build_info",
+            "Build identity; always 1, the information is in the labels.",
+            &[
+                ("version", env!("CARGO_PKG_VERSION")),
+                (
+                    "profile",
+                    if cfg!(debug_assertions) {
+                        "debug"
+                    } else {
+                        "release"
+                    },
+                ),
+            ],
+            1.0,
+        );
+        reg.gauge(
+            "moara_uptime_seconds",
+            "Seconds since this daemon booted.",
+            self.started.elapsed().as_secs() as f64,
+        );
+        reg.gauge(
+            "moara_process_resident_bytes",
+            "Resident set size in bytes (/proc/self/statm).",
+            health::rss_bytes() as f64,
+        );
+        reg.gauge(
+            "moara_open_fds",
+            "Open file descriptors (/proc/self/fd).",
+            f64::from(health::open_fds()),
+        );
+
+        // Alert-rule state: one 0/1 gauge per rule, so a flat scrape
+        // shows which rules exist as well as which fire.
+        let firing = self.alert_engine.firing(Instant::now());
+        for rule in self.alert_engine.rules() {
+            let lit = firing.iter().any(|a| a.rule == rule.name);
+            reg.gauge_with(
+                "moara_alerts_firing",
+                "1 while the named alert rule is firing, 0 otherwise.",
+                &[("rule", &rule.name)],
+                if lit { 1.0 } else { 0.0 },
+            );
+        }
+
         reg.gauge(
             "moara_up",
             "Always 1 while the daemon event loop serves scrapes.",
@@ -2564,8 +3083,10 @@ fn trace_json(trace_id: u64, spans: &[SpanRecord], missing: &[u32]) -> String {
     )
 }
 
-/// The `GET /v1/traces` body: recent traces, newest first.
-fn traces_json(summaries: &[TraceSummary]) -> String {
+/// The `GET /v1/traces` body: recent traces, newest first, plus the
+/// latency-bucket exemplars (`"<hist>/le/<bound>" -> trace id`) that
+/// link slow buckets straight to an inspectable trace.
+fn traces_json(summaries: &[TraceSummary], exemplars: &[(String, String)]) -> String {
     use moara_gateway::json::escape;
     let items: Vec<String> = summaries
         .iter()
@@ -2582,7 +3103,85 @@ fn traces_json(summaries: &[TraceSummary]) -> String {
             )
         })
         .collect();
-    format!("{{\"traces\":[{}]}}\n", items.join(","))
+    let ex: Vec<String> = exemplars
+        .iter()
+        .map(|(k, v)| format!("{}:{}", escape(k), escape(v)))
+        .collect();
+    format!(
+        "{{\"traces\":[{}],\"exemplars\":{{{}}}}}\n",
+        items.join(","),
+        ex.join(","),
+    )
+}
+
+/// One firing alert as a JSON object (shared by `/v1/alerts` and the
+/// alerts block of `/v1/cluster/health`).
+fn alert_json(a: &AlertWire) -> String {
+    use moara_gateway::json::escape;
+    format!(
+        "{{\"rule\":{},\"metric\":{},\"value\":{},\"threshold\":{},\"since_s\":{}}}",
+        escape(&a.rule),
+        escape(&a.metric),
+        a.value,
+        a.threshold,
+        a.since_s,
+    )
+}
+
+/// The `GET /v1/alerts` body: this daemon's currently-firing rules.
+fn alerts_json(node: u32, alerts: &[AlertWire]) -> String {
+    let items: Vec<String> = alerts.iter().map(alert_json).collect();
+    format!("{{\"node\":{node},\"firing\":[{}]}}\n", items.join(","))
+}
+
+/// One member row of the cluster health table.
+fn health_row_json(r: &PeerHealthRow) -> String {
+    use moara_gateway::json::escape;
+    let age = if r.age_ms == u64::MAX {
+        "null".to_owned()
+    } else {
+        r.age_ms.to_string()
+    };
+    let summary = r.summary.as_ref().map_or("null".to_owned(), |h| {
+        format!(
+            "{{\"incarnation\":{},\"uptime_s\":{},\"tick_p99_us\":{},\"stalled_ticks\":{},\
+             \"queued_jobs\":{},\"open_conns\":{},\"open_streams\":{},\"watches\":{},\
+             \"sub_entries\":{},\"cache_hit_pct\":{},\"rss_bytes\":{},\"open_fds\":{},\
+             \"queries_inflight\":{},\"alerts_firing\":{}}}",
+            h.incarnation,
+            h.uptime_s,
+            h.tick_p99_us,
+            h.stalled_ticks,
+            h.queued_jobs,
+            h.open_conns,
+            h.open_streams,
+            h.watches,
+            h.sub_entries,
+            h.cache_hit_pct()
+                .map_or("null".to_owned(), |p| format!("{p:.2}")),
+            h.rss_bytes,
+            h.open_fds,
+            h.queries_inflight,
+            h.alerts_firing,
+        )
+    });
+    format!(
+        "{{\"node\":{},\"status\":{},\"age_ms\":{age},\"summary\":{summary}}}",
+        r.node,
+        escape(r.status.as_str()),
+    )
+}
+
+/// The `GET /v1/cluster/health` body: the answering daemon's merged
+/// member table (self + gossiped digests) plus its firing alerts.
+fn cluster_health_json(node: u32, rows: &[PeerHealthRow], alerts: &[AlertWire]) -> String {
+    let members: Vec<String> = rows.iter().map(health_row_json).collect();
+    let firing: Vec<String> = alerts.iter().map(alert_json).collect();
+    format!(
+        "{{\"node\":{node},\"members\":[{}],\"alerts\":[{}]}}\n",
+        members.join(","),
+        firing.join(","),
+    )
 }
 
 /// One slow-query log line: a single JSON object on stderr, grep-able
@@ -2786,6 +3385,30 @@ mod tests {
                     state: moara_membership::PeerState::Suspect,
                 }],
             }),
+            DaemonMsg::SwimHealth(
+                SwimMsg::Ping {
+                    seq: 9,
+                    reply_to: NodeId(0),
+                    updates: vec![],
+                },
+                HealthSummary {
+                    node: 7,
+                    incarnation: 2,
+                    uptime_s: 61,
+                    tick_p99_us: 420,
+                    stalled_ticks: 1,
+                    queued_jobs: 3,
+                    open_conns: 12,
+                    open_streams: 2,
+                    watches: 4,
+                    sub_entries: 9,
+                    cache_hit_bp: 9_912,
+                    rss_bytes: 48 << 20,
+                    open_fds: 37,
+                    queries_inflight: 1,
+                    alerts_firing: 0,
+                },
+            ),
         ];
         for m in msgs {
             assert_eq!(DaemonMsg::from_bytes(&m.to_bytes()).unwrap(), m);
@@ -2823,6 +3446,8 @@ mod tests {
             },
             CtrlRequest::TraceGet { trace_id: 42 },
             CtrlRequest::TraceList { limit: 25 },
+            CtrlRequest::ClusterHealth,
+            CtrlRequest::MetricsFetch,
         ];
         for r in reqs {
             assert_eq!(CtrlRequest::from_bytes(&r.to_bytes()).unwrap(), r);
@@ -2845,6 +3470,7 @@ mod tests {
                 watches: 2,
                 sub_entries: 5,
                 metrics: vec![("moara_up".into(), 1.0), ("watches".into(), 2.0)],
+                exemplars: vec![("gateway/le/10000".into(), "0x0000000000000007".into())],
             },
             CtrlReply::Error("nope".into()),
             CtrlReply::Update {
@@ -2877,6 +3503,36 @@ mod tests {
                 duration_us: 33,
                 spans: 9,
             }]),
+            CtrlReply::ClusterHealth {
+                node: 2,
+                rows: vec![
+                    PeerHealthRow {
+                        node: 0,
+                        status: HealthStatus::Ok,
+                        age_ms: 120,
+                        summary: Some(HealthSummary {
+                            node: 0,
+                            incarnation: 1,
+                            cache_hit_bp: CACHE_RATIO_NONE,
+                            ..HealthSummary::default()
+                        }),
+                    },
+                    PeerHealthRow {
+                        node: 1,
+                        status: HealthStatus::Dead,
+                        age_ms: u64::MAX,
+                        summary: None,
+                    },
+                ],
+                alerts: vec![AlertWire {
+                    rule: "dead_members".into(),
+                    metric: "dead_members".into(),
+                    value: 1.0,
+                    threshold: 0.0,
+                    since_s: 4,
+                }],
+            },
+            CtrlReply::MetricsText("# HELP moara_up x\n".into()),
         ];
         for r in replies {
             assert_eq!(CtrlReply::from_bytes(&r.to_bytes()).unwrap(), r);

@@ -22,6 +22,7 @@ use moara_transport::{SimTransport, Transport};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::health::{HealthSummary, CACHE_RATIO_NONE};
 use crate::{moara_ctx, swim_ctx, DaemonNode};
 
 /// One simulated daemon's private world-view: its overlay directory and
@@ -236,6 +237,42 @@ impl SimSwarm {
         }
     }
 
+    /// Turns on health-digest piggybacking for every daemon, exactly as
+    /// the real event loop does once its first self-sample lands: each
+    /// node's current state is snapshotted into a [`HealthSummary`] that
+    /// rides every subsequent outgoing SWIM message. The overhead gates
+    /// in `moara-bench` compare a swarm with this on against one without
+    /// it (same seed, same workload).
+    pub fn enable_health_gossip(&mut self) {
+        for i in 0..self.views.len() as u32 {
+            let me = NodeId(i);
+            if !self.transport.is_alive(me) {
+                continue;
+            }
+            let dn = self.transport.node_mut(me);
+            dn.health_digest = Some(HealthSummary {
+                node: i,
+                incarnation: dn.swim.incarnation(),
+                watches: dn.moara.active_watches() as u32,
+                sub_entries: dn.moara.sub_entry_count() as u32,
+                cache_hit_bp: CACHE_RATIO_NONE,
+                ..HealthSummary::default()
+            });
+        }
+    }
+
+    /// The freshest health digest daemon `at` holds about peer `about`
+    /// (gossiped, not asked for). `None` until gossip delivers one.
+    pub fn peer_digest(&self, at: NodeId, about: NodeId) -> Option<HealthSummary> {
+        self.transport
+            .node(at)
+            .pending_health
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == about.0)
+            .map(|(_, h)| h.clone())
+    }
+
     /// Crashes a daemon at the *network* level: its frames stop flowing
     /// and its timers die. Nobody is told — the survivors' detectors
     /// must find out.
@@ -263,7 +300,7 @@ impl SimSwarm {
             dn.swim.reset_transients(ctx.now());
             let inc = dn.swim.incarnation();
             dn.swim.set_incarnation(inc + 1);
-            let mut sctx = swim_ctx(ctx);
+            let mut sctx = swim_ctx(ctx, dn.health_digest.as_ref());
             dn.swim.start(&mut sctx);
             let mut mctx = moara_ctx(ctx);
             dn.moara.on_rejoin(&mut mctx);

@@ -94,6 +94,44 @@ fn the_whole_failure_recovery_story_is_deterministic() {
 }
 
 #[test]
+fn health_digests_gossip_on_swim_traffic_with_zero_extra_messages() {
+    // Two identical swarms, same seed and workload; one piggybacks
+    // health digests on its SWIM traffic. Piggybacking must add ZERO
+    // messages — the digests ride frames the detector sends anyway —
+    // and every node must learn every peer's digest from gossip alone.
+    let run = |gossip: bool| {
+        let mut s = service_swarm(4, 23);
+        if gossip {
+            s.enable_health_gossip();
+        }
+        s.stats_mut().reset();
+        s.run_periods(10);
+        (s.stats().total_messages(), s.stats().total_bytes(), s)
+    };
+    let (base_msgs, base_bytes, _) = run(false);
+    let (gossip_msgs, gossip_bytes, s) = run(true);
+    assert_eq!(
+        gossip_msgs, base_msgs,
+        "digests must piggyback, never add messages"
+    );
+    assert!(
+        gossip_bytes > base_bytes,
+        "digest payloads must actually be on the wire"
+    );
+    for at in 0..4u32 {
+        for about in 0..4u32 {
+            if at == about {
+                continue;
+            }
+            let d = s
+                .peer_digest(NodeId(at), NodeId(about))
+                .unwrap_or_else(|| panic!("node {at} never heard node {about}'s digest"));
+            assert_eq!(d.node, about, "digest must describe its sender");
+        }
+    }
+}
+
+#[test]
 fn interior_crash_does_not_lose_group_members() {
     // 8 daemons, 3 in the group; crash a *non*-member (which may be an
     // interior node of the group's tree): after confirmation the group

@@ -47,7 +47,7 @@ pub mod server;
 
 pub use cache::{normalize, CacheConfig, QueryCache};
 pub use http::{HttpRequest, HttpResponse};
-pub use metrics::{lint_exposition, MetricsRegistry};
+pub use metrics::{federate_expositions, lint_exposition, MetricsRegistry};
 pub use middleware::TokenBuckets;
 pub use server::{
     access_log_line, spawn_gateway, spawn_gateway_opts, AccessLogSink, AtomicHistogram,

@@ -394,6 +394,141 @@ pub fn lint_exposition(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Merges per-daemon Prometheus expositions into one cluster-wide
+/// scrape: every sample line gains an `instance` label (first position),
+/// family headers are emitted once in first-seen order, and peers whose
+/// scrape failed surface as `moara_federation_missing{instance=…} 1`
+/// instead of silently vanishing.
+///
+/// Each element of `parts` is `(instance, exposition)`; `None` marks a
+/// peer that did not answer. Sample values are spliced through verbatim
+/// (no float round-trip). A family whose `# TYPE` disagrees with the
+/// first part that declared it is dropped from the conflicting part —
+/// mixing kinds under one name would corrupt the merged scrape. Lines
+/// that do not parse as samples are dropped.
+pub fn federate_expositions(parts: &[(String, Option<String>)]) -> String {
+    use std::collections::HashMap;
+
+    struct MergedFamily {
+        help: String,
+        kind: String,
+        lines: String,
+    }
+    let mut order: Vec<String> = Vec::new();
+    let mut families: HashMap<String, MergedFamily> = HashMap::new();
+    let mut missing: Vec<&str> = Vec::new();
+
+    for (instance, text) in parts {
+        let Some(text) = text else {
+            missing.push(instance);
+            continue;
+        };
+        // This part's own declarations (TYPE precedes samples in any
+        // well-formed exposition, ours included).
+        let mut local_kinds: HashMap<String, String> = HashMap::new();
+        let mut local_help: HashMap<String, String> = HashMap::new();
+        let mut dropped: HashMap<String, bool> = HashMap::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                if let Some((name, help)) = rest.split_once(' ') {
+                    local_help.insert(name.to_owned(), help.to_owned());
+                }
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                if let Some((name, kind)) = rest.split_once(' ') {
+                    local_kinds.insert(name.to_owned(), kind.to_owned());
+                }
+                continue;
+            }
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let Some(((name, _), _)) = parse_sample_line(line) else {
+                continue;
+            };
+            // Histogram series (`x_bucket` etc.) belong to family `x`.
+            let base = ["_bucket", "_sum", "_count"]
+                .iter()
+                .find_map(|suf| {
+                    let stripped = name.strip_suffix(suf)?;
+                    if local_kinds.get(stripped).map(String::as_str) == Some("histogram") {
+                        Some(stripped.to_owned())
+                    } else {
+                        None
+                    }
+                })
+                .unwrap_or_else(|| name.clone());
+            let kind = local_kinds
+                .get(&base)
+                .cloned()
+                .unwrap_or_else(|| "untyped".to_owned());
+            if let Some(&d) = dropped.get(&base) {
+                if d {
+                    continue;
+                }
+            } else {
+                let keep = families.get(&base).is_none_or(|f| f.kind == kind);
+                dropped.insert(base.clone(), !keep);
+                if !keep {
+                    continue;
+                }
+            }
+            let fam = families.entry(base.clone()).or_insert_with(|| {
+                order.push(base.clone());
+                MergedFamily {
+                    help: local_help.get(&base).cloned().unwrap_or_default(),
+                    kind,
+                    lines: String::new(),
+                }
+            });
+            // Splice `instance` in as the first label, value untouched.
+            let Some((series, value)) = line.rsplit_once(' ') else {
+                continue;
+            };
+            let inst = escape_label(instance);
+            match series.find('{') {
+                Some(open) => {
+                    let _ = writeln!(
+                        fam.lines,
+                        "{}{{instance=\"{inst}\",{} {value}",
+                        &series[..open],
+                        &series[open + 1..],
+                    );
+                }
+                None => {
+                    let _ = writeln!(fam.lines, "{series}{{instance=\"{inst}\"}} {value}");
+                }
+            }
+        }
+    }
+
+    let mut out = String::new();
+    for name in &order {
+        let f = &families[name];
+        if !f.help.is_empty() {
+            let _ = writeln!(out, "# HELP {name} {}", f.help);
+        }
+        let _ = writeln!(out, "# TYPE {name} {}", f.kind);
+        out.push_str(&f.lines);
+    }
+    if !missing.is_empty() {
+        let _ = writeln!(
+            out,
+            "# HELP moara_federation_missing Peers whose scrape failed during federation."
+        );
+        let _ = writeln!(out, "# TYPE moara_federation_missing gauge");
+        for inst in missing {
+            let _ = writeln!(
+                out,
+                "moara_federation_missing{{instance=\"{}\"}} 1",
+                escape_label(inst)
+            );
+        }
+    }
+    out
+}
+
 /// Parses `name{k="v",...} value` (or `name value`); returns
 /// ((name, labels), value). Label values must be well-formed quoted
 /// strings with valid escapes.
@@ -547,6 +682,56 @@ mod tests {
         assert!(text.contains("h_bucket{phase=\"plan\",le=\"10\"} 1\n"));
         assert!(text.contains("h_count{phase=\"plan\"} 1\n"));
         lint_exposition(&text).unwrap();
+    }
+
+    #[test]
+    fn federation_labels_merges_and_reports_missing() {
+        let render = |ups: f64, hist: bool| {
+            let mut reg = MetricsRegistry::new();
+            reg.gauge("moara_up", "Up.", ups);
+            reg.counter("moara_messages_sent_total", "Sent.", 5);
+            if hist {
+                reg.histogram("h_us", "H.", &[10, 100], &[1, 3, 4], 321, 4);
+            }
+            reg.render()
+        };
+        let parts = vec![
+            ("n0".to_owned(), Some(render(1.0, true))),
+            ("n1".to_owned(), Some(render(1.0, false))),
+            ("n2".to_owned(), None),
+        ];
+        let text = federate_expositions(&parts);
+        lint_exposition(&text).unwrap();
+        // One header per family, instance-labeled samples from both peers.
+        assert_eq!(text.matches("# TYPE moara_up gauge").count(), 1);
+        assert!(text.contains("moara_up{instance=\"n0\"} 1\n"));
+        assert!(text.contains("moara_up{instance=\"n1\"} 1\n"));
+        assert!(text.contains("moara_messages_sent_total{instance=\"n1\"} 5\n"));
+        // Histogram series keep their shape under the injected label.
+        assert!(text.contains("h_us_bucket{instance=\"n0\",le=\"10\"} 1\n"));
+        assert!(text.contains("h_us_bucket{instance=\"n0\",le=\"+Inf\"} 4\n"));
+        assert!(text.contains("h_us_count{instance=\"n0\"} 4\n"));
+        // The dead peer is a series, not an absence.
+        assert!(text.contains("moara_federation_missing{instance=\"n2\"} 1\n"));
+    }
+
+    #[test]
+    fn federation_drops_families_with_conflicting_types() {
+        let a = "# HELP x X.\n# TYPE x counter\nx 1\n".to_owned();
+        let b = "# HELP x X.\n# TYPE x gauge\nx 2\n".to_owned();
+        let text = federate_expositions(&[("n0".to_owned(), Some(a)), ("n1".to_owned(), Some(b))]);
+        lint_exposition(&text).unwrap();
+        assert!(text.contains("x{instance=\"n0\"} 1\n"));
+        assert!(!text.contains("instance=\"n1\""));
+    }
+
+    #[test]
+    fn federation_escapes_instance_labels_and_skips_garbage() {
+        let part = "# TYPE g gauge\ng 1\nthis is not a sample\n".to_owned();
+        let text = federate_expositions(&[("n\"0".to_owned(), Some(part))]);
+        lint_exposition(&text).unwrap();
+        assert!(text.contains("g{instance=\"n\\\"0\"} 1\n"));
+        assert!(!text.contains("not a sample"));
     }
 
     #[test]

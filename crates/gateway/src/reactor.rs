@@ -895,15 +895,22 @@ fn handle_request(ctx: &Ctx, conn: &mut Conn, req: crate::http::HttpRequest) {
                 .is_err()
             {
                 ctx.stats.open_streams.fetch_sub(1, Ordering::SeqCst);
-                respond(
-                    ctx,
-                    conn,
-                    HttpResponse::error(503, "daemon shut down"),
-                    false,
-                    false,
+                let response = HttpResponse::error(503, "daemon shut down");
+                finish_request(
+                    &ctx.stats,
+                    &ctx.access_log,
+                    "watch",
+                    &req.method,
+                    &req.path,
+                    response.status,
+                    started,
+                    response.body.len(),
+                    &conn.peer,
                 );
+                respond(ctx, conn, response, false, false);
                 return;
             }
+            ctx.stats.queued_jobs.fetch_add(1, Ordering::Relaxed);
             conn.phase = Phase::SseAwait(Pending {
                 gen: conn.gen,
                 class: "watch",
@@ -919,8 +926,10 @@ fn handle_request(ctx: &Ctx, conn: &mut Conn, req: crate::http::HttpRequest) {
             let counter = match &gw_req {
                 GwRequest::Query { .. } => &ctx.stats.queries,
                 GwRequest::SetAttrs { .. } => &ctx.stats.attr_sets,
-                GwRequest::Metrics => &ctx.stats.scrapes,
-                GwRequest::Health => &ctx.stats.health_checks,
+                GwRequest::Metrics | GwRequest::ClusterMetrics => &ctx.stats.scrapes,
+                GwRequest::Health | GwRequest::ClusterHealth | GwRequest::Alerts => {
+                    &ctx.stats.health_checks
+                }
                 GwRequest::Traces { .. } | GwRequest::Trace { .. } => &ctx.stats.traces,
                 GwRequest::Watch { .. } => unreachable!("handled above"),
             };
@@ -967,15 +976,22 @@ fn handle_request(ctx: &Ctx, conn: &mut Conn, req: crate::http::HttpRequest) {
                 })
                 .is_err()
             {
-                respond(
-                    ctx,
-                    conn,
-                    HttpResponse::error(503, "daemon shut down"),
-                    false,
-                    false,
+                let response = HttpResponse::error(503, "daemon shut down");
+                finish_request(
+                    &ctx.stats,
+                    &ctx.access_log,
+                    class,
+                    &req.method,
+                    &req.path,
+                    response.status,
+                    started,
+                    response.body.len(),
+                    &conn.peer,
                 );
+                respond(ctx, conn, response, false, false);
                 return;
             }
+            ctx.stats.queued_jobs.fetch_add(1, Ordering::Relaxed);
             conn.phase = Phase::Await(Pending {
                 gen: conn.gen,
                 class,

@@ -92,6 +92,17 @@ pub enum GwRequest {
         /// Trace id as it appeared in the path (hex or decimal).
         id: String,
     },
+    /// `GET /v1/cluster/health` — the answering daemon's merged member
+    /// health table (self-sample plus digests gossiped on SWIM traffic).
+    /// Served from local state; never blocks on peers.
+    ClusterHealth,
+    /// `GET /v1/cluster/metrics` — cluster-wide Prometheus exposition:
+    /// the daemon fetches every alive peer's scrape over the control
+    /// plane and federates the texts under `instance` labels.
+    ClusterMetrics,
+    /// `GET /v1/alerts` — the alert rules currently firing on this
+    /// daemon.
+    Alerts,
 }
 
 /// What the daemon answers.
@@ -429,6 +440,10 @@ pub struct GatewayStats {
     /// released when the stream ends — so mid-setup streams count, and
     /// the cap cannot be raced past).
     pub open_streams: AtomicI64,
+    /// GwJobs handed to the daemon channel and not yet drained (gauge:
+    /// shards increment at send, the daemon decrements per drained
+    /// batch). The health plane's event-loop backpressure signal.
+    pub queued_jobs: AtomicI64,
     /// Request latency by endpoint class.
     pub latency: EndpointLatency,
 }
@@ -615,8 +630,8 @@ pub(crate) fn endpoint_class(req: &GwRequest) -> &'static str {
         GwRequest::Query { .. } => "query",
         GwRequest::SetAttrs { .. } => "attrs",
         GwRequest::Watch { .. } => "watch",
-        GwRequest::Metrics => "metrics",
-        GwRequest::Health => "health",
+        GwRequest::Metrics | GwRequest::ClusterMetrics => "metrics",
+        GwRequest::Health | GwRequest::ClusterHealth | GwRequest::Alerts => "health",
         GwRequest::Traces { .. } | GwRequest::Trace { .. } => "traces",
     }
 }
@@ -666,6 +681,9 @@ pub(crate) fn route(req: &HttpRequest) -> Result<GwRequest, HttpResponse> {
         }
         ("GET" | "HEAD", "/metrics") => Ok(GwRequest::Metrics),
         ("GET" | "HEAD", "/healthz") => Ok(GwRequest::Health),
+        ("GET" | "HEAD", "/v1/cluster/health") => Ok(GwRequest::ClusterHealth),
+        ("GET" | "HEAD", "/v1/cluster/metrics") => Ok(GwRequest::ClusterMetrics),
+        ("GET" | "HEAD", "/v1/alerts") => Ok(GwRequest::Alerts),
         ("GET" | "HEAD", "/v1/traces") => {
             let limit = match req.param("limit") {
                 None => 50,
@@ -1566,6 +1584,104 @@ mod tests {
             assert!(line.contains("\"duration_us\":"), "{line}");
             assert!(line.contains("\"bytes\":"), "{line}");
             assert!(line.contains("\"peer\":\"127.0.0.1:"), "{line}");
+        }
+    }
+
+    #[test]
+    fn cluster_endpoints_route_count_and_track_queue_depth() {
+        let gw = test_gateway(|req, reply| match req {
+            GwRequest::ClusterHealth => {
+                let _ = reply.send(GwReply::Json {
+                    body: "{\"node\":0,\"members\":[],\"alerts\":[]}\n".into(),
+                });
+            }
+            GwRequest::ClusterMetrics => {
+                let _ = reply.send(GwReply::Metrics {
+                    text: "# TYPE moara_up gauge\nmoara_up{instance=\"n0\"} 1\n".into(),
+                });
+            }
+            GwRequest::Alerts => {
+                let _ = reply.send(GwReply::Json {
+                    body: "{\"node\":0,\"firing\":[]}\n".into(),
+                });
+            }
+            other => panic!("unexpected {other:?}"),
+        });
+        let resp = roundtrip(
+            gw.addr(),
+            "GET /v1/cluster/health HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 200 OK\r\n"), "{resp}");
+        assert!(resp.contains("\"members\":[]"), "{resp}");
+        let resp = roundtrip(
+            gw.addr(),
+            "GET /v1/cluster/metrics HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(resp.contains("text/plain"), "{resp}");
+        assert!(resp.contains("instance=\"n0\""), "{resp}");
+        let resp = roundtrip(
+            gw.addr(),
+            "GET /v1/alerts HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(resp.contains("\"firing\":[]"), "{resp}");
+        // Health-table and alert reads count as health checks, the
+        // federated scrape as a scrape; all three land in histograms.
+        assert_eq!(gw.stats().health_checks.load(Ordering::Relaxed), 2);
+        assert_eq!(gw.stats().scrapes.load(Ordering::Relaxed), 1);
+        let (_, _, health_count) = gw.stats().latency.health.snapshot();
+        assert_eq!(health_count, 2);
+        let (_, _, metrics_count) = gw.stats().latency.metrics.snapshot();
+        assert_eq!(metrics_count, 1);
+        // The test harness never decrements (that's the daemon's drain
+        // loop), so the gauge equals the jobs handed over.
+        assert_eq!(gw.stats().queued_jobs.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn daemon_shutdown_503_lands_in_histogram_and_access_log() {
+        // A gateway whose daemon is gone: the job channel's receiver is
+        // dropped, so every hand-off fails and the shard answers 503
+        // inline. Those inline answers must still be timed and logged —
+        // the regression this pins down.
+        let lines: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink_lines = Arc::clone(&lines);
+        let sink: AccessLogSink = Arc::new(move |line: &str| {
+            sink_lines.lock().unwrap().push(line.to_owned());
+        });
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let (tx, rx) = std::sync::mpsc::channel::<GwJob>();
+        drop(rx);
+        let gw = spawn_gateway_opts(
+            listener,
+            tx,
+            GatewayOpts {
+                access_log: Some(sink),
+                ..GatewayOpts::default()
+            },
+        );
+        let resp = roundtrip(
+            gw.addr(),
+            "GET /v1/query?q=SELECT%20count(*) HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 503 "), "{resp}");
+        let resp = roundtrip(
+            gw.addr(),
+            "GET /v1/watch?q=SELECT%20count(*) HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 503 "), "{resp}");
+        let (_, _, query_count) = gw.stats().latency.query.snapshot();
+        assert_eq!(query_count, 1, "503 must land in the query histogram");
+        let (_, _, watch_count) = gw.stats().latency.watch.snapshot();
+        assert_eq!(watch_count, 1, "503 must land in the watch histogram");
+        // The failed hand-offs never queued anything...
+        assert_eq!(gw.stats().queued_jobs.load(Ordering::Relaxed), 0);
+        // ...and the reserved stream slot was released.
+        assert_eq!(gw.stats().open_streams.load(Ordering::Relaxed), 0);
+        let lines = lines.lock().unwrap();
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        for line in lines.iter() {
+            assert!(line.contains("\"status\":503"), "{line}");
+            assert!(line.contains("\"duration_us\":"), "{line}");
         }
     }
 

@@ -416,6 +416,85 @@ impl Histogram {
     pub fn count(&self) -> u64 {
         self.count
     }
+
+    /// Upper-bound estimate of the `q`-quantile (`0.0..=1.0`): the
+    /// smallest bucket bound whose cumulative count covers `q` of all
+    /// observations. Observations past the last bound (the +Inf bucket)
+    /// report the last finite bound; an empty histogram reports 0.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut acc = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return self
+                    .bounds
+                    .get(i)
+                    .copied()
+                    .unwrap_or_else(|| *self.bounds.last().unwrap());
+            }
+        }
+        *self.bounds.last().unwrap()
+    }
+}
+
+/// Most-recent trace id per histogram bucket: links a latency bucket —
+/// typically a slow tail one — to a concrete trace whose waterfall
+/// explains it. Same bucketing rule as [`Histogram`]; id 0 means "no
+/// exemplar yet" (0 is never a real trace id: query tags and the
+/// namespaced counters all start above it).
+#[derive(Clone, Debug)]
+pub struct BucketExemplars {
+    bounds: Vec<u64>,
+    ids: Vec<u64>, // one per bound, plus the +Inf slot at the end
+}
+
+impl BucketExemplars {
+    /// Exemplar slots over the given ascending bucket upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending (a
+    /// construction-time bug, never data-dependent).
+    pub fn new(bounds: &[u64]) -> BucketExemplars {
+        assert!(!bounds.is_empty(), "exemplars need at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "exemplar bounds must ascend"
+        );
+        BucketExemplars {
+            bounds: bounds.to_vec(),
+            ids: vec![0; bounds.len() + 1],
+        }
+    }
+
+    /// Records `trace_id` as the latest exemplar for `v`'s bucket
+    /// (untraced observations — id 0 — leave the slot untouched).
+    pub fn observe(&mut self, v: u64, trace_id: u64) {
+        if trace_id == 0 {
+            return;
+        }
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.ids[idx] = trace_id;
+    }
+
+    /// `(bucket upper bound, trace id)` for every bucket holding an
+    /// exemplar; the +Inf bucket reports `u64::MAX` as its bound.
+    pub fn entries(&self) -> Vec<(u64, u64)> {
+        self.ids
+            .iter()
+            .enumerate()
+            .filter(|(_, &id)| id != 0)
+            .map(|(i, &id)| (self.bounds.get(i).copied().unwrap_or(u64::MAX), id))
+            .collect()
+    }
 }
 
 // ----- the span store -----------------------------------------------------
@@ -436,6 +515,7 @@ pub struct SpanStore {
     span_ctr: AtomicU64,
     dropped: AtomicU64,
     phase_hist: Vec<Mutex<Histogram>>,
+    phase_exemplars: Vec<Mutex<BucketExemplars>>,
 }
 
 impl SpanStore {
@@ -456,6 +536,10 @@ impl SpanStore {
             phase_hist: Phase::ALL
                 .iter()
                 .map(|_| Mutex::new(Histogram::latency_us()))
+                .collect(),
+            phase_exemplars: Phase::ALL
+                .iter()
+                .map(|_| Mutex::new(BucketExemplars::new(&LATENCY_BOUNDS_US)))
                 .collect(),
         }
     }
@@ -488,8 +572,12 @@ impl SpanStore {
         if self.sample_every == 0 {
             return;
         }
+        let total_us = rec.queue_us.saturating_add(rec.service_us);
         if let Ok(mut h) = self.phase_hist[rec.phase as usize].lock() {
-            h.observe(rec.queue_us.saturating_add(rec.service_us));
+            h.observe(total_us);
+        }
+        if let Ok(mut e) = self.phase_exemplars[rec.phase as usize].lock() {
+            e.observe(total_us, rec.trace_id);
         }
         let shard = &self.shards[(rec.trace_id as usize) % SHARDS];
         if let Ok(mut q) = shard.lock() {
@@ -570,6 +658,23 @@ impl SpanStore {
     /// Spans evicted by the ring-buffer cap since construction.
     pub fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// The most recent trace id per latency bucket, per phase: the
+    /// bridge from "the p99 spiked" to a concrete waterfall. Only
+    /// phases and buckets that have recorded at least one traced span
+    /// appear.
+    pub fn phase_exemplars(&self) -> Vec<(Phase, Vec<(u64, u64)>)> {
+        Phase::ALL
+            .iter()
+            .filter_map(|&p| {
+                let entries = self.phase_exemplars[p as usize]
+                    .lock()
+                    .map(|e| e.entries())
+                    .unwrap_or_default();
+                (!entries.is_empty()).then_some((p, entries))
+            })
+            .collect()
     }
 
     /// A snapshot of the per-phase latency histograms.
@@ -852,6 +957,50 @@ mod tests {
         let mut h = Histogram::new(&[10]);
         h.observe(10);
         assert_eq!(h.cumulative(), vec![1, 1]);
+    }
+
+    #[test]
+    fn histogram_quantile_reports_bucket_upper_bounds() {
+        let mut h = Histogram::new(&[10, 100, 1_000]);
+        assert_eq!(h.quantile(0.99), 0, "empty histogram");
+        for _ in 0..90 {
+            h.observe(5);
+        }
+        for _ in 0..9 {
+            h.observe(50);
+        }
+        h.observe(500);
+        assert_eq!(h.quantile(0.5), 10);
+        assert_eq!(h.quantile(0.95), 100);
+        assert_eq!(h.quantile(1.0), 1_000);
+        // Overflow observations clamp to the last finite bound.
+        h.observe(50_000);
+        assert_eq!(h.quantile(1.0), 1_000);
+    }
+
+    #[test]
+    fn exemplars_keep_latest_trace_id_per_bucket() {
+        let mut e = BucketExemplars::new(&[10, 100]);
+        assert!(e.entries().is_empty());
+        e.observe(5, 111);
+        e.observe(7, 222); // same bucket: latest wins
+        e.observe(50, 0); // untraced: ignored
+        e.observe(5_000, 333); // +Inf bucket
+        assert_eq!(e.entries(), vec![(10, 222), (u64::MAX, 333)]);
+    }
+
+    #[test]
+    fn store_surfaces_phase_exemplars() {
+        let store = SpanStore::new(64, 1);
+        store.record(span(41, 1, 0, 0, Phase::Fold, 0));
+        store.record(span(42, 2, 0, 0, Phase::Fold, 0));
+        let ex = store.phase_exemplars();
+        assert_eq!(ex.len(), 1);
+        let (phase, entries) = &ex[0];
+        assert_eq!(*phase, Phase::Fold);
+        // Both spans land in the 50 µs bucket (queue 5 + service 7);
+        // the later one is the exemplar.
+        assert_eq!(entries.as_slice(), &[(50, 42)]);
     }
 
     #[test]
