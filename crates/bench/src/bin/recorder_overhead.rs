@@ -1,0 +1,237 @@
+//! Flight-recorder overhead gate: what on-daemon metrics history and
+//! the structured event journal cost the workloads the other gates
+//! protect.
+//!
+//! The same daemon-shaped workload — repeated composite queries from
+//! rotating front-ends plus one standing subscription, with periodic
+//! group churn and one crash → confirm → restart → revive cycle — runs
+//! twice on identical [`SimSwarm`]s (same seed, same event script):
+//! once with the flight recorder off, once with every daemon sampling
+//! its history rings each simulated second and journaling detector
+//! transitions. The recorder is purely local — fixed-size in-memory
+//! rings, no gossip, no extra frames (`docs/observability.md`) — so the
+//! gate fails if it adds **any** messages beyond 5%, more than 5% mean
+//! query latency, or changes a single answer.
+//!
+//! The run with the recorder on must also actually record: every
+//! daemon's history must hold samples and the survivors' journals must
+//! hold the SWIM transitions from the crash cycle, so the gate cannot
+//! pass vacuously by recording nothing.
+//!
+//! `--smoke` shrinks the workload for CI. Numbers land in
+//! `BENCH_recorder.json` so the overhead is tracked across revisions.
+
+use moara_bench::harness::mean;
+use moara_bench::{full_scale, scaled, BenchReport};
+use moara_core::{DeliveryPolicy, MoaraConfig};
+use moara_daemon::recorder::kind;
+use moara_daemon::SimSwarm;
+use moara_membership::SwimConfig;
+use moara_simnet::{NodeId, SimDuration};
+
+const SEED: u64 = 4114;
+
+struct Workload {
+    nodes: usize,
+    groups: usize,
+    group_size: usize,
+    rounds: usize,
+    churn_every: usize,
+    fronts: usize,
+}
+
+struct RunResult {
+    messages: u64,
+    bytes: u64,
+    mean_latency_ms: f64,
+    answers: Vec<String>,
+}
+
+fn query_text(w: &Workload, i: usize) -> String {
+    let a = i % w.groups;
+    let b = (i + 1) % w.groups;
+    format!("SELECT count(*) WHERE g{a} = true AND g{b} = true")
+}
+
+fn run(w: &Workload, recorder: bool) -> RunResult {
+    let mut s = SimSwarm::new(w.nodes, MoaraConfig::default(), SwimConfig::fast(), SEED);
+    for g in 0..w.groups {
+        for i in 0..w.nodes {
+            s.set_attr(
+                NodeId(i as u32),
+                &format!("g{g}"),
+                (i + g * 3) % w.nodes < w.group_size,
+            );
+        }
+    }
+    s.run_periods(5);
+    if recorder {
+        s.enable_flight_recorder();
+    }
+    s.stats_mut().reset();
+
+    let wid = s.subscribe(
+        NodeId(0),
+        "SELECT count(*) WHERE g0 = true",
+        DeliveryPolicy::OnChange,
+        SimDuration::from_secs(600),
+    );
+
+    let mut lat = Vec::new();
+    let mut answers = Vec::new();
+    for round in 0..w.rounds {
+        s.run_periods(2);
+        if round > 0 && round % w.churn_every == 0 {
+            let node = NodeId(((round * 7) % w.nodes) as u32);
+            let g = round % w.groups;
+            s.set_attr(node, &format!("g{g}"), round % 2 == 0);
+        }
+        for q in 0..w.groups {
+            let origin = NodeId(((round + q) % w.fronts) as u32);
+            let out = s.query(origin, &query_text(w, q));
+            assert!(out.complete, "round {round} query {q} incomplete");
+            lat.push(out.latency().as_secs_f64() * 1e3);
+            answers.push(out.result.to_string());
+        }
+    }
+    for u in s.take_sub_updates(NodeId(0), wid) {
+        answers.push(format!("sub:{}", u.result));
+    }
+
+    // One crash → confirm → restart → revive cycle after the latency
+    // window closes: identical in both arms (so answers and message
+    // counts stay comparable), and it's what feeds the survivors'
+    // journals SWIM transitions — the non-vacuousness evidence below.
+    let victim = NodeId((w.nodes - 1) as u32);
+    s.crash(victim);
+    s.run_periods(40);
+    s.restart(victim);
+    s.run_periods(20);
+
+    if recorder {
+        let rec = s.recorder(NodeId(0)).expect("recorder enabled");
+        let names = rec
+            .history
+            .lock()
+            .map(|h| h.names().len())
+            .unwrap_or_default();
+        assert!(
+            names > 0,
+            "recorder on, but node 0's history rings hold no samples"
+        );
+        let confirms = rec.journal.snapshot(Some(kind::SWIM_CONFIRM), 16).len();
+        assert!(
+            confirms > 0,
+            "recorder on, but node 0's journal never saw the crash confirmed"
+        );
+    }
+
+    let stats = s.stats();
+    RunResult {
+        messages: stats.total_messages(),
+        bytes: stats.total_bytes(),
+        mean_latency_ms: mean(&lat),
+        answers,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let w = if smoke {
+        Workload {
+            nodes: 16,
+            groups: 3,
+            group_size: 5,
+            rounds: 8,
+            churn_every: 3,
+            fronts: 2,
+        }
+    } else {
+        Workload {
+            nodes: scaled(48, 96),
+            groups: 4,
+            group_size: 8,
+            rounds: scaled(20, 40),
+            churn_every: 4,
+            fronts: 4,
+        }
+    };
+    let queries = w.rounds * w.groups;
+    println!(
+        "=== flight-recorder overhead: {} daemons, {} groups of {}, {queries} queries \
+         + 1 standing subscription + 1 crash cycle ===",
+        w.nodes, w.groups, w.group_size
+    );
+
+    let off = run(&w, false);
+    let on = run(&w, true);
+    assert_eq!(
+        off.answers, on.answers,
+        "the flight recorder must never change query or subscription answers"
+    );
+
+    let msg_pct = 100.0 * (on.messages as f64 - off.messages as f64) / off.messages.max(1) as f64;
+    let lat_pct =
+        100.0 * (on.mean_latency_ms - off.mean_latency_ms) / off.mean_latency_ms.max(1e-9);
+    let bytes_pct = 100.0 * (on.bytes as f64 - off.bytes as f64) / off.bytes.max(1) as f64;
+
+    println!(
+        "{:>14} {:>12} {:>14} {:>14}",
+        "recorder", "total msgs", "total bytes", "latency (ms)"
+    );
+    for (label, r) in [("off", &off), ("on", &on)] {
+        println!(
+            "{:>14} {:>12} {:>14} {:>14.2}",
+            label, r.messages, r.bytes, r.mean_latency_ms
+        );
+    }
+    println!(
+        "\nflight recorder: messages {msg_pct:+.1}%, latency {lat_pct:+.1}%, \
+         wire bytes {bytes_pct:+.1}% vs recorder-off"
+    );
+
+    // Executable acceptance gate (CI runs --smoke): the recorder is
+    // in-memory and local, so it must stay within 5% on messages and
+    // latency — by construction it should add zero of either.
+    let mut failed = false;
+    if msg_pct > 5.0 {
+        eprintln!("FAIL: flight recorder added {msg_pct:.1}% messages (gate: 5%)");
+        failed = true;
+    }
+    if lat_pct > 5.0 {
+        eprintln!("FAIL: flight recorder added {lat_pct:.1}% latency (gate: 5%)");
+        failed = true;
+    }
+
+    BenchReport::new("recorder")
+        .field(
+            "scale",
+            if smoke {
+                "smoke"
+            } else if full_scale() {
+                "full"
+            } else {
+                "default"
+            },
+        )
+        .field("nodes", w.nodes)
+        .field("groups", w.groups)
+        .field("queries", queries)
+        .field("off_messages", off.messages)
+        .field("on_messages", on.messages)
+        .field("off_bytes", off.bytes)
+        .field("on_bytes", on.bytes)
+        .field("off_latency_ms", off.mean_latency_ms)
+        .field("on_latency_ms", on.mean_latency_ms)
+        .field("msg_overhead_pct", msg_pct)
+        .field("latency_overhead_pct", lat_pct)
+        .field("bytes_overhead_pct", bytes_pct)
+        .field("gate_max_overhead_pct", 5.0)
+        .field("gate_passed", !failed)
+        .write();
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!("PASS: flight recorder within 5% on messages and latency (0 extra expected)");
+}

@@ -9,6 +9,8 @@
 //! moara-cli --connect 127.0.0.1:7102 traces [--limit N]
 //! moara-cli --connect 127.0.0.1:7102 trace 0xID
 //! moara-cli --connect 127.0.0.1:7102 top [--once] [--interval-ms N]
+//! moara-cli --connect 127.0.0.1:7102 events [--kind K] [--limit N] [--json]
+//! moara-cli postmortem /var/crash/moarad-n2.blackbox.jsonl
 //! ```
 //!
 //! `watch` installs a standing query (the continuous-query subscription
@@ -25,9 +27,22 @@
 //! `top` renders a live cluster health dashboard (plain ANSI, no
 //! dependencies): one row per member from the answering daemon's merged
 //! gossip table — event-loop tick p99, stalls, connections, streams,
-//! watches, cache hit ratio, RSS, fds, uptime — plus the alerts it has
-//! firing. The screen refreshes every `--interval-ms` (default 2000);
-//! `--once` prints a single frame without clearing, for scripts.
+//! watches, cache hit ratio, RSS, fds, uptime — plus a per-member tick
+//! p99 sparkline from the flight recorder's history rings and the
+//! alerts the daemon has firing. The screen refreshes every
+//! `--interval-ms` (default 2000); `--once` prints a single frame
+//! without clearing, for scripts. `top --once` and `events` exit
+//! non-zero with a clear message when the daemon is unreachable.
+//!
+//! `events` prints the newest entries of the daemon's structured event
+//! journal (SWIM transitions, subscription churn, cache promotions,
+//! alert transitions, slow queries, …); `--kind` filters one event
+//! kind, `--json` emits one JSON object per line.
+//!
+//! `postmortem FILE` renders a crash dump written by `moarad
+//! --crash-dump-dir` (blackbox, crash-panic, or crash-stall): the meta
+//! header, each metric's final window as a sparkline, the journal
+//! tail, and the peer/alert/exemplar context. Needs no daemon.
 //!
 //! `--json` makes `status` and `watch` output machine-readable (one JSON
 //! object per line); `status --json` includes a `metrics` snapshot of
@@ -47,10 +62,11 @@ use moara_wire::{read_frame, write_msg, Wire};
 
 const USAGE: &str = "usage: moara-cli --connect IP:PORT \
                      (query TEXT | set k=v | status | watch TEXT | \
-                     traces | trace ID | top) \
+                     traces | trace ID | top | events) \
                      [--period SECS] [--threshold X] [--lease-ms N] \
-                     [--updates N] [--limit N] [--json] [--timeout SECS] \
-                     [--once] [--interval-ms N]";
+                     [--updates N] [--limit N] [--kind KIND] [--json] \
+                     [--timeout SECS] [--once] [--interval-ms N]\n\
+                     \x20      moara-cli postmortem DUMP_FILE";
 
 fn fail(msg: &str) -> ! {
     eprintln!("moara-cli: {msg}");
@@ -63,6 +79,8 @@ enum Command {
     Watch { text: String },
     Traces,
     Top,
+    Events,
+    Postmortem { file: String },
 }
 
 fn main() {
@@ -77,6 +95,7 @@ fn main() {
     let mut limit: u32 = 50;
     let mut once = false;
     let mut interval_ms: u64 = 2_000;
+    let mut kind: Option<String> = None;
     // Remembered across the request/reply hop so the waterfall header can
     // name the trace even when the gather came back empty.
     let mut trace_id: u64 = 0;
@@ -145,6 +164,13 @@ fn main() {
             }
             "traces" => command = Some(Command::Traces),
             "top" => command = Some(Command::Top),
+            "events" => command = Some(Command::Events),
+            "postmortem" => {
+                command = Some(Command::Postmortem {
+                    file: val("postmortem"),
+                });
+            }
+            "--kind" => kind = Some(val("--kind")),
             "--once" => once = true,
             "--interval-ms" => {
                 interval_ms = val("--interval-ms")
@@ -167,8 +193,12 @@ fn main() {
             other => fail(&format!("unknown argument {other}")),
         }
     }
-    let connect = connect.unwrap_or_else(|| fail("--connect is required"));
     let command = command.unwrap_or_else(|| fail("a command is required"));
+    if let Command::Postmortem { file } = &command {
+        run_postmortem(file);
+        return;
+    }
+    let connect = connect.unwrap_or_else(|| fail("--connect is required"));
 
     let request = match command {
         Command::Watch { text } => {
@@ -186,6 +216,8 @@ fn main() {
             run_top(&connect, interval_ms, once, timeout);
             return;
         }
+        Command::Events => CtrlRequest::EventsFetch { kind, limit },
+        Command::Postmortem { .. } => unreachable!("handled above"),
         Command::Simple(req) => req,
     };
 
@@ -294,9 +326,35 @@ fn main() {
             eprintln!("moara-cli: unexpected streaming update outside watch");
             std::process::exit(1);
         }
-        Ok(CtrlReply::ClusterHealth { .. } | CtrlReply::MetricsText(_)) => {
-            // These answer ClusterHealth/MetricsFetch, which `top` and
-            // the gateway's federation path send — not this match.
+        Ok(CtrlReply::Events(events)) => {
+            if events.is_empty() {
+                eprintln!("moara-cli: no events recorded (yet)");
+                return;
+            }
+            for e in events {
+                if json {
+                    println!(
+                        "{{\"seq\":{},\"ts_ms\":{},\"node\":{},\"kind\":{},\"detail\":{}}}",
+                        e.seq,
+                        e.ts_ms,
+                        e.node,
+                        json::escape(&e.kind),
+                        json::escape(&e.detail),
+                    );
+                } else {
+                    println!("{} n{} {:<14} {}", e.ts_ms, e.node, e.kind, e.detail);
+                }
+            }
+        }
+        Ok(
+            CtrlReply::ClusterHealth { .. }
+            | CtrlReply::MetricsText(_)
+            | CtrlReply::History { .. }
+            | CtrlReply::ClusterHistory { .. },
+        ) => {
+            // These answer ClusterHealth/MetricsFetch/HistoryFetch,
+            // which `top` and the gateway's federation paths send — not
+            // this match.
             eprintln!("moara-cli: unexpected health-plane reply");
             std::process::exit(1);
         }
@@ -305,7 +363,7 @@ fn main() {
             std::process::exit(1);
         }
         Err(e) => {
-            eprintln!("moara-cli: {e}");
+            eprintln!("moara-cli: cannot reach daemon at {connect}: {e}");
             std::process::exit(1);
         }
     }
@@ -319,7 +377,8 @@ fn run_top(connect: &str, interval_ms: u64, once: bool, timeout: Duration) {
     loop {
         match ctrl_roundtrip(connect, &CtrlRequest::ClusterHealth, timeout) {
             Ok(CtrlReply::ClusterHealth { node, rows, alerts }) => {
-                let frame = render_top(node, &rows, &alerts);
+                let sparks = fetch_sparklines(connect, timeout);
+                let frame = render_top(node, &rows, &alerts, &sparks);
                 if once {
                     print!("{frame}");
                     return;
@@ -336,7 +395,7 @@ fn run_top(connect: &str, interval_ms: u64, once: bool, timeout: Duration) {
                 std::process::exit(1);
             }
             Err(e) => {
-                eprintln!("moara-cli: {e}");
+                eprintln!("moara-cli: cannot reach daemon at {connect}: {e}");
                 std::process::exit(1);
             }
         }
@@ -344,11 +403,31 @@ fn run_top(connect: &str, interval_ms: u64, once: bool, timeout: Duration) {
     }
 }
 
+/// Per-member tick-p99 sparklines from the cluster history federation.
+/// Best-effort: a daemon predating the flight recorder (or a gather
+/// that failed) just leaves rows sparkline-less rather than killing the
+/// dashboard.
+fn fetch_sparklines(connect: &str, timeout: Duration) -> std::collections::HashMap<u32, String> {
+    let mut out = std::collections::HashMap::new();
+    let req = CtrlRequest::ClusterHistory {
+        metric: "tick_p99_us".to_owned(),
+        range_s: 60,
+    };
+    if let Ok(CtrlReply::ClusterHistory { series, .. }) = ctrl_roundtrip(connect, &req, timeout) {
+        for (node, points) in series {
+            let values: Vec<f64> = points.iter().map(|&(_, v)| v).collect();
+            out.insert(node, moara_daemon::recorder::sparkline(&values));
+        }
+    }
+    out
+}
+
 /// One `top` frame: a header, the member table, and any firing alerts.
 fn render_top(
     node: u32,
     rows: &[moara_daemon::health::PeerHealthRow],
     alerts: &[moara_daemon::health::AlertWire],
+    sparks: &std::collections::HashMap<u32, String>,
 ) -> String {
     use std::fmt::Write as _;
     let alive = rows
@@ -364,7 +443,7 @@ fn render_top(
     );
     let _ = writeln!(
         out,
-        "{:>5} {:>6} {:>7} {:>9} {:>6} {:>6} {:>7} {:>7} {:>5} {:>6} {:>8} {:>5} {:>8}",
+        "{:>5} {:>6} {:>7} {:>9} {:>6} {:>6} {:>7} {:>7} {:>5} {:>6} {:>8} {:>5} {:>8} TICK-TREND",
         "NODE",
         "STATUS",
         "AGE",
@@ -387,11 +466,12 @@ fn render_top(
         } else {
             format!("{}s", r.age_ms / 1_000)
         };
+        let spark = sparks.get(&r.node).map_or("", |s| s.as_str());
         match &r.summary {
             Some(h) => {
                 let _ = writeln!(
                     out,
-                    "{:>5} {:>6} {:>7} {:>9} {:>6} {:>6} {:>7} {:>7} {:>5} {:>6} {:>8} {:>5} {:>8}",
+                    "{:>5} {:>6} {:>7} {:>9} {:>6} {:>6} {:>7} {:>7} {:>5} {:>6} {:>8} {:>5} {:>8} {spark}",
                     format!("n{}", r.node),
                     r.status.as_str(),
                     age,
@@ -401,8 +481,10 @@ fn render_top(
                     h.open_streams,
                     h.watches,
                     h.sub_entries,
+                    // `n/a`, not a number: the daemon had no cache traffic
+                    // in the window, which is different from 0% hits.
                     h.cache_hit_pct()
-                        .map_or("-".to_owned(), |p| format!("{p:.1}")),
+                        .map_or("n/a".to_owned(), |p| format!("{p:.1}")),
                     fmt_bytes(h.rss_bytes),
                     h.open_fds,
                     fmt_secs(h.uptime_s),
@@ -411,7 +493,7 @@ fn render_top(
             None => {
                 let _ = writeln!(
                     out,
-                    "{:>5} {:>6} {:>7} {:>9} {:>6} {:>6} {:>7} {:>7} {:>5} {:>6} {:>8} {:>5} {:>8}",
+                    "{:>5} {:>6} {:>7} {:>9} {:>6} {:>6} {:>7} {:>7} {:>5} {:>6} {:>8} {:>5} {:>8} {spark}",
                     format!("n{}", r.node),
                     r.status.as_str(),
                     age,
@@ -538,6 +620,142 @@ fn run_watch(
                 eprintln!("moara-cli: bad frame: {e}");
                 std::process::exit(1);
             }
+        }
+    }
+}
+
+/// Renders a crash dump written by `moarad --crash-dump-dir` — works
+/// entirely offline, so forensics never depend on the daemon that just
+/// died. Unknown line types are skipped, not fatal: a newer daemon's
+/// dump should still mostly render on an older CLI.
+fn run_postmortem(file: &str) {
+    use moara_daemon::recorder::{parse_flat_json, parse_points, sparkline, JsonScalar};
+
+    let body = std::fs::read_to_string(file).unwrap_or_else(|e| {
+        eprintln!("moara-cli: cannot read dump {file}: {e}");
+        std::process::exit(1);
+    });
+
+    let field = |fields: &[(String, JsonScalar)], key: &str| -> Option<JsonScalar> {
+        fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+    };
+    let num = |fields: &[(String, JsonScalar)], key: &str| -> f64 {
+        field(fields, key).and_then(|v| v.as_num()).unwrap_or(0.0)
+    };
+    let text = |fields: &[(String, JsonScalar)], key: &str| -> String {
+        field(fields, key)
+            .and_then(|v| v.as_str().map(str::to_owned))
+            .unwrap_or_else(|| "?".to_owned())
+    };
+
+    let mut series: Vec<String> = Vec::new();
+    let mut events: Vec<String> = Vec::new();
+    let mut peers: Vec<String> = Vec::new();
+    let mut alerts: Vec<String> = Vec::new();
+    let mut exemplars: Vec<String> = Vec::new();
+    let mut parsed_any = false;
+
+    for line in body.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Some(fields) = parse_flat_json(line) else {
+            eprintln!("moara-cli: skipping unparseable dump line: {line}");
+            continue;
+        };
+        parsed_any = true;
+        match text(&fields, "t").as_str() {
+            "meta" => {
+                println!(
+                    "crash dump: n{} · reason {} · written ts_ms={} · moarad v{}",
+                    num(&fields, "node"),
+                    text(&fields, "reason"),
+                    num(&fields, "ts_ms"),
+                    text(&fields, "version"),
+                );
+                println!(
+                    "journal: {} events recorded, {} dropped",
+                    num(&fields, "events_recorded"),
+                    num(&fields, "events_dropped"),
+                );
+            }
+            "series" => {
+                let points = parse_points(&text(&fields, "points"));
+                let values: Vec<f64> = points.iter().map(|&(_, v)| v).collect();
+                let last = values
+                    .iter()
+                    .rev()
+                    .find(|v| !v.is_nan())
+                    .map_or("-".to_owned(), |v| format!("{v}"));
+                series.push(format!(
+                    "  {:<18} {}  last={last} (res {}s, {} samples)",
+                    text(&fields, "metric"),
+                    sparkline(&values),
+                    num(&fields, "res_s"),
+                    points.len(),
+                ));
+            }
+            "event" => {
+                events.push(format!(
+                    "  {} n{} {:<14} {}",
+                    num(&fields, "ts_ms"),
+                    num(&fields, "node"),
+                    text(&fields, "kind"),
+                    text(&fields, "detail"),
+                ));
+            }
+            "peer" => {
+                peers.push(format!(
+                    "  n{} {:<7} age={}ms tick_p99={}us stalls={} alerts_firing={}",
+                    num(&fields, "node"),
+                    text(&fields, "status"),
+                    num(&fields, "age_ms"),
+                    num(&fields, "tick_p99_us"),
+                    num(&fields, "stalled_ticks"),
+                    num(&fields, "alerts_firing"),
+                ));
+            }
+            "alert" => {
+                alerts.push(format!(
+                    "  {}: {} = {} (threshold {}, firing {}s)",
+                    text(&fields, "rule"),
+                    text(&fields, "metric"),
+                    num(&fields, "value"),
+                    num(&fields, "threshold"),
+                    num(&fields, "since_s"),
+                ));
+            }
+            "exemplar" => {
+                exemplars.push(format!(
+                    "  {} -> {}",
+                    text(&fields, "key"),
+                    text(&fields, "trace_id"),
+                ));
+            }
+            other => eprintln!("moara-cli: skipping unknown dump line type `{other}`"),
+        }
+    }
+
+    if !parsed_any {
+        eprintln!("moara-cli: {file} holds no parseable dump lines");
+        std::process::exit(1);
+    }
+    for (title, lines) in [
+        ("metrics (final window)", &series),
+        ("journal tail", &events),
+        ("peers at dump time", &peers),
+        ("alerts firing", &alerts),
+        ("exemplars", &exemplars),
+    ] {
+        if lines.is_empty() {
+            continue;
+        }
+        println!("\n{title}:");
+        for l in lines {
+            println!("{l}");
         }
     }
 }

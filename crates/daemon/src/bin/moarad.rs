@@ -58,9 +58,20 @@
 //! * `--stall-threshold-ms N` — event-loop ticks whose work time
 //!   exceeds `N` milliseconds count as stalls (watchdog + alert input;
 //!   default 250);
-//! * `--alert-rules FILE` — alert rules (`name: metric op value`, one
-//!   per line, `#` comments) merged over the built-in defaults: a rule
-//!   with a built-in's name replaces it.
+//! * `--alert-rules FILE` — alert rules (`name: expr op value [for
+//!   DURATION]`, where `expr` is a metric name or `rate(metric,
+//!   WINDOW)`, one per line, `#` comments) merged over the built-in
+//!   defaults: a rule with a built-in's name replaces it.
+//!
+//! Flight-recorder flags (see `docs/observability.md`):
+//!
+//! * `--history-retention N` — seconds of down-sampled metrics history
+//!   kept in the coarse 10s ring (default 3600); the fine 1s ring
+//!   always holds the last 120 s. Served via `GET /v1/history`;
+//! * `--crash-dump-dir DIR` — write crash forensics there: a blackbox
+//!   dump rewritten every second (survives kill -9), plus dumps on
+//!   panics and stall-watchdog trips. Render with `moara-cli
+//!   postmortem FILE`.
 //!
 //! Gateway middleware flags (see `docs/gateway.md`):
 //!
@@ -103,7 +114,8 @@ const USAGE: &str = "usage: moarad --listen IP:PORT [--join IP:PORT] \
                      [--gw-idle-timeout-ms N] \
                      [--cache-promote-after N] [--cache-max-entries N] \
                      [--no-query-cache] \
-                     [--stall-threshold-ms N] [--alert-rules FILE]";
+                     [--stall-threshold-ms N] [--alert-rules FILE] \
+                     [--history-retention SECONDS] [--crash-dump-dir DIR]";
 
 /// Flipped by the SIGINT/SIGTERM handler; the main loop notices and
 /// shuts down gracefully. A store is all the handler does — the only
@@ -160,6 +172,8 @@ fn main() {
     let mut query_cache_on = true;
     let mut stall_threshold_ms = 250u64;
     let mut alert_rules = Vec::new();
+    let mut history_retention_s = moara_daemon::recorder::DEFAULT_RETENTION_S;
+    let mut crash_dump_dir = None;
     // The TTL/capacity flags only tune the cache; `--no-probe-cache` is
     // the sole on/off switch, so flag order never matters.
     let (mut cache_ttl, mut cache_cap) = match cfg.probe_cache {
@@ -319,6 +333,17 @@ fn main() {
                     Err(e) => fail(&format!("--alert-rules {path}: {e}")),
                 }
             }
+            "--history-retention" => {
+                history_retention_s = val("--history-retention")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--history-retention needs seconds"));
+                if history_retention_s == 0 {
+                    fail("--history-retention must be positive");
+                }
+            }
+            "--crash-dump-dir" => {
+                crash_dump_dir = Some(std::path::PathBuf::from(val("--crash-dump-dir")));
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -355,6 +380,8 @@ fn main() {
         gw_idle_timeout_ms,
         stall_threshold_ms,
         alert_rules,
+        history_retention_s,
+        crash_dump_dir,
     }) {
         Ok(d) => d,
         Err(e) => {

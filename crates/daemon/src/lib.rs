@@ -45,6 +45,7 @@
 use std::collections::HashMap;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
@@ -72,14 +73,17 @@ use moara_wire::{read_frame, write_msg, Wire, WireError};
 
 pub mod alerts;
 pub mod health;
+pub mod recorder;
 pub mod sim;
 pub use sim::SimSwarm;
 
-use alerts::{AlertEngine, AlertRule};
+use alerts::{AlertEngine, AlertEvent, AlertRule};
 use health::{
     AlertWire, HealthStatus, HealthSummary, PeerHealthRow, CACHE_RATIO_NONE,
     HEALTH_DIGEST_MAX_BYTES,
 };
+use moara_gateway::json::JsonLine;
+use recorder::{kind, now_unix_ms, EventWire, Recorder};
 
 /// One cluster member, as carried in membership lists.
 ///
@@ -275,6 +279,33 @@ pub enum CtrlRequest {
     /// federation leaf request; `GET /v1/cluster/metrics` fans these
     /// out like `TraceGet` fans out `TraceFetch`).
     MetricsFetch,
+    /// Return one metric's series from this daemon's flight-recorder
+    /// history rings (the history federation leaf request;
+    /// `GET /v1/cluster/history` fans these out).
+    HistoryFetch {
+        /// A health-sample key (`tick_p99_us`, `watches`, ...).
+        metric: String,
+        /// How far back, in seconds (picks the ring tier).
+        range_s: u32,
+    },
+    /// Return the cluster-merged series for one metric: the serving
+    /// daemon reads its own rings and scatter-gathers every other alive
+    /// member's, reporting unreachable members instead of hanging.
+    ClusterHistory {
+        /// A health-sample key.
+        metric: String,
+        /// How far back, in seconds.
+        range_s: u32,
+    },
+    /// Return the newest entries of this daemon's structured event
+    /// journal (`moara-cli events`, `GET /v1/events`).
+    EventsFetch {
+        /// Only events of this kind (`swim_confirm`, `slow_query`, ...);
+        /// `None` returns every kind.
+        kind: Option<String>,
+        /// Maximum events to return (newest win).
+        limit: u32,
+    },
 }
 
 /// A control-plane reply.
@@ -358,6 +389,30 @@ pub enum CtrlReply {
     },
     /// One daemon's Prometheus exposition (`MetricsFetch` answer).
     MetricsText(String),
+    /// One metric's series from one daemon's history rings
+    /// (`HistoryFetch` answer).
+    History {
+        /// The answering daemon.
+        node: u32,
+        /// Ring resolution of the points, in seconds.
+        res_s: u32,
+        /// `(unix_ms, value)` points, oldest first.
+        points: Vec<(u64, f64)>,
+    },
+    /// The cluster-merged series for one metric (`ClusterHistory`
+    /// answer).
+    ClusterHistory {
+        /// The queried metric.
+        metric: String,
+        /// Ring resolution of the points, in seconds.
+        res_s: u32,
+        /// Per-member series: `(node, points)`, self included.
+        series: Vec<(u32, Vec<(u64, f64)>)>,
+        /// Members that could not answer before the gather deadline.
+        missing: Vec<u32>,
+    },
+    /// The newest journal entries (`EventsFetch` answer).
+    Events(Vec<EventWire>),
 }
 
 impl Wire for CtrlRequest {
@@ -407,6 +462,21 @@ impl Wire for CtrlRequest {
             }
             CtrlRequest::ClusterHealth => out.push(8),
             CtrlRequest::MetricsFetch => out.push(9),
+            CtrlRequest::HistoryFetch { metric, range_s } => {
+                out.push(10);
+                metric.encode(out);
+                range_s.encode(out);
+            }
+            CtrlRequest::ClusterHistory { metric, range_s } => {
+                out.push(11);
+                metric.encode(out);
+                range_s.encode(out);
+            }
+            CtrlRequest::EventsFetch { kind, limit } => {
+                out.push(12);
+                kind.encode(out);
+                limit.encode(out);
+            }
         }
     }
     fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
@@ -440,6 +510,18 @@ impl Wire for CtrlRequest {
             },
             8 => CtrlRequest::ClusterHealth,
             9 => CtrlRequest::MetricsFetch,
+            10 => CtrlRequest::HistoryFetch {
+                metric: Wire::decode(buf)?,
+                range_s: Wire::decode(buf)?,
+            },
+            11 => CtrlRequest::ClusterHistory {
+                metric: Wire::decode(buf)?,
+                range_s: Wire::decode(buf)?,
+            },
+            12 => CtrlRequest::EventsFetch {
+                kind: Wire::decode(buf)?,
+                limit: Wire::decode(buf)?,
+            },
             _ => return Err(WireError::Invalid("CtrlRequest tag")),
         })
     }
@@ -459,6 +541,9 @@ impl Wire for CtrlRequest {
             CtrlRequest::TraceFetch { .. } | CtrlRequest::TraceGet { .. } => 8,
             CtrlRequest::TraceList { .. } => 4,
             CtrlRequest::ClusterHealth | CtrlRequest::MetricsFetch => 0,
+            CtrlRequest::HistoryFetch { metric, .. }
+            | CtrlRequest::ClusterHistory { metric, .. } => metric.encoded_len() + 4,
+            CtrlRequest::EventsFetch { kind, .. } => kind.encoded_len() + 4,
         }
     }
 }
@@ -534,6 +619,32 @@ impl Wire for CtrlReply {
                 out.push(10);
                 text.encode(out);
             }
+            CtrlReply::History {
+                node,
+                res_s,
+                points,
+            } => {
+                out.push(11);
+                node.encode(out);
+                res_s.encode(out);
+                points.encode(out);
+            }
+            CtrlReply::ClusterHistory {
+                metric,
+                res_s,
+                series,
+                missing,
+            } => {
+                out.push(12);
+                metric.encode(out);
+                res_s.encode(out);
+                series.encode(out);
+                missing.encode(out);
+            }
+            CtrlReply::Events(events) => {
+                out.push(13);
+                events.encode(out);
+            }
         }
     }
     fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
@@ -575,6 +686,18 @@ impl Wire for CtrlReply {
                 alerts: Wire::decode(buf)?,
             },
             10 => CtrlReply::MetricsText(Wire::decode(buf)?),
+            11 => CtrlReply::History {
+                node: Wire::decode(buf)?,
+                res_s: Wire::decode(buf)?,
+                points: Wire::decode(buf)?,
+            },
+            12 => CtrlReply::ClusterHistory {
+                metric: Wire::decode(buf)?,
+                res_s: Wire::decode(buf)?,
+                series: Wire::decode(buf)?,
+                missing: Wire::decode(buf)?,
+            },
+            13 => CtrlReply::Events(Wire::decode(buf)?),
             _ => return Err(WireError::Invalid("CtrlReply tag")),
         })
     }
@@ -598,6 +721,14 @@ impl Wire for CtrlReply {
                 4 + rows.encoded_len() + alerts.encoded_len()
             }
             CtrlReply::MetricsText(text) => text.encoded_len(),
+            CtrlReply::History { points, .. } => 8 + points.encoded_len(),
+            CtrlReply::ClusterHistory {
+                metric,
+                series,
+                missing,
+                ..
+            } => metric.encoded_len() + 4 + series.encoded_len() + missing.encoded_len(),
+            CtrlReply::Events(events) => events.encoded_len(),
         }
     }
 }
@@ -877,6 +1008,15 @@ pub struct DaemonOpts {
     /// `alerts::parse_rules`). Merged over the built-in defaults: a
     /// rule reusing a built-in name overrides it.
     pub alert_rules: Vec<AlertRule>,
+    /// Flight-recorder history retention in seconds
+    /// (`--history-retention`): sizes the coarse 10s ring; the fine 1s
+    /// ring always holds the last 120 s.
+    pub history_retention_s: u32,
+    /// Crash-forensics dump directory (`--crash-dump-dir`): when set,
+    /// the daemon rewrites a blackbox dump every maintenance tick and
+    /// writes crash dumps on panics and stall-watchdog trips. `None`
+    /// disables dumps (history and journal still record in memory).
+    pub crash_dump_dir: Option<PathBuf>,
 }
 
 impl DaemonOpts {
@@ -900,6 +1040,8 @@ impl DaemonOpts {
             gw_idle_timeout_ms: 30_000,
             stall_threshold_ms: 250,
             alert_rules: Vec::new(),
+            history_retention_s: recorder::DEFAULT_RETENTION_S,
+            crash_dump_dir: None,
         }
     }
 }
@@ -1053,6 +1195,19 @@ pub struct Daemon {
     /// submit → outcome; HTTP parse/write excluded), which is where
     /// trace ids are known — the reactor shards never see them.
     gw_latency_exemplars: BucketExemplars,
+    /// The flight recorder: metrics history rings + event journal +
+    /// crash-dump writer. `Arc` so the panic hook and the gateway's
+    /// worker threads could share it.
+    recorder: Arc<Recorder>,
+    /// `sub_expired` counter at the last maintenance tick (journal
+    /// lease-GC events are emitted as diffs).
+    last_sub_expired: u64,
+    /// Gateway error counter at the last maintenance tick.
+    last_gw_errors: u64,
+    /// Gateway panics-caught counter at the last maintenance tick.
+    last_gw_panics: u64,
+    /// When a stall-watchdog crash dump was last written (rate limit).
+    last_stall_dump: Option<Instant>,
 }
 
 /// Spans each daemon's ring-buffer store holds (per store, before the
@@ -1092,6 +1247,10 @@ const HEALTH_SAMPLE_EVERY: Duration = Duration::from_secs(1);
 /// How long a metrics federation waits on each peer's `MetricsFetch`
 /// before reporting it in the `moara_federation_missing` series.
 const METRICS_FETCH_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Minimum spacing between stall-watchdog crash dumps (a sustained
+/// stall would otherwise rewrite the dump every tick).
+const STALL_DUMP_EVERY: Duration = Duration::from_secs(30);
 
 impl Daemon {
     /// Boots a daemon: binds both planes, and either seeds a fresh
@@ -1248,6 +1407,25 @@ impl Daemon {
             }
         };
 
+        let recorder = Arc::new(Recorder::new(
+            opts.history_retention_s,
+            opts.crash_dump_dir.clone(),
+        ));
+        recorder.set_node(me.0);
+        // Crash forensics for panics: only installed when dumps are on
+        // (`moarad` runs one daemon per process; in-process multi-daemon
+        // tests never set `--crash-dump-dir`, so hooks don't stack).
+        if recorder.dumps_enabled() {
+            let rec = Arc::clone(&recorder);
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let ts = now_unix_ms();
+                rec.record_event(kind::PANIC, format!("{info}"));
+                let _ = rec.write_dump("crash-panic", ts);
+                prev(info);
+            }));
+        }
+
         let mut daemon = Daemon {
             transport,
             dir,
@@ -1289,6 +1467,11 @@ impl Daemon {
             )),
             alert_engine: AlertEngine::new(alerts::merge_rules(opts.alert_rules)),
             gw_latency_exemplars: BucketExemplars::new(&moara_gateway::LATENCY_BOUNDS_US),
+            recorder,
+            last_sub_expired: 0,
+            last_gw_errors: 0,
+            last_gw_panics: 0,
+            last_stall_dump: None,
         };
         // A joiner's presence is already in `members`; make the overlay
         // aware locally (the seed broadcasts to everyone else on join).
@@ -1370,18 +1553,44 @@ impl Daemon {
         {
             self.broadcast_membership();
         }
-        // Maintenance timer: self-sample into the gossiped digest, then
-        // re-evaluate the alert rules against the fresh sample.
+        // Maintenance timer: self-sample into the gossiped digest, feed
+        // the flight recorder's history rings, re-evaluate the alert
+        // rules against the fresh sample (rate() rules read the rings),
+        // and — when dumps are on — rewrite the blackbox dump so a
+        // kill -9 still leaves the final window on disk.
         if self.last_health_sample.elapsed() >= HEALTH_SAMPLE_EVERY {
             self.last_health_sample = Instant::now();
             self.sample_health();
-            self.evaluate_alerts();
+            let sample = self.health_sample();
+            let now_ms = now_unix_ms();
+            if let Ok(mut h) = self.recorder.history.lock() {
+                h.record(now_ms, &sample);
+            }
+            self.evaluate_alerts(&sample, now_ms);
+            self.journal_subsystem_diffs();
+            self.refresh_recorder_context();
+            if self.recorder.dumps_enabled() {
+                self.recorder.write_dump("blackbox", now_ms);
+            }
         }
         self.depth_hist.observe((ctrl_jobs + gw_jobs) as u64);
         let tick_us = u64::try_from(tick_start.elapsed().as_micros()).unwrap_or(u64::MAX);
         self.tick_hist.observe(tick_us);
         if tick_us >= self.stall_threshold_us {
             self.stalled_ticks += 1;
+            self.recorder
+                .record_event(kind::STALL, format!("tick_us={tick_us}"));
+            if self.recorder.dumps_enabled()
+                && self
+                    .last_stall_dump
+                    .is_none_or(|t| t.elapsed() >= STALL_DUMP_EVERY)
+            {
+                self.last_stall_dump = Some(Instant::now());
+                let ts = now_unix_ms();
+                self.recorder
+                    .record_event(kind::CRASH_DUMP, "reason=crash-stall".to_owned());
+                self.recorder.write_dump("crash-stall", ts);
+            }
         }
         did
     }
@@ -1433,9 +1642,20 @@ impl Daemon {
         let mut changed = false;
         for ev in events {
             match ev {
-                SwimEvent::Suspected(_) => {}
-                SwimEvent::Confirmed(n) => changed |= self.mark_member_dead(n),
+                SwimEvent::Suspected(n) => {
+                    self.recorder
+                        .record_event(kind::SWIM_SUSPECT, format!("peer={}", n.0));
+                }
+                SwimEvent::Confirmed(n) => {
+                    self.recorder
+                        .record_event(kind::SWIM_CONFIRM, format!("peer={}", n.0));
+                    changed |= self.mark_member_dead(n);
+                }
                 SwimEvent::Revived { node, incarnation } => {
+                    self.recorder.record_event(
+                        kind::SWIM_REFUTE,
+                        format!("peer={} incarnation={incarnation}", node.0),
+                    );
                     changed |= self.mark_member_alive(node, incarnation);
                 }
             }
@@ -1764,6 +1984,8 @@ impl Daemon {
                             let mut mctx = moara_ctx(ctx);
                             n.moara.subscribe(&mut mctx, query, policy, lease)
                         });
+                        self.recorder
+                            .record_event(kind::SUB_INSTALL, format!("wid={wid} q={text}"));
                         self.watch_streams.insert(wid, job.reply);
                     }
                     Err(e) => {
@@ -1804,6 +2026,37 @@ impl Daemon {
                     let _ = job
                         .reply
                         .send(CtrlReply::MetricsText(self.render_metrics()));
+                }
+                CtrlRequest::HistoryFetch { metric, range_s } => {
+                    let reply = match self.local_history(&metric, range_s) {
+                        Some((res_s, points)) => CtrlReply::History {
+                            node: self.me.0,
+                            res_s,
+                            points,
+                        },
+                        None => CtrlReply::Error(format!("unknown metric `{metric}`")),
+                    };
+                    let _ = job.reply.send(reply);
+                }
+                CtrlRequest::ClusterHistory { metric, range_s } => {
+                    self.spawn_history_gather(
+                        metric.clone(),
+                        range_s,
+                        job.reply,
+                        move |res_s, series, missing| CtrlReply::ClusterHistory {
+                            metric,
+                            res_s,
+                            series,
+                            missing,
+                        },
+                    );
+                }
+                CtrlRequest::EventsFetch { kind, limit } => {
+                    let events = self
+                        .recorder
+                        .journal
+                        .snapshot(kind.as_deref(), limit as usize);
+                    let _ = job.reply.send(CtrlReply::Events(events));
                 }
             }
         }
@@ -1904,10 +2157,13 @@ impl Daemon {
         self.my_health = summary;
     }
 
-    /// Evaluates the alert rules against the freshest health sample,
-    /// logging each firing/resolved transition as one JSON line on
-    /// stderr (next to the slow-query log).
-    fn evaluate_alerts(&mut self) {
+    /// The name → value view of the freshest health sample. This is
+    /// both what the alert rules compare against and what the flight
+    /// recorder's history rings store — one fixed key set (missing
+    /// values are `NaN`, which no alert operator matches and the rings
+    /// render as gaps), so `/v1/history?metric=` accepts exactly these
+    /// names.
+    fn health_sample(&self) -> Vec<(&'static str, f64)> {
         let h = &self.my_health;
         let dead = self.members.iter().filter(|m| !m.alive).count();
         let rate_limited = match &self.gw_handle {
@@ -1917,7 +2173,7 @@ impl Daemon {
                 .load(std::sync::atomic::Ordering::Relaxed) as f64,
             None => 0.0,
         };
-        let mut sample: Vec<(&'static str, f64)> = vec![
+        vec![
             ("tick_p99_us", h.tick_p99_us as f64),
             ("stalled_ticks", h.stalled_ticks as f64),
             ("dead_members", dead as f64),
@@ -1933,14 +2189,36 @@ impl Daemon {
             ("rate_limited", rate_limited),
             ("slow_queries", self.slow_queries_total as f64),
             ("undeliverable", self.undeliverable_total as f64),
-        ];
-        if let Some(pct) = h.cache_hit_pct() {
-            sample.push(("cache_hit_pct", pct));
-        }
+            ("cache_hit_pct", h.cache_hit_pct().unwrap_or(f64::NAN)),
+        ]
+    }
+
+    /// Evaluates the alert rules against the freshest health sample,
+    /// logging each firing/resolved transition as one JSON line on
+    /// stderr (next to the slow-query log) and into the event journal.
+    fn evaluate_alerts(&mut self, sample: &[(&'static str, f64)], now_ms: u64) {
         let now = Instant::now();
-        let events = self.alert_engine.evaluate(&sample, now);
+        let events = {
+            let history = self.recorder.history.lock().ok();
+            self.alert_engine
+                .evaluate(sample, history.as_deref(), now, now_ms)
+        };
         for ev in &events {
-            eprintln!("{}", AlertEngine::event_line(self.me.0, ev));
+            eprintln!("{}", AlertEngine::event_line(self.me.0, ev, now_ms));
+            match ev {
+                AlertEvent::Fired {
+                    rule,
+                    metric,
+                    value,
+                    threshold,
+                } => self.recorder.record_event(
+                    kind::ALERT_FIRING,
+                    format!("rule={rule} metric={metric} value={value} threshold={threshold}"),
+                ),
+                AlertEvent::Resolved { rule } => self
+                    .recorder
+                    .record_event(kind::ALERT_RESOLVED, format!("rule={rule}")),
+            }
         }
         if !events.is_empty() {
             // Keep the gossiped firing count fresh without waiting out
@@ -1951,6 +2229,94 @@ impl Daemon {
                 d.alerts_firing = n;
             }
         }
+    }
+
+    /// Journals subsystem activity that only surfaces through counters:
+    /// lease-GC expiries on the subscription plane, and errors/panics
+    /// the gateway's reactor shards caught since the last tick.
+    fn journal_subsystem_diffs(&mut self) {
+        let expired = self.transport.stats().counter("sub_expired");
+        if expired > self.last_sub_expired {
+            let n = expired - self.last_sub_expired;
+            self.last_sub_expired = expired;
+            self.recorder
+                .record_event(kind::SUB_LEASE_GC, format!("count={n}"));
+        }
+        if let Some(gw) = &self.gw_handle {
+            use std::sync::atomic::Ordering::Relaxed;
+            let s = gw.stats();
+            let errors = s.errors.load(Relaxed);
+            if errors > self.last_gw_errors {
+                let n = errors - self.last_gw_errors;
+                self.last_gw_errors = errors;
+                self.recorder
+                    .record_event(kind::GW_ERROR, format!("count={n}"));
+            }
+            let panics = s.panics_caught.load(Relaxed);
+            if panics > self.last_gw_panics {
+                let n = panics - self.last_gw_panics;
+                self.last_gw_panics = panics;
+                self.recorder
+                    .record_event(kind::GW_PANIC, format!("count={n}"));
+            }
+        }
+    }
+
+    /// Refreshes the crash-dump context block: the peer health table,
+    /// currently-firing alerts, and gateway latency exemplars, rendered
+    /// as flat JSON lines so a dump carries the cluster's last known
+    /// shape alongside this daemon's own series.
+    fn refresh_recorder_context(&mut self) {
+        if !self.recorder.dumps_enabled() {
+            return;
+        }
+        let mut ctx = String::new();
+        for row in self.health_rows() {
+            let (tick_p99, stalled, firing) = row.summary.as_ref().map_or((0, 0, 0), |s| {
+                (s.tick_p99_us, s.stalled_ticks, s.alerts_firing)
+            });
+            ctx.push_str(&recorder::peer_context_line(
+                row.node,
+                row.status.as_str(),
+                row.age_ms,
+                tick_p99,
+                stalled,
+                firing,
+            ));
+            ctx.push('\n');
+        }
+        let now = Instant::now();
+        for a in self.alert_engine.firing(now) {
+            ctx.push_str(
+                &JsonLine::new()
+                    .str("t", "alert")
+                    .str("rule", &a.rule)
+                    .str("metric", &a.metric)
+                    .f64("value", a.value)
+                    .f64("threshold", a.threshold)
+                    .u64("since_s", a.since_s)
+                    .finish(),
+            );
+            ctx.push('\n');
+        }
+        for (key, trace_id) in self.exemplar_entries() {
+            ctx.push_str(
+                &JsonLine::new()
+                    .str("t", "exemplar")
+                    .str("key", &key)
+                    .str("trace_id", &trace_id)
+                    .finish(),
+            );
+            ctx.push('\n');
+        }
+        self.recorder.set_context(ctx);
+    }
+
+    /// One metric's series from the local history rings.
+    fn local_history(&self, metric: &str, range_s: u32) -> Option<(u32, Vec<(u64, f64)>)> {
+        let h = self.recorder.history.lock().ok()?;
+        let (res_s, points) = h.series(metric, range_s, now_unix_ms())?;
+        Some((u32::try_from(res_s).unwrap_or(u32::MAX), points))
     }
 
     /// The merged cluster-health table: one staleness-stamped row per
@@ -2153,15 +2519,21 @@ impl Daemon {
                     let elapsed = submitted.elapsed();
                     if elapsed.as_millis() as u64 >= threshold_ms {
                         self.slow_queries_total += 1;
+                        let dur_us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
                         eprintln!(
                             "{}",
                             slow_query_line(
                                 self.me.0,
                                 text,
-                                u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
+                                dur_us,
                                 outcome.complete,
                                 *trace_id,
+                                now_unix_ms(),
                             )
+                        );
+                        self.recorder.record_event(
+                            kind::SLOW_QUERY,
+                            format!("duration_us={dur_us} q={text}"),
                         );
                     }
                 }
@@ -2264,6 +2636,8 @@ impl Daemon {
     }
 
     fn unsubscribe(&mut self, wid: u64) {
+        self.recorder
+            .record_event(kind::SUB_CANCEL, format!("wid={wid}"));
         self.transport.with_node(self.me, |n, ctx| {
             let mut mctx = moara_ctx(ctx);
             n.moara.unsubscribe(&mut mctx, wid);
@@ -2295,7 +2669,10 @@ impl Daemon {
                             cache_sub_lease(),
                         )
                     });
-                    if !cache.promoted(&key, wid) {
+                    if cache.promoted(&key, wid) {
+                        self.recorder
+                            .record_event(kind::CACHE_PROMOTE, format!("key={key} wid={wid}"));
+                    } else {
                         // The entry changed state while the install was
                         // queued; release the orphan subscription.
                         self.unsubscribe(wid);
@@ -2326,12 +2703,16 @@ impl Daemon {
         }
         for token in cache.take_pending_demotions() {
             did = true;
+            self.recorder
+                .record_event(kind::CACHE_DEMOTE, format!("wid={token}"));
             self.unsubscribe(token);
         }
         if self.last_cache_sweep.elapsed() >= CACHE_SWEEP_EVERY {
             self.last_cache_sweep = Instant::now();
             for token in cache.demote_idle(Instant::now()) {
                 did = true;
+                self.recorder
+                    .record_event(kind::CACHE_DEMOTE, format!("wid={token} idle=true"));
                 self.unsubscribe(token);
             }
         }
@@ -2461,6 +2842,8 @@ impl Daemon {
                             let mut mctx = moara_ctx(ctx);
                             n.moara.subscribe(&mut mctx, query, policy, lease)
                         });
+                        self.recorder
+                            .record_event(kind::SUB_INSTALL, format!("wid={wid} q={q}"));
                         self.gw_watch_streams.insert(wid, job.reply);
                     }
                     Err(e) => {
@@ -2496,9 +2879,101 @@ impl Daemon {
                         body: alerts_json(self.me.0, &alerts),
                     });
                 }
+                GwRequest::History { metric, range_s } => {
+                    let reply = match self.local_history(&metric, range_s) {
+                        Some((res_s, points)) => GwReply::Json {
+                            body: history_json(self.me.0, &metric, res_s, &points),
+                        },
+                        None => GwReply::Error {
+                            status: 404,
+                            msg: format!("unknown metric `{metric}`"),
+                        },
+                    };
+                    let _ = job.reply.send(reply);
+                }
+                GwRequest::ClusterHistory { metric, range_s } => {
+                    let me = self.me.0;
+                    self.spawn_history_gather(
+                        metric.clone(),
+                        range_s,
+                        job.reply,
+                        move |res_s, series, missing| GwReply::Json {
+                            body: cluster_history_json(me, &metric, res_s, &series, &missing),
+                        },
+                    );
+                }
+                GwRequest::Events { kind, limit } => {
+                    let events = self.recorder.journal.snapshot(kind.as_deref(), limit);
+                    let _ = job.reply.send(GwReply::Json {
+                        body: events_json(self.me.0, &events),
+                    });
+                }
             }
         }
         count
+    }
+
+    /// Answers a cluster-wide history merge off the event loop: the
+    /// local series is read on the loop thread, then a spawned thread
+    /// asks every other alive member for its series over the control
+    /// plane ([`CtrlRequest::HistoryFetch`], bounded by
+    /// [`METRICS_FETCH_TIMEOUT`] each). Unreachable peers — and members
+    /// already confirmed dead — land in `missing` instead of hanging
+    /// the request.
+    fn spawn_history_gather<R: Send + 'static, T: ReplyTx<R> + Send + 'static>(
+        &self,
+        metric: String,
+        range_s: u32,
+        reply: T,
+        respond: impl FnOnce(u32, Vec<(u32, Vec<(u64, f64)>)>, Vec<u32>) -> R + Send + 'static,
+    ) {
+        let me = self.me.0;
+        let local = self.local_history(&metric, range_s);
+        let peers: Vec<(u32, String)> = self
+            .members
+            .iter()
+            .filter(|m| m.alive && m.node != me)
+            .map(|m| (m.node, m.ctrl.clone()))
+            .collect();
+        let lost: Vec<u32> = self
+            .members
+            .iter()
+            .filter(|m| !m.alive && m.node != me)
+            .map(|m| m.node)
+            .collect();
+        let _ = std::thread::Builder::new()
+            .name("moarad-history-gather".into())
+            .spawn(move || {
+                let mut res_s = recorder::TIER1_RES_S as u32;
+                let mut series: Vec<(u32, Vec<(u64, f64)>)> = Vec::new();
+                if let Some((res, points)) = local {
+                    res_s = res;
+                    series.push((me, points));
+                }
+                let mut missing = lost;
+                for (node, ctrl) in peers {
+                    match ctrl_roundtrip(
+                        &ctrl,
+                        &CtrlRequest::HistoryFetch {
+                            metric: metric.clone(),
+                            range_s,
+                        },
+                        METRICS_FETCH_TIMEOUT,
+                    ) {
+                        Ok(CtrlReply::History {
+                            node: n,
+                            res_s: r,
+                            points,
+                        }) => {
+                            res_s = r;
+                            series.push((n, points));
+                        }
+                        _ => missing.push(node),
+                    }
+                }
+                series.sort_by_key(|(n, _)| *n);
+                let _ = reply.send_reply(respond(res_s, series, missing));
+            });
     }
 
     /// Snapshots every subsystem's counters and gauges into one
@@ -2889,6 +3364,19 @@ impl Daemon {
             self.stalled_ticks,
         );
 
+        // Flight recorder: journal volume (the history rings are served
+        // through /v1/history, not scraped).
+        reg.counter(
+            "moara_events_recorded_total",
+            "Structured events recorded into the flight-recorder journal.",
+            self.recorder.journal.recorded(),
+        );
+        reg.counter(
+            "moara_events_dropped_total",
+            "Journal events evicted from the bounded ring.",
+            self.recorder.journal.dropped(),
+        );
+
         // Process / build identity (the health plane's raw inputs).
         reg.gauge_with(
             "moara_build_info",
@@ -3184,23 +3672,114 @@ fn cluster_health_json(node: u32, rows: &[PeerHealthRow], alerts: &[AlertWire]) 
     )
 }
 
+/// The `GET /v1/history` body: one metric's series from one daemon's
+/// history rings, as `[unix_ms, value]` pairs at the tier's resolution.
+fn history_json(node: u32, metric: &str, res_s: u32, points: &[(u64, f64)]) -> String {
+    let mut body = JsonLine::new()
+        .u64("node", u64::from(node))
+        .str("metric", metric)
+        .u64("res_s", u64::from(res_s))
+        .raw("points", &points_json(points))
+        .finish();
+    body.push('\n');
+    body
+}
+
+/// A series as a JSON array of `[unix_ms, value]` pairs (`NaN` samples
+/// — gaps in the ring — render as `null` values).
+fn points_json(points: &[(u64, f64)]) -> String {
+    let items: Vec<String> = points
+        .iter()
+        .map(|(ts, v)| {
+            if v.is_nan() {
+                format!("[{ts},null]")
+            } else {
+                format!("[{ts},{v}]")
+            }
+        })
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+/// The `GET /v1/cluster/history` body: every reachable member's series
+/// for one metric under `instance` labels, like `/v1/cluster/metrics`.
+fn cluster_history_json(
+    node: u32,
+    metric: &str,
+    res_s: u32,
+    series: &[(u32, Vec<(u64, f64)>)],
+    missing: &[u32],
+) -> String {
+    let instances: Vec<String> = series
+        .iter()
+        .map(|(n, points)| {
+            JsonLine::new()
+                .str("instance", &format!("n{n}"))
+                .raw("points", &points_json(points))
+                .finish()
+        })
+        .collect();
+    let missing_json: Vec<String> = missing.iter().map(u32::to_string).collect();
+    let mut body = JsonLine::new()
+        .u64("node", u64::from(node))
+        .str("metric", metric)
+        .u64("res_s", u64::from(res_s))
+        .raw("instances", &format!("[{}]", instances.join(",")))
+        .raw("missing", &format!("[{}]", missing_json.join(",")))
+        .finish();
+    body.push('\n');
+    body
+}
+
+/// The `GET /v1/events` body: the newest matching journal entries,
+/// oldest first.
+fn events_json(node: u32, events: &[EventWire]) -> String {
+    let items: Vec<String> = events
+        .iter()
+        .map(|e| {
+            JsonLine::new()
+                .u64("seq", e.seq)
+                .u64("ts_ms", e.ts_ms)
+                .u64("node", u64::from(e.node))
+                .str("kind", &e.kind)
+                .str("detail", &e.detail)
+                .finish()
+        })
+        .collect();
+    let mut body = JsonLine::new()
+        .u64("node", u64::from(node))
+        .raw("events", &format!("[{}]", items.join(",")))
+        .finish();
+    body.push('\n');
+    body
+}
+
 /// One slow-query log line: a single JSON object on stderr, grep-able
 /// and machine-parsable, carrying the trace id when the query was
-/// sampled so the log links straight into `moara-cli trace`.
+/// sampled so the log links straight into `moara-cli trace`, and the
+/// unix-ms stamp that correlates it with the event journal.
 fn slow_query_line(
     node: u32,
     text: &str,
     duration_us: u64,
     complete: bool,
     trace_id: Option<u64>,
+    ts_ms: u64,
 ) -> String {
-    use moara_gateway::json::escape;
-    format!(
-        "{{\"slow_query\":true,\"node\":{node},\"q\":{},\"duration_us\":{duration_us},\
-         \"complete\":{complete},\"trace_id\":{}}}",
-        escape(text),
-        trace_id.map_or("null".to_owned(), |t| escape(&format_trace_id(t))),
-    )
+    JsonLine::new()
+        .bool("slow_query", true)
+        .u64("ts_ms", ts_ms)
+        .u64("node", u64::from(node))
+        .str("q", text)
+        .u64("duration_us", duration_us)
+        .bool("complete", complete)
+        .raw(
+            "trace_id",
+            &trace_id.map_or("null".to_owned(), |t| {
+                moara_gateway::json::escape(&format_trace_id(t))
+            }),
+        )
+        .finish()
 }
 
 fn resolve(addr: &str) -> Result<SocketAddr, String> {
@@ -3448,6 +4027,22 @@ mod tests {
             CtrlRequest::TraceList { limit: 25 },
             CtrlRequest::ClusterHealth,
             CtrlRequest::MetricsFetch,
+            CtrlRequest::HistoryFetch {
+                metric: "tick_p99_us".into(),
+                range_s: 120,
+            },
+            CtrlRequest::ClusterHistory {
+                metric: "watches".into(),
+                range_s: 3_600,
+            },
+            CtrlRequest::EventsFetch {
+                kind: Some("swim_confirm".into()),
+                limit: 64,
+            },
+            CtrlRequest::EventsFetch {
+                kind: None,
+                limit: 256,
+            },
         ];
         for r in reqs {
             assert_eq!(CtrlRequest::from_bytes(&r.to_bytes()).unwrap(), r);
@@ -3533,10 +4128,88 @@ mod tests {
                 }],
             },
             CtrlReply::MetricsText("# HELP moara_up x\n".into()),
+            CtrlReply::History {
+                node: 2,
+                res_s: 1,
+                points: vec![(1_700_000_000_000, 42.5), (1_700_000_001_000, 43.0)],
+            },
+            CtrlReply::ClusterHistory {
+                metric: "tick_p99_us".into(),
+                res_s: 10,
+                series: vec![
+                    (0, vec![(1_700_000_000_000, 1.0)]),
+                    (2, vec![(1_700_000_000_000, 2.0), (1_700_000_010_000, 3.0)]),
+                ],
+                missing: vec![1],
+            },
+            CtrlReply::Events(vec![EventWire {
+                seq: 9,
+                ts_ms: 1_700_000_000_123,
+                node: 2,
+                kind: "swim_confirm".into(),
+                detail: "peer=1".into(),
+            }]),
         ];
         for r in replies {
             assert_eq!(CtrlReply::from_bytes(&r.to_bytes()).unwrap(), r);
         }
+    }
+
+    /// The `u16::MAX` "no traffic yet" cache-ratio sentinel must never
+    /// surface as a bogus percentage: the merged health table renders
+    /// it as JSON `null` (and `moara-cli top` as `n/a`).
+    #[test]
+    fn cache_hit_sentinel_renders_as_null_not_a_percentage() {
+        let row = PeerHealthRow {
+            node: 4,
+            status: HealthStatus::Ok,
+            age_ms: 12,
+            summary: Some(HealthSummary {
+                node: 4,
+                cache_hit_bp: CACHE_RATIO_NONE,
+                ..HealthSummary::default()
+            }),
+        };
+        let json = health_row_json(&row);
+        assert!(
+            json.contains("\"cache_hit_pct\":null"),
+            "sentinel must render null, got: {json}"
+        );
+        let row_with_traffic = PeerHealthRow {
+            summary: Some(HealthSummary {
+                node: 4,
+                cache_hit_bp: 2_500,
+                ..HealthSummary::default()
+            }),
+            ..row
+        };
+        let json = health_row_json(&row_with_traffic);
+        assert!(
+            json.contains("\"cache_hit_pct\":25.00"),
+            "real ratios still render, got: {json}"
+        );
+    }
+
+    /// Slow-query lines are correlatable with the journal: unix-ms
+    /// stamp present, shared-writer escaping applied.
+    #[test]
+    fn slow_query_line_is_exact_and_stamped() {
+        let line = slow_query_line(
+            3,
+            "SELECT count(*) WHERE X = \"a\"",
+            15_000,
+            true,
+            Some(7),
+            1_700_000_000_123,
+        );
+        assert_eq!(
+            line,
+            "{\"slow_query\":true,\"ts_ms\":1700000000123,\"node\":3,\
+             \"q\":\"SELECT count(*) WHERE X = \\\"a\\\"\",\"duration_us\":15000,\
+             \"complete\":true,\"trace_id\":\"0x0000000000000007\"}"
+        );
+        let line = slow_query_line(0, "q", 1, false, None, 5);
+        assert!(line.ends_with("\"trace_id\":null}"));
     }
 
     /// A full 3-daemon cluster in one test process (each daemon on its own

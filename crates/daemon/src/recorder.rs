@@ -1,0 +1,920 @@
+//! The flight recorder: bounded on-daemon history of what just
+//! happened, so a 2 a.m. incident is still diagnosable at 9 a.m.
+//!
+//! Three pieces, all dependency-free and all bounded:
+//!
+//! * [`MetricsHistory`] — the daemon's health sample down-sampled into
+//!   two fixed-size in-memory rings (1 s resolution for the last two
+//!   minutes, 10 s resolution for `--history-retention`). RSS is fixed
+//!   at construction; the sample path writes into preallocated slots
+//!   and never allocates. Served at `GET /v1/history` and federated
+//!   cluster-wide at `GET /v1/cluster/history`.
+//! * [`EventJournal`] — a lock-sharded bounded ring of structured
+//!   events (SWIM transitions, subscription churn, cache
+//!   promote/demote, alert edges, slow queries, reactor errors) behind
+//!   the daemon's `record_event()`. Served at `GET /v1/events` and
+//!   `moara-cli events`.
+//! * Crash forensics — [`Recorder::render_dump`] serializes the last
+//!   history window + journal tail + peer digests + trace exemplars as
+//!   flat JSONL. The daemon writes it as a continuously-refreshed
+//!   *blackbox* file every sample period (atomic rename, so even a
+//!   `kill -9` or segfault leaves the final window on disk) and as
+//!   tagged `crash-<reason>` dumps on panic and stall-watchdog trips.
+//!   `moara-cli postmortem` renders any of these files.
+//!
+//! Everything in a dump is a *flat* JSON object per line (scalar values
+//! only — series render as `"ts:value ts:value …"` strings) so the
+//! renderer needs nothing beyond [`parse_flat_json`].
+
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use moara_wire::{Wire, WireError};
+
+/// Tier-1 ring: 1-second resolution, two minutes deep — enough to see
+/// the shape of the incident that just happened.
+pub const TIER1_SLOTS: usize = 120;
+/// Tier-1 resolution in seconds.
+pub const TIER1_RES_S: u64 = 1;
+/// Tier-2 resolution in seconds (each slot is the mean of the ten
+/// tier-1 samples it covers).
+pub const TIER2_RES_S: u64 = 10;
+/// Default `--history-retention` in seconds (1 h of tier-2 slots).
+pub const DEFAULT_RETENTION_S: u32 = 3600;
+
+/// Journal capacity across all shards.
+const JOURNAL_CAP: usize = 4096;
+/// Lock shards in the journal (recording threads contend per shard).
+const JOURNAL_SHARDS: usize = 4;
+/// Most journal events rendered into one crash dump.
+const DUMP_EVENTS: usize = 256;
+
+/// One metric's two-tier ring storage. Slots are preallocated; `NaN`
+/// marks a slot whose sample was unknown (e.g. cache ratio before any
+/// traffic).
+struct Tier {
+    /// Unix-ms timestamps per slot; 0 = never written.
+    stamps: Vec<u64>,
+    /// `metrics × slots` values, row-major per metric.
+    values: Vec<f64>,
+    /// Next slot to write (ring cursor).
+    next: usize,
+    /// Slots written so far, saturating at capacity.
+    filled: usize,
+    slots: usize,
+}
+
+impl Tier {
+    fn new(metrics: usize, slots: usize) -> Tier {
+        Tier {
+            stamps: vec![0; slots],
+            values: vec![f64::NAN; metrics * slots],
+            next: 0,
+            filled: 0,
+            slots,
+        }
+    }
+
+    fn push(&mut self, ts_ms: u64, row: impl Iterator<Item = f64>) {
+        let slot = self.next;
+        self.stamps[slot] = ts_ms;
+        for (m, v) in row.enumerate() {
+            self.values[m * self.slots + slot] = v;
+        }
+        self.next = (self.next + 1) % self.slots;
+        self.filled = (self.filled + 1).min(self.slots);
+    }
+
+    /// Points of metric `m` with `stamp >= since_ms`, oldest first,
+    /// NaN slots skipped.
+    fn series(&self, m: usize, since_ms: u64) -> Vec<(u64, f64)> {
+        let mut out = Vec::new();
+        for i in 0..self.filled {
+            // Oldest-first walk: start just past the cursor.
+            let slot = (self.next + self.slots - self.filled + i) % self.slots;
+            let ts = self.stamps[slot];
+            let v = self.values[m * self.slots + slot];
+            if ts >= since_ms && !v.is_nan() {
+                out.push((ts, v));
+            }
+        }
+        out
+    }
+
+    /// Newest point of metric `m` with `stamp <= ts_ms`.
+    fn at_or_before(&self, m: usize, ts_ms: u64) -> Option<(u64, f64)> {
+        let mut best: Option<(u64, f64)> = None;
+        for i in 0..self.filled {
+            let slot = (self.next + self.slots - self.filled + i) % self.slots;
+            let ts = self.stamps[slot];
+            let v = self.values[m * self.slots + slot];
+            if ts <= ts_ms && !v.is_nan() && best.is_none_or(|(bt, _)| ts >= bt) {
+                best = Some((ts, v));
+            }
+        }
+        best
+    }
+}
+
+/// Fixed-size two-tier metrics history (see module docs). The metric
+/// name set is frozen on the first [`MetricsHistory::record`]; rings
+/// are allocated then and the sample path never allocates again.
+pub struct MetricsHistory {
+    names: Vec<&'static str>,
+    tier1: Tier,
+    tier2: Tier,
+    /// Per-metric (sum, count-of-known) accumulator toward the next
+    /// tier-2 slot.
+    acc: Vec<(f64, u32)>,
+    acc_pushes: u32,
+    tier2_slots: usize,
+}
+
+impl MetricsHistory {
+    /// `retention_s` bounds how far back tier-2 reaches (rounded up to
+    /// whole tier-2 slots, at least one).
+    pub fn new(retention_s: u32) -> MetricsHistory {
+        let tier2_slots = (u64::from(retention_s).div_ceil(TIER2_RES_S)).max(1) as usize;
+        MetricsHistory {
+            names: Vec::new(),
+            tier1: Tier::new(0, TIER1_SLOTS),
+            tier2: Tier::new(0, tier2_slots),
+            acc: Vec::new(),
+            acc_pushes: 0,
+            tier2_slots,
+        }
+    }
+
+    /// The recorded metric names (empty until the first sample).
+    pub fn names(&self) -> &[&'static str] {
+        &self.names
+    }
+
+    /// Records one full sample row. The first call fixes the metric
+    /// set; later calls must pass the same metrics in the same order.
+    pub fn record(&mut self, ts_ms: u64, sample: &[(&'static str, f64)]) {
+        if self.names.is_empty() {
+            self.names = sample.iter().map(|&(k, _)| k).collect();
+            self.tier1 = Tier::new(self.names.len(), TIER1_SLOTS);
+            self.tier2 = Tier::new(self.names.len(), self.tier2_slots);
+            self.acc = vec![(0.0, 0); self.names.len()];
+        }
+        debug_assert_eq!(sample.len(), self.names.len(), "sample shape changed");
+        self.tier1.push(ts_ms, sample.iter().map(|&(_, v)| v));
+        for (slot, &(_, v)) in self.acc.iter_mut().zip(sample) {
+            if !v.is_nan() {
+                slot.0 += v;
+                slot.1 += 1;
+            }
+        }
+        self.acc_pushes += 1;
+        if u64::from(self.acc_pushes) >= TIER2_RES_S / TIER1_RES_S {
+            let acc = std::mem::take(&mut self.acc);
+            self.tier2.push(
+                ts_ms,
+                acc.iter()
+                    .map(|&(sum, n)| if n == 0 { f64::NAN } else { sum / f64::from(n) }),
+            );
+            self.acc = acc;
+            for slot in &mut self.acc {
+                *slot = (0.0, 0);
+            }
+            self.acc_pushes = 0;
+        }
+    }
+
+    fn index_of(&self, metric: &str) -> Option<usize> {
+        self.names.iter().position(|&n| n == metric)
+    }
+
+    /// The series for `metric` covering the last `range_s` seconds:
+    /// tier-1 points while the range fits, tier-2 beyond. `None` for an
+    /// unknown metric. Returns `(resolution_s, points)`.
+    pub fn series(
+        &self,
+        metric: &str,
+        range_s: u32,
+        now_ms: u64,
+    ) -> Option<(u64, Vec<(u64, f64)>)> {
+        let m = self.index_of(metric)?;
+        let since = now_ms.saturating_sub(u64::from(range_s).saturating_mul(1000));
+        if u64::from(range_s) <= TIER1_SLOTS as u64 * TIER1_RES_S {
+            Some((TIER1_RES_S, self.tier1.series(m, since)))
+        } else {
+            Some((TIER2_RES_S, self.tier2.series(m, since)))
+        }
+    }
+
+    /// Newest recorded value of `metric`.
+    pub fn latest(&self, metric: &str) -> Option<(u64, f64)> {
+        let m = self.index_of(metric)?;
+        self.tier1.at_or_before(m, u64::MAX)
+    }
+
+    /// Newest value of `metric` recorded at or before `ts_ms`, looking
+    /// through tier-1 first and falling back to tier-2 for windows that
+    /// outlive it. `None` until history reaches back that far — rate
+    /// rules stay silent instead of firing on a half-seen window.
+    pub fn at_or_before(&self, metric: &str, ts_ms: u64) -> Option<(u64, f64)> {
+        let m = self.index_of(metric)?;
+        self.tier1
+            .at_or_before(m, ts_ms)
+            .or_else(|| self.tier2.at_or_before(m, ts_ms))
+    }
+}
+
+/// One structured journal event, as stored and as carried on the wire.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EventWire {
+    /// Global record order (gaps mean ring eviction).
+    pub seq: u64,
+    /// Unix milliseconds at record time.
+    pub ts_ms: u64,
+    /// The recording daemon.
+    pub node: u32,
+    /// Event kind — one of the `kind::*` vocabulary.
+    pub kind: String,
+    /// Free-form `k=v` detail (kept flat for the crash-dump format).
+    pub detail: String,
+}
+
+impl Wire for EventWire {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.seq.encode(out);
+        self.ts_ms.encode(out);
+        self.node.encode(out);
+        self.kind.encode(out);
+        self.detail.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(EventWire {
+            seq: Wire::decode(buf)?,
+            ts_ms: Wire::decode(buf)?,
+            node: Wire::decode(buf)?,
+            kind: Wire::decode(buf)?,
+            detail: Wire::decode(buf)?,
+        })
+    }
+    fn encoded_len(&self) -> usize {
+        8 + 8 + 4 + self.kind.encoded_len() + self.detail.encoded_len()
+    }
+}
+
+/// The journal's event-kind vocabulary (stable strings: filters, JSON,
+/// and dumps all carry these verbatim).
+pub mod kind {
+    pub const SWIM_SUSPECT: &str = "swim_suspect";
+    pub const SWIM_CONFIRM: &str = "swim_confirm";
+    pub const SWIM_REFUTE: &str = "swim_refute";
+    pub const SUB_INSTALL: &str = "sub_install";
+    pub const SUB_CANCEL: &str = "sub_cancel";
+    pub const SUB_LEASE_GC: &str = "sub_lease_gc";
+    pub const CACHE_PROMOTE: &str = "cache_promote";
+    pub const CACHE_DEMOTE: &str = "cache_demote";
+    pub const ALERT_FIRING: &str = "alert_firing";
+    pub const ALERT_RESOLVED: &str = "alert_resolved";
+    pub const SLOW_QUERY: &str = "slow_query";
+    pub const GW_ERROR: &str = "gw_error";
+    pub const GW_PANIC: &str = "gw_panic";
+    pub const STALL: &str = "stall";
+    pub const CRASH_DUMP: &str = "crash_dump";
+    pub const PANIC: &str = "panic";
+}
+
+struct Shard {
+    events: Mutex<VecDeque<EventWire>>,
+}
+
+/// Lock-sharded bounded event ring. Any thread may record (the panic
+/// hook does); the per-shard mutexes are held only for a push/pop.
+pub struct EventJournal {
+    shards: Vec<Shard>,
+    seq: AtomicU64,
+    recorded: AtomicU64,
+    dropped: AtomicU64,
+    per_shard_cap: usize,
+}
+
+impl Default for EventJournal {
+    fn default() -> Self {
+        EventJournal::new(JOURNAL_CAP)
+    }
+}
+
+impl EventJournal {
+    /// A journal holding at most `cap` events across its shards.
+    pub fn new(cap: usize) -> EventJournal {
+        EventJournal {
+            shards: (0..JOURNAL_SHARDS)
+                .map(|_| Shard {
+                    events: Mutex::new(VecDeque::new()),
+                })
+                .collect(),
+            seq: AtomicU64::new(0),
+            recorded: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            per_shard_cap: cap.div_ceil(JOURNAL_SHARDS).max(1),
+        }
+    }
+
+    /// Records one event; evicts the shard's oldest when full.
+    pub fn record(&self, ts_ms: u64, node: u32, kind: &str, detail: String) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        let shard = &self.shards[(seq % JOURNAL_SHARDS as u64) as usize];
+        let Ok(mut events) = shard.events.lock() else {
+            return; // poisoned by a panicking recorder: drop, don't double-panic
+        };
+        if events.len() >= self.per_shard_cap {
+            events.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        events.push_back(EventWire {
+            seq,
+            ts_ms,
+            node,
+            kind: kind.to_owned(),
+            detail,
+        });
+    }
+
+    /// Events recorded since boot (evicted ones included).
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Events evicted from the ring.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// The newest `limit` events (optionally of one `kind`), in record
+    /// order — shards are merged by sequence number.
+    pub fn snapshot(&self, kind_filter: Option<&str>, limit: usize) -> Vec<EventWire> {
+        let mut all: Vec<EventWire> = Vec::new();
+        for shard in &self.shards {
+            if let Ok(events) = shard.events.lock() {
+                all.extend(
+                    events
+                        .iter()
+                        .filter(|e| kind_filter.is_none_or(|k| e.kind == k))
+                        .cloned(),
+                );
+            }
+        }
+        all.sort_by_key(|e| e.seq);
+        if all.len() > limit {
+            all.drain(..all.len() - limit);
+        }
+        all
+    }
+}
+
+/// Unix time in milliseconds (0 if the clock is before the epoch).
+pub fn now_unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+/// The shared flight-recorder state: history + journal + the crash-dump
+/// writer. Lives behind an `Arc` so the panic hook can reach it from
+/// any thread while the event loop keeps recording.
+pub struct Recorder {
+    /// The metrics rings (locked: sampled by the loop, read by HTTP
+    /// serving and the panic hook).
+    pub history: Mutex<MetricsHistory>,
+    /// The event journal (internally sharded; no outer lock).
+    pub journal: EventJournal,
+    /// Pre-rendered cluster-context dump lines (peer digests, firing
+    /// alerts, trace exemplars), refreshed by the loop each sample so
+    /// a dump never has to reach into loop-owned state.
+    context: Mutex<String>,
+    dump_dir: Option<PathBuf>,
+    node: AtomicU64,
+}
+
+impl Recorder {
+    pub fn new(retention_s: u32, dump_dir: Option<PathBuf>) -> Recorder {
+        Recorder {
+            history: Mutex::new(MetricsHistory::new(retention_s)),
+            journal: EventJournal::default(),
+            context: Mutex::new(String::new()),
+            dump_dir,
+            node: AtomicU64::new(0),
+        }
+    }
+
+    /// Set once the daemon knows its node id (after join).
+    pub fn set_node(&self, node: u32) {
+        self.node.store(u64::from(node), Ordering::Relaxed);
+    }
+
+    fn node_id(&self) -> u32 {
+        self.node.load(Ordering::Relaxed) as u32
+    }
+
+    /// Whether a `--crash-dump-dir` was configured.
+    pub fn dumps_enabled(&self) -> bool {
+        self.dump_dir.is_some()
+    }
+
+    /// Records one structured event into the journal, stamped now and
+    /// tagged with this daemon's node id — the single entry point every
+    /// subsystem hook calls.
+    pub fn record_event(&self, kind: &str, detail: String) {
+        self.journal
+            .record(now_unix_ms(), self.node_id(), kind, detail);
+    }
+
+    /// Replaces the pre-rendered context lines (see [`Recorder`]).
+    pub fn set_context(&self, lines: String) {
+        if let Ok(mut ctx) = self.context.lock() {
+            *ctx = lines;
+        }
+    }
+
+    /// Renders the full dump: meta line, every metric's last tier-1
+    /// window, the journal tail, then the pre-rendered context lines.
+    /// Flat JSONL throughout (see module docs).
+    pub fn render_dump(&self, reason: &str, ts_ms: u64) -> String {
+        use moara_gateway::json::escape;
+        let mut out = String::with_capacity(16 * 1024);
+        out.push_str(&format!(
+            "{{\"t\":\"meta\",\"node\":{},\"reason\":{},\"ts_ms\":{ts_ms},\
+             \"version\":{},\"events_recorded\":{},\"events_dropped\":{}}}\n",
+            self.node_id(),
+            escape(reason),
+            escape(env!("CARGO_PKG_VERSION")),
+            self.journal.recorded(),
+            self.journal.dropped(),
+        ));
+        if let Ok(history) = self.history.lock() {
+            for name in history.names() {
+                let Some((res_s, points)) =
+                    history.series(name, (TIER1_SLOTS as u64 * TIER1_RES_S) as u32, ts_ms)
+                else {
+                    continue;
+                };
+                let rendered: Vec<String> =
+                    points.iter().map(|&(ts, v)| format!("{ts}:{v}")).collect();
+                out.push_str(&format!(
+                    "{{\"t\":\"series\",\"metric\":{},\"res_s\":{res_s},\"points\":{}}}\n",
+                    escape(name),
+                    escape(&rendered.join(" ")),
+                ));
+            }
+        }
+        for e in self.journal.snapshot(None, DUMP_EVENTS) {
+            out.push_str(&format!(
+                "{{\"t\":\"event\",\"seq\":{},\"ts_ms\":{},\"node\":{},\"kind\":{},\"detail\":{}}}\n",
+                e.seq,
+                e.ts_ms,
+                e.node,
+                escape(&e.kind),
+                escape(&e.detail),
+            ));
+        }
+        if let Ok(ctx) = self.context.lock() {
+            out.push_str(&ctx);
+        }
+        out
+    }
+
+    /// Writes a dump named for `reason` into the dump dir via a temp
+    /// file + atomic rename, so readers never see a torn file and the
+    /// dir holds at most one file per reason (bounded). Returns the
+    /// path written, `None` when dumps are disabled or the write fails
+    /// (crash paths must never panic over a full disk).
+    pub fn write_dump(&self, reason: &str, ts_ms: u64) -> Option<PathBuf> {
+        let dir = self.dump_dir.as_ref()?;
+        let name = format!("moarad-n{}.{}.jsonl", self.node_id(), reason);
+        let tmp = dir.join(format!(".{name}.tmp"));
+        let path = dir.join(name);
+        let body = self.render_dump(reason, ts_ms);
+        std::fs::create_dir_all(dir).ok()?;
+        std::fs::write(&tmp, body).ok()?;
+        std::fs::rename(&tmp, &path).ok()?;
+        Some(path)
+    }
+}
+
+/// One scalar of a flat dump line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonScalar {
+    Str(String),
+    Num(f64),
+    Bool(bool),
+    Null,
+}
+
+impl JsonScalar {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonScalar::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    /// The number, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            JsonScalar::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one *flat* JSON object — string/number/bool/null values only,
+/// no nesting — as the crash-dump format guarantees. Returns `None` on
+/// anything else; `moara-cli postmortem` skips such lines rather than
+/// guessing.
+pub fn parse_flat_json(line: &str) -> Option<Vec<(String, JsonScalar)>> {
+    let s = line.trim();
+    let inner = s.strip_prefix('{')?.strip_suffix('}')?;
+    let b = inner.as_bytes();
+    let mut i = 0usize;
+    let mut out = Vec::new();
+    let skip_ws = |i: &mut usize| {
+        while *i < b.len() && (b[*i] as char).is_ascii_whitespace() {
+            *i += 1;
+        }
+    };
+    let parse_string = |i: &mut usize| -> Option<String> {
+        if b.get(*i) != Some(&b'"') {
+            return None;
+        }
+        *i += 1;
+        let mut out = String::new();
+        while *i < b.len() {
+            match b[*i] {
+                b'"' => {
+                    *i += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    *i += 1;
+                    match b.get(*i)? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = inner.get(*i + 1..*i + 5)?;
+                            let code = u32::from_str_radix(hex, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                            *i += 4;
+                        }
+                        _ => return None,
+                    }
+                    *i += 1;
+                }
+                c => {
+                    // Multi-byte UTF-8 passes through byte-wise; the
+                    // final String::from_utf8 on raw bytes is avoided by
+                    // collecting chars from the validated source str.
+                    let ch_start = *i;
+                    let ch = inner[ch_start..].chars().next()?;
+                    out.push(ch);
+                    *i += ch.len_utf8();
+                    let _ = c;
+                }
+            }
+        }
+        None
+    };
+    loop {
+        skip_ws(&mut i);
+        if i >= b.len() {
+            break;
+        }
+        let key = parse_string(&mut i)?;
+        skip_ws(&mut i);
+        if b.get(i) != Some(&b':') {
+            return None;
+        }
+        i += 1;
+        skip_ws(&mut i);
+        let value = match b.get(i)? {
+            b'"' => JsonScalar::Str(parse_string(&mut i)?),
+            b't' => {
+                if !inner[i..].starts_with("true") {
+                    return None;
+                }
+                i += 4;
+                JsonScalar::Bool(true)
+            }
+            b'f' => {
+                if !inner[i..].starts_with("false") {
+                    return None;
+                }
+                i += 5;
+                JsonScalar::Bool(false)
+            }
+            b'n' => {
+                if !inner[i..].starts_with("null") {
+                    return None;
+                }
+                i += 4;
+                JsonScalar::Null
+            }
+            _ => {
+                let start = i;
+                while i < b.len() && matches!(b[i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                {
+                    i += 1;
+                }
+                JsonScalar::Num(inner[start..i].parse().ok()?)
+            }
+        };
+        out.push((key, value));
+        skip_ws(&mut i);
+        match b.get(i) {
+            Some(b',') => i += 1,
+            None => break,
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// Parses a `"ts:v ts:v …"` series string from a dump line.
+pub fn parse_points(s: &str) -> Vec<(u64, f64)> {
+    s.split_whitespace()
+        .filter_map(|pair| {
+            let (ts, v) = pair.split_once(':')?;
+            Some((ts.parse().ok()?, v.parse().ok()?))
+        })
+        .collect()
+}
+
+/// Renders a unicode sparkline of `points` (shared by `moara-cli top`
+/// and `postmortem`). Empty input renders as "-".
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let known: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+    if known.is_empty() {
+        return "-".to_owned();
+    }
+    let (min, max) = known
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    let span = (max - min).max(f64::MIN_POSITIVE);
+    values
+        .iter()
+        .map(|&v| {
+            if v.is_nan() {
+                ' '
+            } else {
+                let idx = (((v - min) / span) * 7.0).round() as usize;
+                BARS[idx.min(7)]
+            }
+        })
+        .collect()
+}
+
+/// Helper for dump context rendering: one peer digest as a flat line.
+pub fn peer_context_line(
+    node: u32,
+    status: &str,
+    age_ms: u64,
+    tick_p99_us: u64,
+    stalled_ticks: u64,
+    alerts_firing: u32,
+) -> String {
+    use moara_gateway::json::escape;
+    format!(
+        "{{\"t\":\"peer\",\"node\":{node},\"status\":{},\"age_ms\":{age_ms},\
+         \"tick_p99_us\":{tick_p99_us},\"stalled_ticks\":{stalled_ticks},\
+         \"alerts_firing\":{alerts_firing}}}\n",
+        escape(status),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(v: f64) -> Vec<(&'static str, f64)> {
+        vec![("a", v), ("b", v * 2.0), ("c", f64::NAN)]
+    }
+
+    #[test]
+    fn history_records_two_tiers_and_serves_ranges() {
+        let mut h = MetricsHistory::new(600);
+        for i in 0..30u64 {
+            h.record(1_000_000 + i * 1000, &sample(i as f64));
+        }
+        assert_eq!(h.names(), &["a", "b", "c"]);
+        // Tier-1 range: all 30 one-second points.
+        let (res, pts) = h.series("a", 60, 1_000_000 + 29_000).unwrap();
+        assert_eq!(res, TIER1_RES_S);
+        assert_eq!(pts.len(), 30);
+        assert_eq!(pts[0], (1_000_000, 0.0));
+        assert_eq!(pts[29], (1_029_000, 29.0));
+        // A narrower range trims old points.
+        let (_, pts) = h.series("a", 10, 1_000_000 + 29_000).unwrap();
+        assert_eq!(pts.len(), 11, "{pts:?}"); // 19..=29 inclusive
+                                              // Tier-2: 30 pushes → 3 slots of 10-sample means.
+        let (res, pts) = h.series("b", 600, 1_000_000 + 29_000).unwrap();
+        assert_eq!(res, TIER2_RES_S);
+        assert_eq!(pts.len(), 3);
+        assert_eq!(
+            pts[0].1,
+            (0..10).map(|i| i as f64 * 2.0).sum::<f64>() / 10.0
+        );
+        // The all-NaN metric has no points in either tier.
+        let (_, pts) = h.series("c", 60, 1_030_000).unwrap();
+        assert!(pts.is_empty());
+        let (_, pts) = h.series("c", 600, 1_030_000).unwrap();
+        assert!(pts.is_empty());
+        // Unknown metric: None.
+        assert!(h.series("nope", 60, 0).is_none());
+    }
+
+    #[test]
+    fn history_rings_wrap_and_stay_bounded() {
+        let mut h = MetricsHistory::new(60);
+        for i in 0..500u64 {
+            h.record(i * 1000, &sample(i as f64));
+        }
+        let (_, pts) = h.series("a", 120, 499_000).unwrap();
+        assert_eq!(pts.len(), TIER1_SLOTS);
+        assert_eq!(pts[0].1, (500 - TIER1_SLOTS as u64) as f64);
+        assert_eq!(pts.last().unwrap().1, 499.0);
+        // Tier-2 is capped by retention (60s → 6 slots).
+        let (_, pts) = h.series("a", 100_000, 499_000).unwrap();
+        assert_eq!(pts.len(), 6);
+    }
+
+    #[test]
+    fn at_or_before_spans_both_tiers() {
+        let mut h = MetricsHistory::new(3600);
+        for i in 0..200u64 {
+            h.record(i * 1000, &sample(i as f64));
+        }
+        // Inside tier-1 (last 120 samples: 80..200).
+        assert_eq!(h.at_or_before("a", 150_000), Some((150_000, 150.0)));
+        // Before tier-1's window: tier-2 answers (10s means).
+        let (ts, _) = h.at_or_before("a", 30_000).unwrap();
+        assert!(ts <= 30_000, "{ts}");
+        // Before any history: None.
+        assert!(h.at_or_before("a", 0).is_none() || h.at_or_before("a", 0).unwrap().0 == 0);
+        assert_eq!(h.latest("a"), Some((199_000, 199.0)));
+    }
+
+    #[test]
+    fn journal_keeps_order_filters_and_evicts() {
+        let j = EventJournal::new(8);
+        for i in 0..20u64 {
+            let kind = if i % 2 == 0 {
+                kind::SWIM_SUSPECT
+            } else {
+                kind::SLOW_QUERY
+            };
+            j.record(i, 1, kind, format!("i={i}"));
+        }
+        assert_eq!(j.recorded(), 20);
+        assert!(j.dropped() > 0);
+        let all = j.snapshot(None, 100);
+        assert!(all.len() <= 8 + JOURNAL_SHARDS);
+        assert!(all.windows(2).all(|w| w[0].seq < w[1].seq), "merged order");
+        let slow = j.snapshot(Some(kind::SLOW_QUERY), 100);
+        assert!(slow.iter().all(|e| e.kind == kind::SLOW_QUERY));
+        assert!(!slow.is_empty());
+        // Limit takes the newest.
+        let last2 = j.snapshot(None, 2);
+        assert_eq!(last2.len(), 2);
+        assert_eq!(last2[1].seq, all.last().unwrap().seq);
+    }
+
+    #[test]
+    fn event_wire_roundtrips() {
+        let e = EventWire {
+            seq: 42,
+            ts_ms: 1_700_000_000_123,
+            node: 7,
+            kind: kind::SWIM_CONFIRM.into(),
+            detail: "peer=3".into(),
+        };
+        assert_eq!(EventWire::from_bytes(&e.to_bytes()).unwrap(), e);
+        assert_eq!(e.to_bytes().len(), e.encoded_len());
+    }
+
+    #[test]
+    fn dump_renders_and_parses_flat_jsonl() {
+        let r = Recorder::new(600, None);
+        r.set_node(3);
+        {
+            let mut h = r.history.lock().unwrap();
+            for i in 0..5u64 {
+                h.record(1000 + i * 1000, &[("tick_p99_us", 100.0 + i as f64)]);
+            }
+        }
+        r.journal
+            .record(5000, 3, kind::SWIM_CONFIRM, "peer=1".into());
+        r.set_context(peer_context_line(1, "dead", u64::MAX, 0, 0, 0));
+        let dump = r.render_dump("blackbox", 5000);
+        let mut metas = 0;
+        let mut series = 0;
+        let mut events = 0;
+        let mut peers = 0;
+        for line in dump.lines() {
+            let fields = parse_flat_json(line).unwrap_or_else(|| panic!("unparsable: {line}"));
+            let t = fields
+                .iter()
+                .find(|(k, _)| k == "t")
+                .and_then(|(_, v)| v.as_str())
+                .unwrap()
+                .to_owned();
+            match t.as_str() {
+                "meta" => {
+                    metas += 1;
+                    assert!(fields
+                        .iter()
+                        .any(|(k, v)| k == "node" && v.as_num() == Some(3.0)));
+                }
+                "series" => {
+                    series += 1;
+                    let pts = fields
+                        .iter()
+                        .find(|(k, _)| k == "points")
+                        .and_then(|(_, v)| v.as_str())
+                        .map(parse_points)
+                        .unwrap();
+                    assert_eq!(pts.len(), 5);
+                    assert_eq!(pts[0], (1000, 100.0));
+                }
+                "event" => {
+                    events += 1;
+                    assert!(fields
+                        .iter()
+                        .any(|(k, v)| k == "kind" && v.as_str() == Some(kind::SWIM_CONFIRM)));
+                }
+                "peer" => peers += 1,
+                other => panic!("unexpected line type {other}"),
+            }
+        }
+        assert_eq!((metas, series, events, peers), (1, 1, 1, 1));
+    }
+
+    #[test]
+    fn dump_writes_atomically_into_the_dir() {
+        let dir = std::env::temp_dir().join(format!("moara-dump-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let r = Recorder::new(600, Some(dir.clone()));
+        r.set_node(9);
+        r.journal.record(1, 9, kind::STALL, "tick_ms=400".into());
+        let path = r.write_dump("blackbox", 1000).unwrap();
+        assert!(path.ends_with("moarad-n9.blackbox.jsonl"));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"t\":\"meta\""));
+        assert!(body.contains("tick_ms=400"));
+        // Re-writing replaces, never accumulates.
+        r.write_dump("blackbox", 2000).unwrap();
+        let entries: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+        assert_eq!(entries.len(), 1, "{entries:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flat_json_parser_handles_escapes_and_rejects_nesting() {
+        let fields =
+            parse_flat_json(r#"{"a":"x\"y\n","b":-1.5e3,"c":true,"d":null,"e":"日本"}"#).unwrap();
+        assert_eq!(fields[0].1, JsonScalar::Str("x\"y\n".into()));
+        assert_eq!(fields[1].1, JsonScalar::Num(-1500.0));
+        assert_eq!(fields[2].1, JsonScalar::Bool(true));
+        assert_eq!(fields[3].1, JsonScalar::Null);
+        assert_eq!(fields[4].1, JsonScalar::Str("日本".into()));
+        assert_eq!(
+            parse_flat_json(r#"{"u":"A"}"#).unwrap()[0].1,
+            JsonScalar::Str("A".into())
+        );
+        assert!(parse_flat_json(r#"{"a":[1,2]}"#).is_none());
+        assert!(parse_flat_json(r#"{"a":{"b":1}}"#).is_none());
+        assert!(parse_flat_json("not json").is_none());
+        assert_eq!(parse_flat_json("{}").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn sparkline_scales_and_handles_gaps() {
+        assert_eq!(sparkline(&[]), "-");
+        assert_eq!(sparkline(&[f64::NAN]), "-");
+        let s = sparkline(&[0.0, 5.0, 10.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert_eq!(s.chars().next(), Some('▁'));
+        assert_eq!(s.chars().last(), Some('█'));
+        // Flat series renders low bars, not a panic on zero span.
+        let flat = sparkline(&[3.0, 3.0]);
+        assert_eq!(flat.chars().count(), 2);
+        // NaN gaps render as spaces.
+        assert_eq!(sparkline(&[1.0, f64::NAN, 2.0]).chars().nth(1), Some(' '));
+    }
+}

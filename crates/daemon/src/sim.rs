@@ -23,6 +23,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::health::{HealthSummary, CACHE_RATIO_NONE};
+use crate::recorder::{kind, Recorder, DEFAULT_RETENTION_S};
 use crate::{moara_ctx, swim_ctx, DaemonNode};
 
 /// One simulated daemon's private world-view: its overlay directory and
@@ -37,6 +38,14 @@ pub struct SimSwarm {
     transport: SimTransport<DaemonNode>,
     views: Vec<SwarmView>,
     swim_period: SimDuration,
+    /// Per-daemon flight recorders, empty until
+    /// [`SimSwarm::enable_flight_recorder`]. Virtual-time driven: the
+    /// swarm samples each daemon into its history rings once per
+    /// simulated second and journals detector transitions, mirroring
+    /// what the real event loop's maintenance tick does.
+    recorders: Vec<Recorder>,
+    vtime_us: u64,
+    last_sample_ms: u64,
 }
 
 impl SimSwarm {
@@ -79,6 +88,9 @@ impl SimSwarm {
             transport,
             views,
             swim_period: swim.period,
+            recorders: Vec::new(),
+            vtime_us: 0,
+            last_sample_ms: 0,
         }
     }
 
@@ -181,7 +193,9 @@ impl SimSwarm {
         while left > 0 {
             let step = left.min(slice);
             self.transport.run_for(SimDuration::from_micros(step));
+            self.vtime_us += step;
             self.apply_events();
+            self.sample_recorders();
             left -= step;
         }
     }
@@ -205,6 +219,31 @@ impl SimSwarm {
             }
             let events = self.transport.node_mut(me).swim.take_events();
             for ev in events {
+                if let Some(rec) = self.recorders.get(i) {
+                    let ts = self.vtime_us / 1_000;
+                    match &ev {
+                        SwimEvent::Suspected(n) => {
+                            rec.journal.record(
+                                ts,
+                                me.0,
+                                kind::SWIM_SUSPECT,
+                                format!("peer={}", n.0),
+                            );
+                        }
+                        SwimEvent::Confirmed(n) => {
+                            rec.journal.record(
+                                ts,
+                                me.0,
+                                kind::SWIM_CONFIRM,
+                                format!("peer={}", n.0),
+                            );
+                        }
+                        SwimEvent::Revived { node, incarnation } => {
+                            let detail = format!("peer={} incarnation={incarnation}", node.0);
+                            rec.journal.record(ts, me.0, kind::SWIM_REFUTE, detail);
+                        }
+                    }
+                }
                 match ev {
                     SwimEvent::Suspected(_) => {}
                     SwimEvent::Confirmed(n) => {
@@ -258,6 +297,57 @@ impl SimSwarm {
                 cache_hit_bp: CACHE_RATIO_NONE,
                 ..HealthSummary::default()
             });
+        }
+    }
+
+    /// Turns on a flight recorder at every daemon: history rings sampled
+    /// once per simulated second plus a journal of detector transitions.
+    /// The `recorder_overhead` bench compares a swarm with this on
+    /// against one without it (same seed, same workload).
+    pub fn enable_flight_recorder(&mut self) {
+        if !self.recorders.is_empty() {
+            return;
+        }
+        for i in 0..self.views.len() as u32 {
+            let rec = Recorder::new(DEFAULT_RETENTION_S, None);
+            rec.set_node(i);
+            self.recorders.push(rec);
+        }
+    }
+
+    /// Daemon `node`'s flight recorder; `None` until enabled.
+    pub fn recorder(&self, node: NodeId) -> Option<&Recorder> {
+        self.recorders.get(node.index())
+    }
+
+    /// Records one history sample per live daemon every simulated second
+    /// (the real daemon's maintenance tick). The sample is the subset of
+    /// the health-plane keys that exist in the sim harness; the point is
+    /// charging the same ring-write cost per daemon-second.
+    fn sample_recorders(&mut self) {
+        if self.recorders.is_empty() {
+            return;
+        }
+        let now_ms = self.vtime_us / 1_000;
+        if now_ms.saturating_sub(self.last_sample_ms) < 1_000 {
+            return;
+        }
+        self.last_sample_ms = now_ms;
+        for i in 0..self.views.len() {
+            let me = NodeId(i as u32);
+            if !self.transport.is_alive(me) {
+                continue;
+            }
+            let dn = self.transport.node(me);
+            let dead = self.views[i].alive.iter().filter(|a| !**a).count();
+            let sample = [
+                ("watches", dn.moara.active_watches() as f64),
+                ("sub_entries", dn.moara.sub_entry_count() as f64),
+                ("dead_members", dead as f64),
+            ];
+            if let Ok(mut h) = self.recorders[i].history.lock() {
+                h.record(now_ms, &sample);
+            }
         }
     }
 

@@ -32,9 +32,105 @@ pub fn escape(s: &str) -> String {
     out
 }
 
+/// Builder for one flat JSON object rendered on a single line — the
+/// shared writer behind every stderr log sink (access log, slow-query
+/// lines, alert transitions) and the crash-dump format, so they all
+/// escape identically and stay machine-parsable.
+///
+/// Keys are written verbatim: callers pass identifier-like literals
+/// (`"ts_ms"`, `"path"`), never untrusted input. Values go through
+/// [`escape`] (strings) or plain `Display` (numbers, bools).
+pub struct JsonLine {
+    buf: String,
+}
+
+impl JsonLine {
+    pub fn new() -> JsonLine {
+        JsonLine {
+            buf: String::with_capacity(128),
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        self.buf.push(if self.buf.is_empty() { '{' } else { ',' });
+        self.buf.push('"');
+        self.buf.push_str(k);
+        self.buf.push_str("\":");
+    }
+
+    /// An escaped string field.
+    pub fn str(mut self, k: &str, v: &str) -> JsonLine {
+        self.key(k);
+        self.buf.push_str(&escape(v));
+        self
+    }
+
+    /// An unsigned integer field.
+    pub fn u64(mut self, k: &str, v: u64) -> JsonLine {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// A float field, rendered via `Display` (so `1.0` prints as `1`,
+    /// matching the historical hand-rolled alert lines).
+    pub fn f64(mut self, k: &str, v: f64) -> JsonLine {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// A boolean field.
+    pub fn bool(mut self, k: &str, v: bool) -> JsonLine {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// A pre-rendered JSON value (already valid JSON — caller's duty).
+    pub fn raw(mut self, k: &str, v: &str) -> JsonLine {
+        self.key(k);
+        self.buf.push_str(v);
+        self
+    }
+
+    /// The finished `{...}` line (no trailing newline).
+    pub fn finish(mut self) -> String {
+        if self.buf.is_empty() {
+            self.buf.push('{');
+        }
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for JsonLine {
+    fn default() -> Self {
+        JsonLine::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_line_builds_flat_objects_in_field_order() {
+        let line = JsonLine::new()
+            .u64("ts_ms", 1_700_000_000_123)
+            .str("path", "/v1/query?q=\"x\"")
+            .bool("ok", true)
+            .f64("value", 1.0)
+            .f64("ratio", 0.25)
+            .raw("nested", "null")
+            .finish();
+        assert_eq!(
+            line,
+            "{\"ts_ms\":1700000000123,\"path\":\"/v1/query?q=\\\"x\\\"\",\
+             \"ok\":true,\"value\":1,\"ratio\":0.25,\"nested\":null}"
+        );
+        assert_eq!(JsonLine::new().finish(), "{}");
+    }
 
     #[test]
     fn plain_strings_gain_only_quotes() {

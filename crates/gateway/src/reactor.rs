@@ -926,10 +926,14 @@ fn handle_request(ctx: &Ctx, conn: &mut Conn, req: crate::http::HttpRequest) {
             let counter = match &gw_req {
                 GwRequest::Query { .. } => &ctx.stats.queries,
                 GwRequest::SetAttrs { .. } => &ctx.stats.attr_sets,
-                GwRequest::Metrics | GwRequest::ClusterMetrics => &ctx.stats.scrapes,
-                GwRequest::Health | GwRequest::ClusterHealth | GwRequest::Alerts => {
-                    &ctx.stats.health_checks
-                }
+                GwRequest::Metrics
+                | GwRequest::ClusterMetrics
+                | GwRequest::History { .. }
+                | GwRequest::ClusterHistory { .. } => &ctx.stats.scrapes,
+                GwRequest::Health
+                | GwRequest::ClusterHealth
+                | GwRequest::Alerts
+                | GwRequest::Events { .. } => &ctx.stats.health_checks,
                 GwRequest::Traces { .. } | GwRequest::Trace { .. } => &ctx.stats.traces,
                 GwRequest::Watch { .. } => unreachable!("handled above"),
             };

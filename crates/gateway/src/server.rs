@@ -103,6 +103,31 @@ pub enum GwRequest {
     /// `GET /v1/alerts` — the alert rules currently firing on this
     /// daemon.
     Alerts,
+    /// `GET /v1/history?metric=…&range=…` — one metric's series from
+    /// this daemon's flight-recorder history rings.
+    History {
+        /// Health-sample metric name.
+        metric: String,
+        /// How far back, in seconds (picks the ring tier).
+        range_s: u32,
+    },
+    /// `GET /v1/cluster/history?metric=…&range=…` — every reachable
+    /// member's series for one metric, federated over the control plane
+    /// like `/v1/cluster/metrics`.
+    ClusterHistory {
+        /// Health-sample metric name.
+        metric: String,
+        /// How far back, in seconds.
+        range_s: u32,
+    },
+    /// `GET /v1/events?kind=…&limit=…` — the newest entries of this
+    /// daemon's structured event journal.
+    Events {
+        /// Only events of this kind; `None` returns every kind.
+        kind: Option<String>,
+        /// Maximum events to return (newest win).
+        limit: usize,
+    },
 }
 
 /// What the daemon answers.
@@ -454,8 +479,10 @@ pub struct GatewayStats {
 /// call it inline.
 pub type AccessLogSink = Arc<dyn Fn(&str) + Send + Sync>;
 
-/// Renders one access-log line as a single JSON object. Pure — the
-/// caller supplies the timestamp — so tests can assert the exact line.
+/// Renders one access-log line as a single JSON object via the shared
+/// [`json::JsonLine`] writer (same escaping as every other stderr
+/// sink). Pure — the caller supplies the timestamp — so tests can
+/// assert the exact line.
 pub fn access_log_line(
     ts_ms: u64,
     method: &str,
@@ -465,13 +492,15 @@ pub fn access_log_line(
     bytes: usize,
     peer: &str,
 ) -> String {
-    format!(
-        "{{\"ts_ms\":{ts_ms},\"method\":{},\"path\":{},\"status\":{status},\
-         \"duration_us\":{duration_us},\"bytes\":{bytes},\"peer\":{}}}",
-        json::escape(method),
-        json::escape(path),
-        json::escape(peer)
-    )
+    json::JsonLine::new()
+        .u64("ts_ms", ts_ms)
+        .str("method", method)
+        .str("path", path)
+        .u64("status", u64::from(status))
+        .u64("duration_us", duration_us)
+        .u64("bytes", bytes as u64)
+        .str("peer", peer)
+        .finish()
 }
 
 /// Tuning and middleware knobs for [`spawn_gateway_opts`]. Start from
@@ -630,10 +659,48 @@ pub(crate) fn endpoint_class(req: &GwRequest) -> &'static str {
         GwRequest::Query { .. } => "query",
         GwRequest::SetAttrs { .. } => "attrs",
         GwRequest::Watch { .. } => "watch",
-        GwRequest::Metrics | GwRequest::ClusterMetrics => "metrics",
-        GwRequest::Health | GwRequest::ClusterHealth | GwRequest::Alerts => "health",
+        GwRequest::Metrics
+        | GwRequest::ClusterMetrics
+        | GwRequest::History { .. }
+        | GwRequest::ClusterHistory { .. } => "metrics",
+        GwRequest::Health
+        | GwRequest::ClusterHealth
+        | GwRequest::Alerts
+        | GwRequest::Events { .. } => "health",
         GwRequest::Traces { .. } | GwRequest::Trace { .. } => "traces",
     }
+}
+
+/// Parses the `range` query parameter of the history endpoints:
+/// seconds by default (`120`, `120s`) or minutes (`2m`).
+fn parse_range_s(s: &str) -> Result<u32, &'static str> {
+    let (digits, mult) = if let Some(d) = s.strip_suffix('m') {
+        (d, 60)
+    } else if let Some(d) = s.strip_suffix('s') {
+        (d, 1)
+    } else {
+        (s, 1)
+    };
+    let n: u32 = digits
+        .parse()
+        .map_err(|_| "range wants SECONDS, Ns, or Nm")?;
+    if n == 0 {
+        return Err("range must be positive");
+    }
+    Ok(n.saturating_mul(mult))
+}
+
+/// Shared query-parameter parsing for `/v1/history` and
+/// `/v1/cluster/history`.
+fn history_params(req: &HttpRequest) -> Result<(String, u32), HttpResponse> {
+    let metric = req
+        .param("metric")
+        .ok_or_else(|| HttpResponse::error(400, "missing query parameter metric"))?;
+    let range_s = match req.param("range") {
+        None => 120,
+        Some(v) => parse_range_s(v).map_err(|e| HttpResponse::error(400, e))?,
+    };
+    Ok((metric.to_owned(), range_s))
 }
 
 /// What the gateway speaks, for `Allow` headers.
@@ -684,6 +751,24 @@ pub(crate) fn route(req: &HttpRequest) -> Result<GwRequest, HttpResponse> {
         ("GET" | "HEAD", "/v1/cluster/health") => Ok(GwRequest::ClusterHealth),
         ("GET" | "HEAD", "/v1/cluster/metrics") => Ok(GwRequest::ClusterMetrics),
         ("GET" | "HEAD", "/v1/alerts") => Ok(GwRequest::Alerts),
+        ("GET" | "HEAD", "/v1/history") => {
+            let (metric, range_s) = history_params(req)?;
+            Ok(GwRequest::History { metric, range_s })
+        }
+        ("GET" | "HEAD", "/v1/cluster/history") => {
+            let (metric, range_s) = history_params(req)?;
+            Ok(GwRequest::ClusterHistory { metric, range_s })
+        }
+        ("GET" | "HEAD", "/v1/events") => {
+            let kind = req.param("kind").map(|k| k.to_owned());
+            let limit = match req.param("limit") {
+                None => 100,
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| HttpResponse::error(400, "limit must be an integer"))?,
+            };
+            Ok(GwRequest::Events { kind, limit })
+        }
         ("GET" | "HEAD", "/v1/traces") => {
             let limit = match req.param("limit") {
                 None => 50,
